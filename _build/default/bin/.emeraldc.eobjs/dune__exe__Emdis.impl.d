@@ -1,0 +1,1 @@
+bin/emdis.ml: Array Emc Filename Format In_channel Isa List Printf String Sys

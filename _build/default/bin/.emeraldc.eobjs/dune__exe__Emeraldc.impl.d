@@ -1,0 +1,1 @@
+bin/emeraldc.ml: Arg Array Emc Filename Format In_channel Isa List Printf String

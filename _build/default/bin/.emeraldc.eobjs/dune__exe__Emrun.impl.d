@@ -1,0 +1,1 @@
+bin/emrun.ml: Arg Core Emc Enet Ert Filename Format In_channel Int32 Isa List Mobility Printf String

@@ -1,0 +1,44 @@
+(* emdis: disassemble the native code generated for one architecture,
+   side by side with its bus-stop table.
+
+     emdis FILE ARCH [CLASS] *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: arch_id :: rest ->
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let arch =
+      try Isa.Arch.by_id arch_id
+      with Not_found ->
+        Printf.eprintf "unknown architecture %s (have: %s)\n" arch_id
+          (String.concat ", " (List.map (fun a -> a.Isa.Arch.id) Isa.Arch.all));
+        exit 2
+    in
+    let prog =
+      match
+        Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file)) ~archs:[ arch ] source
+      with
+      | Ok p -> p
+      | Error errs ->
+        List.iter
+          (fun e ->
+            Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
+          errs;
+        exit 1
+    in
+    let wanted (cc : Emc.Compile.compiled_class) =
+      match rest with
+      | [] -> true
+      | cls :: _ -> String.equal cc.Emc.Compile.cc_name cls
+    in
+    Array.iter
+      (fun (cc : Emc.Compile.compiled_class) ->
+        if wanted cc then begin
+          let art = Emc.Compile.artifact cc ~arch_id:arch.Isa.Arch.id in
+          print_string (Isa.Disasm.listing art.Emc.Compile.aa_code);
+          Format.printf "%a@." Emc.Busstop.pp art.Emc.Compile.aa_stops
+        end)
+      prog.Emc.Compile.p_classes
+  | _ ->
+    prerr_endline "emdis FILE ARCH [CLASS]";
+    exit 2

@@ -1,0 +1,86 @@
+(* emeraldc: compile an Emerald-like source file for the heterogeneous
+   architectures and inspect what the compiler produces — native code,
+   templates, bus-stop tables, IR.
+
+     emeraldc FILE [options]
+       --arch ID       compile only for this architecture (vax, sun3,
+                       hp433, hp385, sparc); default: all
+       --dump-ir       print the machine-independent IR
+       --dump-code     print the native-code listings
+       --dump-stops    print the bus-stop tables
+       --dump-template print the object/activation-record templates *)
+
+let usage = "emeraldc FILE [--arch ID] [--dump-ir] [--dump-code] [--dump-stops] [--dump-template]"
+
+let () =
+  let file = ref None in
+  let arch_id = ref None in
+  let dump_ir = ref false in
+  let dump_code = ref false in
+  let dump_stops = ref false in
+  let dump_template = ref false in
+  let spec =
+    [
+      ("--arch", Arg.String (fun s -> arch_id := Some s), "ID architecture to compile for");
+      ("--dump-ir", Arg.Set dump_ir, " print the IR");
+      ("--dump-code", Arg.Set dump_code, " print native code listings");
+      ("--dump-stops", Arg.Set dump_stops, " print bus-stop tables");
+      ("--dump-template", Arg.Set dump_template, " print templates");
+    ]
+  in
+  Arg.parse spec (fun f -> file := Some f) usage;
+  let file =
+    match !file with
+    | Some f -> f
+    | None ->
+      prerr_endline usage;
+      exit 2
+  in
+  let source = In_channel.with_open_text file In_channel.input_all in
+  let archs =
+    match !arch_id with
+    | None -> Isa.Arch.all
+    | Some id -> (
+      try [ Isa.Arch.by_id id ]
+      with Not_found ->
+        Printf.eprintf "unknown architecture %s (have: %s)\n" id
+          (String.concat ", " (List.map (fun a -> a.Isa.Arch.id) Isa.Arch.all));
+        exit 2)
+  in
+  match
+    Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file)) ~archs
+      source
+  with
+  | Error errs ->
+    List.iter
+      (fun e -> Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
+      errs;
+    exit 1
+  | Ok prog ->
+    Printf.printf "%s: %d class(es) compiled for %s\n" file
+      (Array.length prog.Emc.Compile.p_classes)
+      (String.concat ", " (List.map (fun a -> a.Isa.Arch.id) archs));
+    Array.iter
+      (fun (cc : Emc.Compile.compiled_class) ->
+        Printf.printf "  %s: oid %ld, %d bus stop(s)\n" cc.Emc.Compile.cc_name
+          cc.Emc.Compile.cc_oid cc.Emc.Compile.cc_ir.Emc.Ir.cl_nstops;
+        List.iter
+          (fun (id, (art : Emc.Compile.arch_artifact)) ->
+            Printf.printf "    %-6s %5d bytes of code\n" id
+              art.Emc.Compile.aa_code.Isa.Code.byte_size)
+          cc.Emc.Compile.cc_arts)
+      prog.Emc.Compile.p_classes;
+    if !dump_ir then Format.printf "@.%a" Emc.Pretty.pp_program prog.Emc.Compile.p_ir;
+    Array.iter
+      (fun (cc : Emc.Compile.compiled_class) ->
+        if !dump_template then
+          Format.printf "@.%a" Emc.Template.pp_class cc.Emc.Compile.cc_template;
+        List.iter
+          (fun (_, (art : Emc.Compile.arch_artifact)) ->
+            if !dump_code then begin
+              print_newline ();
+              print_string (Isa.Disasm.listing art.Emc.Compile.aa_code)
+            end;
+            if !dump_stops then Format.printf "@.%a" Emc.Busstop.pp art.Emc.Compile.aa_stops)
+          cc.Emc.Compile.cc_arts)
+      prog.Emc.Compile.p_classes

@@ -1,0 +1,99 @@
+(* emrun: run an Emerald-like program on a simulated cluster of
+   heterogeneous workstations.
+
+     emrun FILE [options]
+       --nodes IDS    comma-separated architectures (default:
+                      sparc,sun3,hp433,vax — a Figure 1 network)
+       --class NAME   class to instantiate on node 0 (default: Main)
+       --op NAME      operation to invoke (default: start)
+       --args LIST    comma-separated integer arguments
+       --original     use the original homogeneous protocol
+       --trace        print protocol events
+       --stats        print per-node statistics afterwards *)
+
+let usage = "emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST] [--original] [--trace] [--stats]"
+
+let () =
+  let file = ref None in
+  let nodes = ref "sparc,sun3,hp433,vax" in
+  let cls = ref "Main" in
+  let op = ref "start" in
+  let args_s = ref "" in
+  let original = ref false in
+  let trace = ref false in
+  let stats = ref false in
+  let spec =
+    [
+      ("--nodes", Arg.Set_string nodes, "IDS comma-separated architecture ids");
+      ("--class", Arg.Set_string cls, "NAME class to instantiate (default Main)");
+      ("--op", Arg.Set_string op, "NAME operation to invoke (default start)");
+      ("--args", Arg.Set_string args_s, "LIST comma-separated integer arguments");
+      ("--original", Arg.Set original, " use the original homogeneous protocol");
+      ("--trace", Arg.Set trace, " print protocol events");
+      ("--stats", Arg.Set stats, " print per-node statistics");
+    ]
+  in
+  Arg.parse spec (fun f -> file := Some f) usage;
+  let file =
+    match !file with
+    | Some f -> f
+    | None ->
+      prerr_endline usage;
+      exit 2
+  in
+  let source = In_channel.with_open_text file In_channel.input_all in
+  let archs =
+    String.split_on_char ',' !nodes
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun id ->
+           try Isa.Arch.by_id id
+           with Not_found ->
+             Printf.eprintf "unknown architecture %s\n" id;
+             exit 2)
+  in
+  let protocol = if !original then Core.Cluster.Original else Core.Cluster.Enhanced in
+  let cl = Core.Cluster.create ~protocol ~archs () in
+  if !trace then Core.Cluster.set_trace cl prerr_endline;
+  (match
+     Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
+       ~archs:(List.sort_uniq (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id) archs)
+       source
+   with
+  | Error errs ->
+    List.iter
+      (fun e -> Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
+      errs;
+    exit 1
+  | Ok prog -> Core.Cluster.load_program cl prog);
+  let target = Core.Cluster.create_object cl ~node:0 ~class_name:!cls in
+  let args =
+    if !args_s = "" then []
+    else
+      String.split_on_char ',' !args_s
+      |> List.map (fun s -> Ert.Value.Vint (Int32.of_string (String.trim s)))
+  in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target ~op:!op ~args in
+  (match Core.Cluster.run_until_result cl tid with
+  | Some v -> Format.printf "result: %a@." Ert.Value.pp v
+  | None -> print_endline "done (no result)");
+  for i = 0 to Core.Cluster.n_nodes cl - 1 do
+    let out = Core.Cluster.output cl ~node:i in
+    if out <> "" then Printf.printf "-- node %d output --\n%s" i out
+  done;
+  Printf.printf "virtual time: %.2f ms\n" (Core.Cluster.global_time_us cl /. 1000.0);
+  if !stats then begin
+    Printf.printf "network: %d messages, %d bytes\n"
+      (Enet.Netsim.messages_sent (Core.Cluster.network cl))
+      (Enet.Netsim.bytes_sent (Core.Cluster.network cl));
+    for i = 0 to Core.Cluster.n_nodes cl - 1 do
+      let k = Core.Cluster.kernel cl i in
+      Printf.printf
+        "node %d (%-6s): %8d insns, %5d syscalls, %s, code fetches %d\n" i
+        (Isa.Arch.by_id (Ert.Kernel.arch k).Isa.Arch.id).Isa.Arch.id
+        (Ert.Kernel.insns_executed k)
+        (Ert.Kernel.syscalls_handled k)
+        (Format.asprintf "%a" Enet.Conversion_stats.pp (Core.Cluster.conversion_stats cl i))
+        (Mobility.Code_repository.fetches_by_node (Core.Cluster.repository cl) i)
+    done
+  end

@@ -1,0 +1,1 @@
+examples/bridging_demo.ml: Format Mobility Printf String

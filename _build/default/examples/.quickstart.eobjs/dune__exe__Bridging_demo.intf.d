@@ -1,0 +1,1 @@
+examples/bridging_demo.mli:

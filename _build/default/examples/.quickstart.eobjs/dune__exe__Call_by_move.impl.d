@@ -1,0 +1,1 @@
+examples/call_by_move.ml: Core Ert Int32 Isa Printf

@@ -1,0 +1,1 @@
+examples/load_balance.ml: Core Ert Int32 Isa List Printf

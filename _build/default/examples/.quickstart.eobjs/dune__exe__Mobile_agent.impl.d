@@ -1,0 +1,1 @@
+examples/mobile_agent.ml: Core Enet Ert Int32 Isa List Printf

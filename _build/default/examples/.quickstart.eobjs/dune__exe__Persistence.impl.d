@@ -1,0 +1,1 @@
+examples/persistence.ml: Core Ert Float Isa List Mobility Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Enet Ert Format Int32 Isa List Printf

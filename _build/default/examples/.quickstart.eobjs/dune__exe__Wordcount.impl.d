@@ -1,0 +1,1 @@
+examples/wordcount.ml: Core Enet Ert Int32 Isa List Printf

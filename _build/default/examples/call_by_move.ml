@@ -1,0 +1,81 @@
+(* Example 1 of the paper, in full:
+
+     "Consider an object X residing on node A invoking an operation in an
+      object Y residing on node B, the effect of the operation being that
+      X is moved to node C.  A remote procedure call is performed to
+      invoke the operation in Y.  When the thread returns from executing
+      the operation in Y, execution has to resume on node C where X is
+      now residing.  The system has to move part of the call stack of the
+      existing thread from node A to node C."
+
+   Node A is a SPARC, node B a VAX, node C a Sun-3 — so the migrated call
+   stack is additionally translated between three machine representations.
+
+     dune exec examples/call_by_move.exe *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let src =
+  {|
+object Y
+  var relocations : int <- 0
+
+  operation relocate[x : X, target : int] -> [r : int]
+    print["Y (on node ", thisnode, "): moving the caller to node ", target]
+    move x to target
+    relocations <- relocations + 1
+    r <- relocations
+  end relocate
+end Y
+
+object X
+  operation run[y : Y, target : int] -> [r : int]
+    var before : int <- thisnode
+    print["X calls Y from node ", before]
+    var count : int <- y.relocate[self, target]
+    var after : int <- thisnode
+    print["X resumed on node ", after, " (relocation #", count, ")"]
+    r <- before * 100 + after
+  end run
+end X
+
+object Main
+  operation start[] -> [r : int]
+    var y : Y <- new Y
+    var x : X <- new X
+    move y to 1
+    r <- x.run[y, 2]
+  end start
+end Main
+|}
+
+let () =
+  print_endline "== Example 1: the thread returns to where its object went ==";
+  print_endline "";
+  print_endline "  node A (0): SPARC   - X starts here";
+  print_endline "  node B (1): VAX     - Y lives here";
+  print_endline "  node C (2): Sun-3   - X is moved here mid-call";
+  print_endline "";
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax; A.sun3 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"example1" src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  let r = Core.Cluster.run_until_result cl tid in
+  for i = 0 to 2 do
+    let out = Core.Cluster.output cl ~node:i in
+    if out <> "" then Printf.printf "node %d:\n%s" i out
+  done;
+  print_endline "";
+  (match r with
+  | Some (V.Vint v) ->
+    let before = Int32.to_int v / 100 and after = Int32.to_int v mod 100 in
+    Printf.printf "X invoked from node %d and resumed on node %d.\n" before after;
+    if before = 0 && after = 2 then
+      print_endline
+        "The activation record of X.run migrated from the SPARC to the Sun-3\n\
+         while the invocation of Y.relocate was outstanding on the VAX: the\n\
+         reply chased the moved stack segment to its new home."
+    else print_endline "unexpected result!"
+  | _ -> print_endline "no result");
+  Printf.printf "(virtual time: %.1f ms)\n" (Core.Cluster.global_time_us cl /. 1000.0)

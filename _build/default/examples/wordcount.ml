@@ -1,0 +1,127 @@
+(* Distributed histogram with a mobile worker and vectors.
+
+   Each node holds a Shard object with a vector of samples (produced
+   locally — too bulky to ship).  A Tally agent carries a small histogram
+   vector from node to node, merging each shard into it with cheap local
+   reads, and brings the totals home.  The histogram vector itself is
+   marshalled by value inside the agent's activation records at every hop,
+   across three different machine representations.
+
+     dune exec examples/wordcount.exe *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let src =
+  {|
+object Shard
+  var data : vector[int] <- nil
+
+  operation initially[seed : int, n : int]
+    data <- vector[int, n]
+    var i : int <- 0
+    var x : int <- seed
+    loop
+      exit when i >= n
+      x <- (x * 1103 + 12345) % 100000
+      data[i] <- x % 8
+      i <- i + 1
+    end loop
+  end initially
+
+  operation item[i : int] -> [r : int]
+    r <- data[i]
+  end item
+
+  operation count[] -> [r : int]
+    r <- data.size[]
+  end count
+end Shard
+
+object Tally
+  operation run[s1 : Shard, s2 : Shard, s3 : Shard] -> [r : int]
+    var hist : vector[int] <- vector[int, 8]
+
+    move self to locate[s1]
+    print["tallying shard on node ", thisnode]
+    var i : int <- 0
+    loop
+      exit when i >= s1.count[]
+      hist[s1.item[i]] <- hist[s1.item[i]] + 1
+      i <- i + 1
+    end loop
+
+    move self to locate[s2]
+    print["tallying shard on node ", thisnode]
+    i <- 0
+    loop
+      exit when i >= s2.count[]
+      hist[s2.item[i]] <- hist[s2.item[i]] + 1
+      i <- i + 1
+    end loop
+
+    move self to locate[s3]
+    print["tallying shard on node ", thisnode]
+    i <- 0
+    loop
+      exit when i >= s3.count[]
+      hist[s3.item[i]] <- hist[s3.item[i]] + 1
+      i <- i + 1
+    end loop
+
+    move self to 0
+    var total : int <- 0
+    var bucket : int <- 0
+    loop
+      exit when bucket >= 8
+      print["  bucket ", bucket, ": ", hist[bucket]]
+      total <- total + hist[bucket]
+      bucket <- bucket + 1
+    end loop
+    r <- total
+  end run
+end Tally
+|}
+
+let () =
+  print_endline "== Distributed histogram: a vector rides the migrating thread ==";
+  print_endline "";
+  let archs = [ A.sparc; A.vax; A.sun3; A.hp9000_385 ] in
+  let cl = Core.Cluster.create ~archs () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"wordcount" src);
+  let per_shard = 40 in
+  let mk_shard node seed =
+    let oid = Core.Cluster.create_object cl ~node ~class_name:"Shard" in
+    let t =
+      Core.Cluster.spawn cl ~node ~target:oid ~op:"initially"
+        ~args:[ V.Vint seed; V.Vint (Int32.of_int per_shard) ]
+    in
+    Core.Cluster.run cl;
+    ignore (Core.Cluster.result cl t);
+    oid
+  in
+  let s1 = mk_shard 1 17l in
+  let s2 = mk_shard 2 99l in
+  let s3 = mk_shard 3 4242l in
+  let tally = Core.Cluster.create_object cl ~node:0 ~class_name:"Tally" in
+  let tid =
+    Core.Cluster.spawn cl ~node:0 ~target:tally ~op:"run"
+      ~args:[ V.Vref s1; V.Vref s2; V.Vref s3 ]
+  in
+  let r = Core.Cluster.run_until_result cl tid in
+  for i = 0 to 3 do
+    let out = Core.Cluster.output cl ~node:i in
+    if out <> "" then Printf.printf "node %d (%s):\n%s" i (List.nth archs i).A.name out
+  done;
+  print_endline "";
+  (match r with
+  | Some (V.Vint total) ->
+    Printf.printf "histogram total: %ld (expected %d) — %s\n" total (3 * per_shard)
+      (if Int32.to_int total = 3 * per_shard then "every sample counted exactly once"
+       else "MISMATCH")
+  | _ -> print_endline "no result");
+  Printf.printf
+    "the 8-bucket histogram crossed SPARC -> VAX -> Sun-3 -> HP -> SPARC inside\n\
+     the thread's activation records; %d messages moved %d bytes in total.\n"
+    (Enet.Netsim.messages_sent (Core.Cluster.network cl))
+    (Enet.Netsim.bytes_sent (Core.Cluster.network cl))

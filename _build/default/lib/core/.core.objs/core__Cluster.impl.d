@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Emc Enet Ert Float Format Hashtbl Isa List Mobility Option Printf String

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Emc Enet Ert Isa Mobility

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Buffer Cluster Enet Ert Int32 Isa Printf Unix

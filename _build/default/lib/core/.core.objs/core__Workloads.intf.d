@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Cluster Enet Isa

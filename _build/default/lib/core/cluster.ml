@@ -1,0 +1,580 @@
+module K = Ert.Kernel
+module T = Ert.Thread
+module CS = Enet.Conversion_stats
+module CM = Mobility.Cost_model
+
+type protocol =
+  | Enhanced
+  | Original
+
+exception Heterogeneous_move_in_original_protocol
+
+type node = {
+  n_kernel : K.t;
+  n_conv : CS.t;
+  mutable n_crashed : bool;
+}
+
+(* an in-flight Emerald location search, owned by the asking node *)
+type search = {
+  s_asker : int;
+  mutable s_pending : Mobility.Marshal.message list;
+  mutable s_awaiting : int;  (* probe answers still outstanding *)
+}
+
+type t = {
+  nodes : node array;
+  net : Enet.Netsim.t;
+  repo : Mobility.Code_repository.t;
+  proto : protocol;
+  wire_impl : Enet.Wire.impl;
+  mutable events : int;
+  mutable trace : (string -> unit) option;
+  failures : (T.tid, string) Hashtbl.t;  (* threads lost to node crashes *)
+  searches : (Ert.Oid.t, search) Hashtbl.t;
+  gc_threshold : int option;  (* collect a node when its heap exceeds this *)
+  mutable pinned : Ert.Oid.t list;  (* harness-held references: GC roots *)
+  mutable collections : int;
+}
+
+let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive) ?quantum
+    ?gc_threshold ~archs () =
+  let n = List.length archs in
+  let net = Enet.Netsim.create ?config:net_config ~n_nodes:n () in
+  let repo = Mobility.Code_repository.create () in
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun i arch ->
+           let k = K.create ~node_id:i ~arch () in
+           K.set_on_code_load k (fun ~class_index ->
+               Mobility.Code_repository.record_fetch repo ~node:i ~class_index;
+               K.charge_insns k CM.code_fetch_insns);
+           K.set_quantum k quantum;
+           { n_kernel = k; n_conv = CS.create (); n_crashed = false })
+         archs)
+  in
+  { nodes; net; repo; proto = protocol; wire_impl; events = 0; trace = None;
+    failures = Hashtbl.create 4; searches = Hashtbl.create 4;
+    gc_threshold = gc_threshold; pinned = []; collections = 0 }
+
+let protocol t = t.proto
+let n_nodes t = Array.length t.nodes
+let kernel t i = t.nodes.(i).n_kernel
+let kernels t = Array.map (fun n -> n.n_kernel) t.nodes
+let arch_of t i = K.arch (kernel t i)
+let repository t = t.repo
+let network t = t.net
+let conversion_stats t i = t.nodes.(i).n_conv
+let set_trace t f = t.trace <- Some f
+
+let tracef t fmt =
+  Format.kasprintf
+    (fun m ->
+      match t.trace with
+      | Some f -> f m
+      | None -> ())
+    fmt
+
+let load_program t prog = Array.iter (fun n -> K.load_program n.n_kernel prog) t.nodes
+
+let compile_and_load ?optimize t ~name source =
+  let archs =
+    List.sort_uniq
+      (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id)
+      (Array.to_list (Array.map (fun n -> K.arch n.n_kernel) t.nodes))
+  in
+  let prog = Emc.Compile.compile_exn ?optimize ~name ~archs source in
+  load_program t prog;
+  prog
+
+let create_object t ~node ~class_name =
+  let k = kernel t node in
+  let prog = K.program k in
+  match Emc.Compile.find_class prog class_name with
+  | None -> invalid_arg (Printf.sprintf "Cluster.create_object: no class %s" class_name)
+  | Some cc ->
+    let addr = K.create_object k ~class_index:cc.Emc.Compile.cc_index in
+    ignore (K.start_process_if_any k ~target_addr:addr);
+    let oid = K.oid_at k addr in
+    (* harness-held references pin their objects against automatic GC *)
+    t.pinned <- oid :: t.pinned;
+    oid
+
+let where_is t oid =
+  let found = ref None in
+  Array.iteri
+    (fun i n ->
+      if !found = None && (not n.n_crashed) && K.find_object n.n_kernel oid <> None then
+        found := Some i)
+    t.nodes;
+  !found
+
+let spawn t ~node ~target ~op ~args =
+  let k = kernel t node in
+  match K.find_object k target with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Cluster.spawn: %s is not resident on node %d"
+         (Ert.Oid.to_string target) node)
+  | Some addr -> K.spawn_root k ~target_addr:addr ~method_name:op ~args
+
+(* ----------------------------------------------------------------------- *)
+(* node crashes (failure injection) *)
+
+exception Thread_unavailable of string
+
+let is_crashed t i = t.nodes.(i).n_crashed
+let thread_failure t tid = Hashtbl.find_opt t.failures tid
+
+(* abort every live segment of a thread: its continuation is gone *)
+let abort_thread t tid ~reason =
+  if not (Hashtbl.mem t.failures tid) then begin
+    Hashtbl.replace t.failures tid reason;
+    tracef t "thread %d unavailable: %s" tid reason;
+    Array.iter
+      (fun n ->
+        if not n.n_crashed then
+          List.iter
+            (fun (seg : T.segment) ->
+              if seg.T.seg_thread = tid then begin
+                seg.T.seg_status <- T.Dead;
+                K.unregister_segment n.n_kernel seg
+              end)
+            (K.segments n.n_kernel))
+      t.nodes
+  end
+
+(* a message could not be delivered: the sending thread's continuation is
+   lost with it *)
+let rec drop_message t (msg : Mobility.Marshal.message) ~reason =
+  match msg with
+  | Mobility.Marshal.M_invoke { thread; _ } -> abort_thread t thread ~reason
+  | Mobility.Marshal.M_reply { thread; _ } -> abort_thread t thread ~reason
+  | Mobility.Marshal.M_move payload ->
+    List.iter
+      (fun (s : Mobility.Mi_frame.mi_segment) ->
+        abort_thread t s.Mobility.Mi_frame.ms_thread ~reason)
+      payload.Mobility.Marshal.mp_segments
+  | Mobility.Marshal.M_locate { obj } ->
+    (* an unanswerable probe counts as a negative answer *)
+    search_negative t obj
+  | Mobility.Marshal.M_move_req _ | Mobility.Marshal.M_located _
+  | Mobility.Marshal.M_start_process _ -> ()
+
+and search_negative t obj =
+  match Hashtbl.find_opt t.searches obj with
+  | None -> ()
+  | Some s ->
+    s.s_awaiting <- s.s_awaiting - 1;
+    if s.s_awaiting <= 0 then begin
+      Hashtbl.remove t.searches obj;
+      tracef t "search for %s: not found anywhere" (Ert.Oid.to_string obj);
+      List.iter
+        (fun msg ->
+          drop_message t msg
+            ~reason:
+              (Printf.sprintf "object %s cannot be located" (Ert.Oid.to_string obj)))
+        s.s_pending
+    end
+
+let crash_node t i =
+  let victim = t.nodes.(i) in
+  if not victim.n_crashed then begin
+    tracef t "node %d crashes" i;
+    (* a thread whose ACTIVE segment (ready, running or blocked on a local
+       monitor) dies with the node can never make progress: abort its
+       remnants now.  A thread that merely had a dormant awaiting segment
+       here keeps computing wherever its top segment lives — co-location
+       pays off — and is aborted only when its return is eventually
+       dropped at this dead node. *)
+    let lost_threads =
+      List.filter_map
+        (fun (s : T.segment) ->
+          match s.T.seg_status with
+          | T.Ready _ | T.Running | T.Blocked_monitor _ -> Some s.T.seg_thread
+          | T.Awaiting_reply _ | T.Dead -> None)
+        (K.segments victim.n_kernel)
+      |> List.sort_uniq compare
+    in
+    victim.n_crashed <- true;
+    List.iter
+      (fun tid -> abort_thread t tid ~reason:(Printf.sprintf "node %d crashed" i))
+      lost_threads;
+    (* searches owned by the dead node die with it; their pending
+       invocations can never be routed *)
+    let orphaned =
+      Hashtbl.fold
+        (fun obj s acc -> if s.s_asker = i then (obj, s) :: acc else acc)
+        t.searches []
+    in
+    List.iter
+      (fun (obj, s) ->
+        Hashtbl.remove t.searches obj;
+        List.iter
+          (fun msg -> drop_message t msg ~reason:(Printf.sprintf "node %d crashed" i))
+          s.s_pending)
+      orphaned
+  end
+
+(* ----------------------------------------------------------------------- *)
+(* message transmission with conversion accounting *)
+
+let payload_shape (msg : Mobility.Marshal.message) =
+  match msg with
+  | Mobility.Marshal.M_move p ->
+    let frames =
+      List.fold_left
+        (fun acc s -> acc + Mobility.Mi_frame.frame_count s)
+        0 p.Mobility.Marshal.mp_segments
+    in
+    (List.length p.Mobility.Marshal.mp_objects, frames)
+  | Mobility.Marshal.M_invoke _ | Mobility.Marshal.M_reply _
+  | Mobility.Marshal.M_move_req _ | Mobility.Marshal.M_locate _
+  | Mobility.Marshal.M_located _ | Mobility.Marshal.M_start_process _ -> (0, 0)
+
+let check_protocol t ~src ~dst (msg : Mobility.Marshal.message) =
+  match t.proto, msg with
+  | Original, Mobility.Marshal.M_move _
+    when not
+           (Isa.Arch.equal_family (arch_of t src).Isa.Arch.family
+              (arch_of t dst).Isa.Arch.family) ->
+    (* the homogeneous system has no machine-independent format to go
+       through: it works only between machines running the same object
+       code (the two HP9000/300s of the paper qualify) *)
+    raise Heterogeneous_move_in_original_protocol
+  | (Original | Enhanced), _ -> ()
+
+(* charge the conversion (or raw copy) work performed while encoding or
+   decoding [bytes] of network data *)
+let charge_conversion t ~node ~calls ~bytes =
+  let k = t.nodes.(node).n_kernel in
+  match t.proto with
+  | Enhanced -> K.charge_insns k (calls * CM.per_conversion_call_insns)
+  | Original -> K.charge_insns k (bytes * CM.original_copy_insns_per_byte)
+
+let charge_translation t ~node (msg : Mobility.Marshal.message) =
+  match t.proto with
+  | Original -> ()
+  | Enhanced ->
+    let objects, frames = payload_shape msg in
+    let k = t.nodes.(node).n_kernel in
+    K.charge_insns k
+      ((objects * CM.object_translate_insns) + (frames * CM.frame_translate_insns))
+
+let wire_impl_of t =
+  match t.proto with
+  | Enhanced -> t.wire_impl
+  | Original -> Enet.Wire.Optimized
+
+let send_message t ~src (s : Mobility.Move.send) =
+  let dst = s.Mobility.Move.snd_dest in
+  let msg = s.Mobility.Move.snd_msg in
+  if t.nodes.(dst).n_crashed then begin
+    tracef t "node %d -> node %d: %s LOST (destination down)" src dst
+      (Mobility.Marshal.describe msg);
+    drop_message t msg ~reason:(Printf.sprintf "node %d is down" dst)
+  end
+  else begin
+  check_protocol t ~src ~dst msg;
+  let k = t.nodes.(src).n_kernel in
+  K.charge_us k CM.protocol_fixed_us;
+  K.charge_insns k CM.protocol_send_insns;
+  charge_translation t ~node:src msg;
+  let stats = t.nodes.(src).n_conv in
+  let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
+  let payload = Mobility.Marshal.encode ~impl:(wire_impl_of t) ~stats msg in
+  charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
+    ~bytes:(CS.bytes stats - bytes0);
+  let arrival =
+    Enet.Netsim.send t.net ~now_us:(K.time_us k) ~src ~dst ~payload
+  in
+  tracef t "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)" (K.time_us k) src
+    dst
+    (Mobility.Marshal.describe msg)
+    (String.length payload) arrival
+  end
+
+(* Emerald's broadcast location search: probe every live node; park the
+   unroutable message until an answer arrives *)
+let start_search t ~asker obj msg =
+  match Hashtbl.find_opt t.searches obj with
+  | Some s -> s.s_pending <- msg :: s.s_pending
+  | None ->
+    let others = ref [] in
+    Array.iteri
+      (fun i n -> if i <> asker && not n.n_crashed then others := i :: !others)
+      t.nodes;
+    (match !others with
+    | [] ->
+      drop_message t msg
+        ~reason:(Printf.sprintf "object %s cannot be located" (Ert.Oid.to_string obj))
+    | probes ->
+      tracef t "node %d searches for %s (%d probes)" asker (Ert.Oid.to_string obj)
+        (List.length probes);
+      Hashtbl.replace t.searches obj
+        { s_asker = asker; s_pending = [ msg ]; s_awaiting = List.length probes };
+      List.iter
+        (fun i ->
+          send_message t ~src:asker
+            { Mobility.Move.snd_dest = i; snd_msg = Mobility.Marshal.M_locate { obj } })
+        probes)
+
+(* under preemptive scheduling, segments may sit between bus stops; run
+   them forward to well-defined states before any migration capture *)
+let rec quiesce_node t i =
+  let k = t.nodes.(i).n_kernel in
+  if K.quantum k <> None then
+    List.iter
+      (fun seg ->
+        if not (K.at_stop k seg) then
+          List.iter (handle_outcall t ~src:i) (K.advance_to_stop k seg))
+      (K.segments k)
+
+and handle_outcall t ~src (oc : K.outcall) =
+  let k = t.nodes.(src).n_kernel in
+  let sends =
+    match oc with
+    | K.Oc_invoke { seg; target_oid; hint_node; callee_class; callee_method; args; stop_id = _ } ->
+      K.charge_insns k CM.invoke_dispatch_insns;
+      Mobility.Rpc.initiate_invoke ~k ~target_oid ~hint_node ~callee_class
+        ~callee_method ~args ~caller_seg:seg.T.seg_id ~thread:seg.T.seg_thread
+    | K.Oc_move { seg; obj_addr; dest_node } ->
+      tracef t "t=%.0fus node %d: move %s to node %d" (K.time_us k) src
+        (Ert.Oid.to_string (K.oid_at k obj_addr))
+        dest_node;
+      quiesce_node t src;
+      Mobility.Move.initiate ~k ~mover:seg ~obj_addr ~dest:dest_node
+    | K.Oc_return { link; value; thread } ->
+      if link.T.ln_node = src then begin
+        (* same-node segment chain: deliver directly *)
+        match K.find_segment k link.T.ln_seg with
+        | Some seg ->
+          K.deliver_result k seg value;
+          []
+        | None -> Mobility.Rpc.handle_reply ~k ~to_seg:link.T.ln_seg ~value ~thread
+      end
+      else [ Mobility.Rpc.initiate_return ~link ~value ~thread ]
+    | K.Oc_start_process { target_oid; hint_node } ->
+      let dest = if hint_node = src then Option.value (Ert.Oid.creator_node target_oid) ~default:0 else hint_node in
+      [
+        {
+          Mobility.Move.snd_dest = dest;
+          snd_msg = Mobility.Marshal.M_start_process { obj = target_oid; forwards = 0 };
+        };
+      ]
+  in
+  List.iter (send_message t ~src) sends
+
+let deliver t ~dst (m : Enet.Netsim.message) =
+  let k = t.nodes.(dst).n_kernel in
+  K.set_time_us k m.Enet.Netsim.msg_arrives_at;
+  K.charge_us k CM.protocol_fixed_us;
+  K.charge_insns k CM.protocol_recv_insns;
+  let stats = t.nodes.(dst).n_conv in
+  let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
+  let msg =
+    Mobility.Marshal.decode ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload
+  in
+  charge_conversion t ~node:dst ~calls:(CS.calls stats - calls0)
+    ~bytes:(CS.bytes stats - bytes0);
+  charge_translation t ~node:dst msg;
+  tracef t "t=%.0fus node %d receives: %s" (K.time_us k) dst
+    (Mobility.Marshal.describe msg);
+  let sends =
+    match msg with
+    | Mobility.Marshal.M_invoke
+        { target; callee_class; callee_method; args; reply; thread; forwards } -> (
+      K.charge_insns k CM.invoke_dispatch_insns;
+      match
+        Mobility.Rpc.handle_invoke ~k ~target ~callee_class ~callee_method ~args ~reply
+          ~thread ~forwards
+      with
+      | Mobility.Rpc.Routed sends -> sends
+      | Mobility.Rpc.Unlocated msg ->
+        start_search t ~asker:dst target msg;
+        [])
+    | Mobility.Marshal.M_reply { to_seg; value; thread } ->
+      Mobility.Rpc.handle_reply ~k ~to_seg ~value ~thread
+    | Mobility.Marshal.M_move_req { obj; dest; forwards } ->
+      quiesce_node t dst;
+      Mobility.Move.handle_move_req ~k ~obj ~dest ~forwards
+    | Mobility.Marshal.M_move payload ->
+      Mobility.Move.apply_move k payload;
+      let frames =
+        List.fold_left
+          (fun acc s -> acc + Mobility.Mi_frame.frame_count s)
+          0 payload.Mobility.Marshal.mp_segments
+      in
+      K.charge_insns k (frames * CM.relocation_insns_per_frame);
+      []
+    | Mobility.Marshal.M_start_process { obj; forwards } -> (
+      match K.find_object k obj with
+      | Some addr ->
+        ignore (K.start_process_if_any k ~target_addr:addr);
+        []
+      | None -> (
+        let msg = Mobility.Marshal.M_start_process { obj; forwards = forwards + 1 } in
+        let hop =
+          if forwards >= 4 then None
+          else
+            Option.map (fun addr -> K.proxy_hint k addr) (K.proxy_of k obj)
+        in
+        match hop with
+        | Some node when node <> dst ->
+          [ { Mobility.Move.snd_dest = node; snd_msg = msg } ]
+        | Some _ | None ->
+          start_search t ~asker:dst obj msg;
+          []))
+    | Mobility.Marshal.M_locate { obj } ->
+      let found = K.find_object k obj <> None in
+      [
+        {
+          Mobility.Move.snd_dest = m.Enet.Netsim.msg_src;
+          snd_msg = Mobility.Marshal.M_located { obj; found };
+        };
+      ]
+    | Mobility.Marshal.M_located { obj; found } -> (
+      match Hashtbl.find_opt t.searches obj with
+      | None -> [] (* a late or duplicate answer *)
+      | Some s ->
+        if found then begin
+          let host = m.Enet.Netsim.msg_src in
+          Hashtbl.remove t.searches obj;
+          tracef t "search for %s: found on node %d" (Ert.Oid.to_string obj) host;
+          (* refresh the local forwarding hint *)
+          let addr = K.ensure_ref k obj in
+          K.set_proxy_hint k ~addr ~node:host;
+          List.map
+            (fun msg -> { Mobility.Move.snd_dest = host; snd_msg = msg })
+            s.s_pending
+        end
+        else begin
+          search_negative t obj;
+          []
+        end)
+  in
+  List.iter (send_message t ~src:dst) sends
+
+(* ----------------------------------------------------------------------- *)
+(* the discrete-event loop *)
+
+type event =
+  | E_deliver of int * float
+  | E_step of int * float
+
+let next_event t =
+  let best = ref None in
+  let better time =
+    match !best with
+    | None -> true
+    | Some (E_deliver (_, bt) | E_step (_, bt)) -> time < bt
+  in
+  (* message deliveries first on ties (lower effective time wins) *)
+  Array.iteri
+    (fun i n ->
+      match Enet.Netsim.next_arrival_at t.net ~dst:i with
+      | Some arrival ->
+        (* packets addressed to a dead interface still need draining *)
+        let eff = Float.max arrival (K.time_us n.n_kernel) in
+        if better eff then best := Some (E_deliver (i, eff))
+      | None -> ())
+    t.nodes;
+  Array.iteri
+    (fun i n ->
+      if (not n.n_crashed) && K.has_ready n.n_kernel then begin
+        let time = K.time_us n.n_kernel in
+        if better time then best := Some (E_step (i, time))
+      end)
+    t.nodes;
+  !best
+
+(* automatic collection: between events every segment is parked at a bus
+   stop, so the templates identify every pointer *)
+let maybe_collect t i =
+  match t.gc_threshold with
+  | None -> ()
+  | Some threshold ->
+    let k = t.nodes.(i).n_kernel in
+    if Ert.Heap.live_bytes (K.heap k) > threshold then begin
+      let stats = Ert.Gc.collect ~extra_roots:t.pinned k in
+      t.collections <- t.collections + 1;
+      K.charge_insns k (2000 + (stats.Ert.Gc.gc_live * 40));
+      tracef t "t=%.0fus node %d: gc swept %d block(s), %d bytes" (K.time_us k) i
+        stats.Ert.Gc.gc_swept stats.Ert.Gc.gc_bytes_freed
+    end
+
+let step_once t =
+  match next_event t with
+  | None -> false
+  | Some (E_deliver (i, eff)) ->
+    t.events <- t.events + 1;
+    (match Enet.Netsim.receive t.net ~dst:i ~now_us:eff with
+    | Some m when t.nodes.(i).n_crashed ->
+      let stats = CS.create () in
+      let msg =
+        Mobility.Marshal.decode ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload
+      in
+      tracef t "node %d (down) loses: %s" i (Mobility.Marshal.describe msg);
+      drop_message t msg ~reason:(Printf.sprintf "node %d is down" i)
+    | Some m -> deliver t ~dst:i m
+    | None -> ());
+    true
+  | Some (E_step (i, _)) ->
+    t.events <- t.events + 1;
+    let outs = K.step t.nodes.(i).n_kernel in
+    List.iter (handle_outcall t ~src:i) outs;
+    maybe_collect t i;
+    true
+
+let run ?(max_events = 2_000_000) t =
+  let budget = ref max_events in
+  while step_once t do
+    decr budget;
+    if !budget <= 0 then failwith "Cluster.run: event budget exceeded (livelock?)"
+  done
+
+(* checkpointing: quiesce first so every segment is parked at a stop *)
+let checkpoint_thread t ~node tid =
+  quiesce_node t node;
+  Mobility.Checkpoint.suspend t.nodes.(node).n_kernel ~thread:tid
+
+let restore_thread t ~node image =
+  Mobility.Checkpoint.restore t.nodes.(node).n_kernel image
+
+let result t tid =
+  let found = ref None in
+  Array.iter
+    (fun n ->
+      match K.root_result n.n_kernel tid with
+      | Some r -> found := Some r
+      | None -> ())
+    t.nodes;
+  !found
+
+let run_until_result ?(max_events = 2_000_000) t tid =
+  let budget = ref max_events in
+  let rec go () =
+    match result t tid with
+    | Some r -> r
+    | None when Hashtbl.mem t.failures tid ->
+      raise (Thread_unavailable (Hashtbl.find t.failures tid))
+    | None ->
+      if not (step_once t) then
+        failwith "Cluster.run_until_result: cluster quiescent without a result";
+      decr budget;
+      if !budget <= 0 then failwith "Cluster.run_until_result: event budget exceeded";
+      go ()
+  in
+  go ()
+
+let global_time_us t =
+  Array.fold_left (fun acc n -> Float.max acc (K.time_us n.n_kernel)) 0.0 t.nodes
+
+let output t ~node = K.output (kernel t node)
+
+let outputs t =
+  String.concat "" (Array.to_list (Array.map (fun n -> K.output n.n_kernel) t.nodes))
+
+let events_processed t = t.events
+let collections t = t.collections

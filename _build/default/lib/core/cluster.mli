@@ -1,0 +1,101 @@
+(** A simulated network of heterogeneous workstations (Figure 1).
+
+    One kernel per node, connected by the simulated Ethernet, with the
+    mobility protocols glued in.  Execution is a deterministic
+    discrete-event simulation over virtual time: the node (or message
+    delivery) with the smallest virtual timestamp runs next, so results
+    and timings are reproducible. *)
+
+type protocol =
+  | Enhanced  (** the paper's heterogeneous system: machine-independent
+                  conversion on every transfer *)
+  | Original
+      (** the original homogeneous system: raw copying, no format
+          conversion — and migration between unlike architectures is
+          refused, as it must be *)
+
+exception Heterogeneous_move_in_original_protocol
+
+exception Thread_unavailable of string
+(** A thread's continuation was lost to a node crash. *)
+
+type t
+
+val create :
+  ?net_config:Enet.Netsim.config ->
+  ?protocol:protocol ->
+  ?wire_impl:Enet.Wire.impl ->
+  ?quantum:int ->
+  ?gc_threshold:int ->
+  archs:Isa.Arch.t list ->
+  unit ->
+  t
+(** [quantum] switches every node to preemptive (Trellis/Owl-style)
+    scheduling with the given instruction quantum; threads are then run
+    forward to their next bus stop before any migration capture
+    (section 2.2.1).  Default: the Emerald discipline — control transfers
+    only at bus stops. *)
+
+val protocol : t -> protocol
+val n_nodes : t -> int
+val kernel : t -> int -> Ert.Kernel.t
+val kernels : t -> Ert.Kernel.t array
+val arch_of : t -> int -> Isa.Arch.t
+val repository : t -> Mobility.Code_repository.t
+val network : t -> Enet.Netsim.t
+val conversion_stats : t -> int -> Enet.Conversion_stats.t
+val set_trace : t -> (string -> unit) -> unit
+
+val load_program : t -> Emc.Compile.program -> unit
+(** Register the compiled program with every node (and the repository). *)
+
+val compile_and_load : ?optimize:bool -> t -> name:string -> string -> Emc.Compile.program
+(** Compile the source once for every architecture present and load it. *)
+
+val create_object : t -> node:int -> class_name:string -> Ert.Oid.t
+val where_is : t -> Ert.Oid.t -> int option
+
+val spawn : t -> node:int -> target:Ert.Oid.t -> op:string -> args:Ert.Value.t list -> Ert.Thread.tid
+
+val step_once : t -> bool
+(** Process the next event; [false] when the cluster is quiescent. *)
+
+val run : ?max_events:int -> t -> unit
+(** Run to quiescence.  @raise Failure if [max_events] is exceeded. *)
+
+val run_until_result : ?max_events:int -> t -> Ert.Thread.tid -> Ert.Value.t option
+(** Run until the given root thread finishes (wherever it finishes);
+    returns its result. *)
+
+val result : t -> Ert.Thread.tid -> Ert.Value.t option option
+
+val checkpoint_thread : t -> node:int -> Ert.Thread.tid -> string
+(** Suspend a thread resident on [node] into a machine-independent image:
+    quiesces the node (preemptive mode), captures every segment through
+    the bus-stop templates, and removes them.  See {!Mobility.Checkpoint}.
+    @raise Mobility.Checkpoint.Not_checkpointable per its restrictions. *)
+
+val restore_thread : t -> node:int -> string -> unit
+(** Rebuild a checkpointed thread as native stacks on [node] — any
+    architecture — and reschedule it.  The thread's objects must reside
+    there. *)
+
+val crash_node : t -> int -> unit
+(** Fail-stop the node: its objects, code and thread segments are lost;
+    packets to it are dropped.  Threads whose call chains passed through
+    it become unavailable; threads entirely elsewhere keep running —
+    Emerald's design goal of minimising residual dependencies. *)
+
+val is_crashed : t -> int -> bool
+val thread_failure : t -> Ert.Thread.tid -> string option
+val global_time_us : t -> float
+(** Maximum virtual time across nodes. *)
+
+val output : t -> node:int -> string
+val outputs : t -> string
+(** All nodes' console output concatenated in node order. *)
+
+val events_processed : t -> int
+
+val collections : t -> int
+(** Automatic collections performed (with [gc_threshold]). *)

@@ -1,0 +1,181 @@
+let table1_src =
+  {|
+// The Table 1 workload: the moved fragment carries 13 variables
+// (dest, iters, home, t0, i, v1..v8), as in the paper's measurement.
+object Agent
+  operation trip[dest : int, iters : int] -> [r : int]
+    var home : int <- thisnode
+    var v1 : int <- 1
+    var v2 : int <- 2
+    var v3 : int <- 3
+    var v4 : int <- 4
+    var v5 : int <- 5
+    var v6 : int <- 6
+    var v7 : int <- 7
+    var v8 : int <- 8
+    var t0 : int <- timenow
+    var i : int <- 0
+    loop
+      exit when i >= iters
+      i <- i + 1
+      move self to dest
+      move self to home
+    end loop
+    var t1 : int <- timenow
+    r <- (t1 - t0) / iters + (v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8) * 0
+  end trip
+end Agent
+|}
+
+let intranode_src =
+  {|
+object Adder
+  operation add[a : int, b : int] -> [r : int]
+    r <- a + b
+  end add
+end Adder
+
+object Agent
+  operation work[n : int, where : int] -> [r : int]
+    move self to where
+    var a : Adder <- new Adder
+    var t0 : int <- timenow
+    var i : int <- 0
+    var sum : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+      sum <- a.add[sum, i] * 3 / 3 - i + i
+    end loop
+    var t1 : int <- timenow
+    r <- t1 - t0
+  end work
+end Agent
+|}
+
+let fig2_src =
+  {|
+object Fib
+  operation fib[n : int] -> [r : int]
+    if n < 2 then
+      r <- n
+    else
+      r <- self.fib[n - 1] + self.fib[n - 2]
+    end if
+  end fib
+end Fib
+
+object Main
+  operation start[n : int] -> [r : int]
+    var f : Fib <- new Fib
+    var acc : int <- 0
+    var i : int <- 0
+    loop
+      exit when i >= 50
+      i <- i + 1
+      acc <- acc + i * i - (i - 1) * (i + 1)
+    end loop
+    r <- f.fib[n] + acc - 50
+  end start
+end Main
+|}
+
+(* the Table 1 program with a configurable fragment size: [n_vars] live
+   integer variables carried across every move (plus dest/iters/home/t0/i,
+   which are live too) *)
+let table1_src_sized ~n_vars =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "object Agent\n  operation trip[dest : int, iters : int] -> [r : int]\n";
+  Buffer.add_string buf "    var home : int <- thisnode\n";
+  for i = 1 to n_vars do
+    Buffer.add_string buf (Printf.sprintf "    var v%d : int <- %d\n" i i)
+  done;
+  Buffer.add_string buf
+    "    var t0 : int <- timenow\n\
+    \    var i : int <- 0\n\
+    \    loop\n\
+    \      exit when i >= iters\n\
+    \      i <- i + 1\n\
+    \      move self to dest\n\
+    \      move self to home\n\
+    \    end loop\n\
+    \    var t1 : int <- timenow\n\
+    \    r <- (t1 - t0) / iters";
+  for i = 1 to n_vars do
+    Buffer.add_string buf (Printf.sprintf " + v%d * 0" i)
+  done;
+  Buffer.add_string buf "\n  end trip\nend Agent\n";
+  Buffer.contents buf
+
+type roundtrip = {
+  rt_us_per_trip : float;
+  rt_bytes_sent : int;
+  rt_messages : int;
+  rt_conversion_calls : int;
+  rt_host_seconds : float;
+}
+
+let measure_roundtrip ?protocol ?wire_impl ?n_vars ~home ~dest ~iters () =
+  let t_start = Unix.gettimeofday () in
+  let cl = Cluster.create ?protocol ?wire_impl ~archs:[ home; dest ] () in
+  let source =
+    match n_vars with
+    | None -> table1_src
+    | Some n -> table1_src_sized ~n_vars:n
+  in
+  ignore (Cluster.compile_and_load cl ~name:"table1" source);
+  let agent = Cluster.create_object cl ~node:0 ~class_name:"Agent" in
+  let tid =
+    Cluster.spawn cl ~node:0 ~target:agent ~op:"trip"
+      ~args:[ Ert.Value.Vint 1l; Ert.Value.Vint (Int32.of_int iters) ]
+  in
+  let result = Cluster.run_until_result cl tid in
+  let us =
+    match result with
+    | Some (Ert.Value.Vint v) -> Int32.to_float v
+    | _ -> failwith "table1 workload did not return a time"
+  in
+  let conv =
+    Enet.Conversion_stats.calls (Cluster.conversion_stats cl 0)
+    + Enet.Conversion_stats.calls (Cluster.conversion_stats cl 1)
+  in
+  {
+    rt_us_per_trip = us;
+    rt_bytes_sent = Enet.Netsim.bytes_sent (Cluster.network cl);
+    rt_messages = Enet.Netsim.messages_sent (Cluster.network cl);
+    rt_conversion_calls = conv;
+    rt_host_seconds = Unix.gettimeofday () -. t_start;
+  }
+
+type intranode = {
+  in_result : int;
+  in_virtual_us : float;
+  in_insns : int;
+  in_host_seconds : float;
+}
+
+let measure_intranode ?optimize ~arch ~migrated ~n () =
+  let t_start = Unix.gettimeofday () in
+  (* node 1 is the measured machine; node 0 only launches when migrating *)
+  let cl = Cluster.create ~archs:[ Isa.Arch.sparc; arch ] () in
+  ignore (Cluster.compile_and_load ?optimize cl ~name:"intranode" intranode_src);
+  let start_node = if migrated then 0 else 1 in
+  let agent = Cluster.create_object cl ~node:start_node ~class_name:"Agent" in
+  let k1 = Cluster.kernel cl 1 in
+  let insns_before = Ert.Kernel.insns_executed k1 in
+  let tid =
+    Cluster.spawn cl ~node:start_node ~target:agent ~op:"work"
+      ~args:[ Ert.Value.Vint (Int32.of_int n); Ert.Value.Vint 1l ]
+  in
+  let result = Cluster.run_until_result cl tid in
+  let us =
+    match result with
+    | Some (Ert.Value.Vint v) -> Int32.to_float v
+    | _ -> failwith "intranode workload did not return a time"
+  in
+  {
+    in_result = int_of_float us;
+    in_virtual_us = us;
+    in_insns = Ert.Kernel.insns_executed k1 - insns_before;
+    in_host_seconds = Unix.gettimeofday () -. t_start;
+  }

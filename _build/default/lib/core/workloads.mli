@@ -1,0 +1,55 @@
+(** Benchmark workloads: the programs behind every reproduced table and
+    figure (see DESIGN.md's per-experiment index). *)
+
+val table1_src : string
+(** The Table 1 workload: a small thread (13 variables in the moved
+    fragment) that measures, with the virtual clock, the cost of moving
+    itself to another node and back ([X -> Y -> X], two moves per
+    iteration). *)
+
+val intranode_src : string
+(** The section 3.6 intra-node workload: an invocation- and
+    arithmetic-heavy loop, used to check that a node runs migrated threads
+    at exactly native speed. *)
+
+val fig2_src : string
+(** The Figure 2 workload: a pure computation run at all three levels of
+    the thread-state specialization hierarchy. *)
+
+type roundtrip = {
+  rt_us_per_trip : float;  (** virtual microseconds per X->Y->X round trip *)
+  rt_bytes_sent : int;
+  rt_messages : int;
+  rt_conversion_calls : int;
+  rt_host_seconds : float;  (** wall time spent simulating *)
+}
+
+val table1_src_sized : n_vars:int -> string
+(** The Table 1 workload with a configurable number of live integer
+    variables in the moved fragment (the paper's thread carried 13). *)
+
+val measure_roundtrip :
+  ?protocol:Cluster.protocol ->
+  ?wire_impl:Enet.Wire.impl ->
+  ?n_vars:int ->
+  home:Isa.Arch.t ->
+  dest:Isa.Arch.t ->
+  iters:int ->
+  unit ->
+  roundtrip
+(** Build a two-node cluster, run the Table 1 workload, and report the
+    per-round-trip cost from the program's own virtual-clock measurement. *)
+
+type intranode = {
+  in_result : int;
+  in_virtual_us : float;
+  in_insns : int;
+  in_host_seconds : float;
+}
+
+val measure_intranode :
+  ?optimize:bool -> arch:Isa.Arch.t -> migrated:bool -> n:int -> unit -> intranode
+(** Run the intra-node loop on a node of the given architecture; with
+    [migrated] the thread first migrates in from another node, so the
+    measurement shows whether arriving threads run any slower (they must
+    not). *)

@@ -1,0 +1,1 @@
+lib/emc/ast.ml: Format String

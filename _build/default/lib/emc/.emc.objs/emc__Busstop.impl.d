@@ -1,0 +1,1 @@
+lib/emc/busstop.ml: Array Format Hashtbl Ir Printf

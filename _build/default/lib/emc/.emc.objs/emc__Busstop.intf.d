@@ -1,0 +1,1 @@
+lib/emc/busstop.mli: Format Hashtbl Ir

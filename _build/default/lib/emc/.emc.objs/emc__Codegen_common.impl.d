@@ -1,0 +1,1 @@
+lib/emc/codegen_common.ml: Array Busstop Fun Hashtbl Int32 Ir Isa Layout List Option Peephole Printf Sysno Template

@@ -1,0 +1,1 @@
+lib/emc/codegen_common.mli: Busstop Ir Isa Template

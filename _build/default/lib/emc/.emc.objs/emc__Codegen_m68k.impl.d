@@ -1,0 +1,1 @@
+lib/emc/codegen_m68k.ml: Array Codegen_common Int32 Ir Isa Layout List Sysno

@@ -1,0 +1,1 @@
+lib/emc/codegen_m68k.mli: Busstop Codegen_common Ir Isa Template

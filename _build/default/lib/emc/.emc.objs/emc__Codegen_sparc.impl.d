@@ -1,0 +1,1 @@
+lib/emc/codegen_sparc.ml: Array Codegen_common Int32 Ir Isa Layout List Sysno

@@ -1,0 +1,1 @@
+lib/emc/codegen_sparc.mli: Busstop Codegen_common Ir Isa Template

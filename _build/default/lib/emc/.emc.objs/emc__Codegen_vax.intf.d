@@ -1,0 +1,1 @@
+lib/emc/codegen_vax.mli: Busstop Codegen_common Ir Isa Template

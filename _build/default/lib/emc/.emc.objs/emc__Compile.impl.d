@@ -1,0 +1,1 @@
+lib/emc/compile.ml: Array Busstop Codegen_m68k Codegen_sparc Codegen_vax Diag Ir Isa List Lower Parser Printf Program_db Slot_alloc String Template Typecheck

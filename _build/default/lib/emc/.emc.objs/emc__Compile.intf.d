@@ -1,0 +1,1 @@
+lib/emc/compile.mli: Busstop Diag Ir Isa Program_db Template

@@ -1,0 +1,1 @@
+lib/emc/diag.ml: Ast Format List String

@@ -1,0 +1,1 @@
+lib/emc/diag.mli: Ast Format

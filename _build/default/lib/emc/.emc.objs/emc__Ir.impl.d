@@ -1,0 +1,1 @@
+lib/emc/ir.ml: Array Ast Isa Printf

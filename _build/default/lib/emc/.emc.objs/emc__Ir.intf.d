@@ -1,0 +1,1 @@
+lib/emc/ir.mli: Ast Isa

@@ -1,0 +1,1 @@
+lib/emc/layout.ml: Ast

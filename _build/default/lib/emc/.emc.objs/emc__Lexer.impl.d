@@ -1,0 +1,1 @@
+lib/emc/lexer.ml: Ast Buffer Diag Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/emc/lexer.mli: Ast

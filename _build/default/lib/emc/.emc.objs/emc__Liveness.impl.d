@@ -1,0 +1,1 @@
+lib/emc/liveness.ml: Array Fun Hashtbl Int Ir List Option Set

@@ -1,0 +1,1 @@
+lib/emc/liveness.mli: Hashtbl Ir Set

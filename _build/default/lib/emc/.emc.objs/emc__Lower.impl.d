@@ -1,0 +1,1 @@
+lib/emc/lower.ml: Array Ast Hashtbl Int32 Ir Isa Layout List Option String Typecheck

@@ -1,0 +1,1 @@
+lib/emc/lower.mli: Ir Typecheck

@@ -1,0 +1,1 @@
+lib/emc/parser.ml: Ast Diag Lexer List String

@@ -1,0 +1,1 @@
+lib/emc/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/emc/peephole.ml: Array Isa List

@@ -1,0 +1,1 @@
+lib/emc/pretty.ml: Array Ast Format Ir Isa List Printf String

@@ -1,0 +1,1 @@
+lib/emc/pretty.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/emc/program_db.ml: Char Hashtbl Int32 Option String

@@ -1,0 +1,1 @@
+lib/emc/program_db.mli:

@@ -1,0 +1,1 @@
+lib/emc/slot_alloc.ml: Array Hashtbl Ir List Liveness Option Template

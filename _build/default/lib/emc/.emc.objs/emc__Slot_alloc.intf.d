@@ -1,0 +1,1 @@
+lib/emc/slot_alloc.mli: Ir Template

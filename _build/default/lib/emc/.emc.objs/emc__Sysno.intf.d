@@ -1,0 +1,1 @@
+lib/emc/sysno.mli: Ir

@@ -1,0 +1,1 @@
+lib/emc/template.ml: Array Ast Format Ir Printf

@@ -1,0 +1,1 @@
+lib/emc/template.mli: Ast Format Ir

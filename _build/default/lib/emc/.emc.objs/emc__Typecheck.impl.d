@@ -1,0 +1,1 @@
+lib/emc/typecheck.ml: Array Ast Diag Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/emc/typecheck.mli: Ast

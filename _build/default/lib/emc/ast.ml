@@ -1,0 +1,140 @@
+type pos = {
+  line : int;
+  col : int;
+}
+
+type typ =
+  | Tint
+  | Treal
+  | Tbool
+  | Tstring
+  | Tobj of string
+  | Tvec of typ
+  | Tnil
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band
+  | Bor
+
+type unop =
+  | Uneg
+  | Unot
+
+type expr = {
+  e_pos : pos;
+  e_desc : expr_desc;
+}
+
+and expr_desc =
+  | Eint of int32
+  | Ereal of float
+  | Ebool of bool
+  | Estr of string
+  | Enil
+  | Evar of string
+  | Eself
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Einvoke of expr * string * expr list
+  | Enew of string * expr list
+  | Evec_new of typ * expr
+  | Eindex of expr * expr
+  | Elocate of expr
+  | Ethisnode
+  | Etimenow
+
+type stmt = {
+  s_pos : pos;
+  s_desc : stmt_desc;
+}
+
+and stmt_desc =
+  | Svar of string * typ * expr
+  | Sassign of string * expr
+  | Sindex_assign of expr * expr * expr
+  | Sexpr of expr
+  | Sif of (expr * stmt list) list * stmt list
+  | Sloop of stmt list
+  | Sexit of expr option
+  | Swhile of expr * stmt list
+  | Sreturn
+  | Smove of expr * expr
+  | Sprint of expr list
+  | Swait of string
+  | Ssignal of string
+
+type op_decl = {
+  op_pos : pos;
+  op_name : string;
+  op_monitored : bool;
+  op_params : (string * typ) list;
+  op_results : (string * typ) list;
+  op_body : stmt list;
+}
+
+type field_decl = {
+  f_pos : pos;
+  f_name : string;
+  f_type : typ;
+  f_attached : bool;
+  f_init : expr;
+}
+
+type class_decl = {
+  c_pos : pos;
+  c_name : string;
+  c_fields : field_decl list;
+  c_ops : op_decl list;
+  c_conditions : (pos * string) list;
+  c_process : stmt list option;
+}
+
+type program = {
+  prog_classes : class_decl list;
+}
+
+let rec typ_equal a b =
+  match a, b with
+  | Tint, Tint | Treal, Treal | Tbool, Tbool | Tstring, Tstring | Tnil, Tnil -> true
+  | Tobj x, Tobj y -> String.equal x y
+  | Tvec x, Tvec y -> typ_equal x y
+  | (Tint | Treal | Tbool | Tstring | Tobj _ | Tvec _ | Tnil), _ -> false
+
+let rec typ_name = function
+  | Tint -> "int"
+  | Treal -> "real"
+  | Tbool -> "bool"
+  | Tstring -> "string"
+  | Tobj c -> c
+  | Tvec t -> "vector of " ^ typ_name t
+  | Tnil -> "nil"
+
+let pp_typ ppf t = Format.pp_print_string ppf (typ_name t)
+
+let binop_name = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "%"
+  | Beq -> "=="
+  | Bne -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Band -> "and"
+  | Bor -> "or"
+
+let no_pos = { line = 0; col = 0 }

@@ -1,0 +1,128 @@
+(** Abstract syntax of the Emerald-like source language.
+
+    The language is a compact rendition of the Emerald constructs the
+    paper relies on: objects with private fields and (optionally
+    monitored) operations, fine-grained mobility ([move e to n]), and
+    location primitives.  Fields are visible only inside their own
+    object's operations, so all inter-object interaction is by
+    invocation — Emerald's model. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+type typ =
+  | Tint
+  | Treal
+  | Tbool
+  | Tstring
+  | Tobj of string  (** reference to an instance of a named object class *)
+  | Tvec of typ  (** fixed-length mutable vector, marshalled by value *)
+  | Tnil
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band
+  | Bor
+
+type unop =
+  | Uneg
+  | Unot
+
+type expr = {
+  e_pos : pos;
+  e_desc : expr_desc;
+}
+
+and expr_desc =
+  | Eint of int32
+  | Ereal of float
+  | Ebool of bool
+  | Estr of string
+  | Enil
+  | Evar of string  (** local variable, parameter, result, or own field *)
+  | Eself
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Einvoke of expr * string * expr list  (** [e.op\[args\]] *)
+  | Enew of string * expr list
+      (** [new C\[args\]]: allocate and run [initially], if declared *)
+  | Evec_new of typ * expr  (** [vector\[t, n\]]: n zero/nil elements *)
+  | Eindex of expr * expr  (** [v\[i\]] *)
+  | Elocate of expr  (** node id currently hosting the object *)
+  | Ethisnode  (** node id executing this operation *)
+  | Etimenow  (** virtual time, microseconds *)
+
+type stmt = {
+  s_pos : pos;
+  s_desc : stmt_desc;
+}
+
+and stmt_desc =
+  | Svar of string * typ * expr  (** [var x : t <- e] *)
+  | Sassign of string * expr  (** [x <- e] *)
+  | Sindex_assign of expr * expr * expr  (** [v\[i\] <- e] *)
+  | Sexpr of expr  (** invocation for effect *)
+  | Sif of (expr * stmt list) list * stmt list
+  | Sloop of stmt list  (** [loop ... end loop] *)
+  | Sexit of expr option  (** [exit] / [exit when e], inside a loop *)
+  | Swhile of expr * stmt list
+  | Sreturn
+  | Smove of expr * expr  (** [move e to n] *)
+  | Sprint of expr list
+  | Swait of string  (** [wait c]: block on a monitor condition *)
+  | Ssignal of string
+      (** [signal c]: move one waiter to the monitor entry queue (Mesa
+          semantics: it re-acquires the monitor after the signaller
+          leaves) *)
+
+type op_decl = {
+  op_pos : pos;
+  op_name : string;
+  op_monitored : bool;
+  op_params : (string * typ) list;
+  op_results : (string * typ) list;  (** at most one *)
+  op_body : stmt list;
+}
+
+type field_decl = {
+  f_pos : pos;
+  f_name : string;
+  f_type : typ;
+  f_attached : bool;
+      (** attached fields move together with their enclosing object *)
+  f_init : expr;
+}
+
+type class_decl = {
+  c_pos : pos;
+  c_name : string;
+  c_fields : field_decl list;
+  c_ops : op_decl list;
+  c_conditions : (pos * string) list;
+      (** monitor condition variables, usable only in monitored operations *)
+  c_process : stmt list option;
+      (** an Emerald process section: a thread of the object's own,
+          started when the object is created (after [initially]) *)
+}
+
+type program = {
+  prog_classes : class_decl list;
+}
+
+val typ_equal : typ -> typ -> bool
+val typ_name : typ -> string
+val pp_typ : Format.formatter -> typ -> unit
+val binop_name : binop -> string
+val no_pos : pos

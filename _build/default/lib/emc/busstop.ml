@@ -1,0 +1,77 @@
+type entry = {
+  be_id : int;
+  be_op : int;
+  be_pc : int;
+  be_alt_pc : int option;
+  be_exit_only : bool;
+  be_sp_depth : int;
+  be_pop_bytes : int;
+  be_kind : Ir.stop_kind;
+}
+
+type frame_info = {
+  fr_op : int;
+  fr_frame_size : int;
+  fr_slot_offsets : int array;
+  fr_fixed_sp_depth : int;
+}
+
+type table = {
+  bt_arch_id : string;
+  bt_entries : entry array;
+  bt_by_pc : (int, int) Hashtbl.t;
+  bt_frames : frame_info array;
+}
+
+let make ~arch_id ~entries ~frames =
+  Array.iteri
+    (fun i e ->
+      if e.be_id <> i then
+        invalid_arg
+          (Printf.sprintf "Busstop.make: entry %d has id %d (must be dense)" i e.be_id))
+    entries;
+  let by_pc = Hashtbl.create (Array.length entries * 2) in
+  Array.iter
+    (fun e ->
+      if not e.be_exit_only then begin
+        Hashtbl.replace by_pc e.be_pc e.be_id;
+        match e.be_alt_pc with
+        | Some pc -> Hashtbl.replace by_pc pc e.be_id
+        | None -> ()
+      end)
+    entries;
+  { bt_arch_id = arch_id; bt_entries = entries; bt_by_pc = by_pc; bt_frames = frames }
+
+let of_pc t pc =
+  match Hashtbl.find_opt t.bt_by_pc pc with
+  | Some id -> Some t.bt_entries.(id)
+  | None -> None
+
+let by_id t id =
+  if id < 0 || id >= Array.length t.bt_entries then
+    invalid_arg (Printf.sprintf "Busstop.by_id: no stop %d" id);
+  t.bt_entries.(id)
+
+let count t = Array.length t.bt_entries
+
+let kind_name = function
+  | Ir.Sk_invoke _ -> "invoke"
+  | Ir.Sk_new _ -> "new"
+  | Ir.Sk_builtin { bi; _ } -> Ir.builtin_name bi
+  | Ir.Sk_loop -> "loop"
+  | Ir.Sk_mon_enter -> "mon-enter"
+  | Ir.Sk_mon_dequeue -> "mon-dequeue"
+  | Ir.Sk_mon_wake -> "mon-wake"
+
+let pp ppf t =
+  Format.fprintf ppf "bus stops (%s):@." t.bt_arch_id;
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "  stop %2d op %d pc %04x%s %s sp-depth %d%s@." e.be_id e.be_op
+        e.be_pc
+        (match e.be_alt_pc with
+        | Some p -> Printf.sprintf " alt %04x" p
+        | None -> "")
+        (kind_name e.be_kind) e.be_sp_depth
+        (if e.be_exit_only then " [exit-only]" else ""))
+    t.bt_entries

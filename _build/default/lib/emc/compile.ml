@@ -1,0 +1,80 @@
+type arch_artifact = {
+  aa_arch : Isa.Arch.t;
+  aa_code : Isa.Code.t;
+  aa_stops : Busstop.table;
+}
+
+type compiled_class = {
+  cc_name : string;
+  cc_index : int;
+  cc_oid : int32;
+  cc_template : Template.class_t;
+  cc_ir : Ir.class_ir;
+  cc_arts : (string * arch_artifact) list;
+}
+
+type program = {
+  p_name : string;
+  p_ir : Ir.program_ir;
+  p_classes : compiled_class array;
+}
+
+let backend_for (arch : Isa.Arch.t) =
+  match arch.Isa.Arch.family with
+  | Isa.Arch.Vax -> Codegen_vax.compile_class
+  | Isa.Arch.M68k -> Codegen_m68k.compile_class
+  | Isa.Arch.Sparc -> Codegen_sparc.compile_class
+
+let compile_exn ?db ?(optimize = false) ~name ~archs source =
+  let db =
+    match db with
+    | Some db -> db
+    | None -> Program_db.create ()
+  in
+  let ast = Parser.parse_program source in
+  let tprog = Typecheck.check ast in
+  let ir = Lower.lower_program ~name tprog in
+  let classes =
+    Array.map
+      (fun (cl : Ir.class_ir) ->
+        let oid = Program_db.assign db ~program:name ~class_name:cl.Ir.cl_name in
+        let template = Slot_alloc.build_class cl ~oid in
+        let arts =
+          List.map
+            (fun arch ->
+              let code, stops =
+                (backend_for arch) ~optimize ~arch ~code_oid:oid cl template
+              in
+              ( arch.Isa.Arch.id,
+                { aa_arch = arch; aa_code = code; aa_stops = stops } ))
+            archs
+        in
+        {
+          cc_name = cl.Ir.cl_name;
+          cc_index = cl.Ir.cl_index;
+          cc_oid = oid;
+          cc_template = template;
+          cc_ir = cl;
+          cc_arts = arts;
+        })
+      ir.Ir.pr_classes
+  in
+  { p_name = name; p_ir = ir; p_classes = classes }
+
+let compile ?db ?optimize ~name ~archs source =
+  match compile_exn ?db ?optimize ~name ~archs source with
+  | prog -> Ok prog
+  | exception Diag.Compile_error errs -> Error errs
+
+let find_class prog name =
+  Array.find_opt (fun c -> String.equal c.cc_name name) prog.p_classes
+
+let artifact cc ~arch_id =
+  match List.assoc_opt arch_id cc.cc_arts with
+  | Some a -> a
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Compile.artifact: class %s was not compiled for %s" cc.cc_name
+         arch_id)
+
+let class_by_index prog i = prog.p_classes.(i)

@@ -1,0 +1,53 @@
+(** Top-level compiler driver.
+
+    Compiles a source program once per requested architecture from a
+    single shared IR, so bus-stop numbering, templates and code-object
+    OIDs are identical across architectures by construction — the
+    discipline the paper's program database enforces for separate
+    compilations (section 3.4). *)
+
+type arch_artifact = {
+  aa_arch : Isa.Arch.t;
+  aa_code : Isa.Code.t;
+  aa_stops : Busstop.table;
+}
+
+type compiled_class = {
+  cc_name : string;
+  cc_index : int;
+  cc_oid : int32;
+  cc_template : Template.class_t;
+  cc_ir : Ir.class_ir;
+  cc_arts : (string * arch_artifact) list;  (** keyed by architecture id *)
+}
+
+type program = {
+  p_name : string;
+  p_ir : Ir.program_ir;
+  p_classes : compiled_class array;
+}
+
+val compile :
+  ?db:Program_db.t ->
+  ?optimize:bool ->
+  name:string ->
+  archs:Isa.Arch.t list ->
+  string ->
+  (program, Diag.error list) result
+
+val compile_exn :
+  ?db:Program_db.t ->
+  ?optimize:bool ->
+  name:string ->
+  archs:Isa.Arch.t list ->
+  string ->
+  program
+(** [optimize] enables the between-bus-stops peephole pass ({!Peephole});
+    it must be used uniformly across a program's architectures, which this
+    interface guarantees (the paper's prototype likewise ran identically
+    optimized code everywhere, section 3).
+    @raise Diag.Compile_error *)
+
+val find_class : program -> string -> compiled_class option
+val artifact : compiled_class -> arch_id:string -> arch_artifact
+val class_by_index : program -> int -> compiled_class

@@ -1,0 +1,14 @@
+type error = {
+  pos : Ast.pos;
+  message : string;
+}
+
+exception Compile_error of error list
+
+let error pos fmt =
+  Format.kasprintf (fun message -> raise (Compile_error [ { pos; message } ])) fmt
+
+let pp_error ppf e = Format.fprintf ppf "%d:%d: %s" e.pos.Ast.line e.pos.Ast.col e.message
+
+let to_string errors =
+  String.concat "\n" (List.map (fun e -> Format.asprintf "%a" pp_error e) errors)

@@ -1,0 +1,14 @@
+(** Compiler diagnostics. *)
+
+type error = {
+  pos : Ast.pos;
+  message : string;
+}
+
+exception Compile_error of error list
+
+val error : Ast.pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise a single {!Compile_error}. *)
+
+val pp_error : Format.formatter -> error -> unit
+val to_string : error list -> string

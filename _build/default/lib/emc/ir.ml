@@ -1,0 +1,291 @@
+type label = int
+type temp = int
+
+type entity =
+  | Evar of int
+  | Etemp of temp
+
+type arith_ty =
+  | Aint
+  | Areal
+
+type builtin =
+  | Bprint_int
+  | Bprint_real
+  | Bprint_bool
+  | Bprint_str
+  | Bprint_ref
+  | Bprint_nl
+  | Blocate
+  | Bthisnode
+  | Btimenow
+  | Bmove
+  | Bsconcat
+  | Bseq
+  | Bvec_new
+  | Bbounds
+  | Bstart_process
+  | Bcond_wait
+  | Bcond_signal
+
+type stop_kind =
+  | Sk_invoke of {
+      argc : int;
+      has_result : bool;
+      callee_class : int;
+      callee_method : int;
+    }
+  | Sk_new of { class_index : int }
+  | Sk_builtin of {
+      bi : builtin;
+      argc : int;
+      has_result : bool;
+    }
+  | Sk_loop
+  | Sk_mon_enter
+  | Sk_mon_dequeue
+  | Sk_mon_wake
+
+type stop_rec = {
+  sr_id : int;
+  sr_op : int;
+  sr_kind : stop_kind;
+  mutable sr_live : (entity * Ast.typ) list;
+}
+
+type instr =
+  | Iconst_int of temp * int32
+  | Iconst_real of temp * float
+  | Iconst_bool of temp * bool
+  | Iconst_str of temp * int
+  | Iconst_nil of temp
+  | Icopy of temp * temp
+  | Iload_var of temp * int
+  | Istore_var of int * temp
+  | Iload_field of temp * int
+  | Istore_field of int * temp
+  | Ibin of {
+      dst : temp;
+      op : Isa.Insn.binop;
+      ty : arith_ty;
+      a : temp;
+      b : temp;
+    }
+  | Icmp of {
+      dst : temp;
+      op : Isa.Insn.cmp;
+      ty : arith_ty;
+      a : temp;
+      b : temp;
+    }
+  | Ineg of {
+      dst : temp;
+      ty : arith_ty;
+      a : temp;
+    }
+  | Inot of {
+      dst : temp;
+      a : temp;
+    }
+  | Icvt_int_real of {
+      dst : temp;
+      a : temp;
+    }
+  | Iinvoke of {
+      dst : temp option;
+      target : temp;
+      class_index : int;
+      method_index : int;
+      method_name : string;
+      args : temp list;
+      stop : int;
+    }
+  | Inew of {
+      dst : temp;
+      class_index : int;
+      stop : int;
+    }
+  | Ibuiltin of {
+      dst : temp option;
+      bi : builtin;
+      args : temp list;
+      stop : int;
+    }
+  | Ivec_get of {
+      dst : temp;
+      vec : temp;
+      idx : temp;
+      stop : int;  (** the bounds-failure stop *)
+    }
+  | Ivec_set of {
+      vec : temp;
+      idx : temp;
+      src : temp;
+      stop : int;
+    }
+  | Ivec_len of {
+      dst : temp;
+      vec : temp;
+    }
+  | Imon_enter of { stop : int }
+  | Imon_exit of {
+      dequeue_stop : int;
+      wake_stop : int;
+    }
+
+type terminator =
+  | Tjump of label
+  | Tcond of {
+      c : temp;
+      if_true : label;
+      if_false : label;
+    }
+  | Treturn
+  | Tloop of {
+      target : label;
+      stop : int;
+    }
+
+type block = {
+  b_label : label;
+  mutable b_instrs : instr list;
+  mutable b_term : terminator;
+}
+
+type var_kind =
+  | Kself
+  | Kparam of int
+  | Kresult
+  | Klocal of int
+
+type var_def = {
+  vd_name : string;
+  vd_type : Ast.typ;
+  vd_kind : var_kind;
+}
+
+type op_ir = {
+  oi_name : string;
+  oi_index : int;
+  oi_monitored : bool;
+  oi_vars : var_def array;
+  oi_nparams : int;
+  oi_result : int option;
+  oi_temp_types : Ast.typ array;
+  oi_blocks : block array;
+  oi_stops : stop_rec array;
+}
+
+type field_init =
+  | Fint of int32
+  | Freal of float
+  | Fbool of bool
+  | Fstr of string
+  | Fnil
+
+type class_ir = {
+  cl_name : string;
+  cl_index : int;
+  cl_fields : (string * Ast.typ) array;
+  cl_attached : bool array;
+  cl_field_inits : field_init array;
+  cl_conditions : string array;
+  cl_strings : string array;
+  cl_ops : op_ir array;
+  cl_nstops : int;
+  cl_has_initially : bool;
+}
+
+type program_ir = {
+  pr_name : string;
+  pr_classes : class_ir array;
+}
+
+let is_pointer_type = function
+  | Ast.Tstring | Ast.Tobj _ | Ast.Tvec _ | Ast.Tnil -> true
+  | Ast.Tint | Ast.Treal | Ast.Tbool -> false
+
+let builtin_name = function
+  | Bprint_int -> "print_int"
+  | Bprint_real -> "print_real"
+  | Bprint_bool -> "print_bool"
+  | Bprint_str -> "print_str"
+  | Bprint_ref -> "print_ref"
+  | Bprint_nl -> "print_nl"
+  | Blocate -> "locate"
+  | Bthisnode -> "thisnode"
+  | Btimenow -> "timenow"
+  | Bmove -> "move"
+  | Bsconcat -> "sconcat"
+  | Bseq -> "seq"
+  | Bvec_new -> "vec_new"
+  | Bbounds -> "bounds"
+  | Bstart_process -> "start_process"
+  | Bcond_wait -> "cond_wait"
+  | Bcond_signal -> "cond_signal"
+
+let defs = function
+  | Iconst_int (t, _)
+  | Iconst_real (t, _)
+  | Iconst_bool (t, _)
+  | Iconst_str (t, _)
+  | Iconst_nil t
+  | Icopy (t, _)
+  | Iload_var (t, _)
+  | Iload_field (t, _) -> Some t
+  | Ibin { dst; _ } | Icmp { dst; _ } | Ineg { dst; _ } | Inot { dst; _ }
+  | Icvt_int_real { dst; _ } -> Some dst
+  | Iinvoke { dst; _ } | Ibuiltin { dst; _ } -> dst
+  | Inew { dst; _ } -> Some dst
+  | Ivec_get { dst; _ } | Ivec_len { dst; _ } -> Some dst
+  | Istore_var (_, _) | Istore_field (_, _) | Ivec_set _ | Imon_enter _ | Imon_exit _ ->
+    None
+
+let uses = function
+  | Iconst_int (_, _)
+  | Iconst_real (_, _)
+  | Iconst_bool (_, _)
+  | Iconst_str (_, _)
+  | Iconst_nil _
+  | Iload_var (_, _)
+  | Iload_field (_, _)
+  | Inew _ | Imon_enter _ | Imon_exit _ -> []
+  | Icopy (_, s) | Istore_var (_, s) | Istore_field (_, s) -> [ s ]
+  | Ibin { a; b; _ } | Icmp { a; b; _ } -> [ a; b ]
+  | Ivec_get { vec; idx; _ } -> [ vec; idx ]
+  | Ivec_set { vec; idx; src; _ } -> [ vec; idx; src ]
+  | Ivec_len { vec; _ } -> [ vec ]
+  | Ineg { a; _ } | Inot { a; _ } | Icvt_int_real { a; _ } -> [ a ]
+  | Iinvoke { target; args; _ } -> target :: args
+  | Ibuiltin { args; _ } -> args
+
+let stop_of_instr = function
+  | Iinvoke { stop; _ } | Inew { stop; _ } | Ibuiltin { stop; _ } | Imon_enter { stop }
+  | Ivec_get { stop; _ } | Ivec_set { stop; _ } -> [ stop ]
+  | Imon_exit { dequeue_stop; wake_stop } -> [ dequeue_stop; wake_stop ]
+  | Iconst_int (_, _)
+  | Iconst_real (_, _)
+  | Iconst_bool (_, _)
+  | Iconst_str (_, _)
+  | Iconst_nil _
+  | Icopy (_, _)
+  | Iload_var (_, _)
+  | Istore_var (_, _)
+  | Iload_field (_, _)
+  | Istore_field (_, _)
+  | Ibin _ | Icmp _ | Ineg _ | Inot _ | Icvt_int_real _ | Ivec_len _ -> []
+
+let term_uses = function
+  | Tcond { c; _ } -> [ c ]
+  | Tjump _ | Treturn | Tloop _ -> []
+
+let successors = function
+  | Tjump l -> [ l ]
+  | Tcond { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Treturn -> []
+  | Tloop { target; _ } -> [ target ]
+
+let find_stop op id =
+  match Array.find_opt (fun s -> s.sr_id = id) op.oi_stops with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Ir.find_stop: no stop %d in %s" id op.oi_name)

@@ -1,0 +1,46 @@
+let obj_flags = 0
+let obj_oid = 4
+let obj_desc = 8
+let obj_lock = 12
+let obj_qflink = 16
+let obj_qblink = 20
+let obj_fields = 24
+let obj_header_size = 24
+let flag_resident = 1
+let flag_code_loaded = 2
+let flag_string = 4
+let flag_fixed = 8
+let str_flags = 0
+let str_len = 4
+let str_bytes = 8
+let qnode_flink = 0
+let qnode_blink = 4
+let qnode_thread = 8
+let qnode_size = 12
+let desc_class = 0
+let desc_method m = 4 + (4 * m)
+let desc_string ~nmethods s = 4 + (4 * nmethods) + (4 * s)
+let desc_size ~nmethods ~nstrings = 4 + (4 * nmethods) + (4 * nstrings)
+let field_offset i = obj_fields + (4 * i)
+let cond_sentinel ~nfields c = obj_fields + (4 * nfields) + (8 * c)
+let object_size ~nconds ~nfields = obj_header_size + (4 * nfields) + (8 * nconds)
+let vec_flags = 0
+let vec_len = 4
+let vec_kind = 8
+let vec_elems = 12
+let flag_vector = 16
+
+let kind_int = 1
+let kind_real = 2
+let kind_bool = 3
+let kind_string = 4
+let kind_ref = 5
+let kind_vec = 6
+
+let kind_of_typ = function
+  | Ast.Tint -> kind_int
+  | Ast.Treal -> kind_real
+  | Ast.Tbool -> kind_bool
+  | Ast.Tstring -> kind_string
+  | Ast.Tobj _ | Ast.Tnil -> kind_ref
+  | Ast.Tvec _ -> kind_vec

@@ -1,0 +1,74 @@
+(** Memory-layout constants shared between the code generators and the
+    runtime kernel.
+
+    Object descriptors (one per object per node; non-resident objects get
+    proxy descriptors used for forwarding):
+    {v
+    +0   flags            (bit 0: resident; bit 1: code loaded;
+                           bit 2: string block; bit 3: locked-to-node)
+    +4   OID
+    +8   descriptor-table address (resident) / last-known node id (proxy)
+    +12  monitor lock word (0 free / 1 held)
+    +16  monitor wait-queue sentinel flink   (circular doubly linked)
+    +20  monitor wait-queue sentinel blink
+    +24  fields, one 32-bit word each
+    v}
+
+    String blocks: [+0] flags (string bit), [+4] length, [+8..] bytes.
+
+    Monitor wait-queue nodes: [+0] flink, [+4] blink, [+8] thread id.
+
+    Descriptor tables (one per loaded code object per node):
+    [+0] class index; [+4+4m] absolute entry address of method [m];
+    then one word per string literal holding its block's address. *)
+
+val obj_flags : int
+val obj_oid : int
+val obj_desc : int
+val obj_lock : int
+val obj_qflink : int
+val obj_qblink : int
+val obj_fields : int
+val obj_header_size : int
+
+val flag_resident : int
+val flag_code_loaded : int
+val flag_string : int
+val flag_fixed : int
+
+val str_flags : int
+val str_len : int
+val str_bytes : int
+
+val qnode_flink : int
+val qnode_blink : int
+val qnode_thread : int
+val qnode_size : int
+
+val desc_class : int
+val desc_method : int -> int
+val desc_string : nmethods:int -> int -> int
+val desc_size : nmethods:int -> nstrings:int -> int
+
+val field_offset : int -> int
+
+val cond_sentinel : nfields:int -> int -> int
+(** Monitor-condition wait-queue sentinel [c] (after the fields). *)
+
+val object_size : nconds:int -> nfields:int -> int
+
+(** Vector blocks: [+0] flags (vector bit), [+4] length, [+8] element-kind
+    code, [+12..] one 32-bit word per element. *)
+
+val vec_flags : int
+val vec_len : int
+val vec_kind : int
+val vec_elems : int
+val flag_vector : int
+val kind_int : int
+val kind_real : int
+val kind_bool : int
+val kind_string : int
+val kind_ref : int
+val kind_vec : int
+val kind_of_typ : Ast.typ -> int

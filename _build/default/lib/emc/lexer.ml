@@ -1,0 +1,327 @@
+type token =
+  | INT of int32
+  | REAL of float
+  | STRING of string
+  | IDENT of string
+  | KOBJECT
+  | KEND
+  | KVAR
+  | KATTACHED
+  | KOPERATION
+  | KMONITOR
+  | KIF
+  | KTHEN
+  | KELSEIF
+  | KELSE
+  | KLOOP
+  | KEXIT
+  | KWHEN
+  | KWHILE
+  | KRETURN
+  | KMOVE
+  | KTO
+  | KNEW
+  | KSELF
+  | KTRUE
+  | KFALSE
+  | KNIL
+  | KAND
+  | KOR
+  | KNOT
+  | KPRINT
+  | KLOCATE
+  | KTHISNODE
+  | KTIMENOW
+  | KVECTOR
+  | KPROCESS
+  | KCONDITION
+  | KWAIT
+  | KSIGNAL
+  | LARROW
+  | RARROW
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NEQ
+  | LE
+  | GE
+  | LT
+  | GT
+  | EOF
+
+let keywords =
+  [
+    ("object", KOBJECT);
+    ("end", KEND);
+    ("var", KVAR);
+    ("attached", KATTACHED);
+    ("operation", KOPERATION);
+    ("monitor", KMONITOR);
+    ("if", KIF);
+    ("then", KTHEN);
+    ("elseif", KELSEIF);
+    ("else", KELSE);
+    ("loop", KLOOP);
+    ("exit", KEXIT);
+    ("when", KWHEN);
+    ("while", KWHILE);
+    ("return", KRETURN);
+    ("move", KMOVE);
+    ("to", KTO);
+    ("new", KNEW);
+    ("self", KSELF);
+    ("true", KTRUE);
+    ("false", KFALSE);
+    ("nil", KNIL);
+    ("and", KAND);
+    ("or", KOR);
+    ("not", KNOT);
+    ("print", KPRINT);
+    ("locate", KLOCATE);
+    ("thisnode", KTHISNODE);
+    ("timenow", KTIMENOW);
+    ("vector", KVECTOR);
+    ("process", KPROCESS);
+    ("condition", KCONDITION);
+    ("wait", KWAIT);
+    ("signal", KSIGNAL);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let here st = { Ast.line = st.line; Ast.col = st.col }
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_blank st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_blank st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blank st
+  | Some _ | None -> ()
+
+let lex_number st pos =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> is_digit c
+    | None -> false
+  do
+    advance st
+  done;
+  let is_real =
+    match peek st, peek2 st with
+    | Some '.', Some c when is_digit c -> true
+    | _, _ -> false
+  in
+  if is_real then begin
+    advance st;
+    while
+      match peek st with
+      | Some c -> is_digit c
+      | None -> false
+    do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    (REAL (float_of_string text), pos)
+  end
+  else
+    let text = String.sub st.src start (st.pos - start) in
+    match Int32.of_string_opt text with
+    | Some v -> (INT v, pos)
+    | None -> Diag.error pos "integer literal %s out of range" text
+
+let lex_string st pos =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Diag.error pos "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some ('"' | '\\') ->
+        Buffer.add_char buf st.src.[st.pos];
+        advance st;
+        go ()
+      | Some c -> Diag.error (here st) "unknown escape \\%c" c
+      | None -> Diag.error pos "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  (STRING (Buffer.contents buf), pos)
+
+let lex_ident st pos =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> is_ident_char c
+    | None -> false
+  do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt text keywords with
+  | Some kw -> (kw, pos)
+  | None -> (IDENT text, pos)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_blank st;
+    let pos = here st in
+    match peek st with
+    | None -> List.rev ((EOF, pos) :: acc)
+    | Some c when is_digit c -> go (lex_number st pos :: acc)
+    | Some '"' -> go (lex_string st pos :: acc)
+    | Some c when is_ident_start c -> go (lex_ident st pos :: acc)
+    | Some c ->
+      let two tok =
+        advance st;
+        advance st;
+        (tok, pos)
+      in
+      let one tok =
+        advance st;
+        (tok, pos)
+      in
+      let t =
+        match c, peek2 st with
+        | '<', Some '-' -> two LARROW
+        | '-', Some '>' -> two RARROW
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '=', Some '=' -> two EQEQ
+        | '!', Some '=' -> two NEQ
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | ',', _ -> one COMMA
+        | ':', _ -> one COLON
+        | '.', _ -> one DOT
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | _, _ -> Diag.error pos "unexpected character %C" c
+      in
+      go (t :: acc)
+  in
+  go []
+
+let token_name = function
+  | INT v -> Printf.sprintf "integer %ld" v
+  | REAL v -> Printf.sprintf "real %g" v
+  | STRING s -> Printf.sprintf "string %S" s
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KOBJECT -> "'object'"
+  | KEND -> "'end'"
+  | KVAR -> "'var'"
+  | KATTACHED -> "'attached'"
+  | KOPERATION -> "'operation'"
+  | KMONITOR -> "'monitor'"
+  | KIF -> "'if'"
+  | KTHEN -> "'then'"
+  | KELSEIF -> "'elseif'"
+  | KELSE -> "'else'"
+  | KLOOP -> "'loop'"
+  | KEXIT -> "'exit'"
+  | KWHEN -> "'when'"
+  | KWHILE -> "'while'"
+  | KRETURN -> "'return'"
+  | KMOVE -> "'move'"
+  | KTO -> "'to'"
+  | KNEW -> "'new'"
+  | KSELF -> "'self'"
+  | KTRUE -> "'true'"
+  | KFALSE -> "'false'"
+  | KNIL -> "'nil'"
+  | KAND -> "'and'"
+  | KOR -> "'or'"
+  | KNOT -> "'not'"
+  | KPRINT -> "'print'"
+  | KLOCATE -> "'locate'"
+  | KTHISNODE -> "'thisnode'"
+  | KTIMENOW -> "'timenow'"
+  | KVECTOR -> "'vector'"
+  | KPROCESS -> "'process'"
+  | KCONDITION -> "'condition'"
+  | KWAIT -> "'wait'"
+  | KSIGNAL -> "'signal'"
+  | LARROW -> "'<-'"
+  | RARROW -> "'->'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | EOF -> "end of input"

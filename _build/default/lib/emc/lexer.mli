@@ -1,0 +1,67 @@
+(** Lexical analysis for the Emerald-like source language. *)
+
+type token =
+  | INT of int32
+  | REAL of float
+  | STRING of string
+  | IDENT of string
+  | KOBJECT
+  | KEND
+  | KVAR
+  | KATTACHED
+  | KOPERATION
+  | KMONITOR
+  | KIF
+  | KTHEN
+  | KELSEIF
+  | KELSE
+  | KLOOP
+  | KEXIT
+  | KWHEN
+  | KWHILE
+  | KRETURN
+  | KMOVE
+  | KTO
+  | KNEW
+  | KSELF
+  | KTRUE
+  | KFALSE
+  | KNIL
+  | KAND
+  | KOR
+  | KNOT
+  | KPRINT
+  | KLOCATE
+  | KTHISNODE
+  | KTIMENOW
+  | KVECTOR
+  | KPROCESS
+  | KCONDITION
+  | KWAIT
+  | KSIGNAL
+  | LARROW  (** [<-] *)
+  | RARROW  (** [->] *)
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NEQ
+  | LE
+  | GE
+  | LT
+  | GT
+  | EOF
+
+val tokenize : string -> (token * Ast.pos) list
+(** @raise Diag.Compile_error on lexical errors. *)
+
+val token_name : token -> string

@@ -1,0 +1,148 @@
+module ISet = Set.Make (Int)
+
+type info = {
+  li_block_live_in : ISet.t array;
+  li_slotted_temps : ISet.t;
+  li_interf : (int, ISet.t) Hashtbl.t;
+}
+
+(* Entities are encoded in one integer key space: variables first, then
+   temporaries. *)
+let key_of_var _op v = v
+let key_of_temp op t = Array.length op.Ir.oi_vars + t
+let is_temp_key op k = k >= Array.length op.Ir.oi_vars
+let temp_of_key op k = k - Array.length op.Ir.oi_vars
+
+(* Instructions that implicitly need [self] (variable 0): field access,
+   string-literal loads (which go through self's descriptor table), and
+   the monitor sequences, whose expansions reload self after their stops. *)
+let implicit_self_use = function
+  | Ir.Iload_field (_, _)
+  | Ir.Istore_field (_, _)
+  | Ir.Imon_enter _ | Ir.Imon_exit _
+  | Ir.Iconst_str (_, _) -> true
+  | Ir.Iconst_int (_, _)
+  | Ir.Iconst_real (_, _)
+  | Ir.Iconst_bool (_, _)
+  | Ir.Iconst_nil _
+  | Ir.Icopy (_, _)
+  | Ir.Iload_var (_, _)
+  | Ir.Istore_var (_, _)
+  | Ir.Ibin _ | Ir.Icmp _ | Ir.Ineg _ | Ir.Inot _ | Ir.Icvt_int_real _ | Ir.Iinvoke _
+  | Ir.Inew _ | Ir.Ibuiltin _ | Ir.Ivec_get _ | Ir.Ivec_set _ | Ir.Ivec_len _ -> false
+
+let instr_uses op i =
+  let temps = List.map (key_of_temp op) (Ir.uses i) in
+  let vars =
+    match i with
+    | Ir.Iload_var (_, v) -> [ key_of_var op v ]
+    | _ -> []
+  in
+  let self = if implicit_self_use i then [ key_of_var op 0 ] else [] in
+  temps @ vars @ self
+
+let instr_defs op i =
+  let t = Option.map (key_of_temp op) (Ir.defs i) in
+  let v =
+    match i with
+    | Ir.Istore_var (v, _) -> Some (key_of_var op v)
+    | _ -> None
+  in
+  List.filter_map Fun.id [ t; v ]
+
+let term_uses_keys op term =
+  let temps = List.map (key_of_temp op) (Ir.term_uses term) in
+  match term with
+  | Ir.Treturn -> (
+    match op.Ir.oi_result with
+    | Some r -> key_of_var op r :: temps
+    | None -> temps)
+  | Ir.Tjump _ | Ir.Tcond _ | Ir.Tloop _ -> temps
+
+let transfer_block op blk live_out =
+  let live = ref (ISet.union live_out (ISet.of_list (term_uses_keys op blk.Ir.b_term))) in
+  List.iter
+    (fun i ->
+      List.iter (fun d -> live := ISet.remove d !live) (instr_defs op i);
+      List.iter (fun u -> live := ISet.add u !live) (instr_uses op i))
+    (List.rev blk.Ir.b_instrs);
+  !live
+
+let analyse (op : Ir.op_ir) : info =
+  let n = Array.length op.Ir.oi_blocks in
+  let live_in = Array.make n ISet.empty in
+  let live_out blk =
+    List.fold_left
+      (fun acc l -> ISet.union acc live_in.(l))
+      ISet.empty
+      (Ir.successors blk.Ir.b_term)
+  in
+  (* fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = n - 1 downto 0 do
+      let blk = op.Ir.oi_blocks.(bi) in
+      let li = transfer_block op blk (live_out blk) in
+      if not (ISet.equal li live_in.(bi)) then begin
+        live_in.(bi) <- li;
+        changed := true
+      end
+    done
+  done;
+  (* final pass: record per-stop live sets, slotted temps, interference *)
+  let slotted = ref ISet.empty in
+  let interf : (int, ISet.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_interf a b =
+    if a <> b then begin
+      let cur = Option.value (Hashtbl.find_opt interf a) ~default:ISet.empty in
+      Hashtbl.replace interf a (ISet.add b cur);
+      let cur = Option.value (Hashtbl.find_opt interf b) ~default:ISet.empty in
+      Hashtbl.replace interf b (ISet.add a cur)
+    end
+  in
+  let entity_of_key k =
+    if is_temp_key op k then Ir.Etemp (temp_of_key op k) else Ir.Evar k
+  in
+  let type_of_key k =
+    if is_temp_key op k then op.Ir.oi_temp_types.(temp_of_key op k)
+    else op.Ir.oi_vars.(k).Ir.vd_type
+  in
+  let record_stop stop_id live =
+    let stop = Ir.find_stop op stop_id in
+    (* self is needed by the monitor-exit lock release after its stops *)
+    let live =
+      match stop.Ir.sr_kind with
+      | Ir.Sk_mon_dequeue | Ir.Sk_mon_wake | Ir.Sk_mon_enter ->
+        ISet.add (key_of_var op 0) live
+      | Ir.Sk_invoke _ | Ir.Sk_new _ | Ir.Sk_builtin _ | Ir.Sk_loop -> live
+    in
+    stop.Ir.sr_live <-
+      List.map (fun k -> (entity_of_key k, type_of_key k)) (ISet.elements live);
+    ISet.iter (fun k -> if is_temp_key op k then slotted := ISet.add k !slotted) live
+  in
+  Array.iter
+    (fun blk ->
+      let out = live_out blk in
+      (* loop-bottom poll stop: everything live at the back edge *)
+      (match blk.Ir.b_term with
+      | Ir.Tloop { stop; _ } -> record_stop stop out
+      | Ir.Tjump _ | Ir.Tcond _ | Ir.Treturn -> ());
+      let live = ref (ISet.union out (ISet.of_list (term_uses_keys op blk.Ir.b_term))) in
+      List.iter
+        (fun i ->
+          let defs = instr_defs op i in
+          (* live set across this instruction, excluding what it defines *)
+          let live_across = List.fold_left (fun s d -> ISet.remove d s) !live defs in
+          List.iter (fun stop_id -> record_stop stop_id live_across) (Ir.stop_of_instr i);
+          List.iter (fun d -> ISet.iter (fun k -> add_interf d k) live_across) defs;
+          live := live_across;
+          List.iter (fun u -> live := ISet.add u !live) (instr_uses op i))
+        (List.rev blk.Ir.b_instrs))
+    op.Ir.oi_blocks;
+  (* temps live across a block edge also need slots *)
+  Array.iter
+    (fun li ->
+      ISet.iter (fun k -> if is_temp_key op k then slotted := ISet.add k !slotted) li)
+    live_in;
+  { li_block_live_in = live_in; li_slotted_temps = !slotted; li_interf = interf }

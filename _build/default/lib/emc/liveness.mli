@@ -1,0 +1,28 @@
+(** Liveness analysis over the IR.
+
+    The original Emerald debugging information "does not specify which
+    variables are dead or alive at a given program point", nor "the number
+    and types of temporary variables live at a given program point"
+    (section 3.3) — this pass computes exactly that augmentation.  It
+    fills in [sr_live] for every bus stop (variables and temporaries whose
+    values must be translated if a thread migrates while suspended there)
+    and reports which temporaries need activation-record slots at all
+    (those live across a stop or a basic-block edge). *)
+
+module ISet : Set.S with type elt = int
+
+type info = {
+  li_block_live_in : ISet.t array;
+      (** per block: live entity keys at block entry (see {!key_of}) *)
+  li_slotted_temps : ISet.t;  (** temps requiring frame slots *)
+  li_interf : (int, ISet.t) Hashtbl.t;
+      (** interference between entity keys, for slot sharing *)
+}
+
+val key_of_var : Ir.op_ir -> int -> int
+val key_of_temp : Ir.op_ir -> Ir.temp -> int
+val is_temp_key : Ir.op_ir -> int -> bool
+val temp_of_key : Ir.op_ir -> int -> Ir.temp
+
+val analyse : Ir.op_ir -> info
+(** Also mutates [sr_live] of every stop of the operation. *)

@@ -1,0 +1,484 @@
+type state = {
+  mutable toks : (Lexer.token * Ast.pos) list;
+}
+
+let peek st =
+  match st.toks with
+  | (t, p) :: _ -> (t, p)
+  | [] -> (Lexer.EOF, Ast.no_pos)
+
+let peek2 st =
+  match st.toks with
+  | _ :: (t, _) :: _ -> t
+  | _ :: [] | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st tok =
+  let t, p = peek st in
+  if t = tok then advance st
+  else Diag.error p "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name t)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+    advance st;
+    name
+  | t, p -> Diag.error p "expected an identifier but found %s" (Lexer.token_name t)
+
+let rec parse_typ st =
+  match peek st with
+  | Lexer.KVECTOR, _ ->
+    advance st;
+    expect st Lexer.LBRACKET;
+    let elem = parse_typ st in
+    expect st Lexer.RBRACKET;
+    Ast.Tvec elem
+  | Lexer.IDENT "int", _ ->
+    advance st;
+    Ast.Tint
+  | Lexer.IDENT "real", _ ->
+    advance st;
+    Ast.Treal
+  | Lexer.IDENT "bool", _ ->
+    advance st;
+    Ast.Tbool
+  | Lexer.IDENT "string", _ ->
+    advance st;
+    Ast.Tstring
+  | Lexer.IDENT name, _ ->
+    advance st;
+    Ast.Tobj name
+  | t, p -> Diag.error p "expected a type but found %s" (Lexer.token_name t)
+
+(* Expressions ----------------------------------------------------------- *)
+
+let mk p d = { Ast.e_pos = p; Ast.e_desc = d }
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.KOR, p ->
+      advance st;
+      let rhs = parse_and st in
+      go (mk p (Ast.Ebin (Ast.Bor, lhs, rhs)))
+    | _, _ -> lhs
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.KAND, p ->
+      advance st;
+      let rhs = parse_cmp st in
+      go (mk p (Ast.Ebin (Ast.Band, lhs, rhs)))
+    | _, _ -> lhs
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let mkcmp op =
+    let _, p = peek st in
+    advance st;
+    let rhs = parse_add st in
+    mk p (Ast.Ebin (op, lhs, rhs))
+  in
+  match peek st with
+  | Lexer.EQEQ, _ -> mkcmp Ast.Beq
+  | Lexer.NEQ, _ -> mkcmp Ast.Bne
+  | Lexer.LT, _ -> mkcmp Ast.Blt
+  | Lexer.LE, _ -> mkcmp Ast.Ble
+  | Lexer.GT, _ -> mkcmp Ast.Bgt
+  | Lexer.GE, _ -> mkcmp Ast.Bge
+  | _, _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PLUS, p ->
+      advance st;
+      go (mk p (Ast.Ebin (Ast.Badd, lhs, parse_mul st)))
+    | Lexer.MINUS, p ->
+      advance st;
+      go (mk p (Ast.Ebin (Ast.Bsub, lhs, parse_mul st)))
+    | _, _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.STAR, p ->
+      advance st;
+      go (mk p (Ast.Ebin (Ast.Bmul, lhs, parse_unary st)))
+    | Lexer.SLASH, p ->
+      advance st;
+      go (mk p (Ast.Ebin (Ast.Bdiv, lhs, parse_unary st)))
+    | Lexer.PERCENT, p ->
+      advance st;
+      go (mk p (Ast.Ebin (Ast.Bmod, lhs, parse_unary st)))
+    | _, _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, p ->
+    advance st;
+    mk p (Ast.Eun (Ast.Uneg, parse_unary st))
+  | Lexer.KNOT, p ->
+    advance st;
+    mk p (Ast.Eun (Ast.Unot, parse_unary st))
+  | _, _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Lexer.DOT, p ->
+      advance st;
+      let name = expect_ident st in
+      let args = parse_bracketed_args st in
+      go (mk p (Ast.Einvoke (e, name, args)))
+    | Lexer.LBRACKET, p ->
+      advance st;
+      let idx = parse_expr_prec st in
+      expect st Lexer.RBRACKET;
+      go (mk p (Ast.Eindex (e, idx)))
+    | _, _ -> e
+  in
+  go (parse_atom st)
+
+and parse_bracketed_args st =
+  match peek st with
+  | Lexer.LBRACKET, _ ->
+    advance st;
+    let rec args acc =
+      match peek st with
+      | Lexer.RBRACKET, _ ->
+        advance st;
+        List.rev acc
+      | _, _ -> (
+        let e = parse_expr_prec st in
+        match peek st with
+        | Lexer.COMMA, _ ->
+          advance st;
+          args (e :: acc)
+        | Lexer.RBRACKET, _ ->
+          advance st;
+          List.rev (e :: acc)
+        | t, p -> Diag.error p "expected ',' or ']' but found %s" (Lexer.token_name t))
+    in
+    args []
+  | _, _ -> []
+
+and parse_atom st =
+  let t, p = peek st in
+  match t with
+  | Lexer.INT v ->
+    advance st;
+    mk p (Ast.Eint v)
+  | Lexer.REAL v ->
+    advance st;
+    mk p (Ast.Ereal v)
+  | Lexer.STRING s ->
+    advance st;
+    mk p (Ast.Estr s)
+  | Lexer.KTRUE ->
+    advance st;
+    mk p (Ast.Ebool true)
+  | Lexer.KFALSE ->
+    advance st;
+    mk p (Ast.Ebool false)
+  | Lexer.KNIL ->
+    advance st;
+    mk p Ast.Enil
+  | Lexer.KSELF ->
+    advance st;
+    mk p Ast.Eself
+  | Lexer.KTHISNODE ->
+    advance st;
+    mk p Ast.Ethisnode
+  | Lexer.KTIMENOW ->
+    advance st;
+    mk p Ast.Etimenow
+  | Lexer.KLOCATE ->
+    advance st;
+    expect st Lexer.LBRACKET;
+    let e = parse_expr_prec st in
+    expect st Lexer.RBRACKET;
+    mk p (Ast.Elocate e)
+  | Lexer.KNEW ->
+    advance st;
+    let name = expect_ident st in
+    let args = parse_bracketed_args st in
+    mk p (Ast.Enew (name, args))
+  | Lexer.KVECTOR ->
+    advance st;
+    expect st Lexer.LBRACKET;
+    let elem = parse_typ st in
+    expect st Lexer.COMMA;
+    let len = parse_expr_prec st in
+    expect st Lexer.RBRACKET;
+    mk p (Ast.Evec_new (elem, len))
+  | Lexer.IDENT name ->
+    advance st;
+    mk p (Ast.Evar name)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    e
+  | _ -> Diag.error p "expected an expression but found %s" (Lexer.token_name t)
+
+(* Statements ------------------------------------------------------------ *)
+
+let mks p d = { Ast.s_pos = p; Ast.s_desc = d }
+
+let stmt_terminator = function
+  | Lexer.KEND | Lexer.KELSE | Lexer.KELSEIF | Lexer.EOF -> true
+  | _ -> false
+
+let rec parse_stmts st =
+  let rec go acc =
+    let t, _ = peek st in
+    if stmt_terminator t then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  let t, p = peek st in
+  match t with
+  | Lexer.KVAR ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.COLON;
+    let ty = parse_typ st in
+    expect st Lexer.LARROW;
+    let e = parse_expr_prec st in
+    mks p (Ast.Svar (name, ty, e))
+  | Lexer.KIF ->
+    advance st;
+    let cond = parse_expr_prec st in
+    expect st Lexer.KTHEN;
+    let body = parse_stmts st in
+    let rec arms acc =
+      match peek st with
+      | Lexer.KELSEIF, _ ->
+        advance st;
+        let c = parse_expr_prec st in
+        expect st Lexer.KTHEN;
+        let b = parse_stmts st in
+        arms ((c, b) :: acc)
+      | Lexer.KELSE, _ ->
+        advance st;
+        let b = parse_stmts st in
+        expect st Lexer.KEND;
+        expect st Lexer.KIF;
+        (List.rev acc, b)
+      | _, _ ->
+        expect st Lexer.KEND;
+        expect st Lexer.KIF;
+        (List.rev acc, [])
+    in
+    let elifs, els = arms [] in
+    mks p (Ast.Sif ((cond, body) :: elifs, els))
+  | Lexer.KLOOP ->
+    advance st;
+    let body = parse_stmts st in
+    expect st Lexer.KEND;
+    expect st Lexer.KLOOP;
+    mks p (Ast.Sloop body)
+  | Lexer.KWHILE ->
+    advance st;
+    let cond = parse_expr_prec st in
+    let body = parse_stmts st in
+    expect st Lexer.KEND;
+    expect st Lexer.KWHILE;
+    mks p (Ast.Swhile (cond, body))
+  | Lexer.KEXIT ->
+    advance st;
+    (match peek st with
+    | Lexer.KWHEN, _ ->
+      advance st;
+      let e = parse_expr_prec st in
+      mks p (Ast.Sexit (Some e))
+    | _, _ -> mks p (Ast.Sexit None))
+  | Lexer.KRETURN ->
+    advance st;
+    mks p Ast.Sreturn
+  | Lexer.KMOVE ->
+    advance st;
+    let obj = parse_expr_prec st in
+    expect st Lexer.KTO;
+    let node = parse_expr_prec st in
+    mks p (Ast.Smove (obj, node))
+  | Lexer.KWAIT ->
+    advance st;
+    let name = expect_ident st in
+    mks p (Ast.Swait name)
+  | Lexer.KSIGNAL ->
+    advance st;
+    let name = expect_ident st in
+    mks p (Ast.Ssignal name)
+  | Lexer.KPRINT ->
+    advance st;
+    expect st Lexer.LBRACKET;
+    let rec args acc =
+      match peek st with
+      | Lexer.RBRACKET, _ ->
+        advance st;
+        List.rev acc
+      | _, _ -> (
+        let e = parse_expr_prec st in
+        match peek st with
+        | Lexer.COMMA, _ ->
+          advance st;
+          args (e :: acc)
+        | Lexer.RBRACKET, _ ->
+          advance st;
+          List.rev (e :: acc)
+        | tk, pp -> Diag.error pp "expected ',' or ']' but found %s" (Lexer.token_name tk))
+    in
+    mks p (Ast.Sprint (args []))
+  | Lexer.IDENT name when peek2 st = Lexer.LARROW ->
+    advance st;
+    advance st;
+    let e = parse_expr_prec st in
+    mks p (Ast.Sassign (name, e))
+  | _ -> (
+    let e = parse_expr_prec st in
+    match peek st with
+    | Lexer.LARROW, _ -> (
+      advance st;
+      let rhs = parse_expr_prec st in
+      match e.Ast.e_desc with
+      | Ast.Eindex (vec, idx) -> mks p (Ast.Sindex_assign (vec, idx, rhs))
+      | _ -> Diag.error p "only variables and vector elements can be assigned")
+    | _, _ -> (
+      match e.Ast.e_desc with
+      | Ast.Einvoke (_, _, _) | Ast.Enew (_, _) -> mks p (Ast.Sexpr e)
+      | _ -> Diag.error p "only invocations may be used as statements"))
+
+(* Declarations ---------------------------------------------------------- *)
+
+let parse_param_list st =
+  expect st Lexer.LBRACKET;
+  let rec go acc =
+    match peek st with
+    | Lexer.RBRACKET, _ ->
+      advance st;
+      List.rev acc
+    | _, _ -> (
+      let name = expect_ident st in
+      expect st Lexer.COLON;
+      let ty = parse_typ st in
+      match peek st with
+      | Lexer.COMMA, _ ->
+        advance st;
+        go ((name, ty) :: acc)
+      | Lexer.RBRACKET, _ ->
+        advance st;
+        List.rev ((name, ty) :: acc)
+      | t, p -> Diag.error p "expected ',' or ']' but found %s" (Lexer.token_name t))
+  in
+  go []
+
+let parse_operation st ~monitored =
+  let _, p = peek st in
+  expect st Lexer.KOPERATION;
+  let name = expect_ident st in
+  let params = parse_param_list st in
+  let results =
+    match peek st with
+    | Lexer.RARROW, _ ->
+      advance st;
+      parse_param_list st
+    | _, _ -> []
+  in
+  if List.length results > 1 then Diag.error p "operation %s: at most one result" name;
+  let body = parse_stmts st in
+  expect st Lexer.KEND;
+  let closing = expect_ident st in
+  if not (String.equal closing name) then
+    Diag.error p "operation %s closed by 'end %s'" name closing;
+  {
+    Ast.op_pos = p;
+    op_name = name;
+    op_monitored = monitored;
+    op_params = params;
+    op_results = results;
+    op_body = body;
+  }
+
+let parse_field st ~attached =
+  let _, p = peek st in
+  expect st Lexer.KVAR;
+  let name = expect_ident st in
+  expect st Lexer.COLON;
+  let ty = parse_typ st in
+  expect st Lexer.LARROW;
+  let init = parse_expr_prec st in
+  { Ast.f_pos = p; f_name = name; f_type = ty; f_attached = attached; f_init = init }
+
+let parse_class st =
+  let _, p = peek st in
+  expect st Lexer.KOBJECT;
+  let name = expect_ident st in
+  let rec members fields ops conds process =
+    match peek st with
+    | Lexer.KEND, _ ->
+      advance st;
+      let closing = expect_ident st in
+      if not (String.equal closing name) then
+        Diag.error p "object %s closed by 'end %s'" name closing;
+      (List.rev fields, List.rev ops, List.rev conds, process)
+    | Lexer.KVAR, _ -> members (parse_field st ~attached:false :: fields) ops conds process
+    | Lexer.KATTACHED, _ ->
+      advance st;
+      members (parse_field st ~attached:true :: fields) ops conds process
+    | Lexer.KCONDITION, pp ->
+      advance st;
+      let cname = expect_ident st in
+      members fields ops ((pp, cname) :: conds) process
+    | Lexer.KOPERATION, _ ->
+      members fields (parse_operation st ~monitored:false :: ops) conds process
+    | Lexer.KMONITOR, _ ->
+      advance st;
+      members fields (parse_operation st ~monitored:true :: ops) conds process
+    | Lexer.KPROCESS, pp ->
+      if process <> None then Diag.error pp "object %s has two process sections" name;
+      advance st;
+      let body = parse_stmts st in
+      expect st Lexer.KEND;
+      expect st Lexer.KPROCESS;
+      members fields ops conds (Some body)
+    | t, pp ->
+      Diag.error pp "expected a field or operation declaration but found %s"
+        (Lexer.token_name t)
+  in
+  let fields, ops, conds, process = members [] [] [] None in
+  { Ast.c_pos = p; c_name = name; c_fields = fields; c_ops = ops; c_conditions = conds;
+    c_process = process }
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | Lexer.KOBJECT, _ -> go (parse_class st :: acc)
+    | t, p -> Diag.error p "expected 'object' but found %s" (Lexer.token_name t)
+  in
+  { Ast.prog_classes = go [] }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_prec st in
+  expect st Lexer.EOF;
+  e

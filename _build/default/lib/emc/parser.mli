@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the Emerald-like source language. *)
+
+val parse_program : string -> Ast.program
+(** @raise Diag.Compile_error on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and tools). *)

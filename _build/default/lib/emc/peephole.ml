@@ -1,0 +1,63 @@
+module I = Isa.Insn
+module O = Isa.Operand
+
+(* a memory operand with a stable meaning across adjacent instructions
+   (no auto-modification, base register not written in between — we only
+   look at immediately adjacent pairs where the first writes no register
+   other than possibly the reload target) *)
+let stable_mem = function
+  | O.Mem (O.Disp (_, _) as m) -> Some m
+  | O.Mem (O.Abs _ as m) -> Some m
+  | O.Mem (O.Autoinc _) | O.Mem (O.Autodec _) | O.Reg _ | O.Imm _ -> None
+
+let mem_base = function
+  | O.Disp (r, _) -> Some r
+  | O.Abs _ -> None
+  | O.Autoinc r | O.Autodec r -> Some r
+
+let optimize ~family ~protected insns =
+  let n = Array.length insns in
+  let out = Array.copy insns in
+  let deleted = Array.make n false in
+  for i = 0 to n - 2 do
+    if not deleted.(i) then begin
+      (* next surviving instruction *)
+      let rec next j = if j >= n then None else if deleted.(j) then next (j + 1) else Some j in
+      match next (i + 1) with
+      | None -> ()
+      | Some j ->
+        if not protected.(j) then begin
+          match out.(i), out.(j) with
+          (* store slot; reload same slot *)
+          | I.Mov (O.Reg r, store_dst), I.Mov (load_src, O.Reg r') -> (
+            match stable_mem store_dst, stable_mem load_src with
+            | Some m1, Some m2 when m1 = m2 && mem_base m1 <> Some r ->
+              if r = r' then deleted.(j) <- true
+              else out.(j) <- I.Mov (O.Reg r, O.Reg r')
+            | _, _ -> ())
+          | _, _ -> ()
+        end
+    end
+  done;
+  (* register self-moves *)
+  for i = 0 to n - 1 do
+    if (not deleted.(i)) && not protected.(i) then begin
+      match out.(i) with
+      | I.Mov (O.Reg a, O.Reg b) when a = b -> deleted.(i) <- true
+      | _ -> ()
+    end
+  done;
+  ignore family;
+  let remap = Array.make n 0 in
+  let kept = ref [] in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    remap.(i) <- !pos;
+    if not deleted.(i) then begin
+      kept := out.(i) :: !kept;
+      incr pos
+    end
+  done;
+  (Array.of_list (List.rev !kept), remap)
+
+let saved ~before ~after = Array.length before - Array.length after

@@ -1,0 +1,32 @@
+(** Peephole optimization between bus stops.
+
+    "Given a set of bus stops, the code generator is free to optimize code
+    between bus stops in any way, as the optimization transformations are
+    not visible to the runtime system" (section 2.2.1).  This pass removes
+    and rewrites instructions between the protected points — bus-stop PCs,
+    label targets and method entries — leaving the stop discipline (and
+    hence migration and GC) untouched.  Deletion-only plus in-place
+    rewrites, so a simple index remap suffices to fix every table.
+
+    Patterns:
+    - [mov r, r] — removed;
+    - store to a frame slot immediately followed by a reload of the same
+      slot into the same register — the reload is removed (the common
+      store-through-then-use sequence);
+    - store/reload into a different register — the reload becomes a
+      register move (cheaper than the memory access on every family). *)
+
+val optimize :
+  family:Isa.Arch.family ->
+  protected:bool array ->
+  Isa.Insn.t array ->
+  Isa.Insn.t array * int array
+(** [optimize ~family ~protected insns] returns the optimized instruction
+    array and a remap such that [remap.(i)] is the new index of old
+    instruction [i] (or of the next surviving instruction when [i] was
+    deleted).  [protected.(i)] marks instructions that must survive
+    unchanged and must not rely on fall-through context (branch targets,
+    bus stops, method entries). *)
+
+val saved : before:Isa.Insn.t array -> after:Isa.Insn.t array -> int
+(** Instructions removed. *)

@@ -1,0 +1,82 @@
+let pf = Format.fprintf
+
+let pp_instr ppf (i : Ir.instr) =
+  match i with
+  | Ir.Iconst_int (t, v) -> pf ppf "t%d <- %ld" t v
+  | Ir.Iconst_real (t, v) -> pf ppf "t%d <- %g" t v
+  | Ir.Iconst_bool (t, v) -> pf ppf "t%d <- %b" t v
+  | Ir.Iconst_str (t, s) -> pf ppf "t%d <- str#%d" t s
+  | Ir.Iconst_nil t -> pf ppf "t%d <- nil" t
+  | Ir.Icopy (d, s) -> pf ppf "t%d <- t%d" d s
+  | Ir.Iload_var (t, v) -> pf ppf "t%d <- v%d" t v
+  | Ir.Istore_var (v, t) -> pf ppf "v%d <- t%d" v t
+  | Ir.Iload_field (t, f) -> pf ppf "t%d <- self.f%d" t f
+  | Ir.Istore_field (f, t) -> pf ppf "self.f%d <- t%d" f t
+  | Ir.Ibin { dst; op; ty; a; b } ->
+    pf ppf "t%d <- t%d %s%s t%d" dst a (Isa.Insn.binop_name op)
+      (match ty with
+      | Ir.Areal -> "."
+      | Ir.Aint -> "")
+      b
+  | Ir.Icmp { dst; op; a; b; _ } ->
+    pf ppf "t%d <- t%d %s t%d" dst a (Isa.Insn.cmp_name op) b
+  | Ir.Ineg { dst; a; _ } -> pf ppf "t%d <- -t%d" dst a
+  | Ir.Inot { dst; a } -> pf ppf "t%d <- not t%d" dst a
+  | Ir.Icvt_int_real { dst; a } -> pf ppf "t%d <- real(t%d)" dst a
+  | Ir.Iinvoke { dst; target; method_name; args; stop; _ } ->
+    pf ppf "%st%d.%s[%s]  @stop %d"
+      (match dst with
+      | Some d -> Printf.sprintf "t%d <- " d
+      | None -> "")
+      target method_name
+      (String.concat ", " (List.map (Printf.sprintf "t%d") args))
+      stop
+  | Ir.Inew { dst; class_index; stop } ->
+    pf ppf "t%d <- new class#%d  @stop %d" dst class_index stop
+  | Ir.Ibuiltin { dst; bi; args; stop } ->
+    pf ppf "%s%s[%s]  @stop %d"
+      (match dst with
+      | Some d -> Printf.sprintf "t%d <- " d
+      | None -> "")
+      (Ir.builtin_name bi)
+      (String.concat ", " (List.map (Printf.sprintf "t%d") args))
+      stop
+  | Ir.Ivec_get { dst; vec; idx; stop } ->
+    pf ppf "t%d <- t%d[t%d]  @stop %d" dst vec idx stop
+  | Ir.Ivec_set { vec; idx; src; stop } ->
+    pf ppf "t%d[t%d] <- t%d  @stop %d" vec idx src stop
+  | Ir.Ivec_len { dst; vec } -> pf ppf "t%d <- size(t%d)" dst vec
+  | Ir.Imon_enter { stop } -> pf ppf "monitor-enter  @stop %d" stop
+  | Ir.Imon_exit { dequeue_stop; wake_stop } ->
+    pf ppf "monitor-exit  @stops %d,%d" dequeue_stop wake_stop
+
+let pp_terminator ppf (t : Ir.terminator) =
+  match t with
+  | Ir.Tjump l -> pf ppf "jump L%d" l
+  | Ir.Tcond { c; if_true; if_false } -> pf ppf "if t%d then L%d else L%d" c if_true if_false
+  | Ir.Treturn -> pf ppf "return"
+  | Ir.Tloop { target; stop } -> pf ppf "loop-back L%d  @stop %d" target stop
+
+let pp_op ppf (op : Ir.op_ir) =
+  pf ppf "  operation %s%s@." op.Ir.oi_name (if op.Ir.oi_monitored then " [monitor]" else "");
+  Array.iteri
+    (fun i (vd : Ir.var_def) ->
+      pf ppf "    v%d = %s : %s@." i vd.Ir.vd_name (Ast.typ_name vd.Ir.vd_type))
+    op.Ir.oi_vars;
+  Array.iter
+    (fun (b : Ir.block) ->
+      pf ppf "    L%d:@." b.Ir.b_label;
+      List.iter (fun i -> pf ppf "      %a@." pp_instr i) b.Ir.b_instrs;
+      pf ppf "      %a@." pp_terminator b.Ir.b_term)
+    op.Ir.oi_blocks
+
+let pp_class ppf (cl : Ir.class_ir) =
+  pf ppf "class %s (#%d, %d stops)@." cl.Ir.cl_name cl.Ir.cl_index cl.Ir.cl_nstops;
+  Array.iteri
+    (fun i (name, ty) -> pf ppf "  field f%d = %s : %s@." i name (Ast.typ_name ty))
+    cl.Ir.cl_fields;
+  Array.iter (pp_op ppf) cl.Ir.cl_ops
+
+let pp_program ppf (p : Ir.program_ir) =
+  pf ppf "program %s@." p.Ir.pr_name;
+  Array.iter (pp_class ppf) p.Ir.pr_classes

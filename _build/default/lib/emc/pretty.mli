@@ -1,0 +1,7 @@
+(** Pretty-printing of the IR (for the [emeraldc] dump tool and tests). *)
+
+val pp_instr : Format.formatter -> Ir.instr -> unit
+val pp_terminator : Format.formatter -> Ir.terminator -> unit
+val pp_op : Format.formatter -> Ir.op_ir -> unit
+val pp_class : Format.formatter -> Ir.class_ir -> unit
+val pp_program : Format.formatter -> Ir.program_ir -> unit

@@ -1,0 +1,12 @@
+(** Activation-record slot allocation.
+
+    Self, parameters and the result get dedicated slots; locals share
+    slots when their live ranges do not interfere (so a slot may be owned
+    by different variables at different bus stops — the sharing the paper's
+    enhanced templates describe); temporaries that are live across a bus
+    stop or a block edge also receive slots.  Sharing only happens within
+    a slot class (pointers never share with scalars). *)
+
+val build_class : Ir.class_ir -> oid:int32 -> Template.class_t
+(** Runs liveness on every operation (filling the per-stop live sets) and
+    constructs the class template. *)

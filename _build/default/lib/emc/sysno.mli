@@ -1,0 +1,39 @@
+(** System-call numbers, shared between the code generators and the
+    runtime kernel.  Transfers of control to the runtime system happen
+    only here and at loop-bottom polls — the bus-stop discipline. *)
+
+val sys_invoke : int
+(** remote-invocation path of an invocation site; stack/register args:
+    target ref, then the declared arguments *)
+
+val sys_new : int  (** args: class index (immediate) *)
+
+val sys_mon_enter : int  (** args: object ref *)
+
+val sys_mon_exit_dequeue : int
+(** args: object ref; result: dequeued waiter node address or 0.
+    Used by the non-VAX backends — the VAX does this with REMQUE. *)
+
+val sys_mon_wake : int  (** args: waiter node address *)
+
+val sys_print_int : int
+val sys_print_real : int
+val sys_print_bool : int
+val sys_print_str : int
+val sys_print_ref : int
+val sys_print_nl : int
+val sys_locate : int
+val sys_thisnode : int
+val sys_timenow : int
+val sys_move : int  (** args: object ref, node id *)
+
+val sys_sconcat : int
+val sys_seq : int
+val sys_vec_new : int
+val sys_bounds : int
+val sys_start_process : int
+val sys_cond_wait : int
+val sys_cond_signal : int
+
+val of_builtin : Ir.builtin -> int
+val name : int -> string

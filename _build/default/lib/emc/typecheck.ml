@@ -1,0 +1,561 @@
+type class_info = {
+  ci_index : int;
+  ci_name : string;
+  ci_fields : (string * Ast.typ) array;
+  ci_attached : bool array;
+  ci_methods : method_sig array;
+  ci_has_initially : bool;
+  ci_has_process : bool;
+  ci_conditions : string array;
+}
+
+and method_sig = {
+  m_index : int;
+  m_name : string;
+  m_monitored : bool;
+  m_params : (string * Ast.typ) list;
+  m_result : Ast.typ option;
+}
+
+type var_ref =
+  | Vparam of int
+  | Vresult
+  | Vlocal of int
+  | Vfield of int
+
+type texpr = {
+  te_t : Ast.typ;
+  te_pos : Ast.pos;
+  te_d : texpr_desc;
+}
+
+and texpr_desc =
+  | TEint of int32
+  | TEreal of float
+  | TEbool of bool
+  | TEstr of string
+  | TEnil
+  | TEvar of var_ref * string
+  | TEself
+  | TEbin of Ast.binop * texpr * texpr
+  | TEun of Ast.unop * texpr
+  | TEinvoke of texpr * class_info * method_sig * texpr list
+  | TEnew of class_info * texpr list
+  | TEvec_new of Ast.typ * texpr  (** element type, length *)
+  | TEindex of texpr * texpr
+  | TEveclen of texpr
+  | TElocate of texpr
+  | TEthisnode
+  | TEtimenow
+  | TEcvt_int_to_real of texpr
+
+type tstmt =
+  | TSdecl of int * texpr
+  | TSassign of var_ref * texpr
+  | TSindex_assign of texpr * texpr * texpr
+  | TSexpr of texpr
+  | TSif of (texpr * tstmt list) list * tstmt list
+  | TSloop of tstmt list
+  | TSexit of texpr option
+  | TSreturn
+  | TSmove of texpr * texpr
+  | TSprint of texpr list
+  | TSwait of int
+  | TSsignal of int
+
+type top = {
+  t_sig : method_sig;
+  t_locals : (string * Ast.typ) array;
+  t_body : tstmt list;
+}
+
+type tclass = {
+  tc_info : class_info;
+  tc_field_inits : texpr array;
+  tc_ops : top array;
+}
+
+type tprog = {
+  tp_classes : tclass array;
+}
+
+let max_params = 5
+
+(* Class table ----------------------------------------------------------- *)
+
+let build_class_info index (c : Ast.class_decl) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ast.field_decl) ->
+      if Hashtbl.mem seen f.Ast.f_name then
+        Diag.error f.Ast.f_pos "duplicate field %s in object %s" f.Ast.f_name c.Ast.c_name;
+      Hashtbl.replace seen f.Ast.f_name ())
+    c.Ast.c_fields;
+  let fields =
+    Array.of_list (List.map (fun (f : Ast.field_decl) -> (f.Ast.f_name, f.Ast.f_type)) c.Ast.c_fields)
+  in
+  let attached =
+    Array.of_list (List.map (fun (f : Ast.field_decl) -> f.Ast.f_attached) c.Ast.c_fields)
+  in
+  let seen_ops = Hashtbl.create 8 in
+  let declared =
+      (List.mapi
+         (fun i (o : Ast.op_decl) ->
+           if Hashtbl.mem seen_ops o.Ast.op_name then
+             Diag.error o.Ast.op_pos "duplicate operation %s in object %s" o.Ast.op_name
+               c.Ast.c_name;
+           Hashtbl.replace seen_ops o.Ast.op_name ();
+           if List.length o.Ast.op_params > max_params then
+             Diag.error o.Ast.op_pos "operation %s has more than %d parameters"
+               o.Ast.op_name max_params;
+           let result =
+             match o.Ast.op_results with
+             | [] -> None
+             | [ (_, t) ] -> Some t
+             | _ :: _ :: _ ->
+               Diag.error o.Ast.op_pos "operation %s has more than one result" o.Ast.op_name
+           in
+           {
+             m_index = i;
+             m_name = o.Ast.op_name;
+             m_monitored = o.Ast.op_monitored;
+             m_params = o.Ast.op_params;
+             m_result = result;
+           })
+         c.Ast.c_ops)
+  in
+  (* the process section compiles as an ordinary parameterless operation
+     under a name no source identifier can collide with *)
+  let methods =
+    match c.Ast.c_process with
+    | None -> Array.of_list declared
+    | Some _ ->
+      Array.of_list
+        (declared
+        @ [
+            {
+              m_index = List.length declared;
+              m_name = "$process";
+              m_monitored = false;
+              m_params = [];
+              m_result = None;
+            };
+          ])
+  in
+  {
+    ci_index = index;
+    ci_name = c.Ast.c_name;
+    ci_fields = fields;
+    ci_attached = attached;
+    ci_methods = methods;
+    ci_has_initially = Array.exists (fun m -> String.equal m.m_name "initially") methods;
+    ci_has_process = c.Ast.c_process <> None;
+    ci_conditions = Array.of_list (List.map snd c.Ast.c_conditions);
+  }
+
+(* Environment ------------------------------------------------------------ *)
+
+type env = {
+  classes : (string, class_info) Hashtbl.t;
+  cls : class_info;  (* enclosing class *)
+  params : (string * Ast.typ) list;
+  result : (string * Ast.typ) option;
+  mutable locals : (string * Ast.typ) list;  (* declaration order *)
+  mutable n_locals : int;
+  mutable loop_depth : int;
+  in_monitor : bool;
+}
+
+let lookup_class env pos name =
+  match Hashtbl.find_opt env.classes name with
+  | Some ci -> ci
+  | None -> Diag.error pos "unknown object class %s" name
+
+let rec check_valid_type env pos t =
+  match t with
+  | Ast.Tobj name -> ignore (lookup_class env pos name)
+  | Ast.Tvec e -> check_valid_type env pos e
+  | Ast.Tint | Ast.Treal | Ast.Tbool | Ast.Tstring | Ast.Tnil -> ()
+
+let index_of_assoc name l =
+  let rec go i = function
+    | [] -> None
+    | (n, t) :: rest -> if String.equal n name then Some (i, t) else go (i + 1) rest
+  in
+  go 0 l
+
+let resolve_var env pos name =
+  (* locals shadow params/results shadow fields; env.locals is kept in
+     declaration order, matching Vlocal indices *)
+  match index_of_assoc name env.locals with
+  | Some (i, t) -> (Vlocal i, t)
+  | None -> (
+    match index_of_assoc name env.params with
+    | Some (i, t) -> (Vparam i, t)
+    | None -> (
+      match env.result with
+      | Some (rn, rt) when String.equal rn name -> (Vresult, rt)
+      | Some _ | None -> (
+        match
+          Array.find_index (fun (fn, _) -> String.equal fn name) env.cls.ci_fields
+        with
+        | Some i -> (Vfield i, snd env.cls.ci_fields.(i))
+        | None -> Diag.error pos "unknown variable %s" name)))
+
+(* Typing ----------------------------------------------------------------- *)
+
+let is_numeric = function
+  | Ast.Tint | Ast.Treal -> true
+  | Ast.Tbool | Ast.Tstring | Ast.Tobj _ | Ast.Tvec _ | Ast.Tnil -> false
+
+let is_ref = function
+  | Ast.Tobj _ | Ast.Tnil -> true
+  | Ast.Tint | Ast.Treal | Ast.Tbool | Ast.Tstring | Ast.Tvec _ -> false
+
+let promote e =
+  match e.te_t with
+  | Ast.Tint -> { te_t = Ast.Treal; te_pos = e.te_pos; te_d = TEcvt_int_to_real e }
+  | Ast.Treal | Ast.Tbool | Ast.Tstring | Ast.Tobj _ | Ast.Tvec _ | Ast.Tnil -> e
+
+(* [assignable ~target actual]: may a value of type [actual] be stored in a
+   slot of type [target]?  nil is assignable to any object reference. *)
+let assignable ~target actual =
+  Ast.typ_equal target actual
+  ||
+  match target, actual with
+  | (Ast.Tobj _ | Ast.Tvec _), Ast.Tnil -> true
+  | _, _ -> false
+
+let coerce env pos ~target e =
+  ignore env;
+  if assignable ~target e.te_t then e
+  else if Ast.typ_equal target Ast.Treal && Ast.typ_equal e.te_t Ast.Tint then promote e
+  else
+    Diag.error pos "type mismatch: expected %s but found %s" (Ast.typ_name target)
+      (Ast.typ_name e.te_t)
+
+let rec check_expr env (e : Ast.expr) : texpr =
+  let pos = e.Ast.e_pos in
+  let mk t d = { te_t = t; te_pos = pos; te_d = d } in
+  match e.Ast.e_desc with
+  | Ast.Eint v -> mk Ast.Tint (TEint v)
+  | Ast.Ereal v -> mk Ast.Treal (TEreal v)
+  | Ast.Ebool v -> mk Ast.Tbool (TEbool v)
+  | Ast.Estr v -> mk Ast.Tstring (TEstr v)
+  | Ast.Enil -> mk Ast.Tnil TEnil
+  | Ast.Eself -> mk (Ast.Tobj env.cls.ci_name) TEself
+  | Ast.Ethisnode -> mk Ast.Tint TEthisnode
+  | Ast.Etimenow -> mk Ast.Tint TEtimenow
+  | Ast.Evar name ->
+    let vr, t = resolve_var env pos name in
+    mk t (TEvar (vr, name))
+  | Ast.Elocate obj ->
+    let tobj = check_expr env obj in
+    if not (is_ref tobj.te_t) then
+      Diag.error pos "locate expects an object reference, found %s" (Ast.typ_name tobj.te_t);
+    mk Ast.Tint (TElocate tobj)
+  | Ast.Eun (Ast.Uneg, x) ->
+    let tx = check_expr env x in
+    if not (is_numeric tx.te_t) then
+      Diag.error pos "unary '-' expects int or real, found %s" (Ast.typ_name tx.te_t);
+    mk tx.te_t (TEun (Ast.Uneg, tx))
+  | Ast.Eun (Ast.Unot, x) ->
+    let tx = check_expr env x in
+    if not (Ast.typ_equal tx.te_t Ast.Tbool) then
+      Diag.error pos "'not' expects bool, found %s" (Ast.typ_name tx.te_t);
+    mk Ast.Tbool (TEun (Ast.Unot, tx))
+  | Ast.Ebin (op, a, b) -> check_bin env pos op a b
+  | Ast.Enew (cname, args) ->
+    let ci = lookup_class env pos cname in
+    let targs = List.map (check_expr env) args in
+    let targs =
+      if ci.ci_has_initially then begin
+        let init =
+          match
+            Array.find_opt (fun m -> String.equal m.m_name "initially") ci.ci_methods
+          with
+          | Some m -> m
+          | None -> assert false
+        in
+        if List.length targs <> List.length init.m_params then
+          Diag.error pos "new %s: initially expects %d argument(s), given %d" cname
+            (List.length init.m_params) (List.length targs);
+        List.map2 (fun (_, pt) a -> coerce env pos ~target:pt a) init.m_params targs
+      end
+      else if targs <> [] then
+        Diag.error pos "new %s: object has no initially operation but arguments were given"
+          cname
+      else []
+    in
+    mk (Ast.Tobj cname) (TEnew (ci, targs))
+  | Ast.Evec_new (elem_ty, len) ->
+    check_valid_type env pos elem_ty;
+    let tlen = coerce env pos ~target:Ast.Tint (check_expr env len) in
+    mk (Ast.Tvec elem_ty) (TEvec_new (elem_ty, tlen))
+  | Ast.Eindex (vec, idx) -> (
+    let tvec = check_expr env vec in
+    let tidx = coerce env pos ~target:Ast.Tint (check_expr env idx) in
+    match tvec.te_t with
+    | Ast.Tvec elem -> mk elem (TEindex (tvec, tidx))
+    | other -> Diag.error pos "cannot index a value of type %s" (Ast.typ_name other))
+  | Ast.Einvoke (target, "size", []) when
+      (match (check_expr env target).te_t with
+      | Ast.Tvec _ -> true
+      | _ -> false) ->
+    let tvec = check_expr env target in
+    mk Ast.Tint (TEveclen tvec)
+  | Ast.Einvoke (target, opname, args) -> (
+    let ttarget = check_expr env target in
+    match ttarget.te_t with
+    | Ast.Tobj cname -> (
+      let ci = lookup_class env pos cname in
+      match Array.find_opt (fun m -> String.equal m.m_name opname) ci.ci_methods with
+      | None -> Diag.error pos "object %s has no operation %s" cname opname
+      | Some msig ->
+        if List.length args <> List.length msig.m_params then
+          Diag.error pos "%s.%s expects %d argument(s), given %d" cname opname
+            (List.length msig.m_params) (List.length args);
+        let targs =
+          List.map2
+            (fun (_, pt) a -> coerce env pos ~target:pt (check_expr env a))
+            msig.m_params args
+        in
+        let rt =
+          match msig.m_result with
+          | Some t -> t
+          | None -> Ast.Tnil
+        in
+        mk rt (TEinvoke (ttarget, ci, msig, targs)))
+    | Ast.Tint | Ast.Treal | Ast.Tbool | Ast.Tstring | Ast.Tvec _ | Ast.Tnil ->
+      Diag.error pos "cannot invoke %s on a value of type %s" opname
+        (Ast.typ_name ttarget.te_t))
+
+and check_bin env pos op a b =
+  let ta = check_expr env a and tb = check_expr env b in
+  let mk t d = { te_t = t; te_pos = pos; te_d = d } in
+  let numeric_pair () =
+    match ta.te_t, tb.te_t with
+    | Ast.Tint, Ast.Tint -> (ta, tb, Ast.Tint)
+    | Ast.Treal, Ast.Treal -> (ta, tb, Ast.Treal)
+    | Ast.Tint, Ast.Treal -> (promote ta, tb, Ast.Treal)
+    | Ast.Treal, Ast.Tint -> (ta, promote tb, Ast.Treal)
+    | _, _ ->
+      Diag.error pos "operator %s expects numeric operands, found %s and %s"
+        (Ast.binop_name op) (Ast.typ_name ta.te_t) (Ast.typ_name tb.te_t)
+  in
+  match op with
+  | Ast.Badd
+    when Ast.typ_equal ta.te_t Ast.Tstring && Ast.typ_equal tb.te_t Ast.Tstring ->
+    mk Ast.Tstring (TEbin (op, ta, tb))
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv ->
+    let ta, tb, t = numeric_pair () in
+    mk t (TEbin (op, ta, tb))
+  | Ast.Bmod ->
+    if Ast.typ_equal ta.te_t Ast.Tint && Ast.typ_equal tb.te_t Ast.Tint then
+      mk Ast.Tint (TEbin (op, ta, tb))
+    else Diag.error pos "'%%' expects int operands"
+  | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge ->
+    let ta, tb, _ = numeric_pair () in
+    mk Ast.Tbool (TEbin (op, ta, tb))
+  | Ast.Beq | Ast.Bne ->
+    let ok =
+      (is_numeric ta.te_t && is_numeric tb.te_t)
+      || (Ast.typ_equal ta.te_t Ast.Tbool && Ast.typ_equal tb.te_t Ast.Tbool)
+      || (Ast.typ_equal ta.te_t Ast.Tstring && Ast.typ_equal tb.te_t Ast.Tstring)
+      || (is_ref ta.te_t && is_ref tb.te_t)
+    in
+    if not ok then
+      Diag.error pos "cannot compare %s with %s" (Ast.typ_name ta.te_t)
+        (Ast.typ_name tb.te_t);
+    if is_numeric ta.te_t && is_numeric tb.te_t then
+      let ta, tb, _ = numeric_pair () in
+      mk Ast.Tbool (TEbin (op, ta, tb))
+    else mk Ast.Tbool (TEbin (op, ta, tb))
+  | Ast.Band | Ast.Bor ->
+    if Ast.typ_equal ta.te_t Ast.Tbool && Ast.typ_equal tb.te_t Ast.Tbool then
+      mk Ast.Tbool (TEbin (op, ta, tb))
+    else Diag.error pos "'%s' expects bool operands" (Ast.binop_name op)
+
+let rec check_stmt env (s : Ast.stmt) : tstmt =
+  let pos = s.Ast.s_pos in
+  match s.Ast.s_desc with
+  | Ast.Svar (name, ty, init) ->
+    check_valid_type env pos ty;
+    if List.exists (fun (n, _) -> String.equal n name) env.locals then
+      Diag.error pos "variable %s is already declared in this operation" name;
+    if index_of_assoc name env.params <> None then
+      Diag.error pos "variable %s shadows a parameter" name;
+    (match env.result with
+    | Some (rn, _) when String.equal rn name ->
+      Diag.error pos "variable %s shadows the result" name
+    | Some _ | None -> ());
+    let tinit = coerce env pos ~target:ty (check_expr env init) in
+    let idx = env.n_locals in
+    env.locals <- env.locals @ [ (name, ty) ];
+    env.n_locals <- env.n_locals + 1;
+    TSdecl (idx, tinit)
+  | Ast.Sassign (name, e) ->
+    let vr, t = resolve_var env pos name in
+    let te = coerce env pos ~target:t (check_expr env e) in
+    TSassign (vr, te)
+  | Ast.Sindex_assign (vec, idx, e) -> (
+    let tvec = check_expr env vec in
+    let tidx = coerce env pos ~target:Ast.Tint (check_expr env idx) in
+    match tvec.te_t with
+    | Ast.Tvec elem ->
+      let te = coerce env pos ~target:elem (check_expr env e) in
+      TSindex_assign (tvec, tidx, te)
+    | other -> Diag.error pos "cannot index a value of type %s" (Ast.typ_name other))
+  | Ast.Sexpr e -> (
+    let te = check_expr env e in
+    match te.te_d with
+    | TEinvoke (_, _, _, _) | TEnew (_, _) -> TSexpr te
+    | _ -> Diag.error pos "only invocations may be used as statements")
+  | Ast.Sif (arms, els) ->
+    let tarms =
+      List.map
+        (fun (cond, body) ->
+          let tc = check_expr env cond in
+          if not (Ast.typ_equal tc.te_t Ast.Tbool) then
+            Diag.error cond.Ast.e_pos "if condition must be bool, found %s"
+              (Ast.typ_name tc.te_t);
+          (tc, List.map (check_stmt env) body))
+        arms
+    in
+    TSif (tarms, List.map (check_stmt env) els)
+  | Ast.Sloop body ->
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = List.map (check_stmt env) body in
+    env.loop_depth <- env.loop_depth - 1;
+    TSloop tbody
+  | Ast.Swhile (cond, body) ->
+    (* while c ... end  ==  loop exit when not c; ... end loop *)
+    let tc = check_expr env cond in
+    if not (Ast.typ_equal tc.te_t Ast.Tbool) then
+      Diag.error cond.Ast.e_pos "while condition must be bool, found %s"
+        (Ast.typ_name tc.te_t);
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = List.map (check_stmt env) body in
+    env.loop_depth <- env.loop_depth - 1;
+    let notc = { te_t = Ast.Tbool; te_pos = cond.Ast.e_pos; te_d = TEun (Ast.Unot, tc) } in
+    TSloop (TSexit (Some notc) :: tbody)
+  | Ast.Sexit cond ->
+    if env.loop_depth = 0 then Diag.error pos "'exit' outside of a loop";
+    let tc =
+      Option.map
+        (fun c ->
+          let t = check_expr env c in
+          if not (Ast.typ_equal t.te_t Ast.Tbool) then
+            Diag.error pos "'exit when' condition must be bool, found %s"
+              (Ast.typ_name t.te_t);
+          t)
+        cond
+    in
+    TSexit tc
+  | Ast.Sreturn -> TSreturn
+  | Ast.Smove (obj, node) ->
+    let tobj = check_expr env obj in
+    if not (is_ref tobj.te_t) then
+      Diag.error pos "move expects an object reference, found %s" (Ast.typ_name tobj.te_t);
+    let tnode = coerce env pos ~target:Ast.Tint (check_expr env node) in
+    TSmove (tobj, tnode)
+  | Ast.Sprint args -> TSprint (List.map (check_expr env) args)
+  | Ast.Swait name | Ast.Ssignal name -> (
+    if not env.in_monitor then
+      Diag.error pos "wait/signal may only be used inside monitored operations";
+    match
+      Array.find_index (fun c -> String.equal c name) env.cls.ci_conditions
+    with
+    | Some i -> (
+      match s.Ast.s_desc with
+      | Ast.Swait _ -> TSwait i
+      | _ -> TSsignal i)
+    | None -> Diag.error pos "object %s has no condition %s" env.cls.ci_name name)
+
+let literal_only (e : Ast.expr) =
+  match e.Ast.e_desc with
+  | Ast.Eint _ | Ast.Ereal _ | Ast.Ebool _ | Ast.Estr _ | Ast.Enil -> true
+  | _ -> false
+
+let check_class classes (tcd : Ast.class_decl) ci =
+  let field_inits =
+    Array.of_list
+      (List.map
+         (fun (f : Ast.field_decl) ->
+           if not (literal_only f.Ast.f_init) then
+             Diag.error f.Ast.f_pos
+               "field %s: initialisers must be literals (use an initially operation)"
+               f.Ast.f_name;
+           let env =
+             {
+               classes;
+               cls = ci;
+               params = [];
+               result = None;
+               locals = [];
+               n_locals = 0;
+               loop_depth = 0;
+               in_monitor = false;
+             }
+           in
+           coerce env f.Ast.f_pos ~target:f.Ast.f_type (check_expr env f.Ast.f_init))
+         tcd.Ast.c_fields)
+  in
+  let check_one msig params result_decl body_ast =
+    let env =
+      {
+        classes;
+        cls = ci;
+        params;
+        result = result_decl;
+        locals = [];
+        n_locals = 0;
+        loop_depth = 0;
+        in_monitor = msig.m_monitored;
+      }
+    in
+    List.iter (fun (_, t) -> check_valid_type env tcd.Ast.c_pos t) params;
+    (match result_decl with
+    | Some (_, t) -> check_valid_type env tcd.Ast.c_pos t
+    | None -> ());
+    let body = List.map (check_stmt env) body_ast in
+    { t_sig = msig; t_locals = Array.of_list env.locals; t_body = body }
+  in
+  let declared =
+    List.mapi
+      (fun i (o : Ast.op_decl) ->
+        let result =
+          match o.Ast.op_results with
+          | [] -> None
+          | (rn, rt) :: _ -> Some (rn, rt)
+        in
+        check_one ci.ci_methods.(i) o.Ast.op_params result o.Ast.op_body)
+      tcd.Ast.c_ops
+  in
+  let ops =
+    match tcd.Ast.c_process with
+    | None -> Array.of_list declared
+    | Some body ->
+      let msig = ci.ci_methods.(Array.length ci.ci_methods - 1) in
+      Array.of_list (declared @ [ check_one msig [] None body ])
+  in
+  { tc_info = ci; tc_field_inits = field_inits; tc_ops = ops }
+
+let check (prog : Ast.program) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      if Hashtbl.mem seen c.Ast.c_name then
+        Diag.error c.Ast.c_pos "duplicate object class %s" c.Ast.c_name;
+      Hashtbl.replace seen c.Ast.c_name ())
+    prog.Ast.prog_classes;
+  let infos = List.mapi build_class_info prog.Ast.prog_classes in
+  let classes = Hashtbl.create 8 in
+  List.iter (fun ci -> Hashtbl.replace classes ci.ci_name ci) infos;
+  let tclasses =
+    List.map2 (fun cd ci -> check_class classes cd ci) prog.Ast.prog_classes infos
+  in
+  { tp_classes = Array.of_list tclasses }
+
+let find_class tp name =
+  Array.find_opt (fun tc -> String.equal tc.tc_info.ci_name name) tp.tp_classes

@@ -1,0 +1,99 @@
+(** Static checking and name resolution.
+
+    Produces a typed AST with every name resolved to a parameter, result,
+    local, or field of the enclosing object, and every invocation resolved
+    to a method index (the dispatch-table slot, identical on every
+    architecture).  Implicit [int] to [real] promotions are made explicit.
+
+    Restrictions (all reported as errors):
+    - operations have at most one result and at most 5 parameters (the
+      SPARC backend passes self plus arguments in the six out registers);
+    - field initialisers are literals — richer initialisation belongs in
+      an [initially] operation, which [new] invokes;
+    - fields are accessible only from their own object's operations. *)
+
+type class_info = {
+  ci_index : int;
+  ci_name : string;
+  ci_fields : (string * Ast.typ) array;
+  ci_attached : bool array;
+  ci_methods : method_sig array;  (** including ["$process"], when present *)
+  ci_has_initially : bool;
+  ci_has_process : bool;
+  ci_conditions : string array;
+}
+
+and method_sig = {
+  m_index : int;
+  m_name : string;
+  m_monitored : bool;
+  m_params : (string * Ast.typ) list;
+  m_result : Ast.typ option;
+}
+
+type var_ref =
+  | Vparam of int  (** 0-based among declared parameters (self excluded) *)
+  | Vresult
+  | Vlocal of int
+  | Vfield of int
+
+type texpr = {
+  te_t : Ast.typ;
+  te_pos : Ast.pos;
+  te_d : texpr_desc;
+}
+
+and texpr_desc =
+  | TEint of int32
+  | TEreal of float
+  | TEbool of bool
+  | TEstr of string
+  | TEnil
+  | TEvar of var_ref * string
+  | TEself
+  | TEbin of Ast.binop * texpr * texpr
+  | TEun of Ast.unop * texpr
+  | TEinvoke of texpr * class_info * method_sig * texpr list
+  | TEnew of class_info * texpr list
+  | TEvec_new of Ast.typ * texpr  (** element type, length *)
+  | TEindex of texpr * texpr
+  | TEveclen of texpr
+  | TElocate of texpr
+  | TEthisnode
+  | TEtimenow
+  | TEcvt_int_to_real of texpr
+
+type tstmt =
+  | TSdecl of int * texpr  (** initialise local [i] *)
+  | TSassign of var_ref * texpr
+  | TSindex_assign of texpr * texpr * texpr
+  | TSexpr of texpr
+  | TSif of (texpr * tstmt list) list * tstmt list
+  | TSloop of tstmt list
+  | TSexit of texpr option
+  | TSreturn
+  | TSmove of texpr * texpr
+  | TSprint of texpr list
+  | TSwait of int  (** condition index *)
+  | TSsignal of int
+
+type top = {
+  t_sig : method_sig;
+  t_locals : (string * Ast.typ) array;
+  t_body : tstmt list;
+}
+
+type tclass = {
+  tc_info : class_info;
+  tc_field_inits : texpr array;
+  tc_ops : top array;
+}
+
+type tprog = {
+  tp_classes : tclass array;
+}
+
+val check : Ast.program -> tprog
+(** @raise Diag.Compile_error *)
+
+val find_class : tprog -> string -> tclass option

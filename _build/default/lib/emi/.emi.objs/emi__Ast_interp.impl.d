@@ -1,0 +1,1 @@
+lib/emi/ast_interp.ml: Array Bool Buffer Emc Float Int32 List Mvalue Option String

@@ -1,0 +1,1 @@
+lib/emi/ast_interp.mli: Emc Mvalue

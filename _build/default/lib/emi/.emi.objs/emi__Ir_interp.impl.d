@@ -1,0 +1,1 @@
+lib/emi/ir_interp.ml: Array Buffer Emc Float Int32 Isa List Mvalue Option String

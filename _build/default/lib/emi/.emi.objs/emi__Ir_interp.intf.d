@@ -1,0 +1,1 @@
+lib/emi/ir_interp.mli: Emc Mvalue

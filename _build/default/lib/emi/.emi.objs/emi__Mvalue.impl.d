@@ -1,0 +1,1 @@
+lib/emi/mvalue.ml: Array Bool Emc Float Int32 Printf String

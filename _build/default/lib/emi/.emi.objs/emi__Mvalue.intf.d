@@ -1,0 +1,1 @@
+lib/emi/mvalue.mli: Emc

@@ -1,0 +1,241 @@
+module T = Emc.Typecheck
+module V = Mvalue
+
+type result = {
+  value : Mvalue.t option;
+  output : string;
+  steps : int;
+}
+
+type state = {
+  prog : T.tprog;
+  out : Buffer.t;
+  mutable steps : int;
+}
+
+exception Exit_loop
+exception Return
+
+type frame = {
+  self : V.obj;
+  params : V.t array;
+  mutable result : V.t;
+  locals : V.t array;
+}
+
+let tick st = st.steps <- st.steps + 1
+
+let class_of st i = st.prog.T.tp_classes.(i)
+
+let new_object st (ci : T.class_info) =
+  tick st;
+  {
+    V.o_class = ci.T.ci_index;
+    o_fields =
+      Array.map
+        (fun tc ->
+          ignore tc;
+          V.Nil)
+        ci.T.ci_fields;
+  }
+
+let literal_value (e : T.texpr) =
+  match e.T.te_d with
+  | T.TEint v -> V.Int v
+  | T.TEreal v -> V.Real v
+  | T.TEbool v -> V.Bool v
+  | T.TEstr v -> V.Str v
+  | T.TEnil -> V.Nil
+  | T.TEcvt_int_to_real { T.te_d = T.TEint v; _ } -> V.Real (Int32.to_float v)
+  | _ -> failwith "field initialisers are literals"
+
+let init_fields st (tc : T.tclass) (obj : V.obj) =
+  Array.iteri (fun i init -> obj.V.o_fields.(i) <- literal_value init) tc.T.tc_field_inits;
+  ignore st
+
+let rec eval st (fr : frame) (e : T.texpr) : V.t =
+  tick st;
+  match e.T.te_d with
+  | T.TEint v -> V.Int v
+  | T.TEreal v -> V.Real v
+  | T.TEbool v -> V.Bool v
+  | T.TEstr v -> V.Str v
+  | T.TEnil -> V.Nil
+  | T.TEself -> V.Obj fr.self
+  | T.TEthisnode -> V.Int 0l
+  | T.TEtimenow -> V.Int 0l
+  | T.TEvar (vr, _) -> (
+    match vr with
+    | T.Vparam i -> fr.params.(i)
+    | T.Vresult -> fr.result
+    | T.Vlocal i -> fr.locals.(i)
+    | T.Vfield i -> fr.self.V.o_fields.(i))
+  | T.TElocate _ -> V.Int 0l
+  | T.TEvec_new (elem, len) ->
+    let n = Int32.to_int (V.as_int (eval st fr len)) in
+    if n < 0 then failwith "negative vector length";
+    V.Vec (Array.make n (V.default_of elem))
+  | T.TEindex (vec, idx) ->
+    let xs = V.as_vec (eval st fr vec) in
+    let i = Int32.to_int (V.as_int (eval st fr idx)) in
+    if i < 0 || i >= Array.length xs then failwith "vector index out of bounds";
+    xs.(i)
+  | T.TEveclen vec -> V.Int (Int32.of_int (Array.length (V.as_vec (eval st fr vec))))
+  | T.TEcvt_int_to_real x -> V.Real (Int32.to_float (V.as_int (eval st fr x)))
+  | T.TEun (Emc.Ast.Uneg, x) -> (
+    match eval st fr x with
+    | V.Int v -> V.Int (Int32.neg v)
+    | V.Real v -> V.Real (-.v)
+    | _ -> V.type_error "negation")
+  | T.TEun (Emc.Ast.Unot, x) -> V.Bool (not (V.as_bool (eval st fr x)))
+  | T.TEbin (op, a, b) -> eval_bin st fr op a b
+  | T.TEnew (ci, args) ->
+    let obj = new_object st ci in
+    let tc = class_of st ci.T.ci_index in
+    init_fields st tc obj;
+    if ci.T.ci_has_initially then begin
+      let vargs = List.map (eval st fr) args in
+      ignore (invoke st obj "initially" vargs)
+    end;
+    (* the machine-independent levels are single-threaded: a process
+       section runs to completion at creation *)
+    if ci.T.ci_has_process then ignore (invoke st obj "$process" []);
+    V.Obj obj
+  | T.TEinvoke (target, _, msig, args) -> (
+    match eval st fr target with
+    | V.Obj obj ->
+      let vargs = List.map (eval st fr) args in
+      Option.value (invoke st obj msig.T.m_name vargs) ~default:V.Nil
+    | V.Nil -> failwith "invocation of nil"
+    | _ -> V.type_error "invocation target")
+
+and eval_bin st fr op a b =
+  let va = eval st fr a in
+  let vb = eval st fr b in
+  let module A = Emc.Ast in
+  match op, va, vb with
+  | A.Badd, V.Str x, V.Str y -> V.Str (x ^ y)
+  | A.Badd, V.Int x, V.Int y -> V.Int (Int32.add x y)
+  | A.Bsub, V.Int x, V.Int y -> V.Int (Int32.sub x y)
+  | A.Bmul, V.Int x, V.Int y -> V.Int (Int32.mul x y)
+  | A.Bdiv, V.Int x, V.Int y ->
+    if Int32.equal y 0l then failwith "division by zero" else V.Int (Int32.div x y)
+  | A.Bmod, V.Int x, V.Int y ->
+    if Int32.equal y 0l then failwith "division by zero" else V.Int (Int32.rem x y)
+  | A.Badd, _, _ -> V.Real (V.as_real va +. V.as_real vb)
+  | A.Bsub, _, _ -> V.Real (V.as_real va -. V.as_real vb)
+  | A.Bmul, _, _ -> V.Real (V.as_real va *. V.as_real vb)
+  | A.Bdiv, _, _ ->
+    let y = V.as_real vb in
+    if y = 0.0 then failwith "division by zero" else V.Real (V.as_real va /. y)
+  | A.Bmod, _, _ -> V.type_error "mod"
+  | A.Beq, _, _ -> V.Bool (compare_values va vb = Some 0)
+  | A.Bne, _, _ -> V.Bool (compare_values va vb <> Some 0)
+  | A.Blt, _, _ -> V.Bool (cmp_num va vb < 0)
+  | A.Ble, _, _ -> V.Bool (cmp_num va vb <= 0)
+  | A.Bgt, _, _ -> V.Bool (cmp_num va vb > 0)
+  | A.Bge, _, _ -> V.Bool (cmp_num va vb >= 0)
+  | A.Band, _, _ -> V.Bool (V.as_bool va && V.as_bool vb)
+  | A.Bor, _, _ -> V.Bool (V.as_bool va || V.as_bool vb)
+
+and compare_values a b =
+  match a, b with
+  | V.Int x, V.Int y -> Some (Int32.compare x y)
+  | V.Real _, _ | _, V.Real _ -> Some (Float.compare (V.as_real a) (V.as_real b))
+  | V.Bool x, V.Bool y -> Some (Bool.compare x y)
+  | V.Str x, V.Str y -> Some (String.compare x y)
+  | V.Obj x, V.Obj y -> Some (if x == y then 0 else 1)
+  | V.Nil, V.Nil -> Some 0
+  | (V.Obj _ | V.Nil), (V.Obj _ | V.Nil) -> Some 1
+  | V.Vec _, _ | _, V.Vec _ -> None
+  | _, _ -> None
+
+and cmp_num a b =
+  match a, b with
+  | V.Int x, V.Int y -> Int32.compare x y
+  | _, _ -> Float.compare (V.as_real a) (V.as_real b)
+
+and exec st fr (s : T.tstmt) =
+  tick st;
+  match s with
+  | T.TSdecl (i, e) -> fr.locals.(i) <- eval st fr e
+  | T.TSassign (vr, e) -> (
+    let v = eval st fr e in
+    match vr with
+    | T.Vparam i -> fr.params.(i) <- v
+    | T.Vresult -> fr.result <- v
+    | T.Vlocal i -> fr.locals.(i) <- v
+    | T.Vfield i -> fr.self.V.o_fields.(i) <- v)
+  | T.TSindex_assign (vec, idx, e) ->
+    let xs = V.as_vec (eval st fr vec) in
+    let i = Int32.to_int (V.as_int (eval st fr idx)) in
+    if i < 0 || i >= Array.length xs then failwith "vector index out of bounds";
+    xs.(i) <- eval st fr e
+  | T.TSexpr e -> ignore (eval st fr e)
+  | T.TSif (arms, els) ->
+    let rec go = function
+      | [] -> List.iter (exec st fr) els
+      | (c, body) :: rest ->
+        if V.as_bool (eval st fr c) then List.iter (exec st fr) body else go rest
+    in
+    go arms
+  | T.TSloop body -> (
+    try
+      while true do
+        List.iter (exec st fr) body
+      done
+    with Exit_loop -> ())
+  | T.TSexit None -> raise Exit_loop
+  | T.TSexit (Some c) -> if V.as_bool (eval st fr c) then raise Exit_loop
+  | T.TSreturn -> raise Return
+  | T.TSmove (obj, node) ->
+    (* a single machine-independent world: mobility is a no-op, exactly
+       the "painless migration" of section 1 *)
+    ignore (eval st fr obj);
+    ignore (eval st fr node)
+  | T.TSwait _ -> failwith "wait: the machine-independent levels are single-threaded"
+  | T.TSsignal _ -> () (* nothing can be waiting *)
+  | T.TSprint args ->
+    List.iter (fun a -> Buffer.add_string st.out (V.to_print_string (eval st fr a))) args;
+    Buffer.add_char st.out '\n'
+
+and invoke st (obj : V.obj) op_name vargs : V.t option =
+  let tc = class_of st obj.V.o_class in
+  let top =
+    match
+      Array.find_opt (fun (o : T.top) -> String.equal o.T.t_sig.T.m_name op_name) tc.T.tc_ops
+    with
+    | Some o -> o
+    | None -> failwith ("no operation " ^ op_name)
+  in
+  let fr =
+    {
+      self = obj;
+      params = Array.of_list vargs;
+      result =
+        (match top.T.t_sig.T.m_result with
+        | Some ty -> V.default_of ty
+        | None -> V.Nil);
+      locals = Array.map (fun (_, ty) -> V.default_of ty) top.T.t_locals;
+    }
+  in
+  (try List.iter (exec st fr) top.T.t_body with Return -> ());
+  match top.T.t_sig.T.m_result with
+  | Some _ -> Some fr.result
+  | None -> None
+
+let run prog ~class_name ~op ~args =
+  let st = { prog; out = Buffer.create 64; steps = 0 } in
+  let ci =
+    match
+      Array.find_opt
+        (fun (tc : T.tclass) -> String.equal tc.T.tc_info.T.ci_name class_name)
+        prog.T.tp_classes
+    with
+    | Some tc -> tc.T.tc_info
+    | None -> failwith ("no class " ^ class_name)
+  in
+  let obj = new_object st ci in
+  init_fields st (class_of st ci.T.ci_index) obj;
+  let value = invoke st obj op args in
+  { value; output = Buffer.contents st.out; steps = st.steps }

@@ -1,0 +1,20 @@
+(** Source-level interpretation: the top of the Figure 2 hierarchy.
+
+    Executes the typed AST directly.  Thread state is OCaml data (an
+    environment tree), so mobility at this level would be trivial — and
+    execution is correspondingly slow, which is what the hierarchy
+    predicts and the [fig2] benchmark measures. *)
+
+type result = {
+  value : Mvalue.t option;
+  output : string;
+  steps : int;  (** AST nodes evaluated *)
+}
+
+val run :
+  Emc.Typecheck.tprog ->
+  class_name:string ->
+  op:string ->
+  args:Mvalue.t list ->
+  result
+(** @raise Failure on runtime errors (nil invocation, division by zero). *)

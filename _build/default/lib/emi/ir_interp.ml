@@ -1,0 +1,204 @@
+module I = Emc.Ir
+module V = Mvalue
+
+type result = {
+  value : Mvalue.t option;
+  output : string;
+  steps : int;
+}
+
+type state = {
+  prog : I.program_ir;
+  out : Buffer.t;
+  mutable steps : int;
+}
+
+let class_of st i = st.prog.I.pr_classes.(i)
+
+let new_object st class_index =
+  let cl = class_of st class_index in
+  let obj =
+    {
+      V.o_class = class_index;
+      o_fields = Array.make (Array.length cl.I.cl_fields) V.Nil;
+    }
+  in
+  Array.iteri
+    (fun i init ->
+      obj.V.o_fields.(i) <-
+        (match (init : I.field_init) with
+        | I.Fint v -> V.Int v
+        | I.Freal v -> V.Real v
+        | I.Fbool v -> V.Bool v
+        | I.Fstr v -> V.Str v
+        | I.Fnil -> V.Nil))
+    cl.I.cl_field_inits;
+  obj
+
+let int_op op a b =
+  match (op : Isa.Insn.binop) with
+  | Isa.Insn.Add -> Int32.add a b
+  | Isa.Insn.Sub -> Int32.sub a b
+  | Isa.Insn.Mul -> Int32.mul a b
+  | Isa.Insn.Div ->
+    if Int32.equal b 0l then failwith "division by zero" else Int32.div a b
+  | Isa.Insn.Mod ->
+    if Int32.equal b 0l then failwith "division by zero" else Int32.rem a b
+  | Isa.Insn.And -> Int32.logand a b
+  | Isa.Insn.Or -> Int32.logor a b
+  | Isa.Insn.Xor -> Int32.logxor a b
+
+let real_op op a b =
+  match (op : Isa.Insn.binop) with
+  | Isa.Insn.Add -> a +. b
+  | Isa.Insn.Sub -> a -. b
+  | Isa.Insn.Mul -> a *. b
+  | Isa.Insn.Div -> if b = 0.0 then failwith "division by zero" else a /. b
+  | Isa.Insn.Mod | Isa.Insn.And | Isa.Insn.Or | Isa.Insn.Xor ->
+    failwith "bad float operation"
+
+let eval_cmp op c =
+  match (op : Isa.Insn.cmp) with
+  | Isa.Insn.Eq -> c = 0
+  | Isa.Insn.Ne -> c <> 0
+  | Isa.Insn.Lt -> c < 0
+  | Isa.Insn.Le -> c <= 0
+  | Isa.Insn.Gt -> c > 0
+  | Isa.Insn.Ge -> c >= 0
+
+let rec call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t option =
+  let n_vars = Array.length op_ir.I.oi_vars in
+  let vars = Array.make n_vars V.Nil in
+  Array.iteri (fun i vd -> vars.(i) <- V.default_of vd.I.vd_type) op_ir.I.oi_vars;
+  vars.(0) <- V.Obj self;
+  List.iteri (fun i a -> vars.(i + 1) <- a) args;
+  let temps = Array.make (max 1 (Array.length op_ir.I.oi_temp_types)) V.Nil in
+  let cl = class_of st self.V.o_class in
+  let rec run_block label =
+    let blk = op_ir.I.oi_blocks.(label) in
+    List.iter (step blk) blk.I.b_instrs;
+    st.steps <- st.steps + 1;
+    match blk.I.b_term with
+    | I.Tjump l -> run_block l
+    | I.Tloop { target; _ } -> run_block target
+    | I.Tcond { c; if_true; if_false } ->
+      run_block (if V.as_bool temps.(c) then if_true else if_false)
+    | I.Treturn -> ()
+  and step _blk instr =
+    st.steps <- st.steps + 1;
+    match instr with
+    | I.Iconst_int (t, v) -> temps.(t) <- V.Int v
+    | I.Iconst_real (t, v) -> temps.(t) <- V.Real v
+    | I.Iconst_bool (t, v) -> temps.(t) <- V.Bool v
+    | I.Iconst_str (t, s) -> temps.(t) <- V.Str cl.I.cl_strings.(s)
+    | I.Iconst_nil t -> temps.(t) <- V.Nil
+    | I.Icopy (d, s) -> temps.(d) <- temps.(s)
+    | I.Iload_var (t, v) -> temps.(t) <- vars.(v)
+    | I.Istore_var (v, t) -> vars.(v) <- temps.(t)
+    | I.Iload_field (t, f) -> temps.(t) <- self.V.o_fields.(f)
+    | I.Istore_field (f, t) -> self.V.o_fields.(f) <- temps.(t)
+    | I.Ibin { dst; op; ty; a; b } ->
+      temps.(dst) <-
+        (match ty with
+        | I.Aint -> V.Int (int_op op (V.as_int temps.(a)) (V.as_int temps.(b)))
+        | I.Areal -> V.Real (real_op op (V.as_real temps.(a)) (V.as_real temps.(b))))
+    | I.Icmp { dst; op; ty; a; b } ->
+      let c =
+        match ty with
+        | I.Areal -> Float.compare (V.as_real temps.(a)) (V.as_real temps.(b))
+        | I.Aint -> (
+          match temps.(a), temps.(b) with
+          | V.Int x, V.Int y -> Int32.compare x y
+          | x, y -> if V.equal x y then 0 else 1)
+      in
+      temps.(dst) <- V.Bool (eval_cmp op c)
+    | I.Ineg { dst; ty; a } ->
+      temps.(dst) <-
+        (match ty with
+        | I.Aint -> V.Int (Int32.neg (V.as_int temps.(a)))
+        | I.Areal -> V.Real (-.V.as_real temps.(a)))
+    | I.Inot { dst; a } -> temps.(dst) <- V.Bool (not (V.as_bool temps.(a)))
+    | I.Icvt_int_real { dst; a } -> temps.(dst) <- V.Real (Int32.to_float (V.as_int temps.(a)))
+    | I.Iinvoke { dst; target; method_index; args; _ } -> (
+      match temps.(target) with
+      | V.Obj obj ->
+        let callee_cl = class_of st obj.V.o_class in
+        let callee = callee_cl.I.cl_ops.(method_index) in
+        let vargs = List.map (fun t -> temps.(t)) args in
+        let r = call st ~self:obj ~op_ir:callee ~args:vargs in
+        (match dst with
+        | Some d -> temps.(d) <- Option.value r ~default:V.Nil
+        | None -> ())
+      | V.Nil -> failwith "invocation of nil"
+      | _ -> V.type_error "invocation target")
+    | I.Inew { dst; class_index; _ } -> temps.(dst) <- V.Obj (new_object st class_index)
+    | I.Ibuiltin { dst; bi; args; _ } -> (
+      let arg i = temps.(List.nth args i) in
+      let set v =
+        match dst with
+        | Some d -> temps.(d) <- v
+        | None -> ()
+      in
+      match bi with
+      | I.Bprint_int | I.Bprint_real | I.Bprint_bool | I.Bprint_str | I.Bprint_ref ->
+        Buffer.add_string st.out (V.to_print_string (arg 0))
+      | I.Bprint_nl -> Buffer.add_char st.out '\n'
+      | I.Blocate -> set (V.Int 0l)
+      | I.Bthisnode -> set (V.Int 0l)
+      | I.Btimenow -> set (V.Int 0l)
+      | I.Bmove -> () (* machine-independent level: mobility is trivial *)
+      | I.Bsconcat -> set (V.Str (V.as_str (arg 0) ^ V.as_str (arg 1)))
+      | I.Bseq -> set (V.Bool (String.equal (V.as_str (arg 0)) (V.as_str (arg 1))))
+      | I.Bvec_new ->
+        let n = Int32.to_int (V.as_int (arg 1)) in
+        if n < 0 then failwith "negative vector length";
+        set (V.Vec (Array.make n V.Nil))
+      | I.Bbounds -> failwith "vector index out of bounds"
+      | I.Bcond_wait ->
+        failwith "wait: the machine-independent levels are single-threaded"
+      | I.Bcond_signal -> () (* nothing can be waiting *)
+      | I.Bstart_process ->
+        (* single-threaded level: run the process to completion *)
+        (match arg 0 with
+        | V.Obj obj ->
+          let cl2 = class_of st obj.V.o_class in
+          (match
+             Array.find_opt (fun o -> String.equal o.I.oi_name "$process") cl2.I.cl_ops
+           with
+          | Some op -> ignore (call st ~self:obj ~op_ir:op ~args:[])
+          | None -> ())
+        | _ -> ()))
+    | I.Ivec_get { dst; vec; idx; _ } ->
+      let xs = V.as_vec temps.(vec) in
+      let i = Int32.to_int (V.as_int temps.(idx)) in
+      if i < 0 || i >= Array.length xs then failwith "vector index out of bounds";
+      temps.(dst) <- xs.(i)
+    | I.Ivec_set { vec; idx; src; _ } ->
+      let xs = V.as_vec temps.(vec) in
+      let i = Int32.to_int (V.as_int temps.(idx)) in
+      if i < 0 || i >= Array.length xs then failwith "vector index out of bounds";
+      xs.(i) <- temps.(src)
+    | I.Ivec_len { dst; vec } ->
+      temps.(dst) <- V.Int (Int32.of_int (Array.length (V.as_vec temps.(vec))))
+    | I.Imon_enter _ | I.Imon_exit _ -> () (* single-threaded level *)
+  in
+  run_block 0;
+  Option.map (fun r -> vars.(r)) op_ir.I.oi_result
+
+let run prog ~class_name ~op ~args =
+  let st = { prog; out = Buffer.create 64; steps = 0 } in
+  let cl =
+    match
+      Array.find_opt (fun c -> String.equal c.I.cl_name class_name) prog.I.pr_classes
+    with
+    | Some c -> c
+    | None -> failwith ("no class " ^ class_name)
+  in
+  let obj = new_object st cl.I.cl_index in
+  let op_ir =
+    match Array.find_opt (fun o -> String.equal o.I.oi_name op) cl.I.cl_ops with
+    | Some o -> o
+    | None -> failwith ("no operation " ^ op)
+  in
+  let value = call st ~self:obj ~op_ir ~args in
+  { value; output = Buffer.contents st.out; steps = st.steps }

@@ -1,0 +1,17 @@
+(** Intermediate-code interpretation: the middle of the Figure 2
+    hierarchy.
+
+    Executes the compiler's machine-independent IR (three-address code
+    over basic blocks) directly — the "byte code" execution level: faster
+    than walking the source tree, slower than native code, and with
+    thread state that is already machine-independent, so mobility at this
+    level needs no translation at all. *)
+
+type result = {
+  value : Mvalue.t option;
+  output : string;
+  steps : int;  (** IR instructions executed *)
+}
+
+val run :
+  Emc.Ir.program_ir -> class_name:string -> op:string -> args:Mvalue.t list -> result

@@ -1,0 +1,69 @@
+type t =
+  | Int of int32
+  | Real of float
+  | Bool of bool
+  | Str of string
+  | Obj of obj
+  | Vec of t array
+  | Nil
+
+and obj = {
+  o_class : int;
+  o_fields : t array;
+}
+
+let default_of = function
+  | Emc.Ast.Tint -> Int 0l
+  | Emc.Ast.Treal -> Real 0.0
+  | Emc.Ast.Tbool -> Bool false
+  | Emc.Ast.Tstring -> Str ""
+  | Emc.Ast.Tobj _ | Emc.Ast.Tvec _ | Emc.Ast.Tnil -> Nil
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> Int32.equal x y
+  | Real x, Real y -> Float.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Str x, Str y -> String.equal x y
+  | Obj x, Obj y -> x == y
+  | Vec x, Vec y -> x == y
+  | Nil, Nil -> true
+  | (Int _ | Real _ | Bool _ | Str _ | Obj _ | Vec _ | Nil), _ -> false
+
+let to_print_string = function
+  | Int v -> Int32.to_string v
+  | Real v -> Printf.sprintf "%g" v
+  | Bool v -> if v then "true" else "false"
+  | Str s -> s
+  | Obj _ -> "obj"
+  | Vec xs -> Printf.sprintf "vector[%d]" (Array.length xs)
+  | Nil -> "nil"
+
+exception Type_error of string
+
+let type_error m = raise (Type_error m)
+
+let as_int = function
+  | Int v -> v
+  | _ -> type_error "int expected"
+
+let as_real = function
+  | Real v -> v
+  | Int v -> Int32.to_float v
+  | _ -> type_error "real expected"
+
+let as_bool = function
+  | Bool v -> v
+  | _ -> type_error "bool expected"
+
+let as_str = function
+  | Str v -> v
+  | _ -> type_error "string expected"
+
+let as_obj = function
+  | Obj o -> o
+  | _ -> type_error "object expected"
+
+let as_vec = function
+  | Vec v -> v
+  | _ -> type_error "vector expected"

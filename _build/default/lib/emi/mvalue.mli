@@ -1,0 +1,31 @@
+(** Values for the machine-independent execution levels (Figure 2).
+
+    Unlike the native levels, objects here are plain OCaml structures —
+    there is no memory image, byte order, or float format: this is the
+    top of the thread-state specialization hierarchy, where mobility would
+    be trivial and execution is slow. *)
+
+type t =
+  | Int of int32
+  | Real of float
+  | Bool of bool
+  | Str of string
+  | Obj of obj
+  | Vec of t array
+  | Nil
+
+and obj = {
+  o_class : int;
+  o_fields : t array;
+}
+
+val default_of : Emc.Ast.typ -> t
+val equal : t -> t -> bool
+val to_print_string : t -> string
+val type_error : string -> 'a
+val as_int : t -> int32
+val as_real : t -> float
+val as_bool : t -> bool
+val as_str : t -> string
+val as_obj : t -> obj
+val as_vec : t -> t array

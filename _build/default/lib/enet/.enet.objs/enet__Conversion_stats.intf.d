@@ -1,0 +1,1 @@
+lib/enet/conversion_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/enet/netsim.ml: Array Float List String

@@ -1,0 +1,1 @@
+lib/enet/wire.ml: Buffer Char Conversion_stats Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/enet/wire.mli: Conversion_stats

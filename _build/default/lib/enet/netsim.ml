@@ -1,0 +1,99 @@
+type config = {
+  latency_us : float;
+  bandwidth_mbit_s : float;
+  frame_overhead_bytes : int;
+}
+
+let default_config =
+  { latency_us = 300.0; bandwidth_mbit_s = 10.0; frame_overhead_bytes = 58 }
+
+type message = {
+  msg_src : int;
+  msg_dst : int;
+  msg_payload : string;
+  msg_sent_at : float;
+  msg_arrives_at : float;
+  msg_seq : int;
+}
+
+type t = {
+  cfg : config;
+  n_nodes : int;
+  mutable queues : message list array;  (* per destination, ordered by (arrival, seq) *)
+  mutable medium_free_at : float;
+  mutable seq : int;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+}
+
+let create ?(config = default_config) ~n_nodes () =
+  {
+    cfg = config;
+    n_nodes;
+    queues = Array.make n_nodes [];
+    medium_free_at = 0.0;
+    seq = 0;
+    messages_sent = 0;
+    bytes_sent = 0;
+  }
+
+let config t = t.cfg
+
+let insert_sorted msg queue =
+  let le a b =
+    a.msg_arrives_at < b.msg_arrives_at
+    || (a.msg_arrives_at = b.msg_arrives_at && a.msg_seq <= b.msg_seq)
+  in
+  let rec go = function
+    | [] -> [ msg ]
+    | m :: rest -> if le msg m then msg :: m :: rest else m :: go rest
+  in
+  go queue
+
+let send t ~now_us ~src ~dst ~payload =
+  if dst < 0 || dst >= t.n_nodes then invalid_arg "Netsim.send: bad destination";
+  let wire_bytes = String.length payload + t.cfg.frame_overhead_bytes in
+  let transmit_us = float_of_int (wire_bytes * 8) /. t.cfg.bandwidth_mbit_s in
+  let start = Float.max now_us t.medium_free_at in
+  let arrives = start +. transmit_us +. t.cfg.latency_us in
+  t.medium_free_at <- start +. transmit_us;
+  t.seq <- t.seq + 1;
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + wire_bytes;
+  let msg =
+    {
+      msg_src = src;
+      msg_dst = dst;
+      msg_payload = payload;
+      msg_sent_at = now_us;
+      msg_arrives_at = arrives;
+      msg_seq = t.seq;
+    }
+  in
+  t.queues.(dst) <- insert_sorted msg t.queues.(dst);
+  arrives
+
+let next_arrival_at t ~dst =
+  match t.queues.(dst) with
+  | [] -> None
+  | m :: _ -> Some m.msg_arrives_at
+
+let next_arrival_any t =
+  Array.fold_left
+    (fun acc q ->
+      match q, acc with
+      | [], acc -> acc
+      | m :: _, None -> Some m.msg_arrives_at
+      | m :: _, Some a -> Some (Float.min a m.msg_arrives_at))
+    None t.queues
+
+let receive t ~dst ~now_us =
+  match t.queues.(dst) with
+  | m :: rest when m.msg_arrives_at <= now_us ->
+    t.queues.(dst) <- rest;
+    Some m
+  | [] | _ :: _ -> None
+
+let pending t = Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,47 @@
+(** Discrete-event simulation of the 10 Mbit/s Ethernet of Figure 1.
+
+    Messages are charged transmission time on a shared medium (the
+    segment is busy while a frame is on the wire) plus a fixed
+    latency covering media access and interface handling.  Times are
+    virtual microseconds.  Delivery between any pair of nodes is FIFO. *)
+
+type config = {
+  latency_us : float;  (** per-message fixed delay *)
+  bandwidth_mbit_s : float;
+  frame_overhead_bytes : int;  (** per-message header/trailer bytes on the wire *)
+}
+
+val default_config : config
+(** 10 Mbit/s, 300 us latency, 58 bytes of Ethernet+IP+UDP framing. *)
+
+type message = {
+  msg_src : int;
+  msg_dst : int;
+  msg_payload : string;
+  msg_sent_at : float;
+  msg_arrives_at : float;
+  msg_seq : int;
+}
+
+type t
+
+val create : ?config:config -> n_nodes:int -> unit -> t
+val config : t -> config
+
+val send : t -> now_us:float -> src:int -> dst:int -> payload:string -> float
+(** Queue a message; returns its arrival time. *)
+
+val next_arrival_at : t -> dst:int -> float option
+(** Earliest pending arrival time for a node, if any. *)
+
+val next_arrival_any : t -> float option
+(** Earliest pending arrival time across all nodes. *)
+
+val receive : t -> dst:int -> now_us:float -> message option
+(** Pop the earliest message for [dst] whose arrival time is at most
+    [now_us]. *)
+
+val pending : t -> int
+val messages_sent : t -> int
+val bytes_sent : t -> int
+(** Payload plus framing bytes across all messages. *)

@@ -1,0 +1,128 @@
+type impl = Naive | Optimized
+
+let impl_name = function
+  | Naive -> "naive"
+  | Optimized -> "optimized"
+
+(* Conversion-call accounting.  The naive implementation charges one
+   procedure call per byte moved plus one for the datum itself (the
+   recursive-descent entry), giving the paper's 1-2 calls per byte; the
+   optimized implementation charges a single call per datum. *)
+let charge impl stats ~bytes =
+  Conversion_stats.add_bytes stats bytes;
+  match impl with
+  | Naive -> Conversion_stats.add_calls stats (bytes + 1)
+  | Optimized -> Conversion_stats.add_calls stats 1
+
+module Writer = struct
+  type t = {
+    buf : Buffer.t;
+    impl : impl;
+    stats : Conversion_stats.t;
+  }
+
+  let create ~impl ~stats = { buf = Buffer.create 256; impl; stats }
+
+  let u8 t v =
+    charge t.impl t.stats ~bytes:1;
+    Buffer.add_char t.buf (Char.chr (v land 0xFF))
+
+  let raw_u16 t v =
+    Buffer.add_char t.buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char t.buf (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    charge t.impl t.stats ~bytes:2;
+    raw_u16 t v
+
+  let u32 t v =
+    charge t.impl t.stats ~bytes:4;
+    let b n = Char.chr (Int32.to_int (Int32.shift_right_logical v n) land 0xFF) in
+    Buffer.add_char t.buf (b 24);
+    Buffer.add_char t.buf (b 16);
+    Buffer.add_char t.buf (b 8);
+    Buffer.add_char t.buf (b 0)
+
+  let i32 = u32
+
+  let f64 t v =
+    charge t.impl t.stats ~bytes:8;
+    let bits = Int64.bits_of_float v in
+    for n = 7 downto 0 do
+      Buffer.add_char t.buf
+        (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * n)) land 0xFF))
+    done
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let str t s =
+    let len = String.length s in
+    if len > 0xFFFF then invalid_arg "Wire.Writer.str: string too long";
+    charge t.impl t.stats ~bytes:(2 + len);
+    raw_u16 t len;
+    Buffer.add_string t.buf s
+
+  let length t = Buffer.length t.buf
+  let contents t = Buffer.contents t.buf
+end
+
+module Reader = struct
+  type t = {
+    data : string;
+    mutable pos : int;
+    impl : impl;
+    stats : Conversion_stats.t;
+  }
+
+  exception Underflow
+
+  let create ~impl ~stats data = { data; pos = 0; impl; stats }
+
+  let take t n =
+    if t.pos + n > String.length t.data then raise Underflow;
+    let p = t.pos in
+    t.pos <- p + n;
+    p
+
+  let u8 t =
+    charge t.impl t.stats ~bytes:1;
+    Char.code t.data.[take t 1]
+
+  let raw_u16 t =
+    let p = take t 2 in
+    (Char.code t.data.[p] lsl 8) lor Char.code t.data.[p + 1]
+
+  let u16 t =
+    charge t.impl t.stats ~bytes:2;
+    raw_u16 t
+
+  let u32 t =
+    charge t.impl t.stats ~bytes:4;
+    let p = take t 4 in
+    let b i = Int32.of_int (Char.code t.data.[p + i]) in
+    let ( ||| ) = Int32.logor in
+    Int32.shift_left (b 0) 24 ||| Int32.shift_left (b 1) 16 ||| Int32.shift_left (b 2) 8
+    ||| b 3
+
+  let i32 = u32
+
+  let f64 t =
+    charge t.impl t.stats ~bytes:8;
+    let p = take t 8 in
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code t.data.[p + i]))
+    done;
+    Int64.float_of_bits !bits
+
+  let bool t = u8 t <> 0
+
+  let str t =
+    let len = raw_u16 t in
+    charge t.impl t.stats ~bytes:(2 + len);
+    let p = take t len in
+    String.sub t.data p len
+
+  let pos t = t.pos
+  let at_end t = t.pos >= String.length t.data
+end

@@ -1,0 +1,52 @@
+(** Network-format (machine-independent) data encoding.
+
+    The commonly-agreed-upon format of section 2.1: big-endian
+    ("network byte order") integers, IEEE 754 double reals, length-prefixed
+    strings.  Two implementations are provided:
+
+    - [Naive] mirrors the prototype's hand-written recursive-descent
+      conversion routines, "not optimized for speed but for ease of
+      maintenance": every byte goes through conversion procedure calls
+      (counted in the {!Conversion_stats}), averaging 1-2 calls per byte.
+    - [Optimized] is the bulk conversion the paper's future-work section
+      hypothesises would cut the penalty by about half: one call per datum.
+
+    Both produce identical octets; only the accounted work differs. *)
+
+type impl = Naive | Optimized
+
+val impl_name : impl -> string
+
+module Writer : sig
+  type t
+
+  val create : impl:impl -> stats:Conversion_stats.t -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val i32 : t -> int32 -> unit
+  val f64 : t -> float -> unit
+  val bool : t -> bool -> unit
+  val str : t -> string -> unit
+  (** u16 length prefix followed by the bytes. *)
+
+  val length : t -> int
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Underflow
+
+  val create : impl:impl -> stats:Conversion_stats.t -> string -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val i32 : t -> int32
+  val f64 : t -> float
+  val bool : t -> bool
+  val str : t -> string
+  val pos : t -> int
+  val at_end : t -> bool
+end

@@ -1,0 +1,1 @@
+lib/ert/frame_walk.ml: Array Emc Format Int32 Isa Kernel List Thread

@@ -1,0 +1,1 @@
+lib/ert/frame_walk.mli: Emc Kernel Thread

@@ -1,0 +1,1 @@
+lib/ert/gc.ml: Array Emc Frame_walk Hashtbl Int32 Isa Kernel List Option Thread Value

@@ -1,0 +1,1 @@
+lib/ert/gc.mli: Kernel Oid

@@ -1,0 +1,1 @@
+lib/ert/heap.ml: Hashtbl Isa

@@ -1,0 +1,1 @@
+lib/ert/heap.mli: Isa

@@ -1,0 +1,1 @@
+lib/ert/kernel.ml: Array Buffer Emc Float Format Fun Hashtbl Heap Int32 Isa List Oid Option Printf Queue String Thread Value

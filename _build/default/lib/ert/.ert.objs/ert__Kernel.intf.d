@@ -1,0 +1,1 @@
+lib/ert/kernel.mli: Emc Heap Isa Oid Thread Value

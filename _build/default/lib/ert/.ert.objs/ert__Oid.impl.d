@@ -1,0 +1,1 @@
+lib/ert/oid.ml: Format Int32 Option Printf

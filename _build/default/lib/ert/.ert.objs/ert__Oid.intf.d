@@ -1,0 +1,1 @@
+lib/ert/oid.mli: Format

@@ -1,0 +1,1 @@
+lib/ert/thread.ml: Emc Format Isa Value

@@ -1,0 +1,1 @@
+lib/ert/thread.mli: Emc Format Isa Value

@@ -1,0 +1,1 @@
+lib/ert/value.ml: Array Bool Emc Enet Float Format Int32 Oid Printf String

@@ -1,0 +1,1 @@
+lib/ert/value.mli: Emc Enet Format Oid

@@ -1,0 +1,26 @@
+(** Stack walking over suspended segments.
+
+    Because the kernel only regains control at bus stops, every suspended
+    activation record's program counter is a bus stop, and the chain of
+    frame pointers plus the per-architecture bus-stop geometry is enough
+    to enumerate the records.  Both migration (translation to the
+    machine-independent format) and the garbage collector (pointer
+    identification, section 3.2/[JJ92]) are built on this walk. *)
+
+type frame_rec = {
+  fw_class : int;  (** class index of the frame's code object *)
+  fw_method : int;
+  fw_entry : Emc.Busstop.entry;  (** the bus stop where this record is suspended *)
+  fw_fp : int;
+  fw_ret_out : int;  (** absolute return address out of this frame; 0 at bottom *)
+  fw_self : int;  (** local address of the object this record executes in *)
+}
+
+val walk : Kernel.t -> Thread.segment -> frame_rec list
+(** Youngest first.  Empty for a never-executed segment.
+    @raise Kernel.Runtime_error if a suspension PC is not a bus stop. *)
+
+val live_pointer_slots : Kernel.t -> frame_rec -> (int * Emc.Ast.typ) list
+(** Addresses (slot contents) of the pointer-typed entities live at the
+    frame's bus stop, with their static types — the garbage collector's
+    per-frame roots.  Nil slots are omitted. *)

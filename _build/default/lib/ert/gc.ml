@@ -1,0 +1,110 @@
+module Mem = Isa.Memory
+module L = Emc.Layout
+module T = Thread
+
+type stats = {
+  gc_live : int;
+  gc_swept : int;
+  gc_bytes_freed : int;
+}
+
+let rec value_root k v acc =
+  match (v : Value.t) with
+  | Value.Vref oid -> (
+    match Kernel.find_object k oid with
+    | Some addr -> addr :: acc
+    | None -> (
+      match Kernel.proxy_of k oid with
+      | Some addr -> addr :: acc
+      | None -> acc))
+  | Value.Vvec (_, xs) -> Array.fold_left (fun acc x -> value_root k x acc) acc xs
+  | Value.Vint _ | Value.Vreal _ | Value.Vbool _ | Value.Vstr _ | Value.Vnil -> acc
+
+let resume_roots k (rs : T.resume) acc =
+  match rs with
+  | T.Rs_run | T.Rs_complete_dequeue _ -> acc
+  | T.Rs_deliver v -> value_root k v acc
+  | T.Rs_complete_syscall v -> Option.fold ~none:acc ~some:(fun v -> value_root k v acc) v
+
+let segment_roots k (seg : T.segment) =
+  match seg.T.seg_spawn with
+  | Some spawn ->
+    let acc = value_root k (Value.Vref spawn.T.si_target) [] in
+    List.fold_left (fun acc v -> value_root k v acc) acc spawn.T.si_args
+  | None ->
+    let frames = Frame_walk.walk k seg in
+    let acc =
+      List.concat_map
+        (fun fr -> List.map fst (Frame_walk.live_pointer_slots k fr))
+        frames
+    in
+    (match seg.T.seg_status with
+    | T.Ready rs -> resume_roots k rs acc
+    | T.Running -> raise (Kernel.Runtime_error "gc: segment is running")
+    | T.Blocked_monitor _ | T.Awaiting_reply _ | T.Dead -> acc)
+
+let field_pointers k addr =
+  if Kernel.is_vector_block k addr then Kernel.vector_pointer_elements k addr
+  else if not (Kernel.is_resident k addr) then []
+  else begin
+    let class_index = Kernel.class_of_object k addr in
+    let lc = Kernel.loaded_class k class_index in
+    let fields = lc.Kernel.lc_class.Emc.Compile.cc_template.Emc.Template.ct_fields in
+    let mem = Kernel.mem k in
+    Array.to_list fields
+    |> List.mapi (fun i (_, ty) -> (i, ty))
+    |> List.filter_map (fun (i, ty) ->
+           if Emc.Ir.is_pointer_type ty then
+             let a = Int32.to_int (Mem.load32 mem (addr + L.field_offset i)) in
+             if a = 0 then None else Some a
+           else None)
+  end
+
+let collect ?(extra_roots = []) k =
+  let marked = Hashtbl.create 64 in
+  let known = Hashtbl.create 64 in
+  Kernel.iter_blocks k (fun ~addr ~size:_ ~kind:_ -> Hashtbl.replace known addr ());
+  let worklist = ref [] in
+  let mark addr =
+    if Hashtbl.mem known addr && not (Hashtbl.mem marked addr) then begin
+      Hashtbl.replace marked addr ();
+      worklist := addr :: !worklist
+    end
+  in
+  (* roots: suspended thread state (via the bus-stop templates) and the
+     code objects' string literals *)
+  List.iter (fun seg -> List.iter mark (segment_roots k seg)) (Kernel.segments k);
+  List.iter mark (Kernel.string_literal_addrs k);
+  List.iter
+    (fun oid ->
+      match Kernel.find_object k oid with
+      | Some addr -> mark addr
+      | None -> (
+        match Kernel.proxy_of k oid with
+        | Some addr -> mark addr
+        | None -> ()))
+    extra_roots;
+  (* trace *)
+  let rec drain () =
+    match !worklist with
+    | [] -> ()
+    | addr :: rest ->
+      worklist := rest;
+      List.iter mark (field_pointers k addr);
+      drain ()
+  in
+  drain ();
+  (* sweep *)
+  let to_free = ref [] in
+  let freed_bytes = ref 0 in
+  Kernel.iter_blocks k (fun ~addr ~size ~kind:_ ->
+      if not (Hashtbl.mem marked addr) then begin
+        to_free := addr :: !to_free;
+        freed_bytes := !freed_bytes + size
+      end);
+  List.iter (Kernel.free_block k) !to_free;
+  {
+    gc_live = Hashtbl.length marked;
+    gc_swept = List.length !to_free;
+    gc_bytes_freed = !freed_bytes;
+  }

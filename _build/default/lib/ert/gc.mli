@@ -1,0 +1,27 @@
+(** Mark-sweep garbage collection over a node's heap.
+
+    The collector runs between scheduling slices, when every thread
+    segment is suspended at a bus stop; the per-stop templates then
+    identify exactly which activation-record slots hold pointers —
+    "in Emerald, this technique is also used to provide the garbage
+    collector with well-defined states for easy pointer identification"
+    (section 2.2.1).
+
+    Collected: object descriptors, proxies, and string blocks.  Roots:
+    live pointer slots of every suspended frame, pending machine-
+    independent values attached to segments (spawn arguments, undelivered
+    results), and the code objects' string literals.  Kernel-owned
+    structures (descriptor tables, monitor queue nodes, stacks) are not
+    subject to collection. *)
+
+type stats = {
+  gc_live : int;  (** blocks marked reachable *)
+  gc_swept : int;  (** blocks reclaimed *)
+  gc_bytes_freed : int;
+}
+
+val collect : ?extra_roots:Oid.t list -> Kernel.t -> stats
+(** [extra_roots] pins objects held by the embedding harness (objects are
+    otherwise reachable only through thread state and other objects).
+    @raise Kernel.Runtime_error if a segment is running (collect only
+    between scheduling slices). *)

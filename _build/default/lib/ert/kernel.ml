@@ -1,0 +1,1182 @@
+module A = Isa.Arch
+module M = Isa.Machine
+module Mem = Isa.Memory
+module L = Emc.Layout
+
+exception Runtime_error of string
+
+type block_kind =
+  | Bobject
+  | Bproxy
+  | Bstring
+  | Bvector
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+type loaded_class = {
+  lc_class : Emc.Compile.compiled_class;
+  lc_code : Isa.Code.t;
+  lc_stops : Emc.Busstop.table;
+  lc_image : Isa.Text.image;
+  lc_desc_addr : int;
+  lc_string_addrs : int array;
+}
+
+type outcall =
+  | Oc_invoke of {
+      seg : Thread.segment;
+      target_oid : Oid.t;
+      hint_node : int;
+      callee_class : int;
+      callee_method : int;
+      args : Value.t list;
+      stop_id : int;
+    }
+  | Oc_move of {
+      seg : Thread.segment;
+      obj_addr : int;
+      dest_node : int;
+    }
+  | Oc_return of {
+      link : Thread.link;
+      value : Value.t;
+      thread : Thread.tid;
+    }
+  | Oc_start_process of {
+      target_oid : Oid.t;
+      hint_node : int;
+    }  (** the object moved away during [initially]; start it over there *)
+
+type t = {
+  knode_id : int;
+  karch : A.t;
+  kmem : Mem.t;
+  ktext : Isa.Text.t;
+  kheap : Heap.t;
+  mutable kprogram : Emc.Compile.program option;
+  loaded : (int, loaded_class) Hashtbl.t;  (* class index -> loaded *)
+  objects : (Oid.t, int) Hashtbl.t;  (* resident *)
+  proxies : (Oid.t, int) Hashtbl.t;
+  segs : (int, Thread.segment) Hashtbl.t;
+  seg_forwards : (int, int) Hashtbl.t;  (* migrated segment -> node *)
+  run_queue : Thread.segment Queue.t;
+  root_results : (Thread.tid, Value.t option) Hashtbl.t;
+  blocks : (int, int * block_kind) Hashtbl.t;  (* heap blocks the GC may sweep *)
+  out : Buffer.t;
+  mutable echo : bool;
+  mutable time_us : float;
+  mutable oid_serial : int;
+  mutable tid_serial : int;
+  mutable seg_serial : int;
+  mutable insns : int;
+  mutable cycles : int;
+  mutable syscalls : int;
+  mutable on_code_load : (class_index:int -> unit) option;
+  mutable quantum : int option;
+      (* preemptive (Trellis/Owl-style) scheduling: slices are bounded by
+         an instruction quantum and threads may be left between bus stops *)
+}
+
+let create ~node_id ~arch () =
+  let mem = Mem.create ~endian:arch.A.endian ~size:(1 lsl 16) in
+  {
+    knode_id = node_id;
+    karch = arch;
+    kmem = mem;
+    ktext = Isa.Text.create ();
+    kheap = Heap.create ~mem ~start:0x1000;
+    kprogram = None;
+    loaded = Hashtbl.create 8;
+    objects = Hashtbl.create 64;
+    proxies = Hashtbl.create 64;
+    segs = Hashtbl.create 16;
+    seg_forwards = Hashtbl.create 16;
+    run_queue = Queue.create ();
+    root_results = Hashtbl.create 8;
+    blocks = Hashtbl.create 64;
+    out = Buffer.create 256;
+    echo = false;
+    time_us = 0.0;
+    oid_serial = 0;
+    tid_serial = 0;
+    seg_serial = 0;
+    insns = 0;
+    cycles = 0;
+    syscalls = 0;
+    on_code_load = None;
+    quantum = None;
+  }
+
+let node_id t = t.knode_id
+let arch t = t.karch
+let mem t = t.kmem
+let text t = t.ktext
+let heap t = t.kheap
+let time_us t = t.time_us
+let set_time_us t v = t.time_us <- Float.max t.time_us v
+let charge_insns t n = t.time_us <- t.time_us +. (float_of_int n /. t.karch.A.mips)
+let charge_us t us = t.time_us <- t.time_us +. us
+
+let charge_cycles t c =
+  t.cycles <- t.cycles + c;
+  t.time_us <- t.time_us +. (float_of_int c *. A.cycle_time_ns t.karch /. 1000.0)
+
+let insns_executed t = t.insns
+let cycles_executed t = t.cycles
+let syscalls_handled t = t.syscalls
+let output t = Buffer.contents t.out
+let clear_output t = Buffer.clear t.out
+let set_echo t v = t.echo <- v
+
+let print_string_out t s =
+  Buffer.add_string t.out s;
+  if t.echo then print_string s
+
+(* Program and code management ------------------------------------------- *)
+
+let load_program t prog =
+  (match t.kprogram with
+  | Some p when p != prog -> error "node %d: a program is already loaded" t.knode_id
+  | Some _ | None -> ());
+  t.kprogram <- Some prog
+
+let program t =
+  match t.kprogram with
+  | Some p -> p
+  | None -> error "node %d: no program loaded" t.knode_id
+
+let make_string t s =
+  let size = L.str_bytes + String.length s in
+  let addr = Heap.alloc t.kheap size in
+  Hashtbl.replace t.blocks addr (size, Bstring);
+  Mem.store32 t.kmem (addr + L.str_flags) (Int32.of_int L.flag_string);
+  Mem.store32 t.kmem (addr + L.str_len) (Int32.of_int (String.length s));
+  Mem.blit_string t.kmem (addr + L.str_bytes) s;
+  addr
+
+let read_string_block t addr =
+  let len = Int32.to_int (Mem.load32 t.kmem (addr + L.str_len)) in
+  Mem.read_string t.kmem (addr + L.str_bytes) len
+
+let make_vector t ~kind ~len =
+  let size = L.vec_elems + (4 * len) in
+  let addr = Heap.alloc t.kheap size in
+  Hashtbl.replace t.blocks addr (size, Bvector);
+  Mem.store32 t.kmem (addr + L.vec_flags) (Int32.of_int L.flag_vector);
+  Mem.store32 t.kmem (addr + L.vec_len) (Int32.of_int len);
+  Mem.store32 t.kmem (addr + L.vec_kind) (Int32.of_int kind);
+  addr
+
+let is_vector_block t addr =
+  Int32.logand (Mem.load32 t.kmem (addr + L.vec_flags)) (Int32.of_int L.flag_vector)
+  <> 0l
+
+(* element addresses the garbage collector must trace *)
+let vector_pointer_elements t addr =
+  let kind = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_kind)) in
+  if kind = L.kind_string || kind = L.kind_ref || kind = L.kind_vec then begin
+    let len = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_len)) in
+    List.filter_map
+      (fun i ->
+        let a = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_elems + (4 * i))) in
+        if a = 0 then None else Some a)
+      (List.init len Fun.id)
+  end
+  else []
+
+(* the representative element type of a kind code, for machine-independent
+   fresh-vector completion values; [kind_of_typ] is its left inverse *)
+let typ_of_kind kind =
+  if kind = L.kind_int then Emc.Ast.Tint
+  else if kind = L.kind_real then Emc.Ast.Treal
+  else if kind = L.kind_bool then Emc.Ast.Tbool
+  else if kind = L.kind_string then Emc.Ast.Tstring
+  else if kind = L.kind_vec then Emc.Ast.Tvec Emc.Ast.Tnil
+  else Emc.Ast.Tnil
+
+let default_value_of_typ = function
+  | Emc.Ast.Tint -> Value.Vint 0l
+  | Emc.Ast.Treal -> Value.Vreal 0.0
+  | Emc.Ast.Tbool -> Value.Vbool false
+  | Emc.Ast.Tstring | Emc.Ast.Tobj _ | Emc.Ast.Tvec _ | Emc.Ast.Tnil -> Value.Vnil
+
+(* Code loading: allocate the descriptor table (class index, absolute
+   method entries, string-literal addresses) in data memory so generated
+   code can dispatch and fetch literals with plain loads. *)
+let loaded_class t class_index =
+  match Hashtbl.find_opt t.loaded class_index with
+  | Some lc -> lc
+  | None ->
+    let prog = program t in
+    let cc = Emc.Compile.class_by_index prog class_index in
+    let art = Emc.Compile.artifact cc ~arch_id:t.karch.A.id in
+    let code = art.Emc.Compile.aa_code in
+    let image = Isa.Text.load t.ktext code in
+    let nmethods = Array.length code.Isa.Code.methods in
+    let strings = cc.Emc.Compile.cc_template.Emc.Template.ct_strings in
+    let nstrings = Array.length strings in
+    let desc = Heap.alloc t.kheap (L.desc_size ~nmethods ~nstrings) in
+    Mem.store32 t.kmem (desc + L.desc_class) (Int32.of_int class_index);
+    Array.iter
+      (fun (m : Isa.Code.method_info) ->
+        Mem.store32 t.kmem
+          (desc + L.desc_method m.Isa.Code.method_index)
+          (Int32.of_int (image.Isa.Text.base + m.Isa.Code.entry_offset)))
+      code.Isa.Code.methods;
+    let string_addrs =
+      Array.mapi
+        (fun i s ->
+          let addr = make_string t s in
+          Mem.store32 t.kmem (desc + L.desc_string ~nmethods i) (Int32.of_int addr);
+          addr)
+        strings
+    in
+    let lc =
+      {
+        lc_class = cc;
+        lc_code = code;
+        lc_stops = art.Emc.Compile.aa_stops;
+        lc_image = image;
+        lc_desc_addr = desc;
+        lc_string_addrs = string_addrs;
+      }
+    in
+    Hashtbl.replace t.loaded class_index lc;
+    (match t.on_code_load with
+    | Some f -> f ~class_index
+    | None -> ());
+    lc
+
+let class_loaded t class_index = Hashtbl.mem t.loaded class_index
+let set_on_code_load t f = t.on_code_load <- Some f
+let set_quantum t q = t.quantum <- q
+let quantum t = t.quantum
+
+(* Objects ----------------------------------------------------------------- *)
+
+let oid_at t addr = Mem.load32 t.kmem (addr + L.obj_oid)
+
+let is_resident t addr =
+  Int32.logand (Mem.load32 t.kmem (addr + L.obj_flags)) (Int32.of_int L.flag_resident)
+  <> 0l
+
+let proxy_hint t addr =
+  if is_resident t addr then t.knode_id
+  else Int32.to_int (Mem.load32 t.kmem (addr + L.obj_desc))
+
+let alloc_descriptor t ~oid ~nconds ~nfields =
+  let size = L.object_size ~nconds ~nfields in
+  let addr = Heap.alloc t.kheap size in
+  Hashtbl.replace t.blocks addr (size, Bobject);
+  Mem.store32 t.kmem (addr + L.obj_oid) oid;
+  (* empty circular monitor entry queue and condition queues *)
+  let init_sentinel sent =
+    Mem.store32 t.kmem sent (Int32.of_int sent);
+    Mem.store32 t.kmem (sent + 4) (Int32.of_int sent)
+  in
+  init_sentinel (addr + L.obj_qflink);
+  for c = 0 to nconds - 1 do
+    init_sentinel (addr + L.cond_sentinel ~nfields c)
+  done;
+  addr
+
+let install_object t ~oid ~class_index =
+  let lc = loaded_class t class_index in
+  let tmpl = lc.lc_class.Emc.Compile.cc_template in
+  let nfields = Array.length tmpl.Emc.Template.ct_fields in
+  let nconds = Array.length tmpl.Emc.Template.ct_conditions in
+  let addr =
+    (* proxies are header-sized; allocate a full descriptor and leave any
+       existing proxy forwarding to ourselves: local lookups go through
+       the object table, and the stale proxy is collected by the GC *)
+    alloc_descriptor t ~oid ~nconds ~nfields
+  in
+  Mem.store32 t.kmem (addr + L.obj_flags)
+    (Int32.of_int (L.flag_resident lor L.flag_code_loaded));
+  Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int (loaded_class t class_index).lc_desc_addr);
+  Hashtbl.replace t.objects oid addr;
+  Hashtbl.remove t.proxies oid;
+  addr
+
+let create_object t ~class_index =
+  t.oid_serial <- t.oid_serial + 1;
+  let oid = Oid.fresh_data ~node_id:t.knode_id ~serial:t.oid_serial in
+  let lc = loaded_class t class_index in
+  let tmpl = lc.lc_class.Emc.Compile.cc_template in
+  let addr = install_object t ~oid ~class_index in
+  (* literal field initialisers *)
+  Array.iteri
+    (fun i init ->
+      let raw =
+        match (init : Emc.Ir.field_init) with
+        | Emc.Ir.Fint v -> v
+        | Emc.Ir.Fbool b -> if b then 1l else 0l
+        | Emc.Ir.Freal x -> Isa.Float_format.encode t.karch.A.float_format x
+        | Emc.Ir.Fstr s -> Int32.of_int (make_string t s)
+        | Emc.Ir.Fnil -> 0l
+      in
+      Mem.store32 t.kmem (addr + L.field_offset i) raw)
+    tmpl.Emc.Template.ct_field_inits;
+  addr
+
+let find_object t oid = Hashtbl.find_opt t.objects oid
+let proxy_of t oid = Hashtbl.find_opt t.proxies oid
+
+let make_proxy t oid ~hint =
+  let addr = Heap.alloc t.kheap L.obj_header_size in
+  Hashtbl.replace t.blocks addr (L.obj_header_size, Bproxy);
+  Mem.store32 t.kmem (addr + L.obj_oid) oid;
+  Mem.store32 t.kmem (addr + L.obj_flags) 0l;
+  Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int hint);
+  Hashtbl.replace t.proxies oid addr;
+  addr
+
+let ensure_ref t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some addr -> addr
+  | None -> (
+    match Hashtbl.find_opt t.proxies oid with
+    | Some addr -> addr
+    | None ->
+      let hint = Option.value (Oid.creator_node oid) ~default:0 in
+      make_proxy t oid ~hint)
+
+let set_proxy_hint t ~addr ~node =
+  if is_resident t addr then ()
+  else Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int node)
+
+let class_of_object t addr =
+  if not (is_resident t addr) then error "class_of_object: %s is not resident" (Oid.to_string (oid_at t addr));
+  let desc = Int32.to_int (Mem.load32 t.kmem (addr + L.obj_desc)) in
+  Int32.to_int (Mem.load32 t.kmem (desc + L.desc_class))
+
+let evict_object t ~addr ~forward_to =
+  let oid = oid_at t addr in
+  Mem.store32 t.kmem (addr + L.obj_flags) 0l;
+  Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int forward_to);
+  Hashtbl.remove t.objects oid;
+  Hashtbl.replace t.proxies oid addr
+
+let objects t = Hashtbl.fold (fun oid addr acc -> (oid, addr) :: acc) t.objects []
+
+let iter_blocks t f = Hashtbl.iter (fun addr (size, kind) -> f ~addr ~size ~kind) t.blocks
+
+let free_block t addr =
+  match Hashtbl.find_opt t.blocks addr with
+  | None -> ()
+  | Some (size, kind) ->
+    Hashtbl.remove t.blocks addr;
+    (match kind with
+    | Bobject | Bproxy ->
+      let oid = oid_at t addr in
+      (match Hashtbl.find_opt t.objects oid with
+      | Some a when a = addr -> Hashtbl.remove t.objects oid
+      | Some _ | None -> ());
+      (match Hashtbl.find_opt t.proxies oid with
+      | Some a when a = addr -> Hashtbl.remove t.proxies oid
+      | Some _ | None -> ())
+    | Bstring | Bvector -> ());
+    Heap.free t.kheap ~addr ~size
+
+let string_literal_addrs t =
+  Hashtbl.fold (fun _ lc acc -> Array.to_list lc.lc_string_addrs @ acc) t.loaded []
+
+let attached_refs t ~addr =
+  let class_index = class_of_object t addr in
+  let tmpl = (loaded_class t class_index).lc_class.Emc.Compile.cc_template in
+  let refs = ref [] in
+  Array.iteri
+    (fun i (_, ty) ->
+      (* only object references participate in the attached closure;
+         strings and vectors are value aggregates *)
+      match ty with
+      | Emc.Ast.Tobj _ when tmpl.Emc.Template.ct_attached.(i) ->
+        let v = Int32.to_int (Mem.load32 t.kmem (addr + L.field_offset i)) in
+        if v <> 0 then refs := v :: !refs
+      | _ -> ())
+    tmpl.Emc.Template.ct_fields;
+  List.rev !refs
+
+(* Value conversion --------------------------------------------------------- *)
+
+let rec value_of_raw t ty raw =
+  match (ty : Emc.Ast.typ) with
+  | Emc.Ast.Tint -> Value.Vint raw
+  | Emc.Ast.Tbool -> Value.Vbool (raw <> 0l)
+  | Emc.Ast.Treal -> Value.Vreal (Isa.Float_format.decode t.karch.A.float_format raw)
+  | Emc.Ast.Tstring ->
+    if Int32.equal raw 0l then Value.Vnil else Value.Vstr (read_string_block t (Int32.to_int raw))
+  | Emc.Ast.Tvec elem ->
+    if Int32.equal raw 0l then Value.Vnil
+    else begin
+      let addr = Int32.to_int raw in
+      let len = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_len)) in
+      Value.Vvec
+        ( elem,
+          Array.init len (fun i ->
+              value_of_raw t elem (Mem.load32 t.kmem (addr + L.vec_elems + (4 * i)))) )
+    end
+  | Emc.Ast.Tobj _ | Emc.Ast.Tnil ->
+    if Int32.equal raw 0l then Value.Vnil else Value.Vref (oid_at t (Int32.to_int raw))
+
+let rec raw_of_value t v =
+  match (v : Value.t) with
+  | Value.Vint x -> x
+  | Value.Vbool b -> if b then 1l else 0l
+  | Value.Vreal x -> Isa.Float_format.encode t.karch.A.float_format x
+  | Value.Vstr s -> Int32.of_int (make_string t s)
+  | Value.Vref oid -> Int32.of_int (ensure_ref t oid)
+  | Value.Vvec (elem, xs) ->
+    let addr = make_vector t ~kind:(L.kind_of_typ elem) ~len:(Array.length xs) in
+    Array.iteri
+      (fun i x -> Mem.store32 t.kmem (addr + L.vec_elems + (4 * i)) (raw_of_value t x))
+      xs;
+    Int32.of_int addr
+  | Value.Vnil -> 0l
+
+(* Bus stops ------------------------------------------------------------------ *)
+
+let stop_at_pc t pc =
+  match Isa.Text.find t.ktext pc with
+  | None -> None
+  | Some img -> (
+    let code_oid = img.Isa.Text.code.Isa.Code.code_oid in
+    let lc =
+      Hashtbl.fold
+        (fun _ lc acc ->
+          if Int32.equal lc.lc_code.Isa.Code.code_oid code_oid then Some lc else acc)
+        t.loaded None
+    in
+    match lc with
+    | None -> None
+    | Some lc -> (
+      match Emc.Busstop.of_pc lc.lc_stops (pc - img.Isa.Text.base) with
+      | Some entry -> Some (lc, entry)
+      | None -> None))
+
+let at_stop t (seg : Thread.segment) =
+  match seg.Thread.seg_status with
+  | Thread.Ready Thread.Rs_run ->
+    seg.Thread.seg_spawn <> None || stop_at_pc t seg.Thread.seg_ctx.M.pc <> None
+  | Thread.Ready _ | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _
+  | Thread.Dead -> true
+
+let stop_by_id t ~class_index ~stop_id =
+  Emc.Busstop.by_id (loaded_class t class_index).lc_stops stop_id
+
+let frame_info t ~class_index ~method_index =
+  (loaded_class t class_index).lc_stops.Emc.Busstop.bt_frames.(method_index)
+
+let image_of_class t class_index = (loaded_class t class_index).lc_image
+let abs_pc t ~class_index off = (image_of_class t class_index).Isa.Text.base + off
+
+(* Threads --------------------------------------------------------------------- *)
+
+let segments t = Hashtbl.fold (fun _ s acc -> s :: acc) t.segs []
+let find_segment t id = Hashtbl.find_opt t.segs id
+
+let fresh_tid t =
+  t.tid_serial <- t.tid_serial + 1;
+  Thread.fresh_tid ~node_id:t.knode_id ~serial:t.tid_serial
+
+let fresh_seg_id t =
+  t.seg_serial <- t.seg_serial + 1;
+  Thread.fresh_seg_id ~node_id:t.knode_id ~serial:t.seg_serial
+
+let stack_size = 32 * 1024
+let stack_bytes = stack_size
+
+let alloc_stack t =
+  let base = Heap.alloc t.kheap stack_size in
+  base + stack_size
+
+let enqueue_ready t seg = Queue.add seg t.run_queue
+
+let register_segment t seg =
+  Hashtbl.replace t.segs seg.Thread.seg_id seg;
+  Hashtbl.remove t.seg_forwards seg.Thread.seg_id;
+  match seg.Thread.seg_status with
+  | Thread.Ready _ -> enqueue_ready t seg
+  | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ | Thread.Dead ->
+    ()
+
+let unregister_segment t seg = Hashtbl.remove t.segs seg.Thread.seg_id
+let set_seg_forward t ~seg_id ~node = Hashtbl.replace t.seg_forwards seg_id node
+let seg_forward t ~seg_id = Hashtbl.find_opt t.seg_forwards seg_id
+
+(* seed a fresh segment's context so the method prologue finds self and the
+   arguments where the calling convention puts them, with the sentinel
+   return address 0 marking the bottom of the segment *)
+let seed_call_frame t ctx ~stack_top ~target_addr ~entry_pc ~raw_args =
+  let family = t.karch.A.family in
+  (match family with
+  | A.Vax | A.M68k ->
+    let sp = ref stack_top in
+    let push v =
+      sp := !sp - 4;
+      Mem.store32 t.kmem !sp v
+    in
+    List.iter push (List.rev raw_args);
+    push (Int32.of_int target_addr);
+    push 0l;
+    (* sentinel return address *)
+    M.set_sp ctx !sp;
+    M.set_fp ctx 0
+  | A.Sparc ->
+    M.set_reg ctx 8 (Int32.of_int target_addr);
+    List.iteri (fun i v -> M.set_reg ctx (8 + 1 + i) v) raw_args;
+    M.set_reg ctx 15 0l;
+    (* %o7 sentinel *)
+    M.set_sp ctx stack_top);
+  ctx.M.pc <- entry_pc
+
+let spawn_exact t ~(spawn : Thread.spawn_info) ~link ~thread ~seg_id ~status =
+  let class_index = spawn.Thread.si_class in
+  let method_index = spawn.Thread.si_method in
+  let args = spawn.Thread.si_args in
+  let target_addr =
+    match find_object t spawn.Thread.si_target with
+    | Some addr -> addr
+    | None ->
+      error "spawn: target %s is not resident on node %d"
+        (Oid.to_string spawn.Thread.si_target)
+        t.knode_id
+  in
+  let lc = loaded_class t class_index in
+  let minfo = lc.lc_code.Isa.Code.methods.(method_index) in
+  let result_type =
+    let op = lc.lc_class.Emc.Compile.cc_template.Emc.Template.ct_ops.(method_index) in
+    Option.map
+      (fun v ->
+        let _, ty, _ = op.Emc.Template.ot_vars.(v) in
+        ty)
+      op.Emc.Template.ot_result_var
+  in
+  let stack_top = alloc_stack t in
+  let ctx = M.create_ctx t.karch in
+  let raw_args = List.map (raw_of_value t) args in
+  seed_call_frame t ctx ~stack_top ~target_addr
+    ~entry_pc:(lc.lc_image.Isa.Text.base + minfo.Isa.Code.entry_offset)
+    ~raw_args;
+  let seg =
+    {
+      Thread.seg_id;
+      seg_thread = thread;
+      seg_status = status;
+      seg_ctx = ctx;
+      seg_stack_top = stack_top;
+      seg_stack_bottom = stack_top - stack_size + 256;
+      seg_link = link;
+      seg_result_type = result_type;
+      seg_spawn = Some spawn;
+    }
+  in
+  ctx.M.stack_limit <- seg.Thread.seg_stack_bottom;
+  register_segment t seg;
+  seg
+
+let spawn_segment t ~target_addr ~class_index ~method_index ~args ~link ~thread =
+  let spawn =
+    {
+      Thread.si_target = oid_at t target_addr;
+      si_class = class_index;
+      si_method = method_index;
+      si_args = args;
+    }
+  in
+  spawn_exact t ~spawn ~link ~thread ~seg_id:(fresh_seg_id t)
+    ~status:(Thread.Ready Thread.Rs_run)
+
+let spawn_root t ~target_addr ~method_name ~args =
+  let class_index = class_of_object t target_addr in
+  let lc = loaded_class t class_index in
+  let method_index =
+    match Isa.Code.method_by_name lc.lc_code method_name with
+    | Some m -> m.Isa.Code.method_index
+    | None ->
+      error "object %s has no operation %s"
+        lc.lc_class.Emc.Compile.cc_name method_name
+  in
+  let tid = fresh_tid t in
+  ignore (spawn_segment t ~target_addr ~class_index ~method_index ~args ~link:None ~thread:tid);
+  tid
+
+let spawn_rpc t ~target_addr ~callee_class ~callee_method ~args ~link ~thread =
+  spawn_segment t ~target_addr ~class_index:callee_class ~method_index:callee_method
+    ~args ~link:(Some link) ~thread
+
+(* start an object's process section as an independent thread *)
+let start_process_if_any t ~target_addr =
+  let class_index = class_of_object t target_addr in
+  let lc = loaded_class t class_index in
+  match Isa.Code.method_by_name lc.lc_code "$process" with
+  | None -> None
+  | Some m ->
+    let tid = fresh_tid t in
+    ignore
+      (spawn_segment t ~target_addr ~class_index ~method_index:m.Isa.Code.method_index
+         ~args:[] ~link:None ~thread:tid);
+    Some tid
+
+let deliver_result t seg value =
+  match seg.Thread.seg_status with
+  | Thread.Awaiting_reply { stop_id } ->
+    (* resume at the canonical stop PC with the value in the return-value
+       register (applied at dispatch) *)
+    let pc = seg.Thread.seg_ctx.M.pc in
+    let class_index =
+      match Isa.Text.find t.ktext pc with
+      | Some img -> (
+        let code_oid = img.Isa.Text.code.Isa.Code.code_oid in
+        match
+          Hashtbl.fold
+            (fun idx lc acc ->
+              if Int32.equal lc.lc_code.Isa.Code.code_oid code_oid then Some idx else acc)
+            t.loaded None
+        with
+        | Some i -> i
+        | None -> error "deliver_result: code not loaded")
+      | None -> error "deliver_result: PC outside text"
+    in
+    let entry = stop_by_id t ~class_index ~stop_id in
+    let lc = loaded_class t class_index in
+    seg.Thread.seg_ctx.M.pc <- lc.lc_image.Isa.Text.base + entry.Emc.Busstop.be_pc;
+    seg.Thread.seg_status <- Thread.Ready (Thread.Rs_deliver value);
+    enqueue_ready t seg
+  | Thread.Ready _ | Thread.Running | Thread.Blocked_monitor _ | Thread.Dead ->
+    error "deliver_result: segment %d is not awaiting a reply" seg.Thread.seg_id
+
+let root_result t tid = Hashtbl.find_opt t.root_results tid
+
+(* Monitors ------------------------------------------------------------------- *)
+
+let monitor_locked t ~obj_addr = Mem.load32 t.kmem (obj_addr + L.obj_lock) <> 0l
+
+let set_monitor_locked t ~obj_addr v =
+  Mem.store32 t.kmem (obj_addr + L.obj_lock) (if v then 1l else 0l)
+
+let queue_insert_tail t ~sent ~qnode =
+  let last = Int32.to_int (Mem.load32 t.kmem (sent + 4)) in
+  Mem.store32 t.kmem (qnode + L.qnode_flink) (Int32.of_int sent);
+  Mem.store32 t.kmem (qnode + L.qnode_blink) (Int32.of_int last);
+  Mem.store32 t.kmem (last + L.qnode_flink) (Int32.of_int qnode);
+  Mem.store32 t.kmem (sent + 4) (Int32.of_int qnode)
+
+let queue_unlink_head t ~sent =
+  let first = Int32.to_int (Mem.load32 t.kmem sent) in
+  if first = sent then None
+  else begin
+    let next = Mem.load32 t.kmem first in
+    Mem.store32 t.kmem sent next;
+    Mem.store32 t.kmem (Int32.to_int next + 4) (Int32.of_int sent);
+    Some first
+  end
+
+let class_geometry t ~obj_addr =
+  let class_index = class_of_object t obj_addr in
+  let tmpl = (loaded_class t class_index).lc_class.Emc.Compile.cc_template in
+  ( Array.length tmpl.Emc.Template.ct_fields,
+    Array.length tmpl.Emc.Template.ct_conditions )
+
+let cond_sentinel_addr t ~obj_addr ~cond =
+  let nfields, _ = class_geometry t ~obj_addr in
+  obj_addr + L.cond_sentinel ~nfields cond
+
+let waiters_of_sentinel t sent =
+  let rec walk node acc =
+    if node = sent then List.rev acc
+    else
+      let seg_id = Int32.to_int (Mem.load32 t.kmem (node + L.qnode_thread)) in
+      let acc =
+        match find_segment t seg_id with
+        | Some seg -> seg :: acc
+        | None -> acc
+      in
+      walk (Int32.to_int (Mem.load32 t.kmem node)) acc
+  in
+  walk (Int32.to_int (Mem.load32 t.kmem sent)) []
+
+let monitor_waiters t ~obj_addr = waiters_of_sentinel t (obj_addr + L.obj_qflink)
+
+let condition_waiters t ~obj_addr ~cond =
+  waiters_of_sentinel t (cond_sentinel_addr t ~obj_addr ~cond)
+
+let block_on_queue t ~obj_addr ~cond seg =
+  let qnode = Heap.alloc t.kheap L.qnode_size in
+  Mem.store32 t.kmem (qnode + L.qnode_thread) (Int32.of_int seg.Thread.seg_id);
+  let sent =
+    if cond < 0 then obj_addr + L.obj_qflink else cond_sentinel_addr t ~obj_addr ~cond
+  in
+  queue_insert_tail t ~sent ~qnode;
+  seg.Thread.seg_status <- Thread.Blocked_monitor { mon_addr = obj_addr; qnode; cond }
+
+let block_on_monitor t ~obj_addr seg = block_on_queue t ~obj_addr ~cond:(-1) seg
+let monitor_enqueue_blocked t ~obj_addr ?(cond = -1) seg = block_on_queue t ~obj_addr ~cond seg
+
+(* System-call dispatch --------------------------------------------------------- *)
+
+let syscall_raw_args t ctx ~argc =
+  match t.karch.A.family with
+  | A.Vax | A.M68k ->
+    let sp = M.sp ctx in
+    List.init argc (fun i -> Mem.load32 t.kmem (sp + (4 * i)))
+  | A.Sparc -> List.init argc (fun i -> M.reg ctx (8 + i))
+
+let retval_reg t =
+  match t.karch.A.family with
+  | A.Vax -> 0
+  | A.M68k -> 0
+  | A.Sparc -> 8 (* %o0 *)
+
+let complete_syscall t seg ~(entry : Emc.Busstop.entry) ~retval =
+  let ctx = seg.Thread.seg_ctx in
+  (match retval with
+  | Some v -> M.set_reg ctx (retval_reg t) v
+  | None -> ());
+  (match t.karch.A.family with
+  | A.Vax | A.M68k -> M.set_sp ctx (M.sp ctx + entry.Emc.Busstop.be_pop_bytes)
+  | A.Sparc -> ());
+  M.syscall_resume ctx ~text:t.ktext
+
+type dispatch =
+  | D_done of Value.t option
+      (** service complete: park the segment at the stop with the result
+          pending (applied at its next dispatch, so the segment remains
+          capturable at a bus stop in the meantime) *)
+  | D_done_dequeue of int option  (** monitor-exit dequeue: waiter segment id *)
+  | D_blocked  (** the segment blocked; do not complete *)
+  | D_local of Thread.segment  (** a locally spawned callee segment *)
+  | D_out of outcall  (** cluster-level action; do not complete here *)
+
+let format_real t raw =
+  let x = Isa.Float_format.decode t.karch.A.float_format raw in
+  Printf.sprintf "%g" x
+
+let param_types_of t ~callee_class ~callee_method =
+  let prog = program t in
+  let cc = Emc.Compile.class_by_index prog callee_class in
+  let op = cc.Emc.Compile.cc_template.Emc.Template.ct_ops.(callee_method) in
+  (* parameters occupy var ids 1 .. nparams-1 (0 is self) *)
+  List.init
+    (op.Emc.Template.ot_nparams - 1)
+    (fun i ->
+      let _, ty, _ = op.Emc.Template.ot_vars.(i + 1) in
+      ty)
+
+let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
+  let ctx = seg.Thread.seg_ctx in
+  t.syscalls <- t.syscalls + 1;
+  charge_insns t 60;
+  (* trap + kernel entry/exit *)
+  if nr = Emc.Sysno.sys_invoke then begin
+    match entry.Emc.Busstop.be_kind with
+    | Emc.Ir.Sk_invoke { argc; callee_class; callee_method; _ } ->
+      let raws = syscall_raw_args t ctx ~argc:(argc + 1) in
+      let target_addr, arg_raws =
+        match raws with
+        | target :: rest -> (Int32.to_int target, rest)
+        | [] -> assert false
+      in
+      if target_addr = 0 then error "invocation of nil";
+      let local_addr =
+        if is_resident t target_addr then Some target_addr
+        else
+          (* a stale proxy for an object that is actually here (it came
+             home after the proxy was created): call locally, fixing the
+             self argument to the resident descriptor *)
+          find_object t (oid_at t target_addr)
+      in
+      let types = param_types_of t ~callee_class ~callee_method in
+      let args = List.map2 (fun ty raw -> value_of_raw t ty raw) types arg_raws in
+      let stop_id = entry.Emc.Busstop.be_id in
+      (match local_addr with
+      | Some real_addr ->
+        (* the object is here after all (a stale proxy, or code loaded
+           behind the fast path's back): run the invocation as a local
+           child segment so the caller stays parked at its bus stop *)
+        ignore lc;
+        seg.Thread.seg_status <- Thread.Awaiting_reply { stop_id };
+        let callee =
+          spawn_rpc t ~target_addr:real_addr ~callee_class ~callee_method ~args
+            ~link:{ Thread.ln_node = t.knode_id; ln_seg = seg.Thread.seg_id }
+            ~thread:seg.Thread.seg_thread
+        in
+        D_local callee
+      | None ->
+        let target_oid = oid_at t target_addr in
+        let hint_node = proxy_hint t target_addr in
+        seg.Thread.seg_status <- Thread.Awaiting_reply { stop_id };
+        D_out
+          (Oc_invoke
+             { seg; target_oid; hint_node; callee_class; callee_method; args; stop_id }))
+    | Emc.Ir.Sk_new _ | Emc.Ir.Sk_builtin _ | Emc.Ir.Sk_loop | Emc.Ir.Sk_mon_enter
+    | Emc.Ir.Sk_mon_dequeue | Emc.Ir.Sk_mon_wake ->
+      error "invoke system call at a non-invoke stop"
+  end
+  else if nr = Emc.Sysno.sys_new then begin
+    let raws = syscall_raw_args t ctx ~argc:1 in
+    let class_index = Int32.to_int (List.hd raws) in
+    charge_insns t 120;
+    let addr = create_object t ~class_index in
+    D_done (Some (Value.Vref (oid_at t addr)))
+  end
+  else if nr = Emc.Sysno.sys_mon_enter then begin
+    let raws = syscall_raw_args t ctx ~argc:1 in
+    let obj = Int32.to_int (List.hd raws) in
+    if obj = 0 then error "monitor entry on nil";
+    if monitor_locked t ~obj_addr:obj then begin
+      block_on_monitor t ~obj_addr:obj seg;
+      D_blocked
+    end
+    else begin
+      set_monitor_locked t ~obj_addr:obj true;
+      D_done None
+    end
+  end
+  else if nr = Emc.Sysno.sys_cond_wait then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ obj; cond ] ->
+      let obj = Int32.to_int obj and cond = Int32.to_int cond in
+      (* release the monitor: hand the lock to the next entry-queue waiter
+         or clear it (the kernel-side equivalent of the exit sequence) *)
+      (match queue_unlink_head t ~sent:(obj + L.obj_qflink) with
+      | Some qnode ->
+        let waiter = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
+        Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
+        (match find_segment t waiter with
+        | Some w ->
+          w.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall None);
+          enqueue_ready t w
+        | None -> error "condition wait: unknown entry waiter %d" waiter)
+      | None -> set_monitor_locked t ~obj_addr:obj false);
+      (* block on the condition's queue; on wake the monitor has been
+         re-granted and the wait system call completes *)
+      block_on_queue t ~obj_addr:obj ~cond seg;
+      D_blocked
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_cond_signal then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ obj; cond ] ->
+      let obj = Int32.to_int obj and cond = Int32.to_int cond in
+      (* Mesa semantics: the signalled waiter re-queues for monitor entry
+         and runs once the signaller (or a later holder) leaves *)
+      (match queue_unlink_head t ~sent:(cond_sentinel_addr t ~obj_addr:obj ~cond) with
+      | None -> ()
+      | Some qnode ->
+        queue_insert_tail t ~sent:(obj + L.obj_qflink) ~qnode;
+        let waiter = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
+        (match find_segment t waiter with
+        | Some w -> (
+          match w.Thread.seg_status with
+          | Thread.Blocked_monitor { mon_addr; qnode = q; cond = _ } ->
+            w.Thread.seg_status <- Thread.Blocked_monitor { mon_addr; qnode = q; cond = -1 }
+          | _ -> ())
+        | None -> ()));
+      D_done None
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_mon_exit_dequeue then begin
+    let raws = syscall_raw_args t ctx ~argc:1 in
+    let obj = Int32.to_int (List.hd raws) in
+    match queue_unlink_head t ~sent:(obj + L.obj_qflink) with
+    | Some qnode ->
+      let waiter = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
+      Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
+      (* mark the waiter as dequeued-but-not-woken *)
+      (match find_segment t waiter with
+      | Some w -> (
+        match w.Thread.seg_status with
+        | Thread.Blocked_monitor { mon_addr; _ } ->
+          w.Thread.seg_status <- Thread.Blocked_monitor { mon_addr; qnode = 0; cond = -1 }
+        | _ -> ())
+      | None -> ());
+      D_done_dequeue (Some waiter)
+    | None -> D_done_dequeue None
+  end
+  else if nr = Emc.Sysno.sys_mon_wake then begin
+    let raws = syscall_raw_args t ctx ~argc:1 in
+    let qnode = Int32.to_int (List.hd raws) in
+    let seg_id = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
+    (match find_segment t seg_id with
+    | Some waiter ->
+      waiter.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall None);
+      enqueue_ready t waiter
+    | None -> error "monitor wake: unknown segment %d" seg_id);
+    Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_print_int then begin
+    let v = List.hd (syscall_raw_args t ctx ~argc:1) in
+    print_string_out t (Int32.to_string v);
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_print_real then begin
+    let v = List.hd (syscall_raw_args t ctx ~argc:1) in
+    print_string_out t (format_real t v);
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_print_bool then begin
+    let v = List.hd (syscall_raw_args t ctx ~argc:1) in
+    print_string_out t (if Int32.equal v 0l then "false" else "true");
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_print_str then begin
+    let v = Int32.to_int (List.hd (syscall_raw_args t ctx ~argc:1)) in
+    print_string_out t (if v = 0 then "nil" else read_string_block t v);
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_print_ref then begin
+    let v = Int32.to_int (List.hd (syscall_raw_args t ctx ~argc:1)) in
+    print_string_out t
+      (if v = 0 then "nil"
+       else if is_vector_block t v then
+         Printf.sprintf "vector[%ld]" (Mem.load32 t.kmem (v + L.vec_len))
+       else Oid.to_string (oid_at t v));
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_print_nl then begin
+    print_string_out t "\n";
+    D_done None
+  end
+  else if nr = Emc.Sysno.sys_locate then begin
+    let v = Int32.to_int (List.hd (syscall_raw_args t ctx ~argc:1)) in
+    if v = 0 then error "locate of nil";
+    let node = if is_resident t v then t.knode_id else proxy_hint t v in
+    D_done (Some (Value.Vint (Int32.of_int node)))
+  end
+  else if nr = Emc.Sysno.sys_thisnode then
+    D_done (Some (Value.Vint (Int32.of_int t.knode_id)))
+  else if nr = Emc.Sysno.sys_timenow then
+    D_done (Some (Value.Vint (Int32.of_float t.time_us)))
+  else if nr = Emc.Sysno.sys_move then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ obj; node ] ->
+      let obj_addr = Int32.to_int obj in
+      if obj_addr = 0 then error "move of nil";
+      D_out (Oc_move { seg; obj_addr; dest_node = Int32.to_int node })
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_sconcat then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ a; b ] ->
+      let sa = read_string_block t (Int32.to_int a) in
+      let sb = read_string_block t (Int32.to_int b) in
+      charge_insns t (10 * (String.length sa + String.length sb));
+      D_done (Some (Value.Vstr (sa ^ sb)))
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_seq then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ a; b ] ->
+      let sa = read_string_block t (Int32.to_int a) in
+      let sb = read_string_block t (Int32.to_int b) in
+      D_done (Some (Value.Vbool (String.equal sa sb)))
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_vec_new then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ kind; len ] ->
+      let len = Int32.to_int len in
+      if len < 0 then error "vector length %d is negative" len;
+      charge_insns t (60 + len);
+      let elem = typ_of_kind (Int32.to_int kind) in
+      D_done (Some (Value.Vvec (elem, Array.make len (default_value_of_typ elem))))
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_bounds then begin
+    let idx = List.hd (syscall_raw_args t ctx ~argc:1) in
+    error "vector index %ld out of bounds" idx
+  end
+  else if nr = Emc.Sysno.sys_start_process then begin
+    let obj = Int32.to_int (List.hd (syscall_raw_args t ctx ~argc:1)) in
+    charge_insns t 150;
+    if is_resident t obj then begin
+      ignore (start_process_if_any t ~target_addr:obj);
+      D_done None
+    end
+    else begin
+      (* the object moved away while its initially ran: the process must
+         start where the object now lives; the creator continues *)
+      seg.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall None);
+      enqueue_ready t seg;
+      D_out
+        (Oc_start_process { target_oid = oid_at t obj; hint_node = proxy_hint t obj })
+    end
+  end
+  else error "unknown system call %d" nr
+
+(* Scheduling ---------------------------------------------------------------- *)
+
+let has_ready t = not (Queue.is_empty t.run_queue)
+let live_segment_count t = Hashtbl.length t.segs
+
+let apply_resume t seg =
+  let ctx = seg.Thread.seg_ctx in
+  match seg.Thread.seg_status with
+  | Thread.Ready Thread.Rs_run -> ()
+  | Thread.Ready (Thread.Rs_deliver v) ->
+    M.set_reg ctx (retval_reg t) (raw_of_value t v)
+  | Thread.Ready (Thread.Rs_complete_syscall v) -> (
+    match stop_at_pc t ctx.M.pc with
+    | Some (_, entry) ->
+      complete_syscall t seg ~entry ~retval:(Option.map (raw_of_value t) v)
+    | None -> error "segment %d: completion PC is not a bus stop" seg.Thread.seg_id)
+  | Thread.Ready (Thread.Rs_complete_dequeue waiter) -> (
+    match stop_at_pc t ctx.M.pc with
+    | Some (_, entry) ->
+      let retval =
+        match waiter with
+        | None -> 0l
+        | Some seg_id ->
+          (* fabricate the queue node the generated code hands to the wake
+             system call *)
+          let qnode = Heap.alloc t.kheap L.qnode_size in
+          Mem.store32 t.kmem (qnode + L.qnode_thread) (Int32.of_int seg_id);
+          Int32.of_int qnode
+      in
+      complete_syscall t seg ~entry ~retval:(Some retval)
+    | None -> error "segment %d: completion PC is not a bus stop" seg.Thread.seg_id)
+  | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ | Thread.Dead
+    -> error "apply_resume: segment %d is not ready" seg.Thread.seg_id
+
+let finish_bottom_return t seg =
+  let ctx = seg.Thread.seg_ctx in
+  let raw = M.reg ctx (retval_reg t) in
+  let value =
+    match seg.Thread.seg_result_type with
+    | Some ty -> value_of_raw t ty raw
+    | None -> Value.Vnil
+  in
+  seg.Thread.seg_status <- Thread.Dead;
+  unregister_segment t seg;
+  match seg.Thread.seg_link with
+  | Some link ->
+    Some (Oc_return { link; value; thread = seg.Thread.seg_thread })
+  | None ->
+    Hashtbl.replace t.root_results seg.Thread.seg_thread
+      (match seg.Thread.seg_result_type with
+      | Some _ -> Some value
+      | None -> None);
+    None
+
+let step t =
+  match Queue.take_opt t.run_queue with
+  | None -> []
+  | Some seg when seg.Thread.seg_status = Thread.Dead -> []
+  | Some seg
+    when (match find_segment t seg.Thread.seg_id with
+         | Some s -> s != seg
+         | None -> true) ->
+    [] (* migrated away or superseded since it was enqueued *)
+  | Some seg -> (
+    apply_resume t seg;
+    seg.Thread.seg_status <- Thread.Running;
+    let ctx = seg.Thread.seg_ctx in
+    ctx.M.stack_limit <- seg.Thread.seg_stack_bottom;
+    ctx.M.poll_requested <- not (Queue.is_empty t.run_queue);
+    let fuel =
+      match t.quantum with
+      | Some q -> q
+      | None -> 50_000_000
+    in
+    let cycles_before = ctx.M.cycles and insns_before = ctx.M.insns in
+    let stop = M.run ctx ~mem:t.kmem ~text:t.ktext ~fuel in
+    seg.Thread.seg_spawn <- None;
+    t.insns <- t.insns + (ctx.M.insns - insns_before);
+    charge_cycles t (ctx.M.cycles - cycles_before);
+    match stop with
+    | M.Stop_poll ->
+      ctx.M.poll_requested <- false;
+      ctx.M.skip_poll <- true;
+      seg.Thread.seg_status <- Thread.Ready Thread.Rs_run;
+      enqueue_ready t seg;
+      []
+    | M.Stop_halt ->
+      seg.Thread.seg_status <- Thread.Dead;
+      unregister_segment t seg;
+      []
+    | M.Stop_bottom_return -> (
+      match finish_bottom_return t seg with
+      | Some out -> [ out ]
+      | None -> [])
+    | M.Stop_syscall nr -> (
+      match stop_at_pc t ctx.M.pc with
+      | None -> error "system call %d at PC %#x: no bus stop" nr ctx.M.pc
+      | Some (lc, entry) -> (
+        match dispatch_syscall t seg lc entry nr with
+        | D_done retval ->
+          (* completion is applied at the segment's next dispatch, so the
+             segment stays parked at the bus stop (capturable) meanwhile *)
+          seg.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall retval);
+          enqueue_ready t seg;
+          []
+        | D_done_dequeue waiter ->
+          seg.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_dequeue waiter);
+          enqueue_ready t seg;
+          []
+        | D_blocked -> []
+        | D_local _callee -> []
+        | D_out out -> [ out ]))
+    | M.Stop_trap trap ->
+      error "node %d, thread %d: %s" t.knode_id seg.Thread.seg_thread
+        (Format.asprintf "%a" M.pp_trap trap)
+    | M.Stop_fuel -> (
+      match t.quantum with
+      | Some _ ->
+        (* preempted mid-computation, Trellis/Owl style: the PC may not be
+           a bus stop; anyone needing a well-defined state must call
+           [advance_to_stop] first *)
+        seg.Thread.seg_status <- Thread.Ready Thread.Rs_run;
+        enqueue_ready t seg;
+        []
+      | None ->
+        error "node %d, thread %d: ran out of fuel between bus stops (codegen bug)"
+          t.knode_id seg.Thread.seg_thread))
+
+(* Run a preempted segment forward to its next bus stop ("the top layer of
+   the runtime system would execute the necessary number of instructions
+   to exit the critical region", section 2.2.1 on Trellis/Owl — here the
+   instructions run natively).  No system call is dispatched: the segment
+   parks AT the stop.  Returns the outcalls of any segment-bottom return
+   encountered on the way. *)
+let advance_to_stop t (seg : Thread.segment) =
+  if at_stop t seg then []
+  else begin
+    let ctx = seg.Thread.seg_ctx in
+    ctx.M.poll_requested <- true;
+    let cycles_before = ctx.M.cycles and insns_before = ctx.M.insns in
+    let stop = M.run ctx ~mem:t.kmem ~text:t.ktext ~fuel:50_000_000 in
+    t.insns <- t.insns + (ctx.M.insns - insns_before);
+    charge_cycles t (ctx.M.cycles - cycles_before);
+    match stop with
+    | M.Stop_poll ->
+      ctx.M.poll_requested <- false;
+      ctx.M.skip_poll <- true;
+      []
+    | M.Stop_syscall _ ->
+      (* parked at the system-call instruction; it runs at next dispatch *)
+      ctx.M.poll_requested <- false;
+      []
+    | M.Stop_halt ->
+      seg.Thread.seg_status <- Thread.Dead;
+      unregister_segment t seg;
+      []
+    | M.Stop_bottom_return -> (
+      ctx.M.poll_requested <- false;
+      match finish_bottom_return t seg with
+      | Some out -> [ out ]
+      | None -> [])
+    | M.Stop_trap trap ->
+      error "node %d, thread %d: %s" t.knode_id seg.Thread.seg_thread
+        (Format.asprintf "%a" M.pp_trap trap)
+    | M.Stop_fuel ->
+      error "node %d, thread %d: no bus stop reachable (codegen bug)" t.knode_id
+        seg.Thread.seg_thread
+  end

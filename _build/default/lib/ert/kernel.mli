@@ -1,0 +1,247 @@
+(** The per-node runtime kernel.
+
+    One kernel per workstation: it owns the node's memory, text space,
+    heap, object table and thread segments, executes native code on the
+    virtual CPU, and services system calls.  The kernel is strictly
+    node-local — anything involving another node (remote invocation,
+    migration, remote returns) is surfaced as an {!outcall} for the
+    cluster layer (which drives the network simulation and the mobility
+    protocol) to handle.
+
+    Control transfer discipline: the kernel regains control only at bus
+    stops ([Syscall] instructions, loop-bottom polls, segment-bottom
+    returns), so every suspended activation record it ever observes is at
+    a bus stop — the prerequisite for both migration and garbage
+    collection (sections 2.2.1, 3.2). *)
+
+exception Runtime_error of string
+
+type block_kind =
+  | Bobject
+  | Bproxy
+  | Bstring
+  | Bvector
+
+type t
+
+type loaded_class = {
+  lc_class : Emc.Compile.compiled_class;
+  lc_code : Isa.Code.t;
+  lc_stops : Emc.Busstop.table;
+  lc_image : Isa.Text.image;
+  lc_desc_addr : int;  (** descriptor table in data memory *)
+  lc_string_addrs : int array;  (** string-literal blocks *)
+}
+
+type outcall =
+  | Oc_invoke of {
+      seg : Thread.segment;
+      target_oid : Oid.t;
+      hint_node : int;
+      callee_class : int;
+      callee_method : int;
+      args : Value.t list;
+      stop_id : int;
+    }  (** a trans-node invocation; the segment is awaiting the reply *)
+  | Oc_move of {
+      seg : Thread.segment;
+      obj_addr : int;  (** local descriptor (resident object or proxy) *)
+      dest_node : int;
+    }
+      (** a [move X to n] system call; the segment is parked at the stop
+          and must be completed (wherever it ends up) by the mobility
+          protocol *)
+  | Oc_return of {
+      link : Thread.link;
+      value : Value.t;
+      thread : Thread.tid;
+    }  (** a segment-bottom return crossing to another node *)
+  | Oc_start_process of {
+      target_oid : Oid.t;
+      hint_node : int;
+    }  (** the object moved away during [initially]; start it over there *)
+
+val create : node_id:int -> arch:Isa.Arch.t -> unit -> t
+val node_id : t -> int
+val arch : t -> Isa.Arch.t
+val mem : t -> Isa.Memory.t
+val text : t -> Isa.Text.t
+val heap : t -> Heap.t
+
+(* virtual time and cost accounting *)
+val time_us : t -> float
+val set_time_us : t -> float -> unit
+val charge_insns : t -> int -> unit
+(** Charge kernel software work, costed at the node's MIPS rating. *)
+
+val charge_us : t -> float -> unit
+(** Charge fixed (CPU-independent) virtual time. *)
+
+val insns_executed : t -> int
+val cycles_executed : t -> int
+val syscalls_handled : t -> int
+
+(* console *)
+val output : t -> string
+val clear_output : t -> unit
+val set_echo : t -> bool -> unit
+(** Also print to the real stdout (for the example programs). *)
+
+(* program and code management *)
+val load_program : t -> Emc.Compile.program -> unit
+val program : t -> Emc.Compile.program
+val loaded_class : t -> int -> loaded_class
+(** Loads (code object fetch, descriptor table and string-literal
+    construction) on first use. *)
+
+val class_loaded : t -> int -> bool
+
+(* objects *)
+val create_object : t -> class_index:int -> int
+val find_object : t -> Oid.t -> int option
+(** Resident objects only. *)
+
+val proxy_of : t -> Oid.t -> int option
+val ensure_ref : t -> Oid.t -> int
+(** Local address for an OID: the resident descriptor, an existing proxy,
+    or a fresh proxy whose forwarding hint is the OID's creator node. *)
+
+val set_proxy_hint : t -> addr:int -> node:int -> unit
+val oid_at : t -> int -> Oid.t
+val is_resident : t -> int -> bool
+val proxy_hint : t -> int -> int
+val class_of_object : t -> int -> int
+val install_object : t -> oid:Oid.t -> class_index:int -> int
+(** Allocate a resident descriptor for an arriving object (fields are
+    filled by the unmarshaller); replaces any proxy for the OID. *)
+
+val evict_object : t -> addr:int -> forward_to:int -> unit
+(** Turn a resident descriptor into a forwarding proxy (after move-out). *)
+
+val objects : t -> (Oid.t * int) list
+val iter_blocks : t -> (addr:int -> size:int -> kind:block_kind -> unit) -> unit
+
+val free_block : t -> int -> unit
+(** Return a swept block to the allocator and drop its table entries. *)
+
+val string_literal_addrs : t -> int list
+(** String blocks owned by loaded code objects (GC roots). *)
+
+val make_string : t -> string -> int
+val read_string_block : t -> int -> string
+val make_vector : t -> kind:int -> len:int -> int
+val is_vector_block : t -> int -> bool
+
+val vector_pointer_elements : t -> int -> int list
+(** Element addresses of a pointer-kind vector (GC tracing). *)
+
+val attached_refs : t -> addr:int -> int list
+(** Addresses held in attached fields of a resident object. *)
+
+(* value conversion *)
+val value_of_raw : t -> Emc.Ast.typ -> int32 -> Value.t
+val raw_of_value : t -> Value.t -> int32
+
+(* bus stops *)
+val stop_at_pc : t -> int -> (loaded_class * Emc.Busstop.entry) option
+val stop_by_id : t -> class_index:int -> stop_id:int -> Emc.Busstop.entry
+val frame_info : t -> class_index:int -> method_index:int -> Emc.Busstop.frame_info
+val abs_pc : t -> class_index:int -> int -> int
+val image_of_class : t -> int -> Isa.Text.image
+
+(* threads and segments *)
+val segments : t -> Thread.segment list
+val find_segment : t -> int -> Thread.segment option
+val fresh_tid : t -> Thread.tid
+val fresh_seg_id : t -> int
+val stack_bytes : int
+val alloc_stack : t -> int
+(** Allocate a stack region; returns its top (highest) address. *)
+
+val register_segment : t -> Thread.segment -> unit
+val unregister_segment : t -> Thread.segment -> unit
+
+val set_seg_forward : t -> seg_id:int -> node:int -> unit
+(** Leave a forwarding address for a migrated segment, so late replies can
+    chase it. *)
+
+val seg_forward : t -> seg_id:int -> int option
+val enqueue_ready : t -> Thread.segment -> unit
+
+val spawn_root :
+  t -> target_addr:int -> method_name:string -> args:Value.t list -> Thread.tid
+
+val spawn_exact :
+  t ->
+  spawn:Thread.spawn_info ->
+  link:Thread.link option ->
+  thread:Thread.tid ->
+  seg_id:int ->
+  status:Thread.status ->
+  Thread.segment
+(** Install a segment with an explicit id and status (used when rebuilding
+    a migrated, never-executed segment). *)
+
+val spawn_rpc :
+  t ->
+  target_addr:int ->
+  callee_class:int ->
+  callee_method:int ->
+  args:Value.t list ->
+  link:Thread.link ->
+  thread:Thread.tid ->
+  Thread.segment
+
+val start_process_if_any : t -> target_addr:int -> Thread.tid option
+(** Start the object's Emerald process section (if its class declares
+    one) as an independent thread; returns its id. *)
+
+val deliver_result : t -> Thread.segment -> Value.t -> unit
+val root_result : t -> Thread.tid -> Value.t option option
+(** [Some r] once the root thread has finished ([r = None] for a
+    resultless operation). *)
+
+(* monitors *)
+val monitor_locked : t -> obj_addr:int -> bool
+val set_monitor_locked : t -> obj_addr:int -> bool -> unit
+val monitor_waiters : t -> obj_addr:int -> Thread.segment list
+
+val condition_waiters : t -> obj_addr:int -> cond:int -> Thread.segment list
+(** Segments waiting on one of the object's monitor conditions, in queue
+    order. *)
+
+val monitor_enqueue_blocked : t -> obj_addr:int -> ?cond:int -> Thread.segment -> unit
+(** Re-enqueue a migrated-in segment that was blocked on this monitor
+    ([cond] selects a condition queue; default: the entry queue). *)
+
+val set_on_code_load : t -> (class_index:int -> unit) -> unit
+(** Called on each first-time code-object load (for repository fetch
+    accounting). *)
+
+val set_quantum : t -> int option -> unit
+(** [Some q] switches to preemptive (Trellis/Owl-style) scheduling: a
+    slice is bounded by [q] instructions and a thread may be left between
+    bus stops; use {!advance_to_stop} before capturing its state.
+    [None] (the default) is the Emerald discipline: control transfers only
+    at bus stops. *)
+
+val quantum : t -> int option
+
+val at_stop : t -> Thread.segment -> bool
+(** Is this segment's state well defined (at a bus stop / fully
+    machine-describable)?  Always true under the default discipline. *)
+
+val advance_to_stop : t -> Thread.segment -> outcall list
+(** Execute a preempted segment natively forward to its next bus stop
+    (section 2.2.1's Trellis/Owl technique).  System calls are not
+    dispatched — the segment parks at the stop.  Returns any cross-node
+    actions produced by a segment-bottom return along the way. *)
+
+(* execution *)
+val step : t -> outcall list
+(** Run one scheduling slice: dispatch the next ready segment and execute
+    it to its next control transfer.  Returns the cross-node actions it
+    produced (empty when idle or when the work stayed local). *)
+
+val has_ready : t -> bool
+val live_segment_count : t -> int

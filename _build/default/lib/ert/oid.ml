@@ -1,0 +1,29 @@
+type t = int32
+
+let nil = 0l
+let data_bit = 0x4000_0000l
+let is_data oid = Int32.logand oid data_bit <> 0l
+let is_code oid = (not (is_data oid)) && not (Int32.equal oid nil)
+
+let fresh_data ~node_id ~serial =
+  if node_id < 0 || node_id >= 64 then invalid_arg "Oid.fresh_data: node id out of range";
+  if serial < 0 || serial >= 1 lsl 20 then invalid_arg "Oid.fresh_data: serial overflow";
+  Int32.logor data_bit (Int32.of_int ((node_id lsl 20) lor serial))
+
+let creator_node oid =
+  if is_data oid then Some (Int32.to_int (Int32.shift_right_logical oid 20) land 0x3F)
+  else None
+
+let equal = Int32.equal
+let compare = Int32.compare
+let hash oid = Int32.to_int oid land max_int
+
+let to_string oid =
+  if Int32.equal oid nil then "nil"
+  else if is_data oid then
+    Printf.sprintf "obj:%d.%d"
+      (Option.value (creator_node oid) ~default:0)
+      (Int32.to_int oid land 0xFFFFF)
+  else Printf.sprintf "code:%lx" oid
+
+let pp ppf oid = Format.pp_print_string ppf (to_string oid)

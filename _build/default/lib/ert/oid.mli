@@ -1,0 +1,27 @@
+(** Object identifiers.
+
+    OIDs uniquely identify objects regardless of their location
+    (section 3.2).  Two disjoint spaces share the 32-bit representation:
+
+    - code-object OIDs, assigned deterministically by the program
+      database (30-bit values, bit 30 clear);
+    - data-object OIDs, allocated without cluster-wide coordination by
+      tagging the creating node into the value (bit 30 set). *)
+
+type t = int32
+
+val nil : t
+val is_code : t -> bool
+val is_data : t -> bool
+
+val fresh_data : node_id:int -> serial:int -> t
+(** @raise Invalid_argument when node or serial exceed their fields. *)
+
+val creator_node : t -> int option
+(** Creating node of a data OID. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

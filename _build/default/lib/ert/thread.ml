@@ -1,0 +1,55 @@
+type tid = int
+
+type link = {
+  ln_node : int;
+  ln_seg : int;
+}
+
+type resume =
+  | Rs_run
+  | Rs_deliver of Value.t
+  | Rs_complete_syscall of Value.t option
+  | Rs_complete_dequeue of int option
+
+type status =
+  | Ready of resume
+  | Running
+  | Blocked_monitor of {
+      mon_addr : int;
+      qnode : int;
+      cond : int;
+    }
+  | Awaiting_reply of { stop_id : int }
+  | Dead
+
+type spawn_info = {
+  si_target : int32;
+  si_class : int;
+  si_method : int;
+  si_args : Value.t list;
+}
+
+type segment = {
+  seg_id : int;
+  seg_thread : tid;
+  mutable seg_status : status;
+  seg_ctx : Isa.Machine.ctx;
+  mutable seg_stack_top : int;
+  mutable seg_stack_bottom : int;
+  mutable seg_link : link option;
+  mutable seg_result_type : Emc.Ast.typ option;
+  mutable seg_spawn : spawn_info option;
+}
+
+let fresh_tid ~node_id ~serial = (node_id lsl 20) lor serial
+let fresh_seg_id ~node_id ~serial = (node_id lsl 20) lor serial
+
+let pp_status ppf = function
+  | Ready Rs_run -> Format.pp_print_string ppf "ready"
+  | Ready (Rs_deliver v) -> Format.fprintf ppf "ready (deliver %a)" Value.pp v
+  | Ready (Rs_complete_syscall _) -> Format.pp_print_string ppf "ready (complete syscall)"
+  | Ready (Rs_complete_dequeue _) -> Format.pp_print_string ppf "ready (complete dequeue)"
+  | Running -> Format.pp_print_string ppf "running"
+  | Blocked_monitor _ -> Format.pp_print_string ppf "blocked on monitor"
+  | Awaiting_reply { stop_id } -> Format.fprintf ppf "awaiting reply at stop %d" stop_id
+  | Dead -> Format.pp_print_string ppf "dead"

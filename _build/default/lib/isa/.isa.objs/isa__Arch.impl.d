@@ -1,0 +1,1 @@
+lib/isa/arch.ml: Endian Float_format Format List String

@@ -1,0 +1,1 @@
+lib/isa/arch.mli: Endian Float_format Format

@@ -1,0 +1,1 @@
+lib/isa/code.ml: Arch Array Format Hashtbl Insn Printf String

@@ -1,0 +1,1 @@
+lib/isa/code.mli: Arch Format Hashtbl Insn

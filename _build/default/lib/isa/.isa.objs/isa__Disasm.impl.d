@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Arch Array Code Format Insn

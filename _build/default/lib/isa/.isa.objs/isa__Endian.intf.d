@@ -1,0 +1,1 @@
+lib/isa/endian.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/float_format.ml: Float Format Int32

@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Arch Format Int32 Operand Reg

@@ -1,0 +1,1 @@
+lib/isa/insn.mli: Arch Format Operand Reg

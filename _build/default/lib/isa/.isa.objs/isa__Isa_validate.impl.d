@@ -1,0 +1,1 @@
+lib/isa/isa_validate.ml: Arch Array Buffer Code Format Insn Int32 List Operand Printf

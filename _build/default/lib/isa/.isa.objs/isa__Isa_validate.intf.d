@@ -1,0 +1,1 @@
+lib/isa/isa_validate.mli: Code Format

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Arch Array Code Float Float_format Format Insn Int32 Memory Operand Reg Text

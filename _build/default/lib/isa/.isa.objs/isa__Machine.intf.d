@@ -1,0 +1,1 @@
+lib/isa/machine.mli: Arch Format Memory Reg Text

@@ -1,0 +1,1 @@
+lib/isa/memory.ml: Bytes Char Endian String

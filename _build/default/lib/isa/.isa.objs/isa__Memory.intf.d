@@ -1,0 +1,1 @@
+lib/isa/memory.mli: Endian

@@ -1,0 +1,1 @@
+lib/isa/operand.ml: Format Reg

@@ -1,0 +1,1 @@
+lib/isa/operand.mli: Arch Format Reg

@@ -1,0 +1,1 @@
+lib/isa/text.ml: Code Int32 List

@@ -1,0 +1,1 @@
+lib/isa/text.mli: Code

@@ -1,0 +1,62 @@
+type method_info = {
+  method_name : string;
+  entry_offset : int;
+  method_index : int;
+}
+
+type t = {
+  code_oid : int32;
+  class_name : string;
+  arch : Arch.t;
+  insns : Insn.t array;
+  offsets : int array;
+  byte_size : int;
+  methods : method_info array;
+  index_by_offset : (int, int) Hashtbl.t;
+}
+
+let compute_offsets family insns =
+  let n = Array.length insns in
+  let offsets = Array.make n 0 in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    offsets.(i) <- !pos;
+    pos := !pos + Insn.size_bytes family insns.(i)
+  done;
+  (offsets, !pos)
+
+let make ~arch ~code_oid ~class_name ~methods insns =
+  let offsets, byte_size = compute_offsets arch.Arch.family insns in
+  let index_by_offset = Hashtbl.create (Array.length insns) in
+  Array.iteri (fun i off -> Hashtbl.replace index_by_offset off i) offsets;
+  let methods =
+    Array.mapi
+      (fun method_index (method_name, entry_index) ->
+        { method_name; entry_offset = offsets.(entry_index); method_index })
+      methods
+  in
+  { code_oid; class_name; arch; insns; offsets; byte_size; methods; index_by_offset }
+
+let index_at code off =
+  match Hashtbl.find_opt code.index_by_offset off with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Code.index_at: %#x is not an instruction boundary in %s/%s" off
+         code.class_name code.arch.Arch.id)
+
+let method_by_name code name =
+  Array.find_opt (fun m -> String.equal m.method_name name) code.methods
+
+let pp ppf code =
+  Format.fprintf ppf "code %s (oid %ld, %s, %d bytes)@." code.class_name code.code_oid
+    code.arch.Arch.id code.byte_size;
+  Array.iteri
+    (fun i insn ->
+      let off = code.offsets.(i) in
+      Array.iter
+        (fun m ->
+          if m.entry_offset = off then Format.fprintf ppf "%s:@." m.method_name)
+        code.methods;
+      Format.fprintf ppf "  %04x: %a@." off (Insn.pp code.arch.Arch.family) insn)
+    code.insns

@@ -1,0 +1,48 @@
+(** Compiled code objects.
+
+    A code object is the per-architecture native code for one program
+    class.  In Emerald, code objects are immutable objects named by OIDs
+    and moved by duplication (section 3.2); semantically equivalent code
+    objects compiled for different architectures share the same OID
+    (section 3.4), which is what lets bus stops name program points across
+    machines.  Program-counter values are byte offsets into the encoded
+    instruction stream. *)
+
+type method_info = {
+  method_name : string;
+  entry_offset : int;  (** byte offset of the method prologue *)
+  method_index : int;  (** slot in the dispatch table; same on every arch *)
+}
+
+type t = private {
+  code_oid : int32;
+  class_name : string;
+  arch : Arch.t;
+  insns : Insn.t array;
+  offsets : int array;  (** byte offset of each instruction *)
+  byte_size : int;
+  methods : method_info array;  (** indexed by [method_index] *)
+  index_by_offset : (int, int) Hashtbl.t;
+}
+
+val make :
+  arch:Arch.t ->
+  code_oid:int32 ->
+  class_name:string ->
+  methods:(string * int) array ->
+  Insn.t array ->
+  t
+(** [make ~arch ~code_oid ~class_name ~methods insns] builds a code object;
+    [methods] gives each method name and the {e instruction index} of its
+    entry, converted internally to byte offsets. *)
+
+val compute_offsets : Arch.family -> Insn.t array -> int array * int
+(** Byte offset of each instruction and the total byte size — also used by
+    the code generators to resolve branch targets. *)
+
+val index_at : t -> int -> int
+(** [index_at code off] is the instruction index at byte offset [off].
+    @raise Invalid_argument if [off] is not an instruction boundary. *)
+
+val method_by_name : t -> string -> method_info option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+let listing code = Format.asprintf "%a" Code.pp code
+
+let insn_at code off =
+  let idx = Code.index_at code off in
+  Format.asprintf "%04x: %a" off
+    (Insn.pp code.Code.arch.Arch.family)
+    code.Code.insns.(idx)

@@ -1,0 +1,7 @@
+(** Disassembler for code objects. *)
+
+val listing : Code.t -> string
+(** Full listing with byte offsets and method entry labels. *)
+
+val insn_at : Code.t -> int -> string
+(** One-line disassembly of the instruction at a byte offset. *)

@@ -1,0 +1,38 @@
+type t = Little | Big
+
+let equal a b =
+  match a, b with
+  | Little, Little | Big, Big -> true
+  | Little, Big | Big, Little -> false
+
+let pp ppf = function
+  | Little -> Format.pp_print_string ppf "little"
+  | Big -> Format.pp_print_string ppf "big"
+
+let byte v n = Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * n)) 0xFFl)
+
+let bytes_of_int32 e v =
+  match e with
+  | Little -> (byte v 0, byte v 1, byte v 2, byte v 3)
+  | Big -> (byte v 3, byte v 2, byte v 1, byte v 0)
+
+let int32_of_bytes e b0 b1 b2 b3 =
+  let combine lo midlo midhi hi =
+    let ( ||| ) = Int32.logor in
+    let shift v n = Int32.shift_left (Int32.of_int (v land 0xFF)) n in
+    shift lo 0 ||| shift midlo 8 ||| shift midhi 16 ||| shift hi 24
+  in
+  match e with
+  | Little -> combine b0 b1 b2 b3
+  | Big -> combine b3 b2 b1 b0
+
+let bytes_of_int16 e v =
+  let lo = v land 0xFF and hi = (v lsr 8) land 0xFF in
+  match e with
+  | Little -> (lo, hi)
+  | Big -> (hi, lo)
+
+let int16_of_bytes e b0 b1 =
+  match e with
+  | Little -> (b0 land 0xFF) lor ((b1 land 0xFF) lsl 8)
+  | Big -> (b1 land 0xFF) lor ((b0 land 0xFF) lsl 8)

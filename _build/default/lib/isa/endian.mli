@@ -1,0 +1,21 @@
+(** Byte order of a virtual architecture.
+
+    The VAX is little-endian; the MC680x0 family and SPARC are big-endian.
+    All multi-byte loads and stores in {!Memory} go through these
+    conversions, so cross-architecture migration genuinely has to byte-swap
+    data, as in the paper. *)
+
+type t = Little | Big
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val bytes_of_int32 : t -> int32 -> int * int * int * int
+(** [bytes_of_int32 e v] is the four bytes of [v] in memory order
+    (lowest address first) under byte order [e]. *)
+
+val int32_of_bytes : t -> int -> int -> int -> int -> int32
+(** Inverse of {!bytes_of_int32}; arguments are in memory order. *)
+
+val bytes_of_int16 : t -> int -> int * int
+val int16_of_bytes : t -> int -> int -> int

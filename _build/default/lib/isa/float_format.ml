@@ -1,0 +1,75 @@
+type t = Vax_f | Ieee_single
+
+exception Reserved_operand of string
+
+let equal a b =
+  match a, b with
+  | Vax_f, Vax_f | Ieee_single, Ieee_single -> true
+  | Vax_f, Ieee_single | Ieee_single, Vax_f -> false
+
+let pp ppf = function
+  | Vax_f -> Format.pp_print_string ppf "VAX-F"
+  | Ieee_single -> Format.pp_print_string ppf "IEEE-single"
+
+(* VAX F_floating register image layout (after the 16-bit word swap the
+   hardware performs when loading from memory):
+     bit 15      sign
+     bits 14:7   exponent, excess 128
+     bits  6:0   high 7 bits of the 23-bit stored fraction
+     bits 31:16  low 16 bits of the stored fraction
+   Value = (-1)^s * 0.1f * 2^(e-128); the hidden bit is the 0.5 weight. *)
+
+let vax_pack ~sign ~exp ~frac23 =
+  let lo16 = frac23 land 0xFFFF in
+  let hi7 = (frac23 lsr 16) land 0x7F in
+  let image = (lo16 lsl 16) lor (sign lsl 15) lor ((exp land 0xFF) lsl 7) lor hi7 in
+  Int32.of_int image
+
+let vax_unpack img =
+  let v = Int32.to_int (Int32.logand img 0xFFFFFFFFl) land 0xFFFFFFFF in
+  let sign = (v lsr 15) land 1 in
+  let exp = (v lsr 7) land 0xFF in
+  let hi7 = v land 0x7F in
+  let lo16 = (v lsr 16) land 0xFFFF in
+  (sign, exp, (hi7 lsl 16) lor lo16)
+
+let encode_vax x =
+  match Float.classify_float x with
+  | Float.FP_nan -> raise (Reserved_operand "NaN has no VAX F representation")
+  | Float.FP_infinite -> raise (Reserved_operand "infinity has no VAX F representation")
+  | Float.FP_zero -> 0l
+  | Float.FP_normal | Float.FP_subnormal ->
+    let sign = if x < 0.0 then 1 else 0 in
+    let m, e = Float.frexp (Float.abs x) in
+    (* m in [0.5, 1), value = m * 2^e; VAX exponent is e + 128. *)
+    let frac24 = Float.round (Float.ldexp m 24) in
+    let frac24, e =
+      if frac24 >= 16777216.0 then (8388608.0, e + 1) else (frac24, e)
+    in
+    let exp = e + 128 in
+    if exp > 255 then raise (Reserved_operand "VAX F exponent overflow")
+    else if exp <= 0 then 0l
+    else vax_pack ~sign ~exp ~frac23:(int_of_float frac24 land 0x7FFFFF)
+
+let decode_vax img =
+  let sign, exp, frac23 = vax_unpack img in
+  if exp = 0 then
+    if sign = 0 then 0.0
+    else raise (Reserved_operand "VAX F reserved operand")
+  else
+    let m = Float.ldexp (float_of_int (frac23 lor 0x800000)) (-24) in
+    let v = Float.ldexp m (exp - 128) in
+    if sign = 1 then -.v else v
+
+let encode fmt x =
+  match fmt with
+  | Ieee_single -> Int32.bits_of_float x
+  | Vax_f -> encode_vax x
+
+let decode fmt img =
+  match fmt with
+  | Ieee_single -> Int32.float_of_bits img
+  | Vax_f -> decode_vax img
+
+let convert ~from ~to_ img =
+  if equal from to_ then img else encode to_ (decode from img)

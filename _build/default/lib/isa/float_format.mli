@@ -1,0 +1,31 @@
+(** Single-precision floating-point formats of the virtual architectures.
+
+    The Sun-3, HP9000/300 and SPARC machines use IEEE 754 single precision;
+    the VAX uses its F_floating format (excess-128 exponent, hidden-bit
+    significand in [0.5,1), word-swapped bit layout, no infinities or NaNs).
+    A float value lives in a 32-bit register or memory word as a format
+    dependent bit image, so moving a real between a VAX and a SPARC requires
+    a genuine format conversion, as in the paper (section 2.1). *)
+
+type t = Vax_f | Ieee_single
+
+exception Reserved_operand of string
+(** Raised when a value cannot be represented in the target format
+    (VAX F has no NaN/infinity, and a narrower exponent range). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> float -> int32
+(** [encode fmt x] is the 32-bit register image of [x] in format [fmt].
+    Rounds to nearest. Values too small for the format underflow to zero.
+    @raise Reserved_operand if [x] is NaN or infinite and [fmt] is
+    [Vax_f], or if [x] overflows the VAX F exponent range. *)
+
+val decode : t -> int32 -> float
+(** [decode fmt img] is the value represented by register image [img].
+    @raise Reserved_operand on a VAX reserved operand (sign set, exponent
+    zero). *)
+
+val convert : from:t -> to_:t -> int32 -> int32
+(** Re-encode a register image from one format into another. *)

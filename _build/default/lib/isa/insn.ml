@@ -1,0 +1,304 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Xor
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Mov of Operand.t * Operand.t
+  | Bin3 of binop * Operand.t * Operand.t * Operand.t
+  | Bin2 of binop * Operand.t * Operand.t
+  | Fbin3 of binop * Operand.t * Operand.t * Operand.t
+  | Fbin2 of binop * Operand.t * Operand.t
+  | Neg of Operand.t * Operand.t
+  | Fneg of Operand.t * Operand.t
+  | Cvt_if of Operand.t * Operand.t
+  | Cvt_fi of Operand.t * Operand.t
+  | Cmp of Operand.t * Operand.t
+  | Fcmp of Operand.t * Operand.t
+  | Bcc of cmp * int
+  | Br of int
+  | Jsr_ind of Reg.t
+  | Push of Operand.t
+  | Vax_entry of int
+  | Vax_ret
+  | Link of int
+  | Unlk
+  | Rts
+  | Save of int
+  | Restore
+  | Retl
+  | Sethi of int32 * Reg.t
+  | Syscall of int
+  | Poll of int
+  | Remque of Reg.t * Reg.t
+  | Nop
+  | Halt
+
+(* Encoded operand sizes, loosely modelled on the real encodings: the VAX
+   uses one specifier byte plus displacement/immediate bytes (short
+   literals 0..63 fit in the specifier byte); the M68k pays one extension
+   word for displacements and two for 32-bit immediates; SPARC operands
+   are folded into the fixed 4-byte word. *)
+
+let vax_operand_size = function
+  | Operand.Reg _ -> 1
+  | Operand.Imm i -> if Int32.compare i 0l >= 0 && Int32.compare i 64l < 0 then 1 else 5
+  | Operand.Mem (Operand.Abs _) -> 5
+  | Operand.Mem (Operand.Disp (_, d)) -> if d >= -128 && d < 128 then 2 else 5
+  | Operand.Mem (Operand.Autoinc _) | Operand.Mem (Operand.Autodec _) -> 1
+
+let m68k_operand_size = function
+  | Operand.Reg _ -> 0
+  | Operand.Imm _ -> 4
+  | Operand.Mem (Operand.Abs _) -> 4
+  | Operand.Mem (Operand.Disp (_, _)) -> 2
+  | Operand.Mem (Operand.Autoinc _) | Operand.Mem (Operand.Autodec _) -> 0
+
+let size_bytes family insn =
+  match family with
+  | Arch.Sparc -> 4
+  | Arch.Vax -> (
+    let op = vax_operand_size in
+    match insn with
+    | Mov (a, b)
+    | Bin2 (_, a, b)
+    | Fbin2 (_, a, b)
+    | Neg (a, b)
+    | Fneg (a, b)
+    | Cvt_if (a, b)
+    | Cvt_fi (a, b)
+    | Cmp (a, b)
+    | Fcmp (a, b) -> 1 + op a + op b
+    | Bin3 (_, a, b, c) | Fbin3 (_, a, b, c) -> 1 + op a + op b + op c
+    | Bcc (_, _) -> 3
+    | Br _ -> 3
+    | Jsr_ind _ -> 2
+    | Push a -> 1 + op a
+    | Vax_entry _ -> 3 (* entry mask word + opcode *)
+    | Vax_ret -> 1
+    | Syscall _ -> 2 (* CHMK #n *)
+    | Poll _ -> 4 (* cmpl sp,limit; blss — folded *)
+    | Remque (_, _) -> 3
+    | Nop -> 1
+    | Halt -> 1
+    | Sethi (_, _) | Link _ | Unlk | Rts | Save _ | Restore | Retl -> 1)
+  | Arch.M68k -> (
+    let op = m68k_operand_size in
+    match insn with
+    | Mov (a, b)
+    | Bin2 (_, a, b)
+    | Fbin2 (_, a, b)
+    | Neg (a, b)
+    | Fneg (a, b)
+    | Cvt_if (a, b)
+    | Cvt_fi (a, b)
+    | Cmp (a, b)
+    | Fcmp (a, b) -> 2 + op a + op b
+    | Bin3 (_, a, b, c) | Fbin3 (_, a, b, c) -> 2 + op a + op b + op c
+    | Bcc (_, _) -> 4
+    | Br _ -> 4
+    | Jsr_ind _ -> 2
+    | Push a -> 2 + op a
+    | Link _ -> 4
+    | Unlk -> 2
+    | Rts -> 2
+    | Syscall _ -> 4 (* TRAP #n; extension word *)
+    | Poll _ -> 6
+    | Nop -> 2
+    | Halt -> 2
+    | Sethi (_, _) | Vax_entry _ | Vax_ret | Save _ | Restore | Retl | Remque (_, _) -> 2)
+
+let mem_operand = function
+  | Operand.Mem _ -> true
+  | Operand.Reg _ | Operand.Imm _ -> false
+
+let cycles family insn =
+  let mem_penalty a = if mem_operand a then 2 else 0 in
+  match family with
+  | Arch.Vax -> (
+    match insn with
+    | Mov (a, b) -> 4 + mem_penalty a + mem_penalty b
+    | Bin3 (op, a, b, c) ->
+      let base =
+        match op with
+        | Mul -> 18
+        | Div | Mod -> 40
+        | Add | Sub | And | Or | Xor -> 5
+      in
+      base + mem_penalty a + mem_penalty b + mem_penalty c
+    | Bin2 (op, a, b) ->
+      let base =
+        match op with
+        | Mul -> 18
+        | Div | Mod -> 40
+        | Add | Sub | And | Or | Xor -> 5
+      in
+      base + mem_penalty a + mem_penalty b
+    | Fbin3 (_, _, _, _) | Fbin2 (_, _, _) -> 25
+    | Neg (_, _) | Fneg (_, _) -> 6
+    | Cvt_if (_, _) | Cvt_fi (_, _) -> 15
+    | Cmp (a, b) -> 4 + mem_penalty a + mem_penalty b
+    | Fcmp (_, _) -> 12
+    | Bcc (_, _) -> 5
+    | Br _ -> 5
+    | Jsr_ind _ -> 10
+    | Push a -> 5 + mem_penalty a
+    | Vax_entry _ -> 14
+    | Vax_ret -> 12
+    | Syscall _ -> 40
+    | Poll _ -> 6
+    | Remque (_, _) -> 16
+    | Nop -> 2
+    | Halt -> 2
+    | Sethi (_, _) | Link _ | Unlk | Rts | Save _ | Restore | Retl -> 2)
+  | Arch.M68k -> (
+    match insn with
+    | Mov (a, b) -> 3 + mem_penalty a + mem_penalty b
+    | Bin2 (op, a, b) | Bin3 (op, a, _, b) | Fbin3 (op, a, _, b) | Fbin2 (op, a, b) ->
+      let base =
+        match op with
+        | Mul -> 30
+        | Div | Mod -> 70
+        | Add | Sub | And | Or | Xor -> 3
+      in
+      base + mem_penalty a + mem_penalty b
+    | Neg (_, _) | Fneg (_, _) -> 4
+    | Cvt_if (_, _) | Cvt_fi (_, _) -> 20
+    | Cmp (a, b) -> 3 + mem_penalty a + mem_penalty b
+    | Fcmp (_, _) -> 20
+    | Bcc (_, _) -> 5
+    | Br _ -> 5
+    | Jsr_ind _ -> 8
+    | Push a -> 5 + mem_penalty a
+    | Link _ -> 8
+    | Unlk -> 6
+    | Rts -> 8
+    | Syscall _ -> 35
+    | Poll _ -> 6
+    | Nop -> 2
+    | Halt -> 2
+    | Sethi (_, _) | Vax_entry _ | Vax_ret | Save _ | Restore | Retl | Remque (_, _) -> 2)
+  | Arch.Sparc -> (
+    match insn with
+    | Mov (a, b) -> if mem_operand a || mem_operand b then 2 else 1
+    | Bin3 (op, _, _, _) | Bin2 (op, _, _) -> (
+      match op with
+      | Mul -> 8
+      | Div | Mod -> 20
+      | Add | Sub | And | Or | Xor -> 1)
+    | Fbin3 (_, _, _, _) | Fbin2 (_, _, _) -> 4
+    | Neg (_, _) | Fneg (_, _) -> 1
+    | Cvt_if (_, _) | Cvt_fi (_, _) -> 6
+    | Cmp (_, _) -> 1
+    | Fcmp (_, _) -> 4
+    | Bcc (_, _) -> 2
+    | Br _ -> 2
+    | Jsr_ind _ -> 2
+    | Push _ -> 2
+    | Save _ -> 22 (* eager window spill: 16 stores + bookkeeping *)
+    | Restore -> 22
+    | Retl -> 2
+    | Sethi (_, _) -> 1
+    | Syscall _ -> 30
+    | Poll _ -> 3
+    | Nop -> 1
+    | Halt -> 1
+    | Vax_entry _ | Vax_ret | Link _ | Unlk | Rts | Remque (_, _) -> 1)
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let mnemonic family insn =
+  match family, insn with
+  | Arch.Vax, Mov (_, _) -> "movl"
+  | Arch.M68k, Mov (_, _) -> "move.l"
+  | Arch.Sparc, Mov (_, _) -> "mov"
+  | Arch.Vax, Bin3 (op, _, _, _) -> binop_name op ^ "l3"
+  | (Arch.M68k | Arch.Sparc), Bin3 (op, _, _, _) -> binop_name op
+  | _, Bin2 (op, _, _) -> binop_name op ^ ".l"
+  | Arch.Vax, Fbin3 (op, _, _, _) -> binop_name op ^ "f3"
+  | _, Fbin3 (op, _, _, _) -> "f" ^ binop_name op
+  | _, Fbin2 (op, _, _) -> "f" ^ binop_name op ^ ".s"
+  | _, Neg (_, _) -> "neg"
+  | _, Fneg (_, _) -> "fneg"
+  | _, Cvt_if (_, _) -> "cvtlf"
+  | _, Cvt_fi (_, _) -> "cvtfl"
+  | Arch.Vax, Cmp (_, _) -> "cmpl"
+  | Arch.M68k, Cmp (_, _) -> "cmp.l"
+  | Arch.Sparc, Cmp (_, _) -> "subcc"
+  | _, Fcmp (_, _) -> "fcmp"
+  | _, Bcc (c, _) -> "b" ^ cmp_name c
+  | _, Br _ -> "br"
+  | Arch.Sparc, Jsr_ind _ -> "jmpl"
+  | _, Jsr_ind _ -> "jsr"
+  | _, Push _ -> "pushl"
+  | _, Vax_entry _ -> "entry"
+  | _, Vax_ret -> "ret"
+  | _, Link _ -> "link"
+  | _, Unlk -> "unlk"
+  | _, Rts -> "rts"
+  | _, Save _ -> "save"
+  | _, Restore -> "restore"
+  | _, Retl -> "retl"
+  | _, Sethi (_, _) -> "sethi"
+  | Arch.Vax, Syscall _ -> "chmk"
+  | Arch.M68k, Syscall _ -> "trap"
+  | Arch.Sparc, Syscall _ -> "ta"
+  | _, Poll _ -> "poll"
+  | _, Remque (_, _) -> "remque"
+  | _, Nop -> "nop"
+  | _, Halt -> "halt"
+
+let pp family ppf insn =
+  let pop = Operand.pp family in
+  let preg r = Reg.name family r in
+  let m = mnemonic family insn in
+  match insn with
+  | Mov (a, b)
+  | Bin2 (_, a, b)
+  | Fbin2 (_, a, b)
+  | Neg (a, b)
+  | Fneg (a, b)
+  | Cvt_if (a, b)
+  | Cvt_fi (a, b)
+  | Cmp (a, b)
+  | Fcmp (a, b) -> Format.fprintf ppf "%-8s %a, %a" m pop a pop b
+  | Bin3 (_, a, b, c) | Fbin3 (_, a, b, c) ->
+    Format.fprintf ppf "%-8s %a, %a, %a" m pop a pop b pop c
+  | Bcc (_, t) -> Format.fprintf ppf "%-8s L%04x" m t
+  | Br t -> Format.fprintf ppf "%-8s L%04x" m t
+  | Jsr_ind r -> Format.fprintf ppf "%-8s (%s)" m (preg r)
+  | Push a -> Format.fprintf ppf "%-8s %a" m pop a
+  | Vax_entry n | Link n | Save n -> Format.fprintf ppf "%-8s #%d" m n
+  | Sethi (i, r) -> Format.fprintf ppf "%-8s #%ld, %s" m i (preg r)
+  | Syscall n | Poll n -> Format.fprintf ppf "%-8s #%d" m n
+  | Remque (a, b) -> Format.fprintf ppf "%-8s (%s), %s" m (preg a) (preg b)
+  | Vax_ret | Unlk | Rts | Restore | Retl | Nop | Halt -> Format.pp_print_string ppf m

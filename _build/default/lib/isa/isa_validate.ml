@@ -1,0 +1,143 @@
+type error = {
+  insn_index : int;
+  message : string;
+}
+
+let is_mem = function
+  | Operand.Mem _ -> true
+  | Operand.Reg _ | Operand.Imm _ -> false
+
+let is_reg = function
+  | Operand.Reg _ -> true
+  | Operand.Mem _ | Operand.Imm _ -> false
+
+let sparc_imm_ok i = Int32.compare i (-4096l) >= 0 && Int32.compare i 4096l < 0
+
+let sparc_source_ok = function
+  | Operand.Reg _ -> true
+  | Operand.Imm i -> sparc_imm_ok i
+  | Operand.Mem _ -> false
+
+let sparc_mem_ok = function
+  | Operand.Mem (Operand.Disp (_, d)) -> d >= -4096 && d < 4096
+  | Operand.Mem (Operand.Abs _ | Operand.Autoinc _ | Operand.Autodec _) -> false
+  | Operand.Reg _ | Operand.Imm _ -> false
+
+let check_operand_mode family op =
+  match family, op with
+  | (Arch.Vax | Arch.M68k), _ -> None
+  | Arch.Sparc, (Operand.Mem _ as m) ->
+    if sparc_mem_ok m then None else Some "SPARC allows only short-displacement memory operands"
+  | Arch.Sparc, Operand.Imm i ->
+    if sparc_imm_ok i then None else Some "SPARC immediate exceeds 13 bits (use Sethi)"
+  | Arch.Sparc, Operand.Reg _ -> None
+
+let check_insn family insn =
+  let bad what = Some (Printf.sprintf "%s is not a %s instruction" what (Arch.family_name family)) in
+  let operands =
+    match insn with
+    | Insn.Mov (a, b)
+    | Insn.Bin2 (_, a, b)
+    | Insn.Fbin2 (_, a, b)
+    | Insn.Neg (a, b)
+    | Insn.Fneg (a, b)
+    | Insn.Cvt_if (a, b)
+    | Insn.Cvt_fi (a, b)
+    | Insn.Cmp (a, b)
+    | Insn.Fcmp (a, b) -> [ a; b ]
+    | Insn.Bin3 (_, a, b, c) | Insn.Fbin3 (_, a, b, c) -> [ a; b; c ]
+    | Insn.Push a -> [ a ]
+    | Insn.Bcc (_, _)
+    | Insn.Br _
+    | Insn.Jsr_ind _
+    | Insn.Vax_entry _ | Insn.Vax_ret
+    | Insn.Link _ | Insn.Unlk | Insn.Rts
+    | Insn.Save _ | Insn.Restore | Insn.Retl
+    | Insn.Sethi (_, _)
+    | Insn.Syscall _ | Insn.Poll _
+    | Insn.Remque (_, _)
+    | Insn.Nop | Insn.Halt -> []
+  in
+  let mode_error =
+    List.fold_left
+      (fun acc op ->
+        match acc with
+        | Some _ -> acc
+        | None -> check_operand_mode family op)
+      None operands
+  in
+  match mode_error with
+  | Some _ as e -> e
+  | None -> (
+    match family, insn with
+    (* family-specific instructions *)
+    | Arch.Vax, (Insn.Vax_entry _ | Insn.Vax_ret | Insn.Remque (_, _) | Insn.Push _) -> None
+    | _, (Insn.Vax_entry _ | Insn.Vax_ret) -> bad "VAX procedure entry/return"
+    | _, Insn.Remque (_, _) -> bad "REMQUE (atomic queue unlink)"
+    | _, Insn.Push _ -> bad "PUSHL"
+    | Arch.M68k, (Insn.Link _ | Insn.Unlk | Insn.Rts) -> None
+    | _, (Insn.Link _ | Insn.Unlk | Insn.Rts) -> bad "M68k LINK/UNLK/RTS"
+    | Arch.Sparc, (Insn.Save _ | Insn.Restore | Insn.Retl | Insn.Sethi (_, _)) -> None
+    | _, (Insn.Save _ | Insn.Restore | Insn.Retl) -> bad "SPARC register-window op"
+    | _, Insn.Sethi (_, _) -> bad "SETHI"
+    (* arithmetic forms *)
+    | Arch.Vax, Insn.Bin3 (_, _, _, _) | Arch.Vax, Insn.Fbin3 (_, _, _, _) -> None
+    | Arch.Vax, (Insn.Bin2 (_, _, _) | Insn.Fbin2 (_, _, _)) ->
+      bad "two-address arithmetic (this backend uses three-operand VAX forms)"
+    | Arch.M68k, (Insn.Bin2 (_, a, b) | Insn.Fbin2 (_, a, b)) ->
+      if is_mem a && is_mem b then
+        Some "M68k arithmetic allows at most one memory operand"
+      else None
+    | Arch.M68k, (Insn.Bin3 (_, _, _, _) | Insn.Fbin3 (_, _, _, _)) ->
+      bad "three-operand arithmetic"
+    | Arch.Sparc, Insn.Bin3 (_, a, b, c) | Arch.Sparc, Insn.Fbin3 (_, a, b, c) ->
+      if sparc_source_ok a && sparc_source_ok b && is_reg c then None
+      else Some "SPARC arithmetic operates on registers/short immediates only"
+    | Arch.Sparc, (Insn.Bin2 (_, _, _) | Insn.Fbin2 (_, _, _)) ->
+      bad "two-address arithmetic"
+    (* moves *)
+    | Arch.Sparc, Insn.Mov (a, b) -> (
+      match a, b with
+      | (Operand.Reg _ | Operand.Imm _), Operand.Reg _ ->
+        if sparc_source_ok a then None else Some "SPARC mov immediate exceeds 13 bits"
+      | Operand.Mem _, Operand.Reg _ -> if sparc_mem_ok a then None else Some "bad SPARC load"
+      | Operand.Reg _, Operand.Mem _ -> if sparc_mem_ok b then None else Some "bad SPARC store"
+      | _, _ -> Some "SPARC mov must be reg/imm-to-reg, load or store")
+    | (Arch.Vax | Arch.M68k), Insn.Mov (_, _) -> None
+    (* compares *)
+    | Arch.Sparc, Insn.Cmp (a, b) ->
+      if is_reg a && sparc_source_ok b then None
+      else Some "SPARC compare is subcc reg, reg_or_imm"
+    | Arch.Sparc, Insn.Fcmp (a, b) ->
+      if is_reg a && is_reg b then None else Some "SPARC fcmp operates on registers"
+    | _, (Insn.Cmp (_, _) | Insn.Fcmp (_, _)) -> None
+    (* universal *)
+    | _, (Insn.Neg (_, _) | Insn.Fneg (_, _) | Insn.Cvt_if (_, _) | Insn.Cvt_fi (_, _)) ->
+      None
+    | _, (Insn.Bcc (_, _) | Insn.Br _ | Insn.Jsr_ind _) -> None
+    | _, (Insn.Syscall _ | Insn.Poll _ | Insn.Nop | Insn.Halt) -> None)
+
+let check code =
+  let family = code.Code.arch.Arch.family in
+  let errors = ref [] in
+  Array.iteri
+    (fun i insn ->
+      match check_insn family insn with
+      | None -> ()
+      | Some message -> errors := { insn_index = i; message } :: !errors)
+    code.Code.insns;
+  List.rev !errors
+
+let pp_error ppf e = Format.fprintf ppf "insn %d: %s" e.insn_index e.message
+
+let check_exn code =
+  match check code with
+  | [] -> ()
+  | errors ->
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "invalid %s code for %s:@." code.Code.class_name
+      code.Code.arch.Arch.id;
+    List.iter (fun e -> Format.fprintf ppf "  %a@." pp_error e) errors;
+    Format.pp_print_flush ppf ();
+    invalid_arg (Buffer.contents buf)

@@ -1,0 +1,21 @@
+(** Per-family instruction-subset validation.
+
+    The instruction type is the union of the three families; this module
+    checks that a code object only uses instructions and addressing modes
+    its architecture actually has (e.g. no three-operand memory arithmetic
+    on the M68k, no memory operands outside loads/stores on SPARC, no
+    [Remque] anywhere but the VAX).  Every code object produced by the
+    compiler is validated in tests. *)
+
+type error = {
+  insn_index : int;
+  message : string;
+}
+
+val check : Code.t -> error list
+(** Empty when the code object is well formed for its architecture. *)
+
+val check_exn : Code.t -> unit
+(** @raise Invalid_argument listing the violations, if any. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,363 @@
+type trap =
+  | Div_zero
+  | Nil_deref
+  | Mem_fault of int
+  | Float_reserved of string
+  | Stack_overflow
+  | Bad_pc of int
+  | Bad_insn of string
+
+type stop_reason =
+  | Stop_syscall of int
+  | Stop_poll
+  | Stop_bottom_return
+  | Stop_halt
+  | Stop_trap of trap
+  | Stop_fuel
+
+type ctx = {
+  arch : Arch.t;
+  regs : int32 array;
+  mutable pc : int;
+  mutable cc : int;
+  mutable poll_requested : bool;
+  mutable skip_poll : bool;
+  mutable stack_limit : int;
+  mutable cycles : int;
+  mutable insns : int;
+}
+
+exception Trapped of trap
+
+let create_ctx arch =
+  {
+    arch;
+    regs = Array.make (Reg.count arch.Arch.family) 0l;
+    pc = 0;
+    cc = 0;
+    poll_requested = false;
+    skip_poll = false;
+    stack_limit = Memory.low_bound;
+    cycles = 0;
+    insns = 0;
+  }
+
+let sparc_g0 = 0
+
+let reg ctx r =
+  if ctx.arch.Arch.family = Arch.Sparc && r = sparc_g0 then 0l else ctx.regs.(r)
+
+let set_reg ctx r v =
+  if ctx.arch.Arch.family = Arch.Sparc && r = sparc_g0 then () else ctx.regs.(r) <- v
+
+let sp ctx = Int32.to_int (reg ctx (Reg.sp ctx.arch.Arch.family))
+let set_sp ctx v = set_reg ctx (Reg.sp ctx.arch.Arch.family) (Int32.of_int v)
+let fp ctx = Int32.to_int (reg ctx (Reg.fp ctx.arch.Arch.family))
+let set_fp ctx v = set_reg ctx (Reg.fp ctx.arch.Arch.family) (Int32.of_int v)
+
+let addr_of v =
+  let a = Int32.to_int v land 0xFFFF_FFFF in
+  if a = 0 then raise (Trapped Nil_deref) else a
+
+let load mem a =
+  try Memory.load32 mem a with Memory.Fault x -> raise (Trapped (Mem_fault x))
+
+let store mem a v =
+  try Memory.store32 mem a v with Memory.Fault x -> raise (Trapped (Mem_fault x))
+
+let get_operand ctx mem op =
+  match op with
+  | Operand.Reg r -> reg ctx r
+  | Operand.Imm i -> i
+  | Operand.Mem (Operand.Abs a) -> load mem (addr_of a)
+  | Operand.Mem (Operand.Disp (r, d)) -> load mem (addr_of (reg ctx r) + d)
+  | Operand.Mem (Operand.Autoinc r) ->
+    let a = addr_of (reg ctx r) in
+    let v = load mem a in
+    set_reg ctx r (Int32.of_int (a + 4));
+    v
+  | Operand.Mem (Operand.Autodec r) ->
+    let a = addr_of (reg ctx r) - 4 in
+    set_reg ctx r (Int32.of_int a);
+    load mem a
+
+let set_operand ctx mem op v =
+  match op with
+  | Operand.Reg r -> set_reg ctx r v
+  | Operand.Imm _ -> raise (Trapped (Bad_insn "immediate destination"))
+  | Operand.Mem (Operand.Abs a) -> store mem (addr_of a) v
+  | Operand.Mem (Operand.Disp (r, d)) -> store mem (addr_of (reg ctx r) + d) v
+  | Operand.Mem (Operand.Autoinc r) ->
+    let a = addr_of (reg ctx r) in
+    store mem a v;
+    set_reg ctx r (Int32.of_int (a + 4))
+  | Operand.Mem (Operand.Autodec r) ->
+    let a = addr_of (reg ctx r) - 4 in
+    set_reg ctx r (Int32.of_int a);
+    store mem a v
+
+let int_binop op a b =
+  match op with
+  | Insn.Add -> Int32.add a b
+  | Insn.Sub -> Int32.sub a b
+  | Insn.Mul -> Int32.mul a b
+  | Insn.Div -> if Int32.equal b 0l then raise (Trapped Div_zero) else Int32.div a b
+  | Insn.Mod -> if Int32.equal b 0l then raise (Trapped Div_zero) else Int32.rem a b
+  | Insn.And -> Int32.logand a b
+  | Insn.Or -> Int32.logor a b
+  | Insn.Xor -> Int32.logxor a b
+
+let float_binop fmt op a b =
+  let decode v =
+    try Float_format.decode fmt v
+    with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+  in
+  let x = decode a and y = decode b in
+  let r =
+    match op with
+    | Insn.Add -> x +. y
+    | Insn.Sub -> x -. y
+    | Insn.Mul -> x *. y
+    | Insn.Div -> if y = 0.0 then raise (Trapped Div_zero) else x /. y
+    | Insn.Mod | Insn.And | Insn.Or | Insn.Xor ->
+      raise (Trapped (Bad_insn "non-arithmetic float op"))
+  in
+  try Float_format.encode fmt r
+  with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+
+let eval_cc cmp cc =
+  match cmp with
+  | Insn.Eq -> cc = 0
+  | Insn.Ne -> cc <> 0
+  | Insn.Lt -> cc < 0
+  | Insn.Le -> cc <= 0
+  | Insn.Gt -> cc > 0
+  | Insn.Ge -> cc >= 0
+
+let push ctx mem v =
+  let a = sp ctx - 4 in
+  set_sp ctx a;
+  store mem a v;
+  if a < ctx.stack_limit then raise (Trapped Stack_overflow)
+
+let pop ctx mem =
+  let a = sp ctx in
+  let v = load mem a in
+  set_sp ctx (a + 4);
+  v
+
+let check_stack ctx =
+  if sp ctx < ctx.stack_limit then raise (Trapped Stack_overflow)
+
+(* SPARC window registers *)
+let l_base = 16
+let i_base = 24
+let o_base = 8
+
+let sparc_save ctx mem size =
+  let old_sp = sp ctx in
+  let new_sp = old_sp - 64 - size in
+  (* spill the caller's %l and %i window below the new stack pointer *)
+  for k = 0 to 7 do
+    store mem (new_sp + (4 * k)) ctx.regs.(l_base + k);
+    store mem (new_sp + 32 + (4 * k)) ctx.regs.(i_base + k)
+  done;
+  (* window shift: %i <- %o; %i6 becomes the caller's SP, i.e. our FP *)
+  for k = 0 to 7 do
+    ctx.regs.(i_base + k) <- ctx.regs.(o_base + k)
+  done;
+  set_sp ctx new_sp;
+  check_stack ctx
+
+let sparc_restore ctx mem =
+  let cur_sp = sp ctx in
+  let saved_i = Array.init 8 (fun k -> ctx.regs.(i_base + k)) in
+  for k = 0 to 7 do
+    ctx.regs.(l_base + k) <- load mem (cur_sp + (4 * k));
+    ctx.regs.(i_base + k) <- load mem (cur_sp + 32 + (4 * k))
+  done;
+  for k = 0 to 7 do
+    ctx.regs.(o_base + k) <- saved_i.(k)
+  done
+(* %o6 = old %i6 = caller SP: the stack is popped by the window shift *)
+
+type exec_state = {
+  mutable img : Text.image option;
+}
+
+let image_for text state pc =
+  match state.img with
+  | Some img when pc >= img.Text.base && pc < img.Text.base + img.Text.code.Code.byte_size
+    -> img
+  | Some _ | None -> (
+    match Text.find text pc with
+    | Some img ->
+      state.img <- Some img;
+      img
+    | None -> raise (Trapped (Bad_pc pc)))
+
+let run ctx ~mem ~text ~fuel =
+  let family = ctx.arch.Arch.family in
+  let fmt = ctx.arch.Arch.float_format in
+  let state = { img = None } in
+  let fuel = ref fuel in
+  let result = ref None in
+  (try
+     while !result = None do
+       if !fuel <= 0 then result := Some Stop_fuel
+       else begin
+         decr fuel;
+         let img = image_for text state ctx.pc in
+         let base = img.Text.base in
+         let idx = Code.index_at img.Text.code (ctx.pc - base) in
+         let insn = img.Text.code.Code.insns.(idx) in
+         let next_pc = ctx.pc + Insn.size_bytes family insn in
+         ctx.cycles <- ctx.cycles + Insn.cycles family insn;
+         ctx.insns <- ctx.insns + 1;
+         let get = get_operand ctx mem and set = set_operand ctx mem in
+         let ret_to target =
+           if target = 0 then result := Some Stop_bottom_return else ctx.pc <- target
+         in
+         match insn with
+         | Insn.Mov (a, b) ->
+           set b (get a);
+           ctx.pc <- next_pc
+         | Insn.Bin3 (op, a, b, c) ->
+           set c (int_binop op (get a) (get b));
+           ctx.pc <- next_pc
+         | Insn.Bin2 (op, a, b) ->
+           let v = int_binop op (get b) (get a) in
+           set b v;
+           ctx.cc <- Int32.compare v 0l;
+           ctx.pc <- next_pc
+         | Insn.Fbin3 (op, a, b, c) ->
+           set c (float_binop fmt op (get a) (get b));
+           ctx.pc <- next_pc
+         | Insn.Fbin2 (op, a, b) ->
+           set b (float_binop fmt op (get b) (get a));
+           ctx.pc <- next_pc
+         | Insn.Neg (a, b) ->
+           set b (Int32.neg (get a));
+           ctx.pc <- next_pc
+         | Insn.Fneg (a, b) ->
+           set b (float_binop fmt Insn.Sub (Float_format.encode fmt 0.0) (get a));
+           ctx.pc <- next_pc
+         | Insn.Cvt_if (a, b) ->
+           set b (Float_format.encode fmt (Int32.to_float (get a)));
+           ctx.pc <- next_pc
+         | Insn.Cvt_fi (a, b) ->
+           let f =
+             try Float_format.decode fmt (get a)
+             with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+           in
+           set b (Int32.of_float f);
+           ctx.pc <- next_pc
+         | Insn.Cmp (a, b) ->
+           ctx.cc <- Int32.compare (get a) (get b);
+           ctx.pc <- next_pc
+         | Insn.Fcmp (a, b) ->
+           let decode v =
+             try Float_format.decode fmt v
+             with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+           in
+           ctx.cc <- Float.compare (decode (get a)) (decode (get b));
+           ctx.pc <- next_pc
+         | Insn.Bcc (c, target) ->
+           ctx.pc <- (if eval_cc c ctx.cc then base + target else next_pc)
+         | Insn.Br target -> ctx.pc <- base + target
+         | Insn.Jsr_ind r ->
+           let target = Int32.to_int (reg ctx r) in
+           if target = 0 then raise (Trapped (Bad_pc 0));
+           (match family with
+           | Arch.Vax | Arch.M68k -> push ctx mem (Int32.of_int next_pc)
+           | Arch.Sparc -> set_reg ctx 15 (Int32.of_int next_pc));
+           ctx.pc <- target
+         | Insn.Push a ->
+           push ctx mem (get a);
+           ctx.pc <- next_pc
+         | Insn.Vax_entry size ->
+           push ctx mem 0l;
+           (* save mask word *)
+           push ctx mem (Int32.of_int (fp ctx));
+           set_fp ctx (sp ctx);
+           set_sp ctx (sp ctx - size);
+           check_stack ctx;
+           ctx.pc <- next_pc
+         | Insn.Vax_ret ->
+           set_sp ctx (fp ctx);
+           set_fp ctx (Int32.to_int (pop ctx mem));
+           let _mask = pop ctx mem in
+           ret_to (Int32.to_int (pop ctx mem))
+         | Insn.Link size ->
+           push ctx mem (Int32.of_int (fp ctx));
+           set_fp ctx (sp ctx);
+           set_sp ctx (sp ctx - size);
+           check_stack ctx;
+           ctx.pc <- next_pc
+         | Insn.Unlk ->
+           set_sp ctx (fp ctx);
+           set_fp ctx (Int32.to_int (pop ctx mem));
+           ctx.pc <- next_pc
+         | Insn.Rts -> ret_to (Int32.to_int (pop ctx mem))
+         | Insn.Save size ->
+           sparc_save ctx mem size;
+           ctx.pc <- next_pc
+         | Insn.Restore ->
+           sparc_restore ctx mem;
+           ctx.pc <- next_pc
+         | Insn.Retl -> ret_to (Int32.to_int (reg ctx 15))
+         | Insn.Sethi (i, r) ->
+           set_reg ctx r (Int32.shift_left i 10);
+           ctx.pc <- next_pc
+         | Insn.Syscall n -> result := Some (Stop_syscall n)
+         | Insn.Poll _ ->
+           if ctx.skip_poll then begin
+             ctx.skip_poll <- false;
+             ctx.pc <- next_pc
+           end
+           else if ctx.poll_requested then result := Some Stop_poll
+           else ctx.pc <- next_pc
+         | Insn.Remque (rs, rd) ->
+           let sent = addr_of (reg ctx rs) in
+           let first = Int32.to_int (load mem sent) in
+           if first = sent then set_reg ctx rd 0l
+           else begin
+             let next = load mem first in
+             store mem sent next;
+             store mem (Int32.to_int next + 4) (Int32.of_int sent);
+             set_reg ctx rd (Int32.of_int first)
+           end;
+           ctx.pc <- next_pc
+         | Insn.Nop -> ctx.pc <- next_pc
+         | Insn.Halt -> result := Some Stop_halt
+       end
+     done
+   with Trapped t -> result := Some (Stop_trap t));
+  match !result with
+  | Some r -> r
+  | None -> assert false
+
+let syscall_resume ctx ~text =
+  match Text.find text ctx.pc with
+  | None -> invalid_arg "Machine.syscall_resume: PC outside text"
+  | Some img ->
+    let idx = Code.index_at img.Text.code (ctx.pc - img.Text.base) in
+    let insn = img.Text.code.Code.insns.(idx) in
+    ctx.pc <- ctx.pc + Insn.size_bytes ctx.arch.Arch.family insn
+
+let pp_trap ppf = function
+  | Div_zero -> Format.pp_print_string ppf "division by zero"
+  | Nil_deref -> Format.pp_print_string ppf "nil dereference"
+  | Mem_fault a -> Format.fprintf ppf "memory fault at %#x" a
+  | Float_reserved m -> Format.fprintf ppf "reserved float operand (%s)" m
+  | Stack_overflow -> Format.pp_print_string ppf "stack overflow"
+  | Bad_pc a -> Format.fprintf ppf "bad PC %#x" a
+  | Bad_insn m -> Format.fprintf ppf "illegal instruction (%s)" m
+
+let pp_stop ppf = function
+  | Stop_syscall n -> Format.fprintf ppf "syscall %d" n
+  | Stop_poll -> Format.pp_print_string ppf "poll"
+  | Stop_bottom_return -> Format.pp_print_string ppf "segment-bottom return"
+  | Stop_halt -> Format.pp_print_string ppf "halt"
+  | Stop_trap t -> Format.fprintf ppf "trap: %a" pp_trap t
+  | Stop_fuel -> Format.pp_print_string ppf "out of fuel"

@@ -1,0 +1,65 @@
+(** The virtual CPU: executes native code for one thread context.
+
+    The interpreter plays the role of the processor.  It runs until the
+    code itself transfers control to the kernel — at a [Syscall]
+    instruction, at a loop-bottom [Poll] when the kernel has requested
+    control, or when a return reaches the bottom of a stack segment —
+    exactly the control-transfer discipline of the original Emerald
+    (section 3.2): the runtime system never preempts a thread, so the only
+    program-counter values it observes are bus stops. *)
+
+type trap =
+  | Div_zero
+  | Nil_deref
+  | Mem_fault of int
+  | Float_reserved of string
+  | Stack_overflow
+  | Bad_pc of int
+  | Bad_insn of string  (** instruction invalid for this family *)
+
+type stop_reason =
+  | Stop_syscall of int
+      (** at a [Syscall n]; the context PC is left at the instruction *)
+  | Stop_poll  (** at a [Poll] with a pending kernel request; PC at the poll *)
+  | Stop_bottom_return
+      (** a return popped the sentinel return address 0: the caller's
+          activation record lives in another stack segment, possibly on
+          another node *)
+  | Stop_halt
+  | Stop_trap of trap
+  | Stop_fuel  (** fuel exhausted between bus stops — a code-generator bug *)
+
+type ctx = {
+  arch : Arch.t;
+  regs : int32 array;
+  mutable pc : int;
+  mutable cc : int;  (** condition codes, abstracted to a comparison sign *)
+  mutable poll_requested : bool;
+  mutable skip_poll : bool;
+      (** pass the next poll unconditionally: set by the kernel when
+          resuming a thread parked at a loop-bottom poll, so the same poll
+          does not fire again before any progress is made *)
+  mutable stack_limit : int;
+  mutable cycles : int;  (** accumulated clock cycles *)
+  mutable insns : int;  (** accumulated instruction count *)
+}
+
+val create_ctx : Arch.t -> ctx
+val reg : ctx -> Reg.t -> int32
+val set_reg : ctx -> Reg.t -> int32 -> unit
+val sp : ctx -> int
+val set_sp : ctx -> int -> unit
+val fp : ctx -> int
+val set_fp : ctx -> int -> unit
+
+val run : ctx -> mem:Memory.t -> text:Text.t -> fuel:int -> stop_reason
+(** Execute instructions until a stop.  [fuel] bounds the number of
+    instructions as a safety net; generated code reaches a bus stop on
+    every loop iteration, so well-formed code never runs dry. *)
+
+val syscall_resume : ctx -> text:Text.t -> unit
+(** Advance the PC past the [Syscall] instruction it is stopped at, for
+    kernel services that complete immediately. *)
+
+val pp_trap : Format.formatter -> trap -> unit
+val pp_stop : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,75 @@
+type t = {
+  mutable data : Bytes.t;
+  endian : Endian.t;
+}
+
+exception Fault of int
+
+let low_bound = 0x100
+
+let create ~endian ~size =
+  let size = max size (low_bound + 4) in
+  { data = Bytes.make size '\000'; endian }
+
+let endian t = t.endian
+let size t = Bytes.length t.data
+
+let grow_to t wanted =
+  if wanted > Bytes.length t.data then begin
+    let nsize = max wanted (2 * Bytes.length t.data) in
+    let ndata = Bytes.make nsize '\000' in
+    Bytes.blit t.data 0 ndata 0 (Bytes.length t.data);
+    t.data <- ndata
+  end
+
+let check t addr len =
+  if addr < low_bound || addr + len > Bytes.length t.data then raise (Fault addr)
+
+let load8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let store8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let load32 t addr =
+  check t addr 4;
+  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
+  Endian.int32_of_bytes t.endian (b 0) (b 1) (b 2) (b 3)
+
+let store32 t addr v =
+  check t addr 4;
+  let b0, b1, b2, b3 = Endian.bytes_of_int32 t.endian v in
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr b0);
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr b1);
+  Bytes.unsafe_set t.data (addr + 2) (Char.unsafe_chr b2);
+  Bytes.unsafe_set t.data (addr + 3) (Char.unsafe_chr b3)
+
+let load16 t addr =
+  check t addr 2;
+  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
+  Endian.int16_of_bytes t.endian (b 0) (b 1)
+
+let store16 t addr v =
+  check t addr 2;
+  let b0, b1 = Endian.bytes_of_int16 t.endian v in
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr b0);
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr b1)
+
+let blit_string t addr s =
+  check t addr (String.length s);
+  Bytes.blit_string s 0 t.data addr (String.length s)
+
+let read_string t addr len =
+  check t addr len;
+  Bytes.sub_string t.data addr len
+
+let blit_within t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.data src t.data dst len
+
+let zero_fill t addr len =
+  check t addr len;
+  Bytes.fill t.data addr len '\000'

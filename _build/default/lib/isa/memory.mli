@@ -1,0 +1,32 @@
+(** Byte-addressable data memory of one node.
+
+    All multi-byte accesses honour the node architecture's byte order, so
+    the in-memory representation of an object on a VAX really is
+    byte-swapped relative to a SPARC, and the marshalling layer has to
+    convert.  Address 0 is the nil reference; accesses below
+    {!low_bound} fault. *)
+
+type t
+
+exception Fault of int
+(** Raised on an access outside the mapped range (the address is carried). *)
+
+val low_bound : int
+(** Lowest mapped address (a small red zone catches nil dereferences). *)
+
+val create : endian:Endian.t -> size:int -> t
+val endian : t -> Endian.t
+val size : t -> int
+val grow_to : t -> int -> unit
+val load32 : t -> int -> int32
+val store32 : t -> int -> int32 -> unit
+val load16 : t -> int -> int
+val store16 : t -> int -> int -> unit
+val load8 : t -> int -> int
+val store8 : t -> int -> int -> unit
+val blit_string : t -> int -> string -> unit
+val read_string : t -> int -> int -> string
+val blit_within : t -> src:int -> dst:int -> len:int -> unit
+(** Overlapping-safe copy, used by the activation-record relocation pass. *)
+
+val zero_fill : t -> int -> int -> unit

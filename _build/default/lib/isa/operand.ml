@@ -1,0 +1,24 @@
+type mem =
+  | Abs of int32
+  | Disp of Reg.t * int
+  | Autoinc of Reg.t
+  | Autodec of Reg.t
+
+type t =
+  | Reg of Reg.t
+  | Imm of int32
+  | Mem of mem
+
+let pp_mem family ppf m =
+  let reg = Reg.name family in
+  match m with
+  | Abs a -> Format.fprintf ppf "@%ld" a
+  | Disp (r, 0) -> Format.fprintf ppf "(%s)" (reg r)
+  | Disp (r, d) -> Format.fprintf ppf "%d(%s)" d (reg r)
+  | Autoinc r -> Format.fprintf ppf "(%s)+" (reg r)
+  | Autodec r -> Format.fprintf ppf "-(%s)" (reg r)
+
+let pp family ppf = function
+  | Reg r -> Format.pp_print_string ppf (Reg.name family r)
+  | Imm i -> Format.fprintf ppf "#%ld" i
+  | Mem m -> pp_mem family ppf m

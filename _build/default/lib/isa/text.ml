@@ -1,0 +1,32 @@
+type image = {
+  base : int;
+  code : Code.t;
+}
+
+type t = {
+  mutable images : image list;  (* sorted by decreasing base *)
+  mutable next_base : int;
+}
+
+let text_base = 0x4000_0000
+let align n = (n + 0xFFF) land lnot 0xFFF
+let create () = { images = []; next_base = text_base }
+
+let find_by_oid t oid =
+  List.find_opt (fun img -> Int32.equal img.code.Code.code_oid oid) t.images
+
+let load t code =
+  match find_by_oid t code.Code.code_oid with
+  | Some img -> img
+  | None ->
+    let img = { base = t.next_base; code } in
+    t.next_base <- align (t.next_base + code.Code.byte_size + 16);
+    t.images <- img :: t.images;
+    img
+
+let find t addr =
+  List.find_opt
+    (fun img -> addr >= img.base && addr < img.base + img.code.Code.byte_size)
+    t.images
+
+let images t = t.images

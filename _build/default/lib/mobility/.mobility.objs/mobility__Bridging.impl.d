@@ -1,0 +1,1 @@
+lib/mobility/bridging.ml: Array Format Hashtbl List Option Printf Set String

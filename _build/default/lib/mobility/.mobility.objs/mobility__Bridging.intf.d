@@ -1,0 +1,1 @@
+lib/mobility/bridging.mli: Format Set

@@ -1,0 +1,1 @@
+lib/mobility/checkpoint.ml: Cost_model Enet Ert List Mi_frame Printf Translate

@@ -1,0 +1,1 @@
+lib/mobility/checkpoint.mli: Ert Mi_frame

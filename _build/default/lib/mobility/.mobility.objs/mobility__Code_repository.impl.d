@@ -1,0 +1,1 @@
+lib/mobility/code_repository.ml: List

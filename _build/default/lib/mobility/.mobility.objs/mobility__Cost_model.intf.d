@@ -1,0 +1,1 @@
+lib/mobility/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/mobility/marshal.ml: Enet Ert Int32 List Mi_frame Printf

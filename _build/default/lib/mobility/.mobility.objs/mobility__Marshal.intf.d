@@ -1,0 +1,1 @@
+lib/mobility/marshal.mli: Enet Ert Mi_frame

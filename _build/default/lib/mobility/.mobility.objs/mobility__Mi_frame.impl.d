@@ -1,0 +1,1 @@
+lib/mobility/mi_frame.ml: Emc Enet Ert Format Int32 List Printf

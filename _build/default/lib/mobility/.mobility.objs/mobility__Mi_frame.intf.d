@@ -1,0 +1,1 @@
+lib/mobility/mi_frame.mli: Emc Enet Ert Format

@@ -1,0 +1,1 @@
+lib/mobility/move.ml: Array Emc Ert Format Hashtbl Isa List Marshal Mi_frame Translate

@@ -1,0 +1,1 @@
+lib/mobility/move.mli: Ert Marshal

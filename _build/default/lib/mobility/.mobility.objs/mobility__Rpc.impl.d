@@ -1,0 +1,1 @@
+lib/mobility/rpc.ml: Ert Format Marshal Move Option

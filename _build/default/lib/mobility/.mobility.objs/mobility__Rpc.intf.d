@@ -1,0 +1,1 @@
+lib/mobility/rpc.mli: Ert Marshal Move

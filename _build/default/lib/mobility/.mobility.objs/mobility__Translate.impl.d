@@ -1,0 +1,1 @@
+lib/mobility/translate.ml: Array Emc Ert Format Int32 Isa List Mi_frame Option

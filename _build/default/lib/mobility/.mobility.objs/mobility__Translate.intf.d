@@ -1,0 +1,1 @@
+lib/mobility/translate.mli: Emc Ert Isa Mi_frame

@@ -1,0 +1,209 @@
+module Names = Set.Make (String)
+
+type op_kind =
+  | Plain
+  | Call
+  | Stop
+
+type op = {
+  name : string;
+  kind : op_kind;
+}
+
+type code = {
+  seq : op array;
+  abstract_rank : (string, int) Hashtbl.t;  (** semantic (abstract) order *)
+}
+
+type edit = Swap of int
+
+exception Illegal_edit of string
+exception No_bridge of string
+
+let abstract ops =
+  if ops = [] then invalid_arg "Bridging.abstract: empty sequence";
+  let names = Hashtbl.create 16 in
+  List.iteri
+    (fun i o ->
+      if Hashtbl.mem names o.name then
+        invalid_arg (Printf.sprintf "Bridging.abstract: duplicate operation %s" o.name);
+      Hashtbl.replace names o.name i)
+    ops;
+  (match List.rev ops with
+  | last :: _ when last.kind = Stop -> ()
+  | _ -> invalid_arg "Bridging.abstract: the last operation must be a bus stop");
+  { seq = Array.of_list ops; abstract_rank = names }
+
+let ops c = Array.copy c.seq
+let op_names c = Array.to_list (Array.map (fun o -> o.name) c.seq)
+
+let apply_edits c edits =
+  let seq = Array.copy c.seq in
+  List.iter
+    (fun (Swap i) ->
+      if i < 0 || i + 1 >= Array.length seq then
+        raise (Illegal_edit (Printf.sprintf "swap at %d out of range" i));
+      let a = seq.(i) and b = seq.(i + 1) in
+      if a.kind = Stop || b.kind = Stop then
+        raise
+          (Illegal_edit
+             (Printf.sprintf "cannot move %s across the bus stop boundary at %d" a.name i));
+      seq.(i) <- b;
+      seq.(i + 1) <- a)
+    edits;
+  { c with seq }
+
+let invert edits = List.rev edits
+let equal a b = a.seq = b.seq
+
+type bridge = {
+  br_ops : op list;
+  br_entry : int;
+}
+
+let index_of c name =
+  let found = ref None in
+  Array.iteri (fun i o -> if !found = None && String.equal o.name name then found := Some i) c.seq;
+  !found
+
+let executed_at c ~at =
+  match index_of c at with
+  | None -> raise (No_bridge (Printf.sprintf "no operation %s in this instance" at))
+  | Some i ->
+    if c.seq.(i).kind = Plain then
+      raise
+        (No_bridge
+           (Printf.sprintf "%s is not a visible program point in this instance" at));
+    (* suspension at a call resumes after it: the call has executed *)
+    let set = ref Names.empty in
+    for j = 0 to i do
+      set := Names.add c.seq.(j).name !set
+    done;
+    !set
+
+let build_bridge_from_set ~executed ~to_ =
+  let n = Array.length to_.seq in
+  let names_before i =
+    let s = ref Names.empty in
+    for j = 0 to i - 1 do
+      s := Names.add to_.seq.(j).name !s
+    done;
+    !s
+  in
+  (* the earliest bus stop that re-executes nothing already done *)
+  let rec find_stop i =
+    if i >= n then raise (No_bridge "no resumption bus stop")
+    else if to_.seq.(i).kind = Stop
+            && (not (Names.mem to_.seq.(i).name executed))
+            && Names.subset executed (names_before i)
+    then i
+    else find_stop (i + 1)
+  in
+  let si = find_stop 0 in
+  let remaining = Names.diff (names_before si) executed in
+  (* maximal suffix of not-yet-executed operations runs in place in the
+     target instance; everything else goes in the bridge fragment *)
+  let entry = ref si in
+  while !entry > 0 && Names.mem to_.seq.(!entry - 1).name remaining do
+    decr entry
+  done;
+  let suffix = ref Names.empty in
+  for j = !entry to si - 1 do
+    suffix := Names.add to_.seq.(j).name !suffix
+  done;
+  let bridge_names = Names.diff remaining !suffix in
+  let rank name = Hashtbl.find to_.abstract_rank name in
+  let br_ops =
+    Names.elements bridge_names
+    |> List.sort (fun a b -> compare (rank a) (rank b))
+    |> List.map (fun name ->
+           let i = Option.get (index_of to_ name) in
+           to_.seq.(i))
+  in
+  { br_ops; br_entry = !entry }
+
+let build_bridge ~from_ ~at ~to_ =
+  build_bridge_from_set ~executed:(executed_at from_ ~at) ~to_
+
+(* validation --------------------------------------------------------------- *)
+
+let run_with_migration ~from_ ~at ~to_ =
+  let log = ref [] in
+  let emit o = log := o.name :: !log in
+  let i_at =
+    match index_of from_ at with
+    | Some i -> i
+    | None -> raise (No_bridge (Printf.sprintf "no operation %s" at))
+  in
+  for j = 0 to i_at do
+    emit from_.seq.(j)
+  done;
+  let b = build_bridge ~from_ ~at ~to_ in
+  List.iter emit b.br_ops;
+  for j = b.br_entry to Array.length to_.seq - 1 do
+    emit to_.seq.(j)
+  done;
+  List.rev !log
+
+let run_with_two_migrations ~a ~at_a ~b ~at_b ~c =
+  let log = ref [] in
+  let executed = ref Names.empty in
+  let emit o =
+    log := o.name :: !log;
+    executed := Names.add o.name !executed
+  in
+  let i_at =
+    match index_of a at_a with
+    | Some i -> i
+    | None -> raise (No_bridge (Printf.sprintf "no operation %s" at_a))
+  in
+  for j = 0 to i_at do
+    emit a.seq.(j)
+  done;
+  let b1 = build_bridge_from_set ~executed:!executed ~to_:b in
+  (* execute the bridge then instance b, watching for the second migration
+     point; a bridge position is just an executed set, so migrating from
+     inside the bridge works the same way *)
+  let stream =
+    b1.br_ops
+    @ Array.to_list (Array.sub b.seq b1.br_entry (Array.length b.seq - b1.br_entry))
+  in
+  let rec go = function
+    | [] -> ()
+    | o :: rest ->
+      emit o;
+      if String.equal o.name at_b && o.kind <> Plain then begin
+        let b2 = build_bridge_from_set ~executed:!executed ~to_:c in
+        List.iter emit b2.br_ops;
+        for j = b2.br_entry to Array.length c.seq - 1 do
+          emit c.seq.(j)
+        done
+      end
+      else go rest
+  in
+  go stream;
+  List.rev !log
+
+let exactly_once ~abstract log =
+  let sorted_log = List.sort String.compare log in
+  let sorted_abs = List.sort String.compare (op_names abstract) in
+  sorted_log = sorted_abs
+
+let pp_code ppf c =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf o ->
+         match o.kind with
+         | Plain -> Format.fprintf ppf "%s" o.name
+         | Call -> Format.fprintf ppf "%s()" o.name
+         | Stop -> Format.fprintf ppf "[%s]" o.name))
+    (Array.to_list c.seq)
+
+let pp_bridge ~to_ ppf b =
+  Format.fprintf ppf "bridge: %a; jump to %s"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf o -> Format.pp_print_string ppf o.name))
+    b.br_ops
+    (if b.br_entry < Array.length to_.seq then to_.seq.(b.br_entry).name else "<end>")

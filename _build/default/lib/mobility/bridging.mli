@@ -1,0 +1,95 @@
+(** Bridging code: thread mobility between differently optimized codes
+    (section 2.4 of the paper — proposed there, implemented here).
+
+    Model: a straight-line {e abstract} code sequence of named operations;
+    differently optimized instances are produced by sequences of primitive
+    reversible code-motion edits (adjacent transpositions, as the paper
+    suggests: "code motion can be implemented by a very small set of
+    primitive operations ... if the primitive code motion operations are
+    all reversible, reversing the sequence ... yields the original control
+    flow graph").
+
+    Operations are [Plain], [Call] (a locally visible program point — a
+    procedure or system call, where a thread can be suspended), or [Stop]
+    (a bus stop: visible {e and} order-fixed in every instance; the last
+    operation of a sequence must be a [Stop], the return point).
+
+    When a thread suspended at a [Call] of one instance must continue in
+    another instance with no corresponding point, {!build_bridge}
+    constructs the bridge: the operations already executed are never
+    re-executed, the rest execute exactly once — partly in a fresh bridge
+    fragment (in abstract order), partly by entering the target instance
+    early.  Figures 3 and 4 of the paper fall out as a literal test case.
+
+    A thread may migrate again while executing bridging code; because a
+    bridge position is fully described by the executed set,
+    {!build_bridge_from_set} handles bridging-from-bridging. *)
+
+module Names : Set.S with type elt = string
+
+type op_kind =
+  | Plain
+  | Call
+  | Stop
+
+type op = {
+  name : string;
+  kind : op_kind;
+}
+
+type code
+
+type edit = Swap of int
+(** Exchange the operations at positions [i] and [i+1]. *)
+
+exception Illegal_edit of string
+exception No_bridge of string
+
+val abstract : op list -> code
+(** @raise Invalid_argument unless non-empty, uniquely named, ending in a
+    [Stop]. *)
+
+val ops : code -> op array
+val op_names : code -> string list
+
+val apply_edits : code -> edit list -> code
+(** @raise Illegal_edit when an edit would reorder bus stops (compilers
+    may optimise only {e between} bus stops). *)
+
+val invert : edit list -> edit list
+(** Applying [invert es] to [apply_edits c es] yields [c] back. *)
+
+val equal : code -> code -> bool
+
+type bridge = {
+  br_ops : op list;  (** the fresh fragment, in abstract order *)
+  br_entry : int;  (** index in the target instance to jump to afterwards *)
+}
+
+val executed_at : code -> at:string -> Names.t
+(** Operations completed when suspended at the named visible point
+    (inclusive: a suspension at a call resumes after it). *)
+
+val build_bridge : from_:code -> at:string -> to_:code -> bridge
+(** @raise No_bridge if [at] is not a visible point of [from_], or no
+    resumption bus stop exists. *)
+
+val build_bridge_from_set : executed:Names.t -> to_:code -> bridge
+
+(* validation ------------------------------------------------------------- *)
+
+val run_with_migration : from_:code -> at:string -> to_:code -> string list
+(** Execute [from_] up to the suspension, the bridge, and the target
+    instance to completion; returns the full operation log. *)
+
+val run_with_two_migrations :
+  a:code -> at_a:string -> b:code -> at_b:string -> c:code -> string list
+(** Migrate at [at_a] from [a] to [b]; if the bridge-plus-[b] execution
+    passes the visible point [at_b] before finishing, migrate again to
+    [c] (bridging from bridging); returns the full log. *)
+
+val exactly_once : abstract:code -> string list -> bool
+(** Every abstract operation appears exactly once in the log. *)
+
+val pp_code : Format.formatter -> code -> unit
+val pp_bridge : to_:code -> Format.formatter -> bridge -> unit

@@ -1,0 +1,105 @@
+(* Thread checkpointing through the machine-independent format. *)
+
+module K = Ert.Kernel
+module T = Ert.Thread
+module W = Enet.Wire
+
+exception Not_checkpointable of string
+
+let magic = 0x454d43l (* "EMC" *)
+
+let segments_of_thread k ~thread =
+  List.filter (fun s -> s.T.seg_thread = thread) (K.segments k)
+
+let check_capturable (seg : T.segment) =
+  match seg.T.seg_status with
+  | T.Ready _ -> ()
+  | T.Running -> raise (Not_checkpointable "segment is running")
+  | T.Blocked_monitor _ ->
+    raise (Not_checkpointable "segment is queued on a monitor; move the object instead")
+  | T.Awaiting_reply _ ->
+    raise (Not_checkpointable "segment awaits a remote reply; quiesce the thread first")
+  | T.Dead -> raise (Not_checkpointable "segment is dead")
+
+let to_mi k (seg : T.segment) : Mi_frame.mi_segment =
+  let frames =
+    match seg.T.seg_spawn with
+    | Some _ -> []
+    | None -> List.map (Translate.capture_frame k) (Translate.walk_frames k seg)
+  in
+  {
+    Mi_frame.ms_seg_id = seg.T.seg_id;
+    ms_thread = seg.T.seg_thread;
+    ms_status = Translate.status_to_mi k seg;
+    ms_frames = frames;
+    ms_link = seg.T.seg_link;
+    ms_result_type = seg.T.seg_result_type;
+    ms_spawn = seg.T.seg_spawn;
+  }
+
+let capture k ~thread =
+  let segs = segments_of_thread k ~thread in
+  if segs = [] then raise (Not_checkpointable "thread has no segments on this node");
+  List.iter check_capturable segs;
+  List.iter
+    (fun (s : T.segment) ->
+      if s.T.seg_link <> None then
+        raise (Not_checkpointable "thread spans several nodes"))
+    segs;
+  let stats = Enet.Conversion_stats.create () in
+  let w = W.Writer.create ~impl:W.Optimized ~stats in
+  W.Writer.u32 w magic;
+  W.Writer.u16 w (List.length segs);
+  List.iter (fun s -> Mi_frame.write_segment w (to_mi k s)) segs;
+  (* translation is charged like an outbound move, once per frame *)
+  List.iter
+    (fun s ->
+      let n = List.length (Translate.walk_frames k s) in
+      K.charge_insns k (n * Cost_model.frame_translate_insns))
+    segs;
+  W.Writer.contents w
+
+let suspend k ~thread =
+  let image = capture k ~thread in
+  List.iter (K.unregister_segment k) (segments_of_thread k ~thread);
+  image
+
+let parse image =
+  let stats = Enet.Conversion_stats.create () in
+  let r = W.Reader.create ~impl:W.Optimized ~stats image in
+  if W.Reader.u32 r <> magic then invalid_arg "Checkpoint.parse: bad magic";
+  let n = W.Reader.u16 r in
+  List.init n (fun _ -> Mi_frame.read_segment r)
+
+let restore k image =
+  let segs = parse image in
+  (* every frame's object must live here: frames execute against local
+     object memory, and we refuse to resurrect a thread whose objects have
+     moved on (move the objects back, or checkpoint after the move) *)
+  List.iter
+    (fun (ms : Mi_frame.mi_segment) ->
+      List.iter
+        (fun (f : Mi_frame.mi_frame) ->
+          match K.find_object k f.Mi_frame.mf_self with
+          | Some addr when K.is_resident k addr -> ()
+          | _ ->
+            raise
+              (Not_checkpointable
+                 (Printf.sprintf "object %ld of a checkpointed frame is not resident"
+                    (f.Mi_frame.mf_self :> int32))))
+        ms.Mi_frame.ms_frames)
+    segs;
+  List.iter
+    (fun (ms : Mi_frame.mi_segment) ->
+      if K.find_segment k ms.Mi_frame.ms_seg_id <> None then
+        raise (Not_checkpointable "a segment with this id is already registered");
+      let seg = Translate.rebuild_segment k ms in
+      K.charge_insns k
+        (List.length ms.Mi_frame.ms_frames * Cost_model.frame_translate_insns);
+      ignore seg)
+    segs
+
+let thread_of image =
+  match parse image with
+  | [] -> invalid_arg "Checkpoint.thread_of: empty image"
+  | ms :: _ -> ms.Mi_frame.ms_thread

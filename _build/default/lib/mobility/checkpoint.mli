@@ -1,0 +1,39 @@
+(** Thread checkpointing — persistence through the machine-independent
+    format.
+
+    The same translation that ships a thread across the network can ship
+    it through time: a thread parked at a bus stop is captured into the
+    machine-independent segment format, serialised to bytes, removed from
+    the kernel, and later rebuilt — on the original machine or, because
+    the image is architecture-neutral, on any machine where the thread's
+    objects reside.  (The paper notes the format's independence from the
+    suspension machine; persistence is the natural second use.)
+
+    Restrictions: every segment of the thread must be on this node and
+    parked [Ready] at a bus stop (use {!Ert.Kernel.advance_to_stop} or a
+    quiesced preemptive cluster to arrange this); on restore, every
+    frame's object must be resident.  Threads blocked on monitors or
+    awaiting remote replies hold distributed state and must be moved, not
+    checkpointed. *)
+
+exception Not_checkpointable of string
+
+val capture : Ert.Kernel.t -> thread:int -> string
+(** Serialise every segment of [thread] to a machine-independent image;
+    the thread keeps running.  Raises {!Not_checkpointable} if any
+    segment is not parked at a bus stop or the thread spans nodes. *)
+
+val suspend : Ert.Kernel.t -> thread:int -> string
+(** {!capture}, then remove the thread's segments from the kernel.  The
+    image is the only remaining copy. *)
+
+val restore : Ert.Kernel.t -> string -> unit
+(** Rebuild the segments of a checkpoint image as native stacks on this
+    kernel and reschedule them.  Raises {!Not_checkpointable} if a frame's
+    object is not resident here or a segment id is already taken. *)
+
+val thread_of : string -> int
+(** The thread id recorded in a checkpoint image. *)
+
+val parse : string -> Mi_frame.mi_segment list
+(** Decode an image without installing it (for inspection). *)

@@ -1,0 +1,12 @@
+type t = {
+  fetches : (int * int) list ref;  (* node, class *)
+}
+
+let create () = { fetches = ref [] }
+let record_fetch t ~node ~class_index = t.fetches := (node, class_index) :: !(t.fetches)
+let total_fetches t = List.length !(t.fetches)
+let fetches_by_node t node = List.length (List.filter (fun (n, _) -> n = node) !(t.fetches))
+
+let fetched_classes t ~node =
+  List.rev
+    (List.filter_map (fun (n, c) -> if n = node then Some c else None) !(t.fetches))

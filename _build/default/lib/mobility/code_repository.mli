@@ -1,0 +1,16 @@
+(** The shared code repository.
+
+    Stands in for the NFS-served object-code store of section 3.4: "we use
+    NFS to create the illusion that the object code always resides in the
+    local disk repository".  Code objects themselves come straight from
+    the compiled program (every node shares the {!Emc.Compile.program});
+    this module accounts for the fetches so the cost model can charge
+    them. *)
+
+type t
+
+val create : unit -> t
+val record_fetch : t -> node:int -> class_index:int -> unit
+val total_fetches : t -> int
+val fetches_by_node : t -> int -> int
+val fetched_classes : t -> node:int -> int list

@@ -1,0 +1,193 @@
+module W = Enet.Wire.Writer
+module R = Enet.Wire.Reader
+
+type move_object = {
+  mo_oid : Ert.Oid.t;
+  mo_class : int;
+  mo_fields : Ert.Value.t list;
+  mo_locked : bool;
+  mo_waiters : int list;
+  mo_cond_waiters : int list list;
+}
+
+type move_payload = {
+  mp_src : int;
+  mp_objects : move_object list;
+  mp_segments : Mi_frame.mi_segment list;
+}
+
+type message =
+  | M_invoke of {
+      target : Ert.Oid.t;
+      callee_class : int;
+      callee_method : int;
+      args : Ert.Value.t list;
+      reply : Ert.Thread.link;
+      thread : int;
+      forwards : int;
+    }
+  | M_reply of {
+      to_seg : int;
+      value : Ert.Value.t;
+      thread : int;
+    }
+  | M_move_req of {
+      obj : Ert.Oid.t;
+      dest : int;
+      forwards : int;
+    }
+  | M_move of move_payload
+  | M_start_process of {
+      obj : Ert.Oid.t;
+      forwards : int;
+    }
+  | M_locate of { obj : Ert.Oid.t }
+  | M_located of {
+      obj : Ert.Oid.t;
+      found : bool;
+    }
+
+let tag_invoke = 1
+let tag_reply = 2
+let tag_move_req = 3
+let tag_move = 4
+let tag_locate = 5
+let tag_located = 6
+let tag_start_process = 7
+
+let write_list w f xs =
+  W.u16 w (List.length xs);
+  List.iter (f w) xs
+
+let read_list r f =
+  let n = R.u16 r in
+  List.init n (fun _ -> f r)
+
+let write_object w o =
+  W.u32 w o.mo_oid;
+  W.u16 w o.mo_class;
+  write_list w Ert.Value.write o.mo_fields;
+  W.bool w o.mo_locked;
+  write_list w (fun w s -> W.i32 w (Int32.of_int s)) o.mo_waiters;
+  write_list w (fun w l -> write_list w (fun w s -> W.i32 w (Int32.of_int s)) l)
+    o.mo_cond_waiters
+
+let read_object r =
+  let mo_oid = R.u32 r in
+  let mo_class = R.u16 r in
+  let mo_fields = read_list r Ert.Value.read in
+  let mo_locked = R.bool r in
+  let mo_waiters = read_list r (fun r -> Int32.to_int (R.i32 r)) in
+  let mo_cond_waiters = read_list r (fun r -> read_list r (fun r -> Int32.to_int (R.i32 r))) in
+  { mo_oid; mo_class; mo_fields; mo_locked; mo_waiters; mo_cond_waiters }
+
+let encode ~impl ~stats msg =
+  let w = W.create ~impl ~stats in
+  (match msg with
+  | M_invoke { target; callee_class; callee_method; args; reply; thread; forwards } ->
+    W.u8 w tag_invoke;
+    W.u32 w target;
+    W.u16 w callee_class;
+    W.u16 w callee_method;
+    write_list w Ert.Value.write args;
+    W.u16 w reply.Ert.Thread.ln_node;
+    W.i32 w (Int32.of_int reply.Ert.Thread.ln_seg);
+    W.i32 w (Int32.of_int thread);
+    W.u8 w forwards
+  | M_reply { to_seg; value; thread } ->
+    W.u8 w tag_reply;
+    W.i32 w (Int32.of_int to_seg);
+    Ert.Value.write w value;
+    W.i32 w (Int32.of_int thread)
+  | M_move_req { obj; dest; forwards } ->
+    W.u8 w tag_move_req;
+    W.u32 w obj;
+    W.u16 w dest;
+    W.u8 w forwards
+  | M_move { mp_src; mp_objects; mp_segments } ->
+    W.u8 w tag_move;
+    W.u16 w mp_src;
+    write_list w write_object mp_objects;
+    write_list w Mi_frame.write_segment mp_segments
+  | M_start_process { obj; forwards } ->
+    W.u8 w tag_start_process;
+    W.u32 w obj;
+    W.u8 w forwards
+  | M_locate { obj } ->
+    W.u8 w tag_locate;
+    W.u32 w obj
+  | M_located { obj; found } ->
+    W.u8 w tag_located;
+    W.u32 w obj;
+    W.bool w found);
+  W.contents w
+
+let decode ~impl ~stats data =
+  let r = R.create ~impl ~stats data in
+  let tag = R.u8 r in
+  if tag = tag_invoke then begin
+    let target = R.u32 r in
+    let callee_class = R.u16 r in
+    let callee_method = R.u16 r in
+    let args = read_list r Ert.Value.read in
+    let ln_node = R.u16 r in
+    let ln_seg = Int32.to_int (R.i32 r) in
+    let thread = Int32.to_int (R.i32 r) in
+    let forwards = R.u8 r in
+    M_invoke
+      {
+        target;
+        callee_class;
+        callee_method;
+        args;
+        reply = { Ert.Thread.ln_node; ln_seg };
+        thread;
+        forwards;
+      }
+  end
+  else if tag = tag_reply then begin
+    let to_seg = Int32.to_int (R.i32 r) in
+    let value = Ert.Value.read r in
+    let thread = Int32.to_int (R.i32 r) in
+    M_reply { to_seg; value; thread }
+  end
+  else if tag = tag_move_req then begin
+    let obj = R.u32 r in
+    let dest = R.u16 r in
+    let forwards = R.u8 r in
+    M_move_req { obj; dest; forwards }
+  end
+  else if tag = tag_move then begin
+    let mp_src = R.u16 r in
+    let mp_objects = read_list r read_object in
+    let mp_segments = read_list r Mi_frame.read_segment in
+    M_move { mp_src; mp_objects; mp_segments }
+  end
+  else if tag = tag_start_process then begin
+    let obj = R.u32 r in
+    let forwards = R.u8 r in
+    M_start_process { obj; forwards }
+  end
+  else if tag = tag_locate then M_locate { obj = R.u32 r }
+  else if tag = tag_located then begin
+    let obj = R.u32 r in
+    let found = R.bool r in
+    M_located { obj; found }
+  end
+  else failwith (Printf.sprintf "Marshal.decode: corrupt message tag %d" tag)
+
+let describe = function
+  | M_invoke { target; callee_method; _ } ->
+    Printf.sprintf "invoke %s.m%d" (Ert.Oid.to_string target) callee_method
+  | M_reply { to_seg; _ } -> Printf.sprintf "reply to segment %d" to_seg
+  | M_move_req { obj; dest; _ } ->
+    Printf.sprintf "move request %s -> node %d" (Ert.Oid.to_string obj) dest
+  | M_move { mp_objects; mp_segments; _ } ->
+    Printf.sprintf "move of %d object(s), %d thread segment(s)"
+      (List.length mp_objects) (List.length mp_segments)
+  | M_start_process { obj; _ } ->
+    Printf.sprintf "start process of %s" (Ert.Oid.to_string obj)
+  | M_locate { obj } -> Printf.sprintf "locate %s?" (Ert.Oid.to_string obj)
+  | M_located { obj; found } ->
+    Printf.sprintf "located %s: %s" (Ert.Oid.to_string obj)
+      (if found then "here" else "not here")

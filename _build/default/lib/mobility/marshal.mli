@@ -1,0 +1,59 @@
+(** Mobility and RPC message formats and their network-format encoding.
+
+    Everything that crosses the simulated Ethernet goes through here, via
+    the {!Enet.Wire} codecs, so conversion procedure calls and byte counts
+    are accounted exactly as the prototype's hand-written routines were. *)
+
+type move_object = {
+  mo_oid : Ert.Oid.t;
+  mo_class : int;
+  mo_fields : Ert.Value.t list;
+  mo_locked : bool;
+  mo_waiters : int list;  (** waiting segment ids, monitor-queue order *)
+  mo_cond_waiters : int list list;  (** per condition, in queue order *)
+}
+
+type move_payload = {
+  mp_src : int;
+  mp_objects : move_object list;
+  mp_segments : Mi_frame.mi_segment list;
+}
+
+type message =
+  | M_invoke of {
+      target : Ert.Oid.t;
+      callee_class : int;
+      callee_method : int;
+      args : Ert.Value.t list;
+      reply : Ert.Thread.link;
+      thread : int;
+      forwards : int;  (** forwarding hops so far *)
+    }
+  | M_reply of {
+      to_seg : int;
+      value : Ert.Value.t;
+      thread : int;
+    }  (** invocation reply or cross-node segment-bottom return *)
+  | M_move_req of {
+      obj : Ert.Oid.t;
+      dest : int;
+      forwards : int;
+    }  (** [move X to n] where X was not local: forwarded to X's host *)
+  | M_move of move_payload
+  | M_start_process of {
+      obj : Ert.Oid.t;
+      forwards : int;
+    }
+      (** start the object's process section wherever it now lives (it
+          moved during [initially]) *)
+  | M_locate of { obj : Ert.Oid.t }
+      (** location search probe (Emerald's broadcast, one unicast per
+          node): "do you host this object?" *)
+  | M_located of {
+      obj : Ert.Oid.t;
+      found : bool;
+    }  (** probe answer; the hosting node is the sender *)
+
+val encode : impl:Enet.Wire.impl -> stats:Enet.Conversion_stats.t -> message -> string
+val decode : impl:Enet.Wire.impl -> stats:Enet.Conversion_stats.t -> string -> message
+val describe : message -> string

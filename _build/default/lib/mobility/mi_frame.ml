@@ -1,0 +1,183 @@
+module W = Enet.Wire.Writer
+module R = Enet.Wire.Reader
+
+type mi_frame = {
+  mf_class : int;
+  mf_code_oid : int32;
+  mf_method : int;
+  mf_stop : int;
+  mf_slots : (int * Ert.Value.t) list;
+  mf_self : Ert.Oid.t;
+}
+
+type mi_resume =
+  | Mr_run
+  | Mr_deliver of Ert.Value.t
+  | Mr_complete_syscall of Ert.Value.t option
+  | Mr_complete_dequeue of int option
+
+type mi_status =
+  | Ms_ready of mi_resume
+  | Ms_awaiting_reply of int
+  | Ms_blocked_monitor of {
+      mon : Ert.Oid.t;
+      in_queue : bool;
+      cond : int;
+    }
+
+type mi_segment = {
+  ms_seg_id : int;
+  ms_thread : int;
+  ms_status : mi_status;
+  ms_frames : mi_frame list;
+  ms_link : Ert.Thread.link option;
+  ms_result_type : Emc.Ast.typ option;
+  ms_spawn : Ert.Thread.spawn_info option;
+}
+
+(* types travel in the shared Value codec *)
+let write_typ = Ert.Value.write_typ
+let read_typ = Ert.Value.read_typ
+
+let write_opt w f = function
+  | None -> W.u8 w 0
+  | Some x ->
+    W.u8 w 1;
+    f w x
+
+let read_opt r f =
+  match R.u8 r with
+  | 0 -> None
+  | 1 -> Some (f r)
+  | n -> failwith (Printf.sprintf "Mi_frame.read_opt: corrupt tag %d" n)
+
+let write_frame w f =
+  W.u16 w f.mf_class;
+  W.u32 w f.mf_code_oid;
+  W.u16 w f.mf_method;
+  W.u16 w f.mf_stop;
+  W.u32 w f.mf_self;
+  W.u16 w (List.length f.mf_slots);
+  List.iter
+    (fun (slot, v) ->
+      W.u16 w slot;
+      Ert.Value.write w v)
+    f.mf_slots
+
+let read_frame r =
+  let mf_class = R.u16 r in
+  let mf_code_oid = R.u32 r in
+  let mf_method = R.u16 r in
+  let mf_stop = R.u16 r in
+  let mf_self = R.u32 r in
+  let n = R.u16 r in
+  let mf_slots = List.init n (fun _ ->
+      let slot = R.u16 r in
+      let v = Ert.Value.read r in
+      (slot, v))
+  in
+  { mf_class; mf_code_oid; mf_method; mf_stop; mf_slots; mf_self }
+
+let write_resume w = function
+  | Mr_run -> W.u8 w 1
+  | Mr_deliver v ->
+    W.u8 w 2;
+    Ert.Value.write w v
+  | Mr_complete_syscall v ->
+    W.u8 w 3;
+    write_opt w Ert.Value.write v
+  | Mr_complete_dequeue sid ->
+    W.u8 w 4;
+    write_opt w (fun w s -> W.i32 w (Int32.of_int s)) sid
+
+let read_resume r =
+  match R.u8 r with
+  | 1 -> Mr_run
+  | 2 -> Mr_deliver (Ert.Value.read r)
+  | 3 -> Mr_complete_syscall (read_opt r Ert.Value.read)
+  | 4 -> Mr_complete_dequeue (read_opt r (fun r -> Int32.to_int (R.i32 r)))
+  | n -> failwith (Printf.sprintf "Mi_frame.read_resume: corrupt tag %d" n)
+
+let write_status w = function
+  | Ms_ready rs ->
+    W.u8 w 1;
+    write_resume w rs
+  | Ms_awaiting_reply stop ->
+    W.u8 w 2;
+    W.u16 w stop
+  | Ms_blocked_monitor { mon; in_queue; cond } ->
+    W.u8 w 3;
+    W.u32 w mon;
+    W.bool w in_queue;
+    W.i32 w (Int32.of_int cond)
+
+let read_status r =
+  match R.u8 r with
+  | 1 -> Ms_ready (read_resume r)
+  | 2 -> Ms_awaiting_reply (R.u16 r)
+  | 3 ->
+    let mon = R.u32 r in
+    let in_queue = R.bool r in
+    let cond = Int32.to_int (R.i32 r) in
+    Ms_blocked_monitor { mon; in_queue; cond }
+  | n -> failwith (Printf.sprintf "Mi_frame.read_status: corrupt tag %d" n)
+
+let write_link w (l : Ert.Thread.link) =
+  W.u16 w l.Ert.Thread.ln_node;
+  W.i32 w (Int32.of_int l.Ert.Thread.ln_seg)
+
+let read_link r =
+  let ln_node = R.u16 r in
+  let ln_seg = Int32.to_int (R.i32 r) in
+  { Ert.Thread.ln_node; ln_seg }
+
+let write_spawn w (s : Ert.Thread.spawn_info) =
+  W.u32 w s.Ert.Thread.si_target;
+  W.u16 w s.Ert.Thread.si_class;
+  W.u16 w s.Ert.Thread.si_method;
+  W.u16 w (List.length s.Ert.Thread.si_args);
+  List.iter (Ert.Value.write w) s.Ert.Thread.si_args
+
+let read_spawn r =
+  let si_target = R.u32 r in
+  let si_class = R.u16 r in
+  let si_method = R.u16 r in
+  let n = R.u16 r in
+  let si_args = List.init n (fun _ -> Ert.Value.read r) in
+  { Ert.Thread.si_target; si_class; si_method; si_args }
+
+let write_segment w s =
+  W.i32 w (Int32.of_int s.ms_seg_id);
+  W.i32 w (Int32.of_int s.ms_thread);
+  write_status w s.ms_status;
+  W.u16 w (List.length s.ms_frames);
+  List.iter (write_frame w) s.ms_frames;
+  write_opt w write_link s.ms_link;
+  write_opt w write_typ s.ms_result_type;
+  write_opt w write_spawn s.ms_spawn
+
+let read_segment r =
+  let ms_seg_id = Int32.to_int (R.i32 r) in
+  let ms_thread = Int32.to_int (R.i32 r) in
+  let ms_status = read_status r in
+  let n = R.u16 r in
+  let ms_frames = List.init n (fun _ -> read_frame r) in
+  let ms_link = read_opt r read_link in
+  let ms_result_type = read_opt r read_typ in
+  let ms_spawn = read_opt r read_spawn in
+  { ms_seg_id; ms_thread; ms_status; ms_frames; ms_link; ms_result_type; ms_spawn }
+
+let frame_count s = List.length s.ms_frames
+
+let pp_segment ppf s =
+  Format.fprintf ppf "segment %d (thread %d), %d frame(s)%s@." s.ms_seg_id s.ms_thread
+    (List.length s.ms_frames)
+    (match s.ms_spawn with
+    | Some _ -> " [unstarted spawn]"
+    | None -> "");
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  frame: class %d method %d at stop %d, self %s, %d slot(s)@."
+        f.mf_class f.mf_method f.mf_stop (Ert.Oid.to_string f.mf_self)
+        (List.length f.mf_slots))
+    s.ms_frames

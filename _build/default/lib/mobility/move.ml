@@ -1,0 +1,305 @@
+module K = Ert.Kernel
+module T = Ert.Thread
+module Mem = Isa.Memory
+module L = Emc.Layout
+
+type send = {
+  snd_dest : int;
+  snd_msg : Marshal.message;
+}
+
+let fail fmt = Format.kasprintf (fun m -> raise (K.Runtime_error m)) fmt
+
+let moving_closure k obj_addr =
+  let seen = Hashtbl.create 8 in
+  let rec go addr acc =
+    if Hashtbl.mem seen addr || not (K.is_resident k addr) then acc
+    else begin
+      Hashtbl.replace seen addr ();
+      let attached = K.attached_refs k ~addr in
+      List.fold_left (fun acc a -> go a acc) (addr :: acc) attached
+    end
+  in
+  List.rev (go obj_addr [])
+
+let field_types k ~class_index =
+  let lc = K.loaded_class k class_index in
+  lc.K.lc_class.Emc.Compile.cc_template.Emc.Template.ct_fields
+
+(* capture one object's data area and monitor state *)
+let capture_object k addr : Marshal.move_object =
+  let class_index = K.class_of_object k addr in
+  let fields = field_types k ~class_index in
+  let mem = K.mem k in
+  let values =
+    Array.to_list
+      (Array.mapi
+         (fun i (_, ty) ->
+           K.value_of_raw k ty (Mem.load32 mem (addr + L.field_offset i)))
+         fields)
+  in
+  let lc = K.loaded_class k class_index in
+  let nconds =
+    Array.length lc.K.lc_class.Emc.Compile.cc_template.Emc.Template.ct_conditions
+  in
+  {
+    Marshal.mo_oid = K.oid_at k addr;
+    mo_class = class_index;
+    mo_fields = values;
+    mo_locked = K.monitor_locked k ~obj_addr:addr;
+    mo_waiters =
+      List.map (fun (s : T.segment) -> s.T.seg_id) (K.monitor_waiters k ~obj_addr:addr);
+    mo_cond_waiters =
+      List.init nconds (fun cond ->
+          List.map
+            (fun (s : T.segment) -> s.T.seg_id)
+            (K.condition_waiters k ~obj_addr:addr ~cond));
+  }
+
+(* group a top-first frame list into maximal runs of equal moving-flag *)
+let group_runs flags frames =
+  let rec go acc cur cur_flag = function
+    | [] -> List.rev ((cur_flag, List.rev cur) :: acc)
+    | (flag, frame) :: rest ->
+      if flag = cur_flag then go acc (frame :: cur) cur_flag rest
+      else go ((cur_flag, List.rev cur) :: acc) [ frame ] flag rest
+  in
+  match List.combine flags frames with
+  | [] -> []
+  | (flag, frame) :: rest -> go [] [ frame ] flag rest
+
+(* split one segment's stack by the moving predicate; returns the
+   machine-independent segments to ship *)
+let split_segment k ~dest ~moving_oid (seg : T.segment) : Mi_frame.mi_segment list =
+  let self_node = K.node_id k in
+  match seg.T.seg_spawn with
+  | Some spawn ->
+    if not (moving_oid spawn.T.si_target) then []
+    else begin
+      K.unregister_segment k seg;
+      K.set_seg_forward k ~seg_id:seg.T.seg_id ~node:dest;
+      [
+        {
+          Mi_frame.ms_seg_id = seg.T.seg_id;
+          ms_thread = seg.T.seg_thread;
+          ms_status = Translate.status_to_mi k seg;
+          ms_frames = [];
+          ms_link = seg.T.seg_link;
+          ms_result_type = seg.T.seg_result_type;
+          ms_spawn = Some spawn;
+        };
+      ]
+    end
+  | None ->
+    let frames = Translate.walk_frames k seg in
+    let flags =
+      List.map (fun (f : Translate.frame_rec) -> moving_oid (K.oid_at k f.Translate.fw_self)) frames
+    in
+    if not (List.mem true flags) then []
+    else begin
+      let runs = Array.of_list (group_runs flags frames) in
+      let n_runs = Array.length runs in
+      (* segment ids: the top run inherits the original id (incoming links
+         reply to the top frame); lower runs get fresh ids *)
+      let ids = Array.init n_runs (fun j -> if j = 0 then seg.T.seg_id else K.fresh_seg_id k) in
+      let run_result_type j =
+        let _, fs = runs.(j) in
+        match List.rev fs with
+        | [] -> assert false
+        | (bottom : Translate.frame_rec) :: _ ->
+          Translate.result_type_of k ~class_index:bottom.Translate.fw_class
+            ~method_index:bottom.Translate.fw_method
+      in
+      let run_link j =
+        if j = n_runs - 1 then seg.T.seg_link
+        else
+          let below_moves, _ = runs.(j + 1) in
+          Some
+            {
+              T.ln_node = (if below_moves then dest else self_node);
+              ln_seg = ids.(j + 1);
+            }
+      in
+      let run_status j =
+        if j = 0 then Translate.status_to_mi k seg
+        else
+          let _, fs = runs.(j) in
+          match fs with
+          | [] -> assert false
+          | (top : Translate.frame_rec) :: _ ->
+            Mi_frame.Ms_awaiting_reply top.Translate.fw_entry.Emc.Busstop.be_id
+      in
+      let shipped = ref [] in
+      Array.iteri
+        (fun j (moves, fs) ->
+          if moves then begin
+            let mi =
+              {
+                Mi_frame.ms_seg_id = ids.(j);
+                ms_thread = seg.T.seg_thread;
+                ms_status = run_status j;
+                ms_frames = List.map (Translate.capture_frame k) fs;
+                ms_link = run_link j;
+                ms_result_type = run_result_type j;
+                ms_spawn = None;
+              }
+            in
+            shipped := mi :: !shipped;
+            K.set_seg_forward k ~seg_id:ids.(j) ~node:dest
+          end)
+        runs;
+      (* re-form the staying runs in place *)
+      K.unregister_segment k seg;
+      Array.iteri
+        (fun j (moves, fs) ->
+          if not moves then begin
+            let top : Translate.frame_rec =
+              match fs with
+              | t :: _ -> t
+              | [] -> assert false
+            in
+            if j = 0 then begin
+              (* the original top run keeps its context and status *)
+              if n_runs > 1 then begin
+                Translate.patch_segment_bottom k seg fs;
+                seg.T.seg_link <- run_link 0;
+                seg.T.seg_result_type <- run_result_type 0
+              end;
+              K.register_segment k seg
+            end
+            else begin
+              let below_resume =
+                match fs with
+                | _ :: (_ : Translate.frame_rec) :: _ -> top.Translate.fw_ret_out
+                | _ -> 0
+              in
+              if j < n_runs - 1 then Translate.patch_segment_bottom k seg fs;
+              let ctx = Translate.make_ctx_for_top k ~top ~below_resume in
+              let stay =
+                {
+                  T.seg_id = ids.(j);
+                  seg_thread = seg.T.seg_thread;
+                  seg_status =
+                    T.Awaiting_reply { stop_id = top.Translate.fw_entry.Emc.Busstop.be_id };
+                  seg_ctx = ctx;
+                  seg_stack_top = seg.T.seg_stack_top;
+                  seg_stack_bottom = seg.T.seg_stack_bottom;
+                  seg_link = run_link j;
+                  seg_result_type = run_result_type j;
+                  seg_spawn = None;
+                }
+              in
+              ctx.Isa.Machine.stack_limit <- stay.T.seg_stack_bottom;
+              K.register_segment k stay
+            end
+          end)
+        runs;
+      List.rev !shipped
+    end
+
+let perform_move k ~obj_addr ~dest : Marshal.move_payload =
+  let addrs = moving_closure k obj_addr in
+  let oids = List.map (K.oid_at k) addrs in
+  let moving_oid oid = List.exists (Ert.Oid.equal oid) oids in
+  (* capture objects before any state changes *)
+  let objects = List.map (capture_object k) addrs in
+  (* split every local segment whose stack touches a moving object *)
+  let segments =
+    List.concat_map (fun seg -> split_segment k ~dest ~moving_oid seg) (K.segments k)
+  in
+  (* leave forwarding proxies *)
+  List.iter (fun addr -> K.evict_object k ~addr ~forward_to:dest) addrs;
+  { Marshal.mp_src = K.node_id k; mp_objects = objects; mp_segments = segments }
+
+let park_mover (mover : T.segment) =
+  mover.T.seg_status <- T.Ready (T.Rs_complete_syscall None)
+
+let park_mover_for_test = park_mover
+
+let initiate ~k ~mover ~obj_addr ~dest =
+  park_mover mover;
+  if not (K.is_resident k obj_addr) then begin
+    (* a move of a non-resident object: forward the request to its host as
+       a hint; the mover continues immediately *)
+    K.enqueue_ready k mover;
+    let hint = K.proxy_hint k obj_addr in
+    if hint = K.node_id k then []
+    else
+      [
+        {
+          snd_dest = hint;
+          snd_msg = Marshal.M_move_req { obj = K.oid_at k obj_addr; dest; forwards = 0 };
+        };
+      ]
+  end
+  else if dest = K.node_id k then begin
+    (* already here: complete trivially *)
+    K.enqueue_ready k mover;
+    []
+  end
+  else begin
+    (* enqueue first: if the mover's own frames move, the queue entry is
+       invalidated by unregistration and the destination enqueues it *)
+    K.enqueue_ready k mover;
+    let payload = perform_move k ~obj_addr ~dest in
+    [ { snd_dest = dest; snd_msg = Marshal.M_move payload } ]
+  end
+
+let handle_move_req ~k ~obj ~dest ~forwards =
+  match K.find_object k obj with
+  | Some addr when dest <> K.node_id k ->
+    let payload = perform_move k ~obj_addr:addr ~dest in
+    [ { snd_dest = dest; snd_msg = Marshal.M_move payload } ]
+  | Some _ -> []
+  | None ->
+    if forwards >= 8 then [] (* stale request chasing a fast-moving object: drop *)
+    else (
+      match K.proxy_of k obj with
+      | Some addr ->
+        let hint = K.proxy_hint k addr in
+        if hint = K.node_id k then []
+        else
+          [ { snd_dest = hint; snd_msg = Marshal.M_move_req { obj; dest; forwards = forwards + 1 } } ]
+      | None -> [])
+
+let apply_move k (payload : Marshal.move_payload) =
+  let mem = K.mem k in
+  (* pass 1: descriptors, so references among arriving objects resolve *)
+  let installed =
+    List.map
+      (fun (o : Marshal.move_object) ->
+        let addr = K.install_object k ~oid:o.Marshal.mo_oid ~class_index:o.Marshal.mo_class in
+        (o, addr))
+      payload.Marshal.mp_objects
+  in
+  (* pass 2: field values *)
+  List.iter
+    (fun ((o : Marshal.move_object), addr) ->
+      List.iteri
+        (fun i v -> Mem.store32 mem (addr + L.field_offset i) (K.raw_of_value k v))
+        o.Marshal.mo_fields)
+    installed;
+  (* pass 3: thread segments (youngest-first translation + relocation) *)
+  List.iter
+    (fun mi -> ignore (Translate.rebuild_segment k mi))
+    payload.Marshal.mp_segments;
+  (* pass 4: monitor state, preserving queue order *)
+  List.iter
+    (fun ((o : Marshal.move_object), addr) ->
+      K.set_monitor_locked k ~obj_addr:addr o.Marshal.mo_locked;
+      List.iter
+        (fun sid ->
+          match K.find_segment k sid with
+          | Some seg -> K.monitor_enqueue_blocked k ~obj_addr:addr seg
+          | None -> fail "move: monitor waiter segment %d did not arrive" sid)
+        o.Marshal.mo_waiters;
+      List.iteri
+        (fun cond sids ->
+          List.iter
+            (fun sid ->
+              match K.find_segment k sid with
+              | Some seg -> K.monitor_enqueue_blocked k ~obj_addr:addr ~cond seg
+              | None -> fail "move: condition waiter segment %d did not arrive" sid)
+            sids)
+        o.Marshal.mo_cond_waiters)
+    installed

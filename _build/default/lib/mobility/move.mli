@@ -1,0 +1,43 @@
+(** The object-and-thread move protocol (sections 3.5/3.6, and Example 1).
+
+    Moving an object moves: the object's data area, every object reachable
+    through [attached] fields, the monitor state (lock and waiter queue),
+    and — the heart of the paper — the parts of every thread that are
+    executing inside the moving objects.  A thread's stack is split into
+    maximal runs of activation records by "does this record's object
+    move?": moving runs are translated to machine-independent segments and
+    shipped; staying runs are re-formed in place as dormant segments; the
+    runs are chained with cross-node links so returns flow through the
+    kernel (remote returns).
+
+    The source leaves forwarding proxies for the moved objects and
+    forwarding addresses for the moved segments. *)
+
+type send = {
+  snd_dest : int;
+  snd_msg : Marshal.message;
+}
+
+val initiate :
+  k:Ert.Kernel.t -> mover:Ert.Thread.segment -> obj_addr:int -> dest:int -> send list
+(** Handle a [move X to n] system call.  Parks the mover at its bus stop
+    (so it completes wherever it ends up, possibly on the destination),
+    then either forwards a request (X not resident), completes locally
+    (n is this node), or runs the full protocol. *)
+
+val handle_move_req : k:Ert.Kernel.t -> obj:Ert.Oid.t -> dest:int -> forwards:int -> send list
+(** A forwarded move request arriving at a node believed to host [obj]. *)
+
+val perform_move : Ert.Kernel.t -> obj_addr:int -> dest:int -> Marshal.move_payload
+(** Capture and evict; the caller sends the payload.  Exposed for tests. *)
+
+val apply_move : Ert.Kernel.t -> Marshal.move_payload -> unit
+(** Install an arriving move payload on the destination node. *)
+
+val park_mover_for_test : Ert.Thread.segment -> unit
+(** Park a mover segment at its move stop (normally done inside
+    {!initiate}); exposed so tests can drive {!perform_move} directly. *)
+
+val moving_closure : Ert.Kernel.t -> int -> int list
+(** The object plus everything reachable through resident attached
+    fields (addresses). *)

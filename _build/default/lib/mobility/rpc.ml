@@ -1,0 +1,72 @@
+module K = Ert.Kernel
+module T = Ert.Thread
+
+type send = Move.send = {
+  snd_dest : int;
+  snd_msg : Marshal.message;
+}
+
+type route =
+  | Routed of send list
+  | Unlocated of Marshal.message
+
+let fail fmt = Format.kasprintf (fun m -> raise (K.Runtime_error m)) fmt
+let _ = fail
+
+let initiate_invoke ~k ~target_oid ~hint_node ~callee_class ~callee_method ~args
+    ~caller_seg ~thread =
+  let reply = { T.ln_node = K.node_id k; ln_seg = caller_seg } in
+  let dest = if hint_node = K.node_id k then Option.value (Ert.Oid.creator_node target_oid) ~default:0 else hint_node in
+  [
+    {
+      snd_dest = dest;
+      snd_msg =
+        Marshal.M_invoke
+          { target = target_oid; callee_class; callee_method; args; reply; thread; forwards = 0 };
+    };
+  ]
+
+let handle_invoke ~k ~target ~callee_class ~callee_method ~args ~reply ~thread
+    ~forwards =
+  match K.find_object k target with
+  | Some addr ->
+    ignore
+      (K.spawn_rpc k ~target_addr:addr ~callee_class ~callee_method ~args ~link:reply
+         ~thread);
+    Routed []
+  | None ->
+    let message =
+      Marshal.M_invoke
+        { target; callee_class; callee_method; args; reply; thread;
+          forwards = forwards + 1 }
+    in
+    let forward_to node =
+      if node = K.node_id k then None else Some { snd_dest = node; snd_msg = message }
+    in
+    let next =
+      if forwards >= 4 then None
+      else
+        match K.proxy_of k target with
+        | Some addr -> forward_to (K.proxy_hint k addr)
+        | None -> None
+    in
+    (match next with
+    | Some s -> Routed [ s ]
+    | None -> Unlocated message)
+
+let initiate_return ~link ~value ~thread =
+  {
+    snd_dest = link.T.ln_node;
+    snd_msg = Marshal.M_reply { to_seg = link.T.ln_seg; value; thread };
+  }
+
+let handle_reply ~k ~to_seg ~value ~thread =
+  match K.find_segment k to_seg with
+  | Some seg ->
+    K.deliver_result k seg value;
+    []
+  | None -> (
+    match K.seg_forward k ~seg_id:to_seg with
+    | Some node ->
+      [ { snd_dest = node; snd_msg = Marshal.M_reply { to_seg; value; thread } } ]
+    | None -> fail "reply for unknown segment %d" to_seg)

@@ -1,0 +1,51 @@
+(** Trans-node (and trans-architecture) invocations and returns.
+
+    An invocation of a non-resident object becomes an [M_invoke] carrying
+    machine-independent argument values; the receiving node spawns a new
+    segment of the {e same} thread, linked back to the caller's segment.
+    Replies (and cross-node segment-bottom returns, which are the same
+    thing) deliver a value to a waiting segment, chasing forwarding
+    addresses when the segment has migrated since. *)
+
+type send = Move.send = {
+  snd_dest : int;
+  snd_msg : Marshal.message;
+}
+
+val initiate_invoke :
+  k:Ert.Kernel.t ->
+  target_oid:Ert.Oid.t ->
+  hint_node:int ->
+  callee_class:int ->
+  callee_method:int ->
+  args:Ert.Value.t list ->
+  caller_seg:int ->
+  thread:int ->
+  send list
+
+type route =
+  | Routed of send list
+  | Unlocated of Marshal.message
+      (** the proxy chain is exhausted or absent: the caller must run the
+          location-search protocol and re-route this message *)
+
+val handle_invoke :
+  k:Ert.Kernel.t ->
+  target:Ert.Oid.t ->
+  callee_class:int ->
+  callee_method:int ->
+  args:Ert.Value.t list ->
+  reply:Ert.Thread.link ->
+  thread:int ->
+  forwards:int ->
+  route
+(** Spawn the callee segment if the target is resident; otherwise forward
+    along the proxy chain; after too many stale hops (or with no hint at
+    all) the invocation becomes [Unlocated] and the node falls back to
+    Emerald's broadcast location search. *)
+
+val initiate_return : link:Ert.Thread.link -> value:Ert.Value.t -> thread:int -> send
+
+val handle_reply :
+  k:Ert.Kernel.t -> to_seg:int -> value:Ert.Value.t -> thread:int -> send list
+(** Deliver to the waiting segment, or chase its forwarding address. *)

@@ -1,0 +1,276 @@
+module A = Isa.Arch
+module M = Isa.Machine
+module Mem = Isa.Memory
+module K = Ert.Kernel
+module T = Ert.Thread
+
+type frame_rec = Ert.Frame_walk.frame_rec = {
+  fw_class : int;
+  fw_method : int;
+  fw_entry : Emc.Busstop.entry;
+  fw_fp : int;
+  fw_ret_out : int;
+  fw_self : int;
+}
+
+let walk_frames = Ert.Frame_walk.walk
+let fail fmt = Format.kasprintf (fun m -> raise (K.Runtime_error m)) fmt
+
+(* per-family geometry of the cells a callee's presence adds between the
+   caller's stack pointer and the callee's frame pointer *)
+let linkage_bytes = function
+  | A.Vax -> 12 (* return address, save mask, saved FP *)
+  | A.M68k -> 8 (* return address, saved FP *)
+  | A.Sparc -> 0 (* the callee's FP is the caller's SP *)
+
+(* pad above the oldest frame's FP for the cells its epilogue pops *)
+let top_pad = function
+  | A.Vax -> 16
+  | A.M68k -> 12
+  | A.Sparc -> 8
+
+let sparc_i6_off = 32 + (4 * 6)
+let sparc_i7_off = 32 + (4 * 7)
+
+let op_template k ~class_index ~method_index =
+  let lc = K.loaded_class k class_index in
+  lc.K.lc_class.Emc.Compile.cc_template.Emc.Template.ct_ops.(method_index)
+
+let capture_frame k fr =
+  let lc = K.loaded_class k fr.fw_class in
+  let ct = lc.K.lc_class.Emc.Compile.cc_template in
+  let stop = Emc.Template.stop_by_id ct fr.fw_entry.Emc.Busstop.be_id in
+  let fi = K.frame_info k ~class_index:fr.fw_class ~method_index:fr.fw_method in
+  let mem = K.mem k in
+  let slots =
+    List.map
+      (fun (es : Emc.Template.entity_slot) ->
+        let off = fi.Emc.Busstop.fr_slot_offsets.(es.Emc.Template.es_slot) in
+        let raw = Mem.load32 mem (fr.fw_fp + off) in
+        (es.Emc.Template.es_slot, K.value_of_raw k es.Emc.Template.es_type raw))
+      stop.Emc.Template.st_live
+  in
+  {
+    Mi_frame.mf_class = fr.fw_class;
+    mf_code_oid = lc.K.lc_code.Isa.Code.code_oid;
+    mf_method = fr.fw_method;
+    mf_stop = fr.fw_entry.Emc.Busstop.be_id;
+    mf_slots = slots;
+    mf_self = K.oid_at k fr.fw_self;
+  }
+
+let resume_to_mi = function
+  | T.Rs_run -> Mi_frame.Mr_run
+  | T.Rs_deliver v -> Mi_frame.Mr_deliver v
+  | T.Rs_complete_syscall v -> Mi_frame.Mr_complete_syscall v
+  | T.Rs_complete_dequeue sid -> Mi_frame.Mr_complete_dequeue sid
+
+let resume_of_mi = function
+  | Mi_frame.Mr_run -> T.Rs_run
+  | Mi_frame.Mr_deliver v -> T.Rs_deliver v
+  | Mi_frame.Mr_complete_syscall v -> T.Rs_complete_syscall v
+  | Mi_frame.Mr_complete_dequeue sid -> T.Rs_complete_dequeue sid
+
+let status_to_mi k (seg : T.segment) =
+  match seg.T.seg_status with
+  | T.Ready rs -> Mi_frame.Ms_ready (resume_to_mi rs)
+  | T.Awaiting_reply { stop_id } -> Mi_frame.Ms_awaiting_reply stop_id
+  | T.Blocked_monitor { mon_addr; qnode; cond } ->
+    Mi_frame.Ms_blocked_monitor
+      { mon = K.oid_at k mon_addr; in_queue = qnode <> 0; cond }
+  | T.Running ->
+    fail "cannot capture running segment %d (park it at its stop first)" seg.T.seg_id
+  | T.Dead -> fail "cannot capture dead segment %d" seg.T.seg_id
+
+let result_type_of k ~class_index ~method_index =
+  let tmpl = op_template k ~class_index ~method_index in
+  Option.map
+    (fun v ->
+      let _, ty, _ = tmpl.Emc.Template.ot_vars.(v) in
+      ty)
+    tmpl.Emc.Template.ot_result_var
+
+let status_of_mi k = function
+  | Mi_frame.Ms_ready rs -> T.Ready (resume_of_mi rs)
+  | Mi_frame.Ms_awaiting_reply stop_id -> T.Awaiting_reply { stop_id }
+  | Mi_frame.Ms_blocked_monitor { mon; in_queue; cond } ->
+    let mon_addr = K.ensure_ref k mon in
+    ignore in_queue;
+    (* queue membership is restored by the caller, in marshalled order *)
+    T.Blocked_monitor { mon_addr; qnode = 0; cond }
+
+(* geometry of one rebuilt frame on this node *)
+type build_frame = {
+  bf : Mi_frame.mi_frame;
+  bf_fi : Emc.Busstop.frame_info;
+  bf_entry : Emc.Busstop.entry;
+  bf_resume_abs : int;  (** absolute PC at which this frame resumes *)
+  bf_depth : int;  (** SP depth below FP while suspended here *)
+  mutable bf_fp : int;  (** final frame pointer *)
+}
+
+let rebuild_segment k (mi : Mi_frame.mi_segment) : T.segment =
+  match mi.Mi_frame.ms_spawn with
+  | Some spawn ->
+    K.spawn_exact k ~spawn ~link:mi.Mi_frame.ms_link ~thread:mi.Mi_frame.ms_thread
+      ~seg_id:mi.Mi_frame.ms_seg_id
+      ~status:(status_of_mi k mi.Mi_frame.ms_status)
+  | None ->
+    let arch = K.arch k in
+    let family = arch.A.family in
+    let mem = K.mem k in
+    let frames = mi.Mi_frame.ms_frames in
+    if frames = [] then fail "rebuild: segment %d has no frames" mi.Mi_frame.ms_seg_id;
+    let builds =
+      List.map
+        (fun (f : Mi_frame.mi_frame) ->
+          let class_index = f.Mi_frame.mf_class in
+          let entry = K.stop_by_id k ~class_index ~stop_id:f.Mi_frame.mf_stop in
+          let fi = K.frame_info k ~class_index ~method_index:f.Mi_frame.mf_method in
+          {
+            bf = f;
+            bf_fi = fi;
+            bf_entry = entry;
+            bf_resume_abs = K.abs_pc k ~class_index entry.Emc.Busstop.be_pc;
+            bf_depth = entry.Emc.Busstop.be_sp_depth;
+            bf_fp = 0;
+          })
+        frames
+    in
+    let n = List.length builds in
+    let barr = Array.of_list builds in
+    let stack_top = K.alloc_stack k in
+    let stack_bottom = stack_top - K.stack_bytes + 256 in
+    (* phase 1: translate youngest first into provisional positions at the
+       low end of the region (final positions depend on the sizes of the
+       records still to be translated — the situation of section 3.5) *)
+    let prov_fp = Array.make n 0 in
+    let cursor = ref (stack_bottom + 64) in
+    Array.iteri
+      (fun i b ->
+        prov_fp.(i) <- !cursor + b.bf_depth;
+        cursor := !cursor + b.bf_depth + linkage_bytes family + 16)
+      barr;
+    let write_slots fp (b : build_frame) =
+      List.iter
+        (fun (slot, v) ->
+          let off = b.bf_fi.Emc.Busstop.fr_slot_offsets.(slot) in
+          Mem.store32 mem (fp + off) (K.raw_of_value k v))
+        b.bf.Mi_frame.mf_slots
+    in
+    Array.iteri (fun i b -> write_slots prov_fp.(i) b) barr;
+    (* phase 2: compute final placement (oldest frame near the stack top)
+       and relocate each record *)
+    let pad = top_pad family in
+    barr.(n - 1).bf_fp <- stack_top - pad;
+    for i = n - 2 downto 0 do
+      let parent = barr.(i + 1) in
+      let parent_sp = parent.bf_fp - parent.bf_depth in
+      barr.(i).bf_fp <- parent_sp - linkage_bytes family
+    done;
+    (* relocate oldest first (highest destination) so overlapping moves
+       never clobber records still to be moved *)
+    for i = n - 1 downto 0 do
+      let b = barr.(i) in
+      let src_lo = prov_fp.(i) - b.bf_depth in
+      let dst_lo = b.bf_fp - b.bf_depth in
+      if src_lo <> dst_lo then
+        Mem.blit_within mem ~src:src_lo ~dst:dst_lo ~len:b.bf_depth
+    done;
+    (* zero the abandoned provisional area (up to the final records) so
+       stale values never alias *)
+    let final_low = barr.(0).bf_fp - barr.(0).bf_depth in
+    let prov_high = min !cursor final_low in
+    if prov_high > stack_bottom + 64 then
+      Mem.zero_fill mem (stack_bottom + 64) (prov_high - stack_bottom - 64);
+    (* calling-convention linkage *)
+    (match family with
+    | A.Vax ->
+      Array.iteri
+        (fun i b ->
+          let parent_fp = if i = n - 1 then 0 else barr.(i + 1).bf_fp in
+          let ret = if i = n - 1 then 0 else barr.(i + 1).bf_resume_abs in
+          Mem.store32 mem b.bf_fp (Int32.of_int parent_fp);
+          Mem.store32 mem (b.bf_fp + 4) 0l;
+          Mem.store32 mem (b.bf_fp + 8) (Int32.of_int ret))
+        barr
+    | A.M68k ->
+      Array.iteri
+        (fun i b ->
+          let parent_fp = if i = n - 1 then 0 else barr.(i + 1).bf_fp in
+          let ret = if i = n - 1 then 0 else barr.(i + 1).bf_resume_abs in
+          Mem.store32 mem b.bf_fp (Int32.of_int parent_fp);
+          Mem.store32 mem (b.bf_fp + 4) (Int32.of_int ret))
+        barr
+    | A.Sparc ->
+      (* frame i's spill area holds frame i+1's register window: its FP and
+         the address it will return to (frame i+2's resume point) *)
+      Array.iteri
+        (fun i b ->
+          let sp = b.bf_fp - b.bf_depth in
+          let parent_fp = if i = n - 1 then 0 else barr.(i + 1).bf_fp in
+          let parent_ret = if i >= n - 2 then 0 else barr.(i + 2).bf_resume_abs in
+          Mem.store32 mem (sp + sparc_i6_off) (Int32.of_int parent_fp);
+          Mem.store32 mem (sp + sparc_i7_off) (Int32.of_int parent_ret))
+        barr);
+    (* register context for the youngest frame *)
+    let ctx = M.create_ctx arch in
+    let top = barr.(0) in
+    M.set_fp ctx top.bf_fp;
+    M.set_sp ctx (top.bf_fp - top.bf_depth);
+    (match family with
+    | A.Sparc ->
+      M.set_reg ctx 31
+        (Int32.of_int (if n >= 2 then barr.(1).bf_resume_abs else 0))
+    | A.Vax | A.M68k -> ());
+    ctx.M.pc <- top.bf_resume_abs;
+    let seg =
+      {
+        T.seg_id = mi.Mi_frame.ms_seg_id;
+        seg_thread = mi.Mi_frame.ms_thread;
+        seg_status = status_of_mi k mi.Mi_frame.ms_status;
+        seg_ctx = ctx;
+        seg_stack_top = stack_top;
+        seg_stack_bottom = stack_bottom;
+        seg_link = mi.Mi_frame.ms_link;
+        seg_result_type = mi.Mi_frame.ms_result_type;
+        seg_spawn = None;
+      }
+    in
+    ctx.M.stack_limit <- stack_bottom;
+    K.register_segment k seg;
+    seg
+
+let patch_segment_bottom k _seg frames =
+  match List.rev frames with
+  | [] -> ()
+  | bottom :: rest_above_rev ->
+    let mem = K.mem k in
+    (match (K.arch k).A.family with
+    | A.Vax ->
+      Mem.store32 mem bottom.fw_fp 0l;
+      Mem.store32 mem (bottom.fw_fp + 8) 0l
+    | A.M68k ->
+      Mem.store32 mem bottom.fw_fp 0l;
+      Mem.store32 mem (bottom.fw_fp + 4) 0l
+    | A.Sparc -> (
+      (* the bottom frame's window is spilled in its child's spill area
+         (the next frame up in this run); a single-frame run keeps its
+         window in the context, handled by make_ctx_for_top *)
+      match rest_above_rev with
+      | [] -> ()
+      | child :: _ ->
+        let fi = K.frame_info k ~class_index:child.fw_class ~method_index:child.fw_method in
+        let sp = child.fw_fp - fi.Emc.Busstop.fr_fixed_sp_depth in
+        Mem.store32 mem (sp + sparc_i7_off) 0l))
+
+let make_ctx_for_top k ~top ~below_resume =
+  let arch = K.arch k in
+  let ctx = M.create_ctx arch in
+  M.set_fp ctx top.fw_fp;
+  M.set_sp ctx (top.fw_fp - top.fw_entry.Emc.Busstop.be_sp_depth);
+  (match arch.A.family with
+  | A.Sparc -> M.set_reg ctx 31 (Int32.of_int below_resume)
+  | A.Vax | A.M68k -> ());
+  ctx.M.pc <- K.abs_pc k ~class_index:top.fw_class top.fw_entry.Emc.Busstop.be_pc;
+  ctx

@@ -1,0 +1,1 @@
+test/test_bridging.ml: Alcotest Array List Mobility Printf QCheck QCheck_alcotest String

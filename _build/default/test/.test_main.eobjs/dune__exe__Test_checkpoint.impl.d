@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Core Ert Int32 Isa List Mobility QCheck QCheck_alcotest

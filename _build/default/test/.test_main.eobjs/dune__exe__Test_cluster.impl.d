@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Core Enet Ert Format Int32 Isa List Mobility

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Emc Int32 Isa List Option

@@ -1,0 +1,1 @@
+test/test_conditions.ml: Alcotest Core Emc Ert Int32 Isa List

@@ -1,0 +1,1 @@
+test/test_emi.ml: Alcotest Core Emc Emi Ert Int32 Isa List Option

@@ -1,0 +1,1 @@
+test/test_enet.ml: Alcotest Enet Float Int32 Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Core Enet Ert Int32 Isa String

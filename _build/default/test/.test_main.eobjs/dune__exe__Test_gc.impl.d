@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Core Ert Int32 Isa List

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Float Int32 Isa List QCheck QCheck_alcotest

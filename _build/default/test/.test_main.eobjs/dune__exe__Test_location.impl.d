@@ -1,0 +1,1 @@
+test/test_location.ml: Alcotest Core Enet Ert Int32 Isa Option String

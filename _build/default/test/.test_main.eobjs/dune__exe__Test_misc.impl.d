@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Core Emc Enet Ert Int32 Isa List String

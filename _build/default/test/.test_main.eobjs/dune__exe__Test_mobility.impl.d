@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest Core Ert Format Int32 Isa List String

@@ -1,0 +1,1 @@
+test/test_peephole.ml: Alcotest Array Core Emc Ert Int32 Isa List

@@ -1,0 +1,1 @@
+test/test_preemption.ml: Alcotest Core Emc Ert Int32 Isa List Option String

@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Core Emc Ert Format Int32 Isa List

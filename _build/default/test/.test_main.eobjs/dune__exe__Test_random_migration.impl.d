@@ -1,0 +1,1 @@
+test/test_random_migration.ml: Array Buffer Core Ert Int32 Isa List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Emc Ert Format Int32 Isa List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Emc Enet Ert Int32 Isa List Mobility Option Printf QCheck QCheck_alcotest

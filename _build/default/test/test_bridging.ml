@@ -1,0 +1,184 @@
+(* Bridging-code tests (section 2.4): the literal Figure 3/4 example, plus
+   property tests that bridges always preserve exactly-once execution. *)
+
+module B = Mobility.Bridging
+
+let check = Alcotest.check
+
+let plain n = { B.name = n; kind = B.Plain }
+let call n = { B.name = n; kind = B.Call }
+let stop n = { B.name = n; kind = B.Stop }
+
+(* Figure 3: abstract = o1; o2; o3; switch(); o4; o5; o6 *)
+let fig3_abstract =
+  B.abstract
+    [ plain "o1"; plain "o2"; plain "o3"; call "switch"; plain "o4"; plain "o5"; stop "o6" ]
+
+(* code1 = o1; switch(); o2; o3; o4; o5; o6 *)
+let fig3_code1 =
+  B.apply_edits fig3_abstract [ B.Swap 2; B.Swap 1 ]
+
+(* code2 = o2; o5; switch(); o4; o1; o3; o6 *)
+let fig3_code2 =
+  B.apply_edits fig3_abstract
+    [
+      (* derive the figure's sequence by adjacent transpositions *)
+      B.Swap 0; (* o2 o1 o3 sw o4 o5 o6 *)
+      B.Swap 2; (* o2 o1 sw o3 o4 o5 o6 *)
+      B.Swap 1; (* o2 sw o1 o3 o4 o5 o6 *)
+      B.Swap 4; (* o2 sw o1 o3 o5 o4 o6 *)
+      B.Swap 3; (* o2 sw o1 o5 o3 o4 o6 *)
+      B.Swap 2; (* o2 sw o5 o1 o3 o4 o6 *)
+      B.Swap 1; (* o2 o5 sw o1 o3 o4 o6 *)
+      B.Swap 3; (* o2 o5 sw o3 o1 o4 o6 *)
+      B.Swap 4; (* o2 o5 sw o3 o4 o1 o6 *)
+      B.Swap 3; (* o2 o5 sw o4 o3 o1 o6 *)
+      B.Swap 4; (* o2 o5 sw o4 o1 o3 o6 *)
+    ]
+
+let test_fig3_instances () =
+  check (Alcotest.list Alcotest.string) "code1"
+    [ "o1"; "switch"; "o2"; "o3"; "o4"; "o5"; "o6" ]
+    (B.op_names fig3_code1);
+  check (Alcotest.list Alcotest.string) "code2"
+    [ "o2"; "o5"; "switch"; "o4"; "o1"; "o3"; "o6" ]
+    (B.op_names fig3_code2)
+
+(* Figure 4: bridging from code1 at switch() to code2 yields the fragment
+   o2; o4; o5 and enters code2 at o3. *)
+let test_fig4_bridge () =
+  let b = B.build_bridge ~from_:fig3_code1 ~at:"switch" ~to_:fig3_code2 in
+  check (Alcotest.list Alcotest.string) "bridge fragment" [ "o2"; "o4"; "o5" ]
+    (List.map (fun o -> o.B.name) b.B.br_ops);
+  let entry_name = (B.ops fig3_code2).(b.B.br_entry).B.name in
+  check Alcotest.string "entry point" "o3" entry_name
+
+let test_fig4_execution () =
+  let log = B.run_with_migration ~from_:fig3_code1 ~at:"switch" ~to_:fig3_code2 in
+  check (Alcotest.list Alcotest.string) "full execution"
+    [ "o1"; "switch"; "o2"; "o4"; "o5"; "o3"; "o6" ]
+    log;
+  if not (B.exactly_once ~abstract:fig3_abstract log) then
+    Alcotest.fail "operations must execute exactly once"
+
+let test_identity_bridge () =
+  (* migrating between identical codes: nothing to bridge before the stop *)
+  let b = B.build_bridge ~from_:fig3_code1 ~at:"switch" ~to_:fig3_code1 in
+  check (Alcotest.list Alcotest.string) "no fragment" []
+    (List.map (fun o -> o.B.name) b.B.br_ops);
+  let log = B.run_with_migration ~from_:fig3_code1 ~at:"switch" ~to_:fig3_code1 in
+  if not (B.exactly_once ~abstract:fig3_abstract log) then
+    Alcotest.fail "identity bridge must execute exactly once"
+
+let test_edits_reversible () =
+  let edits = [ B.Swap 0; B.Swap 2; B.Swap 1; B.Swap 3 ] in
+  let there = B.apply_edits fig3_abstract edits in
+  let back = B.apply_edits there (B.invert edits) in
+  if not (B.equal back fig3_abstract) then
+    Alcotest.fail "inverted edit script must restore the original code"
+
+let test_stops_fixed () =
+  match B.apply_edits fig3_abstract [ B.Swap 5 ] with
+  | _ -> Alcotest.fail "moving an operation across a bus stop must be rejected"
+  | exception B.Illegal_edit _ -> ()
+
+let test_bridging_from_bridging () =
+  (* migrate at switch() from code1 to code2, then again at o3 (promote it
+     to a call so it is a visible point) to a third instance *)
+  let abs =
+    B.abstract
+      [ plain "o1"; plain "o2"; call "o3"; call "switch"; plain "o4"; plain "o5"; stop "o6" ]
+  in
+  let c1 = B.apply_edits abs [ B.Swap 2; B.Swap 1 ] in
+  let c2 = B.apply_edits abs [ B.Swap 0; B.Swap 4 ] in
+  let c3 = B.apply_edits abs [ B.Swap 1; B.Swap 4; B.Swap 3 ] in
+  let log = B.run_with_two_migrations ~a:c1 ~at_a:"switch" ~b:c2 ~at_b:"o3" ~c:c3 in
+  if not (B.exactly_once ~abstract:abs log) then
+    Alcotest.failf "double migration broke exactly-once: %s" (String.concat ";" log)
+
+(* property: for random instances and any visible suspension point, the
+   bridged execution runs every abstract operation exactly once *)
+let gen_scenario =
+  let open QCheck.Gen in
+  let n_ops = int_range 3 9 in
+  n_ops >>= fun n ->
+  let mk_ops =
+    List.init n (fun i ->
+        if i = n - 1 then return (stop (Printf.sprintf "s%d" i))
+        else
+          map
+            (fun is_call ->
+              if is_call then call (Printf.sprintf "c%d" i)
+              else plain (Printf.sprintf "p%d" i))
+            bool)
+  in
+  flatten_l mk_ops >>= fun ops ->
+  let edits len = list_size (int_range 0 12) (map (fun i -> B.Swap i) (int_range 0 (max 0 (len - 3)))) in
+  edits n >>= fun e1 ->
+  edits n >>= fun e2 ->
+  int_range 0 (n - 1) >>= fun at_idx ->
+  return (ops, e1, e2, at_idx)
+
+let prop_bridge_exactly_once =
+  QCheck.Test.make ~name:"random bridges execute exactly once" ~count:300
+    (QCheck.make gen_scenario) (fun (ops, e1, e2, at_idx) ->
+      let abs = B.abstract ops in
+      let safe_apply c es =
+        List.fold_left
+          (fun c e -> try B.apply_edits c [ e ] with B.Illegal_edit _ -> c)
+          c es
+      in
+      let c1 = safe_apply abs e1 in
+      let c2 = safe_apply abs e2 in
+      (* pick the visible point of c1 at or after at_idx *)
+      let visible =
+        Array.to_list (B.ops c1)
+        |> List.filter (fun o -> o.B.kind <> B.Plain)
+        |> List.map (fun o -> o.B.name)
+      in
+      match List.nth_opt visible (at_idx mod max 1 (List.length visible)) with
+      | None -> true
+      | Some at -> (
+        match B.run_with_migration ~from_:c1 ~at ~to_:c2 with
+        | log -> B.exactly_once ~abstract:abs log
+        | exception B.No_bridge _ -> true))
+
+let prop_edits_invertible =
+  QCheck.Test.make ~name:"edit scripts invert" ~count:300
+    (QCheck.make gen_scenario) (fun (ops, e1, _, _) ->
+      let abs = B.abstract ops in
+      let legal =
+        List.filter
+          (fun e ->
+            match B.apply_edits abs [ e ] with
+            | _ -> true
+            | exception B.Illegal_edit _ -> false)
+          e1
+      in
+      (* apply the legal prefix as one script *)
+      let rec longest_legal acc = function
+        | [] -> List.rev acc
+        | e :: rest -> (
+          match B.apply_edits abs (List.rev (e :: acc)) with
+          | _ -> longest_legal (e :: acc) rest
+          | exception B.Illegal_edit _ -> List.rev acc)
+      in
+      let script = longest_legal [] legal in
+      let there = B.apply_edits abs script in
+      B.equal abs (B.apply_edits there (B.invert script)))
+
+let suites =
+  [
+    ( "bridging",
+      [
+        Alcotest.test_case "Figure 3 instances" `Quick test_fig3_instances;
+        Alcotest.test_case "Figure 4 bridge" `Quick test_fig4_bridge;
+        Alcotest.test_case "Figure 4 execution" `Quick test_fig4_execution;
+        Alcotest.test_case "identity bridge" `Quick test_identity_bridge;
+        Alcotest.test_case "edits reversible" `Quick test_edits_reversible;
+        Alcotest.test_case "bus stops are fixed points" `Quick test_stops_fixed;
+        Alcotest.test_case "bridging from bridging" `Quick test_bridging_from_bridging;
+        QCheck_alcotest.to_alcotest prop_bridge_exactly_once;
+        QCheck_alcotest.to_alcotest prop_edits_invertible;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* Monitor condition variables: wait releases the monitor and queues the
+   thread on the condition; signal moves one waiter to the entry queue
+   (Mesa semantics).  Condition queues are part of the object's monitor
+   state, so they migrate with it. *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let check = Alcotest.check
+
+let bounded_buffer_src =
+  {|
+object Buffer
+  var slot : int <- 0
+  var full : bool <- false
+  condition nonempty
+  condition nonfull
+
+  monitor operation put[v : int]
+    loop
+      exit when not full
+      wait nonfull
+    end loop
+    slot <- v
+    full <- true
+    signal nonempty
+  end put
+
+  monitor operation take[] -> [r : int]
+    loop
+      exit when full
+      wait nonempty
+    end loop
+    full <- false
+    r <- slot
+    signal nonfull
+  end take
+end Buffer
+
+object Producer
+  var buf : Buffer <- nil
+  var n : int <- 0
+  operation initially[b : Buffer, count : int]
+    buf <- b
+    n <- count
+  end initially
+  process
+    var i : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+      buf.put[i * i]
+    end loop
+  end process
+end Producer
+
+object Main
+  operation start[] -> [r : int]
+    var b : Buffer <- new Buffer
+    var p : Producer <- new Producer[b, 20]
+    var got : int <- 0
+    var sum : int <- 0
+    loop
+      exit when got >= 20
+      sum <- sum + b.take[]
+      got <- got + 1
+    end loop
+    r <- sum
+  end start
+end Main
+|}
+
+let expected = List.fold_left (fun a i -> a + (i * i)) 0 (List.init 20 (fun i -> i + 1))
+
+let test_bounded_buffer () =
+  (* the consumer blocks on 'nonempty', the producer on 'nonfull': real
+     blocking synchronisation, on every architecture *)
+  List.iter
+    (fun arch ->
+      let cl = Core.Cluster.create ~archs:[ arch ] () in
+      ignore (Core.Cluster.compile_and_load cl ~name:"bb" bounded_buffer_src);
+      let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+      let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+      match Core.Cluster.run_until_result cl tid with
+      | Some (V.Vint v) -> check Alcotest.int (arch.A.id ^ " sum") expected (Int32.to_int v)
+      | _ -> Alcotest.fail "no result")
+    A.all
+
+let test_wait_outside_monitor_rejected () =
+  let src =
+    {|
+object X
+  condition c
+  operation f[]
+    wait c
+  end f
+end X
+|}
+  in
+  match Emc.Compile.compile ~name:"bad" ~archs:[ A.sparc ] src with
+  | Ok _ -> Alcotest.fail "wait outside a monitored operation must be rejected"
+  | Error _ -> ()
+
+let test_unknown_condition_rejected () =
+  let src =
+    {|
+object X
+  monitor operation f[]
+    signal nope
+  end f
+end X
+|}
+  in
+  match Emc.Compile.compile ~name:"bad" ~archs:[ A.sparc ] src with
+  | Ok _ -> Alcotest.fail "unknown condition must be rejected"
+  | Error _ -> ()
+
+let migrating_waiters_src =
+  {|
+object Gate
+  var opened : bool <- false
+  condition go
+
+  monitor operation pass[] -> [r : int]
+    loop
+      exit when opened
+      wait go
+    end loop
+    r <- thisnode
+  end pass
+
+  monitor operation open[]
+    opened <- true
+    signal go
+    signal go
+  end open
+end Gate
+
+object Waiter
+  operation park[g : Gate] -> [r : int]
+    r <- g.pass[]
+  end park
+end Waiter
+
+object Mover
+  operation relocate[g : Gate, dest : int]
+    move g to dest
+  end relocate
+end Mover
+|}
+
+let test_condition_waiters_migrate () =
+  (* two threads block on the gate's condition; the gate (with its
+     condition queue and the waiters' activation records) moves to a
+     different architecture; opening it there must release both threads *)
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"gate" migrating_waiters_src);
+  let gate = Core.Cluster.create_object cl ~node:0 ~class_name:"Gate" in
+  let w1 = Core.Cluster.create_object cl ~node:0 ~class_name:"Waiter" in
+  let w2 = Core.Cluster.create_object cl ~node:0 ~class_name:"Waiter" in
+  let t1 = Core.Cluster.spawn cl ~node:0 ~target:w1 ~op:"park" ~args:[ V.Vref gate ] in
+  let t2 = Core.Cluster.spawn cl ~node:0 ~target:w2 ~op:"park" ~args:[ V.Vref gate ] in
+  (* let both threads reach the wait *)
+  for _ = 1 to 200 do
+    ignore (Core.Cluster.step_once cl)
+  done;
+  check (Alcotest.option Alcotest.int) "gate still home" (Some 0)
+    (Core.Cluster.where_is cl gate);
+  (* move the gate (and its blocked waiters) to the VAX *)
+  let mover = Core.Cluster.create_object cl ~node:0 ~class_name:"Mover" in
+  let mt =
+    Core.Cluster.spawn cl ~node:0 ~target:mover ~op:"relocate"
+      ~args:[ V.Vref gate; V.Vint 1l ]
+  in
+  Core.Cluster.run cl;
+  ignore (Core.Cluster.result cl mt);
+  check (Alcotest.option Alcotest.int) "gate moved" (Some 1)
+    (Core.Cluster.where_is cl gate);
+  (* the waiters are still parked; open the gate on the VAX *)
+  (match Core.Cluster.result cl t1, Core.Cluster.result cl t2 with
+  | None, None -> ()
+  | _ -> Alcotest.fail "waiters should still be blocked after the move");
+  let opener = Core.Cluster.create_object cl ~node:1 ~class_name:"Waiter" in
+  ignore opener;
+  let ot = Core.Cluster.spawn cl ~node:1 ~target:gate ~op:"open" ~args:[] in
+  Core.Cluster.run cl;
+  ignore (Core.Cluster.result cl ot);
+  List.iter
+    (fun t ->
+      match Core.Cluster.result cl t with
+      | Some (Some (V.Vint v)) ->
+        (* pass resumed on the VAX, where the gate now lives *)
+        check Alcotest.int "resumed on node 1" 1 (Int32.to_int v)
+      | _ -> Alcotest.fail "waiter did not pass the gate")
+    [ t1; t2 ]
+
+let test_signal_with_no_waiters_is_noop () =
+  let src =
+    {|
+object X
+  condition c
+  monitor operation f[] -> [r : int]
+    signal c
+    signal c
+    r <- 9
+  end f
+end X
+|}
+  in
+  let cl = Core.Cluster.create ~archs:[ A.sun3 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"sig" src);
+  let x = Core.Cluster.create_object cl ~node:0 ~class_name:"X" in
+  let t = Core.Cluster.spawn cl ~node:0 ~target:x ~op:"f" ~args:[] in
+  match Core.Cluster.run_until_result cl t with
+  | Some (V.Vint 9l) -> ()
+  | _ -> Alcotest.fail "signal on an empty condition must be a no-op"
+
+let suites =
+  [
+    ( "conditions",
+      [
+        Alcotest.test_case "bounded buffer on every architecture" `Quick
+          test_bounded_buffer;
+        Alcotest.test_case "wait outside monitor rejected" `Quick
+          test_wait_outside_monitor_rejected;
+        Alcotest.test_case "unknown condition rejected" `Quick
+          test_unknown_condition_rejected;
+        Alcotest.test_case "condition waiters migrate with the object" `Quick
+          test_condition_waiters_migrate;
+        Alcotest.test_case "signal with no waiters" `Quick
+          test_signal_with_no_waiters_is_noop;
+      ] );
+  ]

@@ -1,0 +1,139 @@
+(* Tests for the network layer: wire codecs and the Ethernet simulation. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let roundtrip_gen =
+  QCheck.quad QCheck.int32
+    (QCheck.map
+       (fun (m, e) -> Float.ldexp (Float.of_int m) e)
+       (QCheck.pair (QCheck.int_range (-100000) 100000) (QCheck.int_range (-30) 30)))
+    QCheck.bool
+    (QCheck.string_of_size (QCheck.Gen.int_range 0 200))
+
+let roundtrip impl =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s codec round trip" (Enet.Wire.impl_name impl))
+    ~count:300 roundtrip_gen
+    (fun (i, f, b, s) ->
+      let stats = Enet.Conversion_stats.create () in
+      let w = Enet.Wire.Writer.create ~impl ~stats in
+      Enet.Wire.Writer.i32 w i;
+      Enet.Wire.Writer.f64 w f;
+      Enet.Wire.Writer.bool w b;
+      Enet.Wire.Writer.str w s;
+      let r = Enet.Wire.Reader.create ~impl ~stats (Enet.Wire.Writer.contents w) in
+      Int32.equal (Enet.Wire.Reader.i32 r) i
+      && Enet.Wire.Reader.f64 r = f
+      && Enet.Wire.Reader.bool r = b
+      && String.equal (Enet.Wire.Reader.str r) s
+      && Enet.Wire.Reader.at_end r)
+
+let test_network_byte_order () =
+  let stats = Enet.Conversion_stats.create () in
+  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Optimized ~stats in
+  Enet.Wire.Writer.u32 w 0x01020304l;
+  let s = Enet.Wire.Writer.contents w in
+  check Alcotest.string "big endian on the wire" "\x01\x02\x03\x04" s
+
+let test_impls_agree () =
+  let emit impl =
+    let stats = Enet.Conversion_stats.create () in
+    let w = Enet.Wire.Writer.create ~impl ~stats in
+    Enet.Wire.Writer.u16 w 7;
+    Enet.Wire.Writer.i32 w (-42l);
+    Enet.Wire.Writer.f64 w 3.25;
+    Enet.Wire.Writer.str w "emerald";
+    (Enet.Wire.Writer.contents w, Enet.Conversion_stats.calls stats)
+  in
+  let naive_bytes, naive_calls = emit Enet.Wire.Naive in
+  let opt_bytes, opt_calls = emit Enet.Wire.Optimized in
+  check Alcotest.string "identical octets" naive_bytes opt_bytes;
+  if naive_calls <= opt_calls then
+    Alcotest.failf "naive (%d calls) should cost more than optimized (%d)" naive_calls
+      opt_calls
+
+let test_calls_per_byte () =
+  (* the paper: an average of 1-2 conversion calls per byte *)
+  let stats = Enet.Conversion_stats.create () in
+  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Naive ~stats in
+  for i = 0 to 99 do
+    Enet.Wire.Writer.i32 w (Int32.of_int i)
+  done;
+  let cpb = Enet.Conversion_stats.calls_per_byte stats in
+  if cpb < 1.0 || cpb > 2.0 then
+    Alcotest.failf "naive conversion should cost 1-2 calls/byte, got %.2f" cpb
+
+let test_reader_underflow () =
+  let stats = Enet.Conversion_stats.create () in
+  let r = Enet.Wire.Reader.create ~impl:Enet.Wire.Naive ~stats "\x00\x01" in
+  match Enet.Wire.Reader.u32 r with
+  | _ -> Alcotest.fail "expected underflow"
+  | exception Enet.Wire.Reader.Underflow -> ()
+
+(* Netsim ------------------------------------------------------------------ *)
+
+let test_netsim_latency () =
+  let net = Enet.Netsim.create ~n_nodes:3 () in
+  let cfg = Enet.Netsim.config net in
+  let arrival = Enet.Netsim.send net ~now_us:1000.0 ~src:0 ~dst:1 ~payload:"hello" in
+  let wire_bytes = 5 + cfg.Enet.Netsim.frame_overhead_bytes in
+  let expect =
+    1000.0
+    +. (float_of_int (wire_bytes * 8) /. cfg.Enet.Netsim.bandwidth_mbit_s)
+    +. cfg.Enet.Netsim.latency_us
+  in
+  check (Alcotest.float 0.001) "arrival time" expect arrival
+
+let test_netsim_fifo () =
+  let net = Enet.Netsim.create ~n_nodes:2 () in
+  ignore (Enet.Netsim.send net ~now_us:0.0 ~src:0 ~dst:1 ~payload:"first");
+  ignore (Enet.Netsim.send net ~now_us:0.0 ~src:0 ~dst:1 ~payload:"second");
+  ignore (Enet.Netsim.send net ~now_us:0.0 ~src:0 ~dst:1 ~payload:"third");
+  let recv () =
+    match Enet.Netsim.receive net ~dst:1 ~now_us:1e9 with
+    | Some m -> m.Enet.Netsim.msg_payload
+    | None -> Alcotest.fail "expected a message"
+  in
+  check Alcotest.string "fifo 1" "first" (recv ());
+  check Alcotest.string "fifo 2" "second" (recv ());
+  check Alcotest.string "fifo 3" "third" (recv ());
+  check Alcotest.int "drained" 0 (Enet.Netsim.pending net)
+
+let test_netsim_not_before_arrival () =
+  let net = Enet.Netsim.create ~n_nodes:2 () in
+  let arrival = Enet.Netsim.send net ~now_us:0.0 ~src:0 ~dst:1 ~payload:"x" in
+  (match Enet.Netsim.receive net ~dst:1 ~now_us:(arrival -. 1.0) with
+  | Some _ -> Alcotest.fail "message delivered before its arrival time"
+  | None -> ());
+  match Enet.Netsim.receive net ~dst:1 ~now_us:arrival with
+  | Some _ -> ()
+  | None -> Alcotest.fail "message should be deliverable at its arrival time"
+
+let test_netsim_medium_serialises () =
+  (* two messages sent at the same instant share the 10 Mbit/s segment, so
+     the second arrives strictly later *)
+  let net = Enet.Netsim.create ~n_nodes:3 () in
+  let a1 = Enet.Netsim.send net ~now_us:0.0 ~src:0 ~dst:1 ~payload:(String.make 1000 'a') in
+  let a2 = Enet.Netsim.send net ~now_us:0.0 ~src:2 ~dst:1 ~payload:(String.make 1000 'b') in
+  if a2 <= a1 then Alcotest.fail "shared medium must serialise transmissions"
+
+let suites =
+  [
+    ( "enet.wire",
+      [
+        qcheck (roundtrip Enet.Wire.Naive);
+        qcheck (roundtrip Enet.Wire.Optimized);
+        Alcotest.test_case "network byte order" `Quick test_network_byte_order;
+        Alcotest.test_case "implementations agree on octets" `Quick test_impls_agree;
+        Alcotest.test_case "naive costs 1-2 calls/byte" `Quick test_calls_per_byte;
+        Alcotest.test_case "reader underflow" `Quick test_reader_underflow;
+      ] );
+    ( "enet.netsim",
+      [
+        Alcotest.test_case "latency model" `Quick test_netsim_latency;
+        Alcotest.test_case "fifo delivery" `Quick test_netsim_fifo;
+        Alcotest.test_case "no early delivery" `Quick test_netsim_not_before_arrival;
+        Alcotest.test_case "medium serialises" `Quick test_netsim_medium_serialises;
+      ] );
+  ]

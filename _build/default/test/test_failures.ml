@@ -1,0 +1,218 @@
+(* Failure injection: node crashes.
+
+   Emerald's design brief (quoted in section 1): "node crashes are
+   considered normal, expected events.  We want to minimize residual
+   dependencies, e.g., by co-locating threads with the objects within
+   which they are executing."  These tests check exactly that: work whose
+   state is entirely elsewhere survives a crash; work whose call chain
+   passes through the dead node becomes unavailable rather than hanging. *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let check = Alcotest.check
+
+let spin_src =
+  {|
+object Spinner
+  operation spin[n : int] -> [r : int]
+    var i : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+      acc <- acc + i
+    end loop
+    r <- acc
+  end spin
+end Spinner
+|}
+
+let test_unrelated_node_crash_is_harmless () =
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax; A.sun3 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"spin" spin_src);
+  let s = Core.Cluster.create_object cl ~node:0 ~class_name:"Spinner" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:s ~op:"spin" ~args:[ V.Vint 100l ] in
+  (* run a little, then kill an uninvolved machine *)
+  for _ = 1 to 10 do
+    ignore (Core.Cluster.step_once cl)
+  done;
+  Core.Cluster.crash_node cl 2;
+  match Core.Cluster.run_until_result cl tid with
+  | Some (V.Vint v) -> check Alcotest.int "result" 5050 (Int32.to_int v)
+  | _ -> Alcotest.fail "expected a result"
+
+let remote_callee_src =
+  {|
+object Server
+  operation slow[n : int] -> [r : int]
+    var i : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+    end loop
+    r <- n
+  end slow
+end Server
+
+object Main
+  operation start[] -> [r : int]
+    var s : Server <- new Server
+    move s to 1
+    r <- s.slow[100000]
+  end start
+end Main
+|}
+
+let test_callee_node_crash_makes_thread_unavailable () =
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"crash" remote_callee_src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  (* run until the callee is grinding on node 1 *)
+  let rec until_remote n =
+    if n > 50_000 then Alcotest.fail "callee never started remotely";
+    if Ert.Kernel.live_segment_count (Core.Cluster.kernel cl 1) = 0 then begin
+      ignore (Core.Cluster.step_once cl);
+      until_remote (n + 1)
+    end
+  in
+  until_remote 0;
+  Core.Cluster.crash_node cl 1;
+  (match Core.Cluster.run_until_result cl tid with
+  | _ -> Alcotest.fail "the thread's callee died; it cannot produce a result"
+  | exception Core.Cluster.Thread_unavailable reason ->
+    if not (String.length reason > 0) then Alcotest.fail "empty reason");
+  check Alcotest.bool "failure recorded" true
+    (Core.Cluster.thread_failure cl tid <> None)
+
+let migrated_work_src =
+  {|
+object Agent
+  operation work[] -> [r : int]
+    move self to 1
+    var i : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= 50
+      i <- i + 1
+      acc <- acc + i
+    end loop
+    print["computed ", acc, " on node ", thisnode]
+    r <- acc
+  end work
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.work[]
+  end start
+end Main
+|}
+
+let test_migrated_work_survives_home_crash () =
+  (* the agent took its state with it; killing its birthplace severs only
+     the return path — the computation itself completes on node 1 *)
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.sun3 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"survive" migrated_work_src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  let rec until_arrived n =
+    if n > 50_000 then Alcotest.fail "agent never arrived";
+    if Ert.Kernel.live_segment_count (Core.Cluster.kernel cl 1) = 0 then begin
+      ignore (Core.Cluster.step_once cl);
+      until_arrived (n + 1)
+    end
+  in
+  until_arrived 0;
+  Core.Cluster.crash_node cl 0;
+  Core.Cluster.run cl;
+  (* the agent finished its computation on the surviving node... *)
+  let out = Core.Cluster.output cl ~node:1 in
+  if
+    not
+      (String.length out > 0
+      && String.length out >= 8
+      && String.sub out 0 8 = "computed")
+  then Alcotest.failf "agent did not finish on node 1 (output: %S)" out;
+  (* ...but the result had nowhere to return to *)
+  check Alcotest.bool "thread marked unavailable" true
+    (Core.Cluster.thread_failure cl tid <> None)
+
+let test_messages_to_dead_node_drop () =
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"drop" remote_callee_src);
+  Core.Cluster.crash_node cl 1;
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  (* the move to the dead node is dropped; the mover keeps running but its
+     invocation can never be served *)
+  match Core.Cluster.run_until_result cl ~max_events:200_000 tid with
+  | _ -> Alcotest.fail "expected unavailability"
+  | exception Core.Cluster.Thread_unavailable _ -> ()
+
+let moving_agent_src =
+  {|
+object Agent
+  operation go[] -> [r : int]
+    move self to 1
+    r <- thisnode
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.go[]
+  end start
+end Main
+|}
+
+let test_crash_while_move_in_flight () =
+  (* the destination dies while the move payload — object, monitor state
+     and the mover's activation records — is on the wire: the payload is
+     lost and the thread riding in it is aborted *)
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"inflight" moving_agent_src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  (* step until the agent has been evicted from the source but nothing has
+     arrived at the destination: the payload is in flight *)
+  let k1 = Core.Cluster.kernel cl 1 in
+  let rec until_in_flight n =
+    if n > 50_000 then Alcotest.fail "move never started";
+    if
+      Enet.Netsim.messages_sent (Core.Cluster.network cl) > 0
+      && Ert.Kernel.live_segment_count k1 = 0
+      && Ert.Kernel.objects k1 = []
+    then ()
+    else begin
+      ignore (Core.Cluster.step_once cl);
+      until_in_flight (n + 1)
+    end
+  in
+  until_in_flight 0;
+  Core.Cluster.crash_node cl 1;
+  (match Core.Cluster.run_until_result cl tid with
+  | _ -> Alcotest.fail "the mover rode in the lost payload"
+  | exception Core.Cluster.Thread_unavailable _ -> ());
+  check Alcotest.bool "failure recorded" true
+    (Core.Cluster.thread_failure cl tid <> None)
+
+let suites =
+  [
+    ( "failures",
+      [
+        Alcotest.test_case "unrelated crash is harmless" `Quick
+          test_unrelated_node_crash_is_harmless;
+        Alcotest.test_case "callee crash makes thread unavailable" `Quick
+          test_callee_node_crash_makes_thread_unavailable;
+        Alcotest.test_case "migrated work survives home crash" `Quick
+          test_migrated_work_survives_home_crash;
+        Alcotest.test_case "messages to dead nodes drop" `Quick
+          test_messages_to_dead_node_drop;
+        Alcotest.test_case "crash while a move is in flight" `Quick
+          test_crash_while_move_in_flight;
+      ] );
+  ]

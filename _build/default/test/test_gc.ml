@@ -1,0 +1,174 @@
+(* Garbage-collector tests: pointer identification through the bus-stop
+   templates, with threads suspended mid-computation. *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let check = Alcotest.check
+
+let garbage_src =
+  {|
+object Cell
+  var v : int <- 0
+  operation set[x : int]
+    v <- x
+  end set
+  operation get[] -> [r : int]
+    r <- v
+  end get
+end Cell
+
+object Main
+  var keep : Cell <- nil
+
+  operation churn[n : int] -> [r : int]
+    var i : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+      var tmp : Cell <- new Cell
+      tmp.set[i]
+      var s : string <- "garbage " + "string"
+      if s == "" then
+        keep <- tmp
+      end if
+    end loop
+    keep <- new Cell
+    keep.set[42]
+    r <- keep.get[]
+  end churn
+end Main
+|}
+
+let setup archs =
+  let cl = Core.Cluster.create ~archs () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"gc" garbage_src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  (cl, main)
+
+let test_collects_garbage () =
+  List.iter
+    (fun arch ->
+      let cl, main = setup [ arch ] in
+      let tid =
+        Core.Cluster.spawn cl ~node:0 ~target:main ~op:"churn"
+          ~args:[ V.Vint 50l ]
+      in
+      let r = Core.Cluster.run_until_result cl tid in
+      check Alcotest.int (arch.A.id ^ " result") 42
+        (match r with
+        | Some (V.Vint v) -> Int32.to_int v
+        | _ -> -1);
+      let k = Core.Cluster.kernel cl 0 in
+      let stats = Ert.Gc.collect ~extra_roots:[ main ] k in
+      (* 50 dead cells and 100+ dead strings must go *)
+      if stats.Ert.Gc.gc_swept < 50 then
+        Alcotest.failf "%s: expected >= 50 swept blocks, got %d" arch.A.id
+          stats.Ert.Gc.gc_swept;
+      if stats.Ert.Gc.gc_bytes_freed <= 0 then Alcotest.fail "no bytes freed")
+    A.all
+
+let test_preserves_reachable_mid_run () =
+  List.iter
+    (fun arch ->
+      let cl, main = setup [ arch ] in
+      let tid =
+        Core.Cluster.spawn cl ~node:0 ~target:main ~op:"churn"
+          ~args:[ V.Vint 30l ]
+      in
+      (* interleave collection with execution: every live value the thread
+         still needs is protected by the per-stop templates *)
+      let k = Core.Cluster.kernel cl 0 in
+      let steps = ref 0 in
+      let rec go () =
+        match Core.Cluster.result cl tid with
+        | Some r -> r
+        | None ->
+          if not (Core.Cluster.step_once cl) then Alcotest.fail "quiescent without result";
+          incr steps;
+          if !steps mod 7 = 0 then ignore (Ert.Gc.collect ~extra_roots:[ main ] k);
+          go ()
+      in
+      let r = go () in
+      check Alcotest.int (arch.A.id ^ " result") 42
+        (match r with
+        | Some (V.Vint v) -> Int32.to_int v
+        | _ -> -1))
+    [ A.vax; A.sun3; A.sparc ]
+
+let test_gc_idempotent () =
+  let cl, main = setup [ A.sparc ] in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"churn" ~args:[ V.Vint 10l ] in
+  ignore (Core.Cluster.run_until_result cl tid);
+  let k = Core.Cluster.kernel cl 0 in
+  ignore (Ert.Gc.collect ~extra_roots:[ main ] k);
+  let second = Ert.Gc.collect ~extra_roots:[ main ] k in
+  check Alcotest.int "second collection sweeps nothing" 0 second.Ert.Gc.gc_swept
+
+let test_gc_after_migration () =
+  (* after an object moves away, its stale blocks on the source are garbage
+     (the forwarding proxy is kept alive only while referenced) *)
+  let src =
+    {|
+object Agent
+  operation go[] -> [r : int]
+    var s : string <- "payload"
+    move self to 1
+    if s == "payload" then
+      r <- 7
+    else
+      r <- 0
+    end if
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.go[]
+  end start
+end Main
+|}
+  in
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"gcmove" src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  let r = Core.Cluster.run_until_result cl tid in
+  check Alcotest.int "result" 7
+    (match r with
+    | Some (V.Vint v) -> Int32.to_int v
+    | _ -> -1);
+  let s0 = Ert.Gc.collect ~extra_roots:[ main ] (Core.Cluster.kernel cl 0) in
+  let s1 = Ert.Gc.collect (Core.Cluster.kernel cl 1) in
+  if s0.Ert.Gc.gc_swept = 0 then Alcotest.fail "source node should have garbage";
+  ignore s1
+
+let test_automatic_collection () =
+  (* a tight threshold forces collections during the run; the program must
+     be unaffected and collections must actually happen *)
+  let cl = Core.Cluster.create ~gc_threshold:(8 * 1024) ~archs:[ A.sparc; A.vax ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"autogc" garbage_src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid =
+    Core.Cluster.spawn cl ~node:0 ~target:main ~op:"churn" ~args:[ V.Vint 200l ]
+  in
+  (match Core.Cluster.run_until_result cl tid with
+  | Some (V.Vint 42l) -> ()
+  | _ -> Alcotest.fail "wrong result under automatic GC");
+  if Core.Cluster.collections cl = 0 then
+    Alcotest.fail "expected at least one automatic collection"
+
+let suites =
+  [
+    ( "gc",
+      [
+        Alcotest.test_case "collects garbage on every architecture" `Quick
+          test_collects_garbage;
+        Alcotest.test_case "preserves reachable values mid-run" `Quick
+          test_preserves_reachable_mid_run;
+        Alcotest.test_case "idempotent" `Quick test_gc_idempotent;
+        Alcotest.test_case "after migration" `Quick test_gc_after_migration;
+        Alcotest.test_case "automatic collection" `Quick test_automatic_collection;
+      ] );
+  ]

@@ -1,0 +1,550 @@
+(* Cross-node tests: remote invocation, object and native-code thread
+   mobility among heterogeneous machines — the paper's core claims. *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let check = Alcotest.check
+
+let mk_cluster ?protocol ?wire_impl archs = Core.Cluster.create ?protocol ?wire_impl ~archs ()
+
+let run_main ?protocol cluster_archs src =
+  let cl = mk_cluster ?protocol cluster_archs in
+  ignore (Core.Cluster.compile_and_load cl ~name:"t" src);
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+  let r = Core.Cluster.run_until_result cl tid in
+  (r, cl)
+
+let expect_int ?protocol archs src expected =
+  let r, _ = run_main ?protocol archs src in
+  match r with
+  | Some (V.Vint v) -> check Alcotest.int "result" expected (Int32.to_int v)
+  | other ->
+    Alcotest.failf "expected int %d, got %s" expected
+      (match other with
+      | Some v -> Format.asprintf "%a" V.pp v
+      | None -> "none")
+
+(* Representative heterogeneous pairs, plus a homogeneous one *)
+let pairs =
+  [
+    [ A.sparc; A.sparc ];
+    [ A.sparc; A.sun3 ];
+    [ A.sparc; A.vax ];
+    [ A.vax; A.sun3 ];
+    [ A.hp9000_433; A.vax ];
+    [ A.sun3; A.hp9000_385 ];
+  ]
+
+let pair_name archs = String.concat "<->" (List.map (fun a -> a.A.id) archs)
+
+(* ----------------------------------------------------------------------- *)
+
+let remote_invocation_src =
+  {|
+object Worker
+  var calls : int <- 0
+  operation compute[a : int, b : int] -> [r : int]
+    calls <- calls + 1
+    r <- a * b + calls
+  end compute
+end Worker
+
+object Main
+  operation start[] -> [r : int]
+    var w : Worker <- new Worker
+    move w to 1
+    r <- w.compute[6, 7] + w.compute[0, 0]
+  end start
+end Main
+|}
+
+let test_remote_invocation () =
+  List.iter
+    (fun archs ->
+      (* 42+1 + 0+2 = 45 *)
+      expect_int archs remote_invocation_src 45)
+    pairs
+
+let migration_roundtrip_src =
+  {|
+object Agent
+  operation go[] -> [r : int]
+    var a : int <- 100
+    var b : int <- 23
+    var n0 : int <- thisnode
+    move self to 1
+    var n1 : int <- thisnode
+    move self to 0
+    var n2 : int <- thisnode
+    r <- a - b + (n1 - n0) * 10 + n2
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.go[]
+  end start
+end Main
+|}
+
+let test_migration_roundtrip () =
+  List.iter
+    (fun archs ->
+      (* 77 + 10 + 0 = 87, and thisnode must actually change *)
+      expect_int archs migration_roundtrip_src 87)
+    pairs
+
+(* all value types must survive translation between formats *)
+let typed_locals_src =
+  {|
+object Probe
+  operation id[] -> [r : int]
+    r <- 9
+  end id
+end Probe
+
+object Agent
+  operation go[p : Probe] -> [r : int]
+    var i : int <- -123456
+    var x : real <- 3.25
+    var b : bool <- true
+    var s : string <- "fourty-two"
+    var q : Probe <- p
+    var z : Probe <- nil
+    move self to 1
+    var ok : int <- 0
+    if i == -123456 then
+      ok <- ok + 1
+    end if
+    if x == 3.25 then
+      ok <- ok + 1
+    end if
+    if b then
+      ok <- ok + 1
+    end if
+    if s == "fourty-two" then
+      ok <- ok + 1
+    end if
+    if z == nil then
+      ok <- ok + 1
+    end if
+    ok <- ok + q.id[]
+    move self to 0
+    r <- ok
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var p : Probe <- new Probe
+    var a : Agent <- new Agent
+    r <- a.go[p]
+  end start
+end Main
+|}
+
+let test_typed_locals_migrate () =
+  List.iter (fun archs -> expect_int archs typed_locals_src 14) pairs
+
+(* the Table 1 workload: 13 live variables in the moved fragment *)
+let thirteen_vars_src =
+  {|
+object Agent
+  operation go[] -> [r : int]
+    var v1 : int <- 1
+    var v2 : int <- 2
+    var v3 : int <- 3
+    var v4 : int <- 4
+    var v5 : int <- 5
+    var v6 : int <- 6
+    var v7 : int <- 7
+    var v8 : int <- 8
+    var v9 : int <- 9
+    var v10 : int <- 10
+    var v11 : real <- 11.5
+    var v12 : string <- "twelve"
+    var v13 : bool <- true
+    move self to 1
+    move self to 0
+    var acc : int <- v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + v10
+    if v11 == 11.5 then
+      acc <- acc + 100
+    end if
+    if v12 == "twelve" then
+      acc <- acc + 1000
+    end if
+    if v13 then
+      acc <- acc + 10000
+    end if
+    r <- acc
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.go[]
+  end start
+end Main
+|}
+
+let test_thirteen_variables () =
+  List.iter (fun archs -> expect_int archs thirteen_vars_src 11155) pairs
+
+(* Example 1 of the paper: X on node A invokes an operation in Y on node B;
+   the operation moves X to node C; when the thread returns from Y it must
+   resume on node C. *)
+let example1_src =
+  {|
+object Y
+  operation relocate[x : X] -> [r : int]
+    move x to 2
+    r <- 5
+  end relocate
+end Y
+
+object X
+  operation run[y : Y] -> [r : int]
+    var before : int <- thisnode
+    var got : int <- y.relocate[self]
+    var after : int <- thisnode
+    r <- before * 100 + after * 10 + got
+  end run
+end X
+
+object Main
+  operation start[] -> [r : int]
+    var y : Y <- new Y
+    var x : X <- new X
+    move y to 1
+    r <- x.run[y]
+  end start
+end Main
+|}
+
+let test_example_1 () =
+  List.iter
+    (fun third ->
+      let archs = [ A.sparc; A.sun3; third ] in
+      (* before = 0, after = 2, got = 5 -> 25 *)
+      expect_int archs example1_src 25)
+    [ A.vax; A.hp9000_433; A.sparc ]
+
+(* recursion: a stack of activation records all belonging to the moving
+   object migrates en bloc *)
+let deep_stack_src =
+  {|
+object Agent
+  operation down[n : int] -> [r : int]
+    if n == 0 then
+      move self to 1
+      r <- thisnode * 1000
+    else
+      r <- self.down[n - 1] + n
+    end if
+  end down
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.down[12]
+  end start
+end Main
+|}
+
+let test_deep_stack_migrates () =
+  (* 1000 + sum 1..12 = 1078 *)
+  List.iter (fun archs -> expect_int archs deep_stack_src 1078) pairs
+
+(* attached objects move with their parent; plain references become remote *)
+let attached_src =
+  {|
+object Cell
+  var v : int <- 0
+  operation set[x : int]
+    v <- x
+  end set
+  operation get[] -> [r : int]
+    r <- v
+  end get
+end Cell
+
+object Box
+  attached var near : Cell <- nil
+  var far : Cell <- nil
+
+  operation initially[]
+    near <- new Cell
+    far <- new Cell
+  end initially
+
+  operation fill[a : int, b : int]
+    near.set[a]
+    far.set[b]
+  end fill
+
+  operation readout[] -> [r : int]
+    r <- near.get[] * 100 + far.get[] + locate[near] * 10000 + locate[far] * 1000
+  end readout
+end Box
+
+object Main
+  operation start[] -> [r : int]
+    var b : Box <- new Box
+    b.fill[7, 9]
+    move b to 1
+    r <- b.readout[]
+  end start
+end Main
+|}
+
+let test_attached_objects () =
+  List.iter
+    (fun archs ->
+      (* near is attached: it moves to node 1 (locate 1); far stays on node
+         0; readout runs on node 1: 1*10000 + 0*1000 + 7*100 + 9 = 10709 *)
+      expect_int archs attached_src 10709)
+    pairs
+
+(* monitor state must move: lock and waiter, preserving mutual exclusion *)
+let monitor_move_src =
+  {|
+object Shared
+  var hits : int <- 0
+  monitor operation bump[n : int] -> [r : int]
+    hits <- hits + n
+    r <- hits
+  end bump
+end Shared
+
+object Agent
+  operation go[s : Shared] -> [r : int]
+    var one : int <- s.bump[1]
+    move self to 1
+    var two : int <- s.bump[10]
+    move s to 1
+    var three : int <- s.bump[100]
+    r <- three
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var s : Shared <- new Shared
+    var a : Agent <- new Agent
+    r <- a.go[s]
+  end start
+end Main
+|}
+
+let test_monitor_moves () =
+  List.iter (fun archs -> expect_int archs monitor_move_src 111) pairs
+
+(* two root threads contending on one monitored object that migrates *)
+let contention_src =
+  {|
+object Shared
+  var count : int <- 0
+  monitor operation add[n : int] -> [r : int]
+    count <- count + n
+    r <- count
+  end add
+end Shared
+
+object Spinner
+  operation spin[s : Shared, rounds : int] -> [r : int]
+    var i : int <- 0
+    var last : int <- 0
+    loop
+      exit when i >= rounds
+      i <- i + 1
+      last <- s.add[1]
+    end loop
+    r <- last
+  end spin
+end Spinner
+|}
+
+let test_monitor_contention_across_move () =
+  List.iter
+    (fun archs ->
+      let cl = mk_cluster archs in
+      ignore (Core.Cluster.compile_and_load cl ~name:"contend" contention_src);
+      let s = Core.Cluster.create_object cl ~node:0 ~class_name:"Shared" in
+      let sp0 = Core.Cluster.create_object cl ~node:0 ~class_name:"Spinner" in
+      let sp1 = Core.Cluster.create_object cl ~node:1 ~class_name:"Spinner" in
+      let t0 =
+        Core.Cluster.spawn cl ~node:0 ~target:sp0 ~op:"spin"
+          ~args:[ V.Vref s; V.Vint 25l ]
+      in
+      let t1 =
+        Core.Cluster.spawn cl ~node:1 ~target:sp1 ~op:"spin"
+          ~args:[ V.Vref s; V.Vint 25l ]
+      in
+      Core.Cluster.run cl;
+      let final t =
+        match Core.Cluster.result cl t with
+        | Some (Some (V.Vint v)) -> Int32.to_int v
+        | _ -> Alcotest.failf "%s: thread did not finish" (pair_name archs)
+      in
+      let f0 = final t0 and f1 = final t1 in
+      (* every increment must be applied exactly once *)
+      check Alcotest.int (pair_name archs ^ " total") 50 (max f0 f1))
+    pairs
+
+let test_original_protocol_homogeneous () =
+  expect_int ~protocol:Core.Cluster.Original [ A.sparc; A.sparc ]
+    migration_roundtrip_src 87
+
+let test_original_protocol_rejects_heterogeneous () =
+  match
+    run_main ~protocol:Core.Cluster.Original [ A.sparc; A.vax ] migration_roundtrip_src
+  with
+  | _ -> Alcotest.fail "the original system must not migrate heterogeneously"
+  | exception Core.Cluster.Heterogeneous_move_in_original_protocol -> ()
+
+let test_determinism () =
+  let run () =
+    let r, cl = run_main [ A.sparc; A.sun3; A.vax ] migration_roundtrip_src in
+    ( (match r with
+      | Some (V.Vint v) -> Int32.to_int v
+      | _ -> -1),
+      Core.Cluster.global_time_us cl,
+      Core.Cluster.events_processed cl )
+  in
+  let r1, t1, e1 = run () in
+  let r2, t2, e2 = run () in
+  check Alcotest.int "same result" r1 r2;
+  check (Alcotest.float 0.0) "same virtual time" t1 t2;
+  check Alcotest.int "same event count" e1 e2
+
+(* object moved while threads still hold references: calls are forwarded
+   through the proxy chain *)
+let forwarding_src =
+  {|
+object Target
+  var v : int <- 0
+  operation poke[] -> [r : int]
+    v <- v + 1
+    r <- v * 10 + thisnode
+  end poke
+end Target
+
+object Main
+  operation start[] -> [r : int]
+    var t : Target <- new Target
+    move t to 1
+    var a : int <- t.poke[]
+    move t to 2
+    var b : int <- t.poke[]
+    move t to 0
+    var c : int <- t.poke[]
+    r <- a * 10000 + b * 100 + c
+  end start
+end Main
+|}
+
+let test_forwarding_chains () =
+  List.iter
+    (fun third ->
+      let archs = [ A.sparc; A.sun3; third ] in
+      (* a=11, b=22, c=30 -> 11*10000+22*100+30 = 112230 *)
+      expect_int archs forwarding_src 112230)
+    [ A.vax; A.hp9000_385 ]
+
+(* moving a non-resident object: the request is forwarded to its host *)
+let move_remote_src =
+  {|
+object Target
+  operation here[] -> [r : int]
+    r <- thisnode
+  end here
+end Target
+
+object Main
+  operation start[] -> [r : int]
+    var t : Target <- new Target
+    move t to 1
+    var a : int <- t.here[]
+    move t to 2
+    var b : int <- t.here[]
+    r <- a * 10 + b
+  end start
+end Main
+|}
+
+let test_move_of_remote_object () =
+  let archs = [ A.sparc; A.vax; A.sun3 ] in
+  (* after 'move t to 1', t is not local; 'move t to 2' forwards a request *)
+  expect_int archs move_remote_src 12
+
+(* migrating computation mid-loop (the thread is at a loop-bottom poll) *)
+let loop_migration_src =
+  {|
+object Agent
+  operation go[] -> [r : int]
+    var i : int <- 0
+    var sum : int <- 0
+    loop
+      exit when i >= 20
+      i <- i + 1
+      sum <- sum + i
+      if i == 10 then
+        move self to 1
+      end if
+    end loop
+    r <- sum * 10 + thisnode
+  end go
+end Agent
+
+object Main
+  operation start[] -> [r : int]
+    var a : Agent <- new Agent
+    r <- a.go[]
+  end start
+end Main
+|}
+
+let test_loop_migration () =
+  List.iter (fun archs -> expect_int archs loop_migration_src 2101) pairs
+
+let suites =
+  [
+    ( "mobility.rpc",
+      [
+        Alcotest.test_case "remote invocation" `Quick test_remote_invocation;
+        Alcotest.test_case "forwarding chains" `Quick test_forwarding_chains;
+        Alcotest.test_case "move of a remote object" `Quick test_move_of_remote_object;
+      ] );
+    ( "mobility.threads",
+      [
+        Alcotest.test_case "migration round trip (all pairs)" `Quick
+          test_migration_roundtrip;
+        Alcotest.test_case "typed locals survive translation" `Quick
+          test_typed_locals_migrate;
+        Alcotest.test_case "13-variable thread (Table 1 workload)" `Quick
+          test_thirteen_variables;
+        Alcotest.test_case "paper Example 1" `Quick test_example_1;
+        Alcotest.test_case "deep stacks migrate" `Quick test_deep_stack_migrates;
+        Alcotest.test_case "migration at a loop poll" `Quick test_loop_migration;
+      ] );
+    ( "mobility.objects",
+      [
+        Alcotest.test_case "attached objects move together" `Quick test_attached_objects;
+        Alcotest.test_case "monitor state moves" `Quick test_monitor_moves;
+        Alcotest.test_case "monitor contention across moves" `Quick
+          test_monitor_contention_across_move;
+      ] );
+    ( "mobility.protocols",
+      [
+        Alcotest.test_case "original protocol, homogeneous" `Quick
+          test_original_protocol_homogeneous;
+        Alcotest.test_case "original protocol rejects heterogeneous" `Quick
+          test_original_protocol_rejects_heterogeneous;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+      ] );
+  ]

@@ -1,0 +1,222 @@
+(* Emerald process sections: objects with a thread of their own, started
+   at creation, schedulable alongside invocations — and mobile like any
+   other thread state. *)
+
+module A = Isa.Arch
+module V = Ert.Value
+
+let check = Alcotest.check
+
+let producer_consumer_src =
+  {|
+object Buffer
+  var slot : int <- 0
+  var full : bool <- false
+  var taken : int <- 0
+
+  monitor operation put[v : int] -> [r : bool]
+    if full then
+      r <- false
+    else
+      slot <- v
+      full <- true
+      r <- true
+    end if
+  end put
+
+  monitor operation take[] -> [r : int]
+    if full then
+      full <- false
+      taken <- taken + 1
+      r <- slot
+    else
+      r <- 0 - 1
+    end if
+  end take
+
+  monitor operation consumed[] -> [r : int]
+    r <- taken
+  end consumed
+end Buffer
+
+object Producer
+  var buf : Buffer <- nil
+  var n : int <- 0
+
+  operation initially[b : Buffer, count : int]
+    buf <- b
+    n <- count
+  end initially
+
+  process
+    var sent : int <- 0
+    loop
+      exit when sent >= n
+      if buf.put[sent + 1] then
+        sent <- sent + 1
+      end if
+    end loop
+  end process
+end Producer
+
+object Main
+  operation start[] -> [r : int]
+    var b : Buffer <- new Buffer
+    var p : Producer <- new Producer[b, 10]
+    var got : int <- 0
+    var sum : int <- 0
+    loop
+      exit when got >= 10
+      var v : int <- b.take[]
+      if v > 0 then
+        got <- got + 1
+        sum <- sum + v
+      end if
+    end loop
+    r <- sum
+  end start
+end Main
+|}
+
+let test_producer_consumer () =
+  List.iter
+    (fun arch ->
+      let cl = Core.Cluster.create ~archs:[ arch ] () in
+      ignore (Core.Cluster.compile_and_load cl ~name:"pc" producer_consumer_src);
+      let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+      let tid = Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[] in
+      match Core.Cluster.run_until_result cl tid with
+      | Some (V.Vint v) -> check Alcotest.int (arch.A.id ^ " sum") 55 (Int32.to_int v)
+      | _ -> Alcotest.fail "no result")
+    [ A.vax; A.sun3; A.sparc ]
+
+let self_moving_src =
+  {|
+object Roamer
+  var log : Signal <- nil
+
+  operation initially[s : Signal]
+    log <- s
+  end initially
+
+  process
+    log.ping[thisnode]
+    move self to 1
+    log.ping[thisnode]
+    move self to 2
+    log.ping[thisnode]
+  end process
+end Roamer
+
+object Signal
+  var trail : int <- 0
+  var pings : int <- 0
+
+  monitor operation ping[node : int]
+    trail <- trail * 10 + node + 1
+    pings <- pings + 1
+  end ping
+
+  monitor operation read[] -> [r : int]
+    r <- trail * 100 + pings
+  end read
+end Signal
+
+object Main
+  operation start[s : Signal] -> [r : int]
+    var roamer : Roamer <- new Roamer[s]
+    r <- 1
+  end start
+end Main
+|}
+
+let test_process_thread_migrates_itself () =
+  (* an object born with a process that immediately roams the cluster:
+     mobile by birth *)
+  let cl = Core.Cluster.create ~archs:[ A.sparc; A.vax; A.sun3 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"roam" self_moving_src);
+  let signal = Core.Cluster.create_object cl ~node:0 ~class_name:"Signal" in
+  let main = Core.Cluster.create_object cl ~node:0 ~class_name:"Main" in
+  let tid =
+    Core.Cluster.spawn cl ~node:0 ~target:main ~op:"start" ~args:[ V.Vref signal ]
+  in
+  ignore (Core.Cluster.run_until_result cl tid);
+  (* the creator finished long ago; let the roamer's process drain *)
+  Core.Cluster.run cl;
+  let t2 = Core.Cluster.spawn cl ~node:0 ~target:signal ~op:"read" ~args:[] in
+  (match Core.Cluster.run_until_result cl t2 with
+  | Some (V.Vint v) ->
+    (* trail = ((1)*10+2)*10+3 = 123, pings = 3 *)
+    check Alcotest.int "trail and ping count" 12303 (Int32.to_int v)
+  | _ -> Alcotest.fail "no result");
+  check (Alcotest.option Alcotest.int) "roamer ended on node 2" (Some 2)
+    (let rec find i =
+       if i >= 3 then None
+       else
+         match
+           List.find_opt
+             (fun (oid, _) ->
+               match
+                 Emc.Compile.find_class
+                   (Ert.Kernel.program (Core.Cluster.kernel cl i))
+                   "Roamer"
+               with
+               | Some cc -> (
+                 match
+                   Ert.Kernel.find_object (Core.Cluster.kernel cl i) oid
+                 with
+                 | Some addr ->
+                   Ert.Kernel.class_of_object (Core.Cluster.kernel cl i) addr
+                   = cc.Emc.Compile.cc_index
+                 | None -> false)
+               | None -> false)
+             (Ert.Kernel.objects (Core.Cluster.kernel cl i))
+         with
+         | Some _ -> Some i
+         | None -> find (i + 1)
+     in
+     find 0)
+
+let test_harness_created_process () =
+  (* Cluster.create_object starts the process too *)
+  let src =
+    {|
+object Ticker
+  var n : int <- 0
+  monitor operation count[] -> [r : int]
+    r <- n
+  end count
+  process
+    var i : int <- 0
+    loop
+      exit when i >= 5
+      i <- i + 1
+      n <- n + 1
+    end loop
+  end process
+end Ticker
+|}
+  in
+  let cl = Core.Cluster.create ~archs:[ A.hp9000_433 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"tick" src);
+  let ticker = Core.Cluster.create_object cl ~node:0 ~class_name:"Ticker" in
+  Core.Cluster.run cl;
+  let t = Core.Cluster.spawn cl ~node:0 ~target:ticker ~op:"count" ~args:[] in
+  match Core.Cluster.run_until_result cl t with
+  | Some (V.Vint 5l) -> ()
+  | other ->
+    Alcotest.failf "expected 5, got %s"
+      (match other with
+      | Some v -> Format.asprintf "%a" V.pp v
+      | None -> "none")
+
+let suites =
+  [
+    ( "process",
+      [
+        Alcotest.test_case "producer/consumer" `Quick test_producer_consumer;
+        Alcotest.test_case "process thread migrates itself" `Quick
+          test_process_thread_migrates_itself;
+        Alcotest.test_case "harness-created process" `Quick test_harness_created_process;
+      ] );
+  ]
