@@ -95,5 +95,17 @@ let () =
         (Ert.Kernel.syscalls_handled k)
         (Format.asprintf "%a" Enet.Conversion_stats.pp (Core.Cluster.conversion_stats cl i))
         (Mobility.Code_repository.fetches_by_node (Core.Cluster.repository cl) i)
-    done
+    done;
+    for i = 0 to Core.Cluster.n_nodes cl - 1 do
+      let c = Core.Cluster.node_counters cl i in
+      let open Core.Events in
+      Printf.printf
+        "node %d bus: %8d steps, %3d sent, %3d delivered, %2d moves out, %2d in, %4d conv calls\n"
+        i c.c_steps c.c_sent c.c_delivered c.c_moves_out c.c_moves_in
+        c.c_conv_calls
+    done;
+    let e = Core.Cluster.engine cl in
+    Printf.printf "engine: %d pushes, %d pops (%d stale), %d pending\n"
+      (Core.Engine.pushes e) (Core.Engine.pops e) (Core.Engine.stale_pops e)
+      (Core.Engine.pending e)
   end

@@ -2,15 +2,21 @@ module K = Ert.Kernel
 module T = Ert.Thread
 module CS = Enet.Conversion_stats
 module CM = Mobility.Cost_model
+module E = Events
 
 type protocol =
   | Enhanced
   | Original
 
+type scheduler =
+  | Heap
+  | Scan
+
 exception Heterogeneous_move_in_original_protocol
 
 type node = {
   n_kernel : K.t;
+  n_clock : Sim.Clock.t;  (* == K.clock n_kernel, cached for the hot loop *)
   n_conv : CS.t;
   mutable n_crashed : bool;
 }
@@ -28,17 +34,38 @@ type t = {
   repo : Mobility.Code_repository.t;
   proto : protocol;
   wire_impl : Enet.Wire.impl;
+  sched : scheduler;
+  engine : Engine.t;
+  bus : E.bus;
   mutable events : int;
   mutable trace : (string -> unit) option;
   failures : (T.tid, string) Hashtbl.t;  (* threads lost to node crashes *)
   searches : (Ert.Oid.t, search) Hashtbl.t;
   gc_threshold : int option;  (* collect a node when its heap exceeds this *)
+  gc_threshold_i : int;  (* same, resolved to max_int when absent (hot-loop form) *)
   mutable pinned : Ert.Oid.t list;  (* harness-held references: GC roots *)
   mutable collections : int;
+  root_done : (T.tid, Ert.Value.t option) Hashtbl.t;
 }
 
-let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive) ?quantum
-    ?gc_threshold ~archs () =
+let emit t ev =
+  E.emit t.bus ev;
+  match t.trace with
+  | None -> ()
+  | Some f -> ( match E.legacy_string ev with Some s -> f s | None -> ())
+
+(* (re)queue a scheduling slice for the node, at its current virtual
+   time; the engine dedups, so this is cheap to call after anything
+   that might have woken a segment *)
+let ensure_step t i =
+  if t.sched = Heap then begin
+    let n = t.nodes.(i) in
+    if (not n.n_crashed) && K.has_ready n.n_kernel then
+      Engine.schedule t.engine ~at:(K.time_us n.n_kernel) (Engine.Step i)
+  end
+
+let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
+    ?(scheduler = Heap) ?quantum ?gc_threshold ~archs () =
   let n = List.length archs in
   let net = Enet.Netsim.create ?config:net_config ~n_nodes:n () in
   let repo = Mobility.Code_repository.create () in
@@ -51,30 +78,44 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive) ?qu
                Mobility.Code_repository.record_fetch repo ~node:i ~class_index;
                K.charge_insns k CM.code_fetch_insns);
            K.set_quantum k quantum;
-           { n_kernel = k; n_conv = CS.create (); n_crashed = false })
+           { n_kernel = k; n_clock = K.clock k; n_conv = CS.create ();
+             n_crashed = false })
          archs)
   in
-  { nodes; net; repo; proto = protocol; wire_impl; events = 0; trace = None;
-    failures = Hashtbl.create 4; searches = Hashtbl.create 4;
-    gc_threshold = gc_threshold; pinned = []; collections = 0 }
+  let t =
+    { nodes; net; repo; proto = protocol; wire_impl; sched = scheduler;
+      engine = Engine.create ~n_nodes:n (); bus = E.create_bus ~n_nodes:n;
+      events = 0; trace = None;
+      failures = Hashtbl.create 4; searches = Hashtbl.create 4;
+      gc_threshold = gc_threshold;
+      gc_threshold_i = (match gc_threshold with Some v -> v | None -> max_int);
+      pinned = []; collections = 0;
+      root_done = Hashtbl.create 4 }
+  in
+  Array.iter
+    (fun node ->
+      K.set_on_root_result node.n_kernel (fun ~thread r ->
+          Hashtbl.replace t.root_done thread r))
+    t.nodes;
+  if scheduler = Heap then
+    Enet.Netsim.set_on_arrival net (fun ~dst ~at ->
+        Engine.schedule t.engine ~at (Engine.Deliver dst));
+  t
 
 let protocol t = t.proto
+let scheduler t = t.sched
 let n_nodes t = Array.length t.nodes
 let kernel t i = t.nodes.(i).n_kernel
 let kernels t = Array.map (fun n -> n.n_kernel) t.nodes
 let arch_of t i = K.arch (kernel t i)
 let repository t = t.repo
 let network t = t.net
+let engine t = t.engine
 let conversion_stats t i = t.nodes.(i).n_conv
 let set_trace t f = t.trace <- Some f
-
-let tracef t fmt =
-  Format.kasprintf
-    (fun m ->
-      match t.trace with
-      | Some f -> f m
-      | None -> ())
-    fmt
+let subscribe_events t f = E.subscribe t.bus f
+let node_counters t i = E.counters t.bus i
+let total_counter t f = E.total t.bus f
 
 let load_program t prog = Array.iter (fun n -> K.load_program n.n_kernel prog) t.nodes
 
@@ -99,6 +140,7 @@ let create_object t ~node ~class_name =
     let oid = K.oid_at k addr in
     (* harness-held references pin their objects against automatic GC *)
     t.pinned <- oid :: t.pinned;
+    ensure_step t node;
     oid
 
 let where_is t oid =
@@ -117,7 +159,10 @@ let spawn t ~node ~target ~op ~args =
     invalid_arg
       (Printf.sprintf "Cluster.spawn: %s is not resident on node %d"
          (Ert.Oid.to_string target) node)
-  | Some addr -> K.spawn_root k ~target_addr:addr ~method_name:op ~args
+  | Some addr ->
+    let tid = K.spawn_root k ~target_addr:addr ~method_name:op ~args in
+    ensure_step t node;
+    tid
 
 (* ----------------------------------------------------------------------- *)
 (* node crashes (failure injection) *)
@@ -131,7 +176,7 @@ let thread_failure t tid = Hashtbl.find_opt t.failures tid
 let abort_thread t tid ~reason =
   if not (Hashtbl.mem t.failures tid) then begin
     Hashtbl.replace t.failures tid reason;
-    tracef t "thread %d unavailable: %s" tid reason;
+    emit t (E.Ev_thread_lost { thread = tid; reason });
     Array.iter
       (fun n ->
         if not n.n_crashed then
@@ -169,7 +214,7 @@ and search_negative t obj =
     s.s_awaiting <- s.s_awaiting - 1;
     if s.s_awaiting <= 0 then begin
       Hashtbl.remove t.searches obj;
-      tracef t "search for %s: not found anywhere" (Ert.Oid.to_string obj);
+      emit t (E.Ev_search_failed { obj });
       List.iter
         (fun msg ->
           drop_message t msg
@@ -181,7 +226,7 @@ and search_negative t obj =
 let crash_node t i =
   let victim = t.nodes.(i) in
   if not victim.n_crashed then begin
-    tracef t "node %d crashes" i;
+    emit t (E.Ev_crash { node = i });
     (* a thread whose ACTIVE segment (ready, running or blocked on a local
        monitor) dies with the node can never make progress: abort its
        remnants now.  A thread that merely had a dormant awaiting segment
@@ -249,9 +294,10 @@ let check_protocol t ~src ~dst (msg : Mobility.Marshal.message) =
    decoding [bytes] of network data *)
 let charge_conversion t ~node ~calls ~bytes =
   let k = t.nodes.(node).n_kernel in
-  match t.proto with
+  (match t.proto with
   | Enhanced -> K.charge_insns k (calls * CM.per_conversion_call_insns)
-  | Original -> K.charge_insns k (bytes * CM.original_copy_insns_per_byte)
+  | Original -> K.charge_insns k (bytes * CM.original_copy_insns_per_byte));
+  if calls > 0 || bytes > 0 then emit t (E.Ev_conversion { node; calls; bytes })
 
 let charge_translation t ~node (msg : Mobility.Marshal.message) =
   match t.proto with
@@ -271,8 +317,8 @@ let send_message t ~src (s : Mobility.Move.send) =
   let dst = s.Mobility.Move.snd_dest in
   let msg = s.Mobility.Move.snd_msg in
   if t.nodes.(dst).n_crashed then begin
-    tracef t "node %d -> node %d: %s LOST (destination down)" src dst
-      (Mobility.Marshal.describe msg);
+    emit t
+      (E.Ev_msg_lost { src; dst; desc = Mobility.Marshal.describe msg });
     drop_message t msg ~reason:(Printf.sprintf "node %d is down" dst)
   end
   else begin
@@ -289,10 +335,10 @@ let send_message t ~src (s : Mobility.Move.send) =
   let arrival =
     Enet.Netsim.send t.net ~now_us:(K.time_us k) ~src ~dst ~payload
   in
-  tracef t "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)" (K.time_us k) src
-    dst
-    (Mobility.Marshal.describe msg)
-    (String.length payload) arrival
+  emit t
+    (E.Ev_msg_send
+       { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
+         bytes = String.length payload; arrives = arrival })
   end
 
 (* Emerald's broadcast location search: probe every live node; park the
@@ -310,8 +356,7 @@ let start_search t ~asker obj msg =
       drop_message t msg
         ~reason:(Printf.sprintf "object %s cannot be located" (Ert.Oid.to_string obj))
     | probes ->
-      tracef t "node %d searches for %s (%d probes)" asker (Ert.Oid.to_string obj)
-        (List.length probes);
+      emit t (E.Ev_search_start { node = asker; obj; probes = List.length probes });
       Hashtbl.replace t.searches obj
         { s_asker = asker; s_pending = [ msg ]; s_awaiting = List.length probes };
       List.iter
@@ -340,9 +385,10 @@ and handle_outcall t ~src (oc : K.outcall) =
       Mobility.Rpc.initiate_invoke ~k ~target_oid ~hint_node ~callee_class
         ~callee_method ~args ~caller_seg:seg.T.seg_id ~thread:seg.T.seg_thread
     | K.Oc_move { seg; obj_addr; dest_node } ->
-      tracef t "t=%.0fus node %d: move %s to node %d" (K.time_us k) src
-        (Ert.Oid.to_string (K.oid_at k obj_addr))
-        dest_node;
+      emit t
+        (E.Ev_move_start
+           { time = K.time_us k; node = src; obj = K.oid_at k obj_addr;
+             dest = dest_node });
       quiesce_node t src;
       Mobility.Move.initiate ~k ~mover:seg ~obj_addr ~dest:dest_node
     | K.Oc_return { link; value; thread } ->
@@ -379,8 +425,9 @@ let deliver t ~dst (m : Enet.Netsim.message) =
   charge_conversion t ~node:dst ~calls:(CS.calls stats - calls0)
     ~bytes:(CS.bytes stats - bytes0);
   charge_translation t ~node:dst msg;
-  tracef t "t=%.0fus node %d receives: %s" (K.time_us k) dst
-    (Mobility.Marshal.describe msg);
+  emit t
+    (E.Ev_msg_deliver
+       { time = K.time_us k; node = dst; desc = Mobility.Marshal.describe msg });
   let sends =
     match msg with
     | Mobility.Marshal.M_invoke
@@ -400,13 +447,14 @@ let deliver t ~dst (m : Enet.Netsim.message) =
       quiesce_node t dst;
       Mobility.Move.handle_move_req ~k ~obj ~dest ~forwards
     | Mobility.Marshal.M_move payload ->
-      Mobility.Move.apply_move k payload;
-      let frames =
-        List.fold_left
-          (fun acc s -> acc + Mobility.Mi_frame.frame_count s)
-          0 payload.Mobility.Marshal.mp_segments
-      in
-      K.charge_insns k (frames * CM.relocation_insns_per_frame);
+      let mstats = Mobility.Move.apply_move k payload in
+      K.charge_insns k (mstats.Mobility.Move.ap_frames * CM.relocation_insns_per_frame);
+      emit t
+        (E.Ev_move_finish
+           { time = K.time_us k; node = dst;
+             objects = mstats.Mobility.Move.ap_objects;
+             segments = mstats.Mobility.Move.ap_segments;
+             frames = mstats.Mobility.Move.ap_frames });
       []
     | Mobility.Marshal.M_start_process { obj; forwards } -> (
       match K.find_object k obj with
@@ -441,7 +489,7 @@ let deliver t ~dst (m : Enet.Netsim.message) =
         if found then begin
           let host = m.Enet.Netsim.msg_src in
           Hashtbl.remove t.searches obj;
-          tracef t "search for %s: found on node %d" (Ert.Oid.to_string obj) host;
+          emit t (E.Ev_search_found { obj; node = host });
           (* refresh the local forwarding hint *)
           let addr = K.ensure_ref k obj in
           K.set_proxy_hint k ~addr ~node:host;
@@ -459,11 +507,30 @@ let deliver t ~dst (m : Enet.Netsim.message) =
 (* ----------------------------------------------------------------------- *)
 (* the discrete-event loop *)
 
-type event =
+(* automatic collection: between events every segment is parked at a bus
+   stop, so the templates identify every pointer *)
+let do_collect t i =
+  let k = t.nodes.(i).n_kernel in
+  let stats = Ert.Gc.collect ~extra_roots:t.pinned k in
+  t.collections <- t.collections + 1;
+  K.charge_insns k (2000 + (stats.Ert.Gc.gc_live * 40));
+  emit t
+    (E.Ev_gc
+       { time = K.time_us k; node = i; swept = stats.Ert.Gc.gc_swept;
+         live = stats.Ert.Gc.gc_live; bytes_freed = stats.Ert.Gc.gc_bytes_freed })
+
+let over_gc_threshold t i =
+  Ert.Heap.live_bytes (K.heap (t.nodes.(i).n_kernel)) > t.gc_threshold_i
+
+(* --- the seed's O(nodes) selection scan, kept as the [Scan] scheduler
+   (the heap engine is cross-checked against it, and the scaling
+   benchmark measures the difference) --- *)
+
+type scan_event =
   | E_deliver of int * float
   | E_step of int * float
 
-let next_event t =
+let next_event_scan t =
   let best = ref None in
   let better time =
     match !best with
@@ -489,43 +556,127 @@ let next_event t =
     t.nodes;
   !best
 
-(* automatic collection: between events every segment is parked at a bus
-   stop, so the templates identify every pointer *)
-let maybe_collect t i =
-  match t.gc_threshold with
+let exec_deliver t i eff =
+  t.events <- t.events + 1;
+  match Enet.Netsim.receive t.net ~dst:i ~now_us:eff with
+  | Some m when t.nodes.(i).n_crashed ->
+    let stats = CS.create () in
+    let msg =
+      Mobility.Marshal.decode ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload
+    in
+    emit t (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
+    drop_message t msg ~reason:(Printf.sprintf "node %d is down" i)
+  | Some m -> deliver t ~dst:i m
   | None -> ()
-  | Some threshold ->
-    let k = t.nodes.(i).n_kernel in
-    if Ert.Heap.live_bytes (K.heap k) > threshold then begin
-      let stats = Ert.Gc.collect ~extra_roots:t.pinned k in
-      t.collections <- t.collections + 1;
-      K.charge_insns k (2000 + (stats.Ert.Gc.gc_live * 40));
-      tracef t "t=%.0fus node %d: gc swept %d block(s), %d bytes" (K.time_us k) i
-        stats.Ert.Gc.gc_swept stats.Ert.Gc.gc_bytes_freed
-    end
 
-let step_once t =
-  match next_event t with
+let exec_step t i ~time =
+  t.events <- t.events + 1;
+  let k = t.nodes.(i).n_kernel in
+  E.emit_step t.bus ~node:i ~time;
+  match K.step k with
+  | [] -> ()
+  | outs -> List.iter (handle_outcall t ~src:i) outs
+
+let step_once_scan t =
+  match next_event_scan t with
   | None -> false
   | Some (E_deliver (i, eff)) ->
-    t.events <- t.events + 1;
-    (match Enet.Netsim.receive t.net ~dst:i ~now_us:eff with
-    | Some m when t.nodes.(i).n_crashed ->
-      let stats = CS.create () in
-      let msg =
-        Mobility.Marshal.decode ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload
-      in
-      tracef t "node %d (down) loses: %s" i (Mobility.Marshal.describe msg);
-      drop_message t msg ~reason:(Printf.sprintf "node %d is down" i)
-    | Some m -> deliver t ~dst:i m
-    | None -> ());
+    exec_deliver t i eff;
     true
-  | Some (E_step (i, _)) ->
-    t.events <- t.events + 1;
-    let outs = K.step t.nodes.(i).n_kernel in
-    List.iter (handle_outcall t ~src:i) outs;
-    maybe_collect t i;
+  | Some (E_step (i, time)) ->
+    exec_step t i ~time;
+    if over_gc_threshold t i then do_collect t i;
     true
+
+(* --- the heap engine loop.  Entries are revalidated when popped: a
+   node's clock may have advanced past its queued step, or a message
+   queue's head may now arrive effectively later; stale entries are
+   rescheduled at the corrected (always later) time and the pop costs
+   nothing.  Executed events therefore come out in exactly the order the
+   scan would have chosen. *)
+
+(* Harness code may mutate a kernel behind the cluster's back (tests
+   drive [Mobility.Checkpoint.restore] on a kernel directly, for
+   instance), so an empty heap does not yet prove quiescence: rescan
+   once and reseed anything runnable.  This is the only O(nodes) scan
+   left, and it runs once per drain, not per event. *)
+let reseed t =
+  let any = ref false in
+  Array.iteri
+    (fun i n ->
+      if (not n.n_crashed) && K.has_ready n.n_kernel then begin
+        Engine.schedule t.engine ~at:(K.time_us n.n_kernel) (Engine.Step i);
+        any := true
+      end;
+      match Enet.Netsim.next_arrival_at t.net ~dst:i with
+      | Some a ->
+        Engine.schedule t.engine
+          ~at:(Float.max a (K.time_us n.n_kernel))
+          (Engine.Deliver i);
+        any := true
+      | None -> ())
+    t.nodes;
+  !any
+
+let rec step_once_heap t =
+  match Engine.take t.engine with
+  | None -> if reseed t then step_once_heap t else false
+  | Some (Engine.Gc i) ->
+    let n = t.nodes.(i) in
+    if n.n_crashed || not (over_gc_threshold t i) then step_once_heap t
+    else begin
+      do_collect t i;
+      ensure_step t i;
+      true
+    end
+  | Some (Engine.Step i) ->
+    let n = t.nodes.(i) in
+    if n.n_crashed || not (K.has_ready n.n_kernel) then step_once_heap t
+    else begin
+      let tm = Engine.now t.engine in
+      let now = n.n_clock.Sim.Clock.now in
+      if now > tm then begin
+        Engine.reschedule t.engine ~at:now (Engine.Step i);
+        step_once_heap t
+      end
+      else begin
+        exec_step t i ~time:tm;
+        (* the slice advanced the node clock; read it once for both the
+           collection check and the follow-on step *)
+        let at = n.n_clock.Sim.Clock.now in
+        if over_gc_threshold t i then Engine.schedule t.engine ~at (Engine.Gc i);
+        if (not n.n_crashed) && K.has_ready n.n_kernel then
+          Engine.schedule t.engine ~at (Engine.Step i);
+        true
+      end
+    end
+  | Some (Engine.Deliver i) ->
+    let n = t.nodes.(i) in
+    (match Enet.Netsim.next_arrival_at t.net ~dst:i with
+    | None -> step_once_heap t
+    | Some arrival ->
+      let tm = Engine.now t.engine in
+      let eff = Float.max arrival n.n_clock.Sim.Clock.now in
+      if eff > tm then begin
+        Engine.reschedule t.engine ~at:eff (Engine.Deliver i);
+        step_once_heap t
+      end
+      else begin
+        exec_deliver t i eff;
+        (match Enet.Netsim.next_arrival_at t.net ~dst:i with
+        | Some a ->
+          Engine.schedule t.engine
+            ~at:(Float.max a (K.time_us n.n_kernel))
+            (Engine.Deliver i)
+        | None -> ());
+        ensure_step t i;
+        true
+      end)
+
+let step_once t =
+  match t.sched with
+  | Heap -> step_once_heap t
+  | Scan -> step_once_scan t
 
 let run ?(max_events = 2_000_000) t =
   let budget = ref max_events in
@@ -537,36 +688,55 @@ let run ?(max_events = 2_000_000) t =
 (* checkpointing: quiesce first so every segment is parked at a stop *)
 let checkpoint_thread t ~node tid =
   quiesce_node t node;
-  Mobility.Checkpoint.suspend t.nodes.(node).n_kernel ~thread:tid
+  let image = Mobility.Checkpoint.suspend t.nodes.(node).n_kernel ~thread:tid in
+  ensure_step t node;
+  image
 
 let restore_thread t ~node image =
-  Mobility.Checkpoint.restore t.nodes.(node).n_kernel image
+  Mobility.Checkpoint.restore t.nodes.(node).n_kernel image;
+  ensure_step t node
 
 let result t tid =
-  let found = ref None in
-  Array.iter
-    (fun n ->
-      match K.root_result n.n_kernel tid with
-      | Some r -> found := Some r
-      | None -> ())
-    t.nodes;
-  !found
+  match Hashtbl.find_opt t.root_done tid with
+  | Some r -> Some r
+  | None ->
+    (* fallback for results recorded before the cluster's callback was
+       installed (kernels driven outside the cluster) *)
+    let found = ref None in
+    Array.iter
+      (fun n ->
+        match K.root_result n.n_kernel tid with
+        | Some r -> found := Some r
+        | None -> ())
+      t.nodes;
+    !found
 
 let run_until_result ?(max_events = 2_000_000) t tid =
   let budget = ref max_events in
-  let rec go () =
-    match result t tid with
+  (* probing two hash tables before every event is measurable in the hot
+     loop; both tables only ever grow, so O(1) length checks gate the
+     probes and the common no-news iteration touches neither *)
+  let probe () =
+    match Hashtbl.find_opt t.root_done tid with
+    | Some r -> Some r
+    | None ->
+      if Hashtbl.mem t.failures tid then
+        raise (Thread_unavailable (Hashtbl.find t.failures tid));
+      None
+  in
+  let rec go ~done_n ~fail_n =
+    let dn = Hashtbl.length t.root_done and fn = Hashtbl.length t.failures in
+    let hit = if dn <> done_n || fn <> fail_n then probe () else None in
+    match hit with
     | Some r -> r
-    | None when Hashtbl.mem t.failures tid ->
-      raise (Thread_unavailable (Hashtbl.find t.failures tid))
     | None ->
       if not (step_once t) then
         failwith "Cluster.run_until_result: cluster quiescent without a result";
       decr budget;
       if !budget <= 0 then failwith "Cluster.run_until_result: event budget exceeded";
-      go ()
+      go ~done_n:dn ~fail_n:fn
   in
-  go ()
+  go ~done_n:(-1) ~fail_n:(-1)
 
 let global_time_us t =
   Array.fold_left (fun acc n -> Float.max acc (K.time_us n.n_kernel)) 0.0 t.nodes

@@ -14,6 +14,14 @@ type protocol =
           conversion — and migration between unlike architectures is
           refused, as it must be *)
 
+type scheduler =
+  | Heap  (** event selection through the {!Engine} min-heap: O(log
+              pending) per event *)
+  | Scan
+      (** the seed's O(nodes)-per-event rescan, kept for cross-checking
+          and for the scaling benchmark; both produce identical event
+          sequences and results *)
+
 exception Heterogeneous_move_in_original_protocol
 
 exception Thread_unavailable of string
@@ -25,6 +33,7 @@ val create :
   ?net_config:Enet.Netsim.config ->
   ?protocol:protocol ->
   ?wire_impl:Enet.Wire.impl ->
+  ?scheduler:scheduler ->
   ?quantum:int ->
   ?gc_threshold:int ->
   archs:Isa.Arch.t list ->
@@ -34,9 +43,11 @@ val create :
     scheduling with the given instruction quantum; threads are then run
     forward to their next bus stop before any migration capture
     (section 2.2.1).  Default: the Emerald discipline — control transfers
-    only at bus stops. *)
+    only at bus stops.  [scheduler] selects the event-selection
+    mechanism (default {!Heap}). *)
 
 val protocol : t -> protocol
+val scheduler : t -> scheduler
 val n_nodes : t -> int
 val kernel : t -> int -> Ert.Kernel.t
 val kernels : t -> Ert.Kernel.t array
@@ -44,7 +55,21 @@ val arch_of : t -> int -> Isa.Arch.t
 val repository : t -> Mobility.Code_repository.t
 val network : t -> Enet.Netsim.t
 val conversion_stats : t -> int -> Enet.Conversion_stats.t
+
+val engine : t -> Engine.t
+(** The event engine (heap depth, push/pop/stale counters).  Unused —
+    all counters zero — under the {!Scan} scheduler. *)
+
 val set_trace : t -> (string -> unit) -> unit
+(** Legacy line-oriented trace hook: receives
+    {!Events.legacy_string} of every event that has one — byte-identical
+    to the seed's output. *)
+
+val subscribe_events : t -> (Events.t -> unit) -> unit
+(** Subscribe to the typed trace/metrics bus. *)
+
+val node_counters : t -> int -> Events.counters
+val total_counter : t -> (Events.counters -> int) -> int
 
 val load_program : t -> Emc.Compile.program -> unit
 (** Register the compiled program with every node (and the repository). *)

@@ -1,0 +1,98 @@
+type event =
+  | Step of int
+  | Deliver of int
+  | Gc of int
+
+(* Priority encoding.  The seed's O(nodes) scan had an implicit order at
+   equal virtual time: message deliveries beat scheduling steps, the
+   lower node index beat the higher, and an automatic collection ran
+   inline before anything else could intervene on that node.  The rank
+   reproduces that order inside the heap: at equal time,
+   Gc < Deliver < Step, and the node index breaks ties within a class. *)
+let rank ~n_nodes = function
+  | Gc i -> i
+  | Deliver i -> n_nodes + i
+  | Step i -> (2 * n_nodes) + i
+
+type t = {
+  pq : event Sim.Pqueue.t;
+  clock : Sim.Clock.t;  (* frontier: time of the last event popped *)
+  n_nodes : int;
+  step_queued : bool array;
+  deliver_queued : bool array;
+  gc_queued : bool array;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable stale : int;
+}
+
+let create ?clock ~n_nodes () =
+  {
+    pq = Sim.Pqueue.create ();
+    clock = (match clock with Some c -> c | None -> Sim.Clock.create ());
+    n_nodes;
+    step_queued = Array.make n_nodes false;
+    deliver_queued = Array.make n_nodes false;
+    gc_queued = Array.make n_nodes false;
+    pushes = 0;
+    pops = 0;
+    stale = 0;
+  }
+
+let clock t = t.clock
+let now t = Sim.Clock.now t.clock
+
+let flag t = function
+  | Step i -> t.step_queued.(i)
+  | Deliver i -> t.deliver_queued.(i)
+  | Gc i -> t.gc_queued.(i)
+
+let set_flag t v = function
+  | Step i -> t.step_queued.(i) <- v
+  | Deliver i -> t.deliver_queued.(i) <- v
+  | Gc i -> t.gc_queued.(i) <- v
+
+(* At most one queued entry per (event kind, node): a second schedule is
+   a no-op.  The existing entry is never later than the wanted time —
+   validity is re-checked at pop, and a stale entry is rescheduled at
+   its corrected time — so dropping the duplicate is safe. *)
+let schedule t ~at ev =
+  if not (flag t ev) then begin
+    set_flag t true ev;
+    t.pushes <- t.pushes + 1;
+    Sim.Pqueue.push t.pq ~time:at ~rank:(rank ~n_nodes:t.n_nodes ev) ev
+  end
+
+let reschedule t ~at ev =
+  t.stale <- t.stale + 1;
+  schedule t ~at ev
+
+(* [pop] without the [(time * event) option] wrapping: the popped time
+   is readable as [now t] (the pop advanced the clock to it).  The hot
+   loop runs this once per event. *)
+let take t =
+  if Sim.Pqueue.is_empty t.pq then None
+  else begin
+    let time = Sim.Pqueue.min_time t.pq in
+    let ev = Sim.Pqueue.take_min t.pq in
+    set_flag t false ev;
+    t.pops <- t.pops + 1;
+    Sim.Clock.advance_to t.clock time;
+    Some ev
+  end
+
+let pop t =
+  if Sim.Pqueue.is_empty t.pq then None
+  else begin
+    let time = Sim.Pqueue.min_time t.pq in
+    let ev = Sim.Pqueue.take_min t.pq in
+    set_flag t false ev;
+    t.pops <- t.pops + 1;
+    Sim.Clock.advance_to t.clock time;
+    Some (time, ev)
+  end
+
+let pending t = Sim.Pqueue.length t.pq
+let pushes t = t.pushes
+let pops t = t.pops
+let stale_pops t = t.stale

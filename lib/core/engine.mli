@@ -1,0 +1,55 @@
+(** The discrete-event engine: a binary min-heap of pending simulation
+    events keyed on virtual time.
+
+    The seed selected the next event by rescanning every node's kernel
+    and message queue — O(nodes) per event.  The engine replaces the
+    scan with an O(log pending) heap while reproducing the scan's event
+    order exactly, including its tie-breaking (see {!event}'s rank
+    order) and its insertion order (a sequence number inside the heap
+    makes equal keys FIFO, so runs are deterministic).
+
+    Scheduled times are allowed to go stale — a node's clock advances
+    after its step was queued, or a message queue's head changes.  The
+    engine dedups to at most one pending entry per (kind, node); the
+    executor re-validates each popped entry and {!reschedule}s it at the
+    corrected time, which is always later, so no event can run early. *)
+
+type event =
+  | Step of int  (** run one kernel scheduling slice on the node *)
+  | Deliver of int  (** deliver the node's next arrived message *)
+  | Gc of int  (** automatic collection on the node *)
+
+type t
+
+val create : ?clock:Sim.Clock.t -> n_nodes:int -> unit -> t
+(** [clock] is the engine's frontier clock (by default a fresh one); it
+    is advanced to each popped event's time. *)
+
+val clock : t -> Sim.Clock.t
+val now : t -> float
+(** Virtual time of the most recently popped event. *)
+
+val schedule : t -> at:float -> event -> unit
+(** Queue an event; a duplicate of an already-queued (kind, node) pair
+    is dropped. *)
+
+val reschedule : t -> at:float -> event -> unit
+(** Re-queue a popped-but-stale event at its corrected time; counted
+    separately in {!stale_pops}. *)
+
+val pop : t -> (float * event) option
+(** Remove and return the earliest event, advancing the frontier clock. *)
+
+val take : t -> event option
+(** {!pop} without the time/tuple wrapping — the popped entry's time is
+    readable as [now t] afterwards.  For the per-event hot loop. *)
+
+val pending : t -> int
+
+(** {1 Instrumentation} *)
+
+val pushes : t -> int
+val pops : t -> int
+val stale_pops : t -> int
+(** Pops that were bookkeeping only (revalidation failed and the event
+    was rescheduled); [pops - stale_pops] bounds the executed events. *)

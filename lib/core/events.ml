@@ -1,0 +1,156 @@
+type t =
+  | Ev_step of { node : int; time : float }
+  | Ev_msg_send of {
+      time : float;
+      src : int;
+      dst : int;
+      desc : string;
+      bytes : int;
+      arrives : float;
+    }
+  | Ev_msg_deliver of { time : float; node : int; desc : string }
+  | Ev_msg_lost of { src : int; dst : int; desc : string }
+  | Ev_msg_drop of { node : int; desc : string }
+  | Ev_move_start of { time : float; node : int; obj : Ert.Oid.t; dest : int }
+  | Ev_move_finish of {
+      time : float;
+      node : int;
+      objects : int;
+      segments : int;
+      frames : int;
+    }
+  | Ev_conversion of { node : int; calls : int; bytes : int }
+  | Ev_gc of { time : float; node : int; swept : int; live : int; bytes_freed : int }
+  | Ev_crash of { node : int }
+  | Ev_thread_lost of { thread : Ert.Thread.tid; reason : string }
+  | Ev_search_start of { node : int; obj : Ert.Oid.t; probes : int }
+  | Ev_search_found of { obj : Ert.Oid.t; node : int }
+  | Ev_search_failed of { obj : Ert.Oid.t }
+
+(* The exact line the seed's [(string -> unit)] trace hook printed for
+   this event, if it printed one.  Events the seed had no line for
+   (steps, move completion, conversion accounting) map to [None], so a
+   legacy subscriber sees byte-identical output. *)
+let legacy_string = function
+  | Ev_step _ | Ev_move_finish _ | Ev_conversion _ -> None
+  | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
+    Some
+      (Printf.sprintf "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)"
+         time src dst desc bytes arrives)
+  | Ev_msg_deliver { time; node; desc } ->
+    Some (Printf.sprintf "t=%.0fus node %d receives: %s" time node desc)
+  | Ev_msg_lost { src; dst; desc } ->
+    Some (Printf.sprintf "node %d -> node %d: %s LOST (destination down)" src dst desc)
+  | Ev_msg_drop { node; desc } ->
+    Some (Printf.sprintf "node %d (down) loses: %s" node desc)
+  | Ev_move_start { time; node; obj; dest } ->
+    Some
+      (Printf.sprintf "t=%.0fus node %d: move %s to node %d" time node
+         (Ert.Oid.to_string obj) dest)
+  | Ev_gc { time; node; swept; bytes_freed; live = _ } ->
+    Some
+      (Printf.sprintf "t=%.0fus node %d: gc swept %d block(s), %d bytes" time node
+         swept bytes_freed)
+  | Ev_crash { node } -> Some (Printf.sprintf "node %d crashes" node)
+  | Ev_thread_lost { thread; reason } ->
+    Some (Printf.sprintf "thread %d unavailable: %s" thread reason)
+  | Ev_search_start { node; obj; probes } ->
+    Some
+      (Printf.sprintf "node %d searches for %s (%d probes)" node
+         (Ert.Oid.to_string obj) probes)
+  | Ev_search_found { obj; node } ->
+    Some
+      (Printf.sprintf "search for %s: found on node %d" (Ert.Oid.to_string obj) node)
+  | Ev_search_failed { obj } ->
+    Some (Printf.sprintf "search for %s: not found anywhere" (Ert.Oid.to_string obj))
+
+let to_string ev =
+  match ev with
+  | Ev_step { node; time } -> Printf.sprintf "step node=%d t=%.0fus" node time
+  | Ev_move_finish { time; node; objects; segments; frames } ->
+    Printf.sprintf
+      "move-finish node=%d t=%.0fus objects=%d segments=%d frames=%d" node time
+      objects segments frames
+  | Ev_conversion { node; calls; bytes } ->
+    Printf.sprintf "conversion node=%d calls=%d bytes=%d" node calls bytes
+  | _ -> ( match legacy_string ev with Some s -> s | None -> assert false)
+
+type counters = {
+  mutable c_steps : int;
+  mutable c_sent : int;
+  mutable c_delivered : int;
+  mutable c_lost : int;
+  mutable c_moves_out : int;
+  mutable c_moves_in : int;
+  mutable c_conv_calls : int;
+  mutable c_conv_bytes : int;
+  mutable c_collections : int;
+  mutable c_gc_bytes_freed : int;
+  mutable c_searches : int;
+}
+
+let fresh_counters () =
+  {
+    c_steps = 0;
+    c_sent = 0;
+    c_delivered = 0;
+    c_lost = 0;
+    c_moves_out = 0;
+    c_moves_in = 0;
+    c_conv_calls = 0;
+    c_conv_bytes = 0;
+    c_collections = 0;
+    c_gc_bytes_freed = 0;
+    c_searches = 0;
+  }
+
+type bus = {
+  node_counters : counters array;
+  mutable subscribers : (t -> unit) list;
+}
+
+let create_bus ~n_nodes =
+  { node_counters = Array.init n_nodes (fun _ -> fresh_counters ()); subscribers = [] }
+
+let subscribe bus f = bus.subscribers <- bus.subscribers @ [ f ]
+
+let count bus ev =
+  let c i = bus.node_counters.(i) in
+  match ev with
+  | Ev_step { node; _ } -> (c node).c_steps <- (c node).c_steps + 1
+  | Ev_msg_send { src; _ } -> (c src).c_sent <- (c src).c_sent + 1
+  | Ev_msg_deliver { node; _ } -> (c node).c_delivered <- (c node).c_delivered + 1
+  | Ev_msg_lost { src; _ } -> (c src).c_lost <- (c src).c_lost + 1
+  | Ev_msg_drop { node; _ } -> (c node).c_lost <- (c node).c_lost + 1
+  | Ev_move_start { node; _ } -> (c node).c_moves_out <- (c node).c_moves_out + 1
+  | Ev_move_finish { node; _ } -> (c node).c_moves_in <- (c node).c_moves_in + 1
+  | Ev_conversion { node; calls; bytes } ->
+    (c node).c_conv_calls <- (c node).c_conv_calls + calls;
+    (c node).c_conv_bytes <- (c node).c_conv_bytes + bytes
+  | Ev_gc { node; bytes_freed; _ } ->
+    (c node).c_collections <- (c node).c_collections + 1;
+    (c node).c_gc_bytes_freed <- (c node).c_gc_bytes_freed + bytes_freed
+  | Ev_search_start { node; _ } -> (c node).c_searches <- (c node).c_searches + 1
+  | Ev_crash _ | Ev_thread_lost _ | Ev_search_found _ | Ev_search_failed _ -> ()
+
+let emit bus ev =
+  count bus ev;
+  List.iter (fun f -> f ev) bus.subscribers
+
+(* step events fire once per scheduling slice — the hottest path in the
+   simulation — so avoid constructing the event value when nobody is
+   listening (the counter is all that's needed) *)
+let emit_step bus ~node ~time =
+  let c = bus.node_counters.(node) in
+  c.c_steps <- c.c_steps + 1;
+  match bus.subscribers with
+  | [] -> ()
+  | subs ->
+    let ev = Ev_step { node; time } in
+    List.iter (fun f -> f ev) subs
+
+let counters bus node = bus.node_counters.(node)
+let n_nodes bus = Array.length bus.node_counters
+
+let total bus f =
+  Array.fold_left (fun acc c -> acc + f c) 0 bus.node_counters

@@ -1,0 +1,86 @@
+(** The typed trace/metrics bus.
+
+    Every observable simulation action — kernel scheduling slices, message
+    traffic, migrations, conversion work, collections, failures — is
+    published on the bus as a structured event.  Subscribers get the typed
+    value; per-node counters are maintained automatically; and
+    {!legacy_string} renders the exact line the seed's [(string -> unit)]
+    trace hook used to print, so existing trace consumers survive the
+    refactor unchanged. *)
+
+type t =
+  | Ev_step of { node : int; time : float }
+      (** one kernel scheduling slice ran *)
+  | Ev_msg_send of {
+      time : float;
+      src : int;
+      dst : int;
+      desc : string;  (** [Mobility.Marshal.describe] of the message *)
+      bytes : int;  (** encoded payload bytes *)
+      arrives : float;
+    }
+  | Ev_msg_deliver of { time : float; node : int; desc : string }
+  | Ev_msg_lost of { src : int; dst : int; desc : string }
+      (** refused at send time: the destination is down *)
+  | Ev_msg_drop of { node : int; desc : string }
+      (** drained at a dead interface after transit *)
+  | Ev_move_start of { time : float; node : int; obj : Ert.Oid.t; dest : int }
+  | Ev_move_finish of {
+      time : float;
+      node : int;  (** the destination *)
+      objects : int;
+      segments : int;
+      frames : int;
+    }
+  | Ev_conversion of { node : int; calls : int; bytes : int }
+      (** marshalling work performed while encoding or decoding *)
+  | Ev_gc of { time : float; node : int; swept : int; live : int; bytes_freed : int }
+  | Ev_crash of { node : int }
+  | Ev_thread_lost of { thread : Ert.Thread.tid; reason : string }
+  | Ev_search_start of { node : int; obj : Ert.Oid.t; probes : int }
+  | Ev_search_found of { obj : Ert.Oid.t; node : int }
+  | Ev_search_failed of { obj : Ert.Oid.t }
+
+val legacy_string : t -> string option
+(** The seed trace hook's line for this event; [None] for events the seed
+    never printed (steps, move completion, conversion accounting). *)
+
+val to_string : t -> string
+(** A line for every event (legacy format where one exists). *)
+
+(** {1 Per-node counters} *)
+
+type counters = {
+  mutable c_steps : int;
+  mutable c_sent : int;  (** messages sent from this node *)
+  mutable c_delivered : int;  (** messages delivered to this node *)
+  mutable c_lost : int;  (** messages lost at or addressed to this node *)
+  mutable c_moves_out : int;  (** migrations initiated here *)
+  mutable c_moves_in : int;  (** migrations landed here *)
+  mutable c_conv_calls : int;
+  mutable c_conv_bytes : int;
+  mutable c_collections : int;
+  mutable c_gc_bytes_freed : int;
+  mutable c_searches : int;  (** broadcast location searches started here *)
+}
+
+(** {1 The bus} *)
+
+type bus
+
+val create_bus : n_nodes:int -> bus
+val subscribe : bus -> (t -> unit) -> unit
+(** Subscribers are called in subscription order on every event. *)
+
+val emit : bus -> t -> unit
+(** Update counters and notify subscribers. *)
+
+val emit_step : bus -> node:int -> time:float -> unit
+(** [emit bus (Ev_step {node; time})], but allocation-free when there
+    are no subscribers — it runs once per scheduling slice. *)
+
+val counters : bus -> int -> counters
+val n_nodes : bus -> int
+
+val total : bus -> (counters -> int) -> int
+(** Sum a counter field across all nodes. *)

@@ -107,6 +107,38 @@ let table1_src_sized ~n_vars =
   Buffer.add_string buf "\n  end trip\nend Agent\n";
   Buffer.contents buf
 
+(* The engine-scaling workload: one agent tours the ring of nodes,
+   spinning a little at each stop.  Under a small preemptive quantum the
+   spin decomposes into many cheap scheduling events, so the cost of
+   EVENT SELECTION — O(nodes) rescans in the seed, O(log pending) heap
+   operations now — dominates the run and the difference is measurable. *)
+let scaling_src =
+  {|
+object Agent
+  operation tour[n : int, hops : int, spins : int] -> [r : int]
+    var home : int <- thisnode
+    var i : int <- 0
+    var j : int <- 0
+    var dest : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= hops
+      i <- i + 1
+      dest <- i - (i / n) * n
+      move self to dest
+      j <- 0
+      loop
+        exit when j >= spins
+        j <- j + 1
+        acc <- acc + j - (j / 2) * 2
+      end loop
+    end loop
+    move self to home
+    r <- acc
+  end tour
+end Agent
+|}
+
 type roundtrip = {
   rt_us_per_trip : float;
   rt_bytes_sent : int;
@@ -178,4 +210,56 @@ let measure_intranode ?optimize ~arch ~migrated ~n () =
     in_virtual_us = us;
     in_insns = Ert.Kernel.insns_executed k1 - insns_before;
     in_host_seconds = Unix.gettimeofday () -. t_start;
+  }
+
+type scaling = {
+  sc_nodes : int;
+  sc_result : int;
+  sc_events : int;
+  sc_virtual_us : float;
+  sc_host_seconds : float;
+  sc_events_per_sec : float;
+  sc_engine_pops : int;
+  sc_engine_stale : int;
+}
+
+let scaling_archs n_nodes =
+  let pool = [| Isa.Arch.sparc; Isa.Arch.sun3; Isa.Arch.hp9000_433; Isa.Arch.vax |] in
+  List.init n_nodes (fun i -> pool.(i mod Array.length pool))
+
+let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ~n_nodes ~hops ~spins
+    () =
+  let cl = Cluster.create ~scheduler ~quantum ~archs:(scaling_archs n_nodes) () in
+  ignore (Cluster.compile_and_load cl ~name:"scaling" scaling_src);
+  let agent = Cluster.create_object cl ~node:0 ~class_name:"Agent" in
+  let tid =
+    Cluster.spawn cl ~node:0 ~target:agent ~op:"tour"
+      ~args:
+        [
+          Ert.Value.Vint (Int32.of_int n_nodes);
+          Ert.Value.Vint (Int32.of_int hops);
+          Ert.Value.Vint (Int32.of_int spins);
+        ]
+  in
+  (* time the event loop only, not compilation; settle the collector so
+     one run's garbage is not charged to the next *)
+  Gc.full_major ();
+  let t_start = Unix.gettimeofday () in
+  let result = Cluster.run_until_result cl tid in
+  let dt = Unix.gettimeofday () -. t_start in
+  let r =
+    match result with
+    | Some (Ert.Value.Vint v) -> Int32.to_int v
+    | _ -> failwith "scaling workload did not return a value"
+  in
+  let events = Cluster.events_processed cl in
+  {
+    sc_nodes = n_nodes;
+    sc_result = r;
+    sc_events = events;
+    sc_virtual_us = Cluster.global_time_us cl;
+    sc_host_seconds = dt;
+    sc_events_per_sec = float_of_int events /. Float.max dt 1e-9;
+    sc_engine_pops = Engine.pops (Cluster.engine cl);
+    sc_engine_stale = Engine.stale_pops (Cluster.engine cl);
   }

@@ -53,3 +53,32 @@ val measure_intranode :
     [migrated] the thread first migrates in from another node, so the
     measurement shows whether arriving threads run any slower (they must
     not). *)
+
+val scaling_src : string
+(** The engine-scaling workload: an agent tours the ring of nodes,
+    spinning briefly at each stop; under a small preemptive quantum the
+    run decomposes into many cheap events, so event-selection cost
+    dominates. *)
+
+type scaling = {
+  sc_nodes : int;
+  sc_result : int;  (** the workload's own result (a determinism digest) *)
+  sc_events : int;
+  sc_virtual_us : float;
+  sc_host_seconds : float;  (** wall time of the event loop *)
+  sc_events_per_sec : float;
+  sc_engine_pops : int;  (** 0 under the [Scan] scheduler *)
+  sc_engine_stale : int;
+}
+
+val measure_scaling :
+  ?scheduler:Cluster.scheduler ->
+  ?quantum:int ->
+  n_nodes:int ->
+  hops:int ->
+  spins:int ->
+  unit ->
+  scaling
+(** Run the scaling workload on an [n_nodes] cluster and report events
+    per wall-clock second.  Run with both schedulers to compare: the
+    simulation results must be identical, only the wall clock differs. *)

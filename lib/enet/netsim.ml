@@ -19,37 +19,35 @@ type message = {
 type t = {
   cfg : config;
   n_nodes : int;
-  mutable queues : message list array;  (* per destination, ordered by (arrival, seq) *)
+  queues : message Queue.t array;  (* per destination, FIFO *)
   mutable medium_free_at : float;
   mutable seq : int;
   mutable messages_sent : int;
   mutable bytes_sent : int;
+  mutable on_arrival : (dst:int -> at:float -> unit) option;
 }
 
 let create ?(config = default_config) ~n_nodes () =
   {
     cfg = config;
     n_nodes;
-    queues = Array.make n_nodes [];
+    queues = Array.init n_nodes (fun _ -> Queue.create ());
     medium_free_at = 0.0;
     seq = 0;
     messages_sent = 0;
     bytes_sent = 0;
+    on_arrival = None;
   }
 
 let config t = t.cfg
+let set_on_arrival t f = t.on_arrival <- Some f
 
-let insert_sorted msg queue =
-  let le a b =
-    a.msg_arrives_at < b.msg_arrives_at
-    || (a.msg_arrives_at = b.msg_arrives_at && a.msg_seq <= b.msg_seq)
-  in
-  let rec go = function
-    | [] -> [ msg ]
-    | m :: rest -> if le msg m then msg :: m :: rest else m :: go rest
-  in
-  go queue
-
+(* The shared medium serialises frames: each transmission starts no
+   earlier than the previous one finished, and the fixed latency is
+   common to all frames, so arrival times are non-decreasing in send
+   order — a plain FIFO per destination is already sorted by
+   (arrival, seq).  Appending is O(1), where the seed implementation
+   walked a sorted list. *)
 let send t ~now_us ~src ~dst ~payload =
   if dst < 0 || dst >= t.n_nodes then invalid_arg "Netsim.send: bad destination";
   let wire_bytes = String.length payload + t.cfg.frame_overhead_bytes in
@@ -70,30 +68,33 @@ let send t ~now_us ~src ~dst ~payload =
       msg_seq = t.seq;
     }
   in
-  t.queues.(dst) <- insert_sorted msg t.queues.(dst);
+  Queue.add msg t.queues.(dst);
+  (match t.on_arrival with
+  | Some f -> f ~dst ~at:arrives
+  | None -> ());
   arrives
 
 let next_arrival_at t ~dst =
-  match t.queues.(dst) with
-  | [] -> None
-  | m :: _ -> Some m.msg_arrives_at
+  match Queue.peek_opt t.queues.(dst) with
+  | None -> None
+  | Some m -> Some m.msg_arrives_at
 
 let next_arrival_any t =
   Array.fold_left
     (fun acc q ->
-      match q, acc with
-      | [], acc -> acc
-      | m :: _, None -> Some m.msg_arrives_at
-      | m :: _, Some a -> Some (Float.min a m.msg_arrives_at))
+      match Queue.peek_opt q, acc with
+      | None, acc -> acc
+      | Some m, None -> Some m.msg_arrives_at
+      | Some m, Some a -> Some (Float.min a m.msg_arrives_at))
     None t.queues
 
 let receive t ~dst ~now_us =
-  match t.queues.(dst) with
-  | m :: rest when m.msg_arrives_at <= now_us ->
-    t.queues.(dst) <- rest;
+  match Queue.peek_opt t.queues.(dst) with
+  | Some m when m.msg_arrives_at <= now_us ->
+    ignore (Queue.pop t.queues.(dst));
     Some m
-  | [] | _ :: _ -> None
+  | Some _ | None -> None
 
-let pending t = Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
+let pending t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
 let messages_sent t = t.messages_sent
 let bytes_sent t = t.bytes_sent

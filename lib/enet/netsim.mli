@@ -28,8 +28,15 @@ type t
 val create : ?config:config -> n_nodes:int -> unit -> t
 val config : t -> config
 
+val set_on_arrival : t -> (dst:int -> at:float -> unit) -> unit
+(** Register an arrival listener: called once per {!send} with the
+    message's destination and arrival time, so an event engine can
+    schedule the delivery without polling every node's queue. *)
+
 val send : t -> now_us:float -> src:int -> dst:int -> payload:string -> float
-(** Queue a message; returns its arrival time. *)
+(** Queue a message; returns its arrival time.  The shared medium
+    serialises transmissions, so arrival times are non-decreasing in
+    send order and delivery between any pair of nodes is FIFO. *)
 
 val next_arrival_at : t -> dst:int -> float option
 (** Earliest pending arrival time for a node, if any. *)

@@ -50,6 +50,7 @@ type outcall =
 type t = {
   knode_id : int;
   karch : A.t;
+  k_us_per_cycle : float;  (* cycle_time_ns / 1000, hoisted out of charge_cycles *)
   kmem : Mem.t;
   ktext : Isa.Text.t;
   kheap : Heap.t;
@@ -64,7 +65,7 @@ type t = {
   blocks : (int, int * block_kind) Hashtbl.t;  (* heap blocks the GC may sweep *)
   out : Buffer.t;
   mutable echo : bool;
-  mutable time_us : float;
+  kclock : Sim.Clock.t;  (* node-local virtual time *)
   mutable oid_serial : int;
   mutable tid_serial : int;
   mutable seg_serial : int;
@@ -72,16 +73,23 @@ type t = {
   mutable cycles : int;
   mutable syscalls : int;
   mutable on_code_load : (class_index:int -> unit) option;
+  mutable on_root_result : (thread:Thread.tid -> Value.t option -> unit) option;
   mutable quantum : int option;
       (* preemptive (Trellis/Owl-style) scheduling: slices are bounded by
          an instruction quantum and threads may be left between bus stops *)
 }
 
-let create ~node_id ~arch () =
+let create ?clock ~node_id ~arch () =
   let mem = Mem.create ~endian:arch.A.endian ~size:(1 lsl 16) in
+  let kclock =
+    match clock with
+    | Some c -> c
+    | None -> Sim.Clock.create ()
+  in
   {
     knode_id = node_id;
     karch = arch;
+    k_us_per_cycle = A.cycle_time_ns arch /. 1000.0;
     kmem = mem;
     ktext = Isa.Text.create ();
     kheap = Heap.create ~mem ~start:0x1000;
@@ -96,7 +104,7 @@ let create ~node_id ~arch () =
     blocks = Hashtbl.create 64;
     out = Buffer.create 256;
     echo = false;
-    time_us = 0.0;
+    kclock;
     oid_serial = 0;
     tid_serial = 0;
     seg_serial = 0;
@@ -104,6 +112,7 @@ let create ~node_id ~arch () =
     cycles = 0;
     syscalls = 0;
     on_code_load = None;
+    on_root_result = None;
     quantum = None;
   }
 
@@ -112,14 +121,16 @@ let arch t = t.karch
 let mem t = t.kmem
 let text t = t.ktext
 let heap t = t.kheap
-let time_us t = t.time_us
-let set_time_us t v = t.time_us <- Float.max t.time_us v
-let charge_insns t n = t.time_us <- t.time_us +. (float_of_int n /. t.karch.A.mips)
-let charge_us t us = t.time_us <- t.time_us +. us
+let clock t = t.kclock
+let time_us t = t.kclock.Sim.Clock.now
+let set_time_us t v = Sim.Clock.advance_to t.kclock v
+let charge_insns t n = Sim.Clock.add t.kclock (float_of_int n /. t.karch.A.mips)
+let charge_us t us = Sim.Clock.add t.kclock us
 
 let charge_cycles t c =
   t.cycles <- t.cycles + c;
-  t.time_us <- t.time_us +. (float_of_int c *. A.cycle_time_ns t.karch /. 1000.0)
+  let clk = t.kclock in
+  clk.Sim.Clock.now <- clk.Sim.Clock.now +. (float_of_int c *. t.k_us_per_cycle)
 
 let insns_executed t = t.insns
 let cycles_executed t = t.cycles
@@ -249,6 +260,7 @@ let loaded_class t class_index =
 
 let class_loaded t class_index = Hashtbl.mem t.loaded class_index
 let set_on_code_load t f = t.on_code_load <- Some f
+let set_on_root_result t f = t.on_root_result <- Some f
 let set_quantum t q = t.quantum <- q
 let quantum t = t.quantum
 
@@ -493,6 +505,10 @@ let alloc_stack t =
 let enqueue_ready t seg = Queue.add seg t.run_queue
 
 let register_segment t seg =
+  (match Hashtbl.find_opt t.segs seg.Thread.seg_id with
+  | Some old when old != seg -> old.Thread.seg_live <- false
+  | _ -> ());
+  seg.Thread.seg_live <- true;
   Hashtbl.replace t.segs seg.Thread.seg_id seg;
   Hashtbl.remove t.seg_forwards seg.Thread.seg_id;
   match seg.Thread.seg_status with
@@ -500,7 +516,12 @@ let register_segment t seg =
   | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ | Thread.Dead ->
     ()
 
-let unregister_segment t seg = Hashtbl.remove t.segs seg.Thread.seg_id
+let unregister_segment t seg =
+  (match Hashtbl.find_opt t.segs seg.Thread.seg_id with
+  | Some cur -> cur.Thread.seg_live <- false
+  | None -> ());
+  seg.Thread.seg_live <- false;
+  Hashtbl.remove t.segs seg.Thread.seg_id
 let set_seg_forward t ~seg_id ~node = Hashtbl.replace t.seg_forwards seg_id node
 let seg_forward t ~seg_id = Hashtbl.find_opt t.seg_forwards seg_id
 
@@ -569,6 +590,7 @@ let spawn_exact t ~(spawn : Thread.spawn_info) ~link ~thread ~seg_id ~status =
       seg_link = link;
       seg_result_type = result_type;
       seg_spawn = Some spawn;
+      seg_live = false;
     }
   in
   ctx.M.stack_limit <- seg.Thread.seg_stack_bottom;
@@ -950,7 +972,7 @@ let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
   else if nr = Emc.Sysno.sys_thisnode then
     D_done (Some (Value.Vint (Int32.of_int t.knode_id)))
   else if nr = Emc.Sysno.sys_timenow then
-    D_done (Some (Value.Vint (Int32.of_float t.time_us)))
+    D_done (Some (Value.Vint (Int32.of_float (Sim.Clock.now t.kclock))))
   else if nr = Emc.Sysno.sys_move then begin
     let raws = syscall_raw_args t ctx ~argc:2 in
     match raws with
@@ -1060,22 +1082,26 @@ let finish_bottom_return t seg =
   | Some link ->
     Some (Oc_return { link; value; thread = seg.Thread.seg_thread })
   | None ->
-    Hashtbl.replace t.root_results seg.Thread.seg_thread
-      (match seg.Thread.seg_result_type with
+    let result =
+      match seg.Thread.seg_result_type with
       | Some _ -> Some value
-      | None -> None);
+      | None -> None
+    in
+    Hashtbl.replace t.root_results seg.Thread.seg_thread result;
+    (match t.on_root_result with
+    | Some f -> f ~thread:seg.Thread.seg_thread result
+    | None -> ());
     None
 
 let step t =
-  match Queue.take_opt t.run_queue with
-  | None -> []
-  | Some seg when seg.Thread.seg_status = Thread.Dead -> []
-  | Some seg
-    when (match find_segment t seg.Thread.seg_id with
-         | Some s -> s != seg
-         | None -> true) ->
+  if Queue.is_empty t.run_queue then []
+  else
+  let seg = Queue.take t.run_queue in
+  match seg.Thread.seg_status with
+  | Thread.Dead -> []
+  | _ when not seg.Thread.seg_live ->
     [] (* migrated away or superseded since it was enqueued *)
-  | Some seg -> (
+  | _ -> (
     apply_resume t seg;
     seg.Thread.seg_status <- Thread.Running;
     let ctx = seg.Thread.seg_ctx in

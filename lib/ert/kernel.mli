@@ -61,7 +61,10 @@ type outcall =
       hint_node : int;
     }  (** the object moved away during [initially]; start it over there *)
 
-val create : node_id:int -> arch:Isa.Arch.t -> unit -> t
+val create : ?clock:Sim.Clock.t -> node_id:int -> arch:Isa.Arch.t -> unit -> t
+(** [clock] supplies the node's virtual clock (by default a fresh one);
+    passing it in lets an embedding simulation share or observe it. *)
+
 val node_id : t -> int
 val arch : t -> Isa.Arch.t
 val mem : t -> Isa.Memory.t
@@ -69,6 +72,9 @@ val text : t -> Isa.Text.t
 val heap : t -> Heap.t
 
 (* virtual time and cost accounting *)
+val clock : t -> Sim.Clock.t
+(** The node's virtual clock; all time accounting below goes through it. *)
+
 val time_us : t -> float
 val set_time_us : t -> float -> unit
 val charge_insns : t -> int -> unit
@@ -217,6 +223,11 @@ val monitor_enqueue_blocked : t -> obj_addr:int -> ?cond:int -> Thread.segment -
 val set_on_code_load : t -> (class_index:int -> unit) -> unit
 (** Called on each first-time code-object load (for repository fetch
     accounting). *)
+
+val set_on_root_result : t -> (thread:Thread.tid -> Value.t option -> unit) -> unit
+(** Called when a root thread (no reply link) finishes on this node, so
+    the embedding cluster can track completions without scanning every
+    node. *)
 
 val set_quantum : t -> int option -> unit
 (** [Some q] switches to preemptive (Trellis/Owl-style) scheduling: a

@@ -39,6 +39,7 @@ type segment = {
   mutable seg_link : link option;
   mutable seg_result_type : Emc.Ast.typ option;
   mutable seg_spawn : spawn_info option;
+  mutable seg_live : bool;
 }
 
 let fresh_tid ~node_id ~serial = (node_id lsl 20) lor serial

@@ -68,6 +68,11 @@ type segment = {
       (** result type of the bottom activation record's operation, for
           marshalling the value sent along [seg_link] *)
   mutable seg_spawn : spawn_info option;
+  mutable seg_live : bool;
+      (** mirror of "this exact record is in its kernel's segment table",
+          maintained by [Kernel.register_segment] / [unregister_segment]
+          so the dispatch loop can skip superseded queue entries without
+          a table probe *)
 }
 
 val fresh_tid : node_id:int -> serial:int -> tid

@@ -12,7 +12,9 @@ type t = {
   offsets : int array;
   byte_size : int;
   methods : method_info array;
-  index_by_offset : (int, int) Hashtbl.t;
+  index_dense : int array;  (* byte offset -> instruction index; -1 off-boundary *)
+  insn_sizes : int array;  (* per instruction, bytes, for this arch *)
+  insn_cycles : int array;  (* per instruction, cycles, for this arch *)
 }
 
 let compute_offsets family insns =
@@ -27,20 +29,29 @@ let compute_offsets family insns =
 
 let make ~arch ~code_oid ~class_name ~methods insns =
   let offsets, byte_size = compute_offsets arch.Arch.family insns in
-  let index_by_offset = Hashtbl.create (Array.length insns) in
-  Array.iteri (fun i off -> Hashtbl.replace index_by_offset off i) offsets;
+  (* the instruction-fetch tables: the interpreter decodes once per
+     executed instruction, so boundary lookup, size, and cycle cost are
+     all precomputed here rather than recomputed per fetch *)
+  let index_dense = Array.make (byte_size + 1) (-1) in
+  Array.iteri (fun i off -> index_dense.(off) <- i) offsets;
+  let family = arch.Arch.family in
+  let insn_sizes = Array.map (Insn.size_bytes family) insns in
+  let insn_cycles = Array.map (Insn.cycles family) insns in
   let methods =
     Array.mapi
       (fun method_index (method_name, entry_index) ->
         { method_name; entry_offset = offsets.(entry_index); method_index })
       methods
   in
-  { code_oid; class_name; arch; insns; offsets; byte_size; methods; index_by_offset }
+  {
+    code_oid; class_name; arch; insns; offsets; byte_size; methods;
+    index_dense; insn_sizes; insn_cycles;
+  }
 
 let index_at code off =
-  match Hashtbl.find_opt code.index_by_offset off with
-  | Some i -> i
-  | None ->
+  let i = if off >= 0 && off < Array.length code.index_dense then code.index_dense.(off) else -1 in
+  if i >= 0 then i
+  else
     invalid_arg
       (Printf.sprintf "Code.index_at: %#x is not an instruction boundary in %s/%s" off
          code.class_name code.arch.Arch.id)

@@ -22,7 +22,13 @@ type t = private {
   offsets : int array;  (** byte offset of each instruction *)
   byte_size : int;
   methods : method_info array;  (** indexed by [method_index] *)
-  index_by_offset : (int, int) Hashtbl.t;
+  index_dense : int array;
+      (** byte offset -> instruction index; -1 between boundaries.  The
+          interpreter's fetch path reads this (and the two arrays below)
+          directly — precomputed at {!make} so decode costs no per-fetch
+          table lookups or size/cycle recomputation. *)
+  insn_sizes : int array;  (** per-instruction encoded size, bytes *)
+  insn_cycles : int array;  (** per-instruction cost, cycles, this arch *)
 }
 
 val make :

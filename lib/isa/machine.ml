@@ -200,142 +200,180 @@ let run ctx ~mem ~text ~fuel =
   let family = ctx.arch.Arch.family in
   let fmt = ctx.arch.Arch.float_format in
   let state = { img = None } in
-  let fuel = ref fuel in
-  let result = ref None in
-  (try
-     while !result = None do
-       if !fuel <= 0 then result := Some Stop_fuel
-       else begin
-         decr fuel;
-         let img = image_for text state ctx.pc in
-         let base = img.Text.base in
-         let idx = Code.index_at img.Text.code (ctx.pc - base) in
-         let insn = img.Text.code.Code.insns.(idx) in
-         let next_pc = ctx.pc + Insn.size_bytes family insn in
-         ctx.cycles <- ctx.cycles + Insn.cycles family insn;
-         ctx.insns <- ctx.insns + 1;
-         let get = get_operand ctx mem and set = set_operand ctx mem in
-         let ret_to target =
-           if target = 0 then result := Some Stop_bottom_return else ctx.pc <- target
-         in
-         match insn with
-         | Insn.Mov (a, b) ->
-           set b (get a);
-           ctx.pc <- next_pc
-         | Insn.Bin3 (op, a, b, c) ->
-           set c (int_binop op (get a) (get b));
-           ctx.pc <- next_pc
-         | Insn.Bin2 (op, a, b) ->
-           let v = int_binop op (get b) (get a) in
-           set b v;
-           ctx.cc <- Int32.compare v 0l;
-           ctx.pc <- next_pc
-         | Insn.Fbin3 (op, a, b, c) ->
-           set c (float_binop fmt op (get a) (get b));
-           ctx.pc <- next_pc
-         | Insn.Fbin2 (op, a, b) ->
-           set b (float_binop fmt op (get b) (get a));
-           ctx.pc <- next_pc
-         | Insn.Neg (a, b) ->
-           set b (Int32.neg (get a));
-           ctx.pc <- next_pc
-         | Insn.Fneg (a, b) ->
-           set b (float_binop fmt Insn.Sub (Float_format.encode fmt 0.0) (get a));
-           ctx.pc <- next_pc
-         | Insn.Cvt_if (a, b) ->
-           set b (Float_format.encode fmt (Int32.to_float (get a)));
-           ctx.pc <- next_pc
-         | Insn.Cvt_fi (a, b) ->
-           let f =
-             try Float_format.decode fmt (get a)
-             with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
-           in
-           set b (Int32.of_float f);
-           ctx.pc <- next_pc
-         | Insn.Cmp (a, b) ->
-           ctx.cc <- Int32.compare (get a) (get b);
-           ctx.pc <- next_pc
-         | Insn.Fcmp (a, b) ->
-           let decode v =
-             try Float_format.decode fmt v
-             with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
-           in
-           ctx.cc <- Float.compare (decode (get a)) (decode (get b));
-           ctx.pc <- next_pc
-         | Insn.Bcc (c, target) ->
-           ctx.pc <- (if eval_cc c ctx.cc then base + target else next_pc)
-         | Insn.Br target -> ctx.pc <- base + target
-         | Insn.Jsr_ind r ->
-           let target = Int32.to_int (reg ctx r) in
-           if target = 0 then raise (Trapped (Bad_pc 0));
-           (match family with
-           | Arch.Vax | Arch.M68k -> push ctx mem (Int32.of_int next_pc)
-           | Arch.Sparc -> set_reg ctx 15 (Int32.of_int next_pc));
-           ctx.pc <- target
-         | Insn.Push a ->
-           push ctx mem (get a);
-           ctx.pc <- next_pc
-         | Insn.Vax_entry size ->
-           push ctx mem 0l;
-           (* save mask word *)
-           push ctx mem (Int32.of_int (fp ctx));
-           set_fp ctx (sp ctx);
-           set_sp ctx (sp ctx - size);
-           check_stack ctx;
-           ctx.pc <- next_pc
-         | Insn.Vax_ret ->
-           set_sp ctx (fp ctx);
-           set_fp ctx (Int32.to_int (pop ctx mem));
-           let _mask = pop ctx mem in
-           ret_to (Int32.to_int (pop ctx mem))
-         | Insn.Link size ->
-           push ctx mem (Int32.of_int (fp ctx));
-           set_fp ctx (sp ctx);
-           set_sp ctx (sp ctx - size);
-           check_stack ctx;
-           ctx.pc <- next_pc
-         | Insn.Unlk ->
-           set_sp ctx (fp ctx);
-           set_fp ctx (Int32.to_int (pop ctx mem));
-           ctx.pc <- next_pc
-         | Insn.Rts -> ret_to (Int32.to_int (pop ctx mem))
-         | Insn.Save size ->
-           sparc_save ctx mem size;
-           ctx.pc <- next_pc
-         | Insn.Restore ->
-           sparc_restore ctx mem;
-           ctx.pc <- next_pc
-         | Insn.Retl -> ret_to (Int32.to_int (reg ctx 15))
-         | Insn.Sethi (i, r) ->
-           set_reg ctx r (Int32.shift_left i 10);
-           ctx.pc <- next_pc
-         | Insn.Syscall n -> result := Some (Stop_syscall n)
-         | Insn.Poll _ ->
-           if ctx.skip_poll then begin
-             ctx.skip_poll <- false;
-             ctx.pc <- next_pc
-           end
-           else if ctx.poll_requested then result := Some Stop_poll
-           else ctx.pc <- next_pc
-         | Insn.Remque (rs, rd) ->
-           let sent = addr_of (reg ctx rs) in
-           let first = Int32.to_int (load mem sent) in
-           if first = sent then set_reg ctx rd 0l
-           else begin
-             let next = load mem first in
-             store mem sent next;
-             store mem (Int32.to_int next + 4) (Int32.of_int sent);
-             set_reg ctx rd (Int32.of_int first)
-           end;
-           ctx.pc <- next_pc
-         | Insn.Nop -> ctx.pc <- next_pc
-         | Insn.Halt -> result := Some Stop_halt
-       end
-     done
-   with Trapped t -> result := Some (Stop_trap t));
-  match !result with
-  | Some r -> r
-  | None -> assert false
+  (* direct-style hot loop: each arm tail-calls [exec] with the fuel it
+     has left or returns its stop reason outright, so a slice costs no
+     result/fuel refs, no closures, and no per-instruction stop check *)
+  let rec exec fuel =
+    if fuel <= 0 then Stop_fuel
+    else begin
+      let img = image_for text state ctx.pc in
+      let base = img.Text.base in
+      let code = img.Text.code in
+      let idx = Code.index_at code (ctx.pc - base) in
+      let insn = code.Code.insns.(idx) in
+      let next_pc = ctx.pc + code.Code.insn_sizes.(idx) in
+      ctx.cycles <- ctx.cycles + code.Code.insn_cycles.(idx);
+      ctx.insns <- ctx.insns + 1;
+      match insn with
+      | Insn.Mov (a, b) ->
+        set_operand ctx mem b (get_operand ctx mem a);
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Bin3 (op, a, b, c) ->
+        set_operand ctx mem c
+          (int_binop op (get_operand ctx mem a) (get_operand ctx mem b));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Bin2 (op, a, b) ->
+        let v = int_binop op (get_operand ctx mem b) (get_operand ctx mem a) in
+        set_operand ctx mem b v;
+        ctx.cc <- Int32.compare v 0l;
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Fbin3 (op, a, b, c) ->
+        set_operand ctx mem c
+          (float_binop fmt op (get_operand ctx mem a) (get_operand ctx mem b));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Fbin2 (op, a, b) ->
+        set_operand ctx mem b
+          (float_binop fmt op (get_operand ctx mem b) (get_operand ctx mem a));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Neg (a, b) ->
+        set_operand ctx mem b (Int32.neg (get_operand ctx mem a));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Fneg (a, b) ->
+        set_operand ctx mem b
+          (float_binop fmt Insn.Sub
+             (Float_format.encode fmt 0.0)
+             (get_operand ctx mem a));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Cvt_if (a, b) ->
+        set_operand ctx mem b
+          (Float_format.encode fmt (Int32.to_float (get_operand ctx mem a)));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Cvt_fi (a, b) ->
+        let f =
+          try Float_format.decode fmt (get_operand ctx mem a)
+          with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+        in
+        set_operand ctx mem b (Int32.of_float f);
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Cmp (a, b) ->
+        ctx.cc <- Int32.compare (get_operand ctx mem a) (get_operand ctx mem b);
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Fcmp (a, b) ->
+        let decode v =
+          try Float_format.decode fmt v
+          with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+        in
+        ctx.cc <-
+          Float.compare
+            (decode (get_operand ctx mem a))
+            (decode (get_operand ctx mem b));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Bcc (c, target) ->
+        ctx.pc <- (if eval_cc c ctx.cc then base + target else next_pc);
+        exec (fuel - 1)
+      | Insn.Br target ->
+        ctx.pc <- base + target;
+        exec (fuel - 1)
+      | Insn.Jsr_ind r ->
+        let target = Int32.to_int (reg ctx r) in
+        if target = 0 then raise (Trapped (Bad_pc 0));
+        (match family with
+        | Arch.Vax | Arch.M68k -> push ctx mem (Int32.of_int next_pc)
+        | Arch.Sparc -> set_reg ctx 15 (Int32.of_int next_pc));
+        ctx.pc <- target;
+        exec (fuel - 1)
+      | Insn.Push a ->
+        push ctx mem (get_operand ctx mem a);
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Vax_entry size ->
+        push ctx mem 0l;
+        (* save mask word *)
+        push ctx mem (Int32.of_int (fp ctx));
+        set_fp ctx (sp ctx);
+        set_sp ctx (sp ctx - size);
+        check_stack ctx;
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Vax_ret ->
+        set_sp ctx (fp ctx);
+        set_fp ctx (Int32.to_int (pop ctx mem));
+        let _mask = pop ctx mem in
+        ret_to (Int32.to_int (pop ctx mem)) fuel
+      | Insn.Link size ->
+        push ctx mem (Int32.of_int (fp ctx));
+        set_fp ctx (sp ctx);
+        set_sp ctx (sp ctx - size);
+        check_stack ctx;
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Unlk ->
+        set_sp ctx (fp ctx);
+        set_fp ctx (Int32.to_int (pop ctx mem));
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Rts -> ret_to (Int32.to_int (pop ctx mem)) fuel
+      | Insn.Save size ->
+        sparc_save ctx mem size;
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Restore ->
+        sparc_restore ctx mem;
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Retl -> ret_to (Int32.to_int (reg ctx 15)) fuel
+      | Insn.Sethi (i, r) ->
+        set_reg ctx r (Int32.shift_left i 10);
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Syscall n -> Stop_syscall n
+      | Insn.Poll _ ->
+        if ctx.skip_poll then begin
+          ctx.skip_poll <- false;
+          ctx.pc <- next_pc;
+          exec (fuel - 1)
+        end
+        else if ctx.poll_requested then Stop_poll
+        else begin
+          ctx.pc <- next_pc;
+          exec (fuel - 1)
+        end
+      | Insn.Remque (rs, rd) ->
+        let sent = addr_of (reg ctx rs) in
+        let first = Int32.to_int (load mem sent) in
+        if first = sent then set_reg ctx rd 0l
+        else begin
+          let next = load mem first in
+          store mem sent next;
+          store mem (Int32.to_int next + 4) (Int32.of_int sent);
+          set_reg ctx rd (Int32.of_int first)
+        end;
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Nop ->
+        ctx.pc <- next_pc;
+        exec (fuel - 1)
+      | Insn.Halt -> Stop_halt
+    end
+  and ret_to target fuel =
+    if target = 0 then Stop_bottom_return
+    else begin
+      ctx.pc <- target;
+      exec (fuel - 1)
+    end
+  in
+  try exec fuel with Trapped t -> Stop_trap t
 
 let syscall_resume ctx ~text =
   match Text.find text ctx.pc with

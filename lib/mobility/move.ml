@@ -187,6 +187,7 @@ let split_segment k ~dest ~moving_oid (seg : T.segment) : Mi_frame.mi_segment li
                   seg_link = run_link j;
                   seg_result_type = run_result_type j;
                   seg_spawn = None;
+                  seg_live = false;
                 }
               in
               ctx.Isa.Machine.stack_limit <- stay.T.seg_stack_bottom;
@@ -262,6 +263,12 @@ let handle_move_req ~k ~obj ~dest ~forwards =
           [ { snd_dest = hint; snd_msg = Marshal.M_move_req { obj; dest; forwards = forwards + 1 } } ]
       | None -> [])
 
+type apply_stats = {
+  ap_objects : int;
+  ap_segments : int;
+  ap_frames : int;
+}
+
 let apply_move k (payload : Marshal.move_payload) =
   let mem = K.mem k in
   (* pass 1: descriptors, so references among arriving objects resolve *)
@@ -302,4 +309,12 @@ let apply_move k (payload : Marshal.move_payload) =
               | None -> fail "move: condition waiter segment %d did not arrive" sid)
             sids)
         o.Marshal.mo_cond_waiters)
-    installed
+    installed;
+  {
+    ap_objects = List.length payload.Marshal.mp_objects;
+    ap_segments = List.length payload.Marshal.mp_segments;
+    ap_frames =
+      List.fold_left
+        (fun acc s -> acc + Mi_frame.frame_count s)
+        0 payload.Marshal.mp_segments;
+  }

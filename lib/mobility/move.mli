@@ -31,8 +31,15 @@ val handle_move_req : k:Ert.Kernel.t -> obj:Ert.Oid.t -> dest:int -> forwards:in
 val perform_move : Ert.Kernel.t -> obj_addr:int -> dest:int -> Marshal.move_payload
 (** Capture and evict; the caller sends the payload.  Exposed for tests. *)
 
-val apply_move : Ert.Kernel.t -> Marshal.move_payload -> unit
-(** Install an arriving move payload on the destination node. *)
+type apply_stats = {
+  ap_objects : int;  (** objects installed *)
+  ap_segments : int;  (** thread segments rebuilt *)
+  ap_frames : int;  (** native activation records relocated *)
+}
+
+val apply_move : Ert.Kernel.t -> Marshal.move_payload -> apply_stats
+(** Install an arriving move payload on the destination node; returns
+    what was installed, for cost accounting and trace events. *)
 
 val park_mover_for_test : Ert.Thread.segment -> unit
 (** Park a mover segment at its move stop (normally done inside

@@ -235,6 +235,7 @@ let rebuild_segment k (mi : Mi_frame.mi_segment) : T.segment =
         seg_link = mi.Mi_frame.ms_link;
         seg_result_type = mi.Mi_frame.ms_result_type;
         seg_spawn = None;
+        seg_live = false;
       }
     in
     ctx.M.stack_limit <- stack_bottom;

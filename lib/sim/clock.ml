@@ -1,0 +1,6 @@
+type t = { mutable now : float }
+
+let create ?(at = 0.0) () = { now = at }
+let now t = t.now
+let advance_to t v = if v > t.now then t.now <- v
+let add t dt = t.now <- t.now +. dt

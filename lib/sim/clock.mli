@@ -1,0 +1,22 @@
+(** A virtual clock, in microseconds.
+
+    Each kernel owns one for its node-local time, and the event engine
+    owns one for the global simulation horizon (the time of the last
+    event popped).  Time never moves backwards: [advance_to] is a max
+    operation, [add] accumulates a non-negative charge. *)
+
+type t = { mutable now : float }
+(** Concrete on purpose: the simulation reads and charges clocks once or
+    more per event, and a direct field access compiles to a load where
+    the accessor costs a call and a float box.  Mutate only through
+    {!advance_to}/{!add} (or their manifest equivalents) — time must
+    never move backwards. *)
+
+val create : ?at:float -> unit -> t
+val now : t -> float
+
+val advance_to : t -> float -> unit
+(** Move the clock forward to [v]; a no-op if [v] is in the past. *)
+
+val add : t -> float -> unit
+(** Charge [dt] microseconds of virtual work. *)

@@ -1,0 +1,130 @@
+(* The discrete-event engine: run-to-run determinism, heap/scan
+   equivalence (the heap must replay the seed's scan order exactly), and
+   the engine's instrumentation counters. *)
+
+module A = Isa.Arch
+module V = Ert.Value
+module W = Core.Workloads
+module C = Core.Cluster
+
+let check = Alcotest.check
+
+let archs n =
+  let pool = [| A.sparc; A.sun3; A.hp9000_433; A.vax |] in
+  List.init n (fun i -> pool.(i mod Array.length pool))
+
+type capture = {
+  cap_result : int;
+  cap_events : int;
+  cap_time : float;
+  cap_log : string;  (** every bus event rendered, in order *)
+}
+
+(* run the ring-touring workload, recording the full event sequence *)
+let run_tour ?quantum ~scheduler ~n_nodes ~hops ~spins () =
+  let cl = C.create ~scheduler ?quantum ~archs:(archs n_nodes) () in
+  ignore (C.compile_and_load cl ~name:"tour" W.scaling_src);
+  let agent = C.create_object cl ~node:0 ~class_name:"Agent" in
+  let log = Buffer.create 4096 in
+  C.subscribe_events cl (fun ev ->
+      Buffer.add_string log (Core.Events.to_string ev);
+      Buffer.add_char log '\n');
+  let tid =
+    C.spawn cl ~node:0 ~target:agent ~op:"tour"
+      ~args:
+        [
+          V.Vint (Int32.of_int n_nodes);
+          V.Vint (Int32.of_int hops);
+          V.Vint (Int32.of_int spins);
+        ]
+  in
+  let result =
+    match C.run_until_result cl tid with
+    | Some (V.Vint v) -> Int32.to_int v
+    | _ -> Alcotest.fail "tour did not return an int"
+  in
+  ( cl,
+    {
+      cap_result = result;
+      cap_events = C.events_processed cl;
+      cap_time = C.global_time_us cl;
+      cap_log = Buffer.contents log;
+    } )
+
+(* the tour's accumulator: (j mod 2) summed over j = 1..spins, per hop *)
+let expected_acc ~hops ~spins = hops * ((spins + 1) / 2)
+
+let same_capture name a b =
+  check Alcotest.int (name ^ ": result") a.cap_result b.cap_result;
+  check Alcotest.int (name ^ ": events processed") a.cap_events b.cap_events;
+  check (Alcotest.float 0.0) (name ^ ": final virtual time") a.cap_time b.cap_time;
+  check Alcotest.string (name ^ ": event sequence") a.cap_log b.cap_log
+
+let test_repeat_identical () =
+  (* same workload twice, Emerald bus-stop discipline: bit-identical *)
+  let go () = snd (run_tour ~scheduler:C.Heap ~n_nodes:4 ~hops:8 ~spins:40 ()) in
+  let a = go () and b = go () in
+  same_capture "bus-stop" a b;
+  check Alcotest.int "result value" (expected_acc ~hops:8 ~spins:40) a.cap_result
+
+let test_repeat_identical_preemptive () =
+  (* same, under a tiny preemptive quantum: far more events, still
+     bit-identical *)
+  let go () =
+    snd (run_tour ~quantum:2 ~scheduler:C.Heap ~n_nodes:4 ~hops:8 ~spins:40 ())
+  in
+  let a = go () and b = go () in
+  same_capture "quantum=2" a b
+
+let test_heap_replays_scan () =
+  (* the acceptance bar: at 4 nodes the heap scheduler must reproduce the
+     seed scan's event sequence, times and result exactly *)
+  let go scheduler =
+    snd (run_tour ~quantum:2 ~scheduler ~n_nodes:4 ~hops:8 ~spins:40 ())
+  in
+  let scan = go C.Scan and heap = go C.Heap in
+  same_capture "scan vs heap" scan heap
+
+let test_engine_counters () =
+  let heap_cl, heap =
+    run_tour ~quantum:2 ~scheduler:C.Heap ~n_nodes:4 ~hops:8 ~spins:40 ()
+  in
+  let scan_cl, _ =
+    run_tour ~quantum:2 ~scheduler:C.Scan ~n_nodes:4 ~hops:8 ~spins:40 ()
+  in
+  let e = C.engine heap_cl in
+  if Core.Engine.pops e = 0 then
+    Alcotest.fail "heap mode must pop events from the engine, not scan";
+  if Core.Engine.pops e - Core.Engine.stale_pops e < heap.cap_events then
+    Alcotest.failf "executed events (%d) exceed non-stale pops (%d)"
+      heap.cap_events
+      (Core.Engine.pops e - Core.Engine.stale_pops e);
+  check Alcotest.int "scan mode never touches the engine" 0
+    (Core.Engine.pops (C.engine scan_cl) + Core.Engine.pushes (C.engine scan_cl));
+  check Alcotest.int "heap drains its queue" 0 (Core.Engine.pending e)
+
+let test_large_cluster_smoke () =
+  (* migration-heavy run across 64 heterogeneous nodes: must terminate
+     within a bounded event budget with the right answer *)
+  let _, cap = run_tour ~quantum:2 ~scheduler:C.Heap ~n_nodes:64 ~hops:64 ~spins:5 () in
+  check Alcotest.int "64-node tour result" (expected_acc ~hops:64 ~spins:5)
+    cap.cap_result;
+  if cap.cap_events > 200_000 then
+    Alcotest.failf "event budget blown: %d events" cap.cap_events
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "same workload twice is bit-identical" `Quick
+          test_repeat_identical;
+        Alcotest.test_case "identical under quantum preemption" `Quick
+          test_repeat_identical_preemptive;
+        Alcotest.test_case "heap replays the scan exactly (4 nodes)" `Quick
+          test_heap_replays_scan;
+        Alcotest.test_case "engine counters account for every event" `Quick
+          test_engine_counters;
+        Alcotest.test_case "64-node migration-heavy smoke" `Quick
+          test_large_cluster_smoke;
+      ] );
+  ]
