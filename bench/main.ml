@@ -7,7 +7,7 @@
      dune exec bench/main.exe bechamel   -- Bechamel host-time microbenchmarks
 
    Experiment ids: table1, intranode, conversion, sweep, ablation, fig2,
-   fig3 (includes fig4), scaling, bechamel. *)
+   fig3 (includes fig4), scaling, faults, bechamel. *)
 
 module A = Isa.Arch
 module W = Core.Workloads
@@ -389,6 +389,59 @@ let run_scaling () =
   pf "both schedulers at every size: the heap replays the scan's order)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Extension: move cost under injected message loss                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_faults () =
+  pf "Extension: thread-move cost under message loss\n";
+  pf "The Table 1 round trip with a fault plan injecting uniform message\n";
+  pf "loss.  The retry/ack transport (sequence numbers, acks, exponential\n";
+  pf "backoff from 2 ms) masks every drop, so the trip still completes and\n";
+  pf "moves still apply exactly once; each retransmission shows up as RTO\n";
+  pf "latency in the virtual clock.  SPARC<->Sun-3, 5 round trips.\n";
+  hr ();
+  pf "%8s %14s %14s %12s %10s\n" "loss" "per trip" "vs lossless" "retransmits" "messages";
+  hr ();
+  let base = ref nan in
+  List.iter
+    (fun drop ->
+      let faults =
+        if drop = 0.0 then Fault.Plan.empty
+        else Fault.Plan.with_seed (Fault.Plan.make ~drop ()) 1
+      in
+      let r = W.measure_roundtrip ~faults ~home:A.sparc ~dest:A.sun3 ~iters:5 () in
+      let ms = r.W.rt_us_per_trip /. 1000.0 in
+      if drop = 0.0 then base := ms;
+      pf "%7.0f%% %11.1f ms %13s %12d %10d\n" (drop *. 100.0) ms
+        (if drop = 0.0 then "-" else Printf.sprintf "%+.0f%%" ((ms -. !base) /. !base *. 100.0))
+        r.W.rt_retransmits r.W.rt_messages)
+    [ 0.0; 0.1; 0.3 ];
+  hr ();
+  (* the acceptance gate: an empty plan must be invisible — bit-identical
+     virtual times on table1 and an identical event count on scaling *)
+  let plain = W.measure_roundtrip ~home:A.sparc ~dest:A.sun3 ~iters:3 () in
+  let empty =
+    W.measure_roundtrip ~faults:(Fault.Plan.with_seed Fault.Plan.empty 42)
+      ~home:A.sparc ~dest:A.sun3 ~iters:3 ()
+  in
+  let s_plain = W.measure_scaling ~n_nodes:8 ~hops:16 ~spins:200 () in
+  let s_empty =
+    W.measure_scaling ~faults:(Fault.Plan.with_seed Fault.Plan.empty 42)
+      ~n_nodes:8 ~hops:16 ~spins:200 ()
+  in
+  pf "empty-plan overhead: table1 %.3f ms vs %.3f ms (%s), scaling %d vs %d\n"
+    (plain.W.rt_us_per_trip /. 1000.0)
+    (empty.W.rt_us_per_trip /. 1000.0)
+    (if plain.W.rt_us_per_trip = empty.W.rt_us_per_trip then "bit-identical"
+     else "DIFFERENT")
+    s_plain.W.sc_events s_empty.W.sc_events;
+  pf "events %s, result %s: an unused fault plan costs nothing\n\n"
+    (if s_plain.W.sc_events = s_empty.W.sc_events
+        && s_plain.W.sc_virtual_us = s_empty.W.sc_virtual_us
+     then "identical" else "DIFFERENT")
+    (if s_plain.W.sc_result = s_empty.W.sc_result then "identical" else "DIFFERENT")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel host-time microbenchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -481,6 +534,7 @@ let all_experiments =
     ("fig3", run_fig3);
     ("fig4", run_fig3);
     ("scaling", run_scaling);
+    ("faults", run_faults);
   ]
 
 let () =

@@ -1,49 +1,17 @@
 (* emrun: run an Emerald-like program on a simulated cluster of
    heterogeneous workstations.
 
-     emrun FILE [options]
-       --nodes IDS    comma-separated architectures (default:
-                      sparc,sun3,hp433,vax — a Figure 1 network)
-       --class NAME   class to instantiate on node 0 (default: Main)
-       --op NAME      operation to invoke (default: start)
-       --args LIST    comma-separated integer arguments
-       --original     use the original homogeneous protocol
-       --trace        print protocol events
-       --stats        print per-node statistics afterwards *)
+     emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
+               [--original] [--trace] [--stats]
+               [--seed N] [--faults SPEC] [--check-invariants] *)
 
-let usage = "emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST] [--original] [--trace] [--stats]"
+open Cmdliner
 
-let () =
-  let file = ref None in
-  let nodes = ref "sparc,sun3,hp433,vax" in
-  let cls = ref "Main" in
-  let op = ref "start" in
-  let args_s = ref "" in
-  let original = ref false in
-  let trace = ref false in
-  let stats = ref false in
-  let spec =
-    [
-      ("--nodes", Arg.Set_string nodes, "IDS comma-separated architecture ids");
-      ("--class", Arg.Set_string cls, "NAME class to instantiate (default Main)");
-      ("--op", Arg.Set_string op, "NAME operation to invoke (default start)");
-      ("--args", Arg.Set_string args_s, "LIST comma-separated integer arguments");
-      ("--original", Arg.Set original, " use the original homogeneous protocol");
-      ("--trace", Arg.Set trace, " print protocol events");
-      ("--stats", Arg.Set stats, " print per-node statistics");
-    ]
-  in
-  Arg.parse spec (fun f -> file := Some f) usage;
-  let file =
-    match !file with
-    | Some f -> f
-    | None ->
-      prerr_endline usage;
-      exit 2
-  in
+let run file nodes cls op args_s original trace stats seed faults
+    check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
-    String.split_on_char ',' !nodes
+    String.split_on_char ',' nodes
     |> List.map String.trim
     |> List.filter (fun s -> s <> "")
     |> List.map (fun id ->
@@ -52,9 +20,20 @@ let () =
              Printf.eprintf "unknown architecture %s\n" id;
              exit 2)
   in
-  let protocol = if !original then Core.Cluster.Original else Core.Cluster.Enhanced in
-  let cl = Core.Cluster.create ~protocol ~archs () in
-  if !trace then Core.Cluster.set_trace cl prerr_endline;
+  let protocol = if original then Core.Cluster.Original else Core.Cluster.Enhanced in
+  let plan =
+    match faults with
+    | None -> Fault.Plan.empty
+    | Some spec -> (
+      match Fault.Plan.of_string spec with
+      | Ok p -> p
+      | Error e ->
+        Printf.eprintf "emrun: bad --faults spec: %s\n" e;
+        exit 2)
+  in
+  let plan = match seed with Some s -> Fault.Plan.with_seed plan s | None -> plan in
+  let cl = Core.Cluster.create ~protocol ~faults:plan ~archs () in
+  if trace then Core.Cluster.set_trace cl prerr_endline;
   (match
      Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
        ~archs:(List.sort_uniq (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id) archs)
@@ -66,46 +45,150 @@ let () =
       errs;
     exit 1
   | Ok prog -> Core.Cluster.load_program cl prog);
-  let target = Core.Cluster.create_object cl ~node:0 ~class_name:!cls in
+  let target = Core.Cluster.create_object cl ~node:0 ~class_name:cls in
   let args =
-    if !args_s = "" then []
+    if args_s = "" then []
     else
-      String.split_on_char ',' !args_s
+      String.split_on_char ',' args_s
       |> List.map (fun s -> Ert.Value.Vint (Int32.of_string (String.trim s)))
   in
-  let tid = Core.Cluster.spawn cl ~node:0 ~target ~op:!op ~args in
-  (match Core.Cluster.run_until_result cl tid with
-  | Some v -> Format.printf "result: %a@." Ert.Value.pp v
-  | None -> print_endline "done (no result)");
-  for i = 0 to Core.Cluster.n_nodes cl - 1 do
-    let out = Core.Cluster.output cl ~node:i in
-    if out <> "" then Printf.printf "-- node %d output --\n%s" i out
-  done;
-  Printf.printf "virtual time: %.2f ms\n" (Core.Cluster.global_time_us cl /. 1000.0);
-  if !stats then begin
-    Printf.printf "network: %d messages, %d bytes\n"
-      (Enet.Netsim.messages_sent (Core.Cluster.network cl))
-      (Enet.Netsim.bytes_sent (Core.Cluster.network cl));
+  let tid = Core.Cluster.spawn cl ~node:0 ~target ~op ~args in
+  let finish () =
     for i = 0 to Core.Cluster.n_nodes cl - 1 do
-      let k = Core.Cluster.kernel cl i in
-      Printf.printf
-        "node %d (%-6s): %8d insns, %5d syscalls, %s, code fetches %d\n" i
-        (Isa.Arch.by_id (Ert.Kernel.arch k).Isa.Arch.id).Isa.Arch.id
-        (Ert.Kernel.insns_executed k)
-        (Ert.Kernel.syscalls_handled k)
-        (Format.asprintf "%a" Enet.Conversion_stats.pp (Core.Cluster.conversion_stats cl i))
-        (Mobility.Code_repository.fetches_by_node (Core.Cluster.repository cl) i)
+      let out = Core.Cluster.output cl ~node:i in
+      if out <> "" then Printf.printf "-- node %d output --\n%s" i out
     done;
-    for i = 0 to Core.Cluster.n_nodes cl - 1 do
-      let c = Core.Cluster.node_counters cl i in
-      let open Core.Events in
-      Printf.printf
-        "node %d bus: %8d steps, %3d sent, %3d delivered, %2d moves out, %2d in, %4d conv calls\n"
-        i c.c_steps c.c_sent c.c_delivered c.c_moves_out c.c_moves_in
-        c.c_conv_calls
-    done;
-    let e = Core.Cluster.engine cl in
-    Printf.printf "engine: %d pushes, %d pops (%d stale), %d pending\n"
-      (Core.Engine.pushes e) (Core.Engine.pops e) (Core.Engine.stale_pops e)
-      (Core.Engine.pending e)
-  end
+    Printf.printf "virtual time: %.2f ms\n" (Core.Cluster.global_time_us cl /. 1000.0);
+    if stats then begin
+      Printf.printf "network: %d messages, %d bytes\n"
+        (Enet.Netsim.messages_sent (Core.Cluster.network cl))
+        (Enet.Netsim.bytes_sent (Core.Cluster.network cl));
+      for i = 0 to Core.Cluster.n_nodes cl - 1 do
+        let k = Core.Cluster.kernel cl i in
+        Printf.printf
+          "node %d (%-6s): %8d insns, %5d syscalls, %s, code fetches %d\n" i
+          (Isa.Arch.by_id (Ert.Kernel.arch k).Isa.Arch.id).Isa.Arch.id
+          (Ert.Kernel.insns_executed k)
+          (Ert.Kernel.syscalls_handled k)
+          (Format.asprintf "%a" Enet.Conversion_stats.pp (Core.Cluster.conversion_stats cl i))
+          (Mobility.Code_repository.fetches_by_node (Core.Cluster.repository cl) i)
+      done;
+      for i = 0 to Core.Cluster.n_nodes cl - 1 do
+        let c = Core.Cluster.node_counters cl i in
+        let open Core.Events in
+        Printf.printf
+          "node %d bus: %8d steps, %3d sent, %3d delivered, %2d moves out, %2d in, %4d conv calls\n"
+          i c.c_steps c.c_sent c.c_delivered c.c_moves_out c.c_moves_in
+          c.c_conv_calls
+      done;
+      let e = Core.Cluster.engine cl in
+      Printf.printf "engine: %d pushes, %d pops (%d stale), %d pending\n"
+        (Core.Engine.pushes e) (Core.Engine.pops e) (Core.Engine.stale_pops e)
+        (Core.Engine.pending e);
+      if not (Fault.Plan.is_trivial plan) then begin
+        let open Core.Events in
+        let tc f = Core.Cluster.total_counter cl f in
+        Printf.printf "faults: %s\n" (Fault.Plan.describe plan);
+        Printf.printf
+          "faults: %d injected (%d dropped, %d duplicated, %d delayed), %d \
+           retransmits, %d dups suppressed, %d acks\n"
+          (tc (fun c -> c.c_faults))
+          (Enet.Netsim.messages_dropped (Core.Cluster.network cl))
+          (Enet.Netsim.messages_duplicated (Core.Cluster.network cl))
+          (Enet.Netsim.messages_delayed (Core.Cluster.network cl))
+          (tc (fun c -> c.c_retransmits))
+          (tc (fun c -> c.c_dups_suppressed))
+          (tc (fun c -> c.c_acks))
+      end
+    end
+  in
+  let result =
+    if not check_invariants then (
+      try Ok (Core.Cluster.run_until_result cl tid) with
+      | Core.Cluster.Thread_unavailable r -> Error ("thread unavailable: " ^ r))
+    else begin
+      (* step manually so the invariant oracle runs between events *)
+      let rec drive budget =
+        match Core.Cluster.result cl tid with
+        | Some r -> Ok r
+        | None -> (
+          match Core.Cluster.thread_failure cl tid with
+          | Some r -> Error ("thread unavailable: " ^ r)
+          | None ->
+            if budget <= 0 then Error "event budget exceeded"
+            else if not (Core.Cluster.step_once cl) then
+              Error "cluster quiescent without a result"
+            else begin
+              match Core.Cluster.check_invariants cl with
+              | [] -> drive (budget - 1)
+              | vs ->
+                List.iter
+                  (fun v ->
+                    Format.eprintf "invariant violation: %a@."
+                      Fault.Invariants.pp_violation v)
+                  vs;
+                finish ();
+                exit 3
+            end)
+      in
+      drive 2_000_000
+    end
+  in
+  (match result with
+  | Ok (Some v) -> Format.printf "result: %a@." Ert.Value.pp v
+  | Ok None -> print_endline "done (no result)"
+  | Error msg -> Printf.printf "%s\n" msg);
+  finish ();
+  if check_invariants then print_endline "invariants: ok"
+
+let file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Emerald source file.")
+
+let nodes_t =
+  Arg.(value & opt string "sparc,sun3,hp433,vax"
+       & info [ "nodes" ] ~docv:"IDS"
+           ~doc:"Comma-separated architecture ids (default: a Figure 1 network).")
+
+let class_t =
+  Arg.(value & opt string "Main"
+       & info [ "class" ] ~docv:"NAME" ~doc:"Class to instantiate on node 0.")
+
+let op_t =
+  Arg.(value & opt string "start" & info [ "op" ] ~docv:"NAME" ~doc:"Operation to invoke.")
+
+let args_t =
+  Arg.(value & opt string ""
+       & info [ "args" ] ~docv:"LIST" ~doc:"Comma-separated integer arguments.")
+
+let original_t =
+  Arg.(value & flag
+       & info [ "original" ] ~doc:"Use the original homogeneous protocol.")
+
+let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events.")
+let stats_t = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-node statistics.")
+
+let seed_t =
+  Arg.(value & opt (some int) None
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Override the fault plan's random seed (determinism handle).")
+
+let faults_t =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Install a fault plan, e.g. \
+                 'seed=42,drop=0.3,dup=0.05,delay=0.1:2000,part=0+1|2+3@1000:50000,crash=2@3000:9000'.")
+
+let check_invariants_t =
+  Arg.(value & flag
+       & info [ "check-invariants" ]
+           ~doc:"Check cluster invariants between events; exit 3 on violation.")
+
+let cmd =
+  let doc = "run an Emerald-like program on a simulated heterogeneous cluster" in
+  Cmd.v
+    (Cmd.info "emrun" ~doc)
+    Term.(
+      const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
+      $ trace_t $ stats_t $ seed_t $ faults_t $ check_invariants_t)
+
+let () = exit (Cmd.eval cmd)

@@ -15,7 +15,7 @@ type scheduler =
 exception Heterogeneous_move_in_original_protocol
 
 type node = {
-  n_kernel : K.t;
+  mutable n_kernel : K.t;  (* replaced wholesale on restart after a crash *)
   n_clock : Sim.Clock.t;  (* == K.clock n_kernel, cached for the hot loop *)
   n_conv : CS.t;
   mutable n_crashed : bool;
@@ -27,6 +27,78 @@ type search = {
   mutable s_pending : Mobility.Marshal.message list;
   mutable s_awaiting : int;  (* probe answers still outstanding *)
 }
+
+(* ----------------------------------------------------------------------- *)
+(* the reliable transport (installed only for a non-trivial fault plan)
+
+   With an injector on the wire, frames can be dropped, duplicated or
+   delayed, so protocol messages travel in an envelope: a 1-byte tag and
+   a 4-byte big-endian per-sender sequence number in front of the
+   marshalled payload.  Every data frame is acknowledged (header-only
+   ack frame, re-acked on duplicates); the sender retransmits unacked
+   messages on engine-scheduled timeouts with bounded exponential
+   backoff, and the receiver suppresses (src, seq) pairs it has already
+   delivered — exactly-once delivery, or a reported loss after the
+   retry budget is spent.  The header is framing, not data: it is
+   charged no conversion work, matching the Ethernet/IP framing bytes
+   Netsim already accounts.
+
+   Without a fault plan none of this exists: messages travel bare, no
+   acks are sent, and the event sequence is bit-identical to a build
+   without the fault subsystem. *)
+
+type pending_send = {
+  p_seq : int;
+  p_dst : int;
+  p_frame : string;  (* the enveloped wire frame, cached for retransmission *)
+  p_msg : Mobility.Marshal.message;  (* for loss reporting on give-up *)
+  p_desc : string;
+  mutable p_attempts : int;  (* transmissions so far *)
+  mutable p_next_at : float;  (* retransmission deadline *)
+}
+
+let tr_rto_us = 2_000.0 (* initial retransmission timeout *)
+let tr_rto_max_us = 32_000.0 (* backoff cap *)
+let tr_max_attempts = 8 (* transmissions before the loss is reported *)
+
+let put_seq b off seq =
+  Bytes.set b off (Char.chr ((seq lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((seq lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((seq lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (seq land 0xff))
+
+let get_seq s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let data_frame ~seq payload =
+  let b = Bytes.create (5 + String.length payload) in
+  Bytes.set b 0 '\001';
+  put_seq b 1 seq;
+  Bytes.blit_string payload 0 b 5 (String.length payload);
+  Bytes.unsafe_to_string b
+
+let ack_frame seq =
+  let b = Bytes.create 5 in
+  Bytes.set b 0 '\002';
+  put_seq b 1 seq;
+  Bytes.unsafe_to_string b
+
+type frame =
+  | Frame_data of int * string
+  | Frame_ack of int
+
+let unwrap_frame s =
+  match s.[0] with
+  | '\001' -> Frame_data (get_seq s 1, String.sub s 5 (String.length s - 5))
+  | '\002' -> Frame_ack (get_seq s 1)
+  | _ -> invalid_arg "Cluster: corrupt transport frame"
+
+type chaos_act =
+  | Chaos_crash
+  | Chaos_restart
 
 type t = {
   nodes : node array;
@@ -46,6 +118,17 @@ type t = {
   mutable pinned : Ert.Oid.t list;  (* harness-held references: GC roots *)
   mutable collections : int;
   root_done : (T.tid, Ert.Value.t option) Hashtbl.t;
+  (* --- fault injection; [reliable] = a non-trivial plan is installed --- *)
+  faults : Fault.Plan.t;
+  reliable : bool;
+  frng : Fault.Rng.t;  (* the plan's wire-fault stream *)
+  next_seq : int array;  (* per-node transport sequence numbers *)
+  outstanding : (int, pending_send) Hashtbl.t array;  (* unacked, per sender *)
+  seen : (int * int, unit) Hashtbl.t array;  (* (src, seq) delivered, per receiver *)
+  chaos : (float * chaos_act) list array;  (* per-node schedule, sorted by time *)
+  quantum : int option;  (* kept to configure replacement kernels on restart *)
+  mutable last_prog : Emc.Compile.program option;
+  inv_last_times : float array;  (* monotonicity state for check_invariants *)
 }
 
 let emit t ev =
@@ -65,8 +148,12 @@ let ensure_step t i =
   end
 
 let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
-    ?(scheduler = Heap) ?quantum ?gc_threshold ~archs () =
+    ?(scheduler = Heap) ?quantum ?gc_threshold ?(faults = Fault.Plan.empty)
+    ~archs () =
   let n = List.length archs in
+  let reliable = not (Fault.Plan.is_trivial faults) in
+  if reliable && scheduler <> Heap then
+    invalid_arg "Cluster.create: fault plans require the Heap scheduler";
   let net = Enet.Netsim.create ?config:net_config ~n_nodes:n () in
   let repo = Mobility.Code_repository.create () in
   let nodes =
@@ -90,7 +177,15 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       gc_threshold = gc_threshold;
       gc_threshold_i = (match gc_threshold with Some v -> v | None -> max_int);
       pinned = []; collections = 0;
-      root_done = Hashtbl.create 4 }
+      root_done = Hashtbl.create 4;
+      faults; reliable;
+      frng = Fault.Rng.create ~seed:faults.Fault.Plan.pl_seed;
+      next_seq = Array.make n 0;
+      outstanding = Array.init n (fun _ -> Hashtbl.create 8);
+      seen = Array.init n (fun _ -> Hashtbl.create 64);
+      chaos = Array.make n [];
+      quantum; last_prog = None;
+      inv_last_times = Array.make n 0.0 }
   in
   Array.iter
     (fun node ->
@@ -100,6 +195,42 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
   if scheduler = Heap then
     Enet.Netsim.set_on_arrival net (fun ~dst ~at ->
         Engine.schedule t.engine ~at (Engine.Deliver dst));
+  if reliable then begin
+    Enet.Netsim.set_injector net (fun ~src ~dst ~now_us ->
+        Fault.Plan.wire_fault faults ~rng:t.frng ~src ~dst ~now_us);
+    Enet.Netsim.set_on_fault net (fun ~src ~dst f ->
+        let kind =
+          match f with
+          | Enet.Netsim.Fault_drop -> "drop"
+          | Enet.Netsim.Fault_dup extra -> Printf.sprintf "dup (+%.0fus)" extra
+          | Enet.Netsim.Fault_delay extra -> Printf.sprintf "delay (+%.0fus)" extra
+        in
+        emit t
+          (E.Ev_fault
+             { time = K.time_us t.nodes.(src).n_kernel; src; dst; kind }));
+    (* compile the plan's crash/restart windows into per-node schedules
+       and seed the engine with each node's first window *)
+    List.iter
+      (fun (c : Fault.Plan.chaos) ->
+        let i = c.Fault.Plan.ch_node in
+        if i < 0 || i >= n then
+          invalid_arg "Cluster.create: fault plan crashes a node out of range";
+        let acts =
+          (c.Fault.Plan.ch_crash_at_us, Chaos_crash)
+          :: (match c.Fault.Plan.ch_restart_at_us with
+             | Some r -> [ (r, Chaos_restart) ]
+             | None -> [])
+        in
+        t.chaos.(i) <-
+          List.sort (fun (a, _) (b, _) -> Float.compare a b) (t.chaos.(i) @ acts))
+      faults.Fault.Plan.pl_chaos;
+    Array.iteri
+      (fun i acts ->
+        match acts with
+        | (at, _) :: _ -> Engine.schedule t.engine ~at (Engine.Chaos i)
+        | [] -> ())
+      t.chaos
+  end;
   t
 
 let protocol t = t.proto
@@ -112,12 +243,15 @@ let repository t = t.repo
 let network t = t.net
 let engine t = t.engine
 let conversion_stats t i = t.nodes.(i).n_conv
+let fault_plan t = t.faults
 let set_trace t f = t.trace <- Some f
 let subscribe_events t f = E.subscribe t.bus f
 let node_counters t i = E.counters t.bus i
 let total_counter t f = E.total t.bus f
 
-let load_program t prog = Array.iter (fun n -> K.load_program n.n_kernel prog) t.nodes
+let load_program t prog =
+  t.last_prog <- Some prog;  (* replayed into replacement kernels on restart *)
+  Array.iter (fun n -> K.load_program n.n_kernel prog) t.nodes
 
 let compile_and_load ?optimize t ~name source =
   let archs =
@@ -259,7 +393,43 @@ let crash_node t i =
         List.iter
           (fun msg -> drop_message t msg ~reason:(Printf.sprintf "node %d crashed" i))
           s.s_pending)
-      orphaned
+      orphaned;
+    (* the dead node's transport state is gone: every message it had not
+       yet seen acknowledged may or may not have been delivered — the
+       fail-stop uncertainty — so their continuations are reported lost *)
+    if t.reliable && Hashtbl.length t.outstanding.(i) > 0 then begin
+      let entries =
+        Hashtbl.fold (fun _ p acc -> p :: acc) t.outstanding.(i) []
+        |> List.sort (fun a b -> compare a.p_seq b.p_seq)
+      in
+      Hashtbl.reset t.outstanding.(i);
+      List.iter
+        (fun p ->
+          drop_message t p.p_msg ~reason:(Printf.sprintf "node %d crashed" i))
+        entries
+    end
+  end
+
+(* Reboot a crashed node: a fresh, amnesiac kernel — no objects, no
+   segments, no transport state — on the same (shared, monotonic) clock,
+   with the program reloaded so arriving invocations can at least build
+   proxies and forward.  Everything the node held before the crash stays
+   lost; that is the fail-stop model. *)
+let restart_node t i =
+  let n = t.nodes.(i) in
+  if n.n_crashed then begin
+    let arch = K.arch n.n_kernel in
+    let k = K.create ~clock:n.n_clock ~node_id:i ~arch () in
+    K.set_on_code_load k (fun ~class_index ->
+        Mobility.Code_repository.record_fetch t.repo ~node:i ~class_index;
+        K.charge_insns k CM.code_fetch_insns);
+    K.set_quantum k t.quantum;
+    K.set_on_root_result k (fun ~thread r -> Hashtbl.replace t.root_done thread r);
+    (match t.last_prog with Some prog -> K.load_program k prog | None -> ());
+    n.n_kernel <- k;
+    n.n_crashed <- false;
+    if t.reliable then Hashtbl.reset t.seen.(i);
+    emit t (E.Ev_restart { node = i })
   end
 
 (* ----------------------------------------------------------------------- *)
@@ -316,7 +486,11 @@ let wire_impl_of t =
 let send_message t ~src (s : Mobility.Move.send) =
   let dst = s.Mobility.Move.snd_dest in
   let msg = s.Mobility.Move.snd_msg in
-  if t.nodes.(dst).n_crashed then begin
+  if (not t.reliable) && t.nodes.(dst).n_crashed then begin
+    (* reliable-wire model: a send to a known-dead interface is refused
+       outright.  Under a fault plan the frame goes out anyway — the
+       node may restart — and the loss is only reported when the
+       retransmission budget is spent. *)
     emit t
       (E.Ev_msg_lost { src; dst; desc = Mobility.Marshal.describe msg });
     drop_message t msg ~reason:(Printf.sprintf "node %d is down" dst)
@@ -332,13 +506,37 @@ let send_message t ~src (s : Mobility.Move.send) =
   let payload = Mobility.Marshal.encode ~impl:(wire_impl_of t) ~stats msg in
   charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
     ~bytes:(CS.bytes stats - bytes0);
-  let arrival =
-    Enet.Netsim.send t.net ~now_us:(K.time_us k) ~src ~dst ~payload
-  in
-  emit t
-    (E.Ev_msg_send
-       { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
-         bytes = String.length payload; arrives = arrival })
+  if not t.reliable then begin
+    let arrival =
+      Enet.Netsim.send t.net ~now_us:(K.time_us k) ~src ~dst ~payload
+    in
+    emit t
+      (E.Ev_msg_send
+         { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
+           bytes = String.length payload; arrives = arrival })
+  end
+  else begin
+    let seq = t.next_seq.(src) in
+    t.next_seq.(src) <- seq + 1;
+    let frame = data_frame ~seq payload in
+    let desc = Mobility.Marshal.describe msg in
+    let now = K.time_us k in
+    let arrival = Enet.Netsim.send t.net ~now_us:now ~src ~dst ~payload:frame in
+    emit t
+      (E.Ev_msg_send
+         { time = now; src; dst; desc; bytes = String.length frame;
+           arrives = arrival });
+    let p =
+      { p_seq = seq; p_dst = dst; p_frame = frame; p_msg = msg; p_desc = desc;
+        p_attempts = 1; p_next_at = now +. tr_rto_us }
+    in
+    Hashtbl.replace t.outstanding.(src) seq p;
+    (* the engine holds at most one timer entry per node; if one is
+       already queued later than this deadline, the pop will process
+       this entry past due and reschedule at the then-earliest — a late
+       retransmit, never a lost one *)
+    Engine.schedule t.engine ~at:p.p_next_at (Engine.Timer src)
+  end
   end
 
 (* Emerald's broadcast location search: probe every live node; park the
@@ -432,6 +630,11 @@ let deliver t ~dst (m : Enet.Netsim.message) =
     match msg with
     | Mobility.Marshal.M_invoke
         { target; callee_class; callee_method; args; reply; thread; forwards } -> (
+      (* under a fault plan, a message of an already-aborted thread can
+         still arrive (its abort raced a copy in flight); resurrecting
+         the continuation would violate the no-orphans invariant *)
+      if t.reliable && Hashtbl.mem t.failures thread then []
+      else begin
       K.charge_insns k CM.invoke_dispatch_insns;
       match
         Mobility.Rpc.handle_invoke ~k ~target ~callee_class ~callee_method ~args ~reply
@@ -440,9 +643,11 @@ let deliver t ~dst (m : Enet.Netsim.message) =
       | Mobility.Rpc.Routed sends -> sends
       | Mobility.Rpc.Unlocated msg ->
         start_search t ~asker:dst target msg;
-        [])
+        []
+      end)
     | Mobility.Marshal.M_reply { to_seg; value; thread } ->
-      Mobility.Rpc.handle_reply ~k ~to_seg ~value ~thread
+      if t.reliable && Hashtbl.mem t.failures thread then []
+      else Mobility.Rpc.handle_reply ~k ~to_seg ~value ~thread
     | Mobility.Marshal.M_move_req { obj; dest; forwards } ->
       quiesce_node t dst;
       Mobility.Move.handle_move_req ~k ~obj ~dest ~forwards
@@ -455,6 +660,18 @@ let deliver t ~dst (m : Enet.Netsim.message) =
              objects = mstats.Mobility.Move.ap_objects;
              segments = mstats.Mobility.Move.ap_segments;
              frames = mstats.Mobility.Move.ap_frames });
+      (* a move payload can land after its thread was reported lost (the
+         abort raced a copy in flight); reap the resurrected segments so
+         the dead continuation cannot run *)
+      if t.reliable && mstats.Mobility.Move.ap_segments > 0 then
+        List.iter
+          (fun (seg : T.segment) ->
+            if seg.T.seg_status <> T.Dead && Hashtbl.mem t.failures seg.T.seg_thread
+            then begin
+              seg.T.seg_status <- T.Dead;
+              K.unregister_segment k seg
+            end)
+          (K.segments k);
       []
     | Mobility.Marshal.M_start_process { obj; forwards } -> (
       match K.find_object k obj with
@@ -556,9 +773,47 @@ let next_event_scan t =
     t.nodes;
   !best
 
+(* the reliable-transport receive path: unwrap the envelope, ack every
+   data frame (even duplicates — the first ack may itself have been
+   lost), suppress (src, seq) pairs already delivered, and clear the
+   sender's retransmission state on ack receipt *)
+let deliver_reliable t i (m : Enet.Netsim.message) =
+  let src = m.Enet.Netsim.msg_src in
+  if t.nodes.(i).n_crashed then
+    (* a dead interface drains the frame silently; the sender's
+       retransmission timer decides the message's fate *)
+    ()
+  else
+    match unwrap_frame m.Enet.Netsim.msg_payload with
+    | Frame_ack seq ->
+      let k = t.nodes.(i).n_kernel in
+      K.set_time_us k m.Enet.Netsim.msg_arrives_at;
+      K.charge_us k CM.protocol_fixed_us;
+      if Hashtbl.mem t.outstanding.(i) seq then begin
+        Hashtbl.remove t.outstanding.(i) seq;
+        emit t (E.Ev_ack { node = i; seq })
+      end
+    | Frame_data (seq, inner) ->
+      let k = t.nodes.(i).n_kernel in
+      K.set_time_us k m.Enet.Netsim.msg_arrives_at;
+      ignore
+        (Enet.Netsim.send t.net ~now_us:(K.time_us k) ~src:i ~dst:src
+           ~payload:(ack_frame seq)
+          : float);
+      if Hashtbl.mem t.seen.(i) (src, seq) then begin
+        K.charge_us k CM.protocol_fixed_us;
+        emit t (E.Ev_msg_dup { node = i; src; seq })
+      end
+      else begin
+        Hashtbl.add t.seen.(i) (src, seq) ();
+        deliver t ~dst:i { m with Enet.Netsim.msg_payload = inner }
+      end
+
 let exec_deliver t i eff =
   t.events <- t.events + 1;
   match Enet.Netsim.receive t.net ~dst:i ~now_us:eff with
+  | None -> ()
+  | Some m when t.reliable -> deliver_reliable t i m
   | Some m when t.nodes.(i).n_crashed ->
     let stats = CS.create () in
     let msg =
@@ -567,7 +822,6 @@ let exec_deliver t i eff =
     emit t (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
     drop_message t msg ~reason:(Printf.sprintf "node %d is down" i)
   | Some m -> deliver t ~dst:i m
-  | None -> ()
 
 let exec_step t i ~time =
   t.events <- t.events + 1;
@@ -618,9 +872,73 @@ let reseed t =
     t.nodes;
   !any
 
+(* one due retransmission deadline: either resend with doubled backoff or,
+   with the attempt budget spent, report the loss and abort whatever was
+   riding on the message *)
+let retransmit_due t i ~now p =
+  if p.p_attempts >= tr_max_attempts then begin
+    Hashtbl.remove t.outstanding.(i) p.p_seq;
+    emit t (E.Ev_msg_lost { src = i; dst = p.p_dst; desc = p.p_desc });
+    drop_message t p.p_msg
+      ~reason:
+        (Printf.sprintf "no acknowledgement from node %d after %d attempts"
+           p.p_dst p.p_attempts)
+  end
+  else begin
+    p.p_attempts <- p.p_attempts + 1;
+    let backoff =
+      Float.min tr_rto_max_us (tr_rto_us *. (2. ** float_of_int (p.p_attempts - 1)))
+    in
+    p.p_next_at <- now +. backoff;
+    emit t
+      (E.Ev_retransmit { node = i; dst = p.p_dst; seq = p.p_seq;
+                         attempt = p.p_attempts });
+    ignore (Enet.Netsim.send t.net ~now_us:now ~src:i ~dst:p.p_dst
+              ~payload:p.p_frame : float)
+  end
+
 let rec step_once_heap t =
   match Engine.take t.engine with
   | None -> if reseed t then step_once_heap t else false
+  | Some (Engine.Timer i) ->
+    let tbl = t.outstanding.(i) in
+    if t.nodes.(i).n_crashed || Hashtbl.length tbl = 0 then step_once_heap t
+    else begin
+      let now = Engine.now t.engine in
+      let due, later =
+        Hashtbl.fold
+          (fun _ p (d, l) ->
+            if p.p_next_at <= now then (p :: d, l) else (d, Float.min l p.p_next_at))
+          tbl ([], infinity)
+      in
+      match due with
+      | [] ->
+        if later < infinity then Engine.reschedule t.engine ~at:later (Engine.Timer i);
+        step_once_heap t
+      | due ->
+        t.events <- t.events + 1;
+        (* hashtable fold order is unspecified; sequence numbers restore
+           a deterministic processing order *)
+        let due = List.sort (fun a b -> compare a.p_seq b.p_seq) due in
+        List.iter (retransmit_due t i ~now) due;
+        let next = Hashtbl.fold (fun _ p acc -> Float.min acc p.p_next_at) tbl infinity in
+        if next < infinity then Engine.schedule t.engine ~at:next (Engine.Timer i);
+        true
+    end
+  | Some (Engine.Chaos i) -> (
+    match t.chaos.(i) with
+    | [] -> step_once_heap t
+    | (_, act) :: rest ->
+      t.chaos.(i) <- rest;
+      t.events <- t.events + 1;
+      (match act with
+      | Chaos_crash -> crash_node t i
+      | Chaos_restart -> restart_node t i);
+      (match rest with
+      | (at, _) :: _ -> Engine.schedule t.engine ~at (Engine.Chaos i)
+      | [] -> ());
+      ensure_step t i;
+      true)
   | Some (Engine.Gc i) ->
     let n = t.nodes.(i) in
     if n.n_crashed || not (over_gc_threshold t i) then step_once_heap t
@@ -748,3 +1066,13 @@ let outputs t =
 
 let events_processed t = t.events
 let collections t = t.collections
+
+(* between events every segment is parked at a bus stop, so global
+   properties are well defined; [inv_last_times] carries the previous
+   per-node clock observations for the monotonicity check *)
+let check_invariants t =
+  Fault.Invariants.check ~n_nodes:(Array.length t.nodes)
+    ~kernel:(fun i -> t.nodes.(i).n_kernel)
+    ~crashed:(fun i -> t.nodes.(i).n_crashed)
+    ~thread_failed:(fun tid -> Hashtbl.mem t.failures tid)
+    ~last_times:t.inv_last_times

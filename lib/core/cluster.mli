@@ -36,6 +36,7 @@ val create :
   ?scheduler:scheduler ->
   ?quantum:int ->
   ?gc_threshold:int ->
+  ?faults:Fault.Plan.t ->
   archs:Isa.Arch.t list ->
   unit ->
   t
@@ -44,7 +45,17 @@ val create :
     forward to their next bus stop before any migration capture
     (section 2.2.1).  Default: the Emerald discipline — control transfers
     only at bus stops.  [scheduler] selects the event-selection
-    mechanism (default {!Heap}). *)
+    mechanism (default {!Heap}).
+
+    [faults] installs a deterministic fault plan (default
+    {!Fault.Plan.empty}).  A non-trivial plan switches every protocol
+    message onto a sequence-numbered, acknowledged transport with
+    bounded-backoff retransmission and receiver-side duplicate
+    suppression — exactly-once delivery, or a reported loss once the
+    retry budget is spent — and schedules the plan's partitions and
+    crash/restart windows.  A trivial plan changes nothing: the event
+    sequence is bit-identical to a cluster built without one.
+    Non-trivial plans require the {!Heap} scheduler. *)
 
 val protocol : t -> protocol
 val scheduler : t -> scheduler
@@ -111,8 +122,22 @@ val crash_node : t -> int -> unit
     it become unavailable; threads entirely elsewhere keep running —
     Emerald's design goal of minimising residual dependencies. *)
 
+val restart_node : t -> int -> unit
+(** Reboot a crashed node as a fresh, amnesiac kernel (no objects, no
+    segments, no transport state) on the same monotonic clock, with the
+    last loaded program replayed into it.  No-op on a live node. *)
+
 val is_crashed : t -> int -> bool
 val thread_failure : t -> Ert.Thread.tid -> string option
+
+val fault_plan : t -> Fault.Plan.t
+
+val check_invariants : t -> Fault.Invariants.violation list
+(** Run the {!Fault.Invariants} checkers over the cluster.  Call between
+    events (after a {!step_once}), when every segment is parked at a bus
+    stop; empty means healthy.  Monotonicity state is kept inside [t],
+    so interleave calls freely. *)
+
 val global_time_us : t -> float
 (** Maximum virtual time across nodes. *)
 

@@ -2,17 +2,24 @@ type event =
   | Step of int
   | Deliver of int
   | Gc of int
+  | Timer of int
+  | Chaos of int
 
 (* Priority encoding.  The seed's O(nodes) scan had an implicit order at
    equal virtual time: message deliveries beat scheduling steps, the
    lower node index beat the higher, and an automatic collection ran
    inline before anything else could intervene on that node.  The rank
    reproduces that order inside the heap: at equal time,
-   Gc < Deliver < Step, and the node index breaks ties within a class. *)
+   Gc < Deliver < Step, and the node index breaks ties within a class.
+   The fault subsystem's kinds slot around them: a scheduled crash or
+   restart (Chaos) takes effect before anything else at its instant, and
+   retransmission deadlines (Timer) fire after regular work. *)
 let rank ~n_nodes = function
-  | Gc i -> i
-  | Deliver i -> n_nodes + i
-  | Step i -> (2 * n_nodes) + i
+  | Chaos i -> i
+  | Gc i -> n_nodes + i
+  | Deliver i -> (2 * n_nodes) + i
+  | Step i -> (3 * n_nodes) + i
+  | Timer i -> (4 * n_nodes) + i
 
 type t = {
   pq : event Sim.Pqueue.t;
@@ -21,6 +28,8 @@ type t = {
   step_queued : bool array;
   deliver_queued : bool array;
   gc_queued : bool array;
+  timer_queued : bool array;
+  chaos_queued : bool array;
   mutable pushes : int;
   mutable pops : int;
   mutable stale : int;
@@ -34,6 +43,8 @@ let create ?clock ~n_nodes () =
     step_queued = Array.make n_nodes false;
     deliver_queued = Array.make n_nodes false;
     gc_queued = Array.make n_nodes false;
+    timer_queued = Array.make n_nodes false;
+    chaos_queued = Array.make n_nodes false;
     pushes = 0;
     pops = 0;
     stale = 0;
@@ -46,11 +57,15 @@ let flag t = function
   | Step i -> t.step_queued.(i)
   | Deliver i -> t.deliver_queued.(i)
   | Gc i -> t.gc_queued.(i)
+  | Timer i -> t.timer_queued.(i)
+  | Chaos i -> t.chaos_queued.(i)
 
 let set_flag t v = function
   | Step i -> t.step_queued.(i) <- v
   | Deliver i -> t.deliver_queued.(i) <- v
   | Gc i -> t.gc_queued.(i) <- v
+  | Timer i -> t.timer_queued.(i) <- v
+  | Chaos i -> t.chaos_queued.(i) <- v
 
 (* At most one queued entry per (event kind, node): a second schedule is
    a no-op.  The existing entry is never later than the wanted time —

@@ -18,6 +18,8 @@ type event =
   | Step of int  (** run one kernel scheduling slice on the node *)
   | Deliver of int  (** deliver the node's next arrived message *)
   | Gc of int  (** automatic collection on the node *)
+  | Timer of int  (** the node's earliest retransmission deadline is due *)
+  | Chaos of int  (** the node's next scheduled crash/restart window opens *)
 
 type t
 

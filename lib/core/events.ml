@@ -22,15 +22,23 @@ type t =
   | Ev_conversion of { node : int; calls : int; bytes : int }
   | Ev_gc of { time : float; node : int; swept : int; live : int; bytes_freed : int }
   | Ev_crash of { node : int }
+  | Ev_restart of { node : int }
   | Ev_thread_lost of { thread : Ert.Thread.tid; reason : string }
   | Ev_search_start of { node : int; obj : Ert.Oid.t; probes : int }
   | Ev_search_found of { obj : Ert.Oid.t; node : int }
   | Ev_search_failed of { obj : Ert.Oid.t }
+  | Ev_fault of { time : float; src : int; dst : int; kind : string }
+  | Ev_msg_dup of { node : int; src : int; seq : int }
+  | Ev_retransmit of { node : int; dst : int; seq : int; attempt : int }
+  | Ev_ack of { node : int; seq : int }
 
 (* The exact line the seed's [(string -> unit)] trace hook printed for
    this event, if it printed one.  Events the seed had no line for
    (steps, move completion, conversion accounting) map to [None], so a
-   legacy subscriber sees byte-identical output. *)
+   legacy subscriber sees byte-identical output.  Fault-subsystem events
+   (restarts, injected faults, dups, retransmits, acks) never fire
+   without a fault plan, so giving them lines keeps the no-fault trace
+   byte-identical while making [--trace] useful under injection. *)
 let legacy_string = function
   | Ev_step _ | Ev_move_finish _ | Ev_conversion _ -> None
   | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
@@ -52,6 +60,16 @@ let legacy_string = function
       (Printf.sprintf "t=%.0fus node %d: gc swept %d block(s), %d bytes" time node
          swept bytes_freed)
   | Ev_crash { node } -> Some (Printf.sprintf "node %d crashes" node)
+  | Ev_restart { node } -> Some (Printf.sprintf "node %d restarts (empty)" node)
+  | Ev_fault { time; src; dst; kind } ->
+    Some (Printf.sprintf "t=%.0fus wire fault: node %d -> node %d %s" time src dst kind)
+  | Ev_msg_dup { node; src; seq } ->
+    Some (Printf.sprintf "node %d suppresses duplicate #%d from node %d" node seq src)
+  | Ev_retransmit { node; dst; seq; attempt } ->
+    Some
+      (Printf.sprintf "node %d retransmits #%d to node %d (attempt %d)" node seq dst
+         attempt)
+  | Ev_ack { node; seq } -> Some (Printf.sprintf "node %d acked #%d" node seq)
   | Ev_thread_lost { thread; reason } ->
     Some (Printf.sprintf "thread %d unavailable: %s" thread reason)
   | Ev_search_start { node; obj; probes } ->
@@ -87,6 +105,10 @@ type counters = {
   mutable c_collections : int;
   mutable c_gc_bytes_freed : int;
   mutable c_searches : int;
+  mutable c_faults : int;
+  mutable c_dups_suppressed : int;
+  mutable c_retransmits : int;
+  mutable c_acks : int;
 }
 
 let fresh_counters () =
@@ -102,6 +124,10 @@ let fresh_counters () =
     c_collections = 0;
     c_gc_bytes_freed = 0;
     c_searches = 0;
+    c_faults = 0;
+    c_dups_suppressed = 0;
+    c_retransmits = 0;
+    c_acks = 0;
   }
 
 type bus = {
@@ -131,7 +157,13 @@ let count bus ev =
     (c node).c_collections <- (c node).c_collections + 1;
     (c node).c_gc_bytes_freed <- (c node).c_gc_bytes_freed + bytes_freed
   | Ev_search_start { node; _ } -> (c node).c_searches <- (c node).c_searches + 1
-  | Ev_crash _ | Ev_thread_lost _ | Ev_search_found _ | Ev_search_failed _ -> ()
+  | Ev_fault { src; _ } -> (c src).c_faults <- (c src).c_faults + 1
+  | Ev_msg_dup { node; _ } ->
+    (c node).c_dups_suppressed <- (c node).c_dups_suppressed + 1
+  | Ev_retransmit { node; _ } -> (c node).c_retransmits <- (c node).c_retransmits + 1
+  | Ev_ack { node; _ } -> (c node).c_acks <- (c node).c_acks + 1
+  | Ev_crash _ | Ev_restart _ | Ev_thread_lost _ | Ev_search_found _
+  | Ev_search_failed _ -> ()
 
 let emit bus ev =
   count bus ev;

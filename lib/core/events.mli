@@ -36,10 +36,20 @@ type t =
       (** marshalling work performed while encoding or decoding *)
   | Ev_gc of { time : float; node : int; swept : int; live : int; bytes_freed : int }
   | Ev_crash of { node : int }
+  | Ev_restart of { node : int }
+      (** a crash window closed: the node reboots empty (fault plans) *)
   | Ev_thread_lost of { thread : Ert.Thread.tid; reason : string }
   | Ev_search_start of { node : int; obj : Ert.Oid.t; probes : int }
   | Ev_search_found of { obj : Ert.Oid.t; node : int }
   | Ev_search_failed of { obj : Ert.Oid.t }
+  | Ev_fault of { time : float; src : int; dst : int; kind : string }
+      (** the injector perturbed a frame on the wire (drop/dup/delay) *)
+  | Ev_msg_dup of { node : int; src : int; seq : int }
+      (** a duplicate protocol message was suppressed at the receiver *)
+  | Ev_retransmit of { node : int; dst : int; seq : int; attempt : int }
+      (** an unacknowledged message was retransmitted *)
+  | Ev_ack of { node : int; seq : int }
+      (** an acknowledgement was processed at the original sender *)
 
 val legacy_string : t -> string option
 (** The seed trace hook's line for this event; [None] for events the seed
@@ -62,6 +72,10 @@ type counters = {
   mutable c_collections : int;
   mutable c_gc_bytes_freed : int;
   mutable c_searches : int;  (** broadcast location searches started here *)
+  mutable c_faults : int;  (** wire faults injected on frames this node sent *)
+  mutable c_dups_suppressed : int;  (** duplicates suppressed at this receiver *)
+  mutable c_retransmits : int;  (** retransmissions sent from this node *)
+  mutable c_acks : int;  (** acknowledgements processed at this node *)
 }
 
 (** {1 The bus} *)

@@ -144,12 +144,13 @@ type roundtrip = {
   rt_bytes_sent : int;
   rt_messages : int;
   rt_conversion_calls : int;
+  rt_retransmits : int;
   rt_host_seconds : float;
 }
 
-let measure_roundtrip ?protocol ?wire_impl ?n_vars ~home ~dest ~iters () =
+let measure_roundtrip ?protocol ?wire_impl ?faults ?n_vars ~home ~dest ~iters () =
   let t_start = Unix.gettimeofday () in
-  let cl = Cluster.create ?protocol ?wire_impl ~archs:[ home; dest ] () in
+  let cl = Cluster.create ?protocol ?wire_impl ?faults ~archs:[ home; dest ] () in
   let source =
     match n_vars with
     | None -> table1_src
@@ -176,6 +177,7 @@ let measure_roundtrip ?protocol ?wire_impl ?n_vars ~home ~dest ~iters () =
     rt_bytes_sent = Enet.Netsim.bytes_sent (Cluster.network cl);
     rt_messages = Enet.Netsim.messages_sent (Cluster.network cl);
     rt_conversion_calls = conv;
+    rt_retransmits = Cluster.total_counter cl (fun c -> c.Events.c_retransmits);
     rt_host_seconds = Unix.gettimeofday () -. t_start;
   }
 
@@ -227,9 +229,9 @@ let scaling_archs n_nodes =
   let pool = [| Isa.Arch.sparc; Isa.Arch.sun3; Isa.Arch.hp9000_433; Isa.Arch.vax |] in
   List.init n_nodes (fun i -> pool.(i mod Array.length pool))
 
-let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ~n_nodes ~hops ~spins
-    () =
-  let cl = Cluster.create ~scheduler ~quantum ~archs:(scaling_archs n_nodes) () in
+let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ?faults ~n_nodes
+    ~hops ~spins () =
+  let cl = Cluster.create ~scheduler ~quantum ?faults ~archs:(scaling_archs n_nodes) () in
   ignore (Cluster.compile_and_load cl ~name:"scaling" scaling_src);
   let agent = Cluster.create_object cl ~node:0 ~class_name:"Agent" in
   let tid =

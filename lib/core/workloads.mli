@@ -21,6 +21,7 @@ type roundtrip = {
   rt_bytes_sent : int;
   rt_messages : int;
   rt_conversion_calls : int;
+  rt_retransmits : int;  (** frames retransmitted (0 without a fault plan) *)
   rt_host_seconds : float;  (** wall time spent simulating *)
 }
 
@@ -31,6 +32,7 @@ val table1_src_sized : n_vars:int -> string
 val measure_roundtrip :
   ?protocol:Cluster.protocol ->
   ?wire_impl:Enet.Wire.impl ->
+  ?faults:Fault.Plan.t ->
   ?n_vars:int ->
   home:Isa.Arch.t ->
   dest:Isa.Arch.t ->
@@ -74,6 +76,7 @@ type scaling = {
 val measure_scaling :
   ?scheduler:Cluster.scheduler ->
   ?quantum:int ->
+  ?faults:Fault.Plan.t ->
   n_nodes:int ->
   hops:int ->
   spins:int ->

@@ -1,0 +1,35 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, fast,
+   well-distributed generator whose state is one 64-bit word — and whose
+   output function is a pure mix of the state, so [split] can seed an
+   independent stream from a single draw. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = mix (next_int64 t) }
+let copy t = { state = t.state }
+
+(* 53 high bits -> uniform float in [0,1) *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free modulo is fine here: bounds are tiny (node counts,
+     workload choices) against a 64-bit stream *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let bool t ~p = if p <= 0.0 then false else if p >= 1.0 then true else float t < p

@@ -1,0 +1,32 @@
+(** A seeded, splittable pseudo-random number generator (SplitMix64).
+
+    Every random decision in the fault-injection subsystem draws from one
+    of these streams, never from wall-clock time or [Stdlib.Random]: two
+    runs from the same seed make bit-identical decisions, which is what
+    lets `emfuzz` replay and shrink a failing schedule.
+
+    [split] derives an independent stream deterministically, so the wire
+    faults, the crash schedule and the workload generator each consume
+    their own stream — adding a draw to one cannot perturb the others. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A new stream whose future draws are independent of (but fully
+    determined by) the parent's state at the split point. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** The raw 64-bit SplitMix64 output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p]. *)
