@@ -1,44 +1,87 @@
 (* emdis: disassemble the native code generated for one architecture,
    side by side with its bus-stop table.
 
-     emdis FILE ARCH [CLASS] *)
+     emdis FILE ARCH [CLASS] [--plans DST] *)
 
-let () =
-  match Array.to_list Sys.argv with
-  | _ :: file :: arch_id :: rest ->
-    let source = In_channel.with_open_text file In_channel.input_all in
-    let arch =
-      try Isa.Arch.by_id arch_id
-      with Not_found ->
-        Printf.eprintf "unknown architecture %s (have: %s)\n" arch_id
-          (String.concat ", " (List.map (fun a -> a.Isa.Arch.id) Isa.Arch.all));
-        exit 2
-    in
-    let prog =
-      match
-        Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file)) ~archs:[ arch ] source
-      with
-      | Ok p -> p
-      | Error errs ->
-        List.iter
-          (fun e ->
-            Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
-          errs;
-        exit 1
-    in
-    let wanted (cc : Emc.Compile.compiled_class) =
-      match rest with
-      | [] -> true
-      | cls :: _ -> String.equal cc.Emc.Compile.cc_name cls
-    in
-    Array.iter
-      (fun (cc : Emc.Compile.compiled_class) ->
-        if wanted cc then begin
-          let art = Emc.Compile.artifact cc ~arch_id:arch.Isa.Arch.id in
-          print_string (Isa.Disasm.listing art.Emc.Compile.aa_code);
-          Format.printf "%a@." Emc.Busstop.pp art.Emc.Compile.aa_stops
-        end)
-      prog.Emc.Compile.p_classes
-  | _ ->
-    prerr_endline "emdis FILE ARCH [CLASS]";
+open Cmdliner
+
+let arch_by_id id =
+  try Isa.Arch.by_id id
+  with Not_found ->
+    Printf.eprintf "unknown architecture %s (have: %s)\n" id
+      (String.concat ", " (List.map (fun a -> a.Isa.Arch.id) Isa.Arch.all));
     exit 2
+
+let dis file arch_id cls plans_dst =
+  let source = In_channel.with_open_text file In_channel.input_all in
+  let arch = arch_by_id arch_id in
+  let archs =
+    match plans_dst with
+    | Some id when id <> arch.Isa.Arch.id -> [ arch; arch_by_id id ]
+    | _ -> [ arch ]
+  in
+  let prog =
+    match
+      Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
+        ~archs source
+    with
+    | Ok p -> p
+    | Error errs ->
+      List.iter
+        (fun e ->
+          Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
+        errs;
+      exit 1
+  in
+  let plan_use =
+    match plans_dst with
+    | None -> None
+    | Some id ->
+      let cache = Mobility.Conv_plan.create_cache () in
+      Mobility.Conv_plan.set_program cache prog;
+      Some
+        (Mobility.Conv_plan.make_use cache
+           { Mobility.Conv_plan.pr_src = arch; pr_dst = arch_by_id id })
+  in
+  let wanted (cc : Emc.Compile.compiled_class) =
+    match cls with None -> true | Some c -> String.equal cc.Emc.Compile.cc_name c
+  in
+  Array.iteri
+    (fun class_index (cc : Emc.Compile.compiled_class) ->
+      if wanted cc then begin
+        let art = Emc.Compile.artifact cc ~arch_id:arch.Isa.Arch.id in
+        print_string (Isa.Disasm.listing art.Emc.Compile.aa_code);
+        Format.printf "%a@." Emc.Busstop.pp art.Emc.Compile.aa_stops;
+        match plan_use with
+        | None -> ()
+        | Some use ->
+          for stop = 0 to cc.Emc.Compile.cc_ir.Emc.Ir.cl_nstops - 1 do
+            match Mobility.Conv_plan.describe use ~class_index ~stop with
+            | Some d -> Printf.printf "plan %s stop %d: %s\n" cc.Emc.Compile.cc_name stop d
+            | None -> ()
+          done
+      end)
+    prog.Emc.Compile.p_classes
+
+let file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Emerald source file.")
+
+let arch_t =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"ARCH" ~doc:"Architecture to disassemble for.")
+
+let class_t =
+  Arg.(value & pos 2 (some string) None
+       & info [] ~docv:"CLASS" ~doc:"Restrict the listing to this class.")
+
+let plans_t =
+  Arg.(value & opt (some string) None
+       & info [ "plans" ] ~docv:"DST"
+           ~doc:"Also print the compiled conversion plans for migrations from \
+                 ARCH to this destination architecture.")
+
+let cmd =
+  let doc = "disassemble native code next to its bus-stop table" in
+  Cmd.v (Cmd.info "emdis" ~doc) Term.(const dis $ file_t $ arch_t $ class_t $ plans_t)
+
+let () = exit (Cmd.eval cmd)

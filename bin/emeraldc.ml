@@ -2,43 +2,15 @@
    architectures and inspect what the compiler produces — native code,
    templates, bus-stop tables, IR.
 
-     emeraldc FILE [options]
-       --arch ID       compile only for this architecture (vax, sun3,
-                       hp433, hp385, sparc); default: all
-       --dump-ir       print the machine-independent IR
-       --dump-code     print the native-code listings
-       --dump-stops    print the bus-stop tables
-       --dump-template print the object/activation-record templates *)
+     emeraldc FILE [--arch ID] [--dump-ir] [--dump-code] [--dump-stops]
+                   [--dump-template] *)
 
-let usage = "emeraldc FILE [--arch ID] [--dump-ir] [--dump-code] [--dump-stops] [--dump-template]"
+open Cmdliner
 
-let () =
-  let file = ref None in
-  let arch_id = ref None in
-  let dump_ir = ref false in
-  let dump_code = ref false in
-  let dump_stops = ref false in
-  let dump_template = ref false in
-  let spec =
-    [
-      ("--arch", Arg.String (fun s -> arch_id := Some s), "ID architecture to compile for");
-      ("--dump-ir", Arg.Set dump_ir, " print the IR");
-      ("--dump-code", Arg.Set dump_code, " print native code listings");
-      ("--dump-stops", Arg.Set dump_stops, " print bus-stop tables");
-      ("--dump-template", Arg.Set dump_template, " print templates");
-    ]
-  in
-  Arg.parse spec (fun f -> file := Some f) usage;
-  let file =
-    match !file with
-    | Some f -> f
-    | None ->
-      prerr_endline usage;
-      exit 2
-  in
+let compile file arch_id dump_ir dump_code dump_stops dump_template =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
-    match !arch_id with
+    match arch_id with
     | None -> Isa.Arch.all
     | Some id -> (
       try [ Isa.Arch.by_id id ]
@@ -70,17 +42,49 @@ let () =
               art.Emc.Compile.aa_code.Isa.Code.byte_size)
           cc.Emc.Compile.cc_arts)
       prog.Emc.Compile.p_classes;
-    if !dump_ir then Format.printf "@.%a" Emc.Pretty.pp_program prog.Emc.Compile.p_ir;
+    if dump_ir then Format.printf "@.%a" Emc.Pretty.pp_program prog.Emc.Compile.p_ir;
     Array.iter
       (fun (cc : Emc.Compile.compiled_class) ->
-        if !dump_template then
+        if dump_template then
           Format.printf "@.%a" Emc.Template.pp_class cc.Emc.Compile.cc_template;
         List.iter
           (fun (_, (art : Emc.Compile.arch_artifact)) ->
-            if !dump_code then begin
+            if dump_code then begin
               print_newline ();
               print_string (Isa.Disasm.listing art.Emc.Compile.aa_code)
             end;
-            if !dump_stops then Format.printf "@.%a" Emc.Busstop.pp art.Emc.Compile.aa_stops)
+            if dump_stops then Format.printf "@.%a" Emc.Busstop.pp art.Emc.Compile.aa_stops)
           cc.Emc.Compile.cc_arts)
       prog.Emc.Compile.p_classes
+
+let file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Emerald source file.")
+
+let arch_t =
+  Arg.(value & opt (some string) None
+       & info [ "arch" ] ~docv:"ID"
+           ~doc:"Compile only for this architecture (vax, sun3, hp433, hp385, \
+                 sparc); default: all.")
+
+let dump_ir_t =
+  Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the machine-independent IR.")
+
+let dump_code_t =
+  Arg.(value & flag & info [ "dump-code" ] ~doc:"Print the native-code listings.")
+
+let dump_stops_t =
+  Arg.(value & flag & info [ "dump-stops" ] ~doc:"Print the bus-stop tables.")
+
+let dump_template_t =
+  Arg.(value & flag
+       & info [ "dump-template" ] ~doc:"Print the object/activation-record templates.")
+
+let cmd =
+  let doc = "compile an Emerald-like program for the heterogeneous architectures" in
+  Cmd.v
+    (Cmd.info "emeraldc" ~doc)
+    Term.(
+      const compile $ file_t $ arch_t $ dump_ir_t $ dump_code_t $ dump_stops_t
+      $ dump_template_t)
+
+let () = exit (Cmd.eval cmd)

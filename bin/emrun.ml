@@ -2,12 +2,12 @@
    heterogeneous workstations.
 
      emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
-               [--original] [--trace] [--stats]
+               [--original] [--codec TIER] [--trace] [--stats]
                [--seed N] [--faults SPEC] [--check-invariants] *)
 
 open Cmdliner
 
-let run file nodes cls op args_s original trace stats seed faults
+let run file nodes cls op args_s original codec trace stats seed faults
     check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
@@ -32,7 +32,17 @@ let run file nodes cls op args_s original trace stats seed faults
         exit 2)
   in
   let plan = match seed with Some s -> Fault.Plan.with_seed plan s | None -> plan in
-  let cl = Core.Cluster.create ~protocol ~faults:plan ~archs () in
+  let wire_impl =
+    match codec with
+    | None -> None
+    | Some s -> (
+      match Enet.Wire.impl_of_string s with
+      | Some impl -> Some impl
+      | None ->
+        Printf.eprintf "emrun: unknown codec %s (have: naive, bulk, plan)\n" s;
+        exit 2)
+  in
+  let cl = Core.Cluster.create ~protocol ?wire_impl ~faults:plan ~archs () in
   if trace then Core.Cluster.set_trace cl prerr_endline;
   (match
      Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
@@ -81,6 +91,23 @@ let run file nodes cls op args_s original trace stats seed faults
           i c.c_steps c.c_sent c.c_delivered c.c_moves_out c.c_moves_in
           c.c_conv_calls
       done;
+      for i = 0 to Core.Cluster.n_nodes cl - 1 do
+        let c = Core.Cluster.node_counters cl i in
+        let open Core.Events in
+        if
+          c.c_plan_compiles > 0 || c.c_plan_hits > 0 || c.c_pool_hits > 0
+          || c.c_pool_misses > 0 || c.c_copies_saved > 0
+        then
+          Printf.printf
+            "node %d fastpath: %d plan compiles, %d plan hits, pool %d/%d \
+             (hits/misses), %d copies saved\n"
+            i c.c_plan_compiles c.c_plan_hits c.c_pool_hits c.c_pool_misses
+            c.c_copies_saved
+      done;
+      let pc = Mobility.Code_repository.plan_cache (Core.Cluster.repository cl) in
+      if Mobility.Conv_plan.compiles pc > 0 || Mobility.Conv_plan.hits pc > 0 then
+        Printf.printf "plan cache: %d compiles, %d hits\n"
+          (Mobility.Conv_plan.compiles pc) (Mobility.Conv_plan.hits pc);
       let e = Core.Cluster.engine cl in
       Printf.printf "engine: %d pushes, %d pops (%d stale), %d pending\n"
         (Core.Engine.pushes e) (Core.Engine.pops e) (Core.Engine.stale_pops e)
@@ -164,6 +191,14 @@ let original_t =
   Arg.(value & flag
        & info [ "original" ] ~doc:"Use the original homogeneous protocol.")
 
+let codec_t =
+  Arg.(value & opt (some string) None
+       & info [ "codec" ] ~docv:"TIER"
+           ~doc:"Wire conversion tier: $(b,naive) (per-byte calls, the \
+                 prototype's routines), $(b,bulk) (per-datum calls), or \
+                 $(b,plan) (compiled conversion plans; same virtual cost \
+                 as bulk).")
+
 let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events.")
 let stats_t = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-node statistics.")
 
@@ -189,6 +224,6 @@ let cmd =
     (Cmd.info "emrun" ~doc)
     Term.(
       const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
-      $ trace_t $ stats_t $ seed_t $ faults_t $ check_invariants_t)
+      $ codec_t $ trace_t $ stats_t $ seed_t $ faults_t $ check_invariants_t)
 
 let () = exit (Cmd.eval cmd)

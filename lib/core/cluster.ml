@@ -67,11 +67,11 @@ let put_seq b off seq =
   Bytes.set b (off + 2) (Char.chr ((seq lsr 8) land 0xff));
   Bytes.set b (off + 3) (Char.chr (seq land 0xff))
 
-let get_seq s off =
-  (Char.code s.[off] lsl 24)
-  lor (Char.code s.[off + 1] lsl 16)
-  lor (Char.code s.[off + 2] lsl 8)
-  lor Char.code s.[off + 3]
+let get_seq v off =
+  (Char.code (Enet.Wire.view_get v off) lsl 24)
+  lor (Char.code (Enet.Wire.view_get v (off + 1)) lsl 16)
+  lor (Char.code (Enet.Wire.view_get v (off + 2)) lsl 8)
+  lor Char.code (Enet.Wire.view_get v (off + 3))
 
 let data_frame ~seq payload =
   let b = Bytes.create (5 + String.length payload) in
@@ -87,13 +87,14 @@ let ack_frame seq =
   Bytes.unsafe_to_string b
 
 type frame =
-  | Frame_data of int * string
+  | Frame_data of int * Enet.Wire.view
   | Frame_ack of int
 
-let unwrap_frame s =
-  match s.[0] with
-  | '\001' -> Frame_data (get_seq s 1, String.sub s 5 (String.length s - 5))
-  | '\002' -> Frame_ack (get_seq s 1)
+let unwrap_frame v =
+  match Enet.Wire.view_get v 0 with
+  | '\001' ->
+    Frame_data (get_seq v 1, Enet.Wire.sub_view v ~pos:5 ~len:(Enet.Wire.view_length v - 5))
+  | '\002' -> Frame_ack (get_seq v 1)
   | _ -> invalid_arg "Cluster: corrupt transport frame"
 
 type chaos_act =
@@ -251,6 +252,7 @@ let total_counter t f = E.total t.bus f
 
 let load_program t prog =
   t.last_prog <- Some prog;  (* replayed into replacement kernels on restart *)
+  Mobility.Code_repository.set_program t.repo prog;
   Array.iter (fun n -> K.load_program n.n_kernel prog) t.nodes
 
 let compile_and_load ?optimize t ~name source =
@@ -481,7 +483,40 @@ let charge_translation t ~node (msg : Mobility.Marshal.message) =
 let wire_impl_of t =
   match t.proto with
   | Enhanced -> t.wire_impl
-  | Original -> Enet.Wire.Optimized
+  | Original -> Enet.Wire.Bulk
+
+(* under the Plan tier, thread the memoized conversion-plan cache and the
+   (src, dst) arch pair through encode/decode; other tiers interpret *)
+let plans_for t ~src ~dst =
+  match wire_impl_of t with
+  | Enet.Wire.Plan ->
+    Some
+      (Mobility.Conv_plan.make_use
+         (Mobility.Code_repository.plan_cache t.repo)
+         {
+           Mobility.Conv_plan.pr_src = K.arch t.nodes.(src).n_kernel;
+           pr_dst = K.arch t.nodes.(dst).n_kernel;
+         })
+  | Enet.Wire.Naive | Enet.Wire.Bulk -> None
+
+(* run an en/decode step and publish plan-cache and buffer-pool activity
+   observed during it (diffs of the global counters) on the bus *)
+let with_conv_extras t ~node f =
+  let pc = Mobility.Code_repository.plan_cache t.repo in
+  let c0 = Mobility.Conv_plan.compiles pc and h0 = Mobility.Conv_plan.hits pc in
+  let ph0 = Enet.Wire.Pool.hits () and pm0 = Enet.Wire.Pool.misses () in
+  let hf0 = Enet.Wire.Pool.handoffs () in
+  let r = f () in
+  let dc = Mobility.Conv_plan.compiles pc - c0 in
+  let dh = Mobility.Conv_plan.hits pc - h0 in
+  if dc > 0 || dh > 0 then emit t (E.Ev_plan { node; compiles = dc; hits = dh });
+  let dph = Enet.Wire.Pool.hits () - ph0 in
+  let dpm = Enet.Wire.Pool.misses () - pm0 in
+  let dhf = Enet.Wire.Pool.handoffs () - hf0 in
+  if dhf > 0 then CS.add_copies_saved t.nodes.(node).n_conv dhf;
+  if dph > 0 || dpm > 0 || dhf > 0 then
+    emit t (E.Ev_pool { node; hits = dph; misses = dpm; copies_saved = dhf });
+  r
 
 let send_message t ~src (s : Mobility.Move.send) =
   let dst = s.Mobility.Move.snd_dest in
@@ -503,19 +538,34 @@ let send_message t ~src (s : Mobility.Move.send) =
   charge_translation t ~node:src msg;
   let stats = t.nodes.(src).n_conv in
   let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
-  let payload = Mobility.Marshal.encode ~impl:(wire_impl_of t) ~stats msg in
-  charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
-    ~bytes:(CS.bytes stats - bytes0);
+  let plans = plans_for t ~src ~dst in
   if not t.reliable then begin
+    (* exactly-once receive on the reliable wire: the pooled encode
+       buffer can be handed to the network without a copy and recycled
+       by the receiver after decoding *)
+    let payload =
+      with_conv_extras t ~node:src (fun () ->
+          Mobility.Marshal.encode_view ?plans ~impl:(wire_impl_of t) ~stats msg)
+    in
+    charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
+      ~bytes:(CS.bytes stats - bytes0);
     let arrival =
-      Enet.Netsim.send t.net ~now_us:(K.time_us k) ~src ~dst ~payload
+      Enet.Netsim.send_view t.net ~now_us:(K.time_us k) ~src ~dst ~payload
     in
     emit t
       (E.Ev_msg_send
          { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
-           bytes = String.length payload; arrives = arrival })
+           bytes = Enet.Wire.view_length payload; arrives = arrival })
   end
   else begin
+    (* the retry/ack envelope retransmits the cached frame, so the
+       payload must outlive this send: keep the copying encode *)
+    let payload =
+      with_conv_extras t ~node:src (fun () ->
+          Mobility.Marshal.encode ?plans ~impl:(wire_impl_of t) ~stats msg)
+    in
+    charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
+      ~bytes:(CS.bytes stats - bytes0);
     let seq = t.next_seq.(src) in
     t.next_seq.(src) <- seq + 1;
     let frame = data_frame ~seq payload in
@@ -617,9 +667,15 @@ let deliver t ~dst (m : Enet.Netsim.message) =
   K.charge_insns k CM.protocol_recv_insns;
   let stats = t.nodes.(dst).n_conv in
   let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
+  let plans = plans_for t ~src:m.Enet.Netsim.msg_src ~dst in
   let msg =
-    Mobility.Marshal.decode ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload
+    with_conv_extras t ~node:dst (fun () ->
+        Mobility.Marshal.decode_view ?plans ~impl:(wire_impl_of t) ~stats
+          m.Enet.Netsim.msg_payload)
   in
+  (* decoding is the last read: a pooled payload buffer goes back to the
+     free list (sub-views and string-backed views are no-ops) *)
+  Enet.Wire.release_view m.Enet.Netsim.msg_payload;
   charge_conversion t ~node:dst ~calls:(CS.calls stats - calls0)
     ~bytes:(CS.bytes stats - bytes0);
   charge_translation t ~node:dst msg;
@@ -817,8 +873,10 @@ let exec_deliver t i eff =
   | Some m when t.nodes.(i).n_crashed ->
     let stats = CS.create () in
     let msg =
-      Mobility.Marshal.decode ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload
+      Mobility.Marshal.decode_view ~impl:(wire_impl_of t) ~stats
+        m.Enet.Netsim.msg_payload
     in
+    Enet.Wire.release_view m.Enet.Netsim.msg_payload;
     emit t (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
     drop_message t msg ~reason:(Printf.sprintf "node %d is down" i)
   | Some m -> deliver t ~dst:i m

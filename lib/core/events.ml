@@ -31,6 +31,8 @@ type t =
   | Ev_msg_dup of { node : int; src : int; seq : int }
   | Ev_retransmit of { node : int; dst : int; seq : int; attempt : int }
   | Ev_ack of { node : int; seq : int }
+  | Ev_plan of { node : int; compiles : int; hits : int }
+  | Ev_pool of { node : int; hits : int; misses : int; copies_saved : int }
 
 (* The exact line the seed's [(string -> unit)] trace hook printed for
    this event, if it printed one.  Events the seed had no line for
@@ -40,7 +42,7 @@ type t =
    without a fault plan, so giving them lines keeps the no-fault trace
    byte-identical while making [--trace] useful under injection. *)
 let legacy_string = function
-  | Ev_step _ | Ev_move_finish _ | Ev_conversion _ -> None
+  | Ev_step _ | Ev_move_finish _ | Ev_conversion _ | Ev_plan _ | Ev_pool _ -> None
   | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
     Some
       (Printf.sprintf "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)"
@@ -91,6 +93,11 @@ let to_string ev =
       objects segments frames
   | Ev_conversion { node; calls; bytes } ->
     Printf.sprintf "conversion node=%d calls=%d bytes=%d" node calls bytes
+  | Ev_plan { node; compiles; hits } ->
+    Printf.sprintf "plan node=%d compiles=%d hits=%d" node compiles hits
+  | Ev_pool { node; hits; misses; copies_saved } ->
+    Printf.sprintf "pool node=%d hits=%d misses=%d copies-saved=%d" node hits misses
+      copies_saved
   | _ -> ( match legacy_string ev with Some s -> s | None -> assert false)
 
 type counters = {
@@ -109,6 +116,11 @@ type counters = {
   mutable c_dups_suppressed : int;
   mutable c_retransmits : int;
   mutable c_acks : int;
+  mutable c_plan_compiles : int;
+  mutable c_plan_hits : int;
+  mutable c_pool_hits : int;
+  mutable c_pool_misses : int;
+  mutable c_copies_saved : int;
 }
 
 let fresh_counters () =
@@ -128,6 +140,11 @@ let fresh_counters () =
     c_dups_suppressed = 0;
     c_retransmits = 0;
     c_acks = 0;
+    c_plan_compiles = 0;
+    c_plan_hits = 0;
+    c_pool_hits = 0;
+    c_pool_misses = 0;
+    c_copies_saved = 0;
   }
 
 type bus = {
@@ -162,6 +179,13 @@ let count bus ev =
     (c node).c_dups_suppressed <- (c node).c_dups_suppressed + 1
   | Ev_retransmit { node; _ } -> (c node).c_retransmits <- (c node).c_retransmits + 1
   | Ev_ack { node; _ } -> (c node).c_acks <- (c node).c_acks + 1
+  | Ev_plan { node; compiles; hits } ->
+    (c node).c_plan_compiles <- (c node).c_plan_compiles + compiles;
+    (c node).c_plan_hits <- (c node).c_plan_hits + hits
+  | Ev_pool { node; hits; misses; copies_saved } ->
+    (c node).c_pool_hits <- (c node).c_pool_hits + hits;
+    (c node).c_pool_misses <- (c node).c_pool_misses + misses;
+    (c node).c_copies_saved <- (c node).c_copies_saved + copies_saved
   | Ev_crash _ | Ev_restart _ | Ev_thread_lost _ | Ev_search_found _
   | Ev_search_failed _ -> ()
 

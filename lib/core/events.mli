@@ -50,6 +50,11 @@ type t =
       (** an unacknowledged message was retransmitted *)
   | Ev_ack of { node : int; seq : int }
       (** an acknowledgement was processed at the original sender *)
+  | Ev_plan of { node : int; compiles : int; hits : int }
+      (** compiled conversion-plan cache activity during one en/decode *)
+  | Ev_pool of { node : int; hits : int; misses : int; copies_saved : int }
+      (** encode-buffer pool activity during one en/decode; [copies_saved]
+          counts pooled handoffs that avoided a payload copy *)
 
 val legacy_string : t -> string option
 (** The seed trace hook's line for this event; [None] for events the seed
@@ -76,6 +81,11 @@ type counters = {
   mutable c_dups_suppressed : int;  (** duplicates suppressed at this receiver *)
   mutable c_retransmits : int;  (** retransmissions sent from this node *)
   mutable c_acks : int;  (** acknowledgements processed at this node *)
+  mutable c_plan_compiles : int;  (** conversion plans compiled for this node *)
+  mutable c_plan_hits : int;  (** plan-cache hits *)
+  mutable c_pool_hits : int;  (** encode buffers reused from the pool *)
+  mutable c_pool_misses : int;  (** encode buffers freshly allocated *)
+  mutable c_copies_saved : int;  (** payload copies avoided by pooled handoff *)
 }
 
 (** {1 The bus} *)

@@ -10,7 +10,7 @@ let default_config =
 type message = {
   msg_src : int;
   msg_dst : int;
-  msg_payload : string;
+  msg_payload : Wire.view;
   msg_sent_at : float;
   msg_arrives_at : float;
   msg_seq : int;
@@ -94,9 +94,9 @@ let insert_delayed t msg =
    implementation walked a sorted list.  An injected delay or duplicate
    copy is the one thing that can arrive out of order; those are filed
    in the sorted [delayed] side list instead. *)
-let send t ~now_us ~src ~dst ~payload =
+let send_view t ~now_us ~src ~dst ~payload =
   if dst < 0 || dst >= t.n_nodes then invalid_arg "Netsim.send: bad destination";
-  let wire_bytes = String.length payload + t.cfg.frame_overhead_bytes in
+  let wire_bytes = Wire.view_length payload + t.cfg.frame_overhead_bytes in
   let transmit_us = float_of_int (wire_bytes * 8) /. t.cfg.bandwidth_mbit_s in
   let start = Float.max now_us t.medium_free_at in
   let arrives = start +. transmit_us +. t.cfg.latency_us in
@@ -150,6 +150,9 @@ let send t ~now_us ~src ~dst ~payload =
     notify_fault t ~src ~dst (Fault_dup extra);
     notify_arrival t ~dst ~at:late;
     arrives
+
+let send t ~now_us ~src ~dst ~payload =
+  send_view t ~now_us ~src ~dst ~payload:(Wire.view_of_string payload)
 
 let earlier (a : message option) (b : message option) =
   match a, b with

@@ -26,7 +26,9 @@ val default_config : config
 type message = {
   msg_src : int;
   msg_dst : int;
-  msg_payload : string;
+  msg_payload : Wire.view;
+      (** a length-delimited window, possibly onto a pooled buffer the
+          receiver must {!Wire.release_view} after decoding *)
   msg_sent_at : float;
   msg_arrives_at : float;
   msg_seq : int;
@@ -61,7 +63,14 @@ val set_on_fault : t -> (src:int -> dst:int -> fault -> unit) -> unit
 val send : t -> now_us:float -> src:int -> dst:int -> payload:string -> float
 (** Queue a message; returns its (possibly fault-delayed) arrival time.
     A dropped message still consumes medium time — the frame was on the
-    wire — and the returned time is when it would have arrived. *)
+    wire — and the returned time is when it would have arrived.
+    Zero-copy: the payload string's bytes are aliased, not copied. *)
+
+val send_view : t -> now_us:float -> src:int -> dst:int -> payload:Wire.view -> float
+(** Like {!send}, but hands off a buffer view directly (pooled views let
+    the receiver recycle the encode buffer after decoding).  Do not send
+    pooled views while a fault injector is installed — a duplicated
+    delivery would alias a buffer the first delivery already released. *)
 
 val next_arrival_at : t -> dst:int -> float option
 (** Earliest pending arrival time for a node, if any. *)

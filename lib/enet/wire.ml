@@ -1,57 +1,186 @@
-type impl = Naive | Optimized
+type impl = Naive | Bulk | Plan
 
 let impl_name = function
   | Naive -> "naive"
-  | Optimized -> "optimized"
+  | Bulk -> "bulk"
+  | Plan -> "plan"
+
+let impl_of_string = function
+  | "naive" -> Some Naive
+  | "bulk" | "optimized" -> Some Bulk
+  | "plan" -> Some Plan
+  | _ -> None
 
 (* Conversion-call accounting.  The naive implementation charges one
    procedure call per byte moved plus one for the datum itself (the
    recursive-descent entry), giving the paper's 1-2 calls per byte; the
-   optimized implementation charges a single call per datum. *)
+   bulk implementation charges a single call per datum.  Plans charge
+   exactly what the bulk tier would for the same datums (precomputed),
+   so the Plan tier's virtual numbers equal Bulk's by construction. *)
 let charge impl stats ~bytes =
   Conversion_stats.add_bytes stats bytes;
   match impl with
   | Naive -> Conversion_stats.add_calls stats (bytes + 1)
-  | Optimized -> Conversion_stats.add_calls stats 1
+  | Bulk | Plan -> Conversion_stats.add_calls stats 1
+
+type view = {
+  vw_bytes : Bytes.t;
+  vw_off : int;
+  vw_len : int;
+  vw_pooled : bool;
+}
+
+let view_of_string s =
+  (* read-only aliasing of the string's storage: no copy on send *)
+  { vw_bytes = Bytes.unsafe_of_string s; vw_off = 0; vw_len = String.length s; vw_pooled = false }
+
+let view_to_string v = Bytes.sub_string v.vw_bytes v.vw_off v.vw_len
+let view_length v = v.vw_len
+
+let view_get v i =
+  if i < 0 || i >= v.vw_len then invalid_arg "Wire.view_get";
+  Bytes.get v.vw_bytes (v.vw_off + i)
+
+let sub_view v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.vw_len then invalid_arg "Wire.sub_view";
+  { vw_bytes = v.vw_bytes; vw_off = v.vw_off + pos; vw_len = len; vw_pooled = false }
+
+module Pool = struct
+  let free_list : Bytes.t list ref = ref []
+  let max_kept = 64
+  let n_kept = ref 0
+  let hits_c = ref 0
+  let misses_c = ref 0
+  let handoffs_c = ref 0
+
+  let take () =
+    match !free_list with
+    | b :: rest ->
+      free_list := rest;
+      decr n_kept;
+      incr hits_c;
+      b
+    | [] ->
+      incr misses_c;
+      Bytes.create 256
+
+  let recycle b =
+    if !n_kept < max_kept then begin
+      free_list := b :: !free_list;
+      incr n_kept
+    end
+
+  let hits () = !hits_c
+  let misses () = !misses_c
+  let handoffs () = !handoffs_c
+
+  let reset () =
+    free_list := [];
+    n_kept := 0;
+    hits_c := 0;
+    misses_c := 0;
+    handoffs_c := 0
+end
+
+let release_view v = if v.vw_pooled then Pool.recycle v.vw_bytes
 
 module Writer = struct
   type t = {
-    buf : Buffer.t;
+    mutable buf : Bytes.t;
+    mutable pos : int;
+    mutable live : bool;
     impl : impl;
     stats : Conversion_stats.t;
   }
 
-  let create ~impl ~stats = { buf = Buffer.create 256; impl; stats }
+  (* The naive tier mirrors the seed's host path: a fresh, small buffer
+     per message, grown by doubling — the pool belongs to the optimized
+     tiers.  The virtual accounting is unaffected either way. *)
+  let create ~impl ~stats =
+    let buf = match impl with Naive -> Bytes.create 16 | Bulk | Plan -> Pool.take () in
+    { buf; pos = 0; live = true; impl; stats }
+
+  let ensure t n =
+    if not t.live then invalid_arg "Wire.Writer: use after free/handoff";
+    let need = t.pos + n in
+    let cap = Bytes.length t.buf in
+    if need > cap then begin
+      let cap' = max (cap * 2) need in
+      let buf' = Bytes.create cap' in
+      Bytes.blit t.buf 0 buf' 0 t.pos;
+      t.buf <- buf'
+    end
+
+  (* The naive tier's host path is deliberately a non-inlined call per
+     byte, mirroring the prototype's per-byte conversion procedures, so
+     the host-time ablation measures what the cost model charges for. *)
+  let[@inline never] naive_put t b =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.pos (Char.unsafe_chr (b land 0xFF));
+    t.pos <- t.pos + 1
+
+  let raw_put t b =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.pos (Char.unsafe_chr (b land 0xFF));
+    t.pos <- t.pos + 1
 
   let u8 t v =
     charge t.impl t.stats ~bytes:1;
-    Buffer.add_char t.buf (Char.chr (v land 0xFF))
+    match t.impl with
+    | Naive -> naive_put t v
+    | Bulk | Plan -> raw_put t v
 
   let raw_u16 t v =
-    Buffer.add_char t.buf (Char.chr ((v lsr 8) land 0xFF));
-    Buffer.add_char t.buf (Char.chr (v land 0xFF))
+    ensure t 2;
+    let p = t.pos in
+    Bytes.unsafe_set t.buf p (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set t.buf (p + 1) (Char.unsafe_chr (v land 0xFF));
+    t.pos <- p + 2
 
   let u16 t v =
     charge t.impl t.stats ~bytes:2;
-    raw_u16 t v
+    match t.impl with
+    | Naive ->
+      naive_put t (v lsr 8);
+      naive_put t v
+    | Bulk | Plan -> raw_u16 t v
 
   let u32 t v =
     charge t.impl t.stats ~bytes:4;
-    let b n = Char.chr (Int32.to_int (Int32.shift_right_logical v n) land 0xFF) in
-    Buffer.add_char t.buf (b 24);
-    Buffer.add_char t.buf (b 16);
-    Buffer.add_char t.buf (b 8);
-    Buffer.add_char t.buf (b 0)
+    let b n = Int32.to_int (Int32.shift_right_logical v n) land 0xFF in
+    match t.impl with
+    | Naive ->
+      naive_put t (b 24);
+      naive_put t (b 16);
+      naive_put t (b 8);
+      naive_put t (b 0)
+    | Bulk | Plan ->
+      ensure t 4;
+      let p = t.pos in
+      Bytes.unsafe_set t.buf p (Char.unsafe_chr (b 24));
+      Bytes.unsafe_set t.buf (p + 1) (Char.unsafe_chr (b 16));
+      Bytes.unsafe_set t.buf (p + 2) (Char.unsafe_chr (b 8));
+      Bytes.unsafe_set t.buf (p + 3) (Char.unsafe_chr (b 0));
+      t.pos <- p + 4
 
   let i32 = u32
 
   let f64 t v =
     charge t.impl t.stats ~bytes:8;
     let bits = Int64.bits_of_float v in
-    for n = 7 downto 0 do
-      Buffer.add_char t.buf
-        (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * n)) land 0xFF))
-    done
+    let b n = Int64.to_int (Int64.shift_right_logical bits (8 * n)) land 0xFF in
+    match t.impl with
+    | Naive ->
+      for n = 7 downto 0 do
+        naive_put t (b n)
+      done
+    | Bulk | Plan ->
+      ensure t 8;
+      let p = t.pos in
+      for n = 7 downto 0 do
+        Bytes.unsafe_set t.buf (p + 7 - n) (Char.unsafe_chr (b n))
+      done;
+      t.pos <- p + 8
 
   let bool t v = u8 t (if v then 1 else 0)
 
@@ -59,70 +188,209 @@ module Writer = struct
     let len = String.length s in
     if len > 0xFFFF then invalid_arg "Wire.Writer.str: string too long";
     charge t.impl t.stats ~bytes:(2 + len);
-    raw_u16 t len;
-    Buffer.add_string t.buf s
+    (match t.impl with
+    | Naive ->
+      naive_put t (len lsr 8);
+      naive_put t len;
+      for i = 0 to len - 1 do
+        naive_put t (Char.code (String.unsafe_get s i))
+      done
+    | Bulk | Plan ->
+      raw_u16 t len;
+      ensure t len;
+      Bytes.blit_string s 0 t.buf t.pos len;
+      t.pos <- t.pos + len)
 
-  let length t = Buffer.length t.buf
-  let contents t = Buffer.contents t.buf
+  let length t = t.pos
+  let contents t = Bytes.sub_string t.buf 0 t.pos
+
+  let free t =
+    if t.live then begin
+      t.live <- false;
+      match t.impl with Naive -> () | Bulk | Plan -> Pool.recycle t.buf
+    end
+
+  let handoff t =
+    if not t.live then invalid_arg "Wire.Writer.handoff: writer already dead";
+    t.live <- false;
+    let pooled = match t.impl with Naive -> false | Bulk | Plan -> true in
+    if pooled then incr Pool.handoffs_c;
+    { vw_bytes = t.buf; vw_off = 0; vw_len = t.pos; vw_pooled = pooled }
+
+  let add_charge t ~calls ~bytes =
+    Conversion_stats.add_calls t.stats calls;
+    Conversion_stats.add_bytes t.stats bytes
+
+  let raw_u8 t v = raw_put t v
+
+  let raw_u32 t v =
+    ensure t 4;
+    let p = t.pos in
+    let b n = Int32.to_int (Int32.shift_right_logical v n) land 0xFF in
+    Bytes.unsafe_set t.buf p (Char.unsafe_chr (b 24));
+    Bytes.unsafe_set t.buf (p + 1) (Char.unsafe_chr (b 16));
+    Bytes.unsafe_set t.buf (p + 2) (Char.unsafe_chr (b 8));
+    Bytes.unsafe_set t.buf (p + 3) (Char.unsafe_chr (b 0));
+    t.pos <- p + 4
+
+  let blit t s =
+    let len = String.length s in
+    ensure t len;
+    let p = t.pos in
+    Bytes.blit_string s 0 t.buf p len;
+    t.pos <- p + len;
+    p
+
+  let poke8 t ~at v = Bytes.unsafe_set t.buf at (Char.unsafe_chr (v land 0xFF))
+
+  let poke32 t ~at v =
+    let b n = Char.unsafe_chr (Int32.to_int (Int32.shift_right_logical v n) land 0xFF) in
+    Bytes.unsafe_set t.buf at (b 24);
+    Bytes.unsafe_set t.buf (at + 1) (b 16);
+    Bytes.unsafe_set t.buf (at + 2) (b 8);
+    Bytes.unsafe_set t.buf (at + 3) (b 0)
+
+  let poke64 t ~at v =
+    for n = 7 downto 0 do
+      Bytes.unsafe_set t.buf (at + 7 - n)
+        (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (8 * n)) land 0xFF))
+    done
 end
 
 module Reader = struct
   type t = {
-    data : string;
-    mutable pos : int;
+    data : Bytes.t;
+    base : int;
+    limit : int;  (* absolute *)
+    mutable pos : int;  (* absolute *)
     impl : impl;
     stats : Conversion_stats.t;
   }
 
   exception Underflow
 
-  let create ~impl ~stats data = { data; pos = 0; impl; stats }
+  let create ~impl ~stats data =
+    let b = Bytes.unsafe_of_string data in
+    { data = b; base = 0; limit = Bytes.length b; pos = 0; impl; stats }
+
+  let of_view ~impl ~stats v =
+    { data = v.vw_bytes; base = v.vw_off; limit = v.vw_off + v.vw_len; pos = v.vw_off; impl; stats }
 
   let take t n =
-    if t.pos + n > String.length t.data then raise Underflow;
+    if t.pos + n > t.limit then raise Underflow;
     let p = t.pos in
     t.pos <- p + n;
     p
 
+  (* naive-tier host path: one non-inlined call per byte (see Writer) *)
+  let[@inline never] naive_get t =
+    let p = take t 1 in
+    Char.code (Bytes.unsafe_get t.data p)
+
   let u8 t =
     charge t.impl t.stats ~bytes:1;
-    Char.code t.data.[take t 1]
+    match t.impl with
+    | Naive -> naive_get t
+    | Bulk | Plan ->
+      let p = take t 1 in
+      Char.code (Bytes.unsafe_get t.data p)
 
   let raw_u16 t =
     let p = take t 2 in
-    (Char.code t.data.[p] lsl 8) lor Char.code t.data.[p + 1]
+    (Char.code (Bytes.unsafe_get t.data p) lsl 8) lor Char.code (Bytes.unsafe_get t.data (p + 1))
 
   let u16 t =
     charge t.impl t.stats ~bytes:2;
-    raw_u16 t
+    match t.impl with
+    | Naive ->
+      let hi = naive_get t in
+      let lo = naive_get t in
+      (hi lsl 8) lor lo
+    | Bulk | Plan -> raw_u16 t
 
-  let u32 t =
-    charge t.impl t.stats ~bytes:4;
-    let p = take t 4 in
-    let b i = Int32.of_int (Char.code t.data.[p + i]) in
+  let read32_at data p =
+    let b i = Int32.of_int (Char.code (Bytes.unsafe_get data (p + i))) in
     let ( ||| ) = Int32.logor in
     Int32.shift_left (b 0) 24 ||| Int32.shift_left (b 1) 16 ||| Int32.shift_left (b 2) 8
     ||| b 3
 
+  let u32 t =
+    charge t.impl t.stats ~bytes:4;
+    match t.impl with
+    | Naive ->
+      let acc = ref 0l in
+      for _ = 0 to 3 do
+        acc := Int32.logor (Int32.shift_left !acc 8) (Int32.of_int (naive_get t))
+      done;
+      !acc
+    | Bulk | Plan ->
+      let p = take t 4 in
+      read32_at t.data p
+
   let i32 = u32
+
+  let read64_at data p =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code (Bytes.unsafe_get data (p + i))))
+    done;
+    !bits
 
   let f64 t =
     charge t.impl t.stats ~bytes:8;
-    let p = take t 8 in
-    let bits = ref 0L in
-    for i = 0 to 7 do
-      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code t.data.[p + i]))
-    done;
-    Int64.float_of_bits !bits
+    match t.impl with
+    | Naive ->
+      let bits = ref 0L in
+      for _ = 0 to 7 do
+        bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (naive_get t))
+      done;
+      Int64.float_of_bits !bits
+    | Bulk | Plan ->
+      let p = take t 8 in
+      Int64.float_of_bits (read64_at t.data p)
 
   let bool t = u8 t <> 0
 
   let str t =
-    let len = raw_u16 t in
-    charge t.impl t.stats ~bytes:(2 + len);
-    let p = take t len in
-    String.sub t.data p len
+    match t.impl with
+    | Naive ->
+      (* length bytes come through the per-byte path too *)
+      let hi = naive_get t in
+      let lo = naive_get t in
+      let len = (hi lsl 8) lor lo in
+      charge t.impl t.stats ~bytes:(2 + len);
+      let b = Bytes.create len in
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set b i (Char.unsafe_chr (naive_get t))
+      done;
+      Bytes.unsafe_to_string b
+    | Bulk | Plan ->
+      let len = raw_u16 t in
+      charge t.impl t.stats ~bytes:(2 + len);
+      let p = take t len in
+      Bytes.sub_string t.data p len
 
-  let pos t = t.pos
-  let at_end t = t.pos >= String.length t.data
+  let pos t = t.pos - t.base
+  let at_end t = t.pos >= t.limit
+
+  let add_charge t ~calls ~bytes =
+    Conversion_stats.add_calls t.stats calls;
+    Conversion_stats.add_bytes t.stats bytes
+
+  let block t n = take t n
+  let get8_at t at = Char.code (Bytes.unsafe_get t.data at)
+
+  let get16_at t at =
+    (Char.code (Bytes.unsafe_get t.data at) lsl 8)
+    lor Char.code (Bytes.unsafe_get t.data (at + 1))
+
+  let get32_at t at = read32_at t.data at
+  let get64_at t at = read64_at t.data at
+
+  let peek_u16 t =
+    if t.pos + 2 > t.limit then None
+    else
+      Some
+        ((Char.code (Bytes.unsafe_get t.data t.pos) lsl 8)
+        lor Char.code (Bytes.unsafe_get t.data (t.pos + 1)))
 end

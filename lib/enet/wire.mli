@@ -2,20 +2,82 @@
 
     The commonly-agreed-upon format of section 2.1: big-endian
     ("network byte order") integers, IEEE 754 double reals, length-prefixed
-    strings.  Two implementations are provided:
+    strings.  Three implementation tiers are provided for the §4 ablation:
 
     - [Naive] mirrors the prototype's hand-written recursive-descent
       conversion routines, "not optimized for speed but for ease of
       maintenance": every byte goes through conversion procedure calls
       (counted in the {!Conversion_stats}), averaging 1-2 calls per byte.
-    - [Optimized] is the bulk conversion the paper's future-work section
-      hypothesises would cut the penalty by about half: one call per datum.
+      The host path is honestly byte-at-a-time as well (a non-inlined
+      call per byte), so measured host time backs the modeled cost.
+    - [Bulk] is the bulk conversion the paper's future-work section
+      hypothesises would cut the penalty by about half: one call per
+      datum, and one bounds check plus word-at-a-time stores per datum
+      on the host.
+    - [Plan] carries the same per-datum accounting as [Bulk] (so virtual
+      times are identical by construction) but lets compiled conversion
+      plans ({!Mobility.Conv_plan}) bypass per-datum dispatch entirely:
+      a plan blits a precomputed skeleton and pokes values into holes,
+      charging the precomputed [Bulk]-equivalent cost in one step.
 
-    Both produce identical octets; only the accounted work differs. *)
+    All three tiers produce identical octets; only the accounted work
+    and the host-side work differ. *)
 
-type impl = Naive | Optimized
+type impl = Naive | Bulk | Plan
 
 val impl_name : impl -> string
+
+val impl_of_string : string -> impl option
+(** Recognizes ["naive"], ["bulk"], ["plan"] (and the legacy spelling
+    ["optimized"] for [Bulk]). *)
+
+(** {1 Buffer views}
+
+    A [view] is a length-delimited window onto a byte buffer.  Encoders
+    can hand a pooled buffer off as a view instead of copying it into a
+    fresh string ({!Writer.handoff}); the network delivers the view and
+    the receiver returns the buffer to the pool after decoding
+    ({!release_view}). *)
+
+type view = private {
+  vw_bytes : Bytes.t;
+  vw_off : int;
+  vw_len : int;
+  vw_pooled : bool;  (** buffer came from the pool; release after use *)
+}
+
+val view_of_string : string -> view
+(** Zero-copy: aliases the string's bytes.  The view must only be read. *)
+
+val view_to_string : view -> string
+(** Copies the window out into a fresh string. *)
+
+val view_length : view -> int
+val view_get : view -> int -> char
+
+val sub_view : view -> pos:int -> len:int -> view
+(** A sub-window sharing the same buffer.  The result is never pooled:
+    releasing a sub-view must not recycle the parent's buffer. *)
+
+val release_view : view -> unit
+(** Returns a pooled view's buffer to the free list; no-op otherwise.
+    Call at most once, after the last read. *)
+
+(** {1 The buffer pool}
+
+    A global free list of encode buffers.  [Writer.create] takes a
+    buffer from the pool (a {e hit}) or allocates fresh (a {e miss});
+    [Writer.free] and [release_view] return buffers.  [handoffs] counts
+    payloads handed to the network without the copy that
+    [Writer.contents] would have made. *)
+module Pool : sig
+  val hits : unit -> int
+  val misses : unit -> int
+  val handoffs : unit -> int
+
+  val reset : unit -> unit
+  (** Clears counters {e and} the free list (for test isolation). *)
+end
 
 module Writer : sig
   type t
@@ -27,11 +89,44 @@ module Writer : sig
   val i32 : t -> int32 -> unit
   val f64 : t -> float -> unit
   val bool : t -> bool -> unit
+
   val str : t -> string -> unit
   (** u16 length prefix followed by the bytes. *)
 
   val length : t -> int
+
   val contents : t -> string
+  (** Copies the accumulated bytes out; the writer stays usable. *)
+
+  val free : t -> unit
+  (** Recycles the buffer into the pool.  The writer is dead afterwards. *)
+
+  val handoff : t -> view
+  (** Transfers the buffer to a pooled view without copying.  The writer
+      is dead afterwards. *)
+
+  (** {2 Fused-plan primitives}
+
+      Raw, charge-free access for compiled conversion plans: a plan
+      blits its skeleton, pokes dynamic values into precomputed holes,
+      and accounts the whole run with one {!add_charge}. *)
+
+  val add_charge : t -> calls:int -> bytes:int -> unit
+  (** Account [calls] conversion calls over [bytes] bytes, exactly as a
+      sequence of per-datum writes under this writer's tier would. *)
+
+  val blit : t -> string -> int
+  (** Appends raw bytes (uncharged) and returns the start offset. *)
+
+  val raw_u8 : t -> int -> unit
+  val raw_u16 : t -> int -> unit
+  val raw_u32 : t -> int32 -> unit
+  (** Uncharged big-endian appends for fused scaffold writes; the caller
+      accounts them with {!add_charge}. *)
+
+  val poke8 : t -> at:int -> int -> unit
+  val poke32 : t -> at:int -> int32 -> unit
+  val poke64 : t -> at:int -> int64 -> unit
 end
 
 module Reader : sig
@@ -40,6 +135,7 @@ module Reader : sig
   exception Underflow
 
   val create : impl:impl -> stats:Conversion_stats.t -> string -> t
+  val of_view : impl:impl -> stats:Conversion_stats.t -> view -> t
   val u8 : t -> int
   val u16 : t -> int
   val u32 : t -> int32
@@ -47,6 +143,26 @@ module Reader : sig
   val f64 : t -> float
   val bool : t -> bool
   val str : t -> string
+
   val pos : t -> int
+  (** Position relative to the start of the window. *)
+
   val at_end : t -> bool
+
+  (** {2 Fused-plan primitives} *)
+
+  val add_charge : t -> calls:int -> bytes:int -> unit
+
+  val block : t -> int -> int
+  (** Consumes [n] bytes (uncharged) and returns the absolute offset of
+      the consumed run, for use with [get*_at]. *)
+
+  val get8_at : t -> int -> int
+  val get16_at : t -> int -> int
+  val get32_at : t -> int -> int32
+  val get64_at : t -> int -> int64
+
+  val peek_u16 : t -> int option
+  (** The next big-endian u16 without consuming it (uncharged); [None]
+      on underflow. *)
 end

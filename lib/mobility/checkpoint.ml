@@ -47,7 +47,7 @@ let capture k ~thread =
         raise (Not_checkpointable "thread spans several nodes"))
     segs;
   let stats = Enet.Conversion_stats.create () in
-  let w = W.Writer.create ~impl:W.Optimized ~stats in
+  let w = W.Writer.create ~impl:W.Bulk ~stats in
   W.Writer.u32 w magic;
   W.Writer.u16 w (List.length segs);
   List.iter (fun s -> Mi_frame.write_segment w (to_mi k s)) segs;
@@ -57,7 +57,9 @@ let capture k ~thread =
       let n = List.length (Translate.walk_frames k s) in
       K.charge_insns k (n * Cost_model.frame_translate_insns))
     segs;
-  W.Writer.contents w
+  let image = W.Writer.contents w in
+  W.Writer.free w;
+  image
 
 let suspend k ~thread =
   let image = capture k ~thread in
@@ -66,7 +68,7 @@ let suspend k ~thread =
 
 let parse image =
   let stats = Enet.Conversion_stats.create () in
-  let r = W.Reader.create ~impl:W.Optimized ~stats image in
+  let r = W.Reader.create ~impl:W.Bulk ~stats image in
   if W.Reader.u32 r <> magic then invalid_arg "Checkpoint.parse: bad magic";
   let n = W.Reader.u16 r in
   List.init n (fun _ -> Mi_frame.read_segment r)

@@ -1,8 +1,9 @@
 type t = {
   fetches : (int * int) list ref;  (* node, class *)
+  plans : Conv_plan.cache;
 }
 
-let create () = { fetches = ref [] }
+let create () = { fetches = ref []; plans = Conv_plan.create_cache () }
 let record_fetch t ~node ~class_index = t.fetches := (node, class_index) :: !(t.fetches)
 let total_fetches t = List.length !(t.fetches)
 let fetches_by_node t node = List.length (List.filter (fun (n, _) -> n = node) !(t.fetches))
@@ -10,3 +11,6 @@ let fetches_by_node t node = List.length (List.filter (fun (n, _) -> n = node) !
 let fetched_classes t ~node =
   List.rev
     (List.filter_map (fun (n, c) -> if n = node then Some c else None) !(t.fetches))
+
+let plan_cache t = t.plans
+let set_program t prog = Conv_plan.set_program t.plans prog

@@ -14,3 +14,11 @@ val record_fetch : t -> node:int -> class_index:int -> unit
 val total_fetches : t -> int
 val fetches_by_node : t -> int -> int
 val fetched_classes : t -> node:int -> int list
+
+val plan_cache : t -> Conv_plan.cache
+(** Compiled conversion plans, memoized alongside the code they convert
+    (keyed by code OID, bus stop and arch pair — see {!Conv_plan}). *)
+
+val set_program : t -> Emc.Compile.program -> unit
+(** Register the loaded program so plans can be compiled on demand;
+    invalidates previously cached plans. *)

@@ -4,7 +4,7 @@ module R = Enet.Wire.Reader
 type move_object = {
   mo_oid : Ert.Oid.t;
   mo_class : int;
-  mo_fields : Ert.Value.t list;
+  mo_fields : Ert.Value.t array;
   mo_locked : bool;
   mo_waiters : int list;
   mo_cond_waiters : int list list;
@@ -63,27 +63,77 @@ let read_list r f =
   let n = R.u16 r in
   List.init n (fun _ -> f r)
 
-let write_object w o =
-  W.u32 w o.mo_oid;
-  W.u16 w o.mo_class;
-  write_list w Ert.Value.write o.mo_fields;
+let write_fields ?plans w o =
+  let fused =
+    match plans with
+    | None -> false
+    | Some use -> (
+      match Conv_plan.fields_plan_for use ~class_index:o.mo_class with
+      | Some s when Conv_plan.section_count s = Array.length o.mo_fields ->
+        Conv_plan.write_section s w (fun i -> o.mo_fields.(i))
+      | Some _ | None -> false)
+  in
+  if not fused then begin
+    W.u16 w (Array.length o.mo_fields);
+    Array.iter (Ert.Value.write w) o.mo_fields
+  end
+
+let write_object ?plans w o =
+  (match plans with
+  | Some _ ->
+    (* Fused scaffold head: same bytes and the same Bulk-equivalent
+       charge (u32 + u16) as the interpretive pair below. *)
+    W.raw_u32 w o.mo_oid;
+    W.raw_u16 w o.mo_class;
+    W.add_charge w ~calls:2 ~bytes:6
+  | None ->
+    W.u32 w o.mo_oid;
+    W.u16 w o.mo_class);
+  write_fields ?plans w o;
   W.bool w o.mo_locked;
   write_list w (fun w s -> W.i32 w (Int32.of_int s)) o.mo_waiters;
   write_list w (fun w l -> write_list w (fun w s -> W.i32 w (Int32.of_int s)) l)
     o.mo_cond_waiters
 
-let read_object r =
-  let mo_oid = R.u32 r in
-  let mo_class = R.u16 r in
-  let mo_fields = read_list r Ert.Value.read in
+let read_fields ?plans ~mo_class r =
+  let fused =
+    match plans with
+    | None -> None
+    | Some use -> (
+      match Conv_plan.fields_plan_for use ~class_index:mo_class with
+      | Some s -> Conv_plan.read_section s r
+      | None -> None)
+  in
+  match fused with
+  | Some fields -> fields
+  | None ->
+    let n = R.u16 r in
+    let fields = Array.make n Ert.Value.Vnil in
+    for i = 0 to n - 1 do
+      fields.(i) <- Ert.Value.read r
+    done;
+    fields
+
+let read_object ?plans r =
+  let mo_oid, mo_class =
+    match plans with
+    | Some _ ->
+      let off = R.block r 6 in
+      R.add_charge r ~calls:2 ~bytes:6;
+      (R.get32_at r off, R.get16_at r (off + 4))
+    | None ->
+      let mo_oid = R.u32 r in
+      let mo_class = R.u16 r in
+      (mo_oid, mo_class)
+  in
+  let mo_fields = read_fields ?plans ~mo_class r in
   let mo_locked = R.bool r in
   let mo_waiters = read_list r (fun r -> Int32.to_int (R.i32 r)) in
   let mo_cond_waiters = read_list r (fun r -> read_list r (fun r -> Int32.to_int (R.i32 r))) in
   { mo_oid; mo_class; mo_fields; mo_locked; mo_waiters; mo_cond_waiters }
 
-let encode ~impl ~stats msg =
-  let w = W.create ~impl ~stats in
-  (match msg with
+let encode_to ?plans w msg =
+  match msg with
   | M_invoke { target; callee_class; callee_method; args; reply; thread; forwards } ->
     W.u8 w tag_invoke;
     W.u32 w target;
@@ -105,10 +155,16 @@ let encode ~impl ~stats msg =
     W.u16 w dest;
     W.u8 w forwards
   | M_move { mp_src; mp_objects; mp_segments } ->
-    W.u8 w tag_move;
-    W.u16 w mp_src;
-    write_list w write_object mp_objects;
-    write_list w Mi_frame.write_segment mp_segments
+    (match plans with
+    | Some _ ->
+      W.raw_u8 w tag_move;
+      W.raw_u16 w mp_src;
+      W.add_charge w ~calls:2 ~bytes:3
+    | None ->
+      W.u8 w tag_move;
+      W.u16 w mp_src);
+    write_list w (write_object ?plans) mp_objects;
+    write_list w (Mi_frame.write_segment ?plans) mp_segments
   | M_start_process { obj; forwards } ->
     W.u8 w tag_start_process;
     W.u32 w obj;
@@ -119,11 +175,21 @@ let encode ~impl ~stats msg =
   | M_located { obj; found } ->
     W.u8 w tag_located;
     W.u32 w obj;
-    W.bool w found);
-  W.contents w
+    W.bool w found
 
-let decode ~impl ~stats data =
-  let r = R.create ~impl ~stats data in
+let encode ?plans ~impl ~stats msg =
+  let w = W.create ~impl ~stats in
+  encode_to ?plans w msg;
+  let s = W.contents w in
+  W.free w;
+  s
+
+let encode_view ?plans ~impl ~stats msg =
+  let w = W.create ~impl ~stats in
+  encode_to ?plans w msg;
+  W.handoff w
+
+let decode_from ?plans r =
   let tag = R.u8 r in
   if tag = tag_invoke then begin
     let target = R.u32 r in
@@ -159,8 +225,8 @@ let decode ~impl ~stats data =
   end
   else if tag = tag_move then begin
     let mp_src = R.u16 r in
-    let mp_objects = read_list r read_object in
-    let mp_segments = read_list r Mi_frame.read_segment in
+    let mp_objects = read_list r (read_object ?plans) in
+    let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
     M_move { mp_src; mp_objects; mp_segments }
   end
   else if tag = tag_start_process then begin
@@ -175,6 +241,12 @@ let decode ~impl ~stats data =
     M_located { obj; found }
   end
   else failwith (Printf.sprintf "Marshal.decode: corrupt message tag %d" tag)
+
+let decode ?plans ~impl ~stats data =
+  decode_from ?plans (R.create ~impl ~stats data)
+
+let decode_view ?plans ~impl ~stats v =
+  decode_from ?plans (R.of_view ~impl ~stats v)
 
 let describe = function
   | M_invoke { target; callee_method; _ } ->

@@ -7,7 +7,7 @@
 type move_object = {
   mo_oid : Ert.Oid.t;
   mo_class : int;
-  mo_fields : Ert.Value.t list;
+  mo_fields : Ert.Value.t array;  (** field order = template field order *)
   mo_locked : bool;
   mo_waiters : int list;  (** waiting segment ids, monitor-queue order *)
   mo_cond_waiters : int list list;  (** per condition, in queue order *)
@@ -54,6 +54,38 @@ type message =
       found : bool;
     }  (** probe answer; the hosting node is the sender *)
 
-val encode : impl:Enet.Wire.impl -> stats:Enet.Conversion_stats.t -> message -> string
-val decode : impl:Enet.Wire.impl -> stats:Enet.Conversion_stats.t -> string -> message
+val encode :
+  ?plans:Conv_plan.use ->
+  impl:Enet.Wire.impl ->
+  stats:Enet.Conversion_stats.t ->
+  message ->
+  string
+(** With [?plans], [M_move] frame and field sections route through
+    compiled conversion plans when one applies; the bytes are identical
+    either way.  The encode buffer is recycled into the pool. *)
+
+val encode_view :
+  ?plans:Conv_plan.use ->
+  impl:Enet.Wire.impl ->
+  stats:Enet.Conversion_stats.t ->
+  message ->
+  Enet.Wire.view
+(** Like {!encode} but hands the pooled buffer off as a view instead of
+    copying it into a string; pass to {!Enet.Netsim.send_view} and
+    {!Enet.Wire.release_view} after decoding. *)
+
+val decode :
+  ?plans:Conv_plan.use ->
+  impl:Enet.Wire.impl ->
+  stats:Enet.Conversion_stats.t ->
+  string ->
+  message
+
+val decode_view :
+  ?plans:Conv_plan.use ->
+  impl:Enet.Wire.impl ->
+  stats:Enet.Conversion_stats.t ->
+  Enet.Wire.view ->
+  message
+
 val describe : message -> string

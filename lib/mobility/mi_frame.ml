@@ -6,7 +6,7 @@ type mi_frame = {
   mf_code_oid : int32;
   mf_method : int;
   mf_stop : int;
-  mf_slots : (int * Ert.Value.t) list;
+  mf_slots : (int * Ert.Value.t) array;
   mf_self : Ert.Oid.t;
 }
 
@@ -51,30 +51,74 @@ let read_opt r f =
   | 1 -> Some (f r)
   | n -> failwith (Printf.sprintf "Mi_frame.read_opt: corrupt tag %d" n)
 
-let write_frame w f =
+let write_frame_interp w f =
   W.u16 w f.mf_class;
   W.u32 w f.mf_code_oid;
   W.u16 w f.mf_method;
   W.u16 w f.mf_stop;
   W.u32 w f.mf_self;
-  W.u16 w (List.length f.mf_slots);
-  List.iter
+  W.u16 w (Array.length f.mf_slots);
+  Array.iter
     (fun (slot, v) ->
       W.u16 w slot;
       Ert.Value.write w v)
     f.mf_slots
 
-let read_frame r =
-  let mf_class = R.u16 r in
-  let mf_code_oid = R.u32 r in
-  let mf_method = R.u16 r in
-  let mf_stop = R.u16 r in
-  let mf_self = R.u32 r in
-  let n = R.u16 r in
-  let mf_slots = List.init n (fun _ ->
-      let slot = R.u16 r in
-      let v = Ert.Value.read r in
-      (slot, v))
+let write_frame ?plans w f =
+  let fused =
+    match plans with
+    | None -> false
+    | Some use -> (
+      match Conv_plan.frame_plan_for use ~class_index:f.mf_class ~stop:f.mf_stop with
+      | None -> false
+      | Some fp ->
+        Conv_plan.write_frame fp w ~cls:f.mf_class ~code_oid:f.mf_code_oid
+          ~meth:f.mf_method ~stop:f.mf_stop ~self:f.mf_self ~slots:f.mf_slots)
+  in
+  if not fused then write_frame_interp w f
+
+let read_frame ?plans r =
+  (* the plan is looked up from the class and stop the header announces;
+     with plans in play the 14 header bytes are read as one block,
+     charged exactly like the five per-datum Bulk reads *)
+  let mf_class, mf_code_oid, mf_method, mf_stop, mf_self =
+    match plans with
+    | Some _ ->
+      let off = R.block r 14 in
+      R.add_charge r ~calls:5 ~bytes:14;
+      ( R.get16_at r off,
+        R.get32_at r (off + 2),
+        R.get16_at r (off + 6),
+        R.get16_at r (off + 8),
+        R.get32_at r (off + 10) )
+    | None ->
+      let c = R.u16 r in
+      let oid = R.u32 r in
+      let m = R.u16 r in
+      let st = R.u16 r in
+      let self = R.u32 r in
+      (c, oid, m, st, self)
+  in
+  let fused =
+    match plans with
+    | None -> None
+    | Some use -> (
+      match Conv_plan.frame_plan_for use ~class_index:mf_class ~stop:mf_stop with
+      | None -> None
+      | Some fp -> Conv_plan.read_frame_slots fp r)
+  in
+  let mf_slots =
+    match fused with
+    | Some slots -> slots
+    | None ->
+      let n = R.u16 r in
+      let slots = Array.make n (0, Ert.Value.Vnil) in
+      for i = 0 to n - 1 do
+        let slot = R.u16 r in
+        let v = Ert.Value.read r in
+        slots.(i) <- (slot, v)
+      done;
+      slots
   in
   { mf_class; mf_code_oid; mf_method; mf_stop; mf_slots; mf_self }
 
@@ -146,22 +190,39 @@ let read_spawn r =
   let si_args = List.init n (fun _ -> Ert.Value.read r) in
   { Ert.Thread.si_target; si_class; si_method; si_args }
 
-let write_segment w s =
-  W.i32 w (Int32.of_int s.ms_seg_id);
-  W.i32 w (Int32.of_int s.ms_thread);
+let write_segment ?plans w s =
+  (match plans with
+  | Some _ ->
+    (* Fused segment head: same bytes and the same Bulk-equivalent
+       charge (2 x i32) as the interpretive pair below. *)
+    W.raw_u32 w (Int32.of_int s.ms_seg_id);
+    W.raw_u32 w (Int32.of_int s.ms_thread);
+    W.add_charge w ~calls:2 ~bytes:8
+  | None ->
+    W.i32 w (Int32.of_int s.ms_seg_id);
+    W.i32 w (Int32.of_int s.ms_thread));
   write_status w s.ms_status;
   W.u16 w (List.length s.ms_frames);
-  List.iter (write_frame w) s.ms_frames;
+  List.iter (write_frame ?plans w) s.ms_frames;
   write_opt w write_link s.ms_link;
   write_opt w write_typ s.ms_result_type;
   write_opt w write_spawn s.ms_spawn
 
-let read_segment r =
-  let ms_seg_id = Int32.to_int (R.i32 r) in
-  let ms_thread = Int32.to_int (R.i32 r) in
+let read_segment ?plans r =
+  let ms_seg_id, ms_thread =
+    match plans with
+    | Some _ ->
+      let off = R.block r 8 in
+      R.add_charge r ~calls:2 ~bytes:8;
+      (Int32.to_int (R.get32_at r off), Int32.to_int (R.get32_at r (off + 4)))
+    | None ->
+      let seg_id = Int32.to_int (R.i32 r) in
+      let thread = Int32.to_int (R.i32 r) in
+      (seg_id, thread)
+  in
   let ms_status = read_status r in
   let n = R.u16 r in
-  let ms_frames = List.init n (fun _ -> read_frame r) in
+  let ms_frames = List.init n (fun _ -> read_frame ?plans r) in
   let ms_link = read_opt r read_link in
   let ms_result_type = read_opt r read_typ in
   let ms_spawn = read_opt r read_spawn in
@@ -179,5 +240,5 @@ let pp_segment ppf s =
     (fun f ->
       Format.fprintf ppf "  frame: class %d method %d at stop %d, self %s, %d slot(s)@."
         f.mf_class f.mf_method f.mf_stop (Ert.Oid.to_string f.mf_self)
-        (List.length f.mf_slots))
+        (Array.length f.mf_slots))
     s.ms_frames

@@ -19,9 +19,10 @@ type mi_frame = {
   mf_code_oid : int32;
   mf_method : int;
   mf_stop : int;  (** class-global bus-stop number where suspended *)
-  mf_slots : (int * Ert.Value.t) list;
-      (** template-slot index -> value, for the entities live at the stop;
-          slot indices are architecture independent *)
+  mf_slots : (int * Ert.Value.t) array;
+      (** template-slot index -> value, in wire order (the stop's live
+          list), for the entities live at the stop; slot indices are
+          architecture independent *)
   mf_self : Ert.Oid.t;  (** the object whose operation this record executes *)
 }
 
@@ -51,9 +52,14 @@ type mi_segment = {
       (** present (with [ms_frames = \[\]]) for never-executed segments *)
 }
 
-val write_segment : Enet.Wire.Writer.t -> mi_segment -> unit
-val read_segment : Enet.Wire.Reader.t -> mi_segment
-val write_frame : Enet.Wire.Writer.t -> mi_frame -> unit
-val read_frame : Enet.Wire.Reader.t -> mi_frame
+(* With [?plans], frame encoding routes through a compiled conversion
+   plan when one applies (identical bytes, fused host work, identical
+   Bulk-tier accounting); otherwise, and always for the segment
+   scaffolding around the frames, the interpretive path is used. *)
+
+val write_segment : ?plans:Conv_plan.use -> Enet.Wire.Writer.t -> mi_segment -> unit
+val read_segment : ?plans:Conv_plan.use -> Enet.Wire.Reader.t -> mi_segment
+val write_frame : ?plans:Conv_plan.use -> Enet.Wire.Writer.t -> mi_frame -> unit
+val read_frame : ?plans:Conv_plan.use -> Enet.Wire.Reader.t -> mi_frame
 val frame_count : mi_segment -> int
 val pp_segment : Format.formatter -> mi_segment -> unit

@@ -32,11 +32,9 @@ let capture_object k addr : Marshal.move_object =
   let fields = field_types k ~class_index in
   let mem = K.mem k in
   let values =
-    Array.to_list
-      (Array.mapi
-         (fun i (_, ty) ->
-           K.value_of_raw k ty (Mem.load32 mem (addr + L.field_offset i)))
-         fields)
+    Array.mapi
+      (fun i (_, ty) -> K.value_of_raw k ty (Mem.load32 mem (addr + L.field_offset i)))
+      fields
   in
   let lc = K.loaded_class k class_index in
   let nconds =
@@ -282,7 +280,7 @@ let apply_move k (payload : Marshal.move_payload) =
   (* pass 2: field values *)
   List.iter
     (fun ((o : Marshal.move_object), addr) ->
-      List.iteri
+      Array.iteri
         (fun i v -> Mem.store32 mem (addr + L.field_offset i) (K.raw_of_value k v))
         o.Marshal.mo_fields)
     installed;

@@ -43,12 +43,12 @@ let capture_frame k fr =
   let fi = K.frame_info k ~class_index:fr.fw_class ~method_index:fr.fw_method in
   let mem = K.mem k in
   let slots =
-    List.map
+    Array.map
       (fun (es : Emc.Template.entity_slot) ->
         let off = fi.Emc.Busstop.fr_slot_offsets.(es.Emc.Template.es_slot) in
         let raw = Mem.load32 mem (fr.fw_fp + off) in
         (es.Emc.Template.es_slot, K.value_of_raw k es.Emc.Template.es_type raw))
-      stop.Emc.Template.st_live
+      (Array.of_list stop.Emc.Template.st_live)
   in
   {
     Mi_frame.mf_class = fr.fw_class;
@@ -152,7 +152,7 @@ let rebuild_segment k (mi : Mi_frame.mi_segment) : T.segment =
         cursor := !cursor + b.bf_depth + linkage_bytes family + 16)
       barr;
     let write_slots fp (b : build_frame) =
-      List.iter
+      Array.iter
         (fun (slot, v) ->
           let off = b.bf_fi.Emc.Busstop.fr_slot_offsets.(slot) in
           Mem.store32 mem (fp + off) (K.raw_of_value k v))

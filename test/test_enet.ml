@@ -31,7 +31,7 @@ let roundtrip impl =
 
 let test_network_byte_order () =
   let stats = Enet.Conversion_stats.create () in
-  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Optimized ~stats in
+  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
   Enet.Wire.Writer.u32 w 0x01020304l;
   let s = Enet.Wire.Writer.contents w in
   check Alcotest.string "big endian on the wire" "\x01\x02\x03\x04" s
@@ -47,11 +47,14 @@ let test_impls_agree () =
     (Enet.Wire.Writer.contents w, Enet.Conversion_stats.calls stats)
   in
   let naive_bytes, naive_calls = emit Enet.Wire.Naive in
-  let opt_bytes, opt_calls = emit Enet.Wire.Optimized in
-  check Alcotest.string "identical octets" naive_bytes opt_bytes;
-  if naive_calls <= opt_calls then
-    Alcotest.failf "naive (%d calls) should cost more than optimized (%d)" naive_calls
-      opt_calls
+  let bulk_bytes, bulk_calls = emit Enet.Wire.Bulk in
+  let plan_bytes, plan_calls = emit Enet.Wire.Plan in
+  check Alcotest.string "identical octets" naive_bytes bulk_bytes;
+  check Alcotest.string "plan tier identical octets" naive_bytes plan_bytes;
+  check Alcotest.int "plan charges like bulk" bulk_calls plan_calls;
+  if naive_calls <= bulk_calls then
+    Alcotest.failf "naive (%d calls) should cost more than bulk (%d)" naive_calls
+      bulk_calls
 
 let test_calls_per_byte () =
   (* the paper: an average of 1-2 conversion calls per byte *)
@@ -70,6 +73,50 @@ let test_reader_underflow () =
   match Enet.Wire.Reader.u32 r with
   | _ -> Alcotest.fail "expected underflow"
   | exception Enet.Wire.Reader.Underflow -> ()
+
+let test_view_roundtrip () =
+  let v = Enet.Wire.view_of_string "hello world" in
+  check Alcotest.int "length" 11 (Enet.Wire.view_length v);
+  check Alcotest.string "contents" "hello world" (Enet.Wire.view_to_string v);
+  let sub = Enet.Wire.sub_view v ~pos:6 ~len:5 in
+  check Alcotest.string "sub view" "world" (Enet.Wire.view_to_string sub);
+  check (Alcotest.char) "indexing" 'w' (Enet.Wire.view_get sub 0)
+
+let test_pool_reuse () =
+  Enet.Wire.Pool.reset ();
+  let stats = Enet.Conversion_stats.create () in
+  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
+  Enet.Wire.Writer.str w "pooled payload";
+  let v = Enet.Wire.Writer.handoff w in
+  check Alcotest.int "first buffer is a miss" 1 (Enet.Wire.Pool.misses ());
+  check Alcotest.int "handoff counted" 1 (Enet.Wire.Pool.handoffs ());
+  Enet.Wire.release_view v;
+  let w2 = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
+  check Alcotest.int "released buffer is reused" 1 (Enet.Wire.Pool.hits ());
+  Enet.Wire.Writer.str w2 "second";
+  Enet.Wire.Writer.free w2;
+  (* sub-views never recycle their parent's buffer *)
+  let w3 = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
+  Enet.Wire.Writer.str w3 "third";
+  let v3 = Enet.Wire.Writer.handoff w3 in
+  let inner = Enet.Wire.sub_view v3 ~pos:2 ~len:3 in
+  let before = Enet.Wire.Pool.hits () in
+  Enet.Wire.release_view inner;
+  let w4 = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
+  Enet.Wire.Writer.free w4;
+  if Enet.Wire.Pool.hits () > before + 1 then
+    Alcotest.fail "sub view release must not recycle the parent buffer";
+  Enet.Wire.release_view v3;
+  Enet.Wire.Pool.reset ()
+
+let test_writer_free_rejects_use () =
+  let stats = Enet.Conversion_stats.create () in
+  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
+  Enet.Wire.Writer.u16 w 1;
+  Enet.Wire.Writer.free w;
+  match Enet.Wire.Writer.u16 w 2 with
+  | () -> Alcotest.fail "writing to a freed writer should fail"
+  | exception _ -> ()
 
 (* Netsim ------------------------------------------------------------------ *)
 
@@ -92,7 +139,7 @@ let test_netsim_fifo () =
   ignore (Enet.Netsim.send net ~now_us:0.0 ~src:0 ~dst:1 ~payload:"third");
   let recv () =
     match Enet.Netsim.receive net ~dst:1 ~now_us:1e9 with
-    | Some m -> m.Enet.Netsim.msg_payload
+    | Some m -> Enet.Wire.view_to_string m.Enet.Netsim.msg_payload
     | None -> Alcotest.fail "expected a message"
   in
   check Alcotest.string "fifo 1" "first" (recv ());
@@ -123,11 +170,15 @@ let suites =
     ( "enet.wire",
       [
         qcheck (roundtrip Enet.Wire.Naive);
-        qcheck (roundtrip Enet.Wire.Optimized);
+        qcheck (roundtrip Enet.Wire.Bulk);
+        qcheck (roundtrip Enet.Wire.Plan);
         Alcotest.test_case "network byte order" `Quick test_network_byte_order;
         Alcotest.test_case "implementations agree on octets" `Quick test_impls_agree;
         Alcotest.test_case "naive costs 1-2 calls/byte" `Quick test_calls_per_byte;
         Alcotest.test_case "reader underflow" `Quick test_reader_underflow;
+        Alcotest.test_case "views" `Quick test_view_roundtrip;
+        Alcotest.test_case "buffer pool reuse" `Quick test_pool_reuse;
+        Alcotest.test_case "freed writer rejects use" `Quick test_writer_free_rejects_use;
       ] );
     ( "enet.netsim",
       [

@@ -201,7 +201,7 @@ let test_netsim_injection_hooks () =
   check Alcotest.int "pending" 4 (Enet.Netsim.pending net);
   let rec drain acc =
     match Enet.Netsim.receive net ~dst:1 ~now_us:1e9 with
-    | Some m -> drain (m.Enet.Netsim.msg_payload :: acc)
+    | Some m -> drain (Enet.Wire.view_to_string m.Enet.Netsim.msg_payload :: acc)
     | None -> List.rev acc
   in
   let order = drain [] in

@@ -36,7 +36,7 @@ let segment_gen =
         mf_code_oid = Int32.of_int (1000 + cls);
         mf_method = mth;
         mf_stop = stop;
-        mf_slots = List.mapi (fun i v -> (i, v)) vals;
+        mf_slots = Array.of_list (List.mapi (fun i v -> (i, v)) vals);
         mf_self = Ert.Oid.fresh_data ~node_id:1 ~serial:(cls + 1);
       }
   in
@@ -113,7 +113,7 @@ let test_message_roundtrip () =
               {
                 Mobility.Marshal.mo_oid = Ert.Oid.fresh_data ~node_id:1 ~serial:8;
                 mo_class = 0;
-                mo_fields = [ V.Vint 1l; V.Vstr "f"; V.Vnil ];
+                mo_fields = [| V.Vint 1l; V.Vstr "f"; V.Vnil |];
                 mo_locked = true;
                 mo_waiters = [ 11; 22 ];
                 mo_cond_waiters = [ [ 33 ]; [] ];
@@ -214,7 +214,10 @@ let test_capture_slot_values () =
   let payload = capture_payload A.vax in
   let all_values =
     List.concat_map
-      (fun s -> List.concat_map (fun f -> List.map snd f.MF.mf_slots) s.MF.ms_frames)
+      (fun s ->
+        List.concat_map
+          (fun f -> List.map snd (Array.to_list f.MF.mf_slots))
+          s.MF.ms_frames)
       payload.Mobility.Marshal.mp_segments
   in
   let has v = List.exists (V.equal v) all_values in
@@ -228,7 +231,8 @@ let suites =
     ( "translate",
       [
         qcheck (seg_roundtrip Enet.Wire.Naive);
-        qcheck (seg_roundtrip Enet.Wire.Optimized);
+        qcheck (seg_roundtrip Enet.Wire.Bulk);
+        qcheck (seg_roundtrip Enet.Wire.Plan);
         Alcotest.test_case "message round trips" `Quick test_message_roundtrip;
         Alcotest.test_case "MI capture identical across architectures" `Quick
           test_cross_arch_capture_equivalence;
