@@ -29,7 +29,7 @@ let pp_outcome ?(verbose = false) ppf (o : Core.Fuzz.outcome) =
       o.Core.Fuzz.f_events o.Core.Fuzz.f_virtual_us o.Core.Fuzz.f_moves
       o.Core.Fuzz.f_faults o.Core.Fuzz.f_retransmits o.Core.Fuzz.f_dups
 
-let report_failure ~drop ~check_every ~max_events ~do_shrink
+let report_failure ~drop ~check_every ~max_events ~shards ~do_shrink
     (o : Core.Fuzz.outcome) =
   Format.printf "@.%a@." (pp_outcome ~verbose:true) o;
   Format.printf "plan: %s@." (Fault.Plan.to_string o.Core.Fuzz.f_plan);
@@ -41,16 +41,16 @@ let report_failure ~drop ~check_every ~max_events ~do_shrink
   if do_shrink then begin
     Format.printf "shrinking...@.";
     let minimal =
-      Core.Fuzz.shrink ?drop ~check_every ~max_events ~seed:o.Core.Fuzz.f_seed
-        o.Core.Fuzz.f_plan
+      Core.Fuzz.shrink ?drop ~check_every ~max_events ~shards
+        ~seed:o.Core.Fuzz.f_seed o.Core.Fuzz.f_plan
     in
     Format.printf "minimal failing plan: %s@." (Fault.Plan.to_string minimal)
   end;
   Format.printf "reproduce: emfuzz --seed %d%s@." o.Core.Fuzz.f_seed
     (match drop with Some d -> Printf.sprintf " --drop %g" d | None -> "")
 
-let run seeds start one_seed faults drop check_every max_events no_shrink
-    verbose =
+let run seeds start one_seed faults drop check_every max_events shards
+    no_shrink verbose =
   let plan =
     match faults with
     | None -> None
@@ -64,7 +64,9 @@ let run seeds start one_seed faults drop check_every max_events no_shrink
   let do_shrink = not no_shrink in
   match one_seed with
   | Some seed ->
-    let o = Core.Fuzz.run_seed ?plan ?drop ~check_every ~max_events ~seed () in
+    let o =
+      Core.Fuzz.run_seed ?plan ?drop ~check_every ~max_events ~shards ~seed ()
+    in
     if o.Core.Fuzz.f_ok then begin
       Format.printf "%a@." (pp_outcome ~verbose:true) o;
       Format.printf "plan: %s@." (Fault.Plan.to_string o.Core.Fuzz.f_plan);
@@ -72,7 +74,7 @@ let run seeds start one_seed faults drop check_every max_events no_shrink
       0
     end
     else begin
-      report_failure ~drop ~check_every ~max_events ~do_shrink o;
+      report_failure ~drop ~check_every ~max_events ~shards ~do_shrink o;
       1
     end
   | None ->
@@ -93,11 +95,11 @@ let run seeds start one_seed faults drop check_every max_events no_shrink
     in
     let seed_list = List.init seeds (fun i -> start + i) in
     (match
-       Core.Fuzz.sweep ?drop ~check_every ~max_events ~on_outcome
+       Core.Fuzz.sweep ?drop ~check_every ~max_events ~shards ~on_outcome
          ~seeds:seed_list ()
      with
     | Some bad ->
-      report_failure ~drop ~check_every ~max_events ~do_shrink bad;
+      report_failure ~drop ~check_every ~max_events ~shards ~do_shrink bad;
       1
     | None ->
       Format.printf
@@ -137,6 +139,14 @@ let max_events_t =
   Arg.(value & opt int 400_000
        & info [ "max-events" ] ~docv:"N" ~doc:"Per-seed event budget.")
 
+let shards_t =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the simulated cluster's event engine across \
+                 $(docv) structures (the fuzz driver steps through the \
+                 deterministic sequential merge, so outcomes are \
+                 identical at any shard count).")
+
 let no_shrink_t =
   Arg.(value & flag
        & info [ "no-shrink" ] ~doc:"Skip shrinking when a seed fails.")
@@ -150,6 +160,6 @@ let cmd =
     (Cmd.info "emfuzz" ~doc)
     Term.(
       const run $ seeds_t $ start_t $ seed_t $ faults_t $ drop_t $ check_every_t
-      $ max_events_t $ no_shrink_t $ verbose_t)
+      $ max_events_t $ shards_t $ no_shrink_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

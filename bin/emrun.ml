@@ -2,12 +2,12 @@
    heterogeneous workstations.
 
      emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
-               [--original] [--codec TIER] [--trace] [--stats]
+               [--original] [--codec TIER] [--shards N] [--trace] [--stats]
                [--seed N] [--faults SPEC] [--check-invariants] *)
 
 open Cmdliner
 
-let run file nodes cls op args_s original codec trace stats seed faults
+let run file nodes cls op args_s original codec shards trace stats seed faults
     check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
@@ -42,7 +42,7 @@ let run file nodes cls op args_s original codec trace stats seed faults
         Printf.eprintf "emrun: unknown codec %s (have: naive, bulk, plan)\n" s;
         exit 2)
   in
-  let cl = Core.Cluster.create ~protocol ?wire_impl ~faults:plan ~archs () in
+  let cl = Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~archs () in
   if trace then Core.Cluster.set_trace cl prerr_endline;
   (match
      Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
@@ -108,10 +108,26 @@ let run file nodes cls op args_s original codec trace stats seed faults
       if Mobility.Conv_plan.compiles pc > 0 || Mobility.Conv_plan.hits pc > 0 then
         Printf.printf "plan cache: %d compiles, %d hits\n"
           (Mobility.Conv_plan.compiles pc) (Mobility.Conv_plan.hits pc);
-      let e = Core.Cluster.engine cl in
-      Printf.printf "engine: %d pushes, %d pops (%d stale), %d pending\n"
-        (Core.Engine.pushes e) (Core.Engine.pops e) (Core.Engine.stale_pops e)
-        (Core.Engine.pending e);
+      Array.iteri
+        (fun s e ->
+          Printf.printf "engine %d: %d pushes, %d pops (%d stale), %d pending\n"
+            s (Core.Engine.pushes e) (Core.Engine.pops e)
+            (Core.Engine.stale_pops e) (Core.Engine.pending e))
+        (Core.Cluster.engines cl);
+      let bus = Core.Cluster.bus cl in
+      if Core.Events.windows bus > 0 then begin
+        Printf.printf "windows: %d run, mean horizon %.0f us\n"
+          (Core.Events.windows bus)
+          (Core.Events.mean_horizon_us bus);
+        for s = 0 to Core.Cluster.n_shards cl - 1 do
+          let sc = Core.Events.shard_counters bus s in
+          let open Core.Events in
+          Printf.printf
+            "shard %d: %d windows, %d events, busy %.1f ms, stalled %.1f ms\n"
+            s sc.s_windows sc.s_events (sc.s_busy_ns /. 1e6)
+            (sc.s_stall_ns /. 1e6)
+        done
+      end;
       if not (Fault.Plan.is_trivial plan) then begin
         let open Core.Events in
         let tc f = Core.Cluster.total_counter cl f in
@@ -199,6 +215,13 @@ let codec_t =
                  $(b,plan) (compiled conversion plans; same virtual cost \
                  as bulk).")
 
+let shards_t =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the event engine across $(docv) OCaml domains \
+                 (capped at one per node).  Simulation results are \
+                 identical at any shard count.")
+
 let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events.")
 let stats_t = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-node statistics.")
 
@@ -224,6 +247,7 @@ let cmd =
     (Cmd.info "emrun" ~doc)
     Term.(
       const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
-      $ codec_t $ trace_t $ stats_t $ seed_t $ faults_t $ check_invariants_t)
+      $ codec_t $ shards_t $ trace_t $ stats_t $ seed_t $ faults_t
+      $ check_invariants_t)
 
 let () = exit (Cmd.eval cmd)

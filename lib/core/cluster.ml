@@ -101,6 +101,70 @@ type chaos_act =
   | Chaos_crash
   | Chaos_restart
 
+(* ----------------------------------------------------------------------- *)
+(* sharded execution (DESIGN.md §11)
+
+   The node range is split into contiguous shards (Shard.plan), each
+   with its own engine heap.  Two execution regimes share the shard
+   structure:
+
+   - *Sequential merge* ([step_once]): repeatedly pop the globally
+     earliest event across the per-shard engines, comparing heads by
+     (time, rank).  The engine rank is node-major, so this reproduces
+     the single-heap order exactly — [--shards 1] degenerates to the
+     one-engine loop bit-for-bit, and any shard count executes the
+     identical event sequence.  All semantics (fault plans, reliable
+     transport, invariant probing) run in this regime.
+
+   - *Parallel windows* ([run] only, when [parallel_ok]): shards
+     execute concurrently inside a conservative Chandy–Misra window
+     [W, W + lookahead) where the lookahead is the network latency —
+     the minimum delay any cross-node interaction can have.  Inside a
+     window a shard touches only its own nodes' state; sends are
+     posted to a per-shard Netsim outbox and flushed at the barrier in
+     canonical (time, rank, seq) order, reproducing bit-identically
+     the medium reservation, sequence numbers and arrival times of a
+     sequential run (every arrival lands at or past the horizon, so
+     deferral is unobservable in-window).  Bus events are buffered
+     per shard with their generating event's key and replayed merged
+     at the barrier; with no subscribers and no trace hook the buffer
+     is skipped and counters (per node, shard-owned) are updated
+     directly.  The rare in-window thread abort (a failed location
+     search) is deferred to the barrier too; its thread's segments
+     are all parked awaiting a reply that will never come, so the
+     deferral is unobservable. *)
+
+type dsend = {
+  ds_entry : Enet.Netsim.Outbox.entry;
+  ds_time : float;  (* sender's virtual clock at the send *)
+  ds_src : int;
+  ds_dst : int;
+  ds_desc : string;
+  ds_bytes : int;
+}
+
+type buffered =
+  | B_ev of E.t
+  | B_send of dsend  (* Ev_msg_send whose arrival the barrier fills in *)
+
+type shard = {
+  sh_id : int;
+  sh_engine : Engine.t;
+  sh_searches : (Ert.Oid.t, search) Hashtbl.t;  (* keyed by asker's shard *)
+  sh_root_done : (T.tid, Ert.Value.t option) Hashtbl.t;
+  mutable sh_events : int;  (* events executed in parallel windows *)
+  mutable sh_collections : int;
+  (* window-transient state, reset at each barrier *)
+  sh_outbox : Enet.Netsim.Outbox.t;
+  mutable sh_buf : (float * int * int * buffered) list;
+  mutable sh_aborts : (float * int * int * int * T.tid * string) list;
+      (* key, context node, thread, reason *)
+  mutable sh_seq : int;  (* per-window emission/posting counter *)
+  mutable sh_key_time : float;  (* generating event's key, set per pop *)
+  mutable sh_key_rank : int;
+  mutable sh_win_busy_ns : float;  (* host time in the current window *)
+}
+
 type t = {
   nodes : node array;
   net : Enet.Netsim.t;
@@ -108,17 +172,21 @@ type t = {
   proto : protocol;
   wire_impl : Enet.Wire.impl;
   sched : scheduler;
-  engine : Engine.t;
+  splan : Shard.plan;
+  owner : int array;  (* node -> shard, cached from [splan] *)
+  engines : Engine.t array;  (* one per shard *)
+  shards : shard array;
+  lookahead : float;  (* window width = min network latency *)
+  mutable win_active : bool;  (* inside a parallel window *)
+  mutable win_buffering : bool;  (* window events buffered for replay *)
   bus : E.bus;
   mutable events : int;
   mutable trace : (string -> unit) option;
   failures : (T.tid, string) Hashtbl.t;  (* threads lost to node crashes *)
-  searches : (Ert.Oid.t, search) Hashtbl.t;
   gc_threshold : int option;  (* collect a node when its heap exceeds this *)
   gc_threshold_i : int;  (* same, resolved to max_int when absent (hot-loop form) *)
   mutable pinned : Ert.Oid.t list;  (* harness-held references: GC roots *)
   mutable collections : int;
-  root_done : (T.tid, Ert.Value.t option) Hashtbl.t;
   (* --- fault injection; [reliable] = a non-trivial plan is installed --- *)
   faults : Fault.Plan.t;
   reliable : bool;
@@ -132,11 +200,30 @@ type t = {
   inv_last_times : float array;  (* monotonicity state for check_invariants *)
 }
 
-let emit t ev =
+let n_shards t = Array.length t.shards
+let shard_of t i = t.owner.(i)
+let eng t i = t.engines.(t.owner.(i))
+
+let emit_direct t ev =
   E.emit t.bus ev;
   match t.trace with
   | None -> ()
   | Some f -> ( match E.legacy_string ev with Some s -> f s | None -> ())
+
+(* Emit an event attributed to [node].  Inside a parallel window the
+   event is buffered with the generating event's merge key (or, with
+   nobody listening, counted directly — the node's counters are owned
+   by the executing shard); otherwise it goes straight to the bus. *)
+let emit t ~node ev =
+  if t.win_active then begin
+    let sh = t.shards.(t.owner.(node)) in
+    if t.win_buffering then begin
+      sh.sh_seq <- sh.sh_seq + 1;
+      sh.sh_buf <- (sh.sh_key_time, sh.sh_key_rank, sh.sh_seq, B_ev ev) :: sh.sh_buf
+    end
+    else E.emit t.bus ev
+  end
+  else emit_direct t ev
 
 (* (re)queue a scheduling slice for the node, at its current virtual
    time; the engine dedups, so this is cheap to call after anything
@@ -145,16 +232,19 @@ let ensure_step t i =
   if t.sched = Heap then begin
     let n = t.nodes.(i) in
     if (not n.n_crashed) && K.has_ready n.n_kernel then
-      Engine.schedule t.engine ~at:(K.time_us n.n_kernel) (Engine.Step i)
+      Engine.schedule (eng t i) ~at:(K.time_us n.n_kernel) (Engine.Step i)
   end
 
 let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
-    ?(scheduler = Heap) ?quantum ?gc_threshold ?(faults = Fault.Plan.empty)
-    ~archs () =
+    ?(scheduler = Heap) ?(shards = 1) ?quantum ?gc_threshold
+    ?(faults = Fault.Plan.empty) ~archs () =
   let n = List.length archs in
   let reliable = not (Fault.Plan.is_trivial faults) in
   if reliable && scheduler <> Heap then
     invalid_arg "Cluster.create: fault plans require the Heap scheduler";
+  if shards < 1 then invalid_arg "Cluster.create: need at least one shard";
+  if shards > 1 && scheduler <> Heap then
+    invalid_arg "Cluster.create: sharding requires the Heap scheduler";
   let net = Enet.Netsim.create ?config:net_config ~n_nodes:n () in
   let repo = Mobility.Code_repository.create () in
   let nodes =
@@ -170,15 +260,40 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
              n_crashed = false })
          archs)
   in
+  let splan = Shard.plan ~n_nodes:n ~shards in
+  let d = Shard.n_shards splan in
+  let mk_shard s =
+    {
+      sh_id = s;
+      sh_engine = Engine.create ~n_nodes:n ();
+      sh_searches = Hashtbl.create 4;
+      sh_root_done = Hashtbl.create 4;
+      sh_events = 0;
+      sh_collections = 0;
+      sh_outbox = Enet.Netsim.Outbox.create ();
+      sh_buf = [];
+      sh_aborts = [];
+      sh_seq = 0;
+      sh_key_time = 0.0;
+      sh_key_rank = 0;
+      sh_win_busy_ns = 0.0;
+    }
+  in
+  let shard_ctxs = Array.init d mk_shard in
   let t =
     { nodes; net; repo; proto = protocol; wire_impl; sched = scheduler;
-      engine = Engine.create ~n_nodes:n (); bus = E.create_bus ~n_nodes:n;
+      splan; owner = Array.init n (Shard.owner splan);
+      engines = Array.map (fun sh -> sh.sh_engine) shard_ctxs;
+      shards = shard_ctxs;
+      lookahead =
+        (Enet.Netsim.config net).Enet.Netsim.latency_us;
+      win_active = false; win_buffering = false;
+      bus = E.create_bus ~n_nodes:n;
       events = 0; trace = None;
-      failures = Hashtbl.create 4; searches = Hashtbl.create 4;
+      failures = Hashtbl.create 4;
       gc_threshold = gc_threshold;
       gc_threshold_i = (match gc_threshold with Some v -> v | None -> max_int);
       pinned = []; collections = 0;
-      root_done = Hashtbl.create 4;
       faults; reliable;
       frng = Fault.Rng.create ~seed:faults.Fault.Plan.pl_seed;
       next_seq = Array.make n 0;
@@ -188,14 +303,16 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       quantum; last_prog = None;
       inv_last_times = Array.make n 0.0 }
   in
-  Array.iter
-    (fun node ->
+  E.attach_shards t.bus d;
+  Array.iteri
+    (fun i node ->
+      let done_tbl = t.shards.(t.owner.(i)).sh_root_done in
       K.set_on_root_result node.n_kernel (fun ~thread r ->
-          Hashtbl.replace t.root_done thread r))
+          Hashtbl.replace done_tbl thread r))
     t.nodes;
   if scheduler = Heap then
     Enet.Netsim.set_on_arrival net (fun ~dst ~at ->
-        Engine.schedule t.engine ~at (Engine.Deliver dst));
+        Engine.schedule (eng t dst) ~at (Engine.Deliver dst));
   if reliable then begin
     Enet.Netsim.set_injector net (fun ~src ~dst ~now_us ->
         Fault.Plan.wire_fault faults ~rng:t.frng ~src ~dst ~now_us);
@@ -206,7 +323,7 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
           | Enet.Netsim.Fault_dup extra -> Printf.sprintf "dup (+%.0fus)" extra
           | Enet.Netsim.Fault_delay extra -> Printf.sprintf "delay (+%.0fus)" extra
         in
-        emit t
+        emit t ~node:src
           (E.Ev_fault
              { time = K.time_us t.nodes.(src).n_kernel; src; dst; kind }));
     (* compile the plan's crash/restart windows into per-node schedules
@@ -228,7 +345,7 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
     Array.iteri
       (fun i acts ->
         match acts with
-        | (at, _) :: _ -> Engine.schedule t.engine ~at (Engine.Chaos i)
+        | (at, _) :: _ -> Engine.schedule (eng t i) ~at (Engine.Chaos i)
         | [] -> ())
       t.chaos
   end;
@@ -242,10 +359,12 @@ let kernels t = Array.map (fun n -> n.n_kernel) t.nodes
 let arch_of t i = K.arch (kernel t i)
 let repository t = t.repo
 let network t = t.net
-let engine t = t.engine
+let engine t = t.engines.(0)
+let engines t = t.engines
 let conversion_stats t i = t.nodes.(i).n_conv
 let fault_plan t = t.faults
 let set_trace t f = t.trace <- Some f
+let bus t = t.bus
 let subscribe_events t f = E.subscribe t.bus f
 let node_counters t i = E.counters t.bus i
 let total_counter t f = E.total t.bus f
@@ -308,11 +427,35 @@ exception Thread_unavailable of string
 let is_crashed t i = t.nodes.(i).n_crashed
 let thread_failure t tid = Hashtbl.find_opt t.failures tid
 
-(* abort every live segment of a thread: its continuation is gone *)
-let abort_thread t tid ~reason =
-  if not (Hashtbl.mem t.failures tid) then begin
+(* Abort every live segment of a thread: its continuation is gone.
+   [node] is the context node the abort originates at (for shard
+   attribution).  Inside a parallel window the abort is deferred to the
+   barrier: the only in-window abort source is a failed location
+   search, whose thread's segments are all parked awaiting a reply that
+   will never come, so postponing the kill past the window edge is
+   unobservable — but the trace line must appear at its canonical
+   position, so Ev_thread_lost is buffered now, with the generating
+   event's key. *)
+let abort_thread t ~node tid ~reason =
+  if t.win_active then begin
+    let sh = t.shards.(t.owner.(node)) in
+    (* [t.failures] is written only at barriers, so reading it from a
+       worker domain mid-window is race-free *)
+    let fresh =
+      (not (Hashtbl.mem t.failures tid))
+      && not (List.exists (fun (_, _, _, _, tid', _) -> tid' = tid) sh.sh_aborts)
+    in
+    if fresh then begin
+      sh.sh_seq <- sh.sh_seq + 1;
+      sh.sh_aborts <-
+        (sh.sh_key_time, sh.sh_key_rank, sh.sh_seq, node, tid, reason)
+        :: sh.sh_aborts;
+      emit t ~node (E.Ev_thread_lost { thread = tid; reason })
+    end
+  end
+  else if not (Hashtbl.mem t.failures tid) then begin
     Hashtbl.replace t.failures tid reason;
-    emit t (E.Ev_thread_lost { thread = tid; reason });
+    emit t ~node (E.Ev_thread_lost { thread = tid; reason });
     Array.iter
       (fun n ->
         if not n.n_crashed then
@@ -326,43 +469,81 @@ let abort_thread t tid ~reason =
       t.nodes
   end
 
+(* the window-deferred half of [abort_thread]: record the failure and
+   reap the segments, without re-emitting the (already buffered) event *)
+let apply_deferred_abort t tid ~reason =
+  if not (Hashtbl.mem t.failures tid) then begin
+    Hashtbl.replace t.failures tid reason;
+    Array.iter
+      (fun n ->
+        if not n.n_crashed then
+          List.iter
+            (fun (seg : T.segment) ->
+              if seg.T.seg_thread = tid then begin
+                seg.T.seg_status <- T.Dead;
+                K.unregister_segment n.n_kernel seg
+              end)
+            (K.segments n.n_kernel))
+      t.nodes
+  end
+
+(* the search table is per shard, keyed by the asking node's shard, so
+   that parallel windows mutate disjoint tables *)
+let search_tbl t ~asker = t.shards.(t.owner.(asker)).sh_searches
+
+(* find a search whose asker is unknown (sequential contexts only) *)
+let find_search_any t obj =
+  let rec go s =
+    if s >= Array.length t.shards then None
+    else
+      match Hashtbl.find_opt t.shards.(s).sh_searches obj with
+      | Some search -> Some (t.shards.(s).sh_searches, search)
+      | None -> go (s + 1)
+  in
+  go 0
+
 (* a message could not be delivered: the sending thread's continuation is
-   lost with it *)
-let rec drop_message t (msg : Mobility.Marshal.message) ~reason =
+   lost with it.  [node] is the context node the drop happens at. *)
+let rec drop_message t ~node (msg : Mobility.Marshal.message) ~reason =
   match msg with
-  | Mobility.Marshal.M_invoke { thread; _ } -> abort_thread t thread ~reason
-  | Mobility.Marshal.M_reply { thread; _ } -> abort_thread t thread ~reason
+  | Mobility.Marshal.M_invoke { thread; _ } -> abort_thread t ~node thread ~reason
+  | Mobility.Marshal.M_reply { thread; _ } -> abort_thread t ~node thread ~reason
   | Mobility.Marshal.M_move payload ->
     List.iter
       (fun (s : Mobility.Mi_frame.mi_segment) ->
-        abort_thread t s.Mobility.Mi_frame.ms_thread ~reason)
+        abort_thread t ~node s.Mobility.Mi_frame.ms_thread ~reason)
       payload.Mobility.Marshal.mp_segments
-  | Mobility.Marshal.M_locate { obj } ->
-    (* an unanswerable probe counts as a negative answer *)
-    search_negative t obj
+  | Mobility.Marshal.M_locate { obj } -> (
+    (* an unanswerable probe counts as a negative answer; the probe does
+       not name its asker, so find the search across shards (this path
+       never runs inside a parallel window — it needs a dead node or a
+       spent retry budget) *)
+    match find_search_any t obj with
+    | None -> ()
+    | Some (tbl, s) -> search_negative t tbl obj s)
   | Mobility.Marshal.M_move_req _ | Mobility.Marshal.M_located _
-  | Mobility.Marshal.M_start_process _ -> ()
+  | Mobility.Marshal.M_start_process _ ->
+    (* no thread continuation rides on these; the protocol degrades to a
+       search or a no-op *)
+    ()
 
-and search_negative t obj =
-  match Hashtbl.find_opt t.searches obj with
-  | None -> ()
-  | Some s ->
-    s.s_awaiting <- s.s_awaiting - 1;
-    if s.s_awaiting <= 0 then begin
-      Hashtbl.remove t.searches obj;
-      emit t (E.Ev_search_failed { obj });
-      List.iter
-        (fun msg ->
-          drop_message t msg
-            ~reason:
-              (Printf.sprintf "object %s cannot be located" (Ert.Oid.to_string obj)))
-        s.s_pending
-    end
+and search_negative t tbl obj (s : search) =
+  s.s_awaiting <- s.s_awaiting - 1;
+  if s.s_awaiting <= 0 then begin
+    Hashtbl.remove tbl obj;
+    emit t ~node:s.s_asker (E.Ev_search_failed { obj });
+    List.iter
+      (fun msg ->
+        drop_message t ~node:s.s_asker msg
+          ~reason:
+            (Printf.sprintf "object %s cannot be located" (Ert.Oid.to_string obj)))
+      s.s_pending
+  end
 
 let crash_node t i =
   let victim = t.nodes.(i) in
   if not victim.n_crashed then begin
-    emit t (E.Ev_crash { node = i });
+    emit t ~node:i (E.Ev_crash { node = i });
     (* a thread whose ACTIVE segment (ready, running or blocked on a local
        monitor) dies with the node can never make progress: abort its
        remnants now.  A thread that merely had a dormant awaiting segment
@@ -380,20 +561,24 @@ let crash_node t i =
     in
     victim.n_crashed <- true;
     List.iter
-      (fun tid -> abort_thread t tid ~reason:(Printf.sprintf "node %d crashed" i))
+      (fun tid ->
+        abort_thread t ~node:i tid ~reason:(Printf.sprintf "node %d crashed" i))
       lost_threads;
     (* searches owned by the dead node die with it; their pending
        invocations can never be routed *)
+    let tbl = search_tbl t ~asker:i in
     let orphaned =
       Hashtbl.fold
         (fun obj s acc -> if s.s_asker = i then (obj, s) :: acc else acc)
-        t.searches []
+        tbl []
     in
     List.iter
       (fun (obj, s) ->
-        Hashtbl.remove t.searches obj;
+        Hashtbl.remove tbl obj;
         List.iter
-          (fun msg -> drop_message t msg ~reason:(Printf.sprintf "node %d crashed" i))
+          (fun msg ->
+            drop_message t ~node:i msg
+              ~reason:(Printf.sprintf "node %d crashed" i))
           s.s_pending)
       orphaned;
     (* the dead node's transport state is gone: every message it had not
@@ -407,7 +592,8 @@ let crash_node t i =
       Hashtbl.reset t.outstanding.(i);
       List.iter
         (fun p ->
-          drop_message t p.p_msg ~reason:(Printf.sprintf "node %d crashed" i))
+          drop_message t ~node:i p.p_msg
+            ~reason:(Printf.sprintf "node %d crashed" i))
         entries
     end
   end
@@ -426,12 +612,13 @@ let restart_node t i =
         Mobility.Code_repository.record_fetch t.repo ~node:i ~class_index;
         K.charge_insns k CM.code_fetch_insns);
     K.set_quantum k t.quantum;
-    K.set_on_root_result k (fun ~thread r -> Hashtbl.replace t.root_done thread r);
+    let done_tbl = t.shards.(t.owner.(i)).sh_root_done in
+    K.set_on_root_result k (fun ~thread r -> Hashtbl.replace done_tbl thread r);
     (match t.last_prog with Some prog -> K.load_program k prog | None -> ());
     n.n_kernel <- k;
     n.n_crashed <- false;
     if t.reliable then Hashtbl.reset t.seen.(i);
-    emit t (E.Ev_restart { node = i })
+    emit t ~node:i (E.Ev_restart { node = i })
   end
 
 (* ----------------------------------------------------------------------- *)
@@ -469,7 +656,7 @@ let charge_conversion t ~node ~calls ~bytes =
   (match t.proto with
   | Enhanced -> K.charge_insns k (calls * CM.per_conversion_call_insns)
   | Original -> K.charge_insns k (bytes * CM.original_copy_insns_per_byte));
-  if calls > 0 || bytes > 0 then emit t (E.Ev_conversion { node; calls; bytes })
+  if calls > 0 || bytes > 0 then emit t ~node (E.Ev_conversion { node; calls; bytes })
 
 let charge_translation t ~node (msg : Mobility.Marshal.message) =
   match t.proto with
@@ -509,13 +696,13 @@ let with_conv_extras t ~node f =
   let r = f () in
   let dc = Mobility.Conv_plan.compiles pc - c0 in
   let dh = Mobility.Conv_plan.hits pc - h0 in
-  if dc > 0 || dh > 0 then emit t (E.Ev_plan { node; compiles = dc; hits = dh });
+  if dc > 0 || dh > 0 then emit t ~node (E.Ev_plan { node; compiles = dc; hits = dh });
   let dph = Enet.Wire.Pool.hits () - ph0 in
   let dpm = Enet.Wire.Pool.misses () - pm0 in
   let dhf = Enet.Wire.Pool.handoffs () - hf0 in
   if dhf > 0 then CS.add_copies_saved t.nodes.(node).n_conv dhf;
   if dph > 0 || dpm > 0 || dhf > 0 then
-    emit t (E.Ev_pool { node; hits = dph; misses = dpm; copies_saved = dhf });
+    emit t ~node (E.Ev_pool { node; hits = dph; misses = dpm; copies_saved = dhf });
   r
 
 let send_message t ~src (s : Mobility.Move.send) =
@@ -526,9 +713,9 @@ let send_message t ~src (s : Mobility.Move.send) =
        outright.  Under a fault plan the frame goes out anyway — the
        node may restart — and the loss is only reported when the
        retransmission budget is spent. *)
-    emit t
+    emit t ~node:src
       (E.Ev_msg_lost { src; dst; desc = Mobility.Marshal.describe msg });
-    drop_message t msg ~reason:(Printf.sprintf "node %d is down" dst)
+    drop_message t ~node:src msg ~reason:(Printf.sprintf "node %d is down" dst)
   end
   else begin
   check_protocol t ~src ~dst msg;
@@ -549,13 +736,43 @@ let send_message t ~src (s : Mobility.Move.send) =
     in
     charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
       ~bytes:(CS.bytes stats - bytes0);
-    let arrival =
-      Enet.Netsim.send_view t.net ~now_us:(K.time_us k) ~src ~dst ~payload
-    in
-    emit t
-      (E.Ev_msg_send
-         { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
-           bytes = Enet.Wire.view_length payload; arrives = arrival })
+    if t.win_active then begin
+      (* inside a parallel window the shared medium is off limits: post
+         the send to the shard's outbox, keyed by the generating event,
+         and let the barrier replay the medium fold in canonical order.
+         The Ev_msg_send needs the arrival the barrier will compute, so
+         it is buffered (or counted) as a [dsend]. *)
+      let sh = t.shards.(t.owner.(src)) in
+      sh.sh_seq <- sh.sh_seq + 1;
+      let entry =
+        Enet.Netsim.Outbox.post sh.sh_outbox ~time:sh.sh_key_time
+          ~rank:sh.sh_key_rank ~seq:sh.sh_seq ~now_us:(K.time_us k) ~src ~dst
+          ~payload
+      in
+      if t.win_buffering then begin
+        let d =
+          { ds_entry = entry; ds_time = K.time_us k; ds_src = src; ds_dst = dst;
+            ds_desc = Mobility.Marshal.describe msg;
+            ds_bytes = Enet.Wire.view_length payload }
+        in
+        sh.sh_buf <- (sh.sh_key_time, sh.sh_key_rank, sh.sh_seq, B_send d) :: sh.sh_buf
+      end
+      else begin
+        (* nobody listening: only the counter is observable, and the
+           sender's counters are owned by this shard *)
+        let c = E.counters t.bus src in
+        c.E.c_sent <- c.E.c_sent + 1
+      end
+    end
+    else begin
+      let arrival =
+        Enet.Netsim.send_view t.net ~now_us:(K.time_us k) ~src ~dst ~payload
+      in
+      emit t ~node:src
+        (E.Ev_msg_send
+           { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
+             bytes = Enet.Wire.view_length payload; arrives = arrival })
+    end
   end
   else begin
     (* the retry/ack envelope retransmits the cached frame, so the
@@ -572,7 +789,7 @@ let send_message t ~src (s : Mobility.Move.send) =
     let desc = Mobility.Marshal.describe msg in
     let now = K.time_us k in
     let arrival = Enet.Netsim.send t.net ~now_us:now ~src ~dst ~payload:frame in
-    emit t
+    emit t ~node:src
       (E.Ev_msg_send
          { time = now; src; dst; desc; bytes = String.length frame;
            arrives = arrival });
@@ -585,14 +802,15 @@ let send_message t ~src (s : Mobility.Move.send) =
        already queued later than this deadline, the pop will process
        this entry past due and reschedule at the then-earliest — a late
        retransmit, never a lost one *)
-    Engine.schedule t.engine ~at:p.p_next_at (Engine.Timer src)
+    Engine.schedule (eng t src) ~at:p.p_next_at (Engine.Timer src)
   end
   end
 
 (* Emerald's broadcast location search: probe every live node; park the
    unroutable message until an answer arrives *)
 let start_search t ~asker obj msg =
-  match Hashtbl.find_opt t.searches obj with
+  let tbl = search_tbl t ~asker in
+  match Hashtbl.find_opt tbl obj with
   | Some s -> s.s_pending <- msg :: s.s_pending
   | None ->
     let others = ref [] in
@@ -601,11 +819,12 @@ let start_search t ~asker obj msg =
       t.nodes;
     (match !others with
     | [] ->
-      drop_message t msg
+      drop_message t ~node:asker msg
         ~reason:(Printf.sprintf "object %s cannot be located" (Ert.Oid.to_string obj))
     | probes ->
-      emit t (E.Ev_search_start { node = asker; obj; probes = List.length probes });
-      Hashtbl.replace t.searches obj
+      emit t ~node:asker
+        (E.Ev_search_start { node = asker; obj; probes = List.length probes });
+      Hashtbl.replace tbl obj
         { s_asker = asker; s_pending = [ msg ]; s_awaiting = List.length probes };
       List.iter
         (fun i ->
@@ -633,7 +852,7 @@ and handle_outcall t ~src (oc : K.outcall) =
       Mobility.Rpc.initiate_invoke ~k ~target_oid ~hint_node ~callee_class
         ~callee_method ~args ~caller_seg:seg.T.seg_id ~thread:seg.T.seg_thread
     | K.Oc_move { seg; obj_addr; dest_node } ->
-      emit t
+      emit t ~node:src
         (E.Ev_move_start
            { time = K.time_us k; node = src; obj = K.oid_at k obj_addr;
              dest = dest_node });
@@ -679,7 +898,7 @@ let deliver t ~dst (m : Enet.Netsim.message) =
   charge_conversion t ~node:dst ~calls:(CS.calls stats - calls0)
     ~bytes:(CS.bytes stats - bytes0);
   charge_translation t ~node:dst msg;
-  emit t
+  emit t ~node:dst
     (E.Ev_msg_deliver
        { time = K.time_us k; node = dst; desc = Mobility.Marshal.describe msg });
   let sends =
@@ -710,7 +929,7 @@ let deliver t ~dst (m : Enet.Netsim.message) =
     | Mobility.Marshal.M_move payload ->
       let mstats = Mobility.Move.apply_move k payload in
       K.charge_insns k (mstats.Mobility.Move.ap_frames * CM.relocation_insns_per_frame);
-      emit t
+      emit t ~node:dst
         (E.Ev_move_finish
            { time = K.time_us k; node = dst;
              objects = mstats.Mobility.Move.ap_objects;
@@ -756,13 +975,14 @@ let deliver t ~dst (m : Enet.Netsim.message) =
         };
       ]
     | Mobility.Marshal.M_located { obj; found } -> (
-      match Hashtbl.find_opt t.searches obj with
+      let tbl = search_tbl t ~asker:dst in
+      match Hashtbl.find_opt tbl obj with
       | None -> [] (* a late or duplicate answer *)
       | Some s ->
         if found then begin
           let host = m.Enet.Netsim.msg_src in
-          Hashtbl.remove t.searches obj;
-          emit t (E.Ev_search_found { obj; node = host });
+          Hashtbl.remove tbl obj;
+          emit t ~node:dst (E.Ev_search_found { obj; node = host });
           (* refresh the local forwarding hint *)
           let addr = K.ensure_ref k obj in
           K.set_proxy_hint k ~addr ~node:host;
@@ -771,7 +991,7 @@ let deliver t ~dst (m : Enet.Netsim.message) =
             s.s_pending
         end
         else begin
-          search_negative t obj;
+          search_negative t tbl obj s;
           []
         end)
   in
@@ -780,14 +1000,21 @@ let deliver t ~dst (m : Enet.Netsim.message) =
 (* ----------------------------------------------------------------------- *)
 (* the discrete-event loop *)
 
-(* automatic collection: between events every segment is parked at a bus
-   stop, so the templates identify every pointer *)
+(* automatic collection: the templates identify pointers only at bus
+   stops, so under preemptive scheduling the node is quiesced first —
+   the same discipline migration capture uses (section 2.2.1); without
+   a quantum every segment is already parked between events *)
 let do_collect t i =
+  quiesce_node t i;
   let k = t.nodes.(i).n_kernel in
   let stats = Ert.Gc.collect ~extra_roots:t.pinned k in
-  t.collections <- t.collections + 1;
+  if t.win_active then begin
+    let sh = t.shards.(t.owner.(i)) in
+    sh.sh_collections <- sh.sh_collections + 1
+  end
+  else t.collections <- t.collections + 1;
   K.charge_insns k (2000 + (stats.Ert.Gc.gc_live * 40));
-  emit t
+  emit t ~node:i
     (E.Ev_gc
        { time = K.time_us k; node = i; swept = stats.Ert.Gc.gc_swept;
          live = stats.Ert.Gc.gc_live; bytes_freed = stats.Ert.Gc.gc_bytes_freed })
@@ -847,7 +1074,7 @@ let deliver_reliable t i (m : Enet.Netsim.message) =
       K.charge_us k CM.protocol_fixed_us;
       if Hashtbl.mem t.outstanding.(i) seq then begin
         Hashtbl.remove t.outstanding.(i) seq;
-        emit t (E.Ev_ack { node = i; seq })
+        emit t ~node:i (E.Ev_ack { node = i; seq })
       end
     | Frame_data (seq, inner) ->
       let k = t.nodes.(i).n_kernel in
@@ -858,15 +1085,22 @@ let deliver_reliable t i (m : Enet.Netsim.message) =
           : float);
       if Hashtbl.mem t.seen.(i) (src, seq) then begin
         K.charge_us k CM.protocol_fixed_us;
-        emit t (E.Ev_msg_dup { node = i; src; seq })
+        emit t ~node:i (E.Ev_msg_dup { node = i; src; seq })
       end
       else begin
         Hashtbl.add t.seen.(i) (src, seq) ();
         deliver t ~dst:i { m with Enet.Netsim.msg_payload = inner }
       end
 
+let count_event t i =
+  if t.win_active then begin
+    let sh = t.shards.(t.owner.(i)) in
+    sh.sh_events <- sh.sh_events + 1
+  end
+  else t.events <- t.events + 1
+
 let exec_deliver t i eff =
-  t.events <- t.events + 1;
+  count_event t i;
   match Enet.Netsim.receive t.net ~dst:i ~now_us:eff with
   | None -> ()
   | Some m when t.reliable -> deliver_reliable t i m
@@ -877,14 +1111,16 @@ let exec_deliver t i eff =
         m.Enet.Netsim.msg_payload
     in
     Enet.Wire.release_view m.Enet.Netsim.msg_payload;
-    emit t (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
-    drop_message t msg ~reason:(Printf.sprintf "node %d is down" i)
+    emit t ~node:i (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
+    drop_message t ~node:i msg ~reason:(Printf.sprintf "node %d is down" i)
   | Some m -> deliver t ~dst:i m
 
 let exec_step t i ~time =
-  t.events <- t.events + 1;
+  count_event t i;
   let k = t.nodes.(i).n_kernel in
-  E.emit_step t.bus ~node:i ~time;
+  (if t.win_active && t.win_buffering then
+     emit t ~node:i (E.Ev_step { node = i; time })
+   else E.emit_step t.bus ~node:i ~time);
   match K.step k with
   | [] -> ()
   | outs -> List.iter (handle_outcall t ~src:i) outs
@@ -917,12 +1153,12 @@ let reseed t =
   Array.iteri
     (fun i n ->
       if (not n.n_crashed) && K.has_ready n.n_kernel then begin
-        Engine.schedule t.engine ~at:(K.time_us n.n_kernel) (Engine.Step i);
+        Engine.schedule (eng t i) ~at:(K.time_us n.n_kernel) (Engine.Step i);
         any := true
       end;
       match Enet.Netsim.next_arrival_at t.net ~dst:i with
       | Some a ->
-        Engine.schedule t.engine
+        Engine.schedule (eng t i)
           ~at:(Float.max a (K.time_us n.n_kernel))
           (Engine.Deliver i);
         any := true
@@ -936,8 +1172,8 @@ let reseed t =
 let retransmit_due t i ~now p =
   if p.p_attempts >= tr_max_attempts then begin
     Hashtbl.remove t.outstanding.(i) p.p_seq;
-    emit t (E.Ev_msg_lost { src = i; dst = p.p_dst; desc = p.p_desc });
-    drop_message t p.p_msg
+    emit t ~node:i (E.Ev_msg_lost { src = i; dst = p.p_dst; desc = p.p_desc });
+    drop_message t ~node:i p.p_msg
       ~reason:
         (Printf.sprintf "no acknowledgement from node %d after %d attempts"
            p.p_dst p.p_attempts)
@@ -948,21 +1184,50 @@ let retransmit_due t i ~now p =
       Float.min tr_rto_max_us (tr_rto_us *. (2. ** float_of_int (p.p_attempts - 1)))
     in
     p.p_next_at <- now +. backoff;
-    emit t
+    emit t ~node:i
       (E.Ev_retransmit { node = i; dst = p.p_dst; seq = p.p_seq;
                          attempt = p.p_attempts });
     ignore (Enet.Netsim.send t.net ~now_us:now ~src:i ~dst:p.p_dst
               ~payload:p.p_frame : float)
   end
 
+(* The sequential merge: the globally earliest event is the smallest
+   (time, rank) across the per-shard engine heads.  The rank is
+   node-major, so this is exactly the order one shared heap would pop —
+   one shard degenerates to the single-engine loop, and any shard count
+   executes the identical event sequence.  Equal (time, rank) on two
+   engines is impossible (the rank pins the node, and a node lives in
+   one shard), so the scan needs no shard tiebreak. *)
+let pick_engine t =
+  let n = Array.length t.engines in
+  if n = 1 then
+    match Engine.peek t.engines.(0) with
+    | None -> None
+    | Some (tm, _) -> Some (tm, t.engines.(0))
+  else begin
+    let best = ref None in
+    for s = 0 to n - 1 do
+      match Engine.peek t.engines.(s) with
+      | None -> ()
+      | Some (tm, rk) -> (
+        match !best with
+        | Some (bt, br, _) when bt < tm || (bt = tm && br <= rk) -> ()
+        | _ -> best := Some (tm, rk, t.engines.(s)))
+    done;
+    match !best with None -> None | Some (tm, _, e) -> Some (tm, e)
+  end
+
 let rec step_once_heap t =
-  match Engine.take t.engine with
+  match pick_engine t with
+  | None -> if reseed t then step_once_heap t else false
+  | Some (_, e) ->
+  match Engine.take e with
   | None -> if reseed t then step_once_heap t else false
   | Some (Engine.Timer i) ->
     let tbl = t.outstanding.(i) in
     if t.nodes.(i).n_crashed || Hashtbl.length tbl = 0 then step_once_heap t
     else begin
-      let now = Engine.now t.engine in
+      let now = Engine.now e in
       let due, later =
         Hashtbl.fold
           (fun _ p (d, l) ->
@@ -971,7 +1236,7 @@ let rec step_once_heap t =
       in
       match due with
       | [] ->
-        if later < infinity then Engine.reschedule t.engine ~at:later (Engine.Timer i);
+        if later < infinity then Engine.reschedule e ~at:later (Engine.Timer i);
         step_once_heap t
       | due ->
         t.events <- t.events + 1;
@@ -980,7 +1245,7 @@ let rec step_once_heap t =
         let due = List.sort (fun a b -> compare a.p_seq b.p_seq) due in
         List.iter (retransmit_due t i ~now) due;
         let next = Hashtbl.fold (fun _ p acc -> Float.min acc p.p_next_at) tbl infinity in
-        if next < infinity then Engine.schedule t.engine ~at:next (Engine.Timer i);
+        if next < infinity then Engine.schedule e ~at:next (Engine.Timer i);
         true
     end
   | Some (Engine.Chaos i) -> (
@@ -993,7 +1258,7 @@ let rec step_once_heap t =
       | Chaos_crash -> crash_node t i
       | Chaos_restart -> restart_node t i);
       (match rest with
-      | (at, _) :: _ -> Engine.schedule t.engine ~at (Engine.Chaos i)
+      | (at, _) :: _ -> Engine.schedule e ~at (Engine.Chaos i)
       | [] -> ());
       ensure_step t i;
       true)
@@ -1009,10 +1274,10 @@ let rec step_once_heap t =
     let n = t.nodes.(i) in
     if n.n_crashed || not (K.has_ready n.n_kernel) then step_once_heap t
     else begin
-      let tm = Engine.now t.engine in
+      let tm = Engine.now e in
       let now = n.n_clock.Sim.Clock.now in
       if now > tm then begin
-        Engine.reschedule t.engine ~at:now (Engine.Step i);
+        Engine.reschedule e ~at:now (Engine.Step i);
         step_once_heap t
       end
       else begin
@@ -1020,9 +1285,9 @@ let rec step_once_heap t =
         (* the slice advanced the node clock; read it once for both the
            collection check and the follow-on step *)
         let at = n.n_clock.Sim.Clock.now in
-        if over_gc_threshold t i then Engine.schedule t.engine ~at (Engine.Gc i);
+        if over_gc_threshold t i then Engine.schedule e ~at (Engine.Gc i);
         if (not n.n_crashed) && K.has_ready n.n_kernel then
-          Engine.schedule t.engine ~at (Engine.Step i);
+          Engine.schedule e ~at (Engine.Step i);
         true
       end
     end
@@ -1031,17 +1296,17 @@ let rec step_once_heap t =
     (match Enet.Netsim.next_arrival_at t.net ~dst:i with
     | None -> step_once_heap t
     | Some arrival ->
-      let tm = Engine.now t.engine in
+      let tm = Engine.now e in
       let eff = Float.max arrival n.n_clock.Sim.Clock.now in
       if eff > tm then begin
-        Engine.reschedule t.engine ~at:eff (Engine.Deliver i);
+        Engine.reschedule e ~at:eff (Engine.Deliver i);
         step_once_heap t
       end
       else begin
         exec_deliver t i eff;
         (match Enet.Netsim.next_arrival_at t.net ~dst:i with
         | Some a ->
-          Engine.schedule t.engine
+          Engine.schedule e
             ~at:(Float.max a (K.time_us n.n_kernel))
             (Engine.Deliver i)
         | None -> ());
@@ -1054,12 +1319,193 @@ let step_once t =
   | Heap -> step_once_heap t
   | Scan -> step_once_scan t
 
-let run ?(max_events = 2_000_000) t =
-  let budget = ref max_events in
-  while step_once t do
-    decr budget;
-    if !budget <= 0 then failwith "Cluster.run: event budget exceeded (livelock?)"
+(* ----------------------------------------------------------------------- *)
+(* parallel windows (run-to-quiescence only)
+
+   Conservative Chandy–Misra execution: the window [W, W + lookahead)
+   starts at the globally earliest pending event; inside it every shard
+   executes its own events concurrently, touching only its own nodes'
+   kernels, clocks, search tables and Netsim receive queues.  The
+   lookahead is the network latency — the soonest any send performed in
+   the window can arrive — so deferring all sends to the barrier is
+   unobservable in-window, and every cross-shard interaction lands in a
+   later window. *)
+
+let parallel_ok t =
+  Array.length t.shards > 1
+  && t.sched = Heap
+  && (not t.reliable)
+  && t.lookahead > 0.0
+  (* the Naive conversion tier is the one whose en/decode paths touch no
+     global mutable state (no plan cache, no shared buffer pool) *)
+  && wire_impl_of t = Enet.Wire.Naive
+  && not (Array.exists (fun n -> n.n_crashed) t.nodes)
+
+(* Execute one shard's events inside the window [*, horizon).  The body
+   mirrors [step_once_heap]'s Step/Deliver/Gc revalidation exactly;
+   Timer and Chaos entries cannot exist here ([parallel_ok] excludes
+   fault plans).  Each popped entry's (time, rank) becomes the merge
+   key under which the event's emissions, sends and aborts are
+   buffered. *)
+let win_run_shard t s ~horizon =
+  let sh = t.shards.(s) in
+  let e = sh.sh_engine in
+  let running = ref true in
+  while !running do
+    match Engine.peek e with
+    | None -> running := false
+    | Some (tm, _) when tm >= horizon -> running := false
+    | Some (tm, rk) -> (
+      sh.sh_key_time <- tm;
+      sh.sh_key_rank <- rk;
+      match Engine.take e with
+      | None -> running := false
+      | Some (Engine.Timer _) | Some (Engine.Chaos _) ->
+        assert false (* never scheduled without a fault plan *)
+      | Some (Engine.Gc i) ->
+        let n = t.nodes.(i) in
+        if (not n.n_crashed) && over_gc_threshold t i then begin
+          do_collect t i;
+          ensure_step t i
+        end
+      | Some (Engine.Step i) ->
+        let n = t.nodes.(i) in
+        if (not n.n_crashed) && K.has_ready n.n_kernel then begin
+          let now = n.n_clock.Sim.Clock.now in
+          if now > tm then Engine.reschedule e ~at:now (Engine.Step i)
+          else begin
+            exec_step t i ~time:tm;
+            let at = n.n_clock.Sim.Clock.now in
+            if over_gc_threshold t i then Engine.schedule e ~at (Engine.Gc i);
+            if (not n.n_crashed) && K.has_ready n.n_kernel then
+              Engine.schedule e ~at (Engine.Step i)
+          end
+        end
+      | Some (Engine.Deliver i) -> (
+        let n = t.nodes.(i) in
+        match Enet.Netsim.next_arrival_at t.net ~dst:i with
+        | None -> ()
+        | Some arrival ->
+          let eff = Float.max arrival n.n_clock.Sim.Clock.now in
+          if eff > tm then Engine.reschedule e ~at:eff (Engine.Deliver i)
+          else begin
+            exec_deliver t i eff;
+            (match Enet.Netsim.next_arrival_at t.net ~dst:i with
+            | Some a ->
+              Engine.schedule e
+                ~at:(Float.max a (K.time_us n.n_kernel))
+                (Engine.Deliver i)
+            | None -> ());
+            ensure_step t i
+          end))
   done
+
+(* The barrier: replay the windows' deferred effects in the canonical
+   (time, rank, seq) order — first the sends through the shared medium
+   (bit-identical reservation fold, sequence numbers and arrival
+   times), then the buffered bus events, then the thread aborts. *)
+let barrier_flush t =
+  Enet.Netsim.flush_outboxes t.net (Array.map (fun sh -> sh.sh_outbox) t.shards);
+  if t.win_buffering then begin
+    let all =
+      Array.concat
+        (Array.to_list (Array.map (fun sh -> Array.of_list sh.sh_buf) t.shards))
+    in
+    Array.sort
+      (fun (t1, r1, s1, _) (t2, r2, s2, _) ->
+        match Float.compare t1 t2 with
+        | 0 -> ( match compare r1 r2 with 0 -> compare s1 s2 | c -> c)
+        | c -> c)
+      all;
+    Array.iter
+      (fun (_, _, _, b) ->
+        match b with
+        | B_ev ev -> emit_direct t ev
+        | B_send d ->
+          emit_direct t
+            (E.Ev_msg_send
+               { time = d.ds_time; src = d.ds_src; dst = d.ds_dst;
+                 desc = d.ds_desc; bytes = d.ds_bytes;
+                 arrives = Enet.Netsim.Outbox.arrival d.ds_entry }))
+      all;
+    Array.iter (fun sh -> sh.sh_buf <- []) t.shards
+  end;
+  let aborts =
+    Array.fold_left (fun acc sh -> List.rev_append sh.sh_aborts acc) [] t.shards
+  in
+  (match aborts with
+  | [] -> ()
+  | aborts ->
+    List.iter
+      (fun (_, _, _, _, tid, reason) -> apply_deferred_abort t tid ~reason)
+      (List.sort
+         (fun (t1, r1, s1, _, _, _) (t2, r2, s2, _, _, _) ->
+           match Float.compare t1 t2 with
+           | 0 -> ( match compare r1 r2 with 0 -> compare s1 s2 | c -> c)
+           | c -> c)
+         aborts);
+    Array.iter (fun sh -> sh.sh_aborts <- []) t.shards)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let run_parallel t ~max_events =
+  let base = ref 0 in
+  Array.iter (fun sh -> base := !base + sh.sh_events) t.shards;
+  let executed () =
+    Array.fold_left (fun acc sh -> acc + sh.sh_events) (- !base) t.shards
+  in
+  let ev_before = Array.make (Array.length t.shards) 0 in
+  let pool = Shard.Pool.create ~shards:(Array.length t.shards) in
+  Fun.protect
+    ~finally:(fun () ->
+      t.win_active <- false;
+      Shard.Pool.shutdown pool)
+  @@ fun () ->
+  let running = ref true in
+  while !running do
+    match pick_engine t with
+    | None -> if not (reseed t) then running := false
+    | Some (w0, _) ->
+      let horizon = w0 +. t.lookahead in
+      t.win_buffering <- E.has_subscribers t.bus || t.trace <> None;
+      Array.iteri
+        (fun s sh ->
+          sh.sh_seq <- 0;
+          ev_before.(s) <- sh.sh_events)
+        t.shards;
+      t.win_active <- true;
+      let t0 = now_ns () in
+      Shard.Pool.run pool (fun s ->
+          let s0 = now_ns () in
+          win_run_shard t s ~horizon;
+          t.shards.(s).sh_win_busy_ns <- now_ns () -. s0);
+      let wall = now_ns () -. t0 in
+      t.win_active <- false;
+      barrier_flush t;
+      E.note_window t.bus ~horizon_us:t.lookahead;
+      Array.iteri
+        (fun s sh ->
+          let sc = E.shard_counters t.bus s in
+          let d_ev = sh.sh_events - ev_before.(s) in
+          if d_ev > 0 then sc.E.s_windows <- sc.E.s_windows + 1;
+          sc.E.s_events <- sc.E.s_events + d_ev;
+          sc.E.s_busy_ns <- sc.E.s_busy_ns +. sh.sh_win_busy_ns;
+          sc.E.s_stall_ns <-
+            sc.E.s_stall_ns +. Float.max 0.0 (wall -. sh.sh_win_busy_ns))
+        t.shards;
+      if executed () > max_events then
+        failwith "Cluster.run: event budget exceeded (livelock?)"
+  done
+
+let run ?(max_events = 2_000_000) t =
+  if parallel_ok t then run_parallel t ~max_events
+  else begin
+    let budget = ref max_events in
+    while step_once t do
+      decr budget;
+      if !budget <= 0 then failwith "Cluster.run: event budget exceeded (livelock?)"
+    done
+  end
 
 (* checkpointing: quiesce first so every segment is parked at a stop *)
 let checkpoint_thread t ~node tid =
@@ -1072,8 +1518,21 @@ let restore_thread t ~node image =
   Mobility.Checkpoint.restore t.nodes.(node).n_kernel image;
   ensure_step t node
 
+let find_root_done t tid =
+  let rec go s =
+    if s >= Array.length t.shards then None
+    else
+      match Hashtbl.find_opt t.shards.(s).sh_root_done tid with
+      | Some r -> Some r
+      | None -> go (s + 1)
+  in
+  go 0
+
+let root_done_count t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_root_done) 0 t.shards
+
 let result t tid =
-  match Hashtbl.find_opt t.root_done tid with
+  match find_root_done t tid with
   | Some r -> Some r
   | None ->
     (* fallback for results recorded before the cluster's callback was
@@ -1093,7 +1552,7 @@ let run_until_result ?(max_events = 2_000_000) t tid =
      loop; both tables only ever grow, so O(1) length checks gate the
      probes and the common no-news iteration touches neither *)
   let probe () =
-    match Hashtbl.find_opt t.root_done tid with
+    match find_root_done t tid with
     | Some r -> Some r
     | None ->
       if Hashtbl.mem t.failures tid then
@@ -1101,7 +1560,7 @@ let run_until_result ?(max_events = 2_000_000) t tid =
       None
   in
   let rec go ~done_n ~fail_n =
-    let dn = Hashtbl.length t.root_done and fn = Hashtbl.length t.failures in
+    let dn = root_done_count t and fn = Hashtbl.length t.failures in
     let hit = if dn <> done_n || fn <> fail_n then probe () else None in
     match hit with
     | Some r -> r
@@ -1122,8 +1581,11 @@ let output t ~node = K.output (kernel t node)
 let outputs t =
   String.concat "" (Array.to_list (Array.map (fun n -> K.output n.n_kernel) t.nodes))
 
-let events_processed t = t.events
-let collections t = t.collections
+let events_processed t =
+  Array.fold_left (fun acc sh -> acc + sh.sh_events) t.events t.shards
+
+let collections t =
+  Array.fold_left (fun acc sh -> acc + sh.sh_collections) t.collections t.shards
 
 (* between events every segment is parked at a bus stop, so global
    properties are well defined; [inv_last_times] carries the previous

@@ -34,6 +34,7 @@ val create :
   ?protocol:protocol ->
   ?wire_impl:Enet.Wire.impl ->
   ?scheduler:scheduler ->
+  ?shards:int ->
   ?quantum:int ->
   ?gc_threshold:int ->
   ?faults:Fault.Plan.t ->
@@ -46,6 +47,17 @@ val create :
     (section 2.2.1).  Default: the Emerald discipline — control transfers
     only at bus stops.  [scheduler] selects the event-selection
     mechanism (default {!Heap}).
+
+    [shards] partitions the nodes contiguously across that many OCaml
+    domains, one event engine per shard (default 1; capped at one shard
+    per node; requires {!Heap}).  Sharding never changes simulation
+    results: every API except {!run} drives the shards through a
+    sequential (time, rank) merge that reproduces the single-heap event
+    order exactly, and {!run} switches to conservatively synchronised
+    parallel windows (DESIGN.md §11) only when that is provably
+    unobservable — virtual times, results, counters and the event
+    stream are identical at any shard count; only wall-clock time
+    changes.
 
     [faults] installs a deterministic fault plan (default
     {!Fault.Plan.empty}).  A non-trivial plan switches every protocol
@@ -68,8 +80,15 @@ val network : t -> Enet.Netsim.t
 val conversion_stats : t -> int -> Enet.Conversion_stats.t
 
 val engine : t -> Engine.t
-(** The event engine (heap depth, push/pop/stale counters).  Unused —
-    all counters zero — under the {!Scan} scheduler. *)
+(** Shard 0's event engine (heap depth, push/pop/stale counters).
+    Unused — all counters zero — under the {!Scan} scheduler. *)
+
+val engines : t -> Engine.t array
+(** All per-shard engines, in shard order (length {!n_shards}). *)
+
+val n_shards : t -> int
+val shard_of : t -> int -> int
+(** The shard owning a node (contiguous placement, see {!Shard.plan}). *)
 
 val set_trace : t -> (string -> unit) -> unit
 (** Legacy line-oriented trace hook: receives
@@ -78,6 +97,11 @@ val set_trace : t -> (string -> unit) -> unit
 
 val subscribe_events : t -> (Events.t -> unit) -> unit
 (** Subscribe to the typed trace/metrics bus. *)
+
+val bus : t -> Events.bus
+(** The bus itself — per-node counters plus, after a parallel {!run},
+    the per-shard window metrics ({!Events.shard_counters},
+    {!Events.windows}, {!Events.mean_horizon_us}). *)
 
 val node_counters : t -> int -> Events.counters
 val total_counter : t -> (Events.counters -> int) -> int

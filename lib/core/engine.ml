@@ -5,26 +5,30 @@ type event =
   | Timer of int
   | Chaos of int
 
-(* Priority encoding.  The seed's O(nodes) scan had an implicit order at
-   equal virtual time: message deliveries beat scheduling steps, the
-   lower node index beat the higher, and an automatic collection ran
-   inline before anything else could intervene on that node.  The rank
-   reproduces that order inside the heap: at equal time,
-   Gc < Deliver < Step, and the node index breaks ties within a class.
-   The fault subsystem's kinds slot around them: a scheduled crash or
-   restart (Chaos) takes effect before anything else at its instant, and
-   retransmission deadlines (Timer) fire after regular work. *)
-let rank ~n_nodes = function
-  | Chaos i -> i
-  | Gc i -> n_nodes + i
-  | Deliver i -> (2 * n_nodes) + i
-  | Step i -> (3 * n_nodes) + i
-  | Timer i -> (4 * n_nodes) + i
+(* Priority encoding.  Simultaneous events are ordered node-major: the
+   lower node index wins, and within one node the kinds order as
+   Chaos < Gc < Deliver < Step < Timer — a scheduled crash or restart
+   takes effect before anything else at its instant, an automatic
+   collection runs inline before the node does other work, a message
+   delivery beats a scheduling step, and retransmission deadlines fire
+   after regular work.  The node-major order is what makes the rank a
+   *placement-independent* total order: partitioning the nodes into
+   contiguous shards and merging the shards' streams by (time, rank)
+   reproduces exactly the one-heap order, because rank already sorts by
+   node first.  (The insertion sequence number inside the heap breaks
+   any remaining tie FIFO, so a single heap is deterministic too.) *)
+let n_kinds = 5
+
+let rank = function
+  | Chaos i -> i * n_kinds
+  | Gc i -> (i * n_kinds) + 1
+  | Deliver i -> (i * n_kinds) + 2
+  | Step i -> (i * n_kinds) + 3
+  | Timer i -> (i * n_kinds) + 4
 
 type t = {
   pq : event Sim.Pqueue.t;
   clock : Sim.Clock.t;  (* frontier: time of the last event popped *)
-  n_nodes : int;
   step_queued : bool array;
   deliver_queued : bool array;
   gc_queued : bool array;
@@ -35,11 +39,10 @@ type t = {
   mutable stale : int;
 }
 
-let create ?clock ~n_nodes () =
+let create ~n_nodes () =
   {
     pq = Sim.Pqueue.create ();
-    clock = (match clock with Some c -> c | None -> Sim.Clock.create ());
-    n_nodes;
+    clock = Sim.Clock.create ();
     step_queued = Array.make n_nodes false;
     deliver_queued = Array.make n_nodes false;
     gc_queued = Array.make n_nodes false;
@@ -50,7 +53,6 @@ let create ?clock ~n_nodes () =
     stale = 0;
   }
 
-let clock t = t.clock
 let now t = Sim.Clock.now t.clock
 
 let flag t = function
@@ -75,12 +77,16 @@ let schedule t ~at ev =
   if not (flag t ev) then begin
     set_flag t true ev;
     t.pushes <- t.pushes + 1;
-    Sim.Pqueue.push t.pq ~time:at ~rank:(rank ~n_nodes:t.n_nodes ev) ev
+    Sim.Pqueue.push t.pq ~time:at ~rank:(rank ev) ev
   end
 
 let reschedule t ~at ev =
   t.stale <- t.stale + 1;
   schedule t ~at ev
+
+let peek t =
+  if Sim.Pqueue.is_empty t.pq then None
+  else Some (Sim.Pqueue.min_time t.pq, Sim.Pqueue.min_rank t.pq)
 
 (* [pop] without the [(time * event) option] wrapping: the popped time
    is readable as [now t] (the pop advanced the clock to it).  The hot
@@ -94,17 +100,6 @@ let take t =
     t.pops <- t.pops + 1;
     Sim.Clock.advance_to t.clock time;
     Some ev
-  end
-
-let pop t =
-  if Sim.Pqueue.is_empty t.pq then None
-  else begin
-    let time = Sim.Pqueue.min_time t.pq in
-    let ev = Sim.Pqueue.take_min t.pq in
-    set_flag t false ev;
-    t.pops <- t.pops + 1;
-    Sim.Clock.advance_to t.clock time;
-    Some (time, ev)
   end
 
 let pending t = Sim.Pqueue.length t.pq

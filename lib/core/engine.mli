@@ -4,15 +4,23 @@
     The seed selected the next event by rescanning every node's kernel
     and message queue — O(nodes) per event.  The engine replaces the
     scan with an O(log pending) heap while reproducing the scan's event
-    order exactly, including its tie-breaking (see {!event}'s rank
-    order) and its insertion order (a sequence number inside the heap
-    makes equal keys FIFO, so runs are deterministic).
+    order, with one deliberate strengthening: simultaneous events have a
+    *total* order (time, then node-major {!rank} — per node the kinds
+    order Chaos < Gc < Deliver < Step < Timer — then insertion sequence),
+    so the merged order cannot depend on heap insertion order.  Because
+    the rank sorts by node before kind, the order is placement
+    independent: merging per-shard heaps of a contiguous node partition
+    by (time, rank) reproduces the single-heap order exactly.
 
     Scheduled times are allowed to go stale — a node's clock advances
     after its step was queued, or a message queue's head changes.  The
     engine dedups to at most one pending entry per (kind, node); the
     executor re-validates each popped entry and {!reschedule}s it at the
-    corrected time, which is always later, so no event can run early. *)
+    corrected time, which is always later, so no event can run early.
+
+    One engine instance is single-domain: a sharded cluster runs one
+    engine per shard and merges the streams (see Cluster).  The heap,
+    flags and counters here are deliberately not exposed. *)
 
 type event =
   | Step of int  (** run one kernel scheduling slice on the node *)
@@ -23,13 +31,10 @@ type event =
 
 type t
 
-val create : ?clock:Sim.Clock.t -> n_nodes:int -> unit -> t
-(** [clock] is the engine's frontier clock (by default a fresh one); it
-    is advanced to each popped event's time. *)
+val create : n_nodes:int -> unit -> t
 
-val clock : t -> Sim.Clock.t
 val now : t -> float
-(** Virtual time of the most recently popped event. *)
+(** Virtual time of the most recently popped event (the frontier). *)
 
 val schedule : t -> at:float -> event -> unit
 (** Queue an event; a duplicate of an already-queued (kind, node) pair
@@ -39,12 +44,17 @@ val reschedule : t -> at:float -> event -> unit
 (** Re-queue a popped-but-stale event at its corrected time; counted
     separately in {!stale_pops}. *)
 
-val pop : t -> (float * event) option
-(** Remove and return the earliest event, advancing the frontier clock. *)
+val peek : t -> (float * int) option
+(** Time and rank of the earliest pending event, without removing it.
+    The rank is the global node-major total order key: two engines over
+    disjoint node sets can be merged deterministically by comparing
+    (time, rank).  Shard executors also use it to stop at a window
+    horizon without disturbing the heap. *)
 
 val take : t -> event option
-(** {!pop} without the time/tuple wrapping — the popped entry's time is
-    readable as [now t] afterwards.  For the per-event hot loop. *)
+(** Remove and return the earliest event, advancing the frontier clock;
+    the popped entry's time is readable as [now t] afterwards.  For the
+    per-event hot loop. *)
 
 val pending : t -> int
 

@@ -162,12 +162,16 @@ let value_string = function
   | Some v -> Format.asprintf "%a" Ert.Value.pp v
 
 let run_seed ?plan ?drop ?(check_every = 1) ?(max_events = 400_000)
-    ?(trace_lines = 120) ~seed () =
+    ?(trace_lines = 120) ?shards ~seed () =
   let sc = scenario_of_seed seed in
   let plan = match plan with Some p -> P.with_seed p seed | None -> sc.sc_plan in
   let plan = match drop with Some d -> { plan with P.pl_drop = d } | None -> plan in
   let archs = List.init sc.sc_n_nodes (fun i -> List.nth arch_pool (i mod 4)) in
-  let cl = Cluster.create ~faults:plan ~archs () in
+  (* the driver advances the cluster by [step_once] — the sequential
+     (time, rank) merge — so any shard count replays the identical
+     event sequence; [shards] here exercises the sharded structures
+     under fault plans, not parallel execution *)
+  let cl = Cluster.create ~faults:plan ?shards ~archs () in
   let trace = Queue.create () in
   Cluster.subscribe_events cl (fun ev ->
       Queue.push (Events.to_string ev) trace;
@@ -230,9 +234,9 @@ let shrink_candidates (p : P.t) =
         p.P.pl_chaos;
     ]
 
-let shrink ?drop ?check_every ?max_events ~seed plan =
+let shrink ?drop ?check_every ?max_events ?shards ~seed plan =
   let still_fails p =
-    not (run_seed ~plan:p ?drop ?check_every ?max_events ~seed ()).f_ok
+    not (run_seed ~plan:p ?drop ?check_every ?max_events ?shards ~seed ()).f_ok
   in
   let rec go p =
     match List.find_opt still_fails (shrink_candidates p) with
@@ -241,11 +245,11 @@ let shrink ?drop ?check_every ?max_events ~seed plan =
   in
   go plan
 
-let sweep ?drop ?check_every ?max_events ?(on_outcome = ignore) ~seeds () =
+let sweep ?drop ?check_every ?max_events ?shards ?(on_outcome = ignore) ~seeds () =
   let rec go = function
     | [] -> None
     | seed :: rest ->
-      let o = run_seed ?drop ?check_every ?max_events ~seed () in
+      let o = run_seed ?drop ?check_every ?max_events ?shards ~seed () in
       on_outcome o;
       if o.f_ok then go rest else Some o
   in

@@ -46,6 +46,7 @@ val run_seed :
   ?check_every:int ->
   ?max_events:int ->
   ?trace_lines:int ->
+  ?shards:int ->
   seed:int ->
   unit ->
   outcome
@@ -53,11 +54,16 @@ val run_seed :
     (used by {!shrink}); [drop] overrides just the loss probability
     (the sweep-at-30%-loss configuration); [check_every] runs the
     invariant checkers every that-many events (default 1);
-    [trace_lines] bounds the kept trace tail (default 120). *)
+    [trace_lines] bounds the kept trace tail (default 120).
+
+    [shards] builds the cluster sharded (default 1).  The driver steps
+    the cluster through the sequential (time, rank) merge, so every
+    shard count replays the identical event sequence and outcome —
+    asserted by the regression tests. *)
 
 val shrink :
-  ?drop:float -> ?check_every:int -> ?max_events:int -> seed:int ->
-  Fault.Plan.t -> Fault.Plan.t
+  ?drop:float -> ?check_every:int -> ?max_events:int -> ?shards:int ->
+  seed:int -> Fault.Plan.t -> Fault.Plan.t
 (** Greedily remove plan components while the seed still fails;
     returns the smallest still-failing plan found. *)
 
@@ -65,6 +71,7 @@ val sweep :
   ?drop:float ->
   ?check_every:int ->
   ?max_events:int ->
+  ?shards:int ->
   ?on_outcome:(outcome -> unit) ->
   seeds:int list ->
   unit ->

@@ -1,0 +1,135 @@
+(* Node→shard placement and the domain worker pool for the sharded
+   engine.  Placement is contiguous: shard [s] owns the node interval
+   [lo s, hi s), an even split of the node range.  Contiguity is what
+   lets the node-major engine rank double as the cross-shard merge key:
+   sorting merged events by (time, rank) groups each node's events
+   exactly as a single heap would, independent of how many shards the
+   nodes are spread over. *)
+
+type plan = {
+  n_nodes : int;
+  n_shards : int;
+  owner : int array;  (* node -> shard *)
+  lo : int array;  (* shard -> first owned node *)
+  hi : int array;  (* shard -> one past last owned node *)
+}
+
+let plan ~n_nodes ~shards =
+  if n_nodes < 1 then invalid_arg "Shard.plan: need at least one node";
+  if shards < 1 then invalid_arg "Shard.plan: need at least one shard";
+  let d = min shards n_nodes in
+  let lo = Array.init d (fun s -> s * n_nodes / d) in
+  let hi = Array.init d (fun s -> (s + 1) * n_nodes / d) in
+  let owner = Array.make n_nodes 0 in
+  for s = 0 to d - 1 do
+    for i = lo.(s) to hi.(s) - 1 do
+      owner.(i) <- s
+    done
+  done;
+  { n_nodes; n_shards = d; owner; lo; hi }
+
+let n_shards p = p.n_shards
+let owner p node = p.owner.(node)
+let lo p s = p.lo.(s)
+let hi p s = p.hi.(s)
+
+(* A persistent pool of worker domains, one per shard beyond the first:
+   the calling domain executes shard 0 itself, so [shards = 1] never
+   spawns anything.  Workers park on a condition variable between
+   windows; [run] publishes a job, executes its own share, then waits
+   for the stragglers — the mutex hand-offs at the window edges are the
+   only synchronisation the sharded engine needs, because inside a
+   window every shard touches only its own nodes' state. *)
+module Pool = struct
+  type t = {
+    size : int;
+    mutable job : int -> unit;
+    mutable gen : int;
+    mutable remaining : int;
+    mutable quit : bool;
+    mutable failed : (exn * Printexc.raw_backtrace) option;
+    m : Mutex.t;
+    work : Condition.t;
+    finished : Condition.t;
+    mutable domains : unit Domain.t array;
+  }
+
+  let record_failure p e bt =
+    Mutex.lock p.m;
+    if p.failed = None then p.failed <- Some (e, bt);
+    Mutex.unlock p.m
+
+  let worker p s =
+    let my_gen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock p.m;
+      while (not p.quit) && p.gen = !my_gen do
+        Condition.wait p.work p.m
+      done;
+      if p.quit then begin
+        Mutex.unlock p.m;
+        running := false
+      end
+      else begin
+        my_gen := p.gen;
+        let job = p.job in
+        Mutex.unlock p.m;
+        (try job s
+         with e -> record_failure p e (Printexc.get_raw_backtrace ()));
+        Mutex.lock p.m;
+        p.remaining <- p.remaining - 1;
+        if p.remaining = 0 then Condition.signal p.finished;
+        Mutex.unlock p.m
+      end
+    done
+
+  let create ~shards =
+    if shards < 1 then invalid_arg "Shard.Pool.create: need at least one shard";
+    let p =
+      {
+        size = shards;
+        job = ignore;
+        gen = 0;
+        remaining = 0;
+        quit = false;
+        failed = None;
+        m = Mutex.create ();
+        work = Condition.create ();
+        finished = Condition.create ();
+        domains = [||];
+      }
+    in
+    p.domains <-
+      Array.init (shards - 1) (fun w -> Domain.spawn (fun () -> worker p (w + 1)));
+    p
+
+  let run p job =
+    if p.size = 1 then job 0
+    else begin
+      Mutex.lock p.m;
+      p.job <- job;
+      p.remaining <- p.size - 1;
+      p.gen <- p.gen + 1;
+      Condition.broadcast p.work;
+      Mutex.unlock p.m;
+      (try job 0 with e -> record_failure p e (Printexc.get_raw_backtrace ()));
+      Mutex.lock p.m;
+      while p.remaining > 0 do
+        Condition.wait p.finished p.m
+      done;
+      let failed = p.failed in
+      p.failed <- None;
+      Mutex.unlock p.m;
+      match failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+  let shutdown p =
+    Mutex.lock p.m;
+    p.quit <- true;
+    Condition.broadcast p.work;
+    Mutex.unlock p.m;
+    Array.iter Domain.join p.domains
+end

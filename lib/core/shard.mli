@@ -1,0 +1,31 @@
+(** Node→shard placement and the worker-domain pool for the sharded
+    engine (see DESIGN.md §11).
+
+    Placement is contiguous — shard [s] owns the node interval
+    [[lo s, hi s)] — so the engine's node-major rank doubles as the
+    cross-shard merge key: merging per-shard event streams by
+    (time, rank) reproduces the single-heap order for any shard count. *)
+
+type plan
+
+val plan : n_nodes:int -> shards:int -> plan
+(** Even contiguous split of [n_nodes] over at most [shards] shards
+    (capped at one shard per node). *)
+
+val n_shards : plan -> int
+val owner : plan -> int -> int
+val lo : plan -> int -> int
+val hi : plan -> int -> int
+
+(** A persistent pool of worker domains, one per shard beyond the
+    first; the calling domain executes shard 0 itself.  [run p job]
+    executes [job s] for every shard [s] and returns when all are done;
+    a job exception is re-raised in the caller after the barrier.
+    [shards = 1] spawns no domains and runs inline. *)
+module Pool : sig
+  type t
+
+  val create : shards:int -> t
+  val run : t -> (int -> unit) -> unit
+  val shutdown : t -> unit
+end

@@ -139,6 +139,40 @@ object Agent
 end Agent
 |}
 
+(* The sharded-engine workload: one agent per node, all touring the
+   ring with their home as phase offset, so at every hop the agents
+   occupy pairwise distinct nodes — agent a sits at (a + hop) mod n.
+   With contiguous shard placement the spin events between moves are
+   pure intra-shard work happening concurrently on every shard, and the
+   moves (network latency apart) fall on window barriers: the shape a
+   conservative parallel engine can actually speed up. *)
+let parallel_src =
+  {|
+object Agent
+  operation tour[n : int, hops : int, spins : int] -> [r : int]
+    var home : int <- thisnode
+    var i : int <- 0
+    var j : int <- 0
+    var dest : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= hops
+      i <- i + 1
+      dest <- home + i - ((home + i) / n) * n
+      move self to dest
+      j <- 0
+      loop
+        exit when j >= spins
+        j <- j + 1
+        acc <- acc + j - (j / 2) * 2
+      end loop
+    end loop
+    move self to home
+    r <- acc + home - home
+  end tour
+end Agent
+|}
+
 type roundtrip = {
   rt_us_per_trip : float;
   rt_bytes_sent : int;
@@ -148,9 +182,12 @@ type roundtrip = {
   rt_host_seconds : float;
 }
 
-let measure_roundtrip ?protocol ?wire_impl ?faults ?n_vars ~home ~dest ~iters () =
+let measure_roundtrip ?protocol ?wire_impl ?faults ?shards ?n_vars ~home ~dest
+    ~iters () =
   let t_start = Unix.gettimeofday () in
-  let cl = Cluster.create ?protocol ?wire_impl ?faults ~archs:[ home; dest ] () in
+  let cl =
+    Cluster.create ?protocol ?wire_impl ?faults ?shards ~archs:[ home; dest ] ()
+  in
   let source =
     match n_vars with
     | None -> table1_src
@@ -216,6 +253,8 @@ let measure_intranode ?optimize ~arch ~migrated ~n () =
 
 type scaling = {
   sc_nodes : int;
+  sc_shards : int;
+  sc_agents : int;
   sc_result : int;
   sc_events : int;
   sc_virtual_us : float;
@@ -223,19 +262,34 @@ type scaling = {
   sc_events_per_sec : float;
   sc_engine_pops : int;
   sc_engine_stale : int;
+  sc_windows : int;
+  sc_mean_horizon_us : float;
 }
 
 let scaling_archs n_nodes =
   let pool = [| Isa.Arch.sparc; Isa.Arch.sun3; Isa.Arch.hp9000_433; Isa.Arch.vax |] in
   List.init n_nodes (fun i -> pool.(i mod Array.length pool))
 
-let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ?faults ~n_nodes
-    ~hops ~spins () =
-  let cl = Cluster.create ~scheduler ~quantum ?faults ~archs:(scaling_archs n_nodes) () in
-  ignore (Cluster.compile_and_load cl ~name:"scaling" scaling_src);
-  let agent = Cluster.create_object cl ~node:0 ~class_name:"Agent" in
-  let tid =
-    Cluster.spawn cl ~node:0 ~target:agent ~op:"tour"
+let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ?faults
+    ?(shards = 1) ?(agents = 1) ~n_nodes ~hops ~spins () =
+  let multi = agents > 1 in
+  (* the multi-agent tour's premise — agents at pairwise distinct nodes
+     on every hop — holds only when every node executes at the same
+     speed, so the lockstep phase offsets never drift; heterogeneous
+     node speeds eventually co-locate two mid-quantum agents, a
+     different workload entirely *)
+  let archs =
+    if multi then List.init n_nodes (fun _ -> Isa.Arch.sparc)
+    else scaling_archs n_nodes
+  in
+  let cl = Cluster.create ~scheduler ~quantum ?faults ~shards ~archs () in
+  ignore
+    (Cluster.compile_and_load cl ~name:"scaling"
+       (if multi then parallel_src else scaling_src));
+  let spawn_agent a =
+    let node = a mod n_nodes in
+    let agent = Cluster.create_object cl ~node ~class_name:"Agent" in
+    Cluster.spawn cl ~node ~target:agent ~op:"tour"
       ~args:
         [
           Ert.Value.Vint (Int32.of_int n_nodes);
@@ -243,25 +297,48 @@ let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ?faults ~n_nodes
           Ert.Value.Vint (Int32.of_int spins);
         ]
   in
+  let tids = List.init agents spawn_agent in
   (* time the event loop only, not compilation; settle the collector so
      one run's garbage is not charged to the next *)
   Gc.full_major ();
   let t_start = Unix.gettimeofday () in
-  let result = Cluster.run_until_result cl tid in
-  let dt = Unix.gettimeofday () -. t_start in
+  (* a single agent keeps the seed's exact run-until-result drive; the
+     multi-agent tour runs to quiescence — the only entry point allowed
+     to execute shards in parallel — and the per-thread results are
+     collected afterwards *)
   let r =
-    match result with
-    | Some (Ert.Value.Vint v) -> Int32.to_int v
-    | _ -> failwith "scaling workload did not return a value"
+    if multi then begin
+      Cluster.run cl;
+      List.fold_left
+        (fun acc tid ->
+          match Cluster.result cl tid with
+          | Some (Some (Ert.Value.Vint v)) -> acc + Int32.to_int v
+          | _ -> failwith "scaling agent did not return a value")
+        0 tids
+    end
+    else
+      match Cluster.run_until_result cl (List.hd tids) with
+      | Some (Ert.Value.Vint v) -> Int32.to_int v
+      | _ -> failwith "scaling workload did not return a value"
   in
+  let dt = Unix.gettimeofday () -. t_start in
   let events = Cluster.events_processed cl in
+  let pops, stale =
+    Array.fold_left
+      (fun (p, s) e -> (p + Engine.pops e, s + Engine.stale_pops e))
+      (0, 0) (Cluster.engines cl)
+  in
   {
     sc_nodes = n_nodes;
+    sc_shards = Cluster.n_shards cl;
+    sc_agents = agents;
     sc_result = r;
     sc_events = events;
     sc_virtual_us = Cluster.global_time_us cl;
     sc_host_seconds = dt;
     sc_events_per_sec = float_of_int events /. Float.max dt 1e-9;
-    sc_engine_pops = Engine.pops (Cluster.engine cl);
-    sc_engine_stale = Engine.stale_pops (Cluster.engine cl);
+    sc_engine_pops = pops;
+    sc_engine_stale = stale;
+    sc_windows = Events.windows (Cluster.bus cl);
+    sc_mean_horizon_us = Events.mean_horizon_us (Cluster.bus cl);
   }

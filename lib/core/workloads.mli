@@ -33,6 +33,7 @@ val measure_roundtrip :
   ?protocol:Cluster.protocol ->
   ?wire_impl:Enet.Wire.impl ->
   ?faults:Fault.Plan.t ->
+  ?shards:int ->
   ?n_vars:int ->
   home:Isa.Arch.t ->
   dest:Isa.Arch.t ->
@@ -40,7 +41,9 @@ val measure_roundtrip :
   unit ->
   roundtrip
 (** Build a two-node cluster, run the Table 1 workload, and report the
-    per-round-trip cost from the program's own virtual-clock measurement. *)
+    per-round-trip cost from the program's own virtual-clock measurement.
+    [shards] shards the cluster; the reported Table 1 numbers are
+    identical at every shard count (asserted by the regression tests). *)
 
 type intranode = {
   in_result : int;
@@ -62,21 +65,35 @@ val scaling_src : string
     run decomposes into many cheap events, so event-selection cost
     dominates. *)
 
+val parallel_src : string
+(** The sharded-engine workload: one agent per node touring the ring
+    with its home node as phase offset, so agents occupy pairwise
+    distinct nodes at every hop — concurrent intra-shard spin work on
+    every shard, with the cross-shard moves a network latency apart.
+    The distinct-nodes premise requires a homogeneous cluster: equal
+    node speeds keep the agents in lockstep. *)
+
 type scaling = {
   sc_nodes : int;
+  sc_shards : int;  (** shards actually used (capped at one per node) *)
+  sc_agents : int;
   sc_result : int;  (** the workload's own result (a determinism digest) *)
   sc_events : int;
   sc_virtual_us : float;
   sc_host_seconds : float;  (** wall time of the event loop *)
   sc_events_per_sec : float;
-  sc_engine_pops : int;  (** 0 under the [Scan] scheduler *)
+  sc_engine_pops : int;  (** summed over shards; 0 under [Scan] *)
   sc_engine_stale : int;
+  sc_windows : int;  (** parallel windows run (0 in sequential regimes) *)
+  sc_mean_horizon_us : float;
 }
 
 val measure_scaling :
   ?scheduler:Cluster.scheduler ->
   ?quantum:int ->
   ?faults:Fault.Plan.t ->
+  ?shards:int ->
+  ?agents:int ->
   n_nodes:int ->
   hops:int ->
   spins:int ->
@@ -84,4 +101,12 @@ val measure_scaling :
   scaling
 (** Run the scaling workload on an [n_nodes] cluster and report events
     per wall-clock second.  Run with both schedulers to compare: the
-    simulation results must be identical, only the wall clock differs. *)
+    simulation results must be identical, only the wall clock differs.
+
+    [agents = 1] (default) keeps the seed's single-agent tour, driven
+    by [run_until_result].  [agents > 1] spawns one {!parallel_src}
+    agent per listed agent (agent [a] starts on node [a mod n_nodes])
+    and runs the cluster to quiescence — the regime in which
+    [shards > 1] executes windows in parallel.  Results, events and
+    virtual time are identical at every shard count; only
+    [sc_host_seconds] may differ. *)

@@ -1,16 +1,26 @@
+(* Fetch accounting is kept per node (not one shared list) so that the
+   sharded cluster's domains can record fetches for their own nodes
+   without synchronisation.  64 slots matches Oid's node-id range. *)
 type t = {
-  fetches : (int * int) list ref;  (* node, class *)
+  fetches : int list array;  (* per node, fetched class indexes, newest first *)
   plans : Conv_plan.cache;
 }
 
-let create () = { fetches = ref []; plans = Conv_plan.create_cache () }
-let record_fetch t ~node ~class_index = t.fetches := (node, class_index) :: !(t.fetches)
-let total_fetches t = List.length !(t.fetches)
-let fetches_by_node t node = List.length (List.filter (fun (n, _) -> n = node) !(t.fetches))
+let max_nodes = 64
 
-let fetched_classes t ~node =
-  List.rev
-    (List.filter_map (fun (n, c) -> if n = node then Some c else None) !(t.fetches))
+let create () =
+  { fetches = Array.make max_nodes []; plans = Conv_plan.create_cache () }
+
+let record_fetch t ~node ~class_index =
+  if node < 0 || node >= max_nodes then
+    invalid_arg "Code_repository.record_fetch: node id out of range";
+  t.fetches.(node) <- class_index :: t.fetches.(node)
+
+let total_fetches t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.fetches
+
+let fetches_by_node t node = List.length t.fetches.(node)
+let fetched_classes t ~node = List.rev t.fetches.(node)
 
 let plan_cache t = t.plans
 let set_program t prog = Conv_plan.set_program t.plans prog

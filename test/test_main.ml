@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "emobility"
-    (Test_isa.suites @ Test_enet.suites @ Test_compiler.suites @ Test_runtime.suites @ Test_mobility.suites @ Test_bridging.suites @ Test_gc.suites @ Test_emi.suites @ Test_translate.suites @ Test_conv_plan.suites @ Test_cluster.suites @ Test_failures.suites @ Test_peephole.suites @ Test_random_migration.suites @ Test_preemption.suites @ Test_vectors.suites @ Test_process.suites @ Test_location.suites @ Test_conditions.suites @ Test_misc.suites @ Test_checkpoint.suites @ Test_engine.suites @ Test_events.suites @ Test_fault.suites)
+    (Test_isa.suites @ Test_enet.suites @ Test_compiler.suites @ Test_runtime.suites @ Test_mobility.suites @ Test_bridging.suites @ Test_gc.suites @ Test_emi.suites @ Test_translate.suites @ Test_conv_plan.suites @ Test_cluster.suites @ Test_failures.suites @ Test_peephole.suites @ Test_random_migration.suites @ Test_preemption.suites @ Test_vectors.suites @ Test_process.suites @ Test_location.suites @ Test_conditions.suites @ Test_misc.suites @ Test_checkpoint.suites @ Test_engine.suites @ Test_events.suites @ Test_fault.suites @ Test_shards.suites)
