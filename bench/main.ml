@@ -858,6 +858,77 @@ let run_bechamel () =
   pf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Migration span tracing: per-phase latency percentiles (DESIGN.md
+   §12).  Runs the Table 1 workload with a span profile attached and
+   reports the per-arch-pair phase histogram; also the observability
+   overhead gate — spans read the virtual clocks and never charge them,
+   so the traced run must report the identical virtual time.            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_out_flag : string option ref = ref None
+
+let run_spans () =
+  pf "Migration phase spans (span tracing, DESIGN.md sec. 12)\n";
+  pf "Table 1 workload, SPARC<->Sun-3, 8 round trips; per-phase virtual\n";
+  pf "latencies aggregated per architecture pair.\n";
+  hr ();
+  let run_once ~with_profile () =
+    let t0 = Unix.gettimeofday () in
+    let cl = Core.Cluster.create ~archs:[ A.sparc; A.sun3 ] () in
+    let p =
+      if with_profile then begin
+        let p = Obs.Profile.create () in
+        Core.Cluster.attach_profile cl p;
+        Some p
+      end
+      else None
+    in
+    ignore (Core.Cluster.compile_and_load cl ~name:"table1" W.table1_src);
+    let agent = Core.Cluster.create_object cl ~node:0 ~class_name:"Agent" in
+    let tid =
+      Core.Cluster.spawn cl ~node:0 ~target:agent ~op:"trip"
+        ~args:[ Ert.Value.Vint 1l; Ert.Value.Vint 8l ]
+    in
+    ignore (Core.Cluster.run_until_result cl tid);
+    (Core.Cluster.global_time_us cl, Unix.gettimeofday () -. t0, p)
+  in
+  let virt_plain, host_plain, _ = run_once ~with_profile:false () in
+  let virt_prof, host_prof, prof = run_once ~with_profile:true () in
+  let p = Option.get prof in
+  print_string (Obs.Profile.table p);
+  List.iter
+    (fun (r : Obs.Profile.row) ->
+      add_json_row ~experiment:"spans"
+        [
+          ("pair", jstr r.Obs.Profile.r_pair);
+          ("phase", jstr r.Obs.Profile.r_phase);
+          ("count", jint r.Obs.Profile.r_count);
+          ("p50_us", jnum r.Obs.Profile.r_p50_us);
+          ("p90_us", jnum r.Obs.Profile.r_p90_us);
+          ("p99_us", jnum r.Obs.Profile.r_p99_us);
+          ("max_us", jnum r.Obs.Profile.r_max_us);
+          ("mean_us", jnum r.Obs.Profile.r_mean_us);
+        ])
+    (Obs.Profile.rows p);
+  (match !trace_out_flag with
+  | Some path ->
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (Obs.Trace.to_json (Obs.Profile.spans p)));
+    pf "chrome trace written to %s (%d spans)\n" path (Obs.Profile.count p)
+  | None -> ());
+  hr ();
+  pf "overhead gate: virtual %.2f ms untraced vs %.2f ms traced (%s);\n"
+    (virt_plain /. 1000.0) (virt_prof /. 1000.0)
+    (if virt_plain = virt_prof then "identical, as required" else "MISMATCH");
+  pf "host %.1f ms untraced vs %.1f ms traced (%d spans recorded)\n"
+    (host_plain *. 1000.0) (host_prof *. 1000.0) (Obs.Profile.count p);
+  if virt_plain <> virt_prof then begin
+    Printf.eprintf "spans: tracing perturbed virtual time!\n";
+    exit 1
+  end;
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -872,6 +943,7 @@ let all_experiments =
     ("fig4", run_fig3);
     ("scaling", run_scaling);
     ("faults", run_faults);
+    ("spans", run_spans);
   ]
 
 let () =
@@ -893,6 +965,12 @@ let () =
         exit 1)
     | [ "--shards" ] ->
       Printf.eprintf "--shards requires an integer argument\n";
+      exit 1
+    | "--trace-out" :: path :: rest ->
+      trace_out_flag := Some path;
+      parse acc rest
+    | [ "--trace-out" ] ->
+      Printf.eprintf "--trace-out requires a file argument\n";
       exit 1
     | a :: rest -> parse (a :: acc) rest
   in

@@ -3,12 +3,13 @@
 
      emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
                [--original] [--codec TIER] [--shards N] [--trace] [--stats]
+               [--profile] [--trace-out FILE]
                [--seed N] [--faults SPEC] [--check-invariants] *)
 
 open Cmdliner
 
-let run file nodes cls op args_s original codec shards trace stats seed faults
-    check_invariants =
+let run file nodes cls op args_s original codec shards trace stats profile
+    trace_out seed faults check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
     String.split_on_char ',' nodes
@@ -44,6 +45,16 @@ let run file nodes cls op args_s original codec shards trace stats seed faults
   in
   let cl = Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~archs () in
   if trace then Core.Cluster.set_trace cl prerr_endline;
+  (* span tracing drives both --profile and --trace-out; the profile
+     keeps raw spans only when a trace file will be written *)
+  let prof =
+    if profile || trace_out <> None then begin
+      let p = Obs.Profile.create ~keep_spans:(trace_out <> None) () in
+      Core.Cluster.attach_profile cl p;
+      Some p
+    end
+    else None
+  in
   (match
      Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
        ~archs:(List.sort_uniq (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id) archs)
@@ -143,7 +154,20 @@ let run file nodes cls op args_s original codec shards trace stats seed faults
           (tc (fun c -> c.c_dups_suppressed))
           (tc (fun c -> c.c_acks))
       end
-    end
+    end;
+    (match prof with
+    | Some p ->
+      if profile then begin
+        Printf.printf "migration phases (%d spans):\n" (Obs.Profile.count p);
+        print_string (Obs.Profile.table p)
+      end;
+      (match trace_out with
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Obs.Trace.to_json (Obs.Profile.spans p)));
+        Printf.eprintf "trace written to %s (%d spans)\n" path (Obs.Profile.count p)
+      | None -> ())
+    | None -> ())
   in
   let result =
     if not check_invariants then (
@@ -225,6 +249,21 @@ let shards_t =
 let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events.")
 let stats_t = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-node statistics.")
 
+let profile_t =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Trace migration spans and print the per-arch-pair phase \
+                 table (count, p50/p90/p99/max in virtual us per phase: \
+                 capture, translate, marshal, transfer, unmarshal, \
+                 rebuild, relocate, plus whole moves and RPC round trips).")
+
+let trace_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write migration spans as Chrome tracing JSON (load in \
+                 about:tracing or Perfetto; timestamps are virtual \
+                 microseconds).")
+
 let seed_t =
   Arg.(value & opt (some int) None
        & info [ "seed" ] ~docv:"N"
@@ -247,7 +286,7 @@ let cmd =
     (Cmd.info "emrun" ~doc)
     Term.(
       const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
-      $ codec_t $ shards_t $ trace_t $ stats_t $ seed_t $ faults_t
-      $ check_invariants_t)
+      $ codec_t $ shards_t $ trace_t $ stats_t $ profile_t $ trace_out_t
+      $ seed_t $ faults_t $ check_invariants_t)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,20 @@
+(* tracecheck: validate a Chrome tracing JSON file produced by
+   `emrun --trace-out` (or any Trace Event Format document with a
+   traceEvents array).  Checks well-formed JSON, that every event is an
+   object carrying a string name/ph and a numeric ts, and that ts is
+   non-decreasing.  Exit 0 and print the event count on success; exit 1
+   with the defect on failure.  CI runs this over the bench artifact. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+    match Obs.Trace.validate_file path with
+    | Ok n ->
+      Printf.printf "%s: ok (%d events)\n" path n;
+      exit 0
+    | Error msg ->
+      Printf.eprintf "%s: INVALID: %s\n" path msg;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: tracecheck TRACE.json";
+    exit 2

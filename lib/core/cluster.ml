@@ -53,6 +53,7 @@ type pending_send = {
   p_frame : string;  (* the enveloped wire frame, cached for retransmission *)
   p_msg : Mobility.Marshal.message;  (* for loss reporting on give-up *)
   p_desc : string;
+  p_span : (int * int * float) option;  (* move-span tag, kept across retries *)
   mutable p_attempts : int;  (* transmissions so far *)
   mutable p_next_at : float;  (* retransmission deadline *)
 }
@@ -141,6 +142,10 @@ type dsend = {
   ds_dst : int;
   ds_desc : string;
   ds_bytes : int;
+  (* transfer-span identity (own id, root move-span id, arch pair) when
+     span tracing is on and the send carries a move; the barrier emits
+     the span once the flush has computed the arrival time *)
+  ds_span : (Obs.Span.id * Obs.Span.id * string) option;
 }
 
 type buffered =
@@ -198,6 +203,15 @@ type t = {
   quantum : int option;  (* kept to configure replacement kernels on restart *)
   mutable last_prog : Emc.Compile.program option;
   inv_last_times : float array;  (* monotonicity state for check_invariants *)
+  (* --- span tracing (DESIGN.md §12); all off and alloc-free until
+     [enable_spans]/[attach_profile] flips [spans_on] --- *)
+  mutable spans_on : bool;
+  span_seq : int array;  (* per-node span id allocator (shard-owned) *)
+  move_t0 : float array;  (* per-node start time of the move being captured *)
+  rpc_open : (T.tid * int, string * float) Hashtbl.t array;
+      (* per caller node: (thread, caller seg) -> (arch pair, t0) of the
+         round trip in flight; opened at the original M_invoke send,
+         closed when the M_reply is delivered back at the caller *)
 }
 
 let n_shards t = Array.length t.shards
@@ -224,6 +238,42 @@ let emit t ~node ev =
     else E.emit t.bus ev
   end
   else emit_direct t ev
+
+(* --- span tracing helpers (DESIGN.md §12) ---
+
+   Spans measure virtual-time intervals of the migration pipeline; they
+   read clocks, never charge them, so enabling tracing cannot perturb
+   simulated times.  Span ids are (node, per-node counter) pairs: the
+   counter is bumped only while executing events of the owning node,
+   which lives in exactly one shard, so allocation is race-free and the
+   id stream is independent of the shard count. *)
+
+let alloc_span_id t node =
+  let s = t.span_seq.(node) + 1 in
+  t.span_seq.(node) <- s;
+  { Obs.Span.id_node = node; id_seq = s }
+
+let arch_pair t ~src ~dst =
+  (K.arch t.nodes.(src).n_kernel).Isa.Arch.id
+  ^ "->"
+  ^ (K.arch t.nodes.(dst).n_kernel).Isa.Arch.id
+
+(* allocate an id and publish a closed span on the bus, attributed to
+   [node] (so window replay merges it at its canonical position) *)
+let emit_span t ~node ?parent ?(bytes = 0) ~pair ~name ~t0 ~t1 () =
+  let id = alloc_span_id t node in
+  emit t ~node
+    (E.Ev_span
+       { Obs.Span.name; node; arch_pair = pair; t_start_us = t0; t_end_us = t1;
+         id; parent; bytes })
+
+let enable_spans t = t.spans_on <- true
+
+let attach_profile t p =
+  enable_spans t;
+  E.subscribe t.bus (function
+    | E.Ev_span s -> Obs.Profile.add p s
+    | _ -> ())
 
 (* (re)queue a scheduling slice for the node, at its current virtual
    time; the engine dedups, so this is cheap to call after anything
@@ -301,7 +351,11 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       seen = Array.init n (fun _ -> Hashtbl.create 64);
       chaos = Array.make n [];
       quantum; last_prog = None;
-      inv_last_times = Array.make n 0.0 }
+      inv_last_times = Array.make n 0.0;
+      spans_on = false;
+      span_seq = Array.make n 0;
+      move_t0 = Array.make n Float.nan;
+      rpc_open = Array.init n (fun _ -> Hashtbl.create 8) }
   in
   E.attach_shards t.bus d;
   Array.iteri
@@ -720,9 +774,49 @@ let send_message t ~src (s : Mobility.Move.send) =
   else begin
   check_protocol t ~src ~dst msg;
   let k = t.nodes.(src).n_kernel in
+  let sp = t.spans_on in
+  let pair = if sp then arch_pair t ~src ~dst else "" in
+  (* the root move span: opened here for an outgoing M_move, starting at
+     the time the generating event began the capture (recorded in
+     [move_t0] by the Oc_move handler or the M_move_req delivery);
+     closed at the destination when the move lands *)
+  let root =
+    match msg with
+    | Mobility.Marshal.M_move _ when sp ->
+      let t0 =
+        let v = t.move_t0.(src) in
+        if Float.is_nan v then K.time_us k else v
+      in
+      t.move_t0.(src) <- Float.nan;
+      Some (alloc_span_id t src, t0)
+    | _ -> None
+  in
+  (* an original (non-forwarded) invocation opens the round-trip clock;
+     closed when the reply lands back here *)
+  (match msg with
+  | Mobility.Marshal.M_invoke { reply; thread; _ }
+    when sp && reply.T.ln_node = src ->
+    Hashtbl.replace t.rpc_open.(src) (thread, reply.T.ln_seg) (pair, K.time_us k)
+  | _ -> ());
+  (match root with
+  | Some (rid, rt0) ->
+    emit_span t ~node:src ~parent:rid ~pair ~name:"capture" ~t0:rt0
+      ~t1:(K.time_us k) ()
+  | None -> ());
   K.charge_us k CM.protocol_fixed_us;
   K.charge_insns k CM.protocol_send_insns;
+  let t_tr0 = if sp then K.time_us k else 0.0 in
   charge_translation t ~node:src msg;
+  let t_tr1 = if sp then K.time_us k else 0.0 in
+  (match root with
+  | Some (rid, _) ->
+    emit_span t ~node:src ~parent:rid ~pair ~name:"translate" ~t0:t_tr0 ~t1:t_tr1 ()
+  | None -> ());
+  let span_tag =
+    match root with
+    | Some (rid, rt0) -> Some (rid.Obs.Span.id_node, rid.Obs.Span.id_seq, rt0)
+    | None -> None
+  in
   let stats = t.nodes.(src).n_conv in
   let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
   let plans = plans_for t ~src ~dst in
@@ -736,6 +830,11 @@ let send_message t ~src (s : Mobility.Move.send) =
     in
     charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
       ~bytes:(CS.bytes stats - bytes0);
+    (match root with
+    | Some (rid, _) ->
+      emit_span t ~node:src ~parent:rid ~bytes:(Enet.Wire.view_length payload)
+        ~pair ~name:"marshal" ~t0:t_tr1 ~t1:(K.time_us k) ()
+    | None -> ());
     if t.win_active then begin
       (* inside a parallel window the shared medium is off limits: post
          the send to the shard's outbox, keyed by the generating event,
@@ -745,7 +844,7 @@ let send_message t ~src (s : Mobility.Move.send) =
       let sh = t.shards.(t.owner.(src)) in
       sh.sh_seq <- sh.sh_seq + 1;
       let entry =
-        Enet.Netsim.Outbox.post sh.sh_outbox ~time:sh.sh_key_time
+        Enet.Netsim.Outbox.post ?span:span_tag sh.sh_outbox ~time:sh.sh_key_time
           ~rank:sh.sh_key_rank ~seq:sh.sh_seq ~now_us:(K.time_us k) ~src ~dst
           ~payload
       in
@@ -753,7 +852,11 @@ let send_message t ~src (s : Mobility.Move.send) =
         let d =
           { ds_entry = entry; ds_time = K.time_us k; ds_src = src; ds_dst = dst;
             ds_desc = Mobility.Marshal.describe msg;
-            ds_bytes = Enet.Wire.view_length payload }
+            ds_bytes = Enet.Wire.view_length payload;
+            ds_span =
+              (match root with
+              | Some (rid, _) -> Some (alloc_span_id t src, rid, pair)
+              | None -> None) }
         in
         sh.sh_buf <- (sh.sh_key_time, sh.sh_key_rank, sh.sh_seq, B_send d) :: sh.sh_buf
       end
@@ -765,13 +868,19 @@ let send_message t ~src (s : Mobility.Move.send) =
       end
     end
     else begin
+      let now = K.time_us k in
       let arrival =
-        Enet.Netsim.send_view t.net ~now_us:(K.time_us k) ~src ~dst ~payload
+        Enet.Netsim.send_view ?span:span_tag t.net ~now_us:now ~src ~dst ~payload
       in
       emit t ~node:src
         (E.Ev_msg_send
-           { time = K.time_us k; src; dst; desc = Mobility.Marshal.describe msg;
-             bytes = Enet.Wire.view_length payload; arrives = arrival })
+           { time = now; src; dst; desc = Mobility.Marshal.describe msg;
+             bytes = Enet.Wire.view_length payload; arrives = arrival });
+      match root with
+      | Some (rid, _) ->
+        emit_span t ~node:src ~parent:rid ~bytes:(Enet.Wire.view_length payload)
+          ~pair ~name:"transfer" ~t0:now ~t1:arrival ()
+      | None -> ()
     end
   end
   else begin
@@ -783,19 +892,31 @@ let send_message t ~src (s : Mobility.Move.send) =
     in
     charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
       ~bytes:(CS.bytes stats - bytes0);
+    (match root with
+    | Some (rid, _) ->
+      emit_span t ~node:src ~parent:rid ~bytes:(String.length payload) ~pair
+        ~name:"marshal" ~t0:t_tr1 ~t1:(K.time_us k) ()
+    | None -> ());
     let seq = t.next_seq.(src) in
     t.next_seq.(src) <- seq + 1;
     let frame = data_frame ~seq payload in
     let desc = Mobility.Marshal.describe msg in
     let now = K.time_us k in
-    let arrival = Enet.Netsim.send t.net ~now_us:now ~src ~dst ~payload:frame in
+    let arrival =
+      Enet.Netsim.send ?span:span_tag t.net ~now_us:now ~src ~dst ~payload:frame
+    in
     emit t ~node:src
       (E.Ev_msg_send
          { time = now; src; dst; desc; bytes = String.length frame;
            arrives = arrival });
+    (match root with
+    | Some (rid, _) ->
+      emit_span t ~node:src ~parent:rid ~bytes:(String.length frame) ~pair
+        ~name:"transfer" ~t0:now ~t1:arrival ()
+    | None -> ());
     let p =
       { p_seq = seq; p_dst = dst; p_frame = frame; p_msg = msg; p_desc = desc;
-        p_attempts = 1; p_next_at = now +. tr_rto_us }
+        p_span = span_tag; p_attempts = 1; p_next_at = now +. tr_rto_us }
     in
     Hashtbl.replace t.outstanding.(src) seq p;
     (* the engine holds at most one timer entry per node; if one is
@@ -856,6 +977,7 @@ and handle_outcall t ~src (oc : K.outcall) =
         (E.Ev_move_start
            { time = K.time_us k; node = src; obj = K.oid_at k obj_addr;
              dest = dest_node });
+      if t.spans_on then t.move_t0.(src) <- K.time_us k;
       quiesce_node t src;
       Mobility.Move.initiate ~k ~mover:seg ~obj_addr ~dest:dest_node
     | K.Oc_return { link; value; thread } ->
@@ -882,22 +1004,39 @@ and handle_outcall t ~src (oc : K.outcall) =
 let deliver t ~dst (m : Enet.Netsim.message) =
   let k = t.nodes.(dst).n_kernel in
   K.set_time_us k m.Enet.Netsim.msg_arrives_at;
+  let sp = t.spans_on in
+  (* the sender's move-span tag (root id + start time), if this message
+     carries a move and tracing is on *)
+  let tag = if sp then m.Enet.Netsim.msg_span else None in
+  let t_arr = if sp then K.time_us k else 0.0 in
   K.charge_us k CM.protocol_fixed_us;
   K.charge_insns k CM.protocol_recv_insns;
   let stats = t.nodes.(dst).n_conv in
   let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
   let plans = plans_for t ~src:m.Enet.Netsim.msg_src ~dst in
-  let msg =
-    with_conv_extras t ~node:dst (fun () ->
-        Mobility.Marshal.decode_view ?plans ~impl:(wire_impl_of t) ~stats
-          m.Enet.Netsim.msg_payload)
-  in
   (* decoding is the last read: a pooled payload buffer goes back to the
-     free list (sub-views and string-backed views are no-ops) *)
-  Enet.Wire.release_view m.Enet.Netsim.msg_payload;
+     free list (sub-views and string-backed views are no-ops) — also on
+     a decode failure, or it would leak from the pool *)
+  let msg =
+    Fun.protect
+      ~finally:(fun () -> Enet.Wire.release_view m.Enet.Netsim.msg_payload)
+      (fun () ->
+        with_conv_extras t ~node:dst (fun () ->
+            Mobility.Marshal.decode_view ?plans ~impl:(wire_impl_of t) ~stats
+              m.Enet.Netsim.msg_payload))
+  in
   charge_conversion t ~node:dst ~calls:(CS.calls stats - calls0)
     ~bytes:(CS.bytes stats - bytes0);
+  let t_unm1 = if tag <> None then K.time_us k else 0.0 in
   charge_translation t ~node:dst msg;
+  (match tag with
+  | Some (rn, rs, _) ->
+    let parent = { Obs.Span.id_node = rn; id_seq = rs } in
+    let pair = arch_pair t ~src:m.Enet.Netsim.msg_src ~dst in
+    emit_span t ~node:dst ~parent ~pair ~name:"unmarshal" ~t0:t_arr ~t1:t_unm1 ();
+    emit_span t ~node:dst ~parent ~pair ~name:"rebuild" ~t0:t_unm1
+      ~t1:(K.time_us k) ()
+  | None -> ());
   emit t ~node:dst
     (E.Ev_msg_deliver
        { time = K.time_us k; node = dst; desc = Mobility.Marshal.describe msg });
@@ -921,14 +1060,41 @@ let deliver t ~dst (m : Enet.Netsim.message) =
         []
       end)
     | Mobility.Marshal.M_reply { to_seg; value; thread } ->
+      (* close the round-trip clock opened when the original M_invoke
+         left this node (same node, hence same shard: race-free) *)
+      (if sp then
+         match Hashtbl.find_opt t.rpc_open.(dst) (thread, to_seg) with
+         | Some (pair0, t0) ->
+           Hashtbl.remove t.rpc_open.(dst) (thread, to_seg);
+           emit_span t ~node:dst ~pair:pair0 ~name:"rpc" ~t0 ~t1:(K.time_us k) ()
+         | None -> ());
       if t.reliable && Hashtbl.mem t.failures thread then []
       else Mobility.Rpc.handle_reply ~k ~to_seg ~value ~thread
     | Mobility.Marshal.M_move_req { obj; dest; forwards } ->
+      (* a remote-initiated move: the capture clock starts when the
+         request reaches the object's host (this node) *)
+      if sp then t.move_t0.(dst) <- K.time_us k;
       quiesce_node t dst;
       Mobility.Move.handle_move_req ~k ~obj ~dest ~forwards
     | Mobility.Marshal.M_move payload ->
+      let t_rel0 = if tag <> None then K.time_us k else 0.0 in
       let mstats = Mobility.Move.apply_move k payload in
       K.charge_insns k (mstats.Mobility.Move.ap_frames * CM.relocation_insns_per_frame);
+      (match tag with
+      | Some (rn, rs, rt0) ->
+        let rid = { Obs.Span.id_node = rn; id_seq = rs } in
+        let pair = arch_pair t ~src:m.Enet.Netsim.msg_src ~dst in
+        let t_end = K.time_us k in
+        emit_span t ~node:dst ~parent:rid ~pair ~name:"relocate" ~t0:t_rel0
+          ~t1:t_end ();
+        (* the root span, closed where the move lands; its id was
+           allocated at the source and rode the message tag *)
+        emit t ~node:dst
+          (E.Ev_span
+             { Obs.Span.name = "move"; node = dst; arch_pair = pair;
+               t_start_us = rt0; t_end_us = t_end; id = rid; parent = None;
+               bytes = 0 })
+      | None -> ());
       emit t ~node:dst
         (E.Ev_move_finish
            { time = K.time_us k; node = dst;
@@ -1107,10 +1273,12 @@ let exec_deliver t i eff =
   | Some m when t.nodes.(i).n_crashed ->
     let stats = CS.create () in
     let msg =
-      Mobility.Marshal.decode_view ~impl:(wire_impl_of t) ~stats
-        m.Enet.Netsim.msg_payload
+      Fun.protect
+        ~finally:(fun () -> Enet.Wire.release_view m.Enet.Netsim.msg_payload)
+        (fun () ->
+          Mobility.Marshal.decode_view ~impl:(wire_impl_of t) ~stats
+            m.Enet.Netsim.msg_payload)
     in
-    Enet.Wire.release_view m.Enet.Netsim.msg_payload;
     emit t ~node:i (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
     drop_message t ~node:i msg ~reason:(Printf.sprintf "node %d is down" i)
   | Some m -> deliver t ~dst:i m
@@ -1187,7 +1355,7 @@ let retransmit_due t i ~now p =
     emit t ~node:i
       (E.Ev_retransmit { node = i; dst = p.p_dst; seq = p.p_seq;
                          attempt = p.p_attempts });
-    ignore (Enet.Netsim.send t.net ~now_us:now ~src:i ~dst:p.p_dst
+    ignore (Enet.Netsim.send ?span:p.p_span t.net ~now_us:now ~src:i ~dst:p.p_dst
               ~payload:p.p_frame : float)
   end
 
@@ -1422,11 +1590,22 @@ let barrier_flush t =
         match b with
         | B_ev ev -> emit_direct t ev
         | B_send d ->
+          let arrives = Enet.Netsim.Outbox.arrival d.ds_entry in
           emit_direct t
             (E.Ev_msg_send
                { time = d.ds_time; src = d.ds_src; dst = d.ds_dst;
-                 desc = d.ds_desc; bytes = d.ds_bytes;
-                 arrives = Enet.Netsim.Outbox.arrival d.ds_entry }))
+                 desc = d.ds_desc; bytes = d.ds_bytes; arrives });
+          (* the transfer span follows its Ev_msg_send immediately, as
+             on the sequential path *)
+          (match d.ds_span with
+          | Some (id, rid, pair) ->
+            emit_direct t
+              (E.Ev_span
+                 { Obs.Span.name = "transfer"; node = d.ds_src;
+                   arch_pair = pair; t_start_us = d.ds_time;
+                   t_end_us = arrives; id; parent = Some rid;
+                   bytes = d.ds_bytes })
+          | None -> ()))
       all;
     Array.iter (fun sh -> sh.sh_buf <- []) t.shards
   end;

@@ -106,6 +106,21 @@ val bus : t -> Events.bus
 val node_counters : t -> int -> Events.counters
 val total_counter : t -> (Events.counters -> int) -> int
 
+val enable_spans : t -> unit
+(** Turn on migration span tracing (DESIGN.md §12): every move emits a
+    root ["move"] span plus capture/translate/marshal/transfer/
+    unmarshal/rebuild/relocate phase child spans, and every RPC round
+    trip an ["rpc"] span, as {!Events.Ev_span} values on the bus.
+    Spans measure virtual-time intervals and never charge the clocks,
+    so enabling tracing cannot change simulated times; until this is
+    called the pipeline does no span work at all. *)
+
+val attach_profile : t -> Obs.Profile.t -> unit
+(** {!enable_spans} plus a bus subscription feeding every closed span
+    into [p] — per-(arch pair, phase) histograms and, unless the
+    profile was created with [~keep_spans:false], the raw span list
+    for {!Obs.Trace.to_json} export. *)
+
 val load_program : t -> Emc.Compile.program -> unit
 (** Register the compiled program with every node (and the repository). *)
 

@@ -33,6 +33,7 @@ type t =
   | Ev_ack of { node : int; seq : int }
   | Ev_plan of { node : int; compiles : int; hits : int }
   | Ev_pool of { node : int; hits : int; misses : int; copies_saved : int }
+  | Ev_span of Obs.Span.t
 
 (* The exact line the seed's [(string -> unit)] trace hook printed for
    this event, if it printed one.  Events the seed had no line for
@@ -42,7 +43,8 @@ type t =
    without a fault plan, so giving them lines keeps the no-fault trace
    byte-identical while making [--trace] useful under injection. *)
 let legacy_string = function
-  | Ev_step _ | Ev_move_finish _ | Ev_conversion _ | Ev_plan _ | Ev_pool _ -> None
+  | Ev_step _ | Ev_move_finish _ | Ev_conversion _ | Ev_plan _ | Ev_pool _
+  | Ev_span _ -> None
   | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
     Some
       (Printf.sprintf "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)"
@@ -98,6 +100,7 @@ let to_string ev =
   | Ev_pool { node; hits; misses; copies_saved } ->
     Printf.sprintf "pool node=%d hits=%d misses=%d copies-saved=%d" node hits misses
       copies_saved
+  | Ev_span s -> Obs.Span.to_string s
   | _ -> ( match legacy_string ev with Some s -> s | None -> assert false)
 
 type counters = {
@@ -230,7 +233,7 @@ let count bus ev =
     (c node).c_pool_misses <- (c node).c_pool_misses + misses;
     (c node).c_copies_saved <- (c node).c_copies_saved + copies_saved
   | Ev_crash _ | Ev_restart _ | Ev_thread_lost _ | Ev_search_found _
-  | Ev_search_failed _ -> ()
+  | Ev_search_failed _ | Ev_span _ -> ()
 
 let emit bus ev =
   count bus ev;

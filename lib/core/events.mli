@@ -55,6 +55,9 @@ type t =
   | Ev_pool of { node : int; hits : int; misses : int; copies_saved : int }
       (** encode-buffer pool activity during one en/decode; [copies_saved]
           counts pooled handoffs that avoided a payload copy *)
+  | Ev_span of Obs.Span.t
+      (** a closed migration/RPC phase span (virtual-time interval); only
+          emitted when span tracing is enabled on the cluster *)
 
 val legacy_string : t -> string option
 (** The seed trace hook's line for this event; [None] for events the seed

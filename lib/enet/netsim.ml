@@ -14,6 +14,11 @@ type message = {
   msg_sent_at : float;
   msg_arrives_at : float;
   msg_seq : int;
+  (* host-side observability tag: the sender's move-span identity
+     (node, seq, start time) riding along so the receiver can close the
+     span.  Never on the wire — no bytes, no virtual time, no effect on
+     delivery — and None whenever span tracing is off. *)
+  msg_span : (int * int * float) option;
 }
 
 type fault =
@@ -94,7 +99,7 @@ let insert_delayed t msg =
    implementation walked a sorted list.  An injected delay or duplicate
    copy is the one thing that can arrive out of order; those are filed
    in the sorted [delayed] side list instead. *)
-let send_view t ~now_us ~src ~dst ~payload =
+let send_view ?span t ~now_us ~src ~dst ~payload =
   if dst < 0 || dst >= t.n_nodes then invalid_arg "Netsim.send: bad destination";
   let wire_bytes = Wire.view_length payload + t.cfg.frame_overhead_bytes in
   let transmit_us = float_of_int (wire_bytes * 8) /. t.cfg.bandwidth_mbit_s in
@@ -112,6 +117,7 @@ let send_view t ~now_us ~src ~dst ~payload =
       msg_sent_at = now_us;
       msg_arrives_at = arrives;
       msg_seq = seq;
+      msg_span = span;
     }
   in
   let verdict =
@@ -151,8 +157,8 @@ let send_view t ~now_us ~src ~dst ~payload =
     notify_arrival t ~dst ~at:late;
     arrives
 
-let send t ~now_us ~src ~dst ~payload =
-  send_view t ~now_us ~src ~dst ~payload:(Wire.view_of_string payload)
+let send ?span t ~now_us ~src ~dst ~payload =
+  send_view ?span t ~now_us ~src ~dst ~payload:(Wire.view_of_string payload)
 
 let earlier (a : message option) (b : message option) =
   match a, b with
@@ -223,6 +229,7 @@ module Outbox = struct
     e_src : int;
     e_dst : int;
     e_payload : Wire.view;
+    e_span : (int * int * float) option;  (* observability tag, see [message] *)
     mutable e_arrives : float;  (* filled by flush *)
   }
 
@@ -231,7 +238,7 @@ module Outbox = struct
   let create () = { entries = []; count = 0 }
   let length b = b.count
 
-  let post b ~time ~rank ~seq ~now_us ~src ~dst ~payload =
+  let post ?span b ~time ~rank ~seq ~now_us ~src ~dst ~payload =
     let e =
       {
         e_time = time;
@@ -241,6 +248,7 @@ module Outbox = struct
         e_src = src;
         e_dst = dst;
         e_payload = payload;
+        e_span = span;
         e_arrives = Float.nan;
       }
     in
@@ -273,8 +281,8 @@ let flush_outboxes t boxes =
     Array.iter
       (fun e ->
         e.Outbox.e_arrives <-
-          send_view t ~now_us:e.Outbox.e_now_us ~src:e.Outbox.e_src
-            ~dst:e.Outbox.e_dst ~payload:e.Outbox.e_payload)
+          send_view ?span:e.Outbox.e_span t ~now_us:e.Outbox.e_now_us
+            ~src:e.Outbox.e_src ~dst:e.Outbox.e_dst ~payload:e.Outbox.e_payload)
       all;
     Array.iter
       (fun b ->

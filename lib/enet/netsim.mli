@@ -32,6 +32,11 @@ type message = {
   msg_sent_at : float;
   msg_arrives_at : float;
   msg_seq : int;
+  msg_span : (int * int * float) option;
+      (** host-side observability tag — the sender's move-span identity
+          [(node, seq, start_us)] riding with the message so the
+          receiver can close the span.  Never serialised: zero wire
+          bytes, zero effect on timing; [None] when tracing is off. *)
 }
 
 type fault =
@@ -60,13 +65,27 @@ val set_on_fault : t -> (src:int -> dst:int -> fault -> unit) -> unit
 (** Observe injected faults (for trace/metrics emission).  Fires after
     the fault is applied, before {!send} returns. *)
 
-val send : t -> now_us:float -> src:int -> dst:int -> payload:string -> float
+val send :
+  ?span:int * int * float ->
+  t ->
+  now_us:float ->
+  src:int ->
+  dst:int ->
+  payload:string ->
+  float
 (** Queue a message; returns its (possibly fault-delayed) arrival time.
     A dropped message still consumes medium time — the frame was on the
     wire — and the returned time is when it would have arrived.
     Zero-copy: the payload string's bytes are aliased, not copied. *)
 
-val send_view : t -> now_us:float -> src:int -> dst:int -> payload:Wire.view -> float
+val send_view :
+  ?span:int * int * float ->
+  t ->
+  now_us:float ->
+  src:int ->
+  dst:int ->
+  payload:Wire.view ->
+  float
 (** Like {!send}, but hands off a buffer view directly (pooled views let
     the receiver recycle the encode buffer after decoding).  Do not send
     pooled views while a fault injector is installed — a duplicated
@@ -106,6 +125,7 @@ module Outbox : sig
   val length : t -> int
 
   val post :
+    ?span:int * int * float ->
     t ->
     time:float ->
     rank:int ->

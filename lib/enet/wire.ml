@@ -52,6 +52,7 @@ module Pool = struct
   let hits_c = ref 0
   let misses_c = ref 0
   let handoffs_c = ref 0
+  let returned_c = ref 0
 
   let take () =
     match !free_list with
@@ -65,6 +66,9 @@ module Pool = struct
       Bytes.create 256
 
   let recycle b =
+    (* counted even when the free list is full and the buffer is dropped:
+       [returned] tracks ownership given back, not buffers kept *)
+    incr returned_c;
     if !n_kept < max_kept then begin
       free_list := b :: !free_list;
       incr n_kept
@@ -73,13 +77,16 @@ module Pool = struct
   let hits () = !hits_c
   let misses () = !misses_c
   let handoffs () = !handoffs_c
+  let returned () = !returned_c
+  let in_flight () = !hits_c + !misses_c - !returned_c
 
   let reset () =
     free_list := [];
     n_kept := 0;
     hits_c := 0;
     misses_c := 0;
-    handoffs_c := 0
+    handoffs_c := 0;
+    returned_c := 0
 end
 
 let release_view v = if v.vw_pooled then Pool.recycle v.vw_bytes

@@ -75,6 +75,17 @@ module Pool : sig
   val misses : unit -> int
   val handoffs : unit -> int
 
+  val returned : unit -> int
+  (** Buffers given back ([Writer.free] of a pooled writer, or
+      {!release_view} of a pooled view) — counted even when the free
+      list is full and the buffer is dropped. *)
+
+  val in_flight : unit -> int
+  (** [hits + misses - returned]: pool-acquired buffers not yet given
+      back.  Zero at quiescence; a persistent positive value is a leak
+      (a buffer lost on an exception path between acquisition and
+      free/handoff-release). *)
+
   val reset : unit -> unit
   (** Clears counters {e and} the free list (for test isolation). *)
 end

@@ -6,7 +6,13 @@ module W = Enet.Wire
 
 exception Not_checkpointable of string
 
-let magic = 0x454d43l (* "EMC" *)
+(* Image format v2: the segment count is a u32.  v1 ("EMC", 0x454d43)
+   wrote it as a u16, silently truncating a thread of more than 65535
+   segments into an image that parsed cleanly but dropped segments —
+   so v2 bumps the magic and v1 images are rejected outright rather
+   than misread. *)
+let magic = 0x454d4332l (* "EMC2" *)
+let magic_v1 = 0x454d43l
 
 let segments_of_thread k ~thread =
   List.filter (fun s -> s.T.seg_thread = thread) (K.segments k)
@@ -48,36 +54,50 @@ let capture k ~thread =
     segs;
   let stats = Enet.Conversion_stats.create () in
   let w = W.Writer.create ~impl:W.Bulk ~stats in
-  W.Writer.u32 w magic;
-  W.Writer.u16 w (List.length segs);
-  List.iter (fun s -> Mi_frame.write_segment w (to_mi k s)) segs;
-  (* translation is charged like an outbound move, once per frame *)
-  List.iter
-    (fun s ->
-      let n = List.length (Translate.walk_frames k s) in
-      K.charge_insns k (n * Cost_model.frame_translate_insns))
-    segs;
-  let image = W.Writer.contents w in
-  W.Writer.free w;
-  image
+  (* the writer's buffer may be pooled: a capture failure part-way
+     through (an uncapturable frame, say) must still return it *)
+  Fun.protect
+    ~finally:(fun () -> W.Writer.free w)
+    (fun () ->
+      W.Writer.u32 w magic;
+      W.Writer.u32 w (Int32.of_int (List.length segs));
+      List.iter (fun s -> Mi_frame.write_segment w (to_mi k s)) segs;
+      (* translation is charged like an outbound move, once per frame *)
+      List.iter
+        (fun s ->
+          let n = List.length (Translate.walk_frames k s) in
+          K.charge_insns k (n * Cost_model.frame_translate_insns))
+        segs;
+      W.Writer.contents w)
 
 let suspend k ~thread =
   let image = capture k ~thread in
   List.iter (K.unregister_segment k) (segments_of_thread k ~thread);
   image
 
+(* an image can hold at most this many segments before we call it
+   corrupt rather than large — a plausibility bound, not a format
+   limit, protecting [List.init] from an insane length prefix *)
+let max_segments = 1_000_000
+
 let parse image =
   let stats = Enet.Conversion_stats.create () in
   let r = W.Reader.create ~impl:W.Bulk ~stats image in
-  if W.Reader.u32 r <> magic then invalid_arg "Checkpoint.parse: bad magic";
-  let n = W.Reader.u16 r in
+  let m = W.Reader.u32 r in
+  if m = magic_v1 then
+    invalid_arg "Checkpoint.parse: v1 image (u16 segment count) not supported";
+  if m <> magic then invalid_arg "Checkpoint.parse: bad magic";
+  let n = Int32.to_int (W.Reader.u32 r) in
+  if n < 0 || n > max_segments then
+    invalid_arg (Printf.sprintf "Checkpoint.parse: unreasonable segment count %d" n);
   List.init n (fun _ -> Mi_frame.read_segment r)
 
 let restore k image =
   let segs = parse image in
-  (* every frame's object must live here: frames execute against local
-     object memory, and we refuse to resurrect a thread whose objects have
-     moved on (move the objects back, or checkpoint after the move) *)
+  (* All validation happens before any segment is rebuilt, so a refused
+     restore leaves the kernel exactly as it was.  (An earlier revision
+     checked each segment id inside the rebuild loop: a collision on the
+     second segment left the first one registered.) *)
   List.iter
     (fun (ms : Mi_frame.mi_segment) ->
       List.iter
@@ -91,10 +111,18 @@ let restore k image =
                     (f.Mi_frame.mf_self :> int32))))
         ms.Mi_frame.ms_frames)
     segs;
+  let seen = Hashtbl.create 8 in
   List.iter
     (fun (ms : Mi_frame.mi_segment) ->
-      if K.find_segment k ms.Mi_frame.ms_seg_id <> None then
+      let id = ms.Mi_frame.ms_seg_id in
+      if K.find_segment k id <> None then
         raise (Not_checkpointable "a segment with this id is already registered");
+      if Hashtbl.mem seen id then
+        raise (Not_checkpointable "image contains duplicate segment ids");
+      Hashtbl.add seen id ())
+    segs;
+  List.iter
+    (fun (ms : Mi_frame.mi_segment) ->
       let seg = Translate.rebuild_segment k ms in
       K.charge_insns k
         (List.length ms.Mi_frame.ms_frames * Cost_model.frame_translate_insns);

@@ -177,16 +177,25 @@ let encode_to ?plans w msg =
     W.u32 w obj;
     W.bool w found
 
+(* A failed encode (an unmarshalable value, say) must still return the
+   pooled buffer, or the pool leaks one buffer per failure.  [encode]
+   can free unconditionally — [contents] copies.  [encode_view] frees
+   only on the exception path: a successful handoff transfers buffer
+   ownership to the view, and the receiver recycles it. *)
 let encode ?plans ~impl ~stats msg =
   let w = W.create ~impl ~stats in
-  encode_to ?plans w msg;
-  let s = W.contents w in
-  W.free w;
-  s
+  Fun.protect
+    ~finally:(fun () -> W.free w)
+    (fun () ->
+      encode_to ?plans w msg;
+      W.contents w)
 
 let encode_view ?plans ~impl ~stats msg =
   let w = W.create ~impl ~stats in
-  encode_to ?plans w msg;
+  (try encode_to ?plans w msg
+   with e ->
+     W.free w;
+     raise e);
   W.handoff w
 
 let decode_from ?plans r =

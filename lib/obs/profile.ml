@@ -1,0 +1,102 @@
+(* Aggregation of span streams into per-(arch pair, phase) histograms
+   and the paper-style phase-cost table (Section 4 reports migration
+   cost per phase per architecture pair; this reproduces that breakdown
+   from live spans, with percentiles instead of single means). *)
+
+(* canonical phase order for tables and JSON rows; unknown names sort
+   after these, alphabetically *)
+let phase_order =
+  [ "move"; "capture"; "translate"; "marshal"; "transfer"; "unmarshal";
+    "rebuild"; "relocate"; "rpc" ]
+
+let phase_rank name =
+  let rec go i = function
+    | [] -> List.length phase_order
+    | p :: rest -> if p = name then i else go (i + 1) rest
+  in
+  go 0 phase_order
+
+type t = {
+  tbl : (string * string, Hist.t) Hashtbl.t;  (* (pair, phase) -> hist *)
+  mutable spans_rev : Span.t list;
+  keep_spans : bool;
+  mutable n : int;
+}
+
+let create ?(keep_spans = true) () =
+  { tbl = Hashtbl.create 16; spans_rev = []; keep_spans; n = 0 }
+
+let add t (s : Span.t) =
+  let key = (s.Span.arch_pair, s.Span.name) in
+  let h =
+    match Hashtbl.find_opt t.tbl key with
+    | Some h -> h
+    | None ->
+      let h = Hist.create () in
+      Hashtbl.add t.tbl key h;
+      h
+  in
+  Hist.add h (Span.duration_us s);
+  if t.keep_spans then t.spans_rev <- s :: t.spans_rev;
+  t.n <- t.n + 1
+
+let count t = t.n
+let spans t = List.rev t.spans_rev
+
+let hist t ~pair ~phase = Hashtbl.find_opt t.tbl (pair, phase)
+
+type row = {
+  r_pair : string;
+  r_phase : string;
+  r_count : int;
+  r_p50_us : float;
+  r_p90_us : float;
+  r_p99_us : float;
+  r_max_us : float;
+  r_mean_us : float;
+}
+
+let rows t =
+  Hashtbl.fold
+    (fun (pair, phase) h acc ->
+      {
+        r_pair = pair;
+        r_phase = phase;
+        r_count = Hist.count h;
+        r_p50_us = Hist.percentile h 50.0;
+        r_p90_us = Hist.percentile h 90.0;
+        r_p99_us = Hist.percentile h 99.0;
+        r_max_us = Hist.max_us h;
+        r_mean_us = Hist.mean_us h;
+      }
+      :: acc)
+    t.tbl []
+  |> List.sort (fun a b ->
+         match String.compare a.r_pair b.r_pair with
+         | 0 -> (
+           match compare (phase_rank a.r_phase) (phase_rank b.r_phase) with
+           | 0 -> String.compare a.r_phase b.r_phase
+           | c -> c)
+         | c -> c)
+
+let table t =
+  let b = Buffer.create 1024 in
+  let rs = rows t in
+  let pairs =
+    List.sort_uniq String.compare (List.map (fun r -> r.r_pair) rs)
+  in
+  List.iter
+    (fun pair ->
+      let prs = List.filter (fun r -> r.r_pair = pair) rs in
+      Buffer.add_string b (Printf.sprintf "arch pair %s\n" pair);
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %7s %10s %10s %10s %10s\n" "phase" "count"
+           "p50(us)" "p90(us)" "p99(us)" "max(us)");
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-10s %7d %10.1f %10.1f %10.1f %10.1f\n" r.r_phase
+               r.r_count r.r_p50_us r.r_p90_us r.r_p99_us r.r_max_us))
+        prs)
+    pairs;
+  Buffer.contents b

@@ -1,0 +1,38 @@
+(** Span-stream aggregation: per-(arch pair, phase) latency histograms
+    and the paper-style per-pair phase-cost table (Section 4's migration
+    breakdown, with p50/p90/p99/max instead of a single mean). *)
+
+type t
+
+val create : ?keep_spans:bool -> unit -> t
+(** A fresh profile.  [keep_spans] (default true) retains the raw spans
+    for trace export; pass [false] to keep only the histograms. *)
+
+val add : t -> Span.t -> unit
+val count : t -> int
+(** Spans absorbed so far. *)
+
+val spans : t -> Span.t list
+(** Spans in the order added (empty when [keep_spans] is false). *)
+
+val hist : t -> pair:string -> phase:string -> Hist.t option
+
+type row = {
+  r_pair : string;
+  r_phase : string;
+  r_count : int;
+  r_p50_us : float;
+  r_p90_us : float;
+  r_p99_us : float;
+  r_max_us : float;
+  r_mean_us : float;
+}
+
+val rows : t -> row list
+(** One row per (pair, phase), sorted by pair then canonical phase
+    order (move, capture, translate, marshal, transfer, unmarshal,
+    rebuild, relocate, rpc). *)
+
+val table : t -> string
+(** The rendered per-arch-pair phase table.  Deterministic: identical
+    span streams render identical tables. *)

@@ -1,0 +1,254 @@
+(* Chrome chrome://tracing (Trace Event Format) export.
+
+   Spans become complete ("ph":"X") events: "ts" is the span's virtual
+   start in microseconds — the unit the format specifies — and "dur" its
+   virtual width, so about:tracing and Perfetto render the migration
+   pipeline on the simulation's own clock.  pid/tid carry the node.
+   Events are sorted by (ts, node, id) before writing, giving trace
+   files that are byte-identical whenever the span streams are. *)
+
+let esc b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let compare_span (a : Span.t) (b : Span.t) =
+  match Float.compare a.Span.t_start_us b.Span.t_start_us with
+  | 0 -> (
+    match compare a.Span.node b.Span.node with
+    | 0 -> Span.compare_id a.Span.id b.Span.id
+    | c -> c)
+  | c -> c
+
+let to_json spans =
+  let spans = List.stable_sort compare_span spans in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun (s : Span.t) ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"name\":\"";
+      esc b s.Span.name;
+      Buffer.add_string b "\",\"cat\":\"mobility\",\"ph\":\"X\",\"ts\":";
+      Buffer.add_string b (Printf.sprintf "%.3f" s.Span.t_start_us);
+      Buffer.add_string b ",\"dur\":";
+      Buffer.add_string b (Printf.sprintf "%.3f" (Span.duration_us s));
+      Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" s.Span.node s.Span.node);
+      Buffer.add_string b ",\"args\":{\"pair\":\"";
+      esc b s.Span.arch_pair;
+      Buffer.add_string b "\",\"id\":\"";
+      esc b (Span.id_to_string s.Span.id);
+      Buffer.add_char b '"';
+      (match s.Span.parent with
+      | None -> ()
+      | Some p ->
+        Buffer.add_string b ",\"parent\":\"";
+        esc b (Span.id_to_string p);
+        Buffer.add_char b '"');
+      if s.Span.bytes > 0 then
+        Buffer.add_string b (Printf.sprintf ",\"bytes\":%d" s.Span.bytes);
+      Buffer.add_string b "}}")
+    spans;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+(* ----------------------------------------------------------------------- *)
+(* the tiny validator behind `tracecheck`: a minimal JSON reader plus
+   the structural checks CI runs on emitted traces — a traceEvents
+   array of objects whose "ts" is a number and non-decreasing *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "unterminated escape";
+         match s.[!pos] with
+         | '"' -> Buffer.add_char b '"'; advance ()
+         | '\\' -> Buffer.add_char b '\\'; advance ()
+         | '/' -> Buffer.add_char b '/'; advance ()
+         | 'n' -> Buffer.add_char b '\n'; advance ()
+         | 't' -> Buffer.add_char b '\t'; advance ()
+         | 'r' -> Buffer.add_char b '\r'; advance ()
+         | 'b' -> Buffer.add_char b '\b'; advance ()
+         | 'f' -> Buffer.add_char b '\012'; advance ()
+         | 'u' ->
+           if !pos + 4 >= n then fail "bad \\u escape";
+           let hex = String.sub s (!pos + 1) 4 in
+           let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+           (* BMP only; enough for trace output, which never emits others *)
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+           pos := !pos + 5
+         | _ -> fail "bad escape");
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Jobj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let validate (data : string) : (int, string) result =
+  match parse_json data with
+  | exception Bad msg -> Error ("malformed JSON: " ^ msg)
+  | Jobj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | None -> Error "no traceEvents array"
+    | Some (Jarr events) -> (
+      let check (last_ts, i) ev =
+        match ev with
+        | Jobj f -> (
+          (match List.assoc_opt "name" f with
+          | Some (Jstr _) -> ()
+          | _ -> raise (Bad (Printf.sprintf "event %d: missing name" i)));
+          (match List.assoc_opt "ph" f with
+          | Some (Jstr _) -> ()
+          | _ -> raise (Bad (Printf.sprintf "event %d: missing ph" i)));
+          match List.assoc_opt "ts" f with
+          | Some (Jnum ts) ->
+            if ts < last_ts then
+              raise
+                (Bad
+                   (Printf.sprintf "event %d: ts %.3f < previous %.3f (not monotone)"
+                      i ts last_ts));
+            (ts, i + 1)
+          | _ -> raise (Bad (Printf.sprintf "event %d: missing numeric ts" i)))
+        | _ -> raise (Bad (Printf.sprintf "event %d: not an object" i))
+      in
+      match List.fold_left check (neg_infinity, 0) events with
+      | _, count -> Ok count
+      | exception Bad msg -> Error msg)
+    | Some _ -> Error "traceEvents is not an array")
+  | _ -> Error "top level is not an object"
+
+let validate_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> validate data
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,17 @@
+(** Chrome [chrome://tracing] (Trace Event Format) export of span
+    streams, plus the tiny validator behind the [tracecheck] tool. *)
+
+val to_json : Span.t list -> string
+(** Render spans as complete ("ph":"X") trace events, sorted by
+    (start time, node, id).  ["ts"]/["dur"] are virtual microseconds —
+    the format's native unit — and pid/tid carry the node, so
+    about:tracing or Perfetto lay the migration pipeline out per node
+    on the simulation clock.  Identical span streams produce
+    byte-identical files. *)
+
+val validate : string -> (int, string) result
+(** Check a trace document: well-formed JSON, a [traceEvents] array of
+    objects each carrying a string [name]/[ph] and a numeric [ts], with
+    [ts] non-decreasing.  Returns the event count. *)
+
+val validate_file : string -> (int, string) result

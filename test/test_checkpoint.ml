@@ -184,6 +184,72 @@ let test_parse_inspection () =
     | _ -> Alcotest.fail "captured segment must be ready at a stop")
   | _ -> Alcotest.fail "expected exactly one segment"
 
+(* Image format v2: u32 segment count, validated restores ---------------- *)
+
+let capture_image () =
+  let cl, main = setup [ A.sparc ] in
+  let tid, _ = start_pair cl main 30 in
+  step_some cl 10;
+  (cl, tid, C.capture (Core.Cluster.kernel cl 0) ~thread:tid)
+
+let test_v2_header () =
+  let _, _, image = capture_image () in
+  (* "EMC2" magic, then the count as a u32 — v1's u16 count silently
+     truncated threads of more than 65535 segments *)
+  check Alcotest.string "v2 magic" "EMC2" (String.sub image 0 4);
+  check Alcotest.string "u32 count of one segment" "\x00\x00\x00\x01"
+    (String.sub image 4 4);
+  match C.parse image with
+  | [ _ ] -> ()
+  | l -> Alcotest.failf "expected one segment, parsed %d" (List.length l)
+
+let test_v1_image_rejected () =
+  let stats = Enet.Conversion_stats.create () in
+  let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
+  Enet.Wire.Writer.u32 w 0x454d43l (* "EMC", the v1 magic *);
+  Enet.Wire.Writer.u16 w 1;
+  let v1 = Enet.Wire.Writer.contents w in
+  Enet.Wire.Writer.free w;
+  match C.parse v1 with
+  | _ -> Alcotest.fail "a v1 image must be rejected, not misread"
+  | exception Invalid_argument _ -> ()
+
+let test_insane_count_rejected () =
+  (* a corrupt length prefix must not reach List.init *)
+  let _, _, image = capture_image () in
+  let huge = String.sub image 0 4 ^ "\x7f\xff\xff\xff" in
+  match C.parse huge with
+  | _ -> Alcotest.fail "an unreasonable segment count must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_duplicate_ids_leave_kernel_unchanged () =
+  let cl, main = setup [ A.sparc ] in
+  let tid, _ = start_pair cl main 30 in
+  step_some cl 10;
+  let k = Core.Cluster.kernel cl 0 in
+  let image = C.suspend k ~thread:tid in
+  (* splice the image's one segment in twice: same ms_seg_id both times *)
+  let body = String.sub image 8 (String.length image - 8) in
+  let dup = String.sub image 0 4 ^ "\x00\x00\x00\x02" ^ body ^ body in
+  check Alcotest.int "tampered image parses as two segments" 2
+    (List.length (C.parse dup));
+  let seg_ids k =
+    List.sort compare
+      (List.map (fun s -> s.Ert.Thread.seg_id) (Ert.Kernel.segments k))
+  in
+  let before = seg_ids k in
+  (match C.restore k dup with
+  | () -> Alcotest.fail "duplicate segment ids must be rejected"
+  | exception C.Not_checkpointable _ -> ());
+  (* validation happens before any rebuild: nothing was installed *)
+  check (Alcotest.list Alcotest.int) "kernel unchanged by refused restore"
+    before (seg_ids k);
+  (* and the untampered image still restores and runs to completion *)
+  C.restore k image;
+  match Core.Cluster.run_until_result cl tid with
+  | Some (V.Vint v) -> check Alcotest.int "sum" (expected 30) (Int32.to_int v)
+  | _ -> Alcotest.fail "no result after the genuine restore"
+
 (* property: checkpointing at ANY scheduling point — including before the
    first instruction (a spawn record) and after the thread has finished —
    never corrupts the result *)
@@ -223,6 +289,12 @@ let suites =
         Alcotest.test_case "preemptive cluster wrapper quiesces" `Quick
           test_checkpoint_preemptive_cluster;
         Alcotest.test_case "parse for inspection" `Quick test_parse_inspection;
+        Alcotest.test_case "v2 header: magic and u32 count" `Quick test_v2_header;
+        Alcotest.test_case "v1 image rejected" `Quick test_v1_image_rejected;
+        Alcotest.test_case "unreasonable count rejected" `Quick
+          test_insane_count_rejected;
+        Alcotest.test_case "duplicate ids refused, kernel untouched" `Quick
+          test_duplicate_ids_leave_kernel_unchanged;
         QCheck_alcotest.to_alcotest prop_checkpoint_any_time;
       ] );
   ]

@@ -109,6 +109,56 @@ let test_pool_reuse () =
   Enet.Wire.release_view v3;
   Enet.Wire.Pool.reset ()
 
+let test_pool_balance () =
+  (* in_flight = hits + misses - returned must drain to zero on both the
+     success and the exception paths of the marshaller *)
+  Enet.Wire.Pool.reset ();
+  let stats = Enet.Conversion_stats.create () in
+  let msg = Mobility.Marshal.M_reply { to_seg = 4; value = Ert.Value.Vint 7l; thread = 1 } in
+  let bytes = Mobility.Marshal.encode ~impl:Enet.Wire.Bulk ~stats msg in
+  check Alcotest.int "encode returns its buffer" 0 (Enet.Wire.Pool.in_flight ());
+  (match Mobility.Marshal.decode ~impl:Enet.Wire.Bulk ~stats bytes with
+  | Mobility.Marshal.M_reply { to_seg = 4; _ } -> ()
+  | _ -> Alcotest.fail "reply did not survive the round trip");
+  let v = Mobility.Marshal.encode_view ~impl:Enet.Wire.Bulk ~stats msg in
+  check Alcotest.int "handoff keeps the buffer in flight" 1
+    (Enet.Wire.Pool.in_flight ());
+  Enet.Wire.release_view v;
+  check Alcotest.int "release returns it" 0 (Enet.Wire.Pool.in_flight ());
+  (* a string too long for the u16 length prefix aborts the encode
+     part-way; the pooled buffer must still come back *)
+  let huge =
+    Mobility.Marshal.M_reply
+      { to_seg = 4; value = Ert.Value.Vstr (String.make 70_000 'x'); thread = 1 }
+  in
+  (match Mobility.Marshal.encode ~impl:Enet.Wire.Bulk ~stats huge with
+  | _ -> Alcotest.fail "oversized string must be rejected"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "no leak from a failed encode" 0 (Enet.Wire.Pool.in_flight ());
+  (match Mobility.Marshal.encode_view ~impl:Enet.Wire.Bulk ~stats huge with
+  | _ -> Alcotest.fail "oversized string must be rejected"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "no leak from a failed encode_view" 0
+    (Enet.Wire.Pool.in_flight ());
+  Enet.Wire.Pool.reset ()
+
+let test_pool_balance_end_to_end () =
+  (* a whole simulated workload, migrations and all, acquires and returns
+     in matched pairs: nothing left in flight once the cluster drains *)
+  Enet.Wire.Pool.reset ();
+  let cl = Core.Cluster.create ~archs:[ Isa.Arch.sparc; Isa.Arch.sun3 ] () in
+  ignore (Core.Cluster.compile_and_load cl ~name:"table1" Core.Workloads.table1_src);
+  let agent = Core.Cluster.create_object cl ~node:0 ~class_name:"Agent" in
+  let tid =
+    Core.Cluster.spawn cl ~node:0 ~target:agent ~op:"trip"
+      ~args:[ Ert.Value.Vint 1l; Ert.Value.Vint 4l ]
+  in
+  (match Core.Cluster.run_until_result cl tid with
+  | Some _ -> ()
+  | None -> Alcotest.fail "workload produced no result");
+  check Alcotest.int "pool balanced after the run" 0 (Enet.Wire.Pool.in_flight ());
+  Enet.Wire.Pool.reset ()
+
 let test_writer_free_rejects_use () =
   let stats = Enet.Conversion_stats.create () in
   let w = Enet.Wire.Writer.create ~impl:Enet.Wire.Bulk ~stats in
@@ -178,6 +228,10 @@ let suites =
         Alcotest.test_case "reader underflow" `Quick test_reader_underflow;
         Alcotest.test_case "views" `Quick test_view_roundtrip;
         Alcotest.test_case "buffer pool reuse" `Quick test_pool_reuse;
+        Alcotest.test_case "pool balance on success and failure" `Quick
+          test_pool_balance;
+        Alcotest.test_case "pool balance across a workload" `Quick
+          test_pool_balance_end_to_end;
         Alcotest.test_case "freed writer rejects use" `Quick test_writer_free_rejects_use;
       ] );
     ( "enet.netsim",
