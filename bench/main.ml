@@ -7,7 +7,7 @@
      dune exec bench/main.exe bechamel   -- Bechamel host-time microbenchmarks
 
    Experiment ids: table1, intranode, conversion, sweep, ablation, fig2,
-   fig3 (includes fig4), scaling, faults, bechamel.
+   fig3 (includes fig4), scaling, faults, spans, evict, bechamel.
 
    --shards N sets the shard count the scaling experiment compares
    against the single-shard baseline (default 4). *)
@@ -929,6 +929,77 @@ let run_spans () =
   pf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Extension: forced eviction and asynchronous migration                *)
+(* ------------------------------------------------------------------ *)
+
+(* Six spin workers all spawn on node 0 of a four-node cluster; the
+   hot-spot balancer fires every 400 virtual us and evicts the deepest
+   backlog toward the coldest node, trapping each victim at its next bus
+   stop (no cooperative polling).  The identical schedule runs twice:
+   synchronously (the sender is charged capture+translate+marshal before
+   it resumes) and with asynchronous migration (those phases overlap
+   execution, and only the non-overlapped remainder is charged).  The
+   gate: overlap may never cost virtual time, and both runs must scatter
+   the workers off the hot node. *)
+let run_evict () =
+  pf "Extension: forced eviction under the hot-spot balancer\n";
+  pf "Six workers pile onto node 0 of a 4-node cluster; every 400us the\n";
+  pf "balancer evicts the deepest backlog to the coldest node.  'sync'\n";
+  pf "charges the full capture pipeline to the sender; 'async' overlaps\n";
+  pf "it with execution up to the victim's bus stop.\n";
+  hr ();
+  let rounds = 16 and spins = 200 and n_nodes = 4 in
+  let go async =
+    W.measure_evict ~async_migration:async ~n_nodes ~rounds ~spins ()
+  in
+  let sync = go false in
+  let asy = go true in
+  pf "%8s %9s %12s %10s %10s %10s\n" "mode" "evicts" "virtual us" "events"
+    "peak q0" "spread";
+  hr ();
+  let spread r =
+    String.concat "," (List.map string_of_int r.W.er_final_spread)
+  in
+  let row name (r : W.evict_run) =
+    pf "%8s %9d %12.1f %10d %10d %10s\n" name r.W.er_evictions
+      r.W.er_virtual_us r.W.er_events r.W.er_peak_depth_home (spread r)
+  in
+  row "sync" sync;
+  row "async" asy;
+  hr ();
+  let saved = sync.W.er_virtual_us -. asy.W.er_virtual_us in
+  let saved_pct =
+    if sync.W.er_virtual_us > 0.0 then 100.0 *. saved /. sync.W.er_virtual_us
+    else 0.0
+  in
+  add_json_row ~experiment:"evict"
+    [
+      ("nodes", jint n_nodes);
+      ("workers", jint 6);
+      ("evictions_sync", jint sync.W.er_evictions);
+      ("evictions_async", jint asy.W.er_evictions);
+      ("sync_virtual_us", jnum sync.W.er_virtual_us);
+      ("async_virtual_us", jnum asy.W.er_virtual_us);
+      ("overlap_saved_us", jnum saved);
+      ("overlap_saved_pct", jnum saved_pct);
+      ("peak_depth_home", jint sync.W.er_peak_depth_home);
+      ("result_sync", jint sync.W.er_result);
+      ("result_async", jint asy.W.er_result);
+    ];
+  pf "async migration saves %.1f virtual us (%.1f%%) over synchronous\n" saved
+    saved_pct;
+  if sync.W.er_evictions = 0 || asy.W.er_evictions = 0 then begin
+    pf "ERROR: the balancer never fired an eviction\n";
+    exit 1
+  end;
+  if asy.W.er_virtual_us > sync.W.er_virtual_us then begin
+    pf "FAIL: asynchronous migration cost virtual time (%.1f > %.1f)\n"
+      asy.W.er_virtual_us sync.W.er_virtual_us;
+    exit 1
+  end;
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -944,6 +1015,7 @@ let all_experiments =
     ("scaling", run_scaling);
     ("faults", run_faults);
     ("spans", run_spans);
+    ("evict", run_evict);
   ]
 
 let () =

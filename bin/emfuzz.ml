@@ -25,11 +25,13 @@ let pp_outcome ?(verbose = false) ppf (o : Core.Fuzz.outcome) =
   Format.fprintf ppf "seed %6d  %-4s %s" o.Core.Fuzz.f_seed status detail;
   if verbose then
     Format.fprintf ppf
-      "  [%d events, %.0fus, %d moves, %d faults, %d rexmit, %d dups]"
+      "  [%d events, %.0fus, %d moves, %d evictions, %d faults, %d rexmit, \
+       %d dups]"
       o.Core.Fuzz.f_events o.Core.Fuzz.f_virtual_us o.Core.Fuzz.f_moves
-      o.Core.Fuzz.f_faults o.Core.Fuzz.f_retransmits o.Core.Fuzz.f_dups
+      o.Core.Fuzz.f_evictions o.Core.Fuzz.f_faults o.Core.Fuzz.f_retransmits
+      o.Core.Fuzz.f_dups
 
-let report_failure ~drop ~check_every ~max_events ~shards ~do_shrink
+let report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
     (o : Core.Fuzz.outcome) =
   Format.printf "@.%a@." (pp_outcome ~verbose:true) o;
   Format.printf "plan: %s@." (Fault.Plan.to_string o.Core.Fuzz.f_plan);
@@ -41,15 +43,16 @@ let report_failure ~drop ~check_every ~max_events ~shards ~do_shrink
   if do_shrink then begin
     Format.printf "shrinking...@.";
     let minimal =
-      Core.Fuzz.shrink ?drop ~check_every ~max_events ~shards
+      Core.Fuzz.shrink ?drop ~evict ~check_every ~max_events ~shards
         ~seed:o.Core.Fuzz.f_seed o.Core.Fuzz.f_plan
     in
     Format.printf "minimal failing plan: %s@." (Fault.Plan.to_string minimal)
   end;
-  Format.printf "reproduce: emfuzz --seed %d%s@." o.Core.Fuzz.f_seed
+  Format.printf "reproduce: emfuzz --seed %d%s%s@." o.Core.Fuzz.f_seed
     (match drop with Some d -> Printf.sprintf " --drop %g" d | None -> "")
+    (if evict then " --evict" else "")
 
-let run seeds start one_seed faults drop check_every max_events shards
+let run seeds start one_seed faults drop evict check_every max_events shards
     no_shrink verbose =
   let plan =
     match faults with
@@ -65,7 +68,8 @@ let run seeds start one_seed faults drop check_every max_events shards
   match one_seed with
   | Some seed ->
     let o =
-      Core.Fuzz.run_seed ?plan ?drop ~check_every ~max_events ~shards ~seed ()
+      Core.Fuzz.run_seed ?plan ?drop ~evict ~check_every ~max_events ~shards
+        ~seed ()
     in
     if o.Core.Fuzz.f_ok then begin
       Format.printf "%a@." (pp_outcome ~verbose:true) o;
@@ -74,13 +78,15 @@ let run seeds start one_seed faults drop check_every max_events shards
       0
     end
     else begin
-      report_failure ~drop ~check_every ~max_events ~shards ~do_shrink o;
+      report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
+        o;
       1
     end
   | None ->
     let t0 = Unix.gettimeofday () in
     let completed = ref 0 and unavailable = ref 0 in
     let faults_n = ref 0 and rexmit = ref 0 and dups = ref 0 in
+    let evictions = ref 0 in
     let ran = ref 0 in
     let on_outcome (o : Core.Fuzz.outcome) =
       incr ran;
@@ -91,21 +97,24 @@ let run seeds start one_seed faults drop check_every max_events shards
       faults_n := !faults_n + o.Core.Fuzz.f_faults;
       rexmit := !rexmit + o.Core.Fuzz.f_retransmits;
       dups := !dups + o.Core.Fuzz.f_dups;
+      evictions := !evictions + o.Core.Fuzz.f_evictions;
       if verbose then Format.printf "%a@." (pp_outcome ~verbose:true) o
     in
     let seed_list = List.init seeds (fun i -> start + i) in
     (match
-       Core.Fuzz.sweep ?drop ~check_every ~max_events ~shards ~on_outcome
-         ~seeds:seed_list ()
+       Core.Fuzz.sweep ?drop ~evict ~check_every ~max_events ~shards
+         ~on_outcome ~seeds:seed_list ()
      with
     | Some bad ->
-      report_failure ~drop ~check_every ~max_events ~shards ~do_shrink bad;
+      report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
+        bad;
       1
     | None ->
       Format.printf
         "%d seeds: %d completed, %d unavailable, 0 violations  (%d faults \
-         injected, %d retransmits, %d dups suppressed)  [%.1fs]@."
+         injected, %d retransmits, %d dups suppressed%s)  [%.1fs]@."
         !ran !completed !unavailable !faults_n !rexmit !dups
+        (if evict then Printf.sprintf ", %d evictions" !evictions else "")
         (Unix.gettimeofday () -. t0);
       0)
 
@@ -129,6 +138,12 @@ let drop_t =
   Arg.(value & opt (some float) None
        & info [ "drop" ] ~docv:"P"
            ~doc:"Force the per-message loss probability (e.g. 0.3).")
+
+let evict_t =
+  Arg.(value & flag
+       & info [ "evict" ]
+           ~doc:"Install the hot-spot balancer on every scenario, so \
+                 forced-eviction captures race the fault plan.")
 
 let check_every_t =
   Arg.(value & opt int 1
@@ -159,7 +174,7 @@ let cmd =
   Cmd.v
     (Cmd.info "emfuzz" ~doc)
     Term.(
-      const run $ seeds_t $ start_t $ seed_t $ faults_t $ drop_t $ check_every_t
-      $ max_events_t $ shards_t $ no_shrink_t $ verbose_t)
+      const run $ seeds_t $ start_t $ seed_t $ faults_t $ drop_t $ evict_t
+      $ check_every_t $ max_events_t $ shards_t $ no_shrink_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

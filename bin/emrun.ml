@@ -3,13 +3,13 @@
 
      emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
                [--original] [--codec TIER] [--shards N] [--trace] [--stats]
-               [--profile] [--trace-out FILE]
+               [--profile] [--trace-out FILE] [--evict-hot N]
                [--seed N] [--faults SPEC] [--check-invariants] *)
 
 open Cmdliner
 
 let run file nodes cls op args_s original codec shards trace stats profile
-    trace_out seed faults check_invariants =
+    trace_out evict_hot seed faults check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
     String.split_on_char ',' nodes
@@ -44,6 +44,11 @@ let run file nodes cls op args_s original codec shards trace stats profile
         exit 2)
   in
   let cl = Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~archs () in
+  (match evict_hot with
+  | Some threshold ->
+    Core.Cluster.set_balancer cl ~every_us:400.0
+      (Core.Workloads.hot_spot_balancer ~threshold cl)
+  | None -> ());
   if trace then Core.Cluster.set_trace cl prerr_endline;
   (* span tracing drives both --profile and --trace-out; the profile
      keeps raw spans only when a trace file will be written *)
@@ -101,6 +106,15 @@ let run file nodes cls op args_s original codec shards trace stats profile
           "node %d bus: %8d steps, %3d sent, %3d delivered, %2d moves out, %2d in, %4d conv calls\n"
           i c.c_steps c.c_sent c.c_delivered c.c_moves_out c.c_moves_in
           c.c_conv_calls
+      done;
+      for i = 0 to Core.Cluster.n_nodes cl - 1 do
+        let k = Core.Cluster.kernel cl i in
+        Printf.printf
+          "node %d queue: depth %d (peak %d), %d evictions fired, %d armed\n" i
+          (Ert.Kernel.ready_depth k)
+          (Ert.Kernel.peak_ready_depth k)
+          (Ert.Kernel.evictions k)
+          (Ert.Kernel.evictions_armed k)
       done;
       for i = 0 to Core.Cluster.n_nodes cl - 1 do
         let c = Core.Cluster.node_counters cl i in
@@ -264,6 +278,15 @@ let trace_out_t =
                  about:tracing or Perfetto; timestamps are virtual \
                  microseconds).")
 
+let evict_hot_t =
+  Arg.(value & opt (some int) None
+       & info [ "evict-hot" ] ~docv:"N"
+           ~doc:"Install the hot-spot load balancer: every 400 virtual us, \
+                 when the deepest run queue exceeds the shallowest by at \
+                 least $(docv), force-evict the lowest-id runnable segment \
+                 from the hot node to the cool one (trapped at its next \
+                 bus stop, no cooperative polling).")
+
 let seed_t =
   Arg.(value & opt (some int) None
        & info [ "seed" ] ~docv:"N"
@@ -287,6 +310,6 @@ let cmd =
     Term.(
       const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
       $ codec_t $ shards_t $ trace_t $ stats_t $ profile_t $ trace_out_t
-      $ seed_t $ faults_t $ check_invariants_t)
+      $ evict_hot_t $ seed_t $ faults_t $ check_invariants_t)
 
 let () = exit (Cmd.eval cmd)

@@ -201,6 +201,17 @@ type t = {
   seen : (int * int, unit) Hashtbl.t array;  (* (src, seq) delivered, per receiver *)
   chaos : (float * chaos_act) list array;  (* per-node schedule, sorted by time *)
   quantum : int option;  (* kept to configure replacement kernels on restart *)
+  async_migration : bool;
+      (* overlap migration capture with execution-to-the-stop: refund the
+         smaller of the quiesce and capture costs against the source
+         clock (DESIGN.md §13); off by default, preserving byte-identical
+         timing with earlier versions *)
+  (* --- periodic load balancing at fixed virtual times; fires between
+     events (sequentially) or between windows (sharded), so the schedule
+     is independent of the shard count --- *)
+  mutable balancer : (unit -> unit) option;
+  mutable balance_every : float;
+  mutable balance_at : float;
   mutable last_prog : Emc.Compile.program option;
   inv_last_times : float array;  (* monotonicity state for check_invariants *)
   (* --- span tracing (DESIGN.md §12); all off and alloc-free until
@@ -285,9 +296,22 @@ let ensure_step t i =
       Engine.schedule (eng t i) ~at:(K.time_us n.n_kernel) (Engine.Step i)
   end
 
+(* (re)queue a wake at the node's earliest timed-wait deadline; the
+   engine dedups, and the pop handler revalidates against the kernel, so
+   a stale or superseded entry costs one no-op pop.  Timed waits are a
+   Heap-scheduler feature, like fault plans. *)
+let ensure_wake t i =
+  if t.sched = Heap then begin
+    let n = t.nodes.(i) in
+    if not n.n_crashed then
+      match K.next_timeout n.n_kernel with
+      | Some d -> Engine.schedule (eng t i) ~at:d (Engine.Wake i)
+      | None -> ()
+  end
+
 let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
     ?(scheduler = Heap) ?(shards = 1) ?quantum ?gc_threshold
-    ?(faults = Fault.Plan.empty) ~archs () =
+    ?(faults = Fault.Plan.empty) ?(async_migration = false) ~archs () =
   let n = List.length archs in
   let reliable = not (Fault.Plan.is_trivial faults) in
   if reliable && scheduler <> Heap then
@@ -350,7 +374,10 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       outstanding = Array.init n (fun _ -> Hashtbl.create 8);
       seen = Array.init n (fun _ -> Hashtbl.create 64);
       chaos = Array.make n [];
-      quantum; last_prog = None;
+      quantum;
+      async_migration;
+      balancer = None; balance_every = infinity; balance_at = infinity;
+      last_prog = None;
       inv_last_times = Array.make n 0.0;
       spans_on = false;
       span_seq = Array.make n 0;
@@ -608,7 +635,7 @@ let crash_node t i =
       List.filter_map
         (fun (s : T.segment) ->
           match s.T.seg_status with
-          | T.Ready _ | T.Running | T.Blocked_monitor _ -> Some s.T.seg_thread
+          | T.Parked _ | T.Running | T.Blocked_monitor _ -> Some s.T.seg_thread
           | T.Awaiting_reply _ | T.Dead -> None)
         (K.segments victim.n_kernel)
       |> List.sort_uniq compare
@@ -953,6 +980,25 @@ let start_search t ~asker obj msg =
             { Mobility.Move.snd_dest = i; snd_msg = Mobility.Marshal.M_locate { obj } })
         probes)
 
+(* Asynchronous migration (DESIGN.md §13): the capture/translate/marshal
+   pipeline runs on a background mover engine, so the source's other
+   threads keep the CPU while the payload is prepared.  The pipeline cost
+   is still charged synchronously — the payload's wire timestamp, and
+   hence its arrival, is identical to the synchronous path — and then
+   refunded against the source clock, rolling it back to the instant the
+   capture began.  The "overlap" span records the refunded interval. *)
+let credit_overlap t ~src ~dest ~d_pipeline ~t_end =
+  if t.async_migration then begin
+    let credit = d_pipeline in
+    if credit > 0.0 then begin
+      K.credit_us t.nodes.(src).n_kernel credit;
+      if t.spans_on then
+        emit_span t ~node:src
+          ~pair:(arch_pair t ~src ~dst:dest)
+          ~name:"overlap" ~t0:(t_end -. credit) ~t1:t_end ()
+    end
+  end
+
 (* under preemptive scheduling, segments may sit between bus stops; run
    them forward to well-defined states before any migration capture *)
 let rec quiesce_node t i =
@@ -979,7 +1025,39 @@ and handle_outcall t ~src (oc : K.outcall) =
              dest = dest_node });
       if t.spans_on then t.move_t0.(src) <- K.time_us k;
       quiesce_node t src;
-      Mobility.Move.initiate ~k ~mover:seg ~obj_addr ~dest:dest_node
+      let tq1 = K.time_us k in
+      let sends = Mobility.Move.initiate ~k ~mover:seg ~obj_addr ~dest:dest_node in
+      (* the pipeline's virtual cost (protocol, translate, conversion) is
+         charged by [send_message]: dispatch here so the overlap credit
+         sees the whole capture-to-wire interval *)
+      List.iter (send_message t ~src) sends;
+      let t_cap1 = K.time_us k in
+      credit_overlap t ~src ~dest:dest_node ~d_pipeline:(t_cap1 -. tq1)
+        ~t_end:t_cap1;
+      []
+    | K.Oc_evict { seg; dest_node; armed_us } ->
+      emit t ~node:src
+        (E.Ev_evict
+           { time = K.time_us k; node = src; seg_id = seg.T.seg_id;
+             dest = dest_node });
+      let t_fire = K.time_us k in
+      if t.spans_on then t.move_t0.(src) <- t_fire;
+      quiesce_node t src;
+      let tq1 = K.time_us k in
+      let sends = Mobility.Move.initiate_evict ~k ~seg ~dest:dest_node in
+      List.iter (send_message t ~src) sends;
+      let t_cap1 = K.time_us k in
+      (* the eviction span covers trap-arm to wire-out (the victim may
+         have run to its bus stop in between); its children
+         (capture/translate/marshal/transfer…) hang off the move root
+         opened by [send_message] *)
+      if t.spans_on then
+        emit_span t ~node:src
+          ~pair:(arch_pair t ~src ~dst:dest_node)
+          ~name:"evict" ~t0:(Float.min armed_us t_cap1) ~t1:t_cap1 ();
+      credit_overlap t ~src ~dest:dest_node ~d_pipeline:(t_cap1 -. tq1)
+        ~t_end:t_cap1;
+      []
     | K.Oc_return { link; value; thread } ->
       if link.T.ln_node = src then begin
         (* same-node segment chain: deliver directly *)
@@ -1324,6 +1402,13 @@ let reseed t =
         Engine.schedule (eng t i) ~at:(K.time_us n.n_kernel) (Engine.Step i);
         any := true
       end;
+      (* a node whose segments all sit in timed waits has no ready work,
+         so only its wake keeps the simulation from quiescing early *)
+      (match K.next_timeout n.n_kernel with
+      | Some d when not n.n_crashed ->
+        Engine.schedule (eng t i) ~at:d (Engine.Wake i);
+        any := true
+      | _ -> ());
       match Enet.Netsim.next_arrival_at t.net ~dst:i with
       | Some a ->
         Engine.schedule (eng t i)
@@ -1385,15 +1470,17 @@ let pick_engine t =
     match !best with None -> None | Some (tm, _, e) -> Some (tm, e)
   end
 
-let rec step_once_heap t =
+let rec step_once_heap t ~horizon =
   match pick_engine t with
-  | None -> if reseed t then step_once_heap t else false
+  | None -> if reseed t then step_once_heap t ~horizon else false
+  | Some (tm, _) when tm >= horizon ->
+    false (* a pending load-balancing point gates further execution *)
   | Some (_, e) ->
   match Engine.take e with
-  | None -> if reseed t then step_once_heap t else false
+  | None -> if reseed t then step_once_heap t ~horizon else false
   | Some (Engine.Timer i) ->
     let tbl = t.outstanding.(i) in
-    if t.nodes.(i).n_crashed || Hashtbl.length tbl = 0 then step_once_heap t
+    if t.nodes.(i).n_crashed || Hashtbl.length tbl = 0 then step_once_heap t ~horizon
     else begin
       let now = Engine.now e in
       let due, later =
@@ -1405,7 +1492,7 @@ let rec step_once_heap t =
       match due with
       | [] ->
         if later < infinity then Engine.reschedule e ~at:later (Engine.Timer i);
-        step_once_heap t
+        step_once_heap t ~horizon
       | due ->
         t.events <- t.events + 1;
         (* hashtable fold order is unspecified; sequence numbers restore
@@ -1418,7 +1505,7 @@ let rec step_once_heap t =
     end
   | Some (Engine.Chaos i) -> (
     match t.chaos.(i) with
-    | [] -> step_once_heap t
+    | [] -> step_once_heap t ~horizon
     | (_, act) :: rest ->
       t.chaos.(i) <- rest;
       t.events <- t.events + 1;
@@ -1432,7 +1519,7 @@ let rec step_once_heap t =
       true)
   | Some (Engine.Gc i) ->
     let n = t.nodes.(i) in
-    if n.n_crashed || not (over_gc_threshold t i) then step_once_heap t
+    if n.n_crashed || not (over_gc_threshold t i) then step_once_heap t ~horizon
     else begin
       do_collect t i;
       ensure_step t i;
@@ -1440,13 +1527,13 @@ let rec step_once_heap t =
     end
   | Some (Engine.Step i) ->
     let n = t.nodes.(i) in
-    if n.n_crashed || not (K.has_ready n.n_kernel) then step_once_heap t
+    if n.n_crashed || not (K.has_ready n.n_kernel) then step_once_heap t ~horizon
     else begin
       let tm = Engine.now e in
       let now = n.n_clock.Sim.Clock.now in
       if now > tm then begin
         Engine.reschedule e ~at:now (Engine.Step i);
-        step_once_heap t
+        step_once_heap t ~horizon
       end
       else begin
         exec_step t i ~time:tm;
@@ -1456,19 +1543,46 @@ let rec step_once_heap t =
         if over_gc_threshold t i then Engine.schedule e ~at (Engine.Gc i);
         if (not n.n_crashed) && K.has_ready n.n_kernel then
           Engine.schedule e ~at (Engine.Step i);
+        ensure_wake t i;
         true
       end
+    end
+  | Some (Engine.Wake i) ->
+    (* revalidate against the kernel, exactly as Step does against the
+       clock: the deadline may have been consumed (signalled, migrated
+       away) or superseded by an earlier one since this entry was queued *)
+    let n = t.nodes.(i) in
+    if n.n_crashed then step_once_heap t ~horizon
+    else begin
+      let k = n.n_kernel in
+      match K.next_timeout k with
+      | None -> step_once_heap t ~horizon
+      | Some d ->
+        let tm = Engine.now e in
+        let eff = Float.max d n.n_clock.Sim.Clock.now in
+        if eff > tm then begin
+          Engine.reschedule e ~at:eff (Engine.Wake i);
+          step_once_heap t ~horizon
+        end
+        else begin
+          count_event t i;
+          K.set_time_us k tm;
+          ignore (K.expire_timeouts k ~now:tm : int);
+          ensure_wake t i;
+          ensure_step t i;
+          true
+        end
     end
   | Some (Engine.Deliver i) ->
     let n = t.nodes.(i) in
     (match Enet.Netsim.next_arrival_at t.net ~dst:i with
-    | None -> step_once_heap t
+    | None -> step_once_heap t ~horizon
     | Some arrival ->
       let tm = Engine.now e in
       let eff = Float.max arrival n.n_clock.Sim.Clock.now in
       if eff > tm then begin
         Engine.reschedule e ~at:eff (Engine.Deliver i);
-        step_once_heap t
+        step_once_heap t ~horizon
       end
       else begin
         exec_deliver t i eff;
@@ -1479,12 +1593,38 @@ let rec step_once_heap t =
             (Engine.Deliver i)
         | None -> ());
         ensure_step t i;
+        ensure_wake t i;
         true
       end)
 
-let step_once t =
+(* Fire the installed balancer and advance its schedule.  Balancing
+   points partition virtual time identically under any shard count: an
+   event executes before the balancer iff its (revalidated) time is
+   below [balance_at] — [step_once_heap]'s horizon sequentially, the
+   window horizon clamp in parallel. *)
+let fire_balancer t =
+  (match t.balancer with Some f -> f () | None -> ());
+  t.balance_at <- t.balance_at +. t.balance_every
+
+let set_balancer t ~every_us f =
+  if every_us <= 0.0 then invalid_arg "Cluster.set_balancer: need a positive period";
+  t.balancer <- Some f;
+  t.balance_every <- every_us;
+  t.balance_at <- every_us
+
+let rec step_once t =
   match t.sched with
-  | Heap -> step_once_heap t
+  | Heap ->
+    if step_once_heap t ~horizon:t.balance_at then true
+    else if t.balancer <> None && pick_engine t <> None then begin
+      (* not quiescent — execution is gated at a pending balancing
+         point.  Fire it here so [false] means quiescent for every
+         caller, including external drivers stepping the cluster
+         themselves (the fuzz harness, interactive tools). *)
+      fire_balancer t;
+      step_once t
+    end
+    else false
   | Scan -> step_once_scan t
 
 (* ----------------------------------------------------------------------- *)
@@ -1546,8 +1686,27 @@ let win_run_shard t s ~horizon =
             let at = n.n_clock.Sim.Clock.now in
             if over_gc_threshold t i then Engine.schedule e ~at (Engine.Gc i);
             if (not n.n_crashed) && K.has_ready n.n_kernel then
-              Engine.schedule e ~at (Engine.Step i)
+              Engine.schedule e ~at (Engine.Step i);
+            ensure_wake t i
           end
+        end
+      | Some (Engine.Wake i) ->
+        (* node-local, so safe inside a window; mirrors the sequential
+           loop's revalidation exactly *)
+        let n = t.nodes.(i) in
+        if not n.n_crashed then begin
+          match K.next_timeout n.n_kernel with
+          | None -> ()
+          | Some d ->
+            let eff = Float.max d n.n_clock.Sim.Clock.now in
+            if eff > tm then Engine.reschedule e ~at:eff (Engine.Wake i)
+            else begin
+              count_event t i;
+              K.set_time_us n.n_kernel tm;
+              ignore (K.expire_timeouts n.n_kernel ~now:tm : int);
+              ensure_wake t i;
+              ensure_step t i
+            end
         end
       | Some (Engine.Deliver i) -> (
         let n = t.nodes.(i) in
@@ -1564,7 +1723,8 @@ let win_run_shard t s ~horizon =
                 ~at:(Float.max a (K.time_us n.n_kernel))
                 (Engine.Deliver i)
             | None -> ());
-            ensure_step t i
+            ensure_step t i;
+            ensure_wake t i
           end))
   done
 
@@ -1644,8 +1804,12 @@ let run_parallel t ~max_events =
   while !running do
     match pick_engine t with
     | None -> if not (reseed t) then running := false
+    | Some (w0, _) when w0 >= t.balance_at ->
+      (* everything earlier than the balancing point has executed; fire
+         between windows, where no shard is running *)
+      fire_balancer t
     | Some (w0, _) ->
-      let horizon = w0 +. t.lookahead in
+      let horizon = Float.min (w0 +. t.lookahead) t.balance_at in
       t.win_buffering <- E.has_subscribers t.bus || t.trace <> None;
       Array.iteri
         (fun s sh ->
@@ -1680,9 +1844,14 @@ let run ?(max_events = 2_000_000) t =
   if parallel_ok t then run_parallel t ~max_events
   else begin
     let budget = ref max_events in
-    while step_once t do
-      decr budget;
-      if !budget <= 0 then failwith "Cluster.run: event budget exceeded (livelock?)"
+    let running = ref true in
+    while !running do
+      if step_once t then begin
+        decr budget;
+        if !budget <= 0 then
+          failwith "Cluster.run: event budget exceeded (livelock?)"
+      end
+      else running := false
     done
   end
 
@@ -1695,6 +1864,17 @@ let checkpoint_thread t ~node tid =
 
 let restore_thread t ~node image =
   Mobility.Checkpoint.restore t.nodes.(node).n_kernel image;
+  ensure_step t node;
+  ensure_wake t node
+
+(* Forced eviction from outside the kernel (load balancers, tests): arm
+   the trap; when the segment is already capturable the trap fires here
+   and its outcalls route through the normal move machinery, otherwise
+   the kernel captures it at the segment's next bus stop during a later
+   scheduling slice. *)
+let evict_thread t ~node ~seg_id ~dest =
+  let outs = K.evict_thread t.nodes.(node).n_kernel ~seg_id ~dest_node:dest in
+  List.iter (handle_outcall t ~src:node) outs;
   ensure_step t node
 
 let find_root_done t tid =

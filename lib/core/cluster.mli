@@ -38,6 +38,7 @@ val create :
   ?quantum:int ->
   ?gc_threshold:int ->
   ?faults:Fault.Plan.t ->
+  ?async_migration:bool ->
   archs:Isa.Arch.t list ->
   unit ->
   t
@@ -67,7 +68,16 @@ val create :
     retry budget is spent — and schedules the plan's partitions and
     crash/restart windows.  A trivial plan changes nothing: the event
     sequence is bit-identical to a cluster built without one.
-    Non-trivial plans require the {!Heap} scheduler. *)
+    Non-trivial plans require the {!Heap} scheduler.
+
+    [async_migration] hands the capture/translate/marshal pipeline of a
+    migration to a background mover engine (DESIGN.md §13): the pipeline
+    cost is charged so the payload's wire timestamp — and hence its
+    arrival — matches the synchronous path exactly, then refunded
+    against the source clock, so the source's other threads resume from
+    the instant the capture began and the asynchronous run never
+    finishes later than the synchronous one.  Default [false], which
+    keeps timings bit-identical to earlier versions. *)
 
 val protocol : t -> protocol
 val scheduler : t -> scheduler
@@ -133,7 +143,10 @@ val where_is : t -> Ert.Oid.t -> int option
 val spawn : t -> node:int -> target:Ert.Oid.t -> op:string -> args:Ert.Value.t list -> Ert.Thread.tid
 
 val step_once : t -> bool
-(** Process the next event; [false] when the cluster is quiescent. *)
+(** Process the next event; [false] when the cluster is quiescent.
+    Pending balancing points ({!set_balancer}) are fired internally, so
+    external drivers stepping the cluster themselves need no balancer
+    plumbing of their own. *)
 
 val run : ?max_events:int -> t -> unit
 (** Run to quiescence.  @raise Failure if [max_events] is exceeded. *)
@@ -154,6 +167,25 @@ val restore_thread : t -> node:int -> string -> unit
 (** Rebuild a checkpointed thread as native stacks on [node] — any
     architecture — and reschedule it.  The thread's objects must reside
     there. *)
+
+val evict_thread : t -> node:int -> seg_id:int -> dest:int -> unit
+(** Forcibly evict a running segment (DESIGN.md §13): arms
+    {!Ert.Kernel.evict_thread}'s trap on [node].  If the segment is
+    already capturable (parked at a bus stop, blocked on a monitor, or
+    awaiting a reply) it is shipped to [dest] immediately; otherwise the
+    kernel pins polling on for it and the trap fires at its next bus
+    stop — no cooperative [move] in the program is needed.  The shipped
+    closure is the object the segment is executing inside, so monitor
+    queues and split stacks travel exactly as for a programmed move.
+    Unknown, dead, or non-resident segments are ignored. *)
+
+val set_balancer : t -> every_us:float -> (unit -> unit) -> unit
+(** Install a load-balancing hook that fires every [every_us] of virtual
+    time, between events — and, in sharded runs, between windows — so
+    its firing points partition the event sequence identically at any
+    shard count.  The hook typically inspects per-node load
+    ({!Ert.Kernel.ready_depth}, {!Obs.Profile} data) and calls
+    {!evict_thread}.  Heap scheduler only. *)
 
 val crash_node : t -> int -> unit
 (** Fail-stop the node: its objects, code and thread segments are lost;

@@ -1,36 +1,40 @@
 type event =
   | Step of int
   | Deliver of int
+  | Wake of int
   | Gc of int
   | Timer of int
   | Chaos of int
 
 (* Priority encoding.  Simultaneous events are ordered node-major: the
    lower node index wins, and within one node the kinds order as
-   Chaos < Gc < Deliver < Step < Timer — a scheduled crash or restart
-   takes effect before anything else at its instant, an automatic
+   Chaos < Gc < Deliver < Wake < Step < Timer — a scheduled crash or
+   restart takes effect before anything else at its instant, an automatic
    collection runs inline before the node does other work, a message
-   delivery beats a scheduling step, and retransmission deadlines fire
-   after regular work.  The node-major order is what makes the rank a
+   delivery beats a scheduling step, a wait-timeout expiry (Wake) makes
+   its waiter ready before the instant's scheduling step runs, and
+   retransmission deadlines fire after regular work.  The node-major order is what makes the rank a
    *placement-independent* total order: partitioning the nodes into
    contiguous shards and merging the shards' streams by (time, rank)
    reproduces exactly the one-heap order, because rank already sorts by
    node first.  (The insertion sequence number inside the heap breaks
    any remaining tie FIFO, so a single heap is deterministic too.) *)
-let n_kinds = 5
+let n_kinds = 6
 
 let rank = function
   | Chaos i -> i * n_kinds
   | Gc i -> (i * n_kinds) + 1
   | Deliver i -> (i * n_kinds) + 2
-  | Step i -> (i * n_kinds) + 3
-  | Timer i -> (i * n_kinds) + 4
+  | Wake i -> (i * n_kinds) + 3
+  | Step i -> (i * n_kinds) + 4
+  | Timer i -> (i * n_kinds) + 5
 
 type t = {
   pq : event Sim.Pqueue.t;
   clock : Sim.Clock.t;  (* frontier: time of the last event popped *)
   step_queued : bool array;
   deliver_queued : bool array;
+  wake_queued : bool array;
   gc_queued : bool array;
   timer_queued : bool array;
   chaos_queued : bool array;
@@ -45,6 +49,7 @@ let create ~n_nodes () =
     clock = Sim.Clock.create ();
     step_queued = Array.make n_nodes false;
     deliver_queued = Array.make n_nodes false;
+    wake_queued = Array.make n_nodes false;
     gc_queued = Array.make n_nodes false;
     timer_queued = Array.make n_nodes false;
     chaos_queued = Array.make n_nodes false;
@@ -58,6 +63,7 @@ let now t = Sim.Clock.now t.clock
 let flag t = function
   | Step i -> t.step_queued.(i)
   | Deliver i -> t.deliver_queued.(i)
+  | Wake i -> t.wake_queued.(i)
   | Gc i -> t.gc_queued.(i)
   | Timer i -> t.timer_queued.(i)
   | Chaos i -> t.chaos_queued.(i)
@@ -65,6 +71,7 @@ let flag t = function
 let set_flag t v = function
   | Step i -> t.step_queued.(i) <- v
   | Deliver i -> t.deliver_queued.(i) <- v
+  | Wake i -> t.wake_queued.(i) <- v
   | Gc i -> t.gc_queued.(i) <- v
   | Timer i -> t.timer_queued.(i) <- v
   | Chaos i -> t.chaos_queued.(i) <- v

@@ -6,7 +6,8 @@
     scan with an O(log pending) heap while reproducing the scan's event
     order, with one deliberate strengthening: simultaneous events have a
     *total* order (time, then node-major {!rank} — per node the kinds
-    order Chaos < Gc < Deliver < Step < Timer — then insertion sequence),
+    order Chaos < Gc < Deliver < Wake < Step < Timer — then insertion
+    sequence),
     so the merged order cannot depend on heap insertion order.  Because
     the rank sorts by node before kind, the order is placement
     independent: merging per-shard heaps of a contiguous node partition
@@ -25,6 +26,10 @@
 type event =
   | Step of int  (** run one kernel scheduling slice on the node *)
   | Deliver of int  (** deliver the node's next arrived message *)
+  | Wake of int
+      (** the node's earliest monitor wait-timeout deadline is due;
+          node-local (no message traffic), hence safe inside
+          Chandy-Misra windows *)
   | Gc of int  (** automatic collection on the node *)
   | Timer of int  (** the node's earliest retransmission deadline is due *)
   | Chaos of int  (** the node's next scheduled crash/restart window opens *)

@@ -12,6 +12,7 @@ type t =
   | Ev_msg_lost of { src : int; dst : int; desc : string }
   | Ev_msg_drop of { node : int; desc : string }
   | Ev_move_start of { time : float; node : int; obj : Ert.Oid.t; dest : int }
+  | Ev_evict of { time : float; node : int; seg_id : int; dest : int }
   | Ev_move_finish of {
       time : float;
       node : int;
@@ -59,6 +60,10 @@ let legacy_string = function
     Some
       (Printf.sprintf "t=%.0fus node %d: move %s to node %d" time node
          (Ert.Oid.to_string obj) dest)
+  | Ev_evict { time; node; seg_id; dest } ->
+    Some
+      (Printf.sprintf "t=%.0fus node %d: evict segment %d to node %d" time node
+         seg_id dest)
   | Ev_gc { time; node; swept; bytes_freed; live = _ } ->
     Some
       (Printf.sprintf "t=%.0fus node %d: gc swept %d block(s), %d bytes" time node
@@ -110,6 +115,7 @@ type counters = {
   mutable c_lost : int;
   mutable c_moves_out : int;
   mutable c_moves_in : int;
+  mutable c_evictions : int;
   mutable c_conv_calls : int;
   mutable c_conv_bytes : int;
   mutable c_collections : int;
@@ -134,6 +140,7 @@ let fresh_counters () =
     c_lost = 0;
     c_moves_out = 0;
     c_moves_in = 0;
+    c_evictions = 0;
     c_conv_calls = 0;
     c_conv_bytes = 0;
     c_collections = 0;
@@ -212,6 +219,7 @@ let count bus ev =
   | Ev_msg_lost { src; _ } -> (c src).c_lost <- (c src).c_lost + 1
   | Ev_msg_drop { node; _ } -> (c node).c_lost <- (c node).c_lost + 1
   | Ev_move_start { node; _ } -> (c node).c_moves_out <- (c node).c_moves_out + 1
+  | Ev_evict { node; _ } -> (c node).c_evictions <- (c node).c_evictions + 1
   | Ev_move_finish { node; _ } -> (c node).c_moves_in <- (c node).c_moves_in + 1
   | Ev_conversion { node; calls; bytes } ->
     (c node).c_conv_calls <- (c node).c_conv_calls + calls;

@@ -25,6 +25,9 @@ type t =
   | Ev_msg_drop of { node : int; desc : string }
       (** drained at a dead interface after transit *)
   | Ev_move_start of { time : float; node : int; obj : Ert.Oid.t; dest : int }
+  | Ev_evict of { time : float; node : int; seg_id : int; dest : int }
+      (** a forced-eviction trap fired: the named segment was captured at
+          its next bus stop and is being shipped to [dest] *)
   | Ev_move_finish of {
       time : float;
       node : int;  (** the destination *)
@@ -75,6 +78,7 @@ type counters = {
   mutable c_lost : int;  (** messages lost at or addressed to this node *)
   mutable c_moves_out : int;  (** migrations initiated here *)
   mutable c_moves_in : int;  (** migrations landed here *)
+  mutable c_evictions : int;  (** forced evictions fired on this node *)
   mutable c_conv_calls : int;
   mutable c_conv_bytes : int;
   mutable c_collections : int;

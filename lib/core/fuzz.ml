@@ -15,6 +15,7 @@ type outcome = {
   f_events : int;
   f_virtual_us : float;
   f_moves : int;
+  f_evictions : int;
   f_faults : int;
   f_retransmits : int;
   f_dups : int;
@@ -161,8 +162,8 @@ let value_string = function
   | None -> "(no value)"
   | Some v -> Format.asprintf "%a" Ert.Value.pp v
 
-let run_seed ?plan ?drop ?(check_every = 1) ?(max_events = 400_000)
-    ?(trace_lines = 120) ?shards ~seed () =
+let run_seed ?plan ?drop ?(evict = false) ?(check_every = 1)
+    ?(max_events = 400_000) ?(trace_lines = 120) ?shards ~seed () =
   let sc = scenario_of_seed seed in
   let plan = match plan with Some p -> P.with_seed p seed | None -> sc.sc_plan in
   let plan = match drop with Some d -> { plan with P.pl_drop = d } | None -> plan in
@@ -172,6 +173,15 @@ let run_seed ?plan ?drop ?(check_every = 1) ?(max_events = 400_000)
      event sequence; [shards] here exercises the sharded structures
      under fault plans, not parallel execution *)
   let cl = Cluster.create ~faults:plan ?shards ~archs () in
+  (* forced-eviction mode: the hot-spot balancer fires against the
+     fault plan, so eviction captures race message loss, partitions and
+     crash windows — same determinism obligations as any other event.
+     Threshold 2 is the liveness floor (see {!Workloads.hot_spot_balancer});
+     the extra peer threads spawned below create the depth imbalance
+     that makes the balancer fire at all. *)
+  if evict then
+    Cluster.set_balancer cl ~every_us:400.0
+      (Workloads.hot_spot_balancer ~threshold:2 cl);
   let trace = Queue.create () in
   Cluster.subscribe_events cl (fun ev ->
       Queue.push (Events.to_string ev) trace;
@@ -181,6 +191,17 @@ let run_seed ?plan ?drop ?(check_every = 1) ?(max_events = 400_000)
   let tid =
     Cluster.spawn cl ~node:0 ~target ~op:sc.sc_op ~args:sc.sc_args
   in
+  (* pile two more copies of the workload onto node 0: the home queue
+     starts three deep against empty peers, so forced evictions fire
+     from the first balancing point while the root thread races the
+     fault plan.  Only the root thread's outcome is adjudicated. *)
+  if evict then
+    for _ = 1 to 2 do
+      let peer = Cluster.create_object cl ~node:0 ~class_name:sc.sc_class in
+      ignore
+        (Cluster.spawn cl ~node:0 ~target:peer ~op:sc.sc_op ~args:sc.sc_args
+          : Ert.Thread.tid)
+    done;
   let rec drive budget since_check =
     match Cluster.result cl tid with
     | Some r -> Completed (value_string r)
@@ -208,6 +229,12 @@ let run_seed ?plan ?drop ?(check_every = 1) ?(max_events = 400_000)
     f_events = Cluster.events_processed cl;
     f_virtual_us = Cluster.global_time_us cl;
     f_moves = Cluster.total_counter cl (fun c -> c.Events.c_moves_in);
+    f_evictions =
+      (let acc = ref 0 in
+       for i = 0 to sc.sc_n_nodes - 1 do
+         acc := !acc + Ert.Kernel.evictions (Cluster.kernel cl i)
+       done;
+       !acc);
     f_faults = Cluster.total_counter cl (fun c -> c.Events.c_faults);
     f_retransmits = Cluster.total_counter cl (fun c -> c.Events.c_retransmits);
     f_dups = Cluster.total_counter cl (fun c -> c.Events.c_dups_suppressed);
@@ -234,9 +261,11 @@ let shrink_candidates (p : P.t) =
         p.P.pl_chaos;
     ]
 
-let shrink ?drop ?check_every ?max_events ?shards ~seed plan =
+let shrink ?drop ?evict ?check_every ?max_events ?shards ~seed plan =
   let still_fails p =
-    not (run_seed ~plan:p ?drop ?check_every ?max_events ?shards ~seed ()).f_ok
+    not
+      (run_seed ~plan:p ?drop ?evict ?check_every ?max_events ?shards ~seed ())
+        .f_ok
   in
   let rec go p =
     match List.find_opt still_fails (shrink_candidates p) with
@@ -245,11 +274,12 @@ let shrink ?drop ?check_every ?max_events ?shards ~seed plan =
   in
   go plan
 
-let sweep ?drop ?check_every ?max_events ?shards ?(on_outcome = ignore) ~seeds () =
+let sweep ?drop ?evict ?check_every ?max_events ?shards ?(on_outcome = ignore)
+    ~seeds () =
   let rec go = function
     | [] -> None
     | seed :: rest ->
-      let o = run_seed ?drop ?check_every ?max_events ?shards ~seed () in
+      let o = run_seed ?drop ?evict ?check_every ?max_events ?shards ~seed () in
       on_outcome o;
       if o.f_ok then go rest else Some o
   in

@@ -30,6 +30,7 @@ type outcome = {
   f_events : int;
   f_virtual_us : float;
   f_moves : int;  (** migrations landed *)
+  f_evictions : int;  (** forced-eviction traps fired (0 without [evict]) *)
   f_faults : int;  (** wire faults injected *)
   f_retransmits : int;
   f_dups : int;  (** duplicates suppressed *)
@@ -43,6 +44,7 @@ val plan_of_seed : rng:Fault.Rng.t -> n_nodes:int -> Fault.Plan.t
 val run_seed :
   ?plan:Fault.Plan.t ->
   ?drop:float ->
+  ?evict:bool ->
   ?check_every:int ->
   ?max_events:int ->
   ?trace_lines:int ->
@@ -52,7 +54,9 @@ val run_seed :
   outcome
 (** Run one scenario.  [plan] overrides the seed-derived fault plan
     (used by {!shrink}); [drop] overrides just the loss probability
-    (the sweep-at-30%-loss configuration); [check_every] runs the
+    (the sweep-at-30%-loss configuration); [evict] installs the
+    {!Workloads.hot_spot_balancer}, so forced-eviction captures race the
+    fault plan (default false); [check_every] runs the
     invariant checkers every that-many events (default 1);
     [trace_lines] bounds the kept trace tail (default 120).
 
@@ -62,13 +66,14 @@ val run_seed :
     asserted by the regression tests. *)
 
 val shrink :
-  ?drop:float -> ?check_every:int -> ?max_events:int -> ?shards:int ->
-  seed:int -> Fault.Plan.t -> Fault.Plan.t
+  ?drop:float -> ?evict:bool -> ?check_every:int -> ?max_events:int ->
+  ?shards:int -> seed:int -> Fault.Plan.t -> Fault.Plan.t
 (** Greedily remove plan components while the seed still fails;
     returns the smallest still-failing plan found. *)
 
 val sweep :
   ?drop:float ->
+  ?evict:bool ->
   ?check_every:int ->
   ?max_events:int ->
   ?shards:int ->

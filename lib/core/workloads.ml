@@ -342,3 +342,130 @@ let measure_scaling ?(scheduler = Cluster.Heap) ?(quantum = 20) ?faults
     sc_windows = Events.windows (Cluster.bus cl);
     sc_mean_horizon_us = Events.mean_horizon_us (Cluster.bus cl);
   }
+
+(* The eviction workload: [workers] compute-bound threads all spawned on
+   node 0 of an otherwise idle homogeneous cluster.  The program never
+   moves itself and never polls cooperatively — only forced eviction
+   ([Cluster.evict_thread], armed by the balancer below) can spread the
+   load.  Each worker's digest carries the node it finished on, so the
+   result proves where the balancer actually put things. *)
+let hotspot_src =
+  {|
+object Worker
+  operation work[rounds : int, spins : int] -> [r : int]
+    var i : int <- 0
+    var j : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= rounds
+      i <- i + 1
+      j <- 0
+      loop
+        exit when j >= spins
+        j <- j + 1
+        acc <- acc + j - (j / 2) * 2
+      end loop
+    end loop
+    r <- acc * 100 + thisnode
+  end work
+end Worker
+|}
+
+let hot_spot_balancer ?(threshold = 2) cl =
+  let module T = Ert.Thread in
+  let n = Cluster.n_nodes cl in
+  (* hysteresis: the balancer is blind to evictions still in flight (the
+     victim has left the hot node's queue but not yet landed on the cold
+     one), so back-to-back decisions overshoot and the cluster thrashes.
+     One eviction per cooldown window gives each payload time to land
+     before the next reading.  Virtual-time based, so it is deterministic
+     at any shard count. *)
+  let cooldown_us = 25_000.0 in
+  let last_fire = ref neg_infinity in
+  fun () ->
+    let now = Cluster.global_time_us cl in
+    if now -. !last_fire >= cooldown_us then begin
+      let depth i = Ert.Kernel.ready_depth (Cluster.kernel cl i) in
+      let hot = ref 0 and cold = ref 0 in
+      for i = 1 to n - 1 do
+        if depth i > depth !hot then hot := i;
+        if depth i < depth !cold then cold := i
+      done;
+      if !hot <> !cold && depth !hot - depth !cold >= threshold then begin
+        let k = Cluster.kernel cl !hot in
+        (* lowest-id runnable segment: deterministic under any shard count *)
+        let candidates =
+          Ert.Kernel.segments k
+          |> List.filter (fun s ->
+                 s.T.seg_live
+                 &&
+                 match s.T.seg_status with
+                 | T.Parked Isa.Suspend.Run -> true
+                 | _ -> false)
+          |> List.sort (fun a b -> compare a.T.seg_id b.T.seg_id)
+        in
+        match candidates with
+        | s :: _ ->
+          last_fire := now;
+          Cluster.evict_thread cl ~node:!hot ~seg_id:s.T.seg_id ~dest:!cold
+        | [] -> ()
+      end
+    end
+
+type evict_run = {
+  er_result : int;
+  er_virtual_us : float;
+  er_events : int;
+  er_evictions : int;
+  er_peak_depth_home : int;
+  er_final_spread : int list;
+  er_trace : string;
+  er_phase_table : string;
+  er_host_seconds : float;
+}
+
+let measure_evict ?(async_migration = false) ?(shards = 1) ?(workers = 6)
+    ?(every_us = 400.0) ?(threshold = 2) ~n_nodes ~rounds ~spins () =
+  let t_start = Unix.gettimeofday () in
+  (* homogeneous cluster: the point is queue depth, not conversion *)
+  let archs = List.init n_nodes (fun _ -> Isa.Arch.sparc) in
+  let cl = Cluster.create ~quantum:40 ~shards ~async_migration ~archs () in
+  let trace = Buffer.create 4096 in
+  Cluster.set_trace cl (fun line ->
+      Buffer.add_string trace line;
+      Buffer.add_char trace '\n');
+  let prof = Obs.Profile.create () in
+  Cluster.attach_profile cl prof;
+  ignore (Cluster.compile_and_load cl ~name:"hotspot" hotspot_src);
+  let spawn_worker _ =
+    let w = Cluster.create_object cl ~node:0 ~class_name:"Worker" in
+    Cluster.spawn cl ~node:0 ~target:w ~op:"work"
+      ~args:[ Ert.Value.Vint (Int32.of_int rounds); Ert.Value.Vint (Int32.of_int spins) ]
+  in
+  let tids = List.init workers spawn_worker in
+  Cluster.set_balancer cl ~every_us (hot_spot_balancer ~threshold cl);
+  Cluster.run cl;
+  let digests =
+    List.map
+      (fun tid ->
+        match Cluster.result cl tid with
+        | Some (Some (Ert.Value.Vint v)) -> Int32.to_int v
+        | _ -> failwith "hotspot worker did not return a digest")
+      tids
+  in
+  let spread = List.map (fun d -> d mod 100) digests in
+  let evictions =
+    List.init n_nodes (fun i -> Ert.Kernel.evictions (Cluster.kernel cl i))
+    |> List.fold_left ( + ) 0
+  in
+  {
+    er_result = List.fold_left ( + ) 0 digests;
+    er_virtual_us = Cluster.global_time_us cl;
+    er_events = Cluster.events_processed cl;
+    er_evictions = evictions;
+    er_peak_depth_home = Ert.Kernel.peak_ready_depth (Cluster.kernel cl 0);
+    er_final_spread = spread;
+    er_trace = Buffer.contents trace;
+    er_phase_table = Obs.Profile.table prof;
+    er_host_seconds = Unix.gettimeofday () -. t_start;
+  }

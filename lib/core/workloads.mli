@@ -110,3 +110,55 @@ val measure_scaling :
     [shards > 1] executes windows in parallel.  Results, events and
     virtual time are identical at every shard count; only
     [sc_host_seconds] may differ. *)
+
+val hotspot_src : string
+(** The eviction workload: compute-bound workers that never move or
+    poll on their own; only forced eviction can spread them off their
+    spawn node.  Each worker's result digest encodes the node it
+    finished on. *)
+
+val hot_spot_balancer : ?threshold:int -> Cluster.t -> unit -> unit
+(** A deterministic hot-spot load balancer for {!Cluster.set_balancer}:
+    each firing compares per-node run-queue depths
+    ({!Ert.Kernel.ready_depth}) and, when the deepest exceeds the
+    shallowest by at least [threshold] (default 2), arms a forced
+    eviction of the lowest-id runnable segment on the hot node toward
+    the cool one.  At most one eviction fires per 25 ms cooldown window,
+    giving in-flight payloads time to land before the next depth
+    reading.  A function of kernel state and virtual time only, so its
+    decisions are identical at every shard count.
+
+    Thresholds below 2 can live-lock: moving a segment from a depth-1
+    node to an empty one merely swaps the imbalance, so a lone thread
+    ping-pongs forever without ever executing.  With [threshold >= 2]
+    every eviction strictly narrows the depth spread. *)
+
+type evict_run = {
+  er_result : int;  (** sum of worker digests (encodes final placement) *)
+  er_virtual_us : float;
+  er_events : int;
+  er_evictions : int;  (** eviction traps fired, summed over nodes *)
+  er_peak_depth_home : int;  (** run-queue high-water mark on node 0 *)
+  er_final_spread : int list;  (** node each worker finished on *)
+  er_trace : string;  (** full event-bus trace (byte-identity checks) *)
+  er_phase_table : string;  (** {!Obs.Profile} phase table incl. evict/overlap *)
+  er_host_seconds : float;
+}
+
+val measure_evict :
+  ?async_migration:bool ->
+  ?shards:int ->
+  ?workers:int ->
+  ?every_us:float ->
+  ?threshold:int ->
+  n_nodes:int ->
+  rounds:int ->
+  spins:int ->
+  unit ->
+  evict_run
+(** Spawn [workers] hotspot workers on node 0 of an [n_nodes]
+    homogeneous cluster, install {!hot_spot_balancer}, and run to
+    quiescence.  With [async_migration] the capture/translate/marshal
+    pipeline runs on the background mover engine and its cost is
+    refunded against the source clock, so [er_virtual_us] is never
+    larger than the synchronous run's. *)

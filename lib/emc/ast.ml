@@ -71,8 +71,9 @@ and stmt_desc =
   | Sreturn
   | Smove of expr * expr
   | Sprint of expr list
-  | Swait of string
+  | Swait of string * expr option
   | Ssignal of string
+  | Snotifyall of string
 
 type op_decl = {
   op_pos : pos;

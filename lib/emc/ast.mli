@@ -81,11 +81,15 @@ and stmt_desc =
   | Sreturn
   | Smove of expr * expr  (** [move e to n] *)
   | Sprint of expr list
-  | Swait of string  (** [wait c]: block on a monitor condition *)
+  | Swait of string * expr option
+      (** [wait c] / [wait c timeout e]: block on a monitor condition,
+          optionally giving up after [e] virtual microseconds *)
   | Ssignal of string
-      (** [signal c]: move one waiter to the monitor entry queue (Mesa
-          semantics: it re-acquires the monitor after the signaller
-          leaves) *)
+      (** [signal c] / [notify c]: move one waiter to the monitor entry
+          queue (Mesa semantics: it re-acquires the monitor after the
+          signaller leaves) *)
+  | Snotifyall of string
+      (** [notifyall c]: move every waiter to the monitor entry queue *)
 
 type op_decl = {
   op_pos : pos;

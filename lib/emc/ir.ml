@@ -27,6 +27,8 @@ type builtin =
   | Bstart_process
   | Bcond_wait
   | Bcond_signal
+  | Bcond_wait_timed
+  | Bcond_notify_all
 
 type stop_kind =
   | Sk_invoke of {
@@ -223,6 +225,8 @@ let builtin_name = function
   | Bstart_process -> "start_process"
   | Bcond_wait -> "cond_wait"
   | Bcond_signal -> "cond_signal"
+  | Bcond_wait_timed -> "cond_wait_timed"
+  | Bcond_notify_all -> "cond_notify_all"
 
 let defs = function
   | Iconst_int (t, _)

@@ -37,6 +37,9 @@ type token =
   | KCONDITION
   | KWAIT
   | KSIGNAL
+  | KNOTIFY
+  | KNOTIFYALL
+  | KTIMEOUT
   | LARROW
   | RARROW
   | LBRACKET
@@ -95,6 +98,9 @@ let keywords =
     ("condition", KCONDITION);
     ("wait", KWAIT);
     ("signal", KSIGNAL);
+    ("notify", KNOTIFY);
+    ("notifyall", KNOTIFYALL);
+    ("timeout", KTIMEOUT);
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -304,6 +310,9 @@ let token_name = function
   | KCONDITION -> "'condition'"
   | KWAIT -> "'wait'"
   | KSIGNAL -> "'signal'"
+  | KNOTIFY -> "'notify'"
+  | KNOTIFYALL -> "'notifyall'"
+  | KTIMEOUT -> "'timeout'"
   | LARROW -> "'<-'"
   | RARROW -> "'->'"
   | LBRACKET -> "'['"

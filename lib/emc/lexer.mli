@@ -39,6 +39,9 @@ type token =
   | KCONDITION
   | KWAIT
   | KSIGNAL
+  | KNOTIFY
+  | KNOTIFYALL
+  | KTIMEOUT
   | LARROW  (** [<-] *)
   | RARROW  (** [->] *)
   | LBRACKET

@@ -397,15 +397,45 @@ let rec lower_stmt b (s : T.tstmt) =
     close b Ir.Treturn;
     start b (fresh_label b)
   | T.TSmove (obj, node) -> ignore (lower_builtin b Ir.Bmove [ obj; node ] None)
-  | T.TSwait cond ->
+  | T.TSwait (cond, timeout) -> (
+    let tself = fresh_temp b (Ast.Tobj "<self>") in
+    emit b (Ir.Iload_var (tself, 0));
+    let tidx = fresh_temp b Ast.Tint in
+    emit b (Ir.Iconst_int (tidx, Int32.of_int cond));
+    match timeout with
+    | None ->
+      let stop =
+        fresh_stop b
+          (Ir.Sk_builtin { bi = Ir.Bcond_wait; argc = 2; has_result = false })
+      in
+      emit b
+        (Ir.Ibuiltin { dst = None; bi = Ir.Bcond_wait; args = [ tself; tidx ]; stop })
+    | Some te ->
+      let ttimeout = lower_expr b te in
+      let stop =
+        fresh_stop b
+          (Ir.Sk_builtin { bi = Ir.Bcond_wait_timed; argc = 3; has_result = false })
+      in
+      emit b
+        (Ir.Ibuiltin
+           {
+             dst = None;
+             bi = Ir.Bcond_wait_timed;
+             args = [ tself; tidx; ttimeout ];
+             stop;
+           }))
+  | T.TSnotifyall cond ->
     let tself = fresh_temp b (Ast.Tobj "<self>") in
     emit b (Ir.Iload_var (tself, 0));
     let tidx = fresh_temp b Ast.Tint in
     emit b (Ir.Iconst_int (tidx, Int32.of_int cond));
     let stop =
-      fresh_stop b (Ir.Sk_builtin { bi = Ir.Bcond_wait; argc = 2; has_result = false })
+      fresh_stop b
+        (Ir.Sk_builtin { bi = Ir.Bcond_notify_all; argc = 2; has_result = false })
     in
-    emit b (Ir.Ibuiltin { dst = None; bi = Ir.Bcond_wait; args = [ tself; tidx ]; stop })
+    emit b
+      (Ir.Ibuiltin
+         { dst = None; bi = Ir.Bcond_notify_all; args = [ tself; tidx ]; stop })
   | T.TSsignal cond ->
     let tself = fresh_temp b (Ast.Tobj "<self>") in
     emit b (Ir.Iload_var (tself, 0));

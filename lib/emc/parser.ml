@@ -322,11 +322,22 @@ and parse_stmt st =
   | Lexer.KWAIT ->
     advance st;
     let name = expect_ident st in
-    mks p (Ast.Swait name)
-  | Lexer.KSIGNAL ->
+    let timeout =
+      match peek st with
+      | Lexer.KTIMEOUT, _ ->
+        advance st;
+        Some (parse_expr_prec st)
+      | _, _ -> None
+    in
+    mks p (Ast.Swait (name, timeout))
+  | Lexer.KSIGNAL | Lexer.KNOTIFY ->
     advance st;
     let name = expect_ident st in
     mks p (Ast.Ssignal name)
+  | Lexer.KNOTIFYALL ->
+    advance st;
+    let name = expect_ident st in
+    mks p (Ast.Snotifyall name)
   | Lexer.KPRINT ->
     advance st;
     expect st Lexer.LBRACKET;

@@ -34,6 +34,8 @@ val sys_bounds : int
 val sys_start_process : int
 val sys_cond_wait : int
 val sys_cond_signal : int
+val sys_cond_wait_timed : int
+val sys_cond_notify_all : int
 
 val of_builtin : Ir.builtin -> int
 val name : int -> string

@@ -60,8 +60,9 @@ type tstmt =
   | TSreturn
   | TSmove of texpr * texpr
   | TSprint of texpr list
-  | TSwait of int
+  | TSwait of int * texpr option
   | TSsignal of int
+  | TSnotifyall of int
 
 type top = {
   t_sig : method_sig;
@@ -460,7 +461,7 @@ let rec check_stmt env (s : Ast.stmt) : tstmt =
     let tnode = coerce env pos ~target:Ast.Tint (check_expr env node) in
     TSmove (tobj, tnode)
   | Ast.Sprint args -> TSprint (List.map (check_expr env) args)
-  | Ast.Swait name | Ast.Ssignal name -> (
+  | Ast.Swait (name, _) | Ast.Ssignal name | Ast.Snotifyall name -> (
     if not env.in_monitor then
       Diag.error pos "wait/signal may only be used inside monitored operations";
     match
@@ -468,7 +469,14 @@ let rec check_stmt env (s : Ast.stmt) : tstmt =
     with
     | Some i -> (
       match s.Ast.s_desc with
-      | Ast.Swait _ -> TSwait i
+      | Ast.Swait (_, timeout) ->
+        let ttimeout =
+          Option.map
+            (fun e -> coerce env pos ~target:Ast.Tint (check_expr env e))
+            timeout
+        in
+        TSwait (i, ttimeout)
+      | Ast.Snotifyall _ -> TSnotifyall i
       | _ -> TSsignal i)
     | None -> Diag.error pos "object %s has no condition %s" env.cls.ci_name name)
 

@@ -74,8 +74,10 @@ type tstmt =
   | TSreturn
   | TSmove of texpr * texpr
   | TSprint of texpr list
-  | TSwait of int  (** condition index *)
+  | TSwait of int * texpr option
+      (** condition index; optional timeout in virtual microseconds *)
   | TSsignal of int
+  | TSnotifyall of int
 
 type top = {
   t_sig : method_sig;

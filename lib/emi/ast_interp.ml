@@ -10,6 +10,7 @@ type result = {
 type state = {
   prog : T.tprog;
   out : Buffer.t;
+  sched : Coop.t;
   mutable steps : int;
 }
 
@@ -63,7 +64,7 @@ let rec eval st (fr : frame) (e : T.texpr) : V.t =
   | T.TEnil -> V.Nil
   | T.TEself -> V.Obj fr.self
   | T.TEthisnode -> V.Int 0l
-  | T.TEtimenow -> V.Int 0l
+  | T.TEtimenow -> V.Int (Int32.of_float (Coop.now st.sched))
   | T.TEvar (vr, _) -> (
     match vr with
     | T.Vparam i -> fr.params.(i)
@@ -97,9 +98,11 @@ let rec eval st (fr : frame) (e : T.texpr) : V.t =
       let vargs = List.map (eval st fr) args in
       ignore (invoke st obj "initially" vargs)
     end;
-    (* the machine-independent levels are single-threaded: a process
-       section runs to completion at creation *)
-    if ci.T.ci_has_process then ignore (invoke st obj "$process" []);
+    (* the process section is its own cooperative thread; it runs
+       inline until it completes or first waits, so a non-waiting
+       process keeps the legacy run-to-completion-at-creation order *)
+    if ci.T.ci_has_process then
+      Coop.spawn st.sched (fun () -> ignore (invoke st obj "$process" []));
     V.Obj obj
   | T.TEinvoke (target, _, msig, args) -> (
     match eval st fr target with
@@ -193,8 +196,16 @@ and exec st fr (s : T.tstmt) =
        the "painless migration" of section 1 *)
     ignore (eval st fr obj);
     ignore (eval st fr node)
-  | T.TSwait _ -> failwith "wait: the machine-independent levels are single-threaded"
-  | T.TSsignal _ -> () (* nothing can be waiting *)
+  | T.TSwait (cond, timeout) ->
+    let timeout =
+      Option.map (fun e -> Int32.to_float (V.as_int (eval st fr e))) timeout
+    in
+    (* the language cannot observe the timed-out flag directly; a timed
+       wait simply resumes, and the program re-checks its predicate
+       (Mesa discipline) against [timenow] *)
+    ignore (Coop.wait st.sched ~obj:fr.self ~cond ~timeout : bool)
+  | T.TSsignal cond -> Coop.notify st.sched ~obj:fr.self ~cond
+  | T.TSnotifyall cond -> Coop.notify_all st.sched ~obj:fr.self ~cond
   | T.TSprint args ->
     List.iter (fun a -> Buffer.add_string st.out (V.to_print_string (eval st fr a))) args;
     Buffer.add_char st.out '\n'
@@ -225,7 +236,7 @@ and invoke st (obj : V.obj) op_name vargs : V.t option =
   | None -> None
 
 let run prog ~class_name ~op ~args =
-  let st = { prog; out = Buffer.create 64; steps = 0 } in
+  let st = { prog; out = Buffer.create 64; sched = Coop.create (); steps = 0 } in
   let ci =
     match
       Array.find_opt
@@ -237,5 +248,12 @@ let run prog ~class_name ~op ~args =
   in
   let obj = new_object st ci in
   init_fields st (class_of st ci.T.ci_index) obj;
-  let value = invoke st obj op args in
-  { value; output = Buffer.contents st.out; steps = st.steps }
+  (* the root invocation is itself a cooperative thread: it may wait on
+     a condition that a process section notifies *)
+  let value = ref None and finished = ref false in
+  Coop.spawn st.sched (fun () ->
+      value := invoke st obj op args;
+      finished := true);
+  Coop.drain st.sched;
+  if not !finished then failwith "deadlock: the root operation never completed";
+  { value = !value; output = Buffer.contents st.out; steps = st.steps }

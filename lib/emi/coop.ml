@@ -1,0 +1,172 @@
+(* Cooperative threads for the machine-independent interpreters.
+
+   The AST and IR levels used to be strictly single-threaded: process
+   sections ran to completion at creation and [wait] was a runtime
+   error.  This module gives both interpreters the same first-class
+   resumable continuations the native kernel has — built on OCaml
+   effects rather than captured stack segments — so monitor
+   [wait]/[notify]/[notifyall] (with timeouts) behave observably like
+   the kernel's bus-stop implementation, while non-waiting programs
+   execute in exactly the legacy order:
+
+   - [spawn] runs the thread inline under a deep handler; a thread
+     that never waits completes before [spawn] returns, byte-identical
+     to the old run-to-completion behaviour.
+   - [wait] performs an effect; the captured continuation parks on a
+     per-(object, condition) FIFO queue, and control returns to
+     whoever resumed this thread (Mesa semantics: no handoff).
+   - [notify]/[notify_all] move waiters to the ready queue; they run
+     when the current thread next completes or waits ([drain]).
+   - When every thread is parked, the virtual clock jumps to the
+     earliest wait deadline and the due waiters resume with
+     [timed out = true], in (deadline, arrival) order — the same order
+     the kernel's [expire_timeouts] uses. *)
+
+module V = Mvalue
+
+type waiter = {
+  w_seq : int;  (* arrival order: FIFO wake, deterministic expiry ties *)
+  w_deadline : float option;  (* absolute virtual microseconds *)
+  w_k : (bool, unit) Effect.Deep.continuation;
+}
+
+(* per-(object, condition) wait queue; object identity is physical *)
+type cqueue = {
+  q_obj : V.obj;
+  q_cond : int;
+  mutable q_waiters : waiter list;  (* oldest first *)
+}
+
+type t = {
+  mutable queues : cqueue list;
+  ready : (bool * (bool, unit) Effect.Deep.continuation) Queue.t;
+      (* resumable threads; the flag is the wait's timed-out result *)
+  mutable now : float;  (* virtual microseconds, advanced only by expiry *)
+  mutable seq : int;
+  mutable blocked : int;  (* waiters parked across all queues *)
+}
+
+type _ Effect.t +=
+  | Wait : { obj : V.obj; cond : int; timeout : float option } -> bool Effect.t
+
+let create () =
+  { queues = []; ready = Queue.create (); now = 0.0; seq = 0; blocked = 0 }
+
+let now t = t.now
+
+let queue_for t obj cond =
+  match
+    List.find_opt (fun q -> q.q_obj == obj && q.q_cond = cond) t.queues
+  with
+  | Some q -> q
+  | None ->
+    let q = { q_obj = obj; q_cond = cond; q_waiters = [] } in
+    t.queues <- t.queues @ [ q ];
+    q
+
+let wait _t ~obj ~cond ~timeout = Effect.perform (Wait { obj; cond; timeout })
+
+let wake t w ~timed_out =
+  t.blocked <- t.blocked - 1;
+  Queue.add (timed_out, w.w_k) t.ready
+
+let notify t ~obj ~cond =
+  match
+    List.find_opt (fun q -> q.q_obj == obj && q.q_cond = cond) t.queues
+  with
+  | None -> ()
+  | Some q -> (
+    match q.q_waiters with
+    | [] -> ()
+    | w :: rest ->
+      q.q_waiters <- rest;
+      wake t w ~timed_out:false)
+
+let notify_all t ~obj ~cond =
+  match
+    List.find_opt (fun q -> q.q_obj == obj && q.q_cond = cond) t.queues
+  with
+  | None -> ()
+  | Some q ->
+    let ws = q.q_waiters in
+    q.q_waiters <- [];
+    List.iter (fun w -> wake t w ~timed_out:false) ws
+
+let handler t =
+  {
+    Effect.Deep.retc = (fun () -> ());
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Wait { obj; cond; timeout } ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              let q = queue_for t obj cond in
+              t.seq <- t.seq + 1;
+              let deadline =
+                Option.map (fun us -> t.now +. Float.max 0.0 us) timeout
+              in
+              q.q_waiters <-
+                q.q_waiters @ [ { w_seq = t.seq; w_deadline = deadline; w_k = k } ];
+              t.blocked <- t.blocked + 1)
+        | _ -> None);
+  }
+
+let spawn t f = Effect.Deep.match_with f () (handler t)
+
+(* move every waiter whose deadline has passed to the ready queue, in
+   (deadline, arrival) order across all queues *)
+let expire t =
+  let due = ref [] in
+  List.iter
+    (fun q ->
+      let d, rest =
+        List.partition
+          (fun w ->
+            match w.w_deadline with Some d -> d <= t.now | None -> false)
+          q.q_waiters
+      in
+      q.q_waiters <- rest;
+      due := !due @ d)
+    t.queues;
+  let due =
+    List.sort
+      (fun a b ->
+        match Option.compare Float.compare a.w_deadline b.w_deadline with
+        | 0 -> compare a.w_seq b.w_seq
+        | c -> c)
+      !due
+  in
+  List.iter (fun w -> wake t w ~timed_out:true) due
+
+let earliest_deadline t =
+  List.fold_left
+    (fun acc q ->
+      List.fold_left
+        (fun acc w ->
+          match w.w_deadline, acc with
+          | None, _ -> acc
+          | Some d, None -> Some d
+          | Some d, Some e -> Some (Float.min d e))
+        acc q.q_waiters)
+    None t.queues
+
+let rec drain t =
+  match Queue.take_opt t.ready with
+  | Some (timed_out, k) ->
+    Effect.Deep.continue k timed_out;
+    drain t
+  | None -> (
+    match earliest_deadline t with
+    | Some d ->
+      t.now <- Float.max t.now d;
+      expire t;
+      drain t
+    | None ->
+      if t.blocked > 0 then
+        failwith
+          (Printf.sprintf
+             "deadlock: %d thread(s) blocked in wait with no signaller and no \
+              timeout"
+             t.blocked))

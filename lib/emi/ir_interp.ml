@@ -10,6 +10,7 @@ type result = {
 type state = {
   prog : I.program_ir;
   out : Buffer.t;
+  sched : Coop.t;
   mutable steps : int;
 }
 
@@ -145,7 +146,7 @@ let rec call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t opti
       | I.Bprint_nl -> Buffer.add_char st.out '\n'
       | I.Blocate -> set (V.Int 0l)
       | I.Bthisnode -> set (V.Int 0l)
-      | I.Btimenow -> set (V.Int 0l)
+      | I.Btimenow -> set (V.Int (Int32.of_float (Coop.now st.sched)))
       | I.Bmove -> () (* machine-independent level: mobility is trivial *)
       | I.Bsconcat -> set (V.Str (V.as_str (arg 0) ^ V.as_str (arg 1)))
       | I.Bseq -> set (V.Bool (String.equal (V.as_str (arg 0)) (V.as_str (arg 1))))
@@ -154,18 +155,33 @@ let rec call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t opti
         if n < 0 then failwith "negative vector length";
         set (V.Vec (Array.make n V.Nil))
       | I.Bbounds -> failwith "vector index out of bounds"
-      | I.Bcond_wait ->
-        failwith "wait: the machine-independent levels are single-threaded"
-      | I.Bcond_signal -> () (* nothing can be waiting *)
+      | I.Bcond_wait | I.Bcond_wait_timed ->
+        let obj = V.as_obj (arg 0) in
+        let cond = Int32.to_int (V.as_int (arg 1)) in
+        let timeout =
+          match bi with
+          | I.Bcond_wait_timed -> Some (Int32.to_float (V.as_int (arg 2)))
+          | _ -> None
+        in
+        ignore (Coop.wait st.sched ~obj ~cond ~timeout : bool)
+      | I.Bcond_signal ->
+        Coop.notify st.sched ~obj:(V.as_obj (arg 0))
+          ~cond:(Int32.to_int (V.as_int (arg 1)))
+      | I.Bcond_notify_all ->
+        Coop.notify_all st.sched ~obj:(V.as_obj (arg 0))
+          ~cond:(Int32.to_int (V.as_int (arg 1)))
       | I.Bstart_process ->
-        (* single-threaded level: run the process to completion *)
+        (* the process is its own cooperative thread; it runs inline
+           until it completes or first waits *)
         (match arg 0 with
         | V.Obj obj ->
           let cl2 = class_of st obj.V.o_class in
           (match
              Array.find_opt (fun o -> String.equal o.I.oi_name "$process") cl2.I.cl_ops
            with
-          | Some op -> ignore (call st ~self:obj ~op_ir:op ~args:[])
+          | Some op ->
+            Coop.spawn st.sched (fun () ->
+                ignore (call st ~self:obj ~op_ir:op ~args:[]))
           | None -> ())
         | _ -> ()))
     | I.Ivec_get { dst; vec; idx; _ } ->
@@ -186,7 +202,7 @@ let rec call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t opti
   Option.map (fun r -> vars.(r)) op_ir.I.oi_result
 
 let run prog ~class_name ~op ~args =
-  let st = { prog; out = Buffer.create 64; steps = 0 } in
+  let st = { prog; out = Buffer.create 64; sched = Coop.create (); steps = 0 } in
   let cl =
     match
       Array.find_opt (fun c -> String.equal c.I.cl_name class_name) prog.I.pr_classes
@@ -200,5 +216,12 @@ let run prog ~class_name ~op ~args =
     | Some o -> o
     | None -> failwith ("no operation " ^ op)
   in
-  let value = call st ~self:obj ~op_ir ~args in
-  { value; output = Buffer.contents st.out; steps = st.steps }
+  (* the root invocation is itself a cooperative thread: it may wait on
+     a condition that a process section notifies *)
+  let value = ref None and finished = ref false in
+  Coop.spawn st.sched (fun () ->
+      value := call st ~self:obj ~op_ir ~args;
+      finished := true);
+  Coop.drain st.sched;
+  if not !finished then failwith "deadlock: the root operation never completed";
+  { value = !value; output = Buffer.contents st.out; steps = st.steps }

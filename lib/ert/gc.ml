@@ -20,11 +20,14 @@ let rec value_root k v acc =
   | Value.Vvec (_, xs) -> Array.fold_left (fun acc x -> value_root k x acc) acc xs
   | Value.Vint _ | Value.Vreal _ | Value.Vbool _ | Value.Vstr _ | Value.Vnil -> acc
 
-let resume_roots k (rs : T.resume) acc =
-  match rs with
-  | T.Rs_run | T.Rs_complete_dequeue _ -> acc
-  | T.Rs_deliver v -> value_root k v acc
-  | T.Rs_complete_syscall v -> Option.fold ~none:acc ~some:(fun v -> value_root k v acc) v
+let suspension_roots k (s : T.suspension) acc =
+  match s with
+  | Isa.Suspend.Deliver v -> value_root k v acc
+  | Isa.Suspend.Complete v ->
+    Option.fold ~none:acc ~some:(fun v -> value_root k v acc) v
+  | Isa.Suspend.Run | Isa.Suspend.Complete_dequeue _ | Isa.Suspend.Poll
+  | Isa.Suspend.Syscall _ | Isa.Suspend.Bottom_return | Isa.Suspend.Halt
+  | Isa.Suspend.Trap _ | Isa.Suspend.Fuel -> acc
 
 let segment_roots k (seg : T.segment) =
   match seg.T.seg_spawn with
@@ -39,7 +42,7 @@ let segment_roots k (seg : T.segment) =
         frames
     in
     (match seg.T.seg_status with
-    | T.Ready rs -> resume_roots k rs acc
+    | T.Parked s -> suspension_roots k s acc
     | T.Running -> raise (Kernel.Runtime_error "gc: segment is running")
     | T.Blocked_monitor _ | T.Awaiting_reply _ | T.Dead -> acc)
 

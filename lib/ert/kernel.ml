@@ -1,5 +1,6 @@
 module A = Isa.Arch
 module M = Isa.Machine
+module S = Isa.Suspend
 module Mem = Isa.Memory
 module L = Emc.Layout
 
@@ -46,6 +47,16 @@ type outcall =
       target_oid : Oid.t;
       hint_node : int;
     }  (** the object moved away during [initially]; start it over there *)
+  | Oc_evict of {
+      seg : Thread.segment;
+      dest_node : int;
+      armed_us : float;
+    }
+      (** a forced-eviction trap fired: the segment just parked at a bus
+          stop and must be shipped to [dest_node] by the mobility layer.
+          [armed_us] is the virtual time the trap was armed — the window
+          from arming to firing is execution the asynchronous-migration
+          pipeline may overlap with *)
 
 type t = {
   knode_id : int;
@@ -77,6 +88,13 @@ type t = {
   mutable quantum : int option;
       (* preemptive (Trellis/Owl-style) scheduling: slices are bounded by
          an instruction quantum and threads may be left between bus stops *)
+  evict_arms : (int, int * float) Hashtbl.t;
+      (* armed eviction traps: segment id -> (destination node, virtual
+         time the trap was armed).  An armed
+         segment runs with poll_requested pinned true, so it is captured
+         at its next bus stop with no cooperative polling by the code. *)
+  mutable evictions : int;  (* eviction traps fired *)
+  mutable peak_ready : int;  (* high-water mark of the run queue *)
 }
 
 let create ?clock ~node_id ~arch () =
@@ -114,6 +132,9 @@ let create ?clock ~node_id ~arch () =
     on_code_load = None;
     on_root_result = None;
     quantum = None;
+    evict_arms = Hashtbl.create 4;
+    evictions = 0;
+    peak_ready = 0;
   }
 
 let node_id t = t.knode_id
@@ -126,6 +147,14 @@ let time_us t = t.kclock.Sim.Clock.now
 let set_time_us t v = Sim.Clock.advance_to t.kclock v
 let charge_insns t n = Sim.Clock.add t.kclock (float_of_int n /. t.karch.A.mips)
 let charge_us t us = Sim.Clock.add t.kclock us
+
+(* roll virtual time back by [us]: async migration credits the portion of
+   capture/translate/marshal that was overlapped with execution (the work
+   was charged synchronously when the spans ran; the credit removes the
+   double count, never past zero) *)
+let credit_us t us =
+  let clk = t.kclock in
+  clk.Sim.Clock.now <- Float.max 0.0 (clk.Sim.Clock.now -. us)
 
 let charge_cycles t c =
   t.cycles <- t.cycles + c;
@@ -468,9 +497,9 @@ let stop_at_pc t pc =
 
 let at_stop t (seg : Thread.segment) =
   match seg.Thread.seg_status with
-  | Thread.Ready Thread.Rs_run ->
+  | Thread.Parked S.Run ->
     seg.Thread.seg_spawn <> None || stop_at_pc t seg.Thread.seg_ctx.M.pc <> None
-  | Thread.Ready _ | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _
+  | Thread.Parked _ | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _
   | Thread.Dead -> true
 
 let stop_by_id t ~class_index ~stop_id =
@@ -502,7 +531,10 @@ let alloc_stack t =
   let base = Heap.alloc t.kheap stack_size in
   base + stack_size
 
-let enqueue_ready t seg = Queue.add seg t.run_queue
+let enqueue_ready t seg =
+  Queue.add seg t.run_queue;
+  let d = Queue.length t.run_queue in
+  if d > t.peak_ready then t.peak_ready <- d
 
 let register_segment t seg =
   (match Hashtbl.find_opt t.segs seg.Thread.seg_id with
@@ -512,7 +544,7 @@ let register_segment t seg =
   Hashtbl.replace t.segs seg.Thread.seg_id seg;
   Hashtbl.remove t.seg_forwards seg.Thread.seg_id;
   match seg.Thread.seg_status with
-  | Thread.Ready _ -> enqueue_ready t seg
+  | Thread.Parked _ -> enqueue_ready t seg
   | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ | Thread.Dead ->
     ()
 
@@ -521,7 +553,8 @@ let unregister_segment t seg =
   | Some cur -> cur.Thread.seg_live <- false
   | None -> ());
   seg.Thread.seg_live <- false;
-  Hashtbl.remove t.segs seg.Thread.seg_id
+  Hashtbl.remove t.segs seg.Thread.seg_id;
+  Hashtbl.remove t.evict_arms seg.Thread.seg_id
 let set_seg_forward t ~seg_id ~node = Hashtbl.replace t.seg_forwards seg_id node
 let seg_forward t ~seg_id = Hashtbl.find_opt t.seg_forwards seg_id
 
@@ -607,7 +640,7 @@ let spawn_segment t ~target_addr ~class_index ~method_index ~args ~link ~thread 
     }
   in
   spawn_exact t ~spawn ~link ~thread ~seg_id:(fresh_seg_id t)
-    ~status:(Thread.Ready Thread.Rs_run)
+    ~status:(Thread.Parked S.Run)
 
 let spawn_root t ~target_addr ~method_name ~args =
   let class_index = class_of_object t target_addr in
@@ -663,9 +696,9 @@ let deliver_result t seg value =
     let entry = stop_by_id t ~class_index ~stop_id in
     let lc = loaded_class t class_index in
     seg.Thread.seg_ctx.M.pc <- lc.lc_image.Isa.Text.base + entry.Emc.Busstop.be_pc;
-    seg.Thread.seg_status <- Thread.Ready (Thread.Rs_deliver value);
+    seg.Thread.seg_status <- Thread.Parked (S.Deliver value);
     enqueue_ready t seg
-  | Thread.Ready _ | Thread.Running | Thread.Blocked_monitor _ | Thread.Dead ->
+  | Thread.Parked _ | Thread.Running | Thread.Blocked_monitor _ | Thread.Dead ->
     error "deliver_result: segment %d is not awaiting a reply" seg.Thread.seg_id
 
 let root_result t tid = Hashtbl.find_opt t.root_results tid
@@ -723,17 +756,27 @@ let monitor_waiters t ~obj_addr = waiters_of_sentinel t (obj_addr + L.obj_qflink
 let condition_waiters t ~obj_addr ~cond =
   waiters_of_sentinel t (cond_sentinel_addr t ~obj_addr ~cond)
 
-let block_on_queue t ~obj_addr ~cond seg =
+let block_on_queue t ~obj_addr ~cond ?deadline seg =
   let qnode = Heap.alloc t.kheap L.qnode_size in
   Mem.store32 t.kmem (qnode + L.qnode_thread) (Int32.of_int seg.Thread.seg_id);
   let sent =
     if cond < 0 then obj_addr + L.obj_qflink else cond_sentinel_addr t ~obj_addr ~cond
   in
   queue_insert_tail t ~sent ~qnode;
-  seg.Thread.seg_status <- Thread.Blocked_monitor { mon_addr = obj_addr; qnode; cond }
+  seg.Thread.seg_status <-
+    Thread.Blocked_monitor { mon_addr = obj_addr; qnode; cond; deadline }
 
 let block_on_monitor t ~obj_addr seg = block_on_queue t ~obj_addr ~cond:(-1) seg
-let monitor_enqueue_blocked t ~obj_addr ?(cond = -1) seg = block_on_queue t ~obj_addr ~cond seg
+
+let monitor_enqueue_blocked t ~obj_addr ?(cond = -1) ?deadline seg =
+  block_on_queue t ~obj_addr ~cond ?deadline seg
+
+(* splice a queue node out of whatever circular queue holds it *)
+let queue_unlink t ~qnode =
+  let flink = Mem.load32 t.kmem (qnode + L.qnode_flink) in
+  let blink = Mem.load32 t.kmem (qnode + L.qnode_blink) in
+  Mem.store32 t.kmem (Int32.to_int blink + L.qnode_flink) flink;
+  Mem.store32 t.kmem (Int32.to_int flink + L.qnode_blink) blink
 
 (* System-call dispatch --------------------------------------------------------- *)
 
@@ -769,6 +812,26 @@ type dispatch =
   | D_blocked  (** the segment blocked; do not complete *)
   | D_local of Thread.segment  (** a locally spawned callee segment *)
   | D_out of outcall  (** cluster-level action; do not complete here *)
+
+(* release the monitor (hand the lock to the next entry-queue waiter or
+   clear it — the kernel-side equivalent of the exit sequence), then
+   block on the condition's queue; on wake the monitor has been
+   re-granted and the wait system call completes.  [deadline] arms a
+   timed wait: if no signal arrives by that virtual time, the waiter
+   re-queues for monitor entry on its own (see [expire_timeouts]). *)
+let cond_wait t seg ~obj ~cond ~deadline =
+  (match queue_unlink_head t ~sent:(obj + L.obj_qflink) with
+  | Some qnode ->
+    let waiter = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
+    Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
+    (match find_segment t waiter with
+    | Some w ->
+      w.Thread.seg_status <- Thread.Parked (S.Complete None);
+      enqueue_ready t w
+    | None -> error "condition wait: unknown entry waiter %d" waiter)
+  | None -> set_monitor_locked t ~obj_addr:obj false);
+  block_on_queue t ~obj_addr:obj ~cond ?deadline seg;
+  D_blocked
 
 let format_real t raw =
   let x = Isa.Float_format.decode t.karch.A.float_format raw in
@@ -859,23 +922,18 @@ let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
     let raws = syscall_raw_args t ctx ~argc:2 in
     match raws with
     | [ obj; cond ] ->
-      let obj = Int32.to_int obj and cond = Int32.to_int cond in
-      (* release the monitor: hand the lock to the next entry-queue waiter
-         or clear it (the kernel-side equivalent of the exit sequence) *)
-      (match queue_unlink_head t ~sent:(obj + L.obj_qflink) with
-      | Some qnode ->
-        let waiter = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
-        Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
-        (match find_segment t waiter with
-        | Some w ->
-          w.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall None);
-          enqueue_ready t w
-        | None -> error "condition wait: unknown entry waiter %d" waiter)
-      | None -> set_monitor_locked t ~obj_addr:obj false);
-      (* block on the condition's queue; on wake the monitor has been
-         re-granted and the wait system call completes *)
-      block_on_queue t ~obj_addr:obj ~cond seg;
-      D_blocked
+      cond_wait t seg ~obj:(Int32.to_int obj) ~cond:(Int32.to_int cond)
+        ~deadline:None
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_cond_wait_timed then begin
+    let raws = syscall_raw_args t ctx ~argc:3 in
+    match raws with
+    | [ obj; cond; timeout ] ->
+      let deadline =
+        Some (time_us t +. Float.max 0.0 (Int32.to_float timeout))
+      in
+      cond_wait t seg ~obj:(Int32.to_int obj) ~cond:(Int32.to_int cond) ~deadline
     | _ -> assert false
   end
   else if nr = Emc.Sysno.sys_cond_signal then begin
@@ -893,10 +951,41 @@ let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
         (match find_segment t waiter with
         | Some w -> (
           match w.Thread.seg_status with
-          | Thread.Blocked_monitor { mon_addr; qnode = q; cond = _ } ->
-            w.Thread.seg_status <- Thread.Blocked_monitor { mon_addr; qnode = q; cond = -1 }
+          | Thread.Blocked_monitor { mon_addr; qnode = q; cond = _; deadline = _ } ->
+            w.Thread.seg_status <-
+              Thread.Blocked_monitor
+                { mon_addr; qnode = q; cond = -1; deadline = None }
           | _ -> ())
         | None -> ()));
+      D_done None
+    | _ -> assert false
+  end
+  else if nr = Emc.Sysno.sys_cond_notify_all then begin
+    let raws = syscall_raw_args t ctx ~argc:2 in
+    match raws with
+    | [ obj; cond ] ->
+      let obj = Int32.to_int obj and cond = Int32.to_int cond in
+      (* move every condition waiter to the entry queue, preserving queue
+         order (Mesa notify-all: each re-acquires the monitor in turn) *)
+      let sent = cond_sentinel_addr t ~obj_addr:obj ~cond in
+      let rec drain () =
+        match queue_unlink_head t ~sent with
+        | None -> ()
+        | Some qnode ->
+          queue_insert_tail t ~sent:(obj + L.obj_qflink) ~qnode;
+          let waiter = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
+          (match find_segment t waiter with
+          | Some w -> (
+            match w.Thread.seg_status with
+            | Thread.Blocked_monitor { mon_addr; qnode = q; cond = _; deadline = _ } ->
+              w.Thread.seg_status <-
+                Thread.Blocked_monitor
+                  { mon_addr; qnode = q; cond = -1; deadline = None }
+            | _ -> ())
+          | None -> ());
+          drain ()
+      in
+      drain ();
       D_done None
     | _ -> assert false
   end
@@ -912,7 +1001,9 @@ let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
       | Some w -> (
         match w.Thread.seg_status with
         | Thread.Blocked_monitor { mon_addr; _ } ->
-          w.Thread.seg_status <- Thread.Blocked_monitor { mon_addr; qnode = 0; cond = -1 }
+          w.Thread.seg_status <-
+            Thread.Blocked_monitor
+              { mon_addr; qnode = 0; cond = -1; deadline = None }
         | _ -> ())
       | None -> ());
       D_done_dequeue (Some waiter)
@@ -924,7 +1015,7 @@ let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
     let seg_id = Int32.to_int (Mem.load32 t.kmem (qnode + L.qnode_thread)) in
     (match find_segment t seg_id with
     | Some waiter ->
-      waiter.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall None);
+      waiter.Thread.seg_status <- Thread.Parked (S.Complete None);
       enqueue_ready t waiter
     | None -> error "monitor wake: unknown segment %d" seg_id);
     Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
@@ -1026,7 +1117,7 @@ let dispatch_syscall t seg (lc : loaded_class) (entry : Emc.Busstop.entry) nr =
     else begin
       (* the object moved away while its initially ran: the process must
          start where the object now lives; the creator continues *)
-      seg.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall None);
+      seg.Thread.seg_status <- Thread.Parked (S.Complete None);
       enqueue_ready t seg;
       D_out
         (Oc_start_process { target_oid = oid_at t obj; hint_node = proxy_hint t obj })
@@ -1042,15 +1133,15 @@ let live_segment_count t = Hashtbl.length t.segs
 let apply_resume t seg =
   let ctx = seg.Thread.seg_ctx in
   match seg.Thread.seg_status with
-  | Thread.Ready Thread.Rs_run -> ()
-  | Thread.Ready (Thread.Rs_deliver v) ->
+  | Thread.Parked S.Run -> ()
+  | Thread.Parked (S.Deliver v) ->
     M.set_reg ctx (retval_reg t) (raw_of_value t v)
-  | Thread.Ready (Thread.Rs_complete_syscall v) -> (
+  | Thread.Parked (S.Complete v) -> (
     match stop_at_pc t ctx.M.pc with
     | Some (_, entry) ->
       complete_syscall t seg ~entry ~retval:(Option.map (raw_of_value t) v)
     | None -> error "segment %d: completion PC is not a bus stop" seg.Thread.seg_id)
-  | Thread.Ready (Thread.Rs_complete_dequeue waiter) -> (
+  | Thread.Parked (S.Complete_dequeue waiter) -> (
     match stop_at_pc t ctx.M.pc with
     | Some (_, entry) ->
       let retval =
@@ -1065,8 +1156,129 @@ let apply_resume t seg =
       in
       complete_syscall t seg ~entry ~retval:(Some retval)
     | None -> error "segment %d: completion PC is not a bus stop" seg.Thread.seg_id)
-  | Thread.Running | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ | Thread.Dead
-    -> error "apply_resume: segment %d is not ready" seg.Thread.seg_id
+  | Thread.Parked _ | Thread.Running | Thread.Blocked_monitor _
+  | Thread.Awaiting_reply _ | Thread.Dead ->
+    error "apply_resume: segment %d is not resumable" seg.Thread.seg_id
+
+(* Forced eviction.  [evict_thread] arms a trap: the segment's id maps to
+   its eviction destination in [evict_arms].  While armed, every dispatch
+   of that segment runs with [poll_requested] pinned, so the CPU hands
+   control back at the very next bus stop — no cooperative poll request by
+   other ready work is needed.  The trap fires as soon as the segment is
+   capturable: parked at a stop, blocked on a monitor queue, or awaiting a
+   remote reply. *)
+
+let capturable t (seg : Thread.segment) =
+  seg.Thread.seg_live
+  && (match seg.Thread.seg_status with
+     | Thread.Running | Thread.Dead -> false
+     | Thread.Parked S.Run -> at_stop t seg
+     | Thread.Parked _ | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ ->
+       true)
+
+let eviction_due t (seg : Thread.segment) =
+  match Hashtbl.find_opt t.evict_arms seg.Thread.seg_id with
+  | Some arm when capturable t seg -> Some arm
+  | _ -> None
+
+(* fire the trap: the segment ships to its destination.  The caller
+   (cluster) runs the actual move; from the kernel's point of view the
+   segment is gone once the move initiates. *)
+let fire_eviction t (seg : Thread.segment) ~dest_node ~armed_us =
+  Hashtbl.remove t.evict_arms seg.Thread.seg_id;
+  t.evictions <- t.evictions + 1;
+  Oc_evict { seg; dest_node; armed_us }
+
+let fire_due_evictions t (seg : Thread.segment) outs =
+  match eviction_due t seg with
+  | Some (dest_node, armed_us) ->
+    outs @ [ fire_eviction t seg ~dest_node ~armed_us ]
+  | None -> outs
+
+let evict_thread t ~seg_id ~dest_node =
+  match Hashtbl.find_opt t.segs seg_id with
+  | None -> []
+  | Some seg ->
+    if (not seg.Thread.seg_live) || seg.Thread.seg_status = Thread.Dead then []
+    else begin
+      Hashtbl.replace t.evict_arms seg_id (dest_node, Sim.Clock.now t.kclock);
+      (* already parked / blocked / awaiting: capture immediately *)
+      fire_due_evictions t seg []
+    end
+
+let evictions t = t.evictions
+let evictions_armed t = Hashtbl.length t.evict_arms
+
+(* a migrated or finished segment may still sit in the run queue (entries
+   are skipped lazily at dispatch); the load signal must not count them *)
+let ready_depth t =
+  Queue.fold
+    (fun acc (seg : Thread.segment) ->
+      if seg.Thread.seg_live && Hashtbl.mem t.segs seg.Thread.seg_id then
+        acc + 1
+      else acc)
+    0 t.run_queue
+
+let peak_ready_depth t = t.peak_ready
+
+(* Timed waits.  A [Blocked_monitor] with a deadline re-queues for the
+   monitor on its own when virtual time passes the deadline without a
+   signal.  The cluster polls [next_timeout] to schedule a wake event and
+   calls [expire_timeouts] when it fires. *)
+
+let next_timeout t =
+  Hashtbl.fold
+    (fun _ seg acc ->
+      match seg.Thread.seg_status with
+      | Thread.Blocked_monitor { deadline = Some d; _ } when seg.Thread.seg_live
+        -> (
+        match acc with
+        | None -> Some d
+        | Some a -> Some (Float.min a d))
+      | _ -> acc)
+    t.segs None
+
+let expire_timeouts t ~now =
+  let due =
+    Hashtbl.fold
+      (fun _ seg acc ->
+        match seg.Thread.seg_status with
+        | Thread.Blocked_monitor { deadline = Some d; _ }
+          when seg.Thread.seg_live && d <= now -> (d, seg) :: acc
+        | _ -> acc)
+      t.segs []
+    |> List.sort (fun (d1, s1) (d2, s2) ->
+           match Float.compare d1 d2 with
+           | 0 -> compare s1.Thread.seg_id s2.Thread.seg_id
+           | c -> c)
+  in
+  List.iter
+    (fun (_, seg) ->
+      match seg.Thread.seg_status with
+      | Thread.Blocked_monitor { mon_addr; qnode; cond = _; deadline = _ } ->
+        (* a deadline survives only while the waiter sits on a condition
+           queue (signal/dequeue clear it), so the qnode is live *)
+        queue_unlink t ~qnode;
+        if monitor_locked t ~obj_addr:mon_addr then begin
+          (* someone holds the monitor: line up for entry exactly like a
+             signalled waiter; the wait completes when the lock is handed
+             over *)
+          queue_insert_tail t ~sent:(mon_addr + L.obj_qflink) ~qnode;
+          seg.Thread.seg_status <-
+            Thread.Blocked_monitor
+              { mon_addr; qnode; cond = -1; deadline = None }
+        end
+        else begin
+          (* monitor free: nobody will ever hand the lock over, so take it
+             here and complete the wait directly *)
+          Heap.free t.kheap ~addr:qnode ~size:L.qnode_size;
+          set_monitor_locked t ~obj_addr:mon_addr true;
+          seg.Thread.seg_status <- Thread.Parked (S.Complete None);
+          enqueue_ready t seg
+        end
+      | _ -> ())
+    due;
+  List.length due
 
 let finish_bottom_return t seg =
   let ctx = seg.Thread.seg_ctx in
@@ -1106,7 +1318,9 @@ let step t =
     seg.Thread.seg_status <- Thread.Running;
     let ctx = seg.Thread.seg_ctx in
     ctx.M.stack_limit <- seg.Thread.seg_stack_bottom;
-    ctx.M.poll_requested <- not (Queue.is_empty t.run_queue);
+    ctx.M.poll_requested <-
+      (not (Queue.is_empty t.run_queue))
+      || Hashtbl.mem t.evict_arms seg.Thread.seg_id;
     let fuel =
       match t.quantum with
       | Some q -> q
@@ -1117,54 +1331,61 @@ let step t =
     seg.Thread.seg_spawn <- None;
     t.insns <- t.insns + (ctx.M.insns - insns_before);
     charge_cycles t (ctx.M.cycles - cycles_before);
-    match stop with
-    | M.Stop_poll ->
-      ctx.M.poll_requested <- false;
-      ctx.M.skip_poll <- true;
-      seg.Thread.seg_status <- Thread.Ready Thread.Rs_run;
-      enqueue_ready t seg;
-      []
-    | M.Stop_halt ->
-      seg.Thread.seg_status <- Thread.Dead;
-      unregister_segment t seg;
-      []
-    | M.Stop_bottom_return -> (
-      match finish_bottom_return t seg with
-      | Some out -> [ out ]
-      | None -> [])
-    | M.Stop_syscall nr -> (
-      match stop_at_pc t ctx.M.pc with
-      | None -> error "system call %d at PC %#x: no bus stop" nr ctx.M.pc
-      | Some (lc, entry) -> (
-        match dispatch_syscall t seg lc entry nr with
-        | D_done retval ->
-          (* completion is applied at the segment's next dispatch, so the
-             segment stays parked at the bus stop (capturable) meanwhile *)
-          seg.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_syscall retval);
-          enqueue_ready t seg;
-          []
-        | D_done_dequeue waiter ->
-          seg.Thread.seg_status <- Thread.Ready (Thread.Rs_complete_dequeue waiter);
-          enqueue_ready t seg;
-          []
-        | D_blocked -> []
-        | D_local _callee -> []
-        | D_out out -> [ out ]))
-    | M.Stop_trap trap ->
-      error "node %d, thread %d: %s" t.knode_id seg.Thread.seg_thread
-        (Format.asprintf "%a" M.pp_trap trap)
-    | M.Stop_fuel -> (
-      match t.quantum with
-      | Some _ ->
-        (* preempted mid-computation, Trellis/Owl style: the PC may not be
-           a bus stop; anyone needing a well-defined state must call
-           [advance_to_stop] first *)
-        seg.Thread.seg_status <- Thread.Ready Thread.Rs_run;
+    let outs =
+      match stop with
+      | S.Poll ->
+        ctx.M.poll_requested <- false;
+        ctx.M.skip_poll <- true;
+        seg.Thread.seg_status <- Thread.Parked S.Run;
         enqueue_ready t seg;
         []
-      | None ->
-        error "node %d, thread %d: ran out of fuel between bus stops (codegen bug)"
-          t.knode_id seg.Thread.seg_thread))
+      | S.Halt ->
+        seg.Thread.seg_status <- Thread.Dead;
+        unregister_segment t seg;
+        []
+      | S.Bottom_return -> (
+        match finish_bottom_return t seg with
+        | Some out -> [ out ]
+        | None -> [])
+      | S.Syscall nr -> (
+        match stop_at_pc t ctx.M.pc with
+        | None -> error "system call %d at PC %#x: no bus stop" nr ctx.M.pc
+        | Some (lc, entry) -> (
+          match dispatch_syscall t seg lc entry nr with
+          | D_done retval ->
+            (* completion is applied at the segment's next dispatch, so the
+               segment stays parked at the bus stop (capturable) meanwhile *)
+            seg.Thread.seg_status <- Thread.Parked (S.Complete retval);
+            enqueue_ready t seg;
+            []
+          | D_done_dequeue waiter ->
+            seg.Thread.seg_status <- Thread.Parked (S.Complete_dequeue waiter);
+            enqueue_ready t seg;
+            []
+          | D_blocked -> []
+          | D_local _callee -> []
+          | D_out out -> [ out ]))
+      | S.Trap trap ->
+        error "node %d, thread %d: %s" t.knode_id seg.Thread.seg_thread
+          (Format.asprintf "%a" M.pp_trap trap)
+      | S.Fuel -> (
+        match t.quantum with
+        | Some _ ->
+          (* preempted mid-computation, Trellis/Owl style: the PC may not be
+             a bus stop; anyone needing a well-defined state must call
+             [advance_to_stop] first *)
+          seg.Thread.seg_status <- Thread.Parked S.Run;
+          enqueue_ready t seg;
+          []
+        | None ->
+          error "node %d, thread %d: ran out of fuel between bus stops (codegen bug)"
+            t.knode_id seg.Thread.seg_thread)
+      | S.Run | S.Deliver _ | S.Complete _ | S.Complete_dequeue _ ->
+        error "segment %d: CPU returned a resume-only suspension"
+          seg.Thread.seg_id
+    in
+    (* an armed eviction fires the moment the segment is capturable *)
+    fire_due_evictions t seg outs)
 
 (* Run a preempted segment forward to its next bus stop ("the top layer of
    the runtime system would execute the necessary number of instructions
@@ -1182,27 +1403,29 @@ let advance_to_stop t (seg : Thread.segment) =
     t.insns <- t.insns + (ctx.M.insns - insns_before);
     charge_cycles t (ctx.M.cycles - cycles_before);
     match stop with
-    | M.Stop_poll ->
+    | S.Poll ->
       ctx.M.poll_requested <- false;
       ctx.M.skip_poll <- true;
       []
-    | M.Stop_syscall _ ->
+    | S.Syscall _ ->
       (* parked at the system-call instruction; it runs at next dispatch *)
       ctx.M.poll_requested <- false;
       []
-    | M.Stop_halt ->
+    | S.Halt ->
       seg.Thread.seg_status <- Thread.Dead;
       unregister_segment t seg;
       []
-    | M.Stop_bottom_return -> (
+    | S.Bottom_return -> (
       ctx.M.poll_requested <- false;
       match finish_bottom_return t seg with
       | Some out -> [ out ]
       | None -> [])
-    | M.Stop_trap trap ->
+    | S.Trap trap ->
       error "node %d, thread %d: %s" t.knode_id seg.Thread.seg_thread
         (Format.asprintf "%a" M.pp_trap trap)
-    | M.Stop_fuel ->
+    | S.Fuel ->
       error "node %d, thread %d: no bus stop reachable (codegen bug)" t.knode_id
         seg.Thread.seg_thread
+    | S.Run | S.Deliver _ | S.Complete _ | S.Complete_dequeue _ ->
+      error "segment %d: CPU returned a resume-only suspension" seg.Thread.seg_id
   end

@@ -60,6 +60,17 @@ type outcall =
       target_oid : Oid.t;
       hint_node : int;
     }  (** the object moved away during [initially]; start it over there *)
+  | Oc_evict of {
+      seg : Thread.segment;
+      dest_node : int;
+      armed_us : float;
+    }
+      (** a forced-eviction trap fired: the segment just became capturable
+          (parked at a bus stop, blocked, or awaiting a reply) and must be
+          shipped to [dest_node] by the mobility layer.  [armed_us] is the
+          virtual time the trap was armed; the arm-to-fire window is the
+          execution asynchronous migration overlaps the capture pipeline
+          with *)
 
 val create : ?clock:Sim.Clock.t -> node_id:int -> arch:Isa.Arch.t -> unit -> t
 (** [clock] supplies the node's virtual clock (by default a fresh one);
@@ -82,6 +93,11 @@ val charge_insns : t -> int -> unit
 
 val charge_us : t -> float -> unit
 (** Charge fixed (CPU-independent) virtual time. *)
+
+val credit_us : t -> float -> unit
+(** Roll virtual time back by the given amount (clamped at zero).  Used by
+    asynchronous migration to refund capture work that was overlapped with
+    continued execution. *)
 
 val insns_executed : t -> int
 val cycles_executed : t -> int
@@ -216,9 +232,23 @@ val condition_waiters : t -> obj_addr:int -> cond:int -> Thread.segment list
 (** Segments waiting on one of the object's monitor conditions, in queue
     order. *)
 
-val monitor_enqueue_blocked : t -> obj_addr:int -> ?cond:int -> Thread.segment -> unit
+val monitor_enqueue_blocked :
+  t -> obj_addr:int -> ?cond:int -> ?deadline:float -> Thread.segment -> unit
 (** Re-enqueue a migrated-in segment that was blocked on this monitor
-    ([cond] selects a condition queue; default: the entry queue). *)
+    ([cond] selects a condition queue; default: the entry queue;
+    [deadline] restores a timed wait's expiry). *)
+
+(* timed waits *)
+val next_timeout : t -> float option
+(** Earliest wait-timeout deadline among this node's blocked segments, if
+    any — the virtual time at which {!expire_timeouts} next has work. *)
+
+val expire_timeouts : t -> now:float -> int
+(** Expire every timed wait whose deadline is [<= now], in deterministic
+    (deadline, segment id) order.  An expired waiter leaves its condition
+    queue; if the monitor is free it takes the lock and becomes ready at
+    once, otherwise it lines up on the entry queue like a signalled
+    waiter.  Returns the number of waits expired. *)
 
 val set_on_code_load : t -> (class_index:int -> unit) -> unit
 (** Called on each first-time code-object load (for repository fetch
@@ -241,6 +271,31 @@ val quantum : t -> int option
 val at_stop : t -> Thread.segment -> bool
 (** Is this segment's state well defined (at a bus stop / fully
     machine-describable)?  Always true under the default discipline. *)
+
+(* forced eviction *)
+val capturable : t -> Thread.segment -> bool
+(** May this segment be captured for migration right now?  True when it is
+    live and suspended at a well-defined point (parked at a stop, blocked
+    on a monitor queue, or awaiting a remote reply). *)
+
+val evict_thread : t -> seg_id:int -> dest_node:int -> outcall list
+(** Arm a forced-eviction trap on the segment.  If the segment is already
+    capturable the trap fires immediately and the returned list carries the
+    [Oc_evict]; otherwise the segment runs with polling pinned on and the
+    trap fires at its very next bus stop — no cooperative poll request is
+    involved.  Unknown or dead segments are ignored. *)
+
+val evictions : t -> int
+(** Eviction traps fired on this node so far. *)
+
+val evictions_armed : t -> int
+(** Eviction traps currently armed and waiting for a bus stop. *)
+
+val ready_depth : t -> int
+(** Current scheduler run-queue depth. *)
+
+val peak_ready_depth : t -> int
+(** High-water mark of the run-queue depth. *)
 
 val advance_to_stop : t -> Thread.segment -> outcall list
 (** Execute a preempted segment natively forward to its next bus stop

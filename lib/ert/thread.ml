@@ -5,19 +5,16 @@ type link = {
   ln_seg : int;
 }
 
-type resume =
-  | Rs_run
-  | Rs_deliver of Value.t
-  | Rs_complete_syscall of Value.t option
-  | Rs_complete_dequeue of int option
+type suspension = Value.t Isa.Suspend.t
 
 type status =
-  | Ready of resume
+  | Parked of suspension
   | Running
   | Blocked_monitor of {
       mon_addr : int;
       qnode : int;
       cond : int;
+      deadline : float option;
     }
   | Awaiting_reply of { stop_id : int }
   | Dead
@@ -46,11 +43,11 @@ let fresh_tid ~node_id ~serial = (node_id lsl 20) lor serial
 let fresh_seg_id ~node_id ~serial = (node_id lsl 20) lor serial
 
 let pp_status ppf = function
-  | Ready Rs_run -> Format.pp_print_string ppf "ready"
-  | Ready (Rs_deliver v) -> Format.fprintf ppf "ready (deliver %a)" Value.pp v
-  | Ready (Rs_complete_syscall _) -> Format.pp_print_string ppf "ready (complete syscall)"
-  | Ready (Rs_complete_dequeue _) -> Format.pp_print_string ppf "ready (complete dequeue)"
+  | Parked Isa.Suspend.Run -> Format.pp_print_string ppf "ready"
+  | Parked s -> Format.fprintf ppf "parked (%a)" (Isa.Suspend.pp ~value:Value.pp) s
   | Running -> Format.pp_print_string ppf "running"
+  | Blocked_monitor { deadline = Some d; _ } ->
+    Format.fprintf ppf "blocked on monitor (timeout at %.1fus)" d
   | Blocked_monitor _ -> Format.pp_print_string ppf "blocked on monitor"
   | Awaiting_reply { stop_id } -> Format.fprintf ppf "awaiting reply at stop %d" stop_id
   | Dead -> Format.pp_print_string ppf "dead"

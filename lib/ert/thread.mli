@@ -16,24 +16,16 @@ type link = {
   ln_seg : int;  (** segment id to deliver the return value to *)
 }
 
-type resume =
-  | Rs_run  (** context is valid; just execute *)
-  | Rs_deliver of Value.t
-      (** an invocation result arrived: put it in the return-value
-          register, then execute (PC already at the stop) *)
-  | Rs_complete_syscall of Value.t option
-      (** parked at a [Syscall] instruction whose kernel service has
-          completed (or completes trivially, like a migration arrival):
-          set the result if any, pop the arguments, advance the PC *)
-  | Rs_complete_dequeue of int option
-      (** parked at a monitor-exit dequeue stop: the kernel has unlinked a
-          waiter (identified by segment id — a machine-independent name,
-          so this state survives migration) or found the queue empty; on
-          dispatch, fabricate a fresh queue node for the waiter and hand
-          its address to the generated code *)
+type suspension = Value.t Isa.Suspend.t
+(** How a parked segment resumes: the shared {!Isa.Suspend.t}
+    instantiated at the runtime value type.  Only the resumable subset
+    (see the invariant table in suspend.mli) is ever stored here. *)
 
 type status =
-  | Ready of resume
+  | Parked of suspension
+      (** the segment is a first-class resumable value owned by the
+          kernel: at a bus stop (or between stops only for [Run] under a
+          preemptive quantum), with the pending resume action recorded *)
   | Running
   | Blocked_monitor of {
       mon_addr : int;  (** descriptor of the object whose monitor we await *)
@@ -42,6 +34,9 @@ type status =
       cond : int;
           (** -1: the monitor entry queue; otherwise the index of the
               condition variable we are waiting on *)
+      deadline : float option;
+          (** virtual time at which a timed condition wait gives up;
+              cleared when the waiter moves to the entry queue *)
     }
   | Awaiting_reply of { stop_id : int }
   | Dead

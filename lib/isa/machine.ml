@@ -1,20 +1,5 @@
-type trap =
-  | Div_zero
-  | Nil_deref
-  | Mem_fault of int
-  | Float_reserved of string
-  | Stack_overflow
-  | Bad_pc of int
-  | Bad_insn of string
-
-type stop_reason =
-  | Stop_syscall of int
-  | Stop_poll
-  | Stop_bottom_return
-  | Stop_halt
-  | Stop_trap of trap
-  | Stop_fuel
-
+(* the trap and suspension types live in [Suspend]; [run] returns the
+   machine-producible subset of the unified suspension type *)
 type ctx = {
   arch : Arch.t;
   regs : int32 array;
@@ -27,7 +12,7 @@ type ctx = {
   mutable insns : int;
 }
 
-exception Trapped of trap
+exception Trapped of Suspend.trap
 
 let create_ctx arch =
   {
@@ -57,13 +42,13 @@ let set_fp ctx v = set_reg ctx (Reg.fp ctx.arch.Arch.family) (Int32.of_int v)
 
 let addr_of v =
   let a = Int32.to_int v land 0xFFFF_FFFF in
-  if a = 0 then raise (Trapped Nil_deref) else a
+  if a = 0 then raise (Trapped Suspend.Nil_deref) else a
 
 let load mem a =
-  try Memory.load32 mem a with Memory.Fault x -> raise (Trapped (Mem_fault x))
+  try Memory.load32 mem a with Memory.Fault x -> raise (Trapped (Suspend.Mem_fault x))
 
 let store mem a v =
-  try Memory.store32 mem a v with Memory.Fault x -> raise (Trapped (Mem_fault x))
+  try Memory.store32 mem a v with Memory.Fault x -> raise (Trapped (Suspend.Mem_fault x))
 
 let get_operand ctx mem op =
   match op with
@@ -84,7 +69,7 @@ let get_operand ctx mem op =
 let set_operand ctx mem op v =
   match op with
   | Operand.Reg r -> set_reg ctx r v
-  | Operand.Imm _ -> raise (Trapped (Bad_insn "immediate destination"))
+  | Operand.Imm _ -> raise (Trapped (Suspend.Bad_insn "immediate destination"))
   | Operand.Mem (Operand.Abs a) -> store mem (addr_of a) v
   | Operand.Mem (Operand.Disp (r, d)) -> store mem (addr_of (reg ctx r) + d) v
   | Operand.Mem (Operand.Autoinc r) ->
@@ -101,8 +86,8 @@ let int_binop op a b =
   | Insn.Add -> Int32.add a b
   | Insn.Sub -> Int32.sub a b
   | Insn.Mul -> Int32.mul a b
-  | Insn.Div -> if Int32.equal b 0l then raise (Trapped Div_zero) else Int32.div a b
-  | Insn.Mod -> if Int32.equal b 0l then raise (Trapped Div_zero) else Int32.rem a b
+  | Insn.Div -> if Int32.equal b 0l then raise (Trapped Suspend.Div_zero) else Int32.div a b
+  | Insn.Mod -> if Int32.equal b 0l then raise (Trapped Suspend.Div_zero) else Int32.rem a b
   | Insn.And -> Int32.logand a b
   | Insn.Or -> Int32.logor a b
   | Insn.Xor -> Int32.logxor a b
@@ -110,7 +95,7 @@ let int_binop op a b =
 let float_binop fmt op a b =
   let decode v =
     try Float_format.decode fmt v
-    with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+    with Float_format.Reserved_operand m -> raise (Trapped (Suspend.Float_reserved m))
   in
   let x = decode a and y = decode b in
   let r =
@@ -118,12 +103,12 @@ let float_binop fmt op a b =
     | Insn.Add -> x +. y
     | Insn.Sub -> x -. y
     | Insn.Mul -> x *. y
-    | Insn.Div -> if y = 0.0 then raise (Trapped Div_zero) else x /. y
+    | Insn.Div -> if y = 0.0 then raise (Trapped Suspend.Div_zero) else x /. y
     | Insn.Mod | Insn.And | Insn.Or | Insn.Xor ->
-      raise (Trapped (Bad_insn "non-arithmetic float op"))
+      raise (Trapped (Suspend.Bad_insn "non-arithmetic float op"))
   in
   try Float_format.encode fmt r
-  with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+  with Float_format.Reserved_operand m -> raise (Trapped (Suspend.Float_reserved m))
 
 let eval_cc cmp cc =
   match cmp with
@@ -138,7 +123,7 @@ let push ctx mem v =
   let a = sp ctx - 4 in
   set_sp ctx a;
   store mem a v;
-  if a < ctx.stack_limit then raise (Trapped Stack_overflow)
+  if a < ctx.stack_limit then raise (Trapped Suspend.Stack_overflow)
 
 let pop ctx mem =
   let a = sp ctx in
@@ -147,7 +132,7 @@ let pop ctx mem =
   v
 
 let check_stack ctx =
-  if sp ctx < ctx.stack_limit then raise (Trapped Stack_overflow)
+  if sp ctx < ctx.stack_limit then raise (Trapped Suspend.Stack_overflow)
 
 (* SPARC window registers *)
 let l_base = 16
@@ -194,7 +179,7 @@ let image_for text state pc =
     | Some img ->
       state.img <- Some img;
       img
-    | None -> raise (Trapped (Bad_pc pc)))
+    | None -> raise (Trapped (Suspend.Bad_pc pc)))
 
 let run ctx ~mem ~text ~fuel =
   let family = ctx.arch.Arch.family in
@@ -204,7 +189,7 @@ let run ctx ~mem ~text ~fuel =
      has left or returns its stop reason outright, so a slice costs no
      result/fuel refs, no closures, and no per-instruction stop check *)
   let rec exec fuel =
-    if fuel <= 0 then Stop_fuel
+    if fuel <= 0 then Suspend.Fuel
     else begin
       let img = image_for text state ctx.pc in
       let base = img.Text.base in
@@ -259,7 +244,7 @@ let run ctx ~mem ~text ~fuel =
       | Insn.Cvt_fi (a, b) ->
         let f =
           try Float_format.decode fmt (get_operand ctx mem a)
-          with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+          with Float_format.Reserved_operand m -> raise (Trapped (Suspend.Float_reserved m))
         in
         set_operand ctx mem b (Int32.of_float f);
         ctx.pc <- next_pc;
@@ -271,7 +256,7 @@ let run ctx ~mem ~text ~fuel =
       | Insn.Fcmp (a, b) ->
         let decode v =
           try Float_format.decode fmt v
-          with Float_format.Reserved_operand m -> raise (Trapped (Float_reserved m))
+          with Float_format.Reserved_operand m -> raise (Trapped (Suspend.Float_reserved m))
         in
         ctx.cc <-
           Float.compare
@@ -287,7 +272,7 @@ let run ctx ~mem ~text ~fuel =
         exec (fuel - 1)
       | Insn.Jsr_ind r ->
         let target = Int32.to_int (reg ctx r) in
-        if target = 0 then raise (Trapped (Bad_pc 0));
+        if target = 0 then raise (Trapped (Suspend.Bad_pc 0));
         (match family with
         | Arch.Vax | Arch.M68k -> push ctx mem (Int32.of_int next_pc)
         | Arch.Sparc -> set_reg ctx 15 (Int32.of_int next_pc));
@@ -337,14 +322,14 @@ let run ctx ~mem ~text ~fuel =
         set_reg ctx r (Int32.shift_left i 10);
         ctx.pc <- next_pc;
         exec (fuel - 1)
-      | Insn.Syscall n -> Stop_syscall n
+      | Insn.Syscall n -> Suspend.Syscall n
       | Insn.Poll _ ->
         if ctx.skip_poll then begin
           ctx.skip_poll <- false;
           ctx.pc <- next_pc;
           exec (fuel - 1)
         end
-        else if ctx.poll_requested then Stop_poll
+        else if ctx.poll_requested then Suspend.Poll
         else begin
           ctx.pc <- next_pc;
           exec (fuel - 1)
@@ -364,16 +349,16 @@ let run ctx ~mem ~text ~fuel =
       | Insn.Nop ->
         ctx.pc <- next_pc;
         exec (fuel - 1)
-      | Insn.Halt -> Stop_halt
+      | Insn.Halt -> Suspend.Halt
     end
   and ret_to target fuel =
-    if target = 0 then Stop_bottom_return
+    if target = 0 then Suspend.Bottom_return
     else begin
       ctx.pc <- target;
       exec (fuel - 1)
     end
   in
-  try exec fuel with Trapped t -> Stop_trap t
+  try exec fuel with Trapped t -> Suspend.Trap t
 
 let syscall_resume ctx ~text =
   match Text.find text ctx.pc with
@@ -383,19 +368,5 @@ let syscall_resume ctx ~text =
     let insn = img.Text.code.Code.insns.(idx) in
     ctx.pc <- ctx.pc + Insn.size_bytes ctx.arch.Arch.family insn
 
-let pp_trap ppf = function
-  | Div_zero -> Format.pp_print_string ppf "division by zero"
-  | Nil_deref -> Format.pp_print_string ppf "nil dereference"
-  | Mem_fault a -> Format.fprintf ppf "memory fault at %#x" a
-  | Float_reserved m -> Format.fprintf ppf "reserved float operand (%s)" m
-  | Stack_overflow -> Format.pp_print_string ppf "stack overflow"
-  | Bad_pc a -> Format.fprintf ppf "bad PC %#x" a
-  | Bad_insn m -> Format.fprintf ppf "illegal instruction (%s)" m
-
-let pp_stop ppf = function
-  | Stop_syscall n -> Format.fprintf ppf "syscall %d" n
-  | Stop_poll -> Format.pp_print_string ppf "poll"
-  | Stop_bottom_return -> Format.pp_print_string ppf "segment-bottom return"
-  | Stop_halt -> Format.pp_print_string ppf "halt"
-  | Stop_trap t -> Format.fprintf ppf "trap: %a" pp_trap t
-  | Stop_fuel -> Format.pp_print_string ppf "out of fuel"
+let pp_trap = Suspend.pp_trap
+let pp_stop ppf s = Suspend.pp ppf s

@@ -8,27 +8,6 @@
     (section 3.2): the runtime system never preempts a thread, so the only
     program-counter values it observes are bus stops. *)
 
-type trap =
-  | Div_zero
-  | Nil_deref
-  | Mem_fault of int
-  | Float_reserved of string
-  | Stack_overflow
-  | Bad_pc of int
-  | Bad_insn of string  (** instruction invalid for this family *)
-
-type stop_reason =
-  | Stop_syscall of int
-      (** at a [Syscall n]; the context PC is left at the instruction *)
-  | Stop_poll  (** at a [Poll] with a pending kernel request; PC at the poll *)
-  | Stop_bottom_return
-      (** a return popped the sentinel return address 0: the caller's
-          activation record lives in another stack segment, possibly on
-          another node *)
-  | Stop_halt
-  | Stop_trap of trap
-  | Stop_fuel  (** fuel exhausted between bus stops — a code-generator bug *)
-
 type ctx = {
   arch : Arch.t;
   regs : int32 array;
@@ -52,14 +31,17 @@ val set_sp : ctx -> int -> unit
 val fp : ctx -> int
 val set_fp : ctx -> int -> unit
 
-val run : ctx -> mem:Memory.t -> text:Text.t -> fuel:int -> stop_reason
+val run : ctx -> mem:Memory.t -> text:Text.t -> fuel:int -> 'v Suspend.t
 (** Execute instructions until a stop.  [fuel] bounds the number of
     instructions as a safety net; generated code reaches a bus stop on
-    every loop iteration, so well-formed code never runs dry. *)
+    every loop iteration, so under the cooperative discipline it never
+    runs dry (a preemptive quantum makes [Fuel] ordinary).  Only the
+    machine-producible constructors of {!Suspend.t} are returned — see
+    the invariant table in suspend.mli. *)
 
 val syscall_resume : ctx -> text:Text.t -> unit
 (** Advance the PC past the [Syscall] instruction it is stopped at, for
     kernel services that complete immediately. *)
 
-val pp_trap : Format.formatter -> trap -> unit
-val pp_stop : Format.formatter -> stop_reason -> unit
+val pp_trap : Format.formatter -> Suspend.trap -> unit
+val pp_stop : Format.formatter -> 'v Suspend.t -> unit

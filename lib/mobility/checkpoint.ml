@@ -19,7 +19,8 @@ let segments_of_thread k ~thread =
 
 let check_capturable (seg : T.segment) =
   match seg.T.seg_status with
-  | T.Ready _ -> ()
+  | T.Parked s when Isa.Suspend.wire_encodable s -> ()
+  | T.Parked _ -> raise (Not_checkpointable "segment carries a CPU-only suspension")
   | T.Running -> raise (Not_checkpointable "segment is running")
   | T.Blocked_monitor _ ->
     raise (Not_checkpointable "segment is queued on a monitor; move the object instead")

@@ -10,19 +10,14 @@ type mi_frame = {
   mf_self : Ert.Oid.t;
 }
 
-type mi_resume =
-  | Mr_run
-  | Mr_deliver of Ert.Value.t
-  | Mr_complete_syscall of Ert.Value.t option
-  | Mr_complete_dequeue of int option
-
 type mi_status =
-  | Ms_ready of mi_resume
+  | Ms_parked of Ert.Value.t Isa.Suspend.t
   | Ms_awaiting_reply of int
   | Ms_blocked_monitor of {
       mon : Ert.Oid.t;
       in_queue : bool;
       cond : int;
+      deadline : float option;
     }
 
 type mi_segment = {
@@ -122,48 +117,67 @@ let read_frame ?plans r =
   in
   { mf_class; mf_code_oid; mf_method; mf_stop; mf_slots; mf_self }
 
-let write_resume w = function
-  | Mr_run -> W.u8 w 1
-  | Mr_deliver v ->
+(* the four wire-encodable suspensions keep the v2 resume tags 1-4; the
+   CPU-only constructors never travel (capture happens at bus stops) *)
+let write_suspension w (s : Ert.Value.t Isa.Suspend.t) =
+  match s with
+  | Isa.Suspend.Run -> W.u8 w 1
+  | Isa.Suspend.Deliver v ->
     W.u8 w 2;
     Ert.Value.write w v
-  | Mr_complete_syscall v ->
+  | Isa.Suspend.Complete v ->
     W.u8 w 3;
     write_opt w Ert.Value.write v
-  | Mr_complete_dequeue sid ->
+  | Isa.Suspend.Complete_dequeue sid ->
     W.u8 w 4;
     write_opt w (fun w s -> W.i32 w (Int32.of_int s)) sid
+  | Isa.Suspend.Poll | Isa.Suspend.Syscall _ | Isa.Suspend.Bottom_return
+  | Isa.Suspend.Halt | Isa.Suspend.Trap _ | Isa.Suspend.Fuel ->
+    failwith "Mi_frame.write_suspension: CPU-only suspension is not wire-encodable"
 
-let read_resume r =
+let read_suspension r : Ert.Value.t Isa.Suspend.t =
   match R.u8 r with
-  | 1 -> Mr_run
-  | 2 -> Mr_deliver (Ert.Value.read r)
-  | 3 -> Mr_complete_syscall (read_opt r Ert.Value.read)
-  | 4 -> Mr_complete_dequeue (read_opt r (fun r -> Int32.to_int (R.i32 r)))
-  | n -> failwith (Printf.sprintf "Mi_frame.read_resume: corrupt tag %d" n)
+  | 1 -> Isa.Suspend.Run
+  | 2 -> Isa.Suspend.Deliver (Ert.Value.read r)
+  | 3 -> Isa.Suspend.Complete (read_opt r Ert.Value.read)
+  | 4 -> Isa.Suspend.Complete_dequeue (read_opt r (fun r -> Int32.to_int (R.i32 r)))
+  | n -> failwith (Printf.sprintf "Mi_frame.read_suspension: corrupt tag %d" n)
 
 let write_status w = function
-  | Ms_ready rs ->
+  | Ms_parked s ->
     W.u8 w 1;
-    write_resume w rs
+    write_suspension w s
   | Ms_awaiting_reply stop ->
     W.u8 w 2;
     W.u16 w stop
-  | Ms_blocked_monitor { mon; in_queue; cond } ->
+  | Ms_blocked_monitor { mon; in_queue; cond; deadline = None } ->
+    (* tag 3 is the v2 no-deadline encoding, kept byte-identical *)
     W.u8 w 3;
     W.u32 w mon;
     W.bool w in_queue;
     W.i32 w (Int32.of_int cond)
+  | Ms_blocked_monitor { mon; in_queue; cond; deadline = Some d } ->
+    W.u8 w 4;
+    W.u32 w mon;
+    W.bool w in_queue;
+    W.i32 w (Int32.of_int cond);
+    W.f64 w d
 
 let read_status r =
   match R.u8 r with
-  | 1 -> Ms_ready (read_resume r)
+  | 1 -> Ms_parked (read_suspension r)
   | 2 -> Ms_awaiting_reply (R.u16 r)
   | 3 ->
     let mon = R.u32 r in
     let in_queue = R.bool r in
     let cond = Int32.to_int (R.i32 r) in
-    Ms_blocked_monitor { mon; in_queue; cond }
+    Ms_blocked_monitor { mon; in_queue; cond; deadline = None }
+  | 4 ->
+    let mon = R.u32 r in
+    let in_queue = R.bool r in
+    let cond = Int32.to_int (R.i32 r) in
+    let deadline = R.f64 r in
+    Ms_blocked_monitor { mon; in_queue; cond; deadline = Some deadline }
   | n -> failwith (Printf.sprintf "Mi_frame.read_status: corrupt tag %d" n)
 
 let write_link w (l : Ert.Thread.link) =

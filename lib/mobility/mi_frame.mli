@@ -26,19 +26,17 @@ type mi_frame = {
   mf_self : Ert.Oid.t;  (** the object whose operation this record executes *)
 }
 
-type mi_resume =
-  | Mr_run
-  | Mr_deliver of Ert.Value.t
-  | Mr_complete_syscall of Ert.Value.t option
-  | Mr_complete_dequeue of int option  (** waiter segment id *)
-
 type mi_status =
-  | Ms_ready of mi_resume
+  | Ms_parked of Ert.Value.t Isa.Suspend.t
+      (** only wire-encodable suspensions (see the {!Isa.Suspend} invariant
+          table) appear here; writing a CPU-only one fails *)
   | Ms_awaiting_reply of int  (** stop id *)
   | Ms_blocked_monitor of {
       mon : Ert.Oid.t;
       in_queue : bool;
       cond : int;  (** -1: entry queue; otherwise a condition queue *)
+      deadline : float option;
+          (** a timed wait's absolute expiry in virtual microseconds *)
     }
 
 type mi_segment = {

@@ -211,7 +211,7 @@ let perform_move k ~obj_addr ~dest : Marshal.move_payload =
   { Marshal.mp_src = K.node_id k; mp_objects = objects; mp_segments = segments }
 
 let park_mover (mover : T.segment) =
-  mover.T.seg_status <- T.Ready (T.Rs_complete_syscall None)
+  mover.T.seg_status <- T.Parked (Isa.Suspend.Complete None)
 
 let park_mover_for_test = park_mover
 
@@ -242,6 +242,30 @@ let initiate ~k ~mover ~obj_addr ~dest =
     K.enqueue_ready k mover;
     let payload = perform_move k ~obj_addr ~dest in
     [ { snd_dest = dest; snd_msg = Marshal.M_move payload } ]
+  end
+
+(* Forced eviction: the kernel's trap has already captured [seg] at a bus
+   stop; ship the object it is executing inside (and, through the normal
+   move protocol, every segment touching that object — including monitor
+   entry and condition queues, preserving order).  There is no mover
+   thread: the eviction was imposed from outside, so nothing resumes
+   locally. *)
+let initiate_evict ~k ~(seg : T.segment) ~dest =
+  if dest = K.node_id k then []
+  else begin
+    let obj_addr =
+      match seg.T.seg_spawn with
+      | Some spawn -> K.find_object k spawn.T.si_target
+      | None -> (
+        match Translate.walk_frames k seg with
+        | top :: _ -> Some top.Translate.fw_self
+        | [] -> None)
+    in
+    match obj_addr with
+    | None -> [] (* nothing resident to ship: the target already left *)
+    | Some obj_addr ->
+      let payload = perform_move k ~obj_addr ~dest in
+      [ { snd_dest = dest; snd_msg = Marshal.M_move payload } ]
   end
 
 let handle_move_req ~k ~obj ~dest ~forwards =
@@ -288,7 +312,15 @@ let apply_move k (payload : Marshal.move_payload) =
   List.iter
     (fun mi -> ignore (Translate.rebuild_segment k mi))
     payload.Marshal.mp_segments;
-  (* pass 4: monitor state, preserving queue order *)
+  (* pass 4: monitor state, preserving queue order.  Rebuilt waiters carry
+     their (possibly timed) status from pass 3; re-enqueueing must thread
+     the deadline through or a timed wait would silently become eternal
+     after migration. *)
+  let seg_deadline (seg : T.segment) =
+    match seg.T.seg_status with
+    | T.Blocked_monitor { deadline; _ } -> deadline
+    | _ -> None
+  in
   List.iter
     (fun ((o : Marshal.move_object), addr) ->
       K.set_monitor_locked k ~obj_addr:addr o.Marshal.mo_locked;
@@ -303,7 +335,9 @@ let apply_move k (payload : Marshal.move_payload) =
           List.iter
             (fun sid ->
               match K.find_segment k sid with
-              | Some seg -> K.monitor_enqueue_blocked k ~obj_addr:addr ~cond seg
+              | Some seg ->
+                K.monitor_enqueue_blocked k ~obj_addr:addr ~cond
+                  ?deadline:(seg_deadline seg) seg
               | None -> fail "move: condition waiter segment %d did not arrive" sid)
             sids)
         o.Marshal.mo_cond_waiters)

@@ -28,6 +28,16 @@ val initiate :
 val handle_move_req : k:Ert.Kernel.t -> obj:Ert.Oid.t -> dest:int -> forwards:int -> send list
 (** A forwarded move request arriving at a node believed to host [obj]. *)
 
+val initiate_evict :
+  k:Ert.Kernel.t -> seg:Ert.Thread.segment -> dest:int -> send list
+(** Handle a fired eviction trap ({!Ert.Kernel.evict_thread}).  The
+    kernel has already captured [seg] at a bus stop; this ships the
+    object the segment is executing inside via the normal move protocol
+    (which drags along every other segment touching it, monitor queues
+    included).  No mover thread exists, so nothing is re-enqueued
+    locally.  Returns [[]] when [dest] is this node or the target object
+    already left. *)
+
 val perform_move : Ert.Kernel.t -> obj_addr:int -> dest:int -> Marshal.move_payload
 (** Capture and evict; the caller sends the payload.  Exposed for tests. *)
 

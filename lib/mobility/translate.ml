@@ -59,25 +59,18 @@ let capture_frame k fr =
     mf_self = K.oid_at k fr.fw_self;
   }
 
-let resume_to_mi = function
-  | T.Rs_run -> Mi_frame.Mr_run
-  | T.Rs_deliver v -> Mi_frame.Mr_deliver v
-  | T.Rs_complete_syscall v -> Mi_frame.Mr_complete_syscall v
-  | T.Rs_complete_dequeue sid -> Mi_frame.Mr_complete_dequeue sid
-
-let resume_of_mi = function
-  | Mi_frame.Mr_run -> T.Rs_run
-  | Mi_frame.Mr_deliver v -> T.Rs_deliver v
-  | Mi_frame.Mr_complete_syscall v -> T.Rs_complete_syscall v
-  | Mi_frame.Mr_complete_dequeue sid -> T.Rs_complete_dequeue sid
-
+(* the suspension is already machine-independent: it passes through
+   unconverted (the old resume_to_mi/resume_of_mi pair is gone) *)
 let status_to_mi k (seg : T.segment) =
   match seg.T.seg_status with
-  | T.Ready rs -> Mi_frame.Ms_ready (resume_to_mi rs)
+  | T.Parked s ->
+    if not (Isa.Suspend.wire_encodable s) then
+      fail "cannot capture segment %d: CPU-only suspension" seg.T.seg_id;
+    Mi_frame.Ms_parked s
   | T.Awaiting_reply { stop_id } -> Mi_frame.Ms_awaiting_reply stop_id
-  | T.Blocked_monitor { mon_addr; qnode; cond } ->
+  | T.Blocked_monitor { mon_addr; qnode; cond; deadline } ->
     Mi_frame.Ms_blocked_monitor
-      { mon = K.oid_at k mon_addr; in_queue = qnode <> 0; cond }
+      { mon = K.oid_at k mon_addr; in_queue = qnode <> 0; cond; deadline }
   | T.Running ->
     fail "cannot capture running segment %d (park it at its stop first)" seg.T.seg_id
   | T.Dead -> fail "cannot capture dead segment %d" seg.T.seg_id
@@ -91,13 +84,13 @@ let result_type_of k ~class_index ~method_index =
     tmpl.Emc.Template.ot_result_var
 
 let status_of_mi k = function
-  | Mi_frame.Ms_ready rs -> T.Ready (resume_of_mi rs)
+  | Mi_frame.Ms_parked s -> T.Parked s
   | Mi_frame.Ms_awaiting_reply stop_id -> T.Awaiting_reply { stop_id }
-  | Mi_frame.Ms_blocked_monitor { mon; in_queue; cond } ->
+  | Mi_frame.Ms_blocked_monitor { mon; in_queue; cond; deadline } ->
     let mon_addr = K.ensure_ref k mon in
     ignore in_queue;
     (* queue membership is restored by the caller, in marshalled order *)
-    T.Blocked_monitor { mon_addr; qnode = 0; cond }
+    T.Blocked_monitor { mon_addr; qnode = 0; cond; deadline }
 
 (* geometry of one rebuilt frame on this node *)
 type build_frame = {
@@ -152,6 +145,18 @@ let rebuild_segment k (mi : Mi_frame.mi_segment) : T.segment =
         cursor := !cursor + b.bf_depth + linkage_bytes family + 16)
       barr;
     let write_slots fp (b : build_frame) =
+      (* the self slot is not always in the stop's live set (a spin loop may
+         never read self again), but the frame walk relies on it to identify
+         the activation's object on a later capture — restore it first, then
+         let a live capture of the same slot overwrite with the same value *)
+      let tmpl =
+        op_template k ~class_index:b.bf.Mi_frame.mf_class
+          ~method_index:b.bf.Mi_frame.mf_method
+      in
+      let self_slot = Emc.Template.var_slot tmpl 0 in
+      let self_off = b.bf_fi.Emc.Busstop.fr_slot_offsets.(self_slot) in
+      let self_addr = K.ensure_ref k b.bf.Mi_frame.mf_self in
+      Mem.store32 mem (fp + self_off) (Int32.of_int self_addr);
       Array.iter
         (fun (slot, v) ->
           let off = b.bf_fi.Emc.Busstop.fr_slot_offsets.(slot) in

@@ -33,8 +33,9 @@ val walk_frames : Ert.Kernel.t -> Ert.Thread.segment -> frame_rec list
 val capture_frame : Ert.Kernel.t -> frame_rec -> Mi_frame.mi_frame
 
 val status_to_mi : Ert.Kernel.t -> Ert.Thread.segment -> Mi_frame.mi_status
-val resume_to_mi : Ert.Thread.resume -> Mi_frame.mi_resume
-val resume_of_mi : Mi_frame.mi_resume -> Ert.Thread.resume
+(** Fails on a running or dead segment, and on a CPU-only suspension (the
+    unified {!Isa.Suspend.t} passes through otherwise — there is no
+    conversion step any more). *)
 
 val result_type_of : Ert.Kernel.t -> class_index:int -> method_index:int -> Emc.Ast.typ option
 

@@ -180,8 +180,8 @@ let test_parse_inspection () =
     check Alcotest.int "thread" tid ms.Mobility.Mi_frame.ms_thread;
     check Alcotest.bool "has frames" true (ms.Mobility.Mi_frame.ms_frames <> []);
     (match ms.Mobility.Mi_frame.ms_status with
-    | Mobility.Mi_frame.Ms_ready _ -> ()
-    | _ -> Alcotest.fail "captured segment must be ready at a stop")
+    | Mobility.Mi_frame.Ms_parked _ -> ()
+    | _ -> Alcotest.fail "captured segment must be parked at a stop")
   | _ -> Alcotest.fail "expected exactly one segment"
 
 (* Image format v2: u32 segment count, validated restores ---------------- *)

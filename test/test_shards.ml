@@ -35,6 +35,7 @@ let ev_label = function
   | Eng.Deliver i -> Printf.sprintf "deliver%d" i
   | Eng.Step i -> Printf.sprintf "step%d" i
   | Eng.Timer i -> Printf.sprintf "timer%d" i
+  | Eng.Wake i -> Printf.sprintf "wake%d" i
 
 let test_colliding_timestamps () =
   (* every entry at the same virtual time: the pop order must be the
@@ -72,7 +73,8 @@ let test_peek_rank_merge () =
     (fun (at, ev) ->
       put one ~at ev;
       put (match ev with
-           | Eng.Step i | Eng.Deliver i | Eng.Gc i | Eng.Timer i | Eng.Chaos i ->
+           | Eng.Step i | Eng.Deliver i | Eng.Gc i | Eng.Timer i | Eng.Chaos i
+           | Eng.Wake i ->
              if i < 2 then lo else hi)
         ~at ev)
     [ (5.0, Eng.Step 3); (5.0, Eng.Step 0); (4.0, Eng.Deliver 2);

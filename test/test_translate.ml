@@ -40,27 +40,35 @@ let segment_gen =
         mf_self = Ert.Oid.fresh_data ~node_id:1 ~serial:(cls + 1);
       }
   in
-  let resume_gen =
+  let suspension_gen =
+    let module S = Isa.Suspend in
     oneof
       [
-        return MF.Mr_run;
-        map (fun v -> MF.Mr_deliver v) value_gen;
-        map (fun v -> MF.Mr_complete_syscall (Some v)) value_gen;
-        return (MF.Mr_complete_syscall None);
-        map (fun s -> MF.Mr_complete_dequeue (Some s)) nat;
-        return (MF.Mr_complete_dequeue None);
+        return S.Run;
+        map (fun v -> S.Deliver v) value_gen;
+        map (fun v -> S.Complete (Some v)) value_gen;
+        return (S.Complete None);
+        map (fun s -> S.Complete_dequeue (Some s)) nat;
+        return (S.Complete_dequeue None);
       ]
   in
   let status_gen =
     oneof
       [
-        map (fun r -> MF.Ms_ready r) resume_gen;
+        map (fun s -> MF.Ms_parked s) suspension_gen;
         map (fun s -> MF.Ms_awaiting_reply s) (int_range 0 30);
         map
-          (fun q ->
+          (fun (q, dl) ->
             MF.Ms_blocked_monitor
-              { mon = Ert.Oid.fresh_data ~node_id:2 ~serial:7; in_queue = q; cond = -1 })
-          bool;
+              {
+                mon = Ert.Oid.fresh_data ~node_id:2 ~serial:7;
+                in_queue = q;
+                cond = -1;
+                deadline = dl;
+              })
+          (pair bool
+             (oneof
+                [ return None; map (fun d -> Some (float_of_int d)) (int_range 0 100000) ]));
       ]
   in
   list_size (int_range 0 4) frame_gen >>= fun frames ->
