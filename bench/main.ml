@@ -7,7 +7,8 @@
      dune exec bench/main.exe bechamel   -- Bechamel host-time microbenchmarks
 
    Experiment ids: table1, intranode, conversion, sweep, ablation, fig2,
-   fig3 (includes fig4), scaling, faults, spans, evict, bechamel.
+   fig3 (includes fig4), scaling, cluster, cluster_smoke (CI-sized),
+   faults, spans, evict, bechamel.
 
    --shards N sets the shard count the scaling experiment compares
    against the single-shard baseline (default 4). *)
@@ -1000,6 +1001,112 @@ let run_evict () =
   pf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Extension: the partitioned location directory at cluster scale       *)
+(* ------------------------------------------------------------------ *)
+
+(* The million-object regime, scaled to bench time: a large cold
+   population fills the dense object tables and the partitioned
+   directory, a hot flock tours the ring as batched group migrations,
+   and chasers with stale references drive the locate machinery.  Two
+   gates: every chaser digest must land (the calls all found their
+   moving targets), and the mean forwarding-hop count per located
+   invoke must stay <= 2 — the chain-collapse hints and the directory
+   keep routes short even while the flock keeps moving.  The identical
+   configuration is run single-sharded and sharded: every
+   simulation-visible number must match bit-for-bit. *)
+let run_cluster_config ~experiment ~n_nodes ~shards ~n_objects ~flock ~askers
+    ~calls ~rounds () =
+  let go s =
+    W.measure_cluster ~shards:s ~flock ~askers ~calls ~rounds ~n_nodes
+      ~n_objects ()
+  in
+  let base = go 1 in
+  let shr = go shards in
+  let identical =
+    base.W.cr_result = shr.W.cr_result
+    && base.W.cr_events = shr.W.cr_events
+    && base.W.cr_virtual_us = shr.W.cr_virtual_us
+    && base.W.cr_messages = shr.W.cr_messages
+    && base.W.cr_bytes = shr.W.cr_bytes
+    && base.W.cr_locate_hops = shr.W.cr_locate_hops
+    && base.W.cr_dir_updates = shr.W.cr_dir_updates
+  in
+  pf "%8s %7s %9s %9s %8s %9s %7s %6s\n" "shards" "objects" "events"
+    "ev/s" "locates" "mean hops" "dir upd" "same";
+  hr ();
+  let row (r : W.cluster_run) =
+    pf "%8d %7d %9d %9.0f %8d %9.2f %7d %6s\n" r.W.cr_shards r.W.cr_objects
+      r.W.cr_events r.W.cr_events_per_sec r.W.cr_locates r.W.cr_mean_hops
+      r.W.cr_dir_updates
+      (if identical then "yes" else "NO")
+  in
+  row base;
+  row shr;
+  hr ();
+  pf "group transfers: %d (%d objects); collapses: %d; directory: %d\n"
+    shr.W.cr_group_moves shr.W.cr_group_objects shr.W.cr_collapses
+    shr.W.cr_dir_applied;
+  pf "applied, %d stale dropped, lookups %d hit / %d miss; %d msgs, %d bytes\n"
+    shr.W.cr_dir_stale shr.W.cr_dir_hits shr.W.cr_dir_misses shr.W.cr_messages
+    shr.W.cr_bytes;
+  add_json_row ~experiment
+    [
+      ("nodes", jint n_nodes);
+      ("shards", jint shr.W.cr_shards);
+      ("objects", jint n_objects);
+      ("events", jint shr.W.cr_events);
+      ("events_per_s", jnum shr.W.cr_events_per_sec);
+      ("run_host_s", jnum shr.W.cr_run_seconds);
+      ("locates", jint shr.W.cr_locates);
+      ("mean_lookup_hops", jnum shr.W.cr_mean_hops);
+      ("collapses", jint shr.W.cr_collapses);
+      ("dir_updates", jint shr.W.cr_dir_updates);
+      ("dir_stale", jint shr.W.cr_dir_stale);
+      ("dir_hits", jint shr.W.cr_dir_hits);
+      ("dir_misses", jint shr.W.cr_dir_misses);
+      ("group_moves", jint shr.W.cr_group_moves);
+      ("group_objects", jint shr.W.cr_group_objects);
+      ("messages", jint shr.W.cr_messages);
+      ("bytes", jint shr.W.cr_bytes);
+      ("identical", if identical then "true" else "false");
+    ];
+  if shr.W.cr_result <> shr.W.cr_expected then begin
+    pf "FAIL: chaser digests sum to %d, expected %d\n" shr.W.cr_result
+      shr.W.cr_expected;
+    exit 1
+  end;
+  if shr.W.cr_locates = 0 || shr.W.cr_group_moves = 0 then begin
+    pf "FAIL: the workload generated no locate or group-migration traffic\n";
+    exit 1
+  end;
+  if shr.W.cr_mean_hops > 2.0 then begin
+    pf "FAIL: mean lookup hops %.2f exceeds the 2.0 gate\n" shr.W.cr_mean_hops;
+    exit 1
+  end;
+  if not identical then begin
+    pf "FAIL: sharded run diverged from the single-shard baseline\n";
+    exit 1
+  end;
+  pf "gates: digests complete, mean hops %.2f <= 2.0, shard-identical\n\n"
+    shr.W.cr_mean_hops
+
+let run_cluster () =
+  pf "Extension: partitioned location directory at cluster scale\n";
+  pf "100k objects on 1024 nodes (8 shards vs 1); a 32-cell flock tours\n";
+  pf "the ring as group migrations while 16 chasers with stale references\n";
+  pf "invoke it.  Chain collapse and the directory must keep the mean\n";
+  pf "forwarding-hop count per located invoke at or below 2.\n";
+  hr ();
+  run_cluster_config ~experiment:"cluster" ~n_nodes:1024 ~shards:8
+    ~n_objects:100_000 ~flock:32 ~askers:16 ~calls:24 ~rounds:30 ()
+
+let run_cluster_smoke () =
+  pf "Location directory, CI-sized smoke (same gates, smaller cluster)\n";
+  hr ();
+  run_cluster_config ~experiment:"cluster_smoke" ~n_nodes:64 ~shards:4
+    ~n_objects:5_000 ~flock:8 ~askers:8 ~calls:12 ~rounds:12 ()
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -1013,6 +1120,8 @@ let all_experiments =
     ("fig3", run_fig3);
     ("fig4", run_fig3);
     ("scaling", run_scaling);
+    ("cluster", run_cluster);
+    ("cluster_smoke", run_cluster_smoke);
     ("faults", run_faults);
     ("spans", run_spans);
     ("evict", run_evict);
@@ -1051,7 +1160,11 @@ let () =
   | [] ->
     pf "Reproduction of the evaluation of Steensgaard & Jul, SOSP 1995:\n";
     pf "\"Object and Native Code Thread Mobility Among Heterogeneous Computers\"\n\n";
-    List.iter (fun (name, f) -> if name <> "fig4" then f ()) all_experiments;
+    (* fig4 aliases fig3; cluster_smoke is the CI-sized cut of cluster *)
+    List.iter
+      (fun (name, f) ->
+        if name <> "fig4" && name <> "cluster_smoke" then f ())
+      all_experiments;
     run_bechamel ()
   | [ "bechamel" ] -> run_bechamel ()
   | names ->

@@ -29,10 +29,12 @@ let pp_outcome ?(verbose = false) ppf (o : Core.Fuzz.outcome) =
        %d dups]"
       o.Core.Fuzz.f_events o.Core.Fuzz.f_virtual_us o.Core.Fuzz.f_moves
       o.Core.Fuzz.f_evictions o.Core.Fuzz.f_faults o.Core.Fuzz.f_retransmits
-      o.Core.Fuzz.f_dups
+      o.Core.Fuzz.f_dups;
+  if verbose && o.Core.Fuzz.f_group_moves > 0 then
+    Format.fprintf ppf " [%d group moves]" o.Core.Fuzz.f_group_moves
 
-let report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
-    (o : Core.Fuzz.outcome) =
+let report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
+    ~do_shrink (o : Core.Fuzz.outcome) =
   Format.printf "@.%a@." (pp_outcome ~verbose:true) o;
   Format.printf "plan: %s@." (Fault.Plan.to_string o.Core.Fuzz.f_plan);
   if o.Core.Fuzz.f_trace <> [] then begin
@@ -43,17 +45,18 @@ let report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
   if do_shrink then begin
     Format.printf "shrinking...@.";
     let minimal =
-      Core.Fuzz.shrink ?drop ~evict ~check_every ~max_events ~shards
+      Core.Fuzz.shrink ?drop ~evict ~groups ~check_every ~max_events ~shards
         ~seed:o.Core.Fuzz.f_seed o.Core.Fuzz.f_plan
     in
     Format.printf "minimal failing plan: %s@." (Fault.Plan.to_string minimal)
   end;
-  Format.printf "reproduce: emfuzz --seed %d%s%s@." o.Core.Fuzz.f_seed
+  Format.printf "reproduce: emfuzz --seed %d%s%s%s@." o.Core.Fuzz.f_seed
     (match drop with Some d -> Printf.sprintf " --drop %g" d | None -> "")
     (if evict then " --evict" else "")
+    (if groups then " --groups" else "")
 
-let run seeds start one_seed faults drop evict check_every max_events shards
-    no_shrink verbose =
+let run seeds start one_seed faults drop evict groups check_every max_events
+    shards no_shrink verbose =
   let plan =
     match faults with
     | None -> None
@@ -68,8 +71,8 @@ let run seeds start one_seed faults drop evict check_every max_events shards
   match one_seed with
   | Some seed ->
     let o =
-      Core.Fuzz.run_seed ?plan ?drop ~evict ~check_every ~max_events ~shards
-        ~seed ()
+      Core.Fuzz.run_seed ?plan ?drop ~evict ~groups ~check_every ~max_events
+        ~shards ~seed ()
     in
     if o.Core.Fuzz.f_ok then begin
       Format.printf "%a@." (pp_outcome ~verbose:true) o;
@@ -78,15 +81,15 @@ let run seeds start one_seed faults drop evict check_every max_events shards
       0
     end
     else begin
-      report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
-        o;
+      report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
+        ~do_shrink o;
       1
     end
   | None ->
     let t0 = Unix.gettimeofday () in
     let completed = ref 0 and unavailable = ref 0 in
     let faults_n = ref 0 and rexmit = ref 0 and dups = ref 0 in
-    let evictions = ref 0 in
+    let evictions = ref 0 and group_moves = ref 0 in
     let ran = ref 0 in
     let on_outcome (o : Core.Fuzz.outcome) =
       incr ran;
@@ -98,23 +101,25 @@ let run seeds start one_seed faults drop evict check_every max_events shards
       rexmit := !rexmit + o.Core.Fuzz.f_retransmits;
       dups := !dups + o.Core.Fuzz.f_dups;
       evictions := !evictions + o.Core.Fuzz.f_evictions;
+      group_moves := !group_moves + o.Core.Fuzz.f_group_moves;
       if verbose then Format.printf "%a@." (pp_outcome ~verbose:true) o
     in
     let seed_list = List.init seeds (fun i -> start + i) in
     (match
-       Core.Fuzz.sweep ?drop ~evict ~check_every ~max_events ~shards
+       Core.Fuzz.sweep ?drop ~evict ~groups ~check_every ~max_events ~shards
          ~on_outcome ~seeds:seed_list ()
      with
     | Some bad ->
-      report_failure ~drop ~evict ~check_every ~max_events ~shards ~do_shrink
-        bad;
+      report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
+        ~do_shrink bad;
       1
     | None ->
       Format.printf
         "%d seeds: %d completed, %d unavailable, 0 violations  (%d faults \
          injected, %d retransmits, %d dups suppressed%s)  [%.1fs]@."
         !ran !completed !unavailable !faults_n !rexmit !dups
-        (if evict then Printf.sprintf ", %d evictions" !evictions else "")
+        ((if evict then Printf.sprintf ", %d evictions" !evictions else "")
+        ^ (if groups then Printf.sprintf ", %d group moves" !group_moves else ""))
         (Unix.gettimeofday () -. t0);
       0)
 
@@ -144,6 +149,13 @@ let evict_t =
        & info [ "evict" ]
            ~doc:"Install the hot-spot balancer on every scenario, so \
                  forced-eviction captures race the fault plan.")
+
+let groups_t =
+  Arg.(value & flag
+       & info [ "groups" ]
+           ~doc:"Enable the location directory on every scenario and \
+                 rotate a flock of objects around the ring as batched \
+                 group migrations, racing the fault plan.")
 
 let check_every_t =
   Arg.(value & opt int 1
@@ -175,6 +187,7 @@ let cmd =
     (Cmd.info "emfuzz" ~doc)
     Term.(
       const run $ seeds_t $ start_t $ seed_t $ faults_t $ drop_t $ evict_t
-      $ check_every_t $ max_events_t $ shards_t $ no_shrink_t $ verbose_t)
+      $ groups_t $ check_every_t $ max_events_t $ shards_t $ no_shrink_t
+      $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,14 +2,15 @@
    heterogeneous workstations.
 
      emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
-               [--original] [--codec TIER] [--shards N] [--trace] [--stats]
-               [--profile] [--trace-out FILE] [--evict-hot N]
-               [--seed N] [--faults SPEC] [--check-invariants] *)
+               [--original] [--codec TIER] [--shards N] [--location MODE]
+               [--trace] [--stats] [--profile] [--trace-out FILE]
+               [--evict-hot N] [--seed N] [--faults SPEC]
+               [--check-invariants] *)
 
 open Cmdliner
 
-let run file nodes cls op args_s original codec shards trace stats profile
-    trace_out evict_hot seed faults check_invariants =
+let run file nodes cls op args_s original codec shards location trace stats
+    profile trace_out evict_hot seed faults check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
     String.split_on_char ',' nodes
@@ -43,7 +44,20 @@ let run file nodes cls op args_s original codec shards trace stats profile
         Printf.eprintf "emrun: unknown codec %s (have: naive, bulk, plan)\n" s;
         exit 2)
   in
-  let cl = Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~archs () in
+  let location =
+    match location with
+    | None -> Core.Cluster.Loc_off
+    | Some "off" -> Core.Cluster.Loc_off
+    | Some "collapse" -> Core.Cluster.Loc_collapse
+    | Some "directory" -> Core.Cluster.Loc_directory
+    | Some s ->
+      Printf.eprintf "emrun: unknown location mode %s (have: off, collapse, directory)\n" s;
+      exit 2
+  in
+  let cl =
+    Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~location
+      ~archs ()
+  in
   (match evict_hot with
   | Some threshold ->
     Core.Cluster.set_balancer cl ~every_us:400.0
@@ -153,6 +167,29 @@ let run file nodes cls op args_s original codec shards trace stats profile
             (sc.s_stall_ns /. 1e6)
         done
       end;
+      if Core.Cluster.location cl <> Core.Cluster.Loc_off then begin
+        let open Core.Events in
+        let tc f = Core.Cluster.total_counter cl f in
+        let locates = tc (fun c -> c.c_locates) in
+        let hops = tc (fun c -> c.c_locate_hops) in
+        Printf.printf
+          "location: %d invokes located (%d hops, mean %.2f), %d chain \
+           collapses\n"
+          locates hops
+          (if locates = 0 then 0.0 else float_of_int hops /. float_of_int locates)
+          (tc (fun c -> c.c_collapses));
+        let u, stale, hits, misses = Core.Cluster.directory_stats cl in
+        if Core.Cluster.location cl = Core.Cluster.Loc_directory then
+          Printf.printf
+            "directory: %d updates sent, %d applied (%d stale dropped), \
+             lookups %d hit / %d miss\n"
+            (tc (fun c -> c.c_dir_updates))
+            u stale hits misses;
+        let gm = tc (fun c -> c.c_group_moves) in
+        if gm > 0 then
+          Printf.printf "group transfers: %d (%d objects)\n" gm
+            (tc (fun c -> c.c_group_objects))
+      end;
       if not (Fault.Plan.is_trivial plan) then begin
         let open Core.Events in
         let tc f = Core.Cluster.total_counter cl f in
@@ -260,6 +297,17 @@ let shards_t =
                  (capped at one per node).  Simulation results are \
                  identical at any shard count.")
 
+let location_t =
+  Arg.(value & opt (some string) None
+       & info [ "location" ] ~docv:"MODE"
+           ~doc:"Location subsystem mode: $(b,off) (default; bit-identical \
+                 to builds that predate it), $(b,collapse) (forwarded \
+                 invokes carry hop trails and the hosting node collapses \
+                 the chain behind them), or $(b,directory) (collapse plus \
+                 the hash-partitioned location directory: migrations \
+                 publish to each object's home shard, exhausted proxy \
+                 chains ask the home before broadcasting).")
+
 let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events.")
 let stats_t = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-node statistics.")
 
@@ -309,7 +357,7 @@ let cmd =
     (Cmd.info "emrun" ~doc)
     Term.(
       const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
-      $ codec_t $ shards_t $ trace_t $ stats_t $ profile_t $ trace_out_t
-      $ evict_hot_t $ seed_t $ faults_t $ check_invariants_t)
+      $ codec_t $ shards_t $ location_t $ trace_t $ stats_t $ profile_t
+      $ trace_out_t $ evict_hot_t $ seed_t $ faults_t $ check_invariants_t)
 
 let () = exit (Cmd.eval cmd)

@@ -12,6 +12,21 @@ type scheduler =
   | Heap
   | Scan
 
+(* The location subsystem (DESIGN.md §14).  [Loc_off] is the seed
+   behaviour: forwarding proxies only, broadcast search on exhaustion —
+   and bit-identical traffic, because every new message tag and event
+   below is produced only when a mode is enabled.  [Loc_collapse] adds
+   lazy chain collapse: forwarded invokes carry their hop trail and the
+   node that finally hosts the target rewrites every traversed proxy.
+   [Loc_directory] adds the hash-partitioned location directory on top:
+   migrations publish their destination to the object's home shard, and
+   an exhausted proxy chain asks the home shard before falling back to
+   the broadcast search. *)
+type location =
+  | Loc_off
+  | Loc_collapse
+  | Loc_directory
+
 exception Heterogeneous_move_in_original_protocol
 
 type node = {
@@ -223,6 +238,17 @@ type t = {
       (* per caller node: (thread, caller seg) -> (arch pair, t0) of the
          round trip in flight; opened at the original M_invoke send,
          closed when the M_reply is delivered back at the caller *)
+  (* --- the location subsystem (DESIGN.md §14); all state is inert when
+     [location = Loc_off] --- *)
+  location : location;
+  partition : Loc.Partition.t;  (* OID -> home-shard map (stateless) *)
+  dirs : Loc.Directory.t array;
+      (* node i's directory shard: entries for OIDs whose home is i.
+         Mutated only while executing node i's events (or host-side
+         between events), so parallel windows touch disjoint shards. *)
+  dir_waits : (Ert.Oid.t, Mobility.Marshal.message list) Hashtbl.t array;
+      (* per asker node: messages parked awaiting that node's in-flight
+         M_dir_lookup, newest first *)
 }
 
 let n_shards t = Array.length t.shards
@@ -311,7 +337,8 @@ let ensure_wake t i =
 
 let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
     ?(scheduler = Heap) ?(shards = 1) ?quantum ?gc_threshold
-    ?(faults = Fault.Plan.empty) ?(async_migration = false) ~archs () =
+    ?(faults = Fault.Plan.empty) ?(async_migration = false)
+    ?(location = Loc_off) ~archs () =
   let n = List.length archs in
   let reliable = not (Fault.Plan.is_trivial faults) in
   if reliable && scheduler <> Heap then
@@ -320,7 +347,7 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
   if shards > 1 && scheduler <> Heap then
     invalid_arg "Cluster.create: sharding requires the Heap scheduler";
   let net = Enet.Netsim.create ?config:net_config ~n_nodes:n () in
-  let repo = Mobility.Code_repository.create () in
+  let repo = Mobility.Code_repository.create ~n_nodes:n () in
   let nodes =
     Array.of_list
       (List.mapi
@@ -382,7 +409,11 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       spans_on = false;
       span_seq = Array.make n 0;
       move_t0 = Array.make n Float.nan;
-      rpc_open = Array.init n (fun _ -> Hashtbl.create 8) }
+      rpc_open = Array.init n (fun _ -> Hashtbl.create 8);
+      location;
+      partition = Loc.Partition.create ~n_nodes:n;
+      dirs = Array.init n (fun _ -> Loc.Directory.create ());
+      dir_waits = Array.init n (fun _ -> Hashtbl.create 4) }
   in
   E.attach_shards t.bus d;
   Array.iteri
@@ -434,6 +465,24 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
 
 let protocol t = t.proto
 let scheduler t = t.sched
+let location t = t.location
+let directory_home t oid = Loc.Partition.home t.partition oid
+
+(* host-side directory inspection (no hit/miss accounting) *)
+let directory_entry t oid =
+  match Loc.Directory.peek t.dirs.(directory_home t oid) oid with
+  | Some e -> Some e.Loc.Directory.le_node
+  | None -> None
+
+(* summed over all shards: (updates, stale drops, hits, misses) *)
+let directory_stats t =
+  Array.fold_left
+    (fun (u, s, h, m) d ->
+      ( u + Loc.Directory.updates d,
+        s + Loc.Directory.stale_dropped d,
+        h + Loc.Directory.hits d,
+        m + Loc.Directory.misses d ))
+    (0, 0, 0, 0) t.dirs
 let n_nodes t = Array.length t.nodes
 let kernel t i = t.nodes.(i).n_kernel
 let kernels t = Array.map (fun n -> n.n_kernel) t.nodes
@@ -476,6 +525,12 @@ let create_object t ~node ~class_name =
     let oid = K.oid_at k addr in
     (* harness-held references pin their objects against automatic GC *)
     t.pinned <- oid :: t.pinned;
+    (* a silent host-side birth registration: no traffic and no events,
+       so the directory-off byte stream is untouched and a fresh cluster
+       starts with an authoritative location map *)
+    (if t.location = Loc_directory then
+       let home = Loc.Partition.home t.partition oid in
+       ignore (Loc.Directory.update t.dirs.(home) oid ~node ~at:(K.time_us k) : bool));
     ensure_step t node;
     oid
 
@@ -584,12 +639,16 @@ let find_search_any t obj =
   go 0
 
 (* a message could not be delivered: the sending thread's continuation is
-   lost with it.  [node] is the context node the drop happens at. *)
+   lost with it.  [node] is the context node the drop happens at.  The
+   whole delivery/search/transport machinery below is one recursive
+   group: a drop can complete a search negatively, a directory fallback
+   starts a search, and a search sends probes. *)
 let rec drop_message t ~node (msg : Mobility.Marshal.message) ~reason =
   match msg with
   | Mobility.Marshal.M_invoke { thread; _ } -> abort_thread t ~node thread ~reason
+  | Mobility.Marshal.M_invoke_via { inv; _ } -> drop_message t ~node inv ~reason
   | Mobility.Marshal.M_reply { thread; _ } -> abort_thread t ~node thread ~reason
-  | Mobility.Marshal.M_move payload ->
+  | Mobility.Marshal.M_move payload | Mobility.Marshal.M_group_move payload ->
     List.iter
       (fun (s : Mobility.Mi_frame.mi_segment) ->
         abort_thread t ~node s.Mobility.Mi_frame.ms_thread ~reason)
@@ -602,10 +661,18 @@ let rec drop_message t ~node (msg : Mobility.Marshal.message) ~reason =
     match find_search_any t obj with
     | None -> ()
     | Some (tbl, s) -> search_negative t tbl obj s)
+  | Mobility.Marshal.M_dir_lookup { obj } | Mobility.Marshal.M_dir_reply { obj; _ }
+    ->
+    (* a lookup (or its answer) died on the wire: release every parked
+       message waiting on it into the broadcast search.  Like the
+       M_locate case, this needs a dead node or a spent retry budget,
+       so it never runs inside a parallel window. *)
+    dir_fallback t obj
   | Mobility.Marshal.M_move_req _ | Mobility.Marshal.M_located _
-  | Mobility.Marshal.M_start_process _ ->
+  | Mobility.Marshal.M_start_process _ | Mobility.Marshal.M_dir_update _
+  | Mobility.Marshal.M_loc_hint _ ->
     (* no thread continuation rides on these; the protocol degrades to a
-       search or a no-op *)
+       search, a stale directory entry, or a no-op *)
     ()
 
 and search_negative t tbl obj (s : search) =
@@ -621,7 +688,19 @@ and search_negative t tbl obj (s : search) =
       s.s_pending
   end
 
-let crash_node t i =
+(* every node whose directory wait on [obj] can no longer be answered
+   falls back to the broadcast search with its parked messages *)
+and dir_fallback t obj =
+  Array.iteri
+    (fun asker waits ->
+      match Hashtbl.find_opt waits obj with
+      | None -> ()
+      | Some pending ->
+        Hashtbl.remove waits obj;
+        List.iter (fun msg -> start_search t ~asker obj msg) (List.rev pending))
+    t.dir_waits
+
+and crash_node t i =
   let victim = t.nodes.(i) in
   if not victim.n_crashed then begin
     emit t ~node:i (E.Ev_crash { node = i });
@@ -676,6 +755,26 @@ let crash_node t i =
           drop_message t ~node:i p.p_msg
             ~reason:(Printf.sprintf "node %d crashed" i))
         entries
+    end;
+    (* the node's directory shard dies with it (restart rebuilds it from
+       the surviving residents), and its in-flight lookups can no longer
+       be answered: release their parked messages to the search *)
+    if t.location = Loc_directory then begin
+      Loc.Directory.clear t.dirs.(i);
+      let waits =
+        Hashtbl.fold (fun obj msgs acc -> (obj, msgs) :: acc) t.dir_waits.(i) []
+        |> List.sort (fun (a, _) (b, _) ->
+               compare (Ert.Oid.intern a) (Ert.Oid.intern b))
+      in
+      Hashtbl.reset t.dir_waits.(i);
+      List.iter
+        (fun (_, msgs) ->
+          List.iter
+            (fun msg ->
+              drop_message t ~node:i msg
+                ~reason:(Printf.sprintf "node %d crashed" i))
+            (List.rev msgs))
+        waits
     end
   end
 
@@ -684,11 +783,15 @@ let crash_node t i =
    with the program reloaded so arriving invocations can at least build
    proxies and forward.  Everything the node held before the crash stays
    lost; that is the fail-stop model. *)
-let restart_node t i =
+and restart_node t i =
   let n = t.nodes.(i) in
   if n.n_crashed then begin
     let arch = K.arch n.n_kernel in
     let k = K.create ~clock:n.n_clock ~node_id:i ~arch () in
+    (* serial counters come from stable storage: a rebooted node must not
+       re-mint an OID its previous incarnation issued, because copies of
+       those objects may have migrated away and survived the crash *)
+    K.inherit_serials k (K.serials n.n_kernel);
     K.set_on_code_load k (fun ~class_index ->
         Mobility.Code_repository.record_fetch t.repo ~node:i ~class_index;
         K.charge_insns k CM.code_fetch_insns);
@@ -699,28 +802,47 @@ let restart_node t i =
     n.n_kernel <- k;
     n.n_crashed <- false;
     if t.reliable then Hashtbl.reset t.seen.(i);
+    (* rebuild the node's directory shard from the forwarding ground
+       truth: every surviving resident whose home partition is this node
+       is re-registered at its current host, stamped now — so an update
+       that was in flight across the crash arrives stale and is dropped *)
+    if t.location = Loc_directory then begin
+      let d = t.dirs.(i) in
+      Loc.Directory.clear d;
+      let now = K.time_us k in
+      Array.iteri
+        (fun j n' ->
+          if not n'.n_crashed then
+            K.iter_objects n'.n_kernel (fun oid _ ->
+                if Loc.Partition.home t.partition oid = i then
+                  ignore (Loc.Directory.update d oid ~node:j ~at:now : bool)))
+        t.nodes
+    end;
     emit t ~node:i (E.Ev_restart { node = i })
   end
 
 (* ----------------------------------------------------------------------- *)
 (* message transmission with conversion accounting *)
 
-let payload_shape (msg : Mobility.Marshal.message) =
+and payload_shape (msg : Mobility.Marshal.message) =
   match msg with
-  | Mobility.Marshal.M_move p ->
+  | Mobility.Marshal.M_move p | Mobility.Marshal.M_group_move p ->
     let frames =
       List.fold_left
         (fun acc s -> acc + Mobility.Mi_frame.frame_count s)
         0 p.Mobility.Marshal.mp_segments
     in
     (List.length p.Mobility.Marshal.mp_objects, frames)
-  | Mobility.Marshal.M_invoke _ | Mobility.Marshal.M_reply _
-  | Mobility.Marshal.M_move_req _ | Mobility.Marshal.M_locate _
-  | Mobility.Marshal.M_located _ | Mobility.Marshal.M_start_process _ -> (0, 0)
+  | Mobility.Marshal.M_invoke _ | Mobility.Marshal.M_invoke_via _
+  | Mobility.Marshal.M_reply _ | Mobility.Marshal.M_move_req _
+  | Mobility.Marshal.M_locate _ | Mobility.Marshal.M_located _
+  | Mobility.Marshal.M_start_process _ | Mobility.Marshal.M_dir_update _
+  | Mobility.Marshal.M_dir_lookup _ | Mobility.Marshal.M_dir_reply _
+  | Mobility.Marshal.M_loc_hint _ -> (0, 0)
 
-let check_protocol t ~src ~dst (msg : Mobility.Marshal.message) =
+and check_protocol t ~src ~dst (msg : Mobility.Marshal.message) =
   match t.proto, msg with
-  | Original, Mobility.Marshal.M_move _
+  | Original, (Mobility.Marshal.M_move _ | Mobility.Marshal.M_group_move _)
     when not
            (Isa.Arch.equal_family (arch_of t src).Isa.Arch.family
               (arch_of t dst).Isa.Arch.family) ->
@@ -732,14 +854,14 @@ let check_protocol t ~src ~dst (msg : Mobility.Marshal.message) =
 
 (* charge the conversion (or raw copy) work performed while encoding or
    decoding [bytes] of network data *)
-let charge_conversion t ~node ~calls ~bytes =
+and charge_conversion t ~node ~calls ~bytes =
   let k = t.nodes.(node).n_kernel in
   (match t.proto with
   | Enhanced -> K.charge_insns k (calls * CM.per_conversion_call_insns)
   | Original -> K.charge_insns k (bytes * CM.original_copy_insns_per_byte));
   if calls > 0 || bytes > 0 then emit t ~node (E.Ev_conversion { node; calls; bytes })
 
-let charge_translation t ~node (msg : Mobility.Marshal.message) =
+and charge_translation t ~node (msg : Mobility.Marshal.message) =
   match t.proto with
   | Original -> ()
   | Enhanced ->
@@ -748,14 +870,14 @@ let charge_translation t ~node (msg : Mobility.Marshal.message) =
     K.charge_insns k
       ((objects * CM.object_translate_insns) + (frames * CM.frame_translate_insns))
 
-let wire_impl_of t =
+and wire_impl_of t =
   match t.proto with
   | Enhanced -> t.wire_impl
   | Original -> Enet.Wire.Bulk
 
 (* under the Plan tier, thread the memoized conversion-plan cache and the
    (src, dst) arch pair through encode/decode; other tiers interpret *)
-let plans_for t ~src ~dst =
+and plans_for t ~src ~dst =
   match wire_impl_of t with
   | Enet.Wire.Plan ->
     Some
@@ -768,8 +890,12 @@ let plans_for t ~src ~dst =
   | Enet.Wire.Naive | Enet.Wire.Bulk -> None
 
 (* run an en/decode step and publish plan-cache and buffer-pool activity
-   observed during it (diffs of the global counters) on the bus *)
-let with_conv_extras t ~node f =
+   observed during it (diffs of the global counters) on the bus.
+   Explicitly polymorphic in the result: inside the recursive delivery
+   group it is used at both [string] (copying encode) and
+   [Enet.Wire.view] (pooled encode) *)
+and with_conv_extras : 'a. t -> node:int -> (unit -> 'a) -> 'a =
+ fun t ~node f ->
   let pc = Mobility.Code_repository.plan_cache t.repo in
   let c0 = Mobility.Conv_plan.compiles pc and h0 = Mobility.Conv_plan.hits pc in
   let ph0 = Enet.Wire.Pool.hits () and pm0 = Enet.Wire.Pool.misses () in
@@ -786,7 +912,7 @@ let with_conv_extras t ~node f =
     emit t ~node (E.Ev_pool { node; hits = dph; misses = dpm; copies_saved = dhf });
   r
 
-let send_message t ~src (s : Mobility.Move.send) =
+and send_message t ~src (s : Mobility.Move.send) =
   let dst = s.Mobility.Move.snd_dest in
   let msg = s.Mobility.Move.snd_msg in
   if (not t.reliable) && t.nodes.(dst).n_crashed then begin
@@ -809,7 +935,7 @@ let send_message t ~src (s : Mobility.Move.send) =
      closed at the destination when the move lands *)
   let root =
     match msg with
-    | Mobility.Marshal.M_move _ when sp ->
+    | (Mobility.Marshal.M_move _ | Mobility.Marshal.M_group_move _) when sp ->
       let t0 =
         let v = t.move_t0.(src) in
         if Float.is_nan v then K.time_us k else v
@@ -827,8 +953,12 @@ let send_message t ~src (s : Mobility.Move.send) =
   | _ -> ());
   (match root with
   | Some (rid, rt0) ->
-    emit_span t ~node:src ~parent:rid ~pair ~name:"capture" ~t0:rt0
-      ~t1:(K.time_us k) ()
+    let name =
+      match msg with
+      | Mobility.Marshal.M_group_move _ -> "group_pack"
+      | _ -> "capture"
+    in
+    emit_span t ~node:src ~parent:rid ~pair ~name ~t0:rt0 ~t1:(K.time_us k) ()
   | None -> ());
   K.charge_us k CM.protocol_fixed_us;
   K.charge_insns k CM.protocol_send_insns;
@@ -956,7 +1086,7 @@ let send_message t ~src (s : Mobility.Move.send) =
 
 (* Emerald's broadcast location search: probe every live node; park the
    unroutable message until an answer arrives *)
-let start_search t ~asker obj msg =
+and start_search t ~asker obj msg =
   let tbl = search_tbl t ~asker in
   match Hashtbl.find_opt tbl obj with
   | Some s -> s.s_pending <- msg :: s.s_pending
@@ -979,6 +1109,84 @@ let start_search t ~asker obj msg =
           send_message t ~src:asker
             { Mobility.Move.snd_dest = i; snd_msg = Mobility.Marshal.M_locate { obj } })
         probes)
+
+(* An exhausted (or absent) proxy chain.  With the directory on, ask the
+   object's home shard — one unicast instead of the broadcast — parking
+   the message until the answer; the broadcast search remains the
+   fallback of last resort (home unreachable, no entry, stale answer). *)
+let locate_fallback t ~asker obj msg =
+  match t.location with
+  | Loc_off | Loc_collapse -> start_search t ~asker obj msg
+  | Loc_directory ->
+    let home = Loc.Partition.home t.partition obj in
+    if home = asker then begin
+      (* the asker owns the home shard: consult it locally *)
+      let hit = Loc.Directory.lookup t.dirs.(asker) obj in
+      emit t ~node:asker
+        (E.Ev_dir_lookup { node = asker; obj; found = hit <> None });
+      match hit with
+      | Some e
+        when e.Loc.Directory.le_node <> asker
+             && not t.nodes.(e.Loc.Directory.le_node).n_crashed ->
+        let k = t.nodes.(asker).n_kernel in
+        let addr = K.ensure_ref k obj in
+        K.set_proxy_hint k ~addr ~node:e.Loc.Directory.le_node;
+        send_message t ~src:asker
+          { Mobility.Move.snd_dest = e.Loc.Directory.le_node; snd_msg = msg }
+      | Some _ | None -> start_search t ~asker obj msg
+    end
+    else if t.nodes.(home).n_crashed && not t.reliable then
+      (* a known-dead home shard cannot answer; under a fault plan the
+         lookup goes out anyway and the retry budget decides *)
+      start_search t ~asker obj msg
+    else begin
+      let waits = t.dir_waits.(asker) in
+      match Hashtbl.find_opt waits obj with
+      | Some pending -> Hashtbl.replace waits obj (msg :: pending)
+      | None ->
+        Hashtbl.replace waits obj [ msg ];
+        send_message t ~src:asker
+          { Mobility.Move.snd_dest = home;
+            snd_msg = Mobility.Marshal.M_dir_lookup { obj } }
+    end
+
+(* After a move (or group move) lands with the directory on, tell each
+   moved object's home shard where it went.  Updates are batched per
+   home and the homes are walked in ascending order, so the published
+   traffic is identical at any shard count. *)
+let publish_locations t ~dst payload =
+  if t.location = Loc_directory then begin
+    let k = t.nodes.(dst).n_kernel in
+    let at = K.time_us k in
+    let by_home = Hashtbl.create 8 in
+    let homes = ref [] in
+    List.iter
+      (fun (mo : Mobility.Marshal.move_object) ->
+        let oid = mo.Mobility.Marshal.mo_oid in
+        let home = Loc.Partition.home t.partition oid in
+        match Hashtbl.find_opt by_home home with
+        | Some l -> Hashtbl.replace by_home home (oid :: l)
+        | None ->
+          homes := home :: !homes;
+          Hashtbl.replace by_home home [ oid ])
+      payload.Mobility.Marshal.mp_objects;
+    List.iter
+      (fun home ->
+        let objs = List.rev (Hashtbl.find by_home home) in
+        if home = dst then
+          (* the destination owns the home shard: no traffic needed *)
+          List.iter
+            (fun obj ->
+              let applied = Loc.Directory.update t.dirs.(dst) obj ~node:dst ~at in
+              emit t ~node:dst
+                (E.Ev_dir_update { node = dst; obj; loc = dst; applied }))
+            objs
+        else
+          send_message t ~src:dst
+            { Mobility.Move.snd_dest = home;
+              snd_msg = Mobility.Marshal.M_dir_update { objs; node = dst; at } })
+      (List.sort compare !homes)
+  end
 
 (* Asynchronous migration (DESIGN.md §13): the capture/translate/marshal
    pipeline runs on a background mover engine, so the source's other
@@ -1120,23 +1328,74 @@ let deliver t ~dst (m : Enet.Netsim.message) =
        { time = K.time_us k; node = dst; desc = Mobility.Marshal.describe msg });
   let sends =
     match msg with
-    | Mobility.Marshal.M_invoke
-        { target; callee_class; callee_method; args; reply; thread; forwards } -> (
-      (* under a fault plan, a message of an already-aborted thread can
-         still arrive (its abort raced a copy in flight); resurrecting
-         the continuation would violate the no-orphans invariant *)
-      if t.reliable && Hashtbl.mem t.failures thread then []
-      else begin
-      K.charge_insns k CM.invoke_dispatch_insns;
-      match
-        Mobility.Rpc.handle_invoke ~k ~target ~callee_class ~callee_method ~args ~reply
-          ~thread ~forwards
-      with
-      | Mobility.Rpc.Routed sends -> sends
-      | Mobility.Rpc.Unlocated msg ->
-        start_search t ~asker:dst target msg;
-        []
-      end)
+    | Mobility.Marshal.M_invoke _ | Mobility.Marshal.M_invoke_via _ -> (
+      (* the hop trail: empty for a first-hop invoke, the list of nodes
+         already traversed for a via-wrapped one (location modes only) *)
+      let via, inv =
+        match msg with
+        | Mobility.Marshal.M_invoke_via { via; inv } -> (via, inv)
+        | inv -> ([], inv)
+      in
+      match inv with
+      | Mobility.Marshal.M_invoke
+          { target; callee_class; callee_method; args; reply; thread; forwards } -> (
+        (* under a fault plan, a message of an already-aborted thread can
+           still arrive (its abort raced a copy in flight); resurrecting
+           the continuation would violate the no-orphans invariant *)
+        if t.reliable && Hashtbl.mem t.failures thread then []
+        else begin
+        K.charge_insns k CM.invoke_dispatch_insns;
+        match
+          Mobility.Rpc.handle_invoke ~k ~target ~callee_class ~callee_method ~args
+            ~reply ~thread ~forwards
+        with
+        | Mobility.Rpc.Routed [] ->
+          (* the target is here: the walk is over.  Collapse the chain it
+             came through — every traversed node, plus the caller, gets a
+             hint pointing straight at this host (ascending node order,
+             so the fanout is deterministic at any shard count) *)
+          if t.location = Loc_off then []
+          else begin
+            emit t ~node:dst
+              (E.Ev_locate { node = dst; obj = target; hops = List.length via });
+            if via = [] then []
+            else
+              List.filter_map
+                (fun n ->
+                  if n = dst then None
+                  else
+                    Some
+                      { Mobility.Move.snd_dest = n;
+                        snd_msg =
+                          Mobility.Marshal.M_loc_hint { obj = target; node = dst } })
+                (List.sort_uniq compare (reply.T.ln_node :: via))
+          end
+        | Mobility.Rpc.Routed sends ->
+          (* forwarding along a proxy chain: record this hop in the trail
+             so the eventual host knows whom to collapse *)
+          if t.location = Loc_off then sends
+          else
+            List.map
+              (fun s ->
+                match s.Mobility.Move.snd_msg with
+                | Mobility.Marshal.M_invoke _ as fwd ->
+                  { s with
+                    Mobility.Move.snd_msg =
+                      Mobility.Marshal.M_invoke_via { via = via @ [ dst ]; inv = fwd }
+                  }
+                | _ -> s)
+              sends
+        | Mobility.Rpc.Unlocated unl ->
+          let unl =
+            if t.location = Loc_off then unl
+            else Mobility.Marshal.M_invoke_via { via = via @ [ dst ]; inv = unl }
+          in
+          locate_fallback t ~asker:dst target unl;
+          []
+        end)
+      | _ ->
+        (* an M_invoke_via always wraps an M_invoke (see marshal.mli) *)
+        assert false)
     | Mobility.Marshal.M_reply { to_seg; value; thread } ->
       (* close the round-trip clock opened when the original M_invoke
          left this node (same node, hence same shard: race-free) *)
@@ -1154,7 +1413,15 @@ let deliver t ~dst (m : Enet.Netsim.message) =
       if sp then t.move_t0.(dst) <- K.time_us k;
       quiesce_node t dst;
       Mobility.Move.handle_move_req ~k ~obj ~dest ~forwards
-    | Mobility.Marshal.M_move payload ->
+    | (Mobility.Marshal.M_move payload | Mobility.Marshal.M_group_move payload) as mv
+      ->
+      (* a group move reuses the whole single-move landing path; only the
+         span name marks the batched unpack *)
+      let unpack_name =
+        match mv with
+        | Mobility.Marshal.M_group_move _ -> "group_unpack"
+        | _ -> "relocate"
+      in
       let t_rel0 = if tag <> None then K.time_us k else 0.0 in
       let mstats = Mobility.Move.apply_move k payload in
       K.charge_insns k (mstats.Mobility.Move.ap_frames * CM.relocation_insns_per_frame);
@@ -1163,7 +1430,7 @@ let deliver t ~dst (m : Enet.Netsim.message) =
         let rid = { Obs.Span.id_node = rn; id_seq = rs } in
         let pair = arch_pair t ~src:m.Enet.Netsim.msg_src ~dst in
         let t_end = K.time_us k in
-        emit_span t ~node:dst ~parent:rid ~pair ~name:"relocate" ~t0:t_rel0
+        emit_span t ~node:dst ~parent:rid ~pair ~name:unpack_name ~t0:t_rel0
           ~t1:t_end ();
         (* the root span, closed where the move lands; its id was
            allocated at the source and rode the message tag *)
@@ -1191,6 +1458,7 @@ let deliver t ~dst (m : Enet.Netsim.message) =
               K.unregister_segment k seg
             end)
           (K.segments k);
+      publish_locations t ~dst payload;
       []
     | Mobility.Marshal.M_start_process { obj; forwards } -> (
       match K.find_object k obj with
@@ -1238,6 +1506,82 @@ let deliver t ~dst (m : Enet.Netsim.message) =
           search_negative t tbl obj s;
           []
         end)
+    | Mobility.Marshal.M_dir_update { objs; node; at } ->
+      (* a publish reaching this home shard; last-writer-wins by virtual
+         timestamp, so reordered publishes of a ping-ponging object
+         cannot regress the entry *)
+      List.iter
+        (fun obj ->
+          let applied = Loc.Directory.update t.dirs.(dst) obj ~node ~at in
+          emit t ~node:dst (E.Ev_dir_update { node = dst; obj; loc = node; applied }))
+        objs;
+      []
+    | Mobility.Marshal.M_dir_lookup { obj } ->
+      let hit = Loc.Directory.lookup t.dirs.(dst) obj in
+      emit t ~node:dst (E.Ev_dir_lookup { node = dst; obj; found = hit <> None });
+      let node, known =
+        match hit with
+        | Some e -> (e.Loc.Directory.le_node, true)
+        | None -> (0, false)
+      in
+      [
+        {
+          Mobility.Move.snd_dest = m.Enet.Netsim.msg_src;
+          snd_msg = Mobility.Marshal.M_dir_reply { obj; node; known };
+        };
+      ]
+    | Mobility.Marshal.M_dir_reply { obj; node; known } -> (
+      let waits = t.dir_waits.(dst) in
+      match Hashtbl.find_opt waits obj with
+      | None -> [] (* a late or duplicate answer; the messages moved on *)
+      | Some pending ->
+        Hashtbl.remove waits obj;
+        let pending = List.rev pending in
+        if known && node <> dst && (t.reliable || not t.nodes.(node).n_crashed)
+        then begin
+          (* the answer doubles as a forwarding hint: future invokes go
+             direct instead of through the directory again *)
+          let addr = K.ensure_ref k obj in
+          K.set_proxy_hint k ~addr ~node;
+          List.map
+            (fun msg -> { Mobility.Move.snd_dest = node; snd_msg = msg })
+            pending
+        end
+        else if K.find_object k obj <> None then
+          (* the entry pointed here and it was right: the object came
+             home while we were asking.  Re-deliver to ourselves so the
+             pending invokes take the normal found path *)
+          List.map
+            (fun msg -> { Mobility.Move.snd_dest = dst; snd_msg = msg })
+            pending
+        else begin
+          match Option.map (fun addr -> K.proxy_hint k addr) (K.proxy_of k obj) with
+          | Some hop
+            when hop <> dst && (t.reliable || not t.nodes.(hop).n_crashed) ->
+            (* the entry points here because we hosted the object once
+               and its departure published later than our own — our
+               forwarding proxy is fresher than the directory, so resume
+               the chain walk from it instead of broadcasting (a search
+               racing the in-flight transfer would see every probe come
+               back negative and wrongly report the object lost) *)
+            List.map
+              (fun msg -> { Mobility.Move.snd_dest = hop; snd_msg = msg })
+              pending
+          | _ ->
+            (* no entry and no trail: broadcast search, last resort *)
+            List.iter (fun msg -> start_search t ~asker:dst obj msg) pending;
+            []
+        end)
+    | Mobility.Marshal.M_loc_hint { obj; node } ->
+      (* chain collapse: repoint this node's forwarding proxy straight at
+         the object's current host.  A hint racing the object home (we
+         host it again) is simply ignored *)
+      if K.find_object k obj = None && node <> dst then begin
+        let addr = K.ensure_ref k obj in
+        K.set_proxy_hint k ~addr ~node;
+        emit t ~node:dst (E.Ev_collapse { node = dst; obj; loc = node })
+      end;
+      []
   in
   List.iter (send_message t ~src:dst) sends
 
@@ -1876,6 +2220,55 @@ let evict_thread t ~node ~seg_id ~dest =
   let outs = K.evict_thread t.nodes.(node).n_kernel ~seg_id ~dest_node:dest in
   List.iter (handle_outcall t ~src:node) outs;
   ensure_step t node
+
+(* Batched migration: capture the union closure of several co-located
+   roots — the objects, their attached closures, and every thread
+   segment executing inside any of them — and ship it as a single
+   [M_group_move] over the pooled wire path, under one root "move" span
+   whose capture leg is named "group_pack" and landing leg
+   "group_unpack".  Roots not resident on [node] are skipped; a batch
+   that captures nothing sends nothing. *)
+let group_move t ~node ~dest oids =
+  if dest <> node && oids <> [] then begin
+    let k = t.nodes.(node).n_kernel in
+    quiesce_node t node;
+    if t.spans_on then t.move_t0.(node) <- K.time_us k;
+    let roots = List.filter_map (K.find_object k) oids in
+    let payload = Mobility.Move.perform_group_move k ~roots ~dest in
+    if payload.Mobility.Marshal.mp_objects <> [] then begin
+      emit t ~node
+        (E.Ev_group_move
+           { time = K.time_us k; node; dest;
+             objects = List.length payload.Mobility.Marshal.mp_objects;
+             segments = List.length payload.Mobility.Marshal.mp_segments });
+      send_message t ~src:node
+        { Mobility.Move.snd_dest = dest;
+          snd_msg = Mobility.Marshal.M_group_move payload };
+      ensure_step t node
+    end
+  end
+
+(* Follow forwarding-proxy hints from [from] toward [oid]: returns the
+   hosting node, if one is reached, and the hops taken.  A harness-side
+   observer (tests, stats) — it sends nothing and charges nothing, so
+   calling it cannot perturb a trace. *)
+let chain_walk t ~from oid =
+  let rec go node hops visited =
+    if List.mem node visited then (None, hops)
+    else if
+      (not t.nodes.(node).n_crashed)
+      && K.find_object t.nodes.(node).n_kernel oid <> None
+    then (Some node, hops)
+    else
+      let k = t.nodes.(node).n_kernel in
+      match K.proxy_of k oid with
+      | Some addr ->
+        let next = K.proxy_hint k addr in
+        if next = node then (None, hops)
+        else go next (hops + 1) (node :: visited)
+      | None -> (None, hops)
+  in
+  go from 0 []
 
 let find_root_done t tid =
   let rec go s =

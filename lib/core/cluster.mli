@@ -22,6 +22,22 @@ type scheduler =
           and for the scaling benchmark; both produce identical event
           sequences and results *)
 
+type location =
+  | Loc_off
+      (** no location subsystem: the event and byte streams are
+          bit-identical to clusters built before it existed *)
+  | Loc_collapse
+      (** forwarded invokes carry their hop trail ({!Marshal.M_invoke_via})
+          and the node that finally hosts the target collapses the chain
+          it walked with {!Marshal.M_loc_hint}s — chains shorten to at
+          most one hop after a single traversal *)
+  | Loc_directory
+      (** {!Loc_collapse} plus the hash-partitioned location directory:
+          every object has a deterministic home shard
+          ({!Loc.Partition.home}); migrations publish batched updates to
+          the homes, and an exhausted proxy chain asks the home shard
+          (one unicast) before falling back to the broadcast search *)
+
 exception Heterogeneous_move_in_original_protocol
 
 exception Thread_unavailable of string
@@ -39,6 +55,7 @@ val create :
   ?gc_threshold:int ->
   ?faults:Fault.Plan.t ->
   ?async_migration:bool ->
+  ?location:location ->
   archs:Isa.Arch.t list ->
   unit ->
   t
@@ -77,10 +94,32 @@ val create :
     against the source clock, so the source's other threads resume from
     the instant the capture began and the asynchronous run never
     finishes later than the synchronous one.  Default [false], which
-    keeps timings bit-identical to earlier versions. *)
+    keeps timings bit-identical to earlier versions.
+
+    [location] selects the location subsystem (default {!Loc_off}, which
+    is bit-identical to clusters that predate it).  All directory and
+    chain-collapse traffic uses dedicated message tags, is produced in
+    deterministic (ascending node) order, and never depends on shard
+    count, so enabling a mode changes bytes identically at any
+    [shards]. *)
 
 val protocol : t -> protocol
 val scheduler : t -> scheduler
+
+val location : t -> location
+
+val directory_home : t -> Ert.Oid.t -> int
+(** The object's home shard node under the cluster's partition map —
+    deterministic in the OID and node count alone. *)
+
+val directory_entry : t -> Ert.Oid.t -> int option
+(** Peek (without counting a hit or miss) at the home shard's current
+    entry for the object: its last published location, if any. *)
+
+val directory_stats : t -> int * int * int * int
+(** Totals over every node's directory shard:
+    [(updates_applied, stale_dropped, lookup_hits, lookup_misses)]. *)
+
 val n_nodes : t -> int
 val kernel : t -> int -> Ert.Kernel.t
 val kernels : t -> Ert.Kernel.t array
@@ -178,6 +217,25 @@ val evict_thread : t -> node:int -> seg_id:int -> dest:int -> unit
     closure is the object the segment is executing inside, so monitor
     queues and split stacks travel exactly as for a programmed move.
     Unknown, dead, or non-resident segments are ignored. *)
+
+val group_move : t -> node:int -> dest:int -> Ert.Oid.t list -> unit
+(** Batched migration: capture the union closure of the given co-located
+    roots — the objects, their attached closures, and every thread
+    segment executing inside any of them — and ship it as a single
+    {!Marshal.M_group_move} transfer over the pooled wire path, reusing
+    the compiled conversion plans.  One root ["move"] span covers the
+    batch; its capture leg is the ["group_pack"] phase and the landing
+    leg ["group_unpack"].  Roots not resident on [node] are skipped, and
+    a batch that captures nothing sends nothing.  With the directory on,
+    the landing publishes every moved object's new location in one
+    batched update per home shard. *)
+
+val chain_walk : t -> from:int -> Ert.Oid.t -> int option * int
+(** Follow forwarding-proxy hints from [from] toward the object:
+    [(host, hops)] where [host] is the hosting node if the walk reached
+    one ([None] on a dead end or cycle).  A harness-side observer for
+    tests and statistics — it sends nothing and charges nothing, so
+    calling it cannot perturb a trace. *)
 
 val set_balancer : t -> every_us:float -> (unit -> unit) -> unit
 (** Install a load-balancing hook that fires every [every_us] of virtual

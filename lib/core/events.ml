@@ -35,6 +35,19 @@ type t =
   | Ev_plan of { node : int; compiles : int; hits : int }
   | Ev_pool of { node : int; hits : int; misses : int; copies_saved : int }
   | Ev_span of Obs.Span.t
+  (* location-subsystem events: none of these fire in the directory-off
+     configuration, so the legacy trace stays byte-identical *)
+  | Ev_dir_update of { node : int; obj : Ert.Oid.t; loc : int; applied : bool }
+  | Ev_dir_lookup of { node : int; obj : Ert.Oid.t; found : bool }
+  | Ev_locate of { node : int; obj : Ert.Oid.t; hops : int }
+  | Ev_collapse of { node : int; obj : Ert.Oid.t; loc : int }
+  | Ev_group_move of {
+      time : float;
+      node : int;
+      dest : int;
+      objects : int;
+      segments : int;
+    }
 
 (* The exact line the seed's [(string -> unit)] trace hook printed for
    this event, if it printed one.  Events the seed had no line for
@@ -90,6 +103,31 @@ let legacy_string = function
       (Printf.sprintf "search for %s: found on node %d" (Ert.Oid.to_string obj) node)
   | Ev_search_failed { obj } ->
     Some (Printf.sprintf "search for %s: not found anywhere" (Ert.Oid.to_string obj))
+  (* location-directory events fire only when a location mode is enabled,
+     so printing them cannot perturb a legacy (directory-off) trace *)
+  | Ev_dir_update { node; obj; loc; applied } ->
+    Some
+      (Printf.sprintf "node %d directory: %s now at node %d%s" node
+         (Ert.Oid.to_string obj) loc
+         (if applied then "" else " (stale, dropped)"))
+  | Ev_dir_lookup { node; obj; found } ->
+    Some
+      (Printf.sprintf "node %d directory: lookup %s -> %s" node
+         (Ert.Oid.to_string obj)
+         (if found then "hit" else "miss"))
+  | Ev_locate { node; obj; hops } ->
+    Some
+      (Printf.sprintf "node %d located %s after %d hop(s)" node
+         (Ert.Oid.to_string obj) hops)
+  | Ev_collapse { node; obj; loc } ->
+    Some
+      (Printf.sprintf "node %d collapses chain for %s -> node %d" node
+         (Ert.Oid.to_string obj) loc)
+  | Ev_group_move { time; node; dest; objects; segments } ->
+    Some
+      (Printf.sprintf
+         "t=%.0fus node %d: group move of %d object(s), %d segment(s) to node %d"
+         time node objects segments dest)
 
 let to_string ev =
   match ev with
@@ -130,6 +168,13 @@ type counters = {
   mutable c_pool_hits : int;
   mutable c_pool_misses : int;
   mutable c_copies_saved : int;
+  mutable c_dir_updates : int;
+  mutable c_dir_lookups : int;
+  mutable c_locates : int;  (* invokes that found their target *)
+  mutable c_locate_hops : int;  (* forwarding hops those invokes took *)
+  mutable c_collapses : int;  (* proxy chains rewritten by a location hint *)
+  mutable c_group_moves : int;
+  mutable c_group_objects : int;  (* objects shipped inside group transfers *)
 }
 
 let fresh_counters () =
@@ -155,6 +200,13 @@ let fresh_counters () =
     c_pool_hits = 0;
     c_pool_misses = 0;
     c_copies_saved = 0;
+    c_dir_updates = 0;
+    c_dir_lookups = 0;
+    c_locates = 0;
+    c_locate_hops = 0;
+    c_collapses = 0;
+    c_group_moves = 0;
+    c_group_objects = 0;
   }
 
 (* Per-shard window metrics for the sharded engine: how many windows the
@@ -240,6 +292,15 @@ let count bus ev =
     (c node).c_pool_hits <- (c node).c_pool_hits + hits;
     (c node).c_pool_misses <- (c node).c_pool_misses + misses;
     (c node).c_copies_saved <- (c node).c_copies_saved + copies_saved
+  | Ev_dir_update { node; _ } -> (c node).c_dir_updates <- (c node).c_dir_updates + 1
+  | Ev_dir_lookup { node; _ } -> (c node).c_dir_lookups <- (c node).c_dir_lookups + 1
+  | Ev_locate { node; hops; _ } ->
+    (c node).c_locates <- (c node).c_locates + 1;
+    (c node).c_locate_hops <- (c node).c_locate_hops + hops
+  | Ev_collapse { node; _ } -> (c node).c_collapses <- (c node).c_collapses + 1
+  | Ev_group_move { node; objects; _ } ->
+    (c node).c_group_moves <- (c node).c_group_moves + 1;
+    (c node).c_group_objects <- (c node).c_group_objects + objects
   | Ev_crash _ | Ev_restart _ | Ev_thread_lost _ | Ev_search_found _
   | Ev_search_failed _ | Ev_span _ -> ()
 

@@ -61,6 +61,26 @@ type t =
   | Ev_span of Obs.Span.t
       (** a closed migration/RPC phase span (virtual-time interval); only
           emitted when span tracing is enabled on the cluster *)
+  | Ev_dir_update of { node : int; obj : Ert.Oid.t; loc : int; applied : bool }
+      (** the directory shard at [node] processed a location update;
+          [applied = false] means it was stale and dropped *)
+  | Ev_dir_lookup of { node : int; obj : Ert.Oid.t; found : bool }
+      (** the directory shard at [node] answered a lookup *)
+  | Ev_locate of { node : int; obj : Ert.Oid.t; hops : int }
+      (** an invoke found its target at [node] after [hops] forwarding
+          hops (0 = the first send landed on the object's host) *)
+  | Ev_collapse of { node : int; obj : Ert.Oid.t; loc : int }
+      (** a location hint rewrote [node]'s proxy for [obj] to point
+          directly at [loc], collapsing the forwarding chain *)
+  | Ev_group_move of {
+      time : float;
+      node : int;
+      dest : int;
+      objects : int;
+      segments : int;
+    }
+      (** a batched group migration left [node]: [objects] co-located
+          objects and their [segments] attached threads in one transfer *)
 
 val legacy_string : t -> string option
 (** The seed trace hook's line for this event; [None] for events the seed
@@ -93,6 +113,13 @@ type counters = {
   mutable c_pool_hits : int;  (** encode buffers reused from the pool *)
   mutable c_pool_misses : int;  (** encode buffers freshly allocated *)
   mutable c_copies_saved : int;  (** payload copies avoided by pooled handoff *)
+  mutable c_dir_updates : int;  (** location updates processed by this shard *)
+  mutable c_dir_lookups : int;  (** directory lookups answered by this shard *)
+  mutable c_locates : int;  (** invokes that found their target on this node *)
+  mutable c_locate_hops : int;  (** forwarding hops those invokes took *)
+  mutable c_collapses : int;  (** proxy chains collapsed on this node *)
+  mutable c_group_moves : int;  (** group migrations initiated here *)
+  mutable c_group_objects : int;  (** objects shipped in those groups *)
 }
 
 (** {1 The bus} *)

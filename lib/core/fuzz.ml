@@ -19,6 +19,7 @@ type outcome = {
   f_faults : int;
   f_retransmits : int;
   f_dups : int;
+  f_group_moves : int;
   f_trace : string list;
 }
 
@@ -162,7 +163,7 @@ let value_string = function
   | None -> "(no value)"
   | Some v -> Format.asprintf "%a" Ert.Value.pp v
 
-let run_seed ?plan ?drop ?(evict = false) ?(check_every = 1)
+let run_seed ?plan ?drop ?(evict = false) ?(groups = false) ?(check_every = 1)
     ?(max_events = 400_000) ?(trace_lines = 120) ?shards ~seed () =
   let sc = scenario_of_seed seed in
   let plan = match plan with Some p -> P.with_seed p seed | None -> sc.sc_plan in
@@ -172,7 +173,8 @@ let run_seed ?plan ?drop ?(evict = false) ?(check_every = 1)
      (time, rank) merge — so any shard count replays the identical
      event sequence; [shards] here exercises the sharded structures
      under fault plans, not parallel execution *)
-  let cl = Cluster.create ~faults:plan ?shards ~archs () in
+  let location = if groups then Cluster.Loc_directory else Cluster.Loc_off in
+  let cl = Cluster.create ~faults:plan ?shards ~location ~archs () in
   (* forced-eviction mode: the hot-spot balancer fires against the
      fault plan, so eviction captures race message loss, partitions and
      crash windows — same determinism obligations as any other event.
@@ -202,6 +204,39 @@ let run_seed ?plan ?drop ?(evict = false) ?(check_every = 1)
         (Cluster.spawn cl ~node:0 ~target:peer ~op:sc.sc_op ~args:sc.sc_args
           : Ert.Thread.tid)
     done;
+  (* group-migration mode: a flock of idle objects tours the ring as one
+     batched transfer per balancing point, racing the fault plan with
+     M_group_move and directory publish/lookup traffic while the root
+     thread's own invocations exercise the chain-collapse path.  When a
+     crash swallows the flock the rotation degrades to a no-op; the
+     adjudicated thread is unaffected.  The tour is bounded — like every
+     other fuzz workload — because an open-ended rotation offers load
+     faster than a fault-delayed node can absorb it, and the resulting
+     (honest) receive livelock starves the adjudicated thread forever. *)
+  if groups then begin
+    let flock =
+      List.init 3 (fun _ ->
+          Cluster.create_object cl ~node:0 ~class_name:sc.sc_class)
+    in
+    let home = ref 0 in
+    let remaining = ref 40 in
+    let rotate () =
+      if !remaining > 0 && not (Cluster.is_crashed cl !home) then begin
+        decr remaining;
+        let dest = (!home + 1) mod sc.sc_n_nodes in
+        Cluster.group_move cl ~node:!home ~dest flock;
+        home := dest
+      end
+    in
+    if evict then
+      (* compose with the hot-spot balancer at its period *)
+      Cluster.set_balancer cl ~every_us:400.0
+        (let hot = Workloads.hot_spot_balancer ~threshold:2 cl in
+         fun () ->
+           hot ();
+           rotate ())
+    else Cluster.set_balancer cl ~every_us:700.0 rotate
+  end;
   let rec drive budget since_check =
     match Cluster.result cl tid with
     | Some r -> Completed (value_string r)
@@ -238,6 +273,7 @@ let run_seed ?plan ?drop ?(evict = false) ?(check_every = 1)
     f_faults = Cluster.total_counter cl (fun c -> c.Events.c_faults);
     f_retransmits = Cluster.total_counter cl (fun c -> c.Events.c_retransmits);
     f_dups = Cluster.total_counter cl (fun c -> c.Events.c_dups_suppressed);
+    f_group_moves = Cluster.total_counter cl (fun c -> c.Events.c_group_moves);
     f_trace = List.of_seq (Queue.to_seq trace);
   }
 
@@ -261,10 +297,11 @@ let shrink_candidates (p : P.t) =
         p.P.pl_chaos;
     ]
 
-let shrink ?drop ?evict ?check_every ?max_events ?shards ~seed plan =
+let shrink ?drop ?evict ?groups ?check_every ?max_events ?shards ~seed plan =
   let still_fails p =
     not
-      (run_seed ~plan:p ?drop ?evict ?check_every ?max_events ?shards ~seed ())
+      (run_seed ~plan:p ?drop ?evict ?groups ?check_every ?max_events ?shards
+         ~seed ())
         .f_ok
   in
   let rec go p =
@@ -274,12 +311,14 @@ let shrink ?drop ?evict ?check_every ?max_events ?shards ~seed plan =
   in
   go plan
 
-let sweep ?drop ?evict ?check_every ?max_events ?shards ?(on_outcome = ignore)
-    ~seeds () =
+let sweep ?drop ?evict ?groups ?check_every ?max_events ?shards
+    ?(on_outcome = ignore) ~seeds () =
   let rec go = function
     | [] -> None
     | seed :: rest ->
-      let o = run_seed ?drop ?evict ?check_every ?max_events ?shards ~seed () in
+      let o =
+        run_seed ?drop ?evict ?groups ?check_every ?max_events ?shards ~seed ()
+      in
       on_outcome o;
       if o.f_ok then go rest else Some o
   in

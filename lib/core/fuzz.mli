@@ -34,6 +34,7 @@ type outcome = {
   f_faults : int;  (** wire faults injected *)
   f_retransmits : int;
   f_dups : int;  (** duplicates suppressed *)
+  f_group_moves : int;  (** batched group transfers sent (0 without [groups]) *)
   f_trace : string list;  (** last trace lines, oldest first *)
 }
 
@@ -45,6 +46,7 @@ val run_seed :
   ?plan:Fault.Plan.t ->
   ?drop:float ->
   ?evict:bool ->
+  ?groups:bool ->
   ?check_every:int ->
   ?max_events:int ->
   ?trace_lines:int ->
@@ -56,7 +58,11 @@ val run_seed :
     (used by {!shrink}); [drop] overrides just the loss probability
     (the sweep-at-30%-loss configuration); [evict] installs the
     {!Workloads.hot_spot_balancer}, so forced-eviction captures race the
-    fault plan (default false); [check_every] runs the
+    fault plan (default false); [groups] builds the cluster with
+    {!Cluster.Loc_directory} and rotates a three-object flock around the
+    ring as one {!Cluster.group_move} per balancing point, so batched
+    transfers and directory publish/lookup traffic race the fault plan
+    too (default false); [check_every] runs the
     invariant checkers every that-many events (default 1);
     [trace_lines] bounds the kept trace tail (default 120).
 
@@ -66,14 +72,15 @@ val run_seed :
     asserted by the regression tests. *)
 
 val shrink :
-  ?drop:float -> ?evict:bool -> ?check_every:int -> ?max_events:int ->
-  ?shards:int -> seed:int -> Fault.Plan.t -> Fault.Plan.t
+  ?drop:float -> ?evict:bool -> ?groups:bool -> ?check_every:int ->
+  ?max_events:int -> ?shards:int -> seed:int -> Fault.Plan.t -> Fault.Plan.t
 (** Greedily remove plan components while the seed still fails;
     returns the smallest still-failing plan found. *)
 
 val sweep :
   ?drop:float ->
   ?evict:bool ->
+  ?groups:bool ->
   ?check_every:int ->
   ?max_events:int ->
   ?shards:int ->

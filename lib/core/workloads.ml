@@ -412,6 +412,151 @@ let hot_spot_balancer ?(threshold = 2) cl =
       end
     end
 
+(* The location-directory workload: a large cold population of cells
+   fills the dense object tables and the partitioned directory, while a
+   small co-located "flock" of hot cells tours the ring as batched group
+   migrations.  Chasers on fixed nodes hold references to flock members
+   — stale the moment the first tour hop lands — so every remote invoke
+   exercises the locate machinery: forwarding-proxy walks, chain
+   collapse hints, and (when an invoke outruns an in-flight transfer)
+   directory lookups.  The chasers' digests prove every call landed. *)
+let cluster_src =
+  {|
+object Cell
+  operation get[x : int] -> [r : int]
+    r <- x
+  end get
+end Cell
+
+object Chaser
+  operation chase[c : Cell, times : int] -> [r : int]
+    var i : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= times
+      i <- i + 1
+      acc <- acc + c.get[i]
+    end loop
+    r <- acc
+  end chase
+end Chaser
+|}
+
+type cluster_run = {
+  cr_nodes : int;
+  cr_shards : int;
+  cr_objects : int;
+  cr_result : int;
+  cr_expected : int;
+  cr_events : int;
+  cr_virtual_us : float;
+  cr_host_seconds : float;
+  cr_run_seconds : float;
+  cr_events_per_sec : float;
+  cr_messages : int;
+  cr_bytes : int;
+  cr_locates : int;
+  cr_locate_hops : int;
+  cr_mean_hops : float;
+  cr_collapses : int;
+  cr_dir_updates : int;
+  cr_dir_applied : int;
+  cr_dir_stale : int;
+  cr_dir_hits : int;
+  cr_dir_misses : int;
+  cr_group_moves : int;
+  cr_group_objects : int;
+}
+
+let measure_cluster ?(shards = 1) ?(flock = 16) ?(askers = 8) ?(calls = 12)
+    ?(rounds = 16) ~n_nodes ~n_objects () =
+  let t_start = Unix.gettimeofday () in
+  (* homogeneous ring: the point is location traffic, not conversion *)
+  let archs = List.init n_nodes (fun _ -> Isa.Arch.sparc) in
+  let cl = Cluster.create ~shards ~location:Cluster.Loc_directory ~archs () in
+  ignore (Cluster.compile_and_load cl ~name:"cluster" cluster_src);
+  (* the flock is born co-located on node 0; the cold population is
+     spread round-robin (each birth registers silently with its home
+     shard, so the directory starts authoritative at full scale) *)
+  let flock_oids =
+    List.init flock (fun _ -> Cluster.create_object cl ~node:0 ~class_name:"Cell")
+  in
+  for i = flock to n_objects - 1 do
+    ignore (Cluster.create_object cl ~node:(i mod n_nodes) ~class_name:"Cell")
+  done;
+  let flock_arr = Array.of_list flock_oids in
+  let tids =
+    List.init askers (fun a ->
+        let node = 1 + a * (n_nodes - 1) / askers in
+        let chaser = Cluster.create_object cl ~node ~class_name:"Chaser" in
+        Cluster.spawn cl ~node ~target:chaser ~op:"chase"
+          ~args:
+            [
+              Ert.Value.Vref flock_arr.(a mod flock);
+              Ert.Value.Vint (Int32.of_int calls);
+            ])
+  in
+  (* the tour: one group migration per balancing point, gated on the
+     previous payload having landed (otherwise the roots are not yet
+     resident and the batch would capture nothing), bounded to [rounds]
+     hops so the run is finite *)
+  let home = ref 0 and remaining = ref rounds in
+  let stride = max 1 (n_nodes / 3) in
+  Cluster.set_balancer cl ~every_us:400.0 (fun () ->
+      if !remaining > 0 then begin
+        let k = Cluster.kernel cl !home in
+        if List.for_all (fun o -> Ert.Kernel.find_object k o <> None) flock_oids
+        then begin
+          decr remaining;
+          let dest = (!home + stride) mod n_nodes in
+          Cluster.group_move cl ~node:!home ~dest flock_oids;
+          home := dest
+        end
+      end);
+  Gc.full_major ();
+  let t_run = Unix.gettimeofday () in
+  Cluster.run cl;
+  let dt_run = Unix.gettimeofday () -. t_run in
+  let result =
+    List.fold_left
+      (fun acc tid ->
+        match Cluster.result cl tid with
+        | Some (Some (Ert.Value.Vint v)) -> acc + Int32.to_int v
+        | _ -> failwith "cluster chaser did not finish")
+      0 tids
+  in
+  let c f = Cluster.total_counter cl f in
+  let locates = c (fun x -> x.Events.c_locates) in
+  let hops = c (fun x -> x.Events.c_locate_hops) in
+  let applied, stale, hits, misses = Cluster.directory_stats cl in
+  let events = Cluster.events_processed cl in
+  {
+    cr_nodes = n_nodes;
+    cr_shards = Cluster.n_shards cl;
+    cr_objects = n_objects;
+    cr_result = result;
+    cr_expected = askers * (calls * (calls + 1) / 2);
+    cr_events = events;
+    cr_virtual_us = Cluster.global_time_us cl;
+    cr_host_seconds = Unix.gettimeofday () -. t_start;
+    cr_run_seconds = dt_run;
+    cr_events_per_sec = float_of_int events /. Float.max dt_run 1e-9;
+    cr_messages = Enet.Netsim.messages_sent (Cluster.network cl);
+    cr_bytes = Enet.Netsim.bytes_sent (Cluster.network cl);
+    cr_locates = locates;
+    cr_locate_hops = hops;
+    cr_mean_hops =
+      (if locates = 0 then 0.0 else float_of_int hops /. float_of_int locates);
+    cr_collapses = c (fun x -> x.Events.c_collapses);
+    cr_dir_updates = c (fun x -> x.Events.c_dir_updates);
+    cr_dir_applied = applied;
+    cr_dir_stale = stale;
+    cr_dir_hits = hits;
+    cr_dir_misses = misses;
+    cr_group_moves = c (fun x -> x.Events.c_group_moves);
+    cr_group_objects = c (fun x -> x.Events.c_group_objects);
+  }
+
 type evict_run = {
   er_result : int;
   er_virtual_us : float;

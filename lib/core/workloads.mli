@@ -133,6 +133,56 @@ val hot_spot_balancer : ?threshold:int -> Cluster.t -> unit -> unit
     ping-pongs forever without ever executing.  With [threshold >= 2]
     every eviction strictly narrows the depth spread. *)
 
+val cluster_src : string
+(** The location-directory workload: chasers repeatedly invoke cells
+    they hold stale references to while the cells tour the ring as
+    batched group migrations. *)
+
+type cluster_run = {
+  cr_nodes : int;
+  cr_shards : int;
+  cr_objects : int;  (** resident population created *)
+  cr_result : int;  (** sum of chaser digests *)
+  cr_expected : int;  (** what the digests must sum to *)
+  cr_events : int;
+  cr_virtual_us : float;
+  cr_host_seconds : float;  (** wall time including population setup *)
+  cr_run_seconds : float;  (** wall time of the event loop only *)
+  cr_events_per_sec : float;  (** events / [cr_run_seconds] *)
+  cr_messages : int;
+  cr_bytes : int;
+  cr_locates : int;  (** remote invokes that reached their target *)
+  cr_locate_hops : int;  (** forwarding hops summed over those *)
+  cr_mean_hops : float;  (** [cr_locate_hops / cr_locates]; the gate is <= 2 *)
+  cr_collapses : int;  (** proxy chains shortened by hints *)
+  cr_dir_updates : int;  (** batched directory updates sent *)
+  cr_dir_applied : int;
+  cr_dir_stale : int;  (** last-writer-wins rejections *)
+  cr_dir_hits : int;
+  cr_dir_misses : int;
+  cr_group_moves : int;  (** batched transfers sent *)
+  cr_group_objects : int;  (** objects carried by them *)
+}
+
+val measure_cluster :
+  ?shards:int ->
+  ?flock:int ->
+  ?askers:int ->
+  ?calls:int ->
+  ?rounds:int ->
+  n_nodes:int ->
+  n_objects:int ->
+  unit ->
+  cluster_run
+(** Build an [n_nodes] homogeneous cluster with the location directory
+    on, populate it with [n_objects] cells ([flock] of them co-located
+    on node 0, the rest round-robin), spawn [askers] chasers each
+    invoking a flock member [calls] times, and rotate the flock
+    [rounds] hops around the ring with {!Cluster.group_move} while they
+    chase.  Every simulation-visible field is identical at any [shards]
+    (asserted by the bench and the regression tests); only the wall
+    clock may change. *)
+
 type evict_run = {
   er_result : int;  (** sum of worker digests (encodes final placement) *)
   er_virtual_us : float;

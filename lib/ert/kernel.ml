@@ -67,8 +67,8 @@ type t = {
   kheap : Heap.t;
   mutable kprogram : Emc.Compile.program option;
   loaded : (int, loaded_class) Hashtbl.t;  (* class index -> loaded *)
-  objects : (Oid.t, int) Hashtbl.t;  (* resident *)
-  proxies : (Oid.t, int) Hashtbl.t;
+  objects : int Oid_table.t;  (* resident: OID -> descriptor address *)
+  proxies : int Oid_table.t;
   segs : (int, Thread.segment) Hashtbl.t;
   seg_forwards : (int, int) Hashtbl.t;  (* migrated segment -> node *)
   run_queue : Thread.segment Queue.t;
@@ -113,8 +113,8 @@ let create ?clock ~node_id ~arch () =
     kheap = Heap.create ~mem ~start:0x1000;
     kprogram = None;
     loaded = Hashtbl.create 8;
-    objects = Hashtbl.create 64;
-    proxies = Hashtbl.create 64;
+    objects = Oid_table.create ~dummy:0 ();
+    proxies = Oid_table.create ~dummy:0 ();
     segs = Hashtbl.create 16;
     seg_forwards = Hashtbl.create 16;
     run_queue = Queue.create ();
@@ -335,9 +335,16 @@ let install_object t ~oid ~class_index =
   Mem.store32 t.kmem (addr + L.obj_flags)
     (Int32.of_int (L.flag_resident lor L.flag_code_loaded));
   Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int (loaded_class t class_index).lc_desc_addr);
-  Hashtbl.replace t.objects oid addr;
-  Hashtbl.remove t.proxies oid;
+  Oid_table.replace t.objects oid addr;
+  Oid_table.remove t.proxies oid;
   addr
+
+let serials t = (t.oid_serial, t.tid_serial, t.seg_serial)
+
+let inherit_serials t (oid_s, tid_s, seg_s) =
+  t.oid_serial <- max t.oid_serial oid_s;
+  t.tid_serial <- max t.tid_serial tid_s;
+  t.seg_serial <- max t.seg_serial seg_s
 
 let create_object t ~class_index =
   t.oid_serial <- t.oid_serial + 1;
@@ -360,8 +367,8 @@ let create_object t ~class_index =
     tmpl.Emc.Template.ct_field_inits;
   addr
 
-let find_object t oid = Hashtbl.find_opt t.objects oid
-let proxy_of t oid = Hashtbl.find_opt t.proxies oid
+let find_object t oid = Oid_table.find_opt t.objects oid
+let proxy_of t oid = Oid_table.find_opt t.proxies oid
 
 let make_proxy t oid ~hint =
   let addr = Heap.alloc t.kheap L.obj_header_size in
@@ -369,14 +376,14 @@ let make_proxy t oid ~hint =
   Mem.store32 t.kmem (addr + L.obj_oid) oid;
   Mem.store32 t.kmem (addr + L.obj_flags) 0l;
   Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int hint);
-  Hashtbl.replace t.proxies oid addr;
+  Oid_table.replace t.proxies oid addr;
   addr
 
 let ensure_ref t oid =
-  match Hashtbl.find_opt t.objects oid with
+  match Oid_table.find_opt t.objects oid with
   | Some addr -> addr
   | None -> (
-    match Hashtbl.find_opt t.proxies oid with
+    match Oid_table.find_opt t.proxies oid with
     | Some addr -> addr
     | None ->
       let hint = Option.value (Oid.creator_node oid) ~default:0 in
@@ -395,10 +402,14 @@ let evict_object t ~addr ~forward_to =
   let oid = oid_at t addr in
   Mem.store32 t.kmem (addr + L.obj_flags) 0l;
   Mem.store32 t.kmem (addr + L.obj_desc) (Int32.of_int forward_to);
-  Hashtbl.remove t.objects oid;
-  Hashtbl.replace t.proxies oid addr
+  Oid_table.remove t.objects oid;
+  Oid_table.replace t.proxies oid addr
 
-let objects t = Hashtbl.fold (fun oid addr acc -> (oid, addr) :: acc) t.objects []
+let objects t = Oid_table.fold (fun oid addr acc -> (oid, addr) :: acc) t.objects []
+let resident_count t = Oid_table.length t.objects
+let proxy_count t = Oid_table.length t.proxies
+let iter_objects t f = Oid_table.iter f t.objects
+let iter_proxies t f = Oid_table.iter f t.proxies
 
 let iter_blocks t f = Hashtbl.iter (fun addr (size, kind) -> f ~addr ~size ~kind) t.blocks
 
@@ -410,11 +421,11 @@ let free_block t addr =
     (match kind with
     | Bobject | Bproxy ->
       let oid = oid_at t addr in
-      (match Hashtbl.find_opt t.objects oid with
-      | Some a when a = addr -> Hashtbl.remove t.objects oid
+      (match Oid_table.find_opt t.objects oid with
+      | Some a when a = addr -> Oid_table.remove t.objects oid
       | Some _ | None -> ());
-      (match Hashtbl.find_opt t.proxies oid with
-      | Some a when a = addr -> Hashtbl.remove t.proxies oid
+      (match Oid_table.find_opt t.proxies oid with
+      | Some a when a = addr -> Oid_table.remove t.proxies oid
       | Some _ | None -> ())
     | Bstring | Bvector -> ());
     Heap.free t.kheap ~addr ~size

@@ -76,6 +76,17 @@ val create : ?clock:Sim.Clock.t -> node_id:int -> arch:Isa.Arch.t -> unit -> t
 (** [clock] supplies the node's virtual clock (by default a fresh one);
     passing it in lets an embedding simulation share or observe it. *)
 
+val serials : t -> int * int * int
+(** Current (object, thread, segment) serial counters — the node's
+    stable-storage incarnation state. *)
+
+val inherit_serials : t -> int * int * int -> unit
+(** Raise this kernel's serial counters to at least the given floor.  A
+    rebooted node must never re-mint an OID or TID its previous
+    incarnation already issued (copies may survive elsewhere in the
+    cluster), so a restart carries the crashed kernel's counters into
+    its replacement. *)
+
 val node_id : t -> int
 val arch : t -> Isa.Arch.t
 val mem : t -> Isa.Memory.t
@@ -141,6 +152,21 @@ val evict_object : t -> addr:int -> forward_to:int -> unit
 (** Turn a resident descriptor into a forwarding proxy (after move-out). *)
 
 val objects : t -> (Oid.t * int) list
+
+val resident_count : t -> int
+(** Number of resident objects (dense object-table length). *)
+
+val proxy_count : t -> int
+(** Number of forwarding proxies on this node. *)
+
+val iter_objects : t -> (Oid.t -> int -> unit) -> unit
+(** Iterate the resident objects without building the assoc list; dense
+    slot order (deterministic in the operation sequence). *)
+
+val iter_proxies : t -> (Oid.t -> int -> unit) -> unit
+(** Iterate the forwarding proxies (OID, descriptor address) — the
+    location directory's crash-rebuild walks these. *)
+
 val iter_blocks : t -> (addr:int -> size:int -> kind:block_kind -> unit) -> unit
 
 val free_block : t -> int -> unit

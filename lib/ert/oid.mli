@@ -6,7 +6,8 @@
     - code-object OIDs, assigned deterministically by the program
       database (30-bit values, bit 30 clear);
     - data-object OIDs, allocated without cluster-wide coordination by
-      tagging the creating node into the value (bit 30 set). *)
+      tagging the creating node into the value (bit 30 set; 12-bit node
+      field, 18-bit per-node serial). *)
 
 type t = int32
 
@@ -14,14 +15,33 @@ val nil : t
 val is_code : t -> bool
 val is_data : t -> bool
 
+val max_nodes : int
+(** Capacity of the node field (4096). *)
+
+val max_serial : int
+(** Capacity of the per-node serial field (2^18 per node). *)
+
 val fresh_data : node_id:int -> serial:int -> t
 (** @raise Invalid_argument when node or serial exceed their fields. *)
 
 val creator_node : t -> int option
 (** Creating node of a data OID. *)
 
+val serial : t -> int
+(** Per-node serial of a data OID. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+val intern : t -> int
+(** Order-preserving non-negative plain-int image: [compare a b] and
+    [Int.compare (intern a) (intern b)] always agree.  Hot-path tables
+    and the location directory key on this to avoid polymorphic
+    compares and [Int32] boxing. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtable keyed by OID with monomorphic hash/equal. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,21 @@
+(** Dense, array-backed OID maps (OID -> slot).
+
+    Live keys occupy a contiguous slot range in parallel arrays, indexed
+    by a monomorphic int table on {!Oid.intern} — no polymorphic
+    compare, no [Int32] boxing on lookups, contiguous iteration.  Every
+    operation is O(1); removal swaps the last slot down.  Iteration
+    order is a deterministic function of the operation sequence, never
+    of hashing. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills vacated slots so removed values don't leak. *)
+
+val length : 'a t -> int
+val mem : 'a t -> Oid.t -> bool
+val find_opt : 'a t -> Oid.t -> 'a option
+val replace : 'a t -> Oid.t -> 'a -> unit
+val remove : 'a t -> Oid.t -> unit
+val iter : (Oid.t -> 'a -> unit) -> 'a t -> unit
+val fold : (Oid.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

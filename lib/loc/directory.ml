@@ -1,0 +1,70 @@
+(* One node's shard of the distributed location directory: the entries
+   whose OIDs hash-partition to this node.  Each entry is the latest
+   location the shard has heard of, stamped with the virtual time of the
+   migration that produced it.
+
+   Last-writer-wins by virtual timestamp is sound here: an object's
+   successive moves happen sequentially along its trajectory, so their
+   arrival timestamps strictly increase — a reordered (late, duplicated,
+   retransmitted) update always carries an older stamp and is dropped.
+   Stale entries are harmless in any case: a lookup answer is a hint,
+   and the invoke it routes falls back to the forwarding-proxy walk at
+   the hinted node. *)
+
+type entry = {
+  le_node : int;  (* last known location *)
+  le_at : float;  (* virtual time of the migration that put it there *)
+}
+
+type t = {
+  entries : entry Ert.Oid_table.t;
+  mutable d_updates : int;  (* updates applied *)
+  mutable d_stale : int;  (* updates dropped as older than the entry *)
+  mutable d_hits : int;  (* lookups answered from an entry *)
+  mutable d_misses : int;  (* lookups with no entry *)
+}
+
+let create () =
+  {
+    entries = Ert.Oid_table.create ~dummy:{ le_node = 0; le_at = 0.0 } ();
+    d_updates = 0;
+    d_stale = 0;
+    d_hits = 0;
+    d_misses = 0;
+  }
+
+let length t = Ert.Oid_table.length t.entries
+
+let update t oid ~node ~at =
+  match Ert.Oid_table.find_opt t.entries oid with
+  | Some e when e.le_at > at ->
+    t.d_stale <- t.d_stale + 1;
+    false
+  | Some _ | None ->
+    Ert.Oid_table.replace t.entries oid { le_node = node; le_at = at };
+    t.d_updates <- t.d_updates + 1;
+    true
+
+let lookup t oid =
+  match Ert.Oid_table.find_opt t.entries oid with
+  | Some e ->
+    t.d_hits <- t.d_hits + 1;
+    Some e
+  | None ->
+    t.d_misses <- t.d_misses + 1;
+    None
+
+let peek t oid = Ert.Oid_table.find_opt t.entries oid
+let remove t oid = Ert.Oid_table.remove t.entries oid
+
+let clear t =
+  (* rebuild support: drop every entry (a restarted node lost its shard)
+     without resetting the counters, which survive as node statistics *)
+  let oids = Ert.Oid_table.fold (fun oid _ acc -> oid :: acc) t.entries [] in
+  List.iter (Ert.Oid_table.remove t.entries) oids
+
+let iter f t = Ert.Oid_table.iter (fun oid e -> f oid e) t.entries
+let updates t = t.d_updates
+let stale_dropped t = t.d_stale
+let hits t = t.d_hits
+let misses t = t.d_misses

@@ -1,0 +1,13 @@
+(** The hash-partition map of the location directory.
+
+    Stateless: [home] is a pure function of the OID and the cluster
+    size, so every node computes every object's home partition without
+    coordination. *)
+
+type t
+
+val create : n_nodes:int -> t
+val nodes : t -> int
+
+val home : t -> Ert.Oid.t -> int
+(** The node whose directory shard is authoritative for this OID. *)

@@ -1,18 +1,20 @@
 (* Fetch accounting is kept per node (not one shared list) so that the
    sharded cluster's domains can record fetches for their own nodes
-   without synchronisation.  64 slots matches Oid's node-id range. *)
+   without synchronisation — which is also why the array is sized once
+   at creation (the cluster knows its node count) and never grown:
+   resizing mid-run would race the recording domains. *)
 type t = {
   fetches : int list array;  (* per node, fetched class indexes, newest first *)
   plans : Conv_plan.cache;
 }
 
-let max_nodes = 64
-
-let create () =
-  { fetches = Array.make max_nodes []; plans = Conv_plan.create_cache () }
+let create ?(n_nodes = 64) () =
+  if n_nodes < 1 || n_nodes > Ert.Oid.max_nodes then
+    invalid_arg "Code_repository.create: node count out of range";
+  { fetches = Array.make n_nodes []; plans = Conv_plan.create_cache () }
 
 let record_fetch t ~node ~class_index =
-  if node < 0 || node >= max_nodes then
+  if node < 0 || node >= Array.length t.fetches then
     invalid_arg "Code_repository.record_fetch: node id out of range";
   t.fetches.(node) <- class_index :: t.fetches.(node)
 

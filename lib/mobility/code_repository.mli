@@ -9,7 +9,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?n_nodes:int -> unit -> t
+(** [n_nodes] (default 64) sizes the per-node fetch accounting; it is
+    fixed at creation so sharded domains can record without
+    synchronisation.  Capped by {!Ert.Oid.max_nodes}. *)
+
 val record_fetch : t -> node:int -> class_index:int -> unit
 val total_fetches : t -> int
 val fetches_by_node : t -> int -> int

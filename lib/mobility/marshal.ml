@@ -46,6 +46,15 @@ type message =
       obj : Ert.Oid.t;
       found : bool;
     }
+  (* location-subsystem traffic (tags 8..13): produced only when a
+     location mode is enabled on the cluster, so the directory-off wire
+     stream never contains these tags and stays byte-identical *)
+  | M_dir_update of { objs : Ert.Oid.t list; node : int; at : float }
+  | M_dir_lookup of { obj : Ert.Oid.t }
+  | M_dir_reply of { obj : Ert.Oid.t; node : int; known : bool }
+  | M_loc_hint of { obj : Ert.Oid.t; node : int }
+  | M_invoke_via of { via : int list; inv : message }
+  | M_group_move of move_payload
 
 let tag_invoke = 1
 let tag_reply = 2
@@ -54,6 +63,12 @@ let tag_move = 4
 let tag_locate = 5
 let tag_located = 6
 let tag_start_process = 7
+let tag_dir_update = 8
+let tag_dir_lookup = 9
+let tag_dir_reply = 10
+let tag_loc_hint = 11
+let tag_invoke_via = 12
+let tag_group_move = 13
 
 let write_list w f xs =
   W.u16 w (List.length xs);
@@ -132,7 +147,7 @@ let read_object ?plans r =
   let mo_cond_waiters = read_list r (fun r -> read_list r (fun r -> Int32.to_int (R.i32 r))) in
   { mo_oid; mo_class; mo_fields; mo_locked; mo_waiters; mo_cond_waiters }
 
-let encode_to ?plans w msg =
+let rec encode_to ?plans w msg =
   match msg with
   | M_invoke { target; callee_class; callee_method; args; reply; thread; forwards } ->
     W.u8 w tag_invoke;
@@ -176,6 +191,42 @@ let encode_to ?plans w msg =
     W.u8 w tag_located;
     W.u32 w obj;
     W.bool w found
+  | M_dir_update { objs; node; at } ->
+    W.u8 w tag_dir_update;
+    W.u16 w node;
+    W.f64 w at;
+    write_list w W.u32 objs
+  | M_dir_lookup { obj } ->
+    W.u8 w tag_dir_lookup;
+    W.u32 w obj
+  | M_dir_reply { obj; node; known } ->
+    W.u8 w tag_dir_reply;
+    W.u32 w obj;
+    W.u16 w node;
+    W.bool w known
+  | M_loc_hint { obj; node } ->
+    W.u8 w tag_loc_hint;
+    W.u32 w obj;
+    W.u16 w node
+  | M_invoke_via { via; inv } ->
+    (* a chain-walking invoke: the hop trail rides in front of the
+       unchanged inner message encoding *)
+    W.u8 w tag_invoke_via;
+    write_list w W.u16 via;
+    encode_to ?plans w inv
+  | M_group_move { mp_src; mp_objects; mp_segments } ->
+    (* same body layout as M_move; the distinct tag tells the receiver
+       to account the transfer as one batched group *)
+    (match plans with
+    | Some _ ->
+      W.raw_u8 w tag_group_move;
+      W.raw_u16 w mp_src;
+      W.add_charge w ~calls:2 ~bytes:3
+    | None ->
+      W.u8 w tag_group_move;
+      W.u16 w mp_src);
+    write_list w (write_object ?plans) mp_objects;
+    write_list w (Mi_frame.write_segment ?plans) mp_segments
 
 (* A failed encode (an unmarshalable value, say) must still return the
    pooled buffer, or the pool leaks one buffer per failure.  [encode]
@@ -198,7 +249,7 @@ let encode_view ?plans ~impl ~stats msg =
      raise e);
   W.handoff w
 
-let decode_from ?plans r =
+let rec decode_from ?plans r =
   let tag = R.u8 r in
   if tag = tag_invoke then begin
     let target = R.u32 r in
@@ -249,6 +300,35 @@ let decode_from ?plans r =
     let found = R.bool r in
     M_located { obj; found }
   end
+  else if tag = tag_dir_update then begin
+    let node = R.u16 r in
+    let at = R.f64 r in
+    let objs = read_list r R.u32 in
+    M_dir_update { objs; node; at }
+  end
+  else if tag = tag_dir_lookup then M_dir_lookup { obj = R.u32 r }
+  else if tag = tag_dir_reply then begin
+    let obj = R.u32 r in
+    let node = R.u16 r in
+    let known = R.bool r in
+    M_dir_reply { obj; node; known }
+  end
+  else if tag = tag_loc_hint then begin
+    let obj = R.u32 r in
+    let node = R.u16 r in
+    M_loc_hint { obj; node }
+  end
+  else if tag = tag_invoke_via then begin
+    let via = read_list r R.u16 in
+    let inv = decode_from ?plans r in
+    M_invoke_via { via; inv }
+  end
+  else if tag = tag_group_move then begin
+    let mp_src = R.u16 r in
+    let mp_objects = read_list r (read_object ?plans) in
+    let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
+    M_group_move { mp_src; mp_objects; mp_segments }
+  end
   else failwith (Printf.sprintf "Marshal.decode: corrupt message tag %d" tag)
 
 let decode ?plans ~impl ~stats data =
@@ -257,7 +337,7 @@ let decode ?plans ~impl ~stats data =
 let decode_view ?plans ~impl ~stats v =
   decode_from ?plans (R.of_view ~impl ~stats v)
 
-let describe = function
+let rec describe = function
   | M_invoke { target; callee_method; _ } ->
     Printf.sprintf "invoke %s.m%d" (Ert.Oid.to_string target) callee_method
   | M_reply { to_seg; _ } -> Printf.sprintf "reply to segment %d" to_seg
@@ -272,3 +352,18 @@ let describe = function
   | M_located { obj; found } ->
     Printf.sprintf "located %s: %s" (Ert.Oid.to_string obj)
       (if found then "here" else "not here")
+  | M_dir_update { objs; node; _ } ->
+    Printf.sprintf "directory update: %d object(s) now at node %d"
+      (List.length objs) node
+  | M_dir_lookup { obj } -> Printf.sprintf "directory lookup %s?" (Ert.Oid.to_string obj)
+  | M_dir_reply { obj; node; known } ->
+    if known then
+      Printf.sprintf "directory reply %s: node %d" (Ert.Oid.to_string obj) node
+    else Printf.sprintf "directory reply %s: unknown" (Ert.Oid.to_string obj)
+  | M_loc_hint { obj; node } ->
+    Printf.sprintf "location hint %s -> node %d" (Ert.Oid.to_string obj) node
+  | M_invoke_via { via; inv } ->
+    Printf.sprintf "%s (via %d hop(s))" (describe inv) (List.length via)
+  | M_group_move { mp_objects; mp_segments; _ } ->
+    Printf.sprintf "group move of %d object(s), %d thread segment(s)"
+      (List.length mp_objects) (List.length mp_segments)

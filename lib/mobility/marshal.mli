@@ -53,6 +53,29 @@ type message =
       obj : Ert.Oid.t;
       found : bool;
     }  (** probe answer; the hosting node is the sender *)
+  | M_dir_update of { objs : Ert.Oid.t list; node : int; at : float }
+      (** batched location publish to a directory home shard: each OID
+          in [objs] is now at [node] as of virtual time [at]
+          (last-writer-wins at the receiver) *)
+  | M_dir_lookup of { obj : Ert.Oid.t }
+      (** ask the object's home shard for its last known location; the
+          asker is the network-level sender *)
+  | M_dir_reply of { obj : Ert.Oid.t; node : int; known : bool }
+      (** home shard's answer; [known = false] means the directory has
+          no entry and the asker falls back to a broadcast search *)
+  | M_loc_hint of { obj : Ert.Oid.t; node : int }
+      (** chain-collapse hint: rewrite your forwarding proxy for [obj]
+          to point directly at [node] *)
+  | M_invoke_via of { via : int list; inv : message }
+      (** a forwarded invoke carrying its hop trail; every node that
+          forwards it appends itself to [via], and the node that finally
+          hosts the target sends each distinct [via] node an
+          {!M_loc_hint}, collapsing the chain it walked.  [inv] is
+          always an [M_invoke]. *)
+  | M_group_move of move_payload
+      (** a batched migration of co-located objects and their attached
+          threads in one transfer; body layout is identical to [M_move],
+          the tag marks it for group accounting at the receiver *)
 
 val encode :
   ?plans:Conv_plan.use ->

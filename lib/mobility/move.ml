@@ -10,7 +10,10 @@ type send = {
 
 let fail fmt = Format.kasprintf (fun m -> raise (K.Runtime_error m)) fmt
 
-let moving_closure k obj_addr =
+(* union of attached-reference closures over several roots, one shared
+   visited set so overlapping closures contribute each object once, in
+   root order *)
+let closure_of_roots k roots =
   let seen = Hashtbl.create 8 in
   let rec go addr acc =
     if Hashtbl.mem seen addr || not (K.is_resident k addr) then acc
@@ -20,7 +23,9 @@ let moving_closure k obj_addr =
       List.fold_left (fun acc a -> go a acc) (addr :: acc) attached
     end
   in
-  List.rev (go obj_addr [])
+  List.rev (List.fold_left (fun acc root -> go root acc) [] roots)
+
+let moving_closure k obj_addr = closure_of_roots k [ obj_addr ]
 
 let field_types k ~class_index =
   let lc = K.loaded_class k class_index in
@@ -196,10 +201,12 @@ let split_segment k ~dest ~moving_oid (seg : T.segment) : Mi_frame.mi_segment li
       List.rev !shipped
     end
 
-let perform_move k ~obj_addr ~dest : Marshal.move_payload =
-  let addrs = moving_closure k obj_addr in
-  let oids = List.map (K.oid_at k) addrs in
-  let moving_oid oid = List.exists (Ert.Oid.equal oid) oids in
+(* the move protocol body, shared by the single-root and group paths:
+   capture, split, then evict behind forwarding proxies *)
+let perform_move_of_addrs k ~addrs ~dest : Marshal.move_payload =
+  let oids = Ert.Oid.Tbl.create (List.length addrs) in
+  List.iter (fun addr -> Ert.Oid.Tbl.replace oids (K.oid_at k addr) ()) addrs;
+  let moving_oid oid = Ert.Oid.Tbl.mem oids oid in
   (* capture objects before any state changes *)
   let objects = List.map (capture_object k) addrs in
   (* split every local segment whose stack touches a moving object *)
@@ -209,6 +216,17 @@ let perform_move k ~obj_addr ~dest : Marshal.move_payload =
   (* leave forwarding proxies *)
   List.iter (fun addr -> K.evict_object k ~addr ~forward_to:dest) addrs;
   { Marshal.mp_src = K.node_id k; mp_objects = objects; mp_segments = segments }
+
+let perform_move k ~obj_addr ~dest : Marshal.move_payload =
+  perform_move_of_addrs k ~addrs:(moving_closure k obj_addr) ~dest
+
+(* Group migration: ship several co-located root objects — their unioned
+   closures, every thread segment executing inside any of them, and all
+   the monitor state — as ONE payload, one wire transfer, one protocol
+   charge.  Non-resident roots are skipped (they already left). *)
+let perform_group_move k ~roots ~dest : Marshal.move_payload =
+  let addrs = closure_of_roots k (List.filter (K.is_resident k) roots) in
+  perform_move_of_addrs k ~addrs ~dest
 
 let park_mover (mover : T.segment) =
   mover.T.seg_status <- T.Parked (Isa.Suspend.Complete None)

@@ -41,6 +41,14 @@ val initiate_evict :
 val perform_move : Ert.Kernel.t -> obj_addr:int -> dest:int -> Marshal.move_payload
 (** Capture and evict; the caller sends the payload.  Exposed for tests. *)
 
+val perform_group_move :
+  Ert.Kernel.t -> roots:int list -> dest:int -> Marshal.move_payload
+(** Capture several co-located root objects as one payload: the union of
+    their attached closures (each object once), every thread segment
+    executing inside any of them, and the monitor state — batched into a
+    single transfer instead of one per root.  Non-resident roots are
+    skipped.  The caller sends the payload as an [M_group_move]. *)
+
 type apply_stats = {
   ap_objects : int;  (** objects installed *)
   ap_segments : int;  (** thread segments rebuilt *)

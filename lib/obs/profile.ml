@@ -6,8 +6,8 @@
 (* canonical phase order for tables and JSON rows; unknown names sort
    after these, alphabetically *)
 let phase_order =
-  [ "move"; "evict"; "overlap"; "capture"; "translate"; "marshal"; "transfer";
-    "unmarshal"; "rebuild"; "relocate"; "rpc" ]
+  [ "move"; "evict"; "overlap"; "capture"; "group_pack"; "translate"; "marshal";
+    "transfer"; "unmarshal"; "rebuild"; "relocate"; "group_unpack"; "rpc" ]
 
 let phase_rank name =
   let rec go i = function

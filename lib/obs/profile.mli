@@ -30,8 +30,8 @@ type row = {
 
 val rows : t -> row list
 (** One row per (pair, phase), sorted by pair then canonical phase
-    order (move, capture, translate, marshal, transfer, unmarshal,
-    rebuild, relocate, rpc). *)
+    order (move, capture, group_pack, translate, marshal, transfer,
+    unmarshal, rebuild, relocate, group_unpack, rpc). *)
 
 val table : t -> string
 (** The rendered per-arch-pair phase table.  Deterministic: identical

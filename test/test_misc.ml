@@ -156,7 +156,9 @@ let test_oid_spaces () =
   let code = Emc.Program_db.assign db ~program:"p" ~class_name:"C" in
   check Alcotest.bool "code oid" true (Ert.Oid.is_code code);
   check Alcotest.bool "spaces disjoint" false (Ert.Oid.is_data code);
-  (match Ert.Oid.fresh_data ~node_id:99 ~serial:1 with
+  check (Alcotest.option Alcotest.int) "wide creator" (Some 1999)
+    (Ert.Oid.creator_node (Ert.Oid.fresh_data ~node_id:1999 ~serial:7));
+  (match Ert.Oid.fresh_data ~node_id:Ert.Oid.max_nodes ~serial:1 with
   | _ -> Alcotest.fail "node id range must be enforced"
   | exception Invalid_argument _ -> ())
 
