@@ -8,7 +8,7 @@
 
    Experiment ids: table1, intranode, conversion, sweep, ablation, fig2,
    fig3 (includes fig4), scaling, cluster, cluster_smoke (CI-sized),
-   faults, spans, evict, bechamel.
+   faults, spans, evict, interp, blit, bechamel.
 
    --shards N sets the shard count the scaling experiment compares
    against the single-shard baseline (default 4). *)
@@ -1108,6 +1108,275 @@ let run_cluster_smoke () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Threaded dispatch: interpreter throughput, traces bit-identical      *)
+(* ------------------------------------------------------------------ *)
+
+let interp_src =
+  {|
+object Spinner
+  operation spin[rounds : int, spins : int] -> [r : int]
+    var i : int <- 0
+    var j : int <- 0
+    var t : int <- 0
+    var u : int <- 0
+    var v : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= rounds
+      i <- i + 1
+      j <- 0
+      loop
+        exit when j >= spins
+        j <- j + 1
+        t <- acc + j
+        u <- t + i
+        v <- u - j
+        t <- t + v
+        acc <- v + t
+      end loop
+    end loop
+    r <- acc
+  end spin
+end Spinner
+|}
+
+(* a mobile mix for the trace gate: movers cross nodes while spinners
+   keep every kernel busy, so the trace covers migration, bus stops and
+   preemption under both engines *)
+let interp_trace_src =
+  interp_src
+  ^ {|
+object Hopper
+  operation hop[n : int] -> [r : int]
+    var i : int <- 0
+    var acc : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+      acc <- acc + i * i
+      move self to 1
+      acc <- acc - i
+      move self to 2
+      acc <- acc + 3 * i
+      move self to 0
+    end loop
+    r <- acc
+  end hop
+end Hopper
+|}
+
+let run_interp () =
+  pf "Threaded dispatch: interpreter throughput vs the fetch/decode loop\n";
+  pf "The same kernel executes the same program under both engines; the\n";
+  pf "virtual results (insns, cycles, virtual time, result) must be\n";
+  pf "identical — only host time may move.  Gate: >= 3x throughput.\n";
+  hr ();
+  let arch = A.sparc in
+  let prog = Emc.Compile.compile_exn ~name:"interp" ~archs:[ arch ] interp_src in
+  let run_once ~threaded () =
+    let cl = Core.Cluster.create ~archs:[ arch ] () in
+    Ert.Kernel.set_threaded (Core.Cluster.kernel cl 0) threaded;
+    Core.Cluster.load_program cl prog;
+    let s = Core.Cluster.create_object cl ~node:0 ~class_name:"Spinner" in
+    let tid =
+      Core.Cluster.spawn cl ~node:0 ~target:s ~op:"spin"
+        ~args:[ Ert.Value.Vint 600l; Ert.Value.Vint 600l ]
+    in
+    let r =
+      match Core.Cluster.run_until_result cl tid with
+      | Some (Ert.Value.Vint v) -> Int32.to_int v
+      | _ -> failwith "interp bench: spinner did not complete"
+    in
+    ( r,
+      Ert.Kernel.insns_executed (Core.Cluster.kernel cl 0),
+      Core.Cluster.global_time_us cl )
+  in
+  let base = run_once ~threaded:false () in
+  let thr = run_once ~threaded:true () in
+  if base <> thr then failwith "interp bench: threaded dispatch diverged";
+  let _, insns, _ = base in
+  let t_base = host_time_of (run_once ~threaded:false) in
+  let t_thr = host_time_of (run_once ~threaded:true) in
+  let mips t = float_of_int insns /. t /. 1e6 in
+  let speedup = t_base /. t_thr in
+  pf "%-12s %12s %14s %10s\n" "engine" "insns" "throughput" "speedup";
+  hr ();
+  pf "%-12s %12d %11.1f M/s %10s\n" "fetch/decode" insns (mips t_base) "1.00x";
+  pf "%-12s %12d %11.1f M/s %9.2fx\n" "threaded" insns (mips t_thr) speedup;
+  List.iter
+    (fun (mode, t) ->
+      add_json_row ~experiment:"interp"
+        [
+          ("mode", jstr mode);
+          ("insns", jint insns);
+          ("host_seconds", jnum t);
+          ("minsns_per_sec", jnum (mips t));
+          ("speedup_vs_baseline", jnum (t_base /. t));
+        ])
+    [ ("baseline", t_base); ("threaded", t_thr) ];
+  (* trace identity: the threaded engine at 1/2/4 shards must reproduce
+     the baseline's protocol trace byte for byte *)
+  let trace_prog =
+    Emc.Compile.compile_exn ~name:"interp_trace"
+      ~archs:
+        (List.sort_uniq
+           (fun a b -> String.compare a.A.id b.A.id)
+           [ A.sparc; A.vax; A.sun3; A.hp9000_433 ])
+      interp_trace_src
+  in
+  let trace_run ~threaded ~shards =
+    let archs = [ A.sparc; A.vax; A.sun3; A.hp9000_433 ] in
+    let cl = Core.Cluster.create ~quantum:40 ~shards ~archs () in
+    for i = 0 to Core.Cluster.n_nodes cl - 1 do
+      Ert.Kernel.set_threaded (Core.Cluster.kernel cl i) threaded
+    done;
+    let trace = Buffer.create 4096 in
+    Core.Cluster.set_trace cl (fun line ->
+        Buffer.add_string trace line;
+        Buffer.add_char trace '\n');
+    Core.Cluster.load_program cl trace_prog;
+    let h = Core.Cluster.create_object cl ~node:0 ~class_name:"Hopper" in
+    let ht =
+      Core.Cluster.spawn cl ~node:0 ~target:h ~op:"hop"
+        ~args:[ Ert.Value.Vint 3l ]
+    in
+    let spinners =
+      List.init 3 (fun i ->
+          let s =
+            Core.Cluster.create_object cl ~node:(i + 1) ~class_name:"Spinner"
+          in
+          Core.Cluster.spawn cl ~node:(i + 1) ~target:s ~op:"spin"
+            ~args:[ Ert.Value.Vint 3l; Ert.Value.Vint 40l ])
+    in
+    Core.Cluster.run cl;
+    List.iter
+      (fun t -> ignore (Core.Cluster.result cl t))
+      (ht :: spinners);
+    (Buffer.contents trace, Core.Cluster.global_time_us cl)
+  in
+  let ref_trace, ref_t = trace_run ~threaded:false ~shards:1 in
+  List.iter
+    (fun shards ->
+      let tr, t = trace_run ~threaded:true ~shards in
+      if tr <> ref_trace || t <> ref_t then begin
+        pf "FAIL: threaded trace differs from fetch/decode at %d shards\n"
+          shards;
+        exit 1
+      end)
+    [ 1; 2; 4 ];
+  hr ();
+  pf "traces bit-identical to fetch/decode at 1/2/4 shards\n";
+  if speedup < 3.0 then begin
+    pf "FAIL: threaded dispatch below the 3x throughput gate (%.2fx)\n" speedup;
+    exit 1
+  end;
+  pf "threaded dispatch: %.2fx interpreter throughput (gate: >= 3x)\n\n"
+    speedup
+
+(* ------------------------------------------------------------------ *)
+(* Blit tier: negotiated same-layout migration without translation      *)
+(* ------------------------------------------------------------------ *)
+
+let run_blit () =
+  pf "Blit tier: negotiated zero-translation migration for same-layout\n";
+  pf "pairs.  Wire bytes stay byte-identical to the plan tier; same-\n";
+  pf "layout moves skip the translate/rebuild phases entirely and must\n";
+  pf "show it on the virtual clock; every other pair falls back to\n";
+  pf "compiled plans, bit for bit.  Gate: skip ratio > 0 and lower\n";
+  pf "migration latency on every same-layout pair.\n";
+  hr ();
+  let skip_counts ~home ~dest =
+    let cl =
+      Core.Cluster.create ~wire_impl:Enet.Wire.Blit ~archs:[ home; dest ] ()
+    in
+    ignore (Core.Cluster.compile_and_load cl ~name:"table1" W.table1_src);
+    let agent = Core.Cluster.create_object cl ~node:0 ~class_name:"Agent" in
+    let tid =
+      Core.Cluster.spawn cl ~node:0 ~target:agent ~op:"trip"
+        ~args:[ Ert.Value.Vint 1l; Ert.Value.Vint 3l ]
+    in
+    ignore (Core.Cluster.run_until_result cl tid);
+    let open Core.Events in
+    ( Core.Cluster.total_counter cl (fun c -> c.c_blit_skips),
+      Core.Cluster.total_counter cl (fun c -> c.c_blit_fallbacks) )
+  in
+  let pairs =
+    [
+      ("Sun-3<->HP433", A.sun3, A.hp9000_433);
+      ("HP433<->HP385", A.hp9000_433, A.hp9000_385);
+      ("Sun-3<->Sun-3", A.sun3, A.sun3);
+      ("SPARC<->Sun-3", A.sparc, A.sun3);
+    ]
+  in
+  pf "%-16s %7s %12s %12s %8s %6s\n" "pair" "layout" "plan us" "blit us"
+    "saved" "skips";
+  hr ();
+  let failed = ref false in
+  List.iter
+    (fun (name, home, dest) ->
+      let plan =
+        W.measure_roundtrip ~wire_impl:Enet.Wire.Plan ~home ~dest ~iters:3 ()
+      in
+      let blit =
+        W.measure_roundtrip ~wire_impl:Enet.Wire.Blit ~home ~dest ~iters:3 ()
+      in
+      if blit.W.rt_bytes_sent <> plan.W.rt_bytes_sent then begin
+        pf "FAIL: %s blit wire bytes differ from plan\n" name;
+        failed := true
+      end;
+      let skips, fallbacks = skip_counts ~home ~dest in
+      let same = A.same_layout home dest in
+      let ratio =
+        if skips + fallbacks = 0 then 0.0
+        else float_of_int skips /. float_of_int (skips + fallbacks)
+      in
+      let saved_pct =
+        100.0
+        *. (plan.W.rt_us_per_trip -. blit.W.rt_us_per_trip)
+        /. plan.W.rt_us_per_trip
+      in
+      pf "%-16s %7s %12.0f %12.0f %7.1f%% %6d\n" name
+        (if same then "same" else "mixed")
+        plan.W.rt_us_per_trip blit.W.rt_us_per_trip saved_pct skips;
+      add_json_row ~experiment:"blit"
+        [
+          ("pair", jstr name);
+          ("same_layout", if same then "true" else "false");
+          ("plan_us_per_trip", jnum plan.W.rt_us_per_trip);
+          ("blit_us_per_trip", jnum blit.W.rt_us_per_trip);
+          ("saved_pct", jnum saved_pct);
+          ("bytes", jint blit.W.rt_bytes_sent);
+          ("blit_skips", jint skips);
+          ("blit_fallbacks", jint fallbacks);
+          ("skip_ratio", jnum ratio);
+        ];
+      if same then begin
+        if skips = 0 || fallbacks <> 0 then begin
+          pf "FAIL: %s is same-layout but did not skip translation\n" name;
+          failed := true
+        end;
+        if blit.W.rt_us_per_trip >= plan.W.rt_us_per_trip then begin
+          pf "FAIL: %s blit not faster than plan\n" name;
+          failed := true
+        end
+      end
+      else begin
+        if skips <> 0 then begin
+          pf "FAIL: %s is mixed-layout but skipped translation\n" name;
+          failed := true
+        end;
+        if blit.W.rt_us_per_trip <> plan.W.rt_us_per_trip then begin
+          pf "FAIL: %s blit fallback moved the virtual clock\n" name;
+          failed := true
+        end
+      end)
+    pairs;
+  hr ();
+  if !failed then exit 1;
+  pf "same-layout pairs skip translate/rebuild (byte-identical wire);\n";
+  pf "mixed pairs fall back to compiled plans exactly\n\n"
+
 let all_experiments =
   [
     ("table1", run_table1);
@@ -1125,6 +1394,8 @@ let all_experiments =
     ("faults", run_faults);
     ("spans", run_spans);
     ("evict", run_evict);
+    ("interp", run_interp);
+    ("blit", run_blit);
   ]
 
 let () =

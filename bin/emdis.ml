@@ -12,7 +12,39 @@ let arch_by_id id =
       (String.concat ", " (List.map (fun a -> a.Isa.Arch.id) Isa.Arch.all));
     exit 2
 
-let dis file arch_id cls plans_dst =
+(* the basic-block partition the threaded-dispatch translator will use,
+   with the superinstruction fusions it would apply *)
+let print_blocks (code : Isa.Code.t) =
+  Printf.printf "blocks %s/%s:\n" code.Isa.Code.class_name
+    code.Isa.Code.arch.Isa.Arch.id;
+  List.iter
+    (fun (b : Isa.Dispatch.block) ->
+      let fused =
+        match b.Isa.Dispatch.b_fused with
+        | [] -> ""
+        | l ->
+          "  fused "
+          ^ String.concat ", "
+              (List.map
+                 (fun i ->
+                   let kind =
+                     match code.Isa.Code.insns.(i) with
+                     | Isa.Insn.Cmp _ -> "cmp+bcc"
+                     | Isa.Insn.Poll _ -> "poll+br"
+                     | _ -> "?"
+                   in
+                   Printf.sprintf "@%d (%s)" i kind)
+                 l)
+      in
+      Printf.printf "  [%4d..%4d]  0x%04x..0x%04x  %d insns%s\n"
+        b.Isa.Dispatch.b_first b.Isa.Dispatch.b_last
+        code.Isa.Code.offsets.(b.Isa.Dispatch.b_first)
+        code.Isa.Code.offsets.(b.Isa.Dispatch.b_last)
+        (b.Isa.Dispatch.b_last - b.Isa.Dispatch.b_first + 1)
+        fused)
+    (Isa.Dispatch.describe_blocks code)
+
+let dis file arch_id cls plans_dst blocks =
   let source = In_channel.with_open_text file In_channel.input_all in
   let arch = arch_by_id arch_id in
   let archs =
@@ -52,6 +84,7 @@ let dis file arch_id cls plans_dst =
         let art = Emc.Compile.artifact cc ~arch_id:arch.Isa.Arch.id in
         print_string (Isa.Disasm.listing art.Emc.Compile.aa_code);
         Format.printf "%a@." Emc.Busstop.pp art.Emc.Compile.aa_stops;
+        if blocks then print_blocks art.Emc.Compile.aa_code;
         match plan_use with
         | None -> ()
         | Some use ->
@@ -80,8 +113,16 @@ let plans_t =
            ~doc:"Also print the compiled conversion plans for migrations from \
                  ARCH to this destination architecture.")
 
+let blocks_t =
+  Arg.(value & flag
+       & info [ "blocks" ]
+           ~doc:"Print the basic-block partition the threaded-dispatch \
+                 translator uses, marking blocks that get superinstruction \
+                 fusion (compare-branch, poll-branch).")
+
 let cmd =
   let doc = "disassemble native code next to its bus-stop table" in
-  Cmd.v (Cmd.info "emdis" ~doc) Term.(const dis $ file_t $ arch_t $ class_t $ plans_t)
+  Cmd.v (Cmd.info "emdis" ~doc)
+    Term.(const dis $ file_t $ arch_t $ class_t $ plans_t $ blocks_t)
 
 let () = exit (Cmd.eval cmd)

@@ -41,7 +41,7 @@ let run file nodes cls op args_s original codec shards location trace stats
       match Enet.Wire.impl_of_string s with
       | Some impl -> Some impl
       | None ->
-        Printf.eprintf "emrun: unknown codec %s (have: naive, bulk, plan)\n" s;
+        Printf.eprintf "emrun: unknown codec %s (have: naive, bulk, plan, blit)\n" s;
         exit 2)
   in
   let location =
@@ -147,6 +147,40 @@ let run file nodes cls op args_s original codec shards location trace stats
       if Mobility.Conv_plan.compiles pc > 0 || Mobility.Conv_plan.hits pc > 0 then
         Printf.printf "plan cache: %d compiles, %d hits\n"
           (Mobility.Conv_plan.compiles pc) (Mobility.Conv_plan.hits pc);
+      let open Core.Events in
+      let blit_skips = Core.Cluster.total_counter cl (fun c -> c.c_blit_skips) in
+      let blit_falls =
+        Core.Cluster.total_counter cl (fun c -> c.c_blit_fallbacks)
+      in
+      if blit_skips > 0 || blit_falls > 0 then begin
+        let fp_computes = Isa.Arch.fingerprint_computes () in
+        let fp_hits = Isa.Arch.fingerprint_hits () in
+        (* the interning memo must absorb every comparison past the first
+           per arch: computing more fingerprints than there are
+           architectures would mean the memo is broken *)
+        assert (fp_computes <= List.length Isa.Arch.all);
+        Printf.printf
+          "fastpath: %d blit moves skipped translation, %d fell back to \
+           plans (skip ratio %.2f); layout fingerprints %d computed, %d \
+           memo hits\n"
+          blit_skips blit_falls
+          (float_of_int blit_skips /. float_of_int (blit_skips + blit_falls))
+          fp_computes fp_hits
+      end;
+      let d_blocks = ref 0 and d_insns = ref 0 and d_fused = ref 0 in
+      let d_slices = ref 0 in
+      for i = 0 to Core.Cluster.n_nodes cl - 1 do
+        let s = Ert.Kernel.dispatch_stats (Core.Cluster.kernel cl i) in
+        d_blocks := !d_blocks + s.Isa.Dispatch.st_blocks;
+        d_insns := !d_insns + s.Isa.Dispatch.st_insns;
+        d_fused := !d_fused + s.Isa.Dispatch.st_fused;
+        d_slices := !d_slices + s.Isa.Dispatch.st_slices
+      done;
+      if !d_slices > 0 then
+        Printf.printf
+          "dispatch: %d blocks translated (%d insns, %d fused pairs), %d \
+           run slices\n"
+          !d_blocks !d_insns !d_fused !d_slices;
       Array.iteri
         (fun s e ->
           Printf.printf "engine %d: %d pushes, %d pops (%d stale), %d pending\n"
@@ -286,9 +320,11 @@ let codec_t =
   Arg.(value & opt (some string) None
        & info [ "codec" ] ~docv:"TIER"
            ~doc:"Wire conversion tier: $(b,naive) (per-byte calls, the \
-                 prototype's routines), $(b,bulk) (per-datum calls), or \
+                 prototype's routines), $(b,bulk) (per-datum calls), \
                  $(b,plan) (compiled conversion plans; same virtual cost \
-                 as bulk).")
+                 as bulk), or $(b,blit) (plan, plus same-layout \
+                 architecture pairs negotiate a zero-translation blit \
+                 that skips capture translation and frame rebuild).")
 
 let shards_t =
   Arg.(value & opt int 1

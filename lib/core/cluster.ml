@@ -357,6 +357,8 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
                Mobility.Code_repository.record_fetch repo ~node:i ~class_index;
                K.charge_insns k CM.code_fetch_insns);
            K.set_quantum k quantum;
+           K.set_dispatch_cache k
+             (Mobility.Code_repository.dispatch_cache repo ~node:i);
            { n_kernel = k; n_clock = K.clock k; n_conv = CS.create ();
              n_crashed = false })
          archs)
@@ -796,6 +798,7 @@ and restart_node t i =
         Mobility.Code_repository.record_fetch t.repo ~node:i ~class_index;
         K.charge_insns k CM.code_fetch_insns);
     K.set_quantum k t.quantum;
+    K.set_dispatch_cache k (Mobility.Code_repository.dispatch_cache t.repo ~node:i);
     let done_tbl = t.shards.(t.owner.(i)).sh_root_done in
     K.set_on_root_result k (fun ~thread r -> Hashtbl.replace done_tbl thread r);
     (match t.last_prog with Some prog -> K.load_program k prog | None -> ());
@@ -876,18 +879,36 @@ and wire_impl_of t =
   | Original -> Enet.Wire.Bulk
 
 (* under the Plan tier, thread the memoized conversion-plan cache and the
-   (src, dst) arch pair through encode/decode; other tiers interpret *)
+   (src, dst) arch pair through encode/decode; other tiers interpret.
+   The Blit tier negotiates per pair: layout-matched pairs take the raw
+   blit path (no plans), everyone else falls back to the plan path — the
+   honest general case. *)
 and plans_for t ~src ~dst =
+  let plan_use () =
+    Mobility.Conv_plan.make_use
+      (Mobility.Code_repository.plan_cache t.repo)
+      {
+        Mobility.Conv_plan.pr_src = K.arch t.nodes.(src).n_kernel;
+        pr_dst = K.arch t.nodes.(dst).n_kernel;
+      }
+  in
   match wire_impl_of t with
-  | Enet.Wire.Plan ->
-    Some
-      (Mobility.Conv_plan.make_use
-         (Mobility.Code_repository.plan_cache t.repo)
-         {
-           Mobility.Conv_plan.pr_src = K.arch t.nodes.(src).n_kernel;
-           pr_dst = K.arch t.nodes.(dst).n_kernel;
-         })
+  | Enet.Wire.Plan -> Some (plan_use ())
+  | Enet.Wire.Blit -> if blit_pair t ~src ~dst then None else Some (plan_use ())
   | Enet.Wire.Naive | Enet.Wire.Bulk -> None
+
+(* the negotiated common-layout fast path applies to a (src, dst) pair
+   when the blit tier is selected and both ends' layout fingerprints
+   (endianness, float format, word size, packing) match.  Source and
+   destination evaluate the same deterministic predicate, so no
+   per-message capability bit is needed on the wire. *)
+and blit_pair t ~src ~dst =
+  match wire_impl_of t with
+  | Enet.Wire.Blit ->
+    Isa.Arch.same_layout
+      (K.arch t.nodes.(src).n_kernel)
+      (K.arch t.nodes.(dst).n_kernel)
+  | Enet.Wire.Naive | Enet.Wire.Bulk | Enet.Wire.Plan -> false
 
 (* run an en/decode step and publish plan-cache and buffer-pool activity
    observed during it (diffs of the global counters) on the bus.
@@ -962,8 +983,18 @@ and send_message t ~src (s : Mobility.Move.send) =
   | None -> ());
   K.charge_us k CM.protocol_fixed_us;
   K.charge_insns k CM.protocol_send_insns;
+  (* negotiated common-layout fast path: a matched pair ships the payload
+     verbatim and skips the per-datum translate pass here (relocation at
+     the destination still runs — addresses differ even when layouts
+     match).  Counted once per outgoing move payload. *)
+  let blit = blit_pair t ~src ~dst in
+  (match (msg, wire_impl_of t) with
+  | ( (Mobility.Marshal.M_move _ | Mobility.Marshal.M_group_move _),
+      Enet.Wire.Blit ) ->
+    emit t ~node:src (E.Ev_blit { node = src; dest = dst; skipped = blit })
+  | _ -> ());
   let t_tr0 = if sp then K.time_us k else 0.0 in
-  charge_translation t ~node:src msg;
+  if not blit then charge_translation t ~node:src msg;
   let t_tr1 = if sp then K.time_us k else 0.0 in
   (match root with
   | Some (rid, _) ->
@@ -983,7 +1014,8 @@ and send_message t ~src (s : Mobility.Move.send) =
        by the receiver after decoding *)
     let payload =
       with_conv_extras t ~node:src (fun () ->
-          Mobility.Marshal.encode_view ?plans ~impl:(wire_impl_of t) ~stats msg)
+          Mobility.Marshal.encode_view ?plans ~blit ~impl:(wire_impl_of t) ~stats
+            msg)
     in
     charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
       ~bytes:(CS.bytes stats - bytes0);
@@ -1045,7 +1077,7 @@ and send_message t ~src (s : Mobility.Move.send) =
        payload must outlive this send: keep the copying encode *)
     let payload =
       with_conv_extras t ~node:src (fun () ->
-          Mobility.Marshal.encode ?plans ~impl:(wire_impl_of t) ~stats msg)
+          Mobility.Marshal.encode ?plans ~blit ~impl:(wire_impl_of t) ~stats msg)
     in
     charge_conversion t ~node:src ~calls:(CS.calls stats - calls0)
       ~bytes:(CS.bytes stats - bytes0);
@@ -1300,6 +1332,10 @@ let deliver t ~dst (m : Enet.Netsim.message) =
   let stats = t.nodes.(dst).n_conv in
   let calls0 = CS.calls stats and bytes0 = CS.bytes stats in
   let plans = plans_for t ~src:m.Enet.Netsim.msg_src ~dst in
+  (* the receiver re-evaluates the same deterministic layout predicate
+     the sender used, so the blit codec needs no capability bit on the
+     wire *)
+  let blit = blit_pair t ~src:m.Enet.Netsim.msg_src ~dst in
   (* decoding is the last read: a pooled payload buffer goes back to the
      free list (sub-views and string-backed views are no-ops) — also on
      a decode failure, or it would leak from the pool *)
@@ -1308,13 +1344,13 @@ let deliver t ~dst (m : Enet.Netsim.message) =
       ~finally:(fun () -> Enet.Wire.release_view m.Enet.Netsim.msg_payload)
       (fun () ->
         with_conv_extras t ~node:dst (fun () ->
-            Mobility.Marshal.decode_view ?plans ~impl:(wire_impl_of t) ~stats
-              m.Enet.Netsim.msg_payload))
+            Mobility.Marshal.decode_view ?plans ~blit ~impl:(wire_impl_of t)
+              ~stats m.Enet.Netsim.msg_payload))
   in
   charge_conversion t ~node:dst ~calls:(CS.calls stats - calls0)
     ~bytes:(CS.bytes stats - bytes0);
   let t_unm1 = if tag <> None then K.time_us k else 0.0 in
-  charge_translation t ~node:dst msg;
+  if not blit then charge_translation t ~node:dst msg;
   (match tag with
   | Some (rn, rs, _) ->
     let parent = { Obs.Span.id_node = rn; id_seq = rs } in
@@ -1698,8 +1734,9 @@ let exec_deliver t i eff =
       Fun.protect
         ~finally:(fun () -> Enet.Wire.release_view m.Enet.Netsim.msg_payload)
         (fun () ->
-          Mobility.Marshal.decode_view ~impl:(wire_impl_of t) ~stats
-            m.Enet.Netsim.msg_payload)
+          Mobility.Marshal.decode_view
+            ~blit:(blit_pair t ~src:m.Enet.Netsim.msg_src ~dst:i)
+            ~impl:(wire_impl_of t) ~stats m.Enet.Netsim.msg_payload)
     in
     emit t ~node:i (E.Ev_msg_drop { node = i; desc = Mobility.Marshal.describe msg });
     drop_message t ~node:i msg ~reason:(Printf.sprintf "node %d is down" i)

@@ -48,6 +48,12 @@ type t =
       objects : int;
       segments : int;
     }
+  | Ev_blit of { node : int; dest : int; skipped : bool }
+      (** a move payload under the negotiated [blit] codec tier:
+          [skipped = true] when the layout fingerprints matched and the
+          translate/rebuild passes were skipped, [false] when the pair
+          fell back to the plan path.  Fires only under [--codec blit],
+          so the legacy trace is unaffected. *)
 
 (* The exact line the seed's [(string -> unit)] trace hook printed for
    this event, if it printed one.  Events the seed had no line for
@@ -58,7 +64,7 @@ type t =
    byte-identical while making [--trace] useful under injection. *)
 let legacy_string = function
   | Ev_step _ | Ev_move_finish _ | Ev_conversion _ | Ev_plan _ | Ev_pool _
-  | Ev_span _ -> None
+  | Ev_span _ | Ev_blit _ -> None
   | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
     Some
       (Printf.sprintf "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)"
@@ -144,6 +150,9 @@ let to_string ev =
     Printf.sprintf "pool node=%d hits=%d misses=%d copies-saved=%d" node hits misses
       copies_saved
   | Ev_span s -> Obs.Span.to_string s
+  | Ev_blit { node; dest; skipped } ->
+    Printf.sprintf "blit node=%d dest=%d %s" node dest
+      (if skipped then "skip" else "fallback")
   | _ -> ( match legacy_string ev with Some s -> s | None -> assert false)
 
 type counters = {
@@ -175,6 +184,9 @@ type counters = {
   mutable c_collapses : int;  (* proxy chains rewritten by a location hint *)
   mutable c_group_moves : int;
   mutable c_group_objects : int;  (* objects shipped inside group transfers *)
+  mutable c_blit_skips : int;
+      (* moves whose layout fingerprints matched: translate/rebuild skipped *)
+  mutable c_blit_fallbacks : int;  (* blit-tier moves that took the plan path *)
 }
 
 let fresh_counters () =
@@ -207,6 +219,8 @@ let fresh_counters () =
     c_collapses = 0;
     c_group_moves = 0;
     c_group_objects = 0;
+    c_blit_skips = 0;
+    c_blit_fallbacks = 0;
   }
 
 (* Per-shard window metrics for the sharded engine: how many windows the
@@ -301,6 +315,9 @@ let count bus ev =
   | Ev_group_move { node; objects; _ } ->
     (c node).c_group_moves <- (c node).c_group_moves + 1;
     (c node).c_group_objects <- (c node).c_group_objects + objects
+  | Ev_blit { node; skipped; _ } ->
+    if skipped then (c node).c_blit_skips <- (c node).c_blit_skips + 1
+    else (c node).c_blit_fallbacks <- (c node).c_blit_fallbacks + 1
   | Ev_crash _ | Ev_restart _ | Ev_thread_lost _ | Ev_search_found _
   | Ev_search_failed _ | Ev_span _ -> ()
 

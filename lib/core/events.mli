@@ -81,6 +81,12 @@ type t =
     }
       (** a batched group migration left [node]: [objects] co-located
           objects and their [segments] attached threads in one transfer *)
+  | Ev_blit of { node : int; dest : int; skipped : bool }
+      (** a move payload left [node] under the negotiated [blit] codec
+          tier: [skipped = true] when the layout fingerprints matched and
+          the translate/rebuild passes were skipped at both ends,
+          [false] when the pair fell back to the plan path.  Fires only
+          under the blit wire tier, so legacy traces are unaffected. *)
 
 val legacy_string : t -> string option
 (** The seed trace hook's line for this event; [None] for events the seed
@@ -120,6 +126,10 @@ type counters = {
   mutable c_collapses : int;  (** proxy chains collapsed on this node *)
   mutable c_group_moves : int;  (** group migrations initiated here *)
   mutable c_group_objects : int;  (** objects shipped in those groups *)
+  mutable c_blit_skips : int;
+      (** outgoing moves that took the common-layout blit fast path *)
+  mutable c_blit_fallbacks : int;
+      (** blit-tier moves whose pair mismatched: plan path used *)
 }
 
 (** {1 The bus} *)

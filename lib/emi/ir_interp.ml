@@ -7,11 +7,30 @@ type result = {
   steps : int;
 }
 
+(* The activation-local state a compiled instruction closes over: one
+   record per call, threaded through the shared per-(class, operation)
+   compiled code — the same split the native engine makes between the
+   machine context and the translated text. *)
+type env = {
+  e_self : V.obj;
+  e_vars : V.t array;
+  e_temps : V.t array;
+}
+
+(* a compiled basic block: run the instructions, return the next block's
+   label (-1 to return from the operation) *)
+type compiled = (env -> int) array
+
 type state = {
   prog : I.program_ir;
   out : Buffer.t;
   sched : Coop.t;
   mutable steps : int;
+  code : (int * string, compiled) Hashtbl.t;
+      (* per (class index, operation name): blocks are translated to
+         closure arrays once, on the operation's first invocation, and
+         every later call — every loop iteration of every object of the
+         class — reuses them *)
 }
 
 let class_of st i = st.prog.I.pr_classes.(i)
@@ -67,77 +86,82 @@ let eval_cmp op c =
   | Isa.Insn.Gt -> c > 0
   | Isa.Insn.Ge -> c >= 0
 
-let rec call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t option =
-  let n_vars = Array.length op_ir.I.oi_vars in
-  let vars = Array.make n_vars V.Nil in
-  Array.iteri (fun i vd -> vars.(i) <- V.default_of vd.I.vd_type) op_ir.I.oi_vars;
-  vars.(0) <- V.Obj self;
-  List.iteri (fun i a -> vars.(i + 1) <- a) args;
-  let temps = Array.make (max 1 (Array.length op_ir.I.oi_temp_types)) V.Nil in
-  let cl = class_of st self.V.o_class in
-  let rec run_block label =
-    let blk = op_ir.I.oi_blocks.(label) in
-    List.iter (step blk) blk.I.b_instrs;
-    st.steps <- st.steps + 1;
-    match blk.I.b_term with
-    | I.Tjump l -> run_block l
-    | I.Tloop { target; _ } -> run_block target
-    | I.Tcond { c; if_true; if_false } ->
-      run_block (if V.as_bool temps.(c) then if_true else if_false)
-    | I.Treturn -> ()
-  and step _blk instr =
-    st.steps <- st.steps + 1;
-    match instr with
-    | I.Iconst_int (t, v) -> temps.(t) <- V.Int v
-    | I.Iconst_real (t, v) -> temps.(t) <- V.Real v
-    | I.Iconst_bool (t, v) -> temps.(t) <- V.Bool v
-    | I.Iconst_str (t, s) -> temps.(t) <- V.Str cl.I.cl_strings.(s)
-    | I.Iconst_nil t -> temps.(t) <- V.Nil
-    | I.Icopy (d, s) -> temps.(d) <- temps.(s)
-    | I.Iload_var (t, v) -> temps.(t) <- vars.(v)
-    | I.Istore_var (v, t) -> vars.(v) <- temps.(t)
-    | I.Iload_field (t, f) -> temps.(t) <- self.V.o_fields.(f)
-    | I.Istore_field (f, t) -> self.V.o_fields.(f) <- temps.(t)
-    | I.Ibin { dst; op; ty; a; b } ->
-      temps.(dst) <-
-        (match ty with
-        | I.Aint -> V.Int (int_op op (V.as_int temps.(a)) (V.as_int temps.(b)))
-        | I.Areal -> V.Real (real_op op (V.as_real temps.(a)) (V.as_real temps.(b))))
-    | I.Icmp { dst; op; ty; a; b } ->
-      let c =
-        match ty with
-        | I.Areal -> Float.compare (V.as_real temps.(a)) (V.as_real temps.(b))
-        | I.Aint -> (
-          match temps.(a), temps.(b) with
+(* Translate one IR instruction into a closure: temp/var/field indices,
+   constants, and the operator dispatch are resolved here, once, so
+   executing the instruction is a single indirect call on the hot path.
+   Observable behaviour (output, [steps] counting, failure messages and
+   their ordering) is identical to the former match-per-instruction
+   interpreter. *)
+let rec compile_instr st cl instr : env -> unit =
+  match instr with
+  | I.Iconst_int (t, v) -> fun env -> env.e_temps.(t) <- V.Int v
+  | I.Iconst_real (t, v) -> fun env -> env.e_temps.(t) <- V.Real v
+  | I.Iconst_bool (t, v) -> fun env -> env.e_temps.(t) <- V.Bool v
+  | I.Iconst_str (t, s) ->
+    let v = V.Str cl.I.cl_strings.(s) in
+    fun env -> env.e_temps.(t) <- v
+  | I.Iconst_nil t -> fun env -> env.e_temps.(t) <- V.Nil
+  | I.Icopy (d, s) -> fun env -> env.e_temps.(d) <- env.e_temps.(s)
+  | I.Iload_var (t, v) -> fun env -> env.e_temps.(t) <- env.e_vars.(v)
+  | I.Istore_var (v, t) -> fun env -> env.e_vars.(v) <- env.e_temps.(t)
+  | I.Iload_field (t, f) -> fun env -> env.e_temps.(t) <- env.e_self.V.o_fields.(f)
+  | I.Istore_field (f, t) -> fun env -> env.e_self.V.o_fields.(f) <- env.e_temps.(t)
+  | I.Ibin { dst; op; ty; a; b } -> (
+    match ty with
+    | I.Aint ->
+      fun env ->
+        env.e_temps.(dst) <-
+          V.Int (int_op op (V.as_int env.e_temps.(a)) (V.as_int env.e_temps.(b)))
+    | I.Areal ->
+      fun env ->
+        env.e_temps.(dst) <-
+          V.Real (real_op op (V.as_real env.e_temps.(a)) (V.as_real env.e_temps.(b))))
+  | I.Icmp { dst; op; ty; a; b } -> (
+    match ty with
+    | I.Areal ->
+      fun env ->
+        let c = Float.compare (V.as_real env.e_temps.(a)) (V.as_real env.e_temps.(b)) in
+        env.e_temps.(dst) <- V.Bool (eval_cmp op c)
+    | I.Aint ->
+      fun env ->
+        let c =
+          match (env.e_temps.(a), env.e_temps.(b)) with
           | V.Int x, V.Int y -> Int32.compare x y
-          | x, y -> if V.equal x y then 0 else 1)
-      in
-      temps.(dst) <- V.Bool (eval_cmp op c)
-    | I.Ineg { dst; ty; a } ->
-      temps.(dst) <-
-        (match ty with
-        | I.Aint -> V.Int (Int32.neg (V.as_int temps.(a)))
-        | I.Areal -> V.Real (-.V.as_real temps.(a)))
-    | I.Inot { dst; a } -> temps.(dst) <- V.Bool (not (V.as_bool temps.(a)))
-    | I.Icvt_int_real { dst; a } -> temps.(dst) <- V.Real (Int32.to_float (V.as_int temps.(a)))
-    | I.Iinvoke { dst; target; method_index; args; _ } -> (
-      match temps.(target) with
+          | x, y -> if V.equal x y then 0 else 1
+        in
+        env.e_temps.(dst) <- V.Bool (eval_cmp op c))
+  | I.Ineg { dst; ty; a } -> (
+    match ty with
+    | I.Aint ->
+      fun env -> env.e_temps.(dst) <- V.Int (Int32.neg (V.as_int env.e_temps.(a)))
+    | I.Areal -> fun env -> env.e_temps.(dst) <- V.Real (-.V.as_real env.e_temps.(a)))
+  | I.Inot { dst; a } ->
+    fun env -> env.e_temps.(dst) <- V.Bool (not (V.as_bool env.e_temps.(a)))
+  | I.Icvt_int_real { dst; a } ->
+    fun env -> env.e_temps.(dst) <- V.Real (Int32.to_float (V.as_int env.e_temps.(a)))
+  | I.Iinvoke { dst; target; method_index; args; _ } ->
+    (* the callee is still bound at run time — dynamic dispatch on the
+       receiver's class, as before *)
+    fun env -> (
+      match env.e_temps.(target) with
       | V.Obj obj ->
         let callee_cl = class_of st obj.V.o_class in
         let callee = callee_cl.I.cl_ops.(method_index) in
-        let vargs = List.map (fun t -> temps.(t)) args in
+        let vargs = List.map (fun t -> env.e_temps.(t)) args in
         let r = call st ~self:obj ~op_ir:callee ~args:vargs in
         (match dst with
-        | Some d -> temps.(d) <- Option.value r ~default:V.Nil
+        | Some d -> env.e_temps.(d) <- Option.value r ~default:V.Nil
         | None -> ())
       | V.Nil -> failwith "invocation of nil"
       | _ -> V.type_error "invocation target")
-    | I.Inew { dst; class_index; _ } -> temps.(dst) <- V.Obj (new_object st class_index)
-    | I.Ibuiltin { dst; bi; args; _ } -> (
-      let arg i = temps.(List.nth args i) in
+  | I.Inew { dst; class_index; _ } ->
+    fun env -> env.e_temps.(dst) <- V.Obj (new_object st class_index)
+  | I.Ibuiltin { dst; bi; args; _ } ->
+    fun env -> (
+      let arg i = env.e_temps.(List.nth args i) in
       let set v =
         match dst with
-        | Some d -> temps.(d) <- v
+        | Some d -> env.e_temps.(d) <- v
         | None -> ()
       in
       match bi with
@@ -184,25 +208,80 @@ let rec call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t opti
                 ignore (call st ~self:obj ~op_ir:op ~args:[]))
           | None -> ())
         | _ -> ()))
-    | I.Ivec_get { dst; vec; idx; _ } ->
-      let xs = V.as_vec temps.(vec) in
-      let i = Int32.to_int (V.as_int temps.(idx)) in
+  | I.Ivec_get { dst; vec; idx; _ } ->
+    fun env ->
+      let xs = V.as_vec env.e_temps.(vec) in
+      let i = Int32.to_int (V.as_int env.e_temps.(idx)) in
       if i < 0 || i >= Array.length xs then failwith "vector index out of bounds";
-      temps.(dst) <- xs.(i)
-    | I.Ivec_set { vec; idx; src; _ } ->
-      let xs = V.as_vec temps.(vec) in
-      let i = Int32.to_int (V.as_int temps.(idx)) in
+      env.e_temps.(dst) <- xs.(i)
+  | I.Ivec_set { vec; idx; src; _ } ->
+    fun env ->
+      let xs = V.as_vec env.e_temps.(vec) in
+      let i = Int32.to_int (V.as_int env.e_temps.(idx)) in
       if i < 0 || i >= Array.length xs then failwith "vector index out of bounds";
-      xs.(i) <- temps.(src)
-    | I.Ivec_len { dst; vec } ->
-      temps.(dst) <- V.Int (Int32.of_int (Array.length (V.as_vec temps.(vec))))
-    | I.Imon_enter _ | I.Imon_exit _ -> () (* single-threaded level *)
+      xs.(i) <- env.e_temps.(src)
+  | I.Ivec_len { dst; vec } ->
+    fun env ->
+      env.e_temps.(dst) <- V.Int (Int32.of_int (Array.length (V.as_vec env.e_temps.(vec))))
+  | I.Imon_enter _ | I.Imon_exit _ -> fun _ -> () (* single-threaded level *)
+
+(* a block: the instruction closures in order, then the terminator
+   resolved to a next-label function.  [steps] counts one per
+   instruction (before it executes) and one per block (after the
+   instructions, before the terminator), exactly as the direct
+   interpreter counted. *)
+and compile_block st cl blk : env -> int =
+  let instrs = Array.of_list (List.map (compile_instr st cl) blk.I.b_instrs) in
+  let term =
+    match blk.I.b_term with
+    | I.Tjump l -> fun _ -> l
+    | I.Tloop { target; _ } -> fun _ -> target
+    | I.Tcond { c; if_true; if_false } ->
+      fun env -> if V.as_bool env.e_temps.(c) then if_true else if_false
+    | I.Treturn -> fun _ -> -1
   in
-  run_block 0;
+  fun env ->
+    Array.iter
+      (fun f ->
+        st.steps <- st.steps + 1;
+        f env)
+      instrs;
+    st.steps <- st.steps + 1;
+    term env
+
+and compiled_for st cl (op_ir : I.op_ir) =
+  let key = (cl.I.cl_index, op_ir.I.oi_name) in
+  match Hashtbl.find_opt st.code key with
+  | Some c -> c
+  | None ->
+    let c = Array.map (compile_block st cl) op_ir.I.oi_blocks in
+    Hashtbl.add st.code key c;
+    c
+
+and call st ~(self : V.obj) ~(op_ir : I.op_ir) ~(args : V.t list) : V.t option =
+  let n_vars = Array.length op_ir.I.oi_vars in
+  let vars = Array.make n_vars V.Nil in
+  Array.iteri (fun i vd -> vars.(i) <- V.default_of vd.I.vd_type) op_ir.I.oi_vars;
+  vars.(0) <- V.Obj self;
+  List.iteri (fun i a -> vars.(i + 1) <- a) args;
+  let temps = Array.make (max 1 (Array.length op_ir.I.oi_temp_types)) V.Nil in
+  let cl = class_of st self.V.o_class in
+  let blocks = compiled_for st cl op_ir in
+  let env = { e_self = self; e_vars = vars; e_temps = temps } in
+  let rec go label = if label >= 0 then go (blocks.(label) env) in
+  go 0;
   Option.map (fun r -> vars.(r)) op_ir.I.oi_result
 
 let run prog ~class_name ~op ~args =
-  let st = { prog; out = Buffer.create 64; sched = Coop.create (); steps = 0 } in
+  let st =
+    {
+      prog;
+      out = Buffer.create 64;
+      sched = Coop.create ();
+      steps = 0;
+      code = Hashtbl.create 16;
+    }
+  in
   let cl =
     match
       Array.find_opt (fun c -> String.equal c.I.cl_name class_name) prog.I.pr_classes

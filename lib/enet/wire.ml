@@ -1,14 +1,16 @@
-type impl = Naive | Bulk | Plan
+type impl = Naive | Bulk | Plan | Blit
 
 let impl_name = function
   | Naive -> "naive"
   | Bulk -> "bulk"
   | Plan -> "plan"
+  | Blit -> "blit"
 
 let impl_of_string = function
   | "naive" -> Some Naive
   | "bulk" | "optimized" -> Some Bulk
   | "plan" -> Some Plan
+  | "blit" -> Some Blit
   | _ -> None
 
 (* Conversion-call accounting.  The naive implementation charges one
@@ -21,7 +23,7 @@ let charge impl stats ~bytes =
   Conversion_stats.add_bytes stats bytes;
   match impl with
   | Naive -> Conversion_stats.add_calls stats (bytes + 1)
-  | Bulk | Plan -> Conversion_stats.add_calls stats 1
+  | Bulk | Plan | Blit -> Conversion_stats.add_calls stats 1
 
 type view = {
   vw_bytes : Bytes.t;
@@ -104,7 +106,7 @@ module Writer = struct
      per message, grown by doubling — the pool belongs to the optimized
      tiers.  The virtual accounting is unaffected either way. *)
   let create ~impl ~stats =
-    let buf = match impl with Naive -> Bytes.create 16 | Bulk | Plan -> Pool.take () in
+    let buf = match impl with Naive -> Bytes.create 16 | Bulk | Plan | Blit -> Pool.take () in
     { buf; pos = 0; live = true; impl; stats }
 
   let ensure t n =
@@ -135,7 +137,7 @@ module Writer = struct
     charge t.impl t.stats ~bytes:1;
     match t.impl with
     | Naive -> naive_put t v
-    | Bulk | Plan -> raw_put t v
+    | Bulk | Plan | Blit -> raw_put t v
 
   let raw_u16 t v =
     ensure t 2;
@@ -150,7 +152,7 @@ module Writer = struct
     | Naive ->
       naive_put t (v lsr 8);
       naive_put t v
-    | Bulk | Plan -> raw_u16 t v
+    | Bulk | Plan | Blit -> raw_u16 t v
 
   let u32 t v =
     charge t.impl t.stats ~bytes:4;
@@ -161,7 +163,7 @@ module Writer = struct
       naive_put t (b 16);
       naive_put t (b 8);
       naive_put t (b 0)
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       ensure t 4;
       let p = t.pos in
       Bytes.unsafe_set t.buf p (Char.unsafe_chr (b 24));
@@ -181,7 +183,7 @@ module Writer = struct
       for n = 7 downto 0 do
         naive_put t (b n)
       done
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       ensure t 8;
       let p = t.pos in
       for n = 7 downto 0 do
@@ -202,7 +204,7 @@ module Writer = struct
       for i = 0 to len - 1 do
         naive_put t (Char.code (String.unsafe_get s i))
       done
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       raw_u16 t len;
       ensure t len;
       Bytes.blit_string s 0 t.buf t.pos len;
@@ -214,13 +216,13 @@ module Writer = struct
   let free t =
     if t.live then begin
       t.live <- false;
-      match t.impl with Naive -> () | Bulk | Plan -> Pool.recycle t.buf
+      match t.impl with Naive -> () | Bulk | Plan | Blit -> Pool.recycle t.buf
     end
 
   let handoff t =
     if not t.live then invalid_arg "Wire.Writer.handoff: writer already dead";
     t.live <- false;
-    let pooled = match t.impl with Naive -> false | Bulk | Plan -> true in
+    let pooled = match t.impl with Naive -> false | Bulk | Plan | Blit -> true in
     if pooled then incr Pool.handoffs_c;
     { vw_bytes = t.buf; vw_off = 0; vw_len = t.pos; vw_pooled = pooled }
 
@@ -262,6 +264,24 @@ module Writer = struct
       Bytes.unsafe_set t.buf (at + 7 - n)
         (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (8 * n)) land 0xFF))
     done
+
+  let raw_f64 t v =
+    let bits = Int64.bits_of_float v in
+    ensure t 8;
+    let p = t.pos in
+    for n = 7 downto 0 do
+      Bytes.unsafe_set t.buf (p + 7 - n)
+        (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical bits (8 * n)) land 0xFF))
+    done;
+    t.pos <- p + 8
+
+  let raw_str t s =
+    let len = String.length s in
+    if len > 0xFFFF then invalid_arg "Wire.Writer.raw_str: string too long";
+    raw_u16 t len;
+    ensure t len;
+    Bytes.blit_string s 0 t.buf t.pos len;
+    t.pos <- t.pos + len
 end
 
 module Reader = struct
@@ -298,7 +318,7 @@ module Reader = struct
     charge t.impl t.stats ~bytes:1;
     match t.impl with
     | Naive -> naive_get t
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       let p = take t 1 in
       Char.code (Bytes.unsafe_get t.data p)
 
@@ -313,7 +333,7 @@ module Reader = struct
       let hi = naive_get t in
       let lo = naive_get t in
       (hi lsl 8) lor lo
-    | Bulk | Plan -> raw_u16 t
+    | Bulk | Plan | Blit -> raw_u16 t
 
   let read32_at data p =
     let b i = Int32.of_int (Char.code (Bytes.unsafe_get data (p + i))) in
@@ -330,7 +350,7 @@ module Reader = struct
         acc := Int32.logor (Int32.shift_left !acc 8) (Int32.of_int (naive_get t))
       done;
       !acc
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       let p = take t 4 in
       read32_at t.data p
 
@@ -352,7 +372,7 @@ module Reader = struct
         bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (naive_get t))
       done;
       Int64.float_of_bits !bits
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       let p = take t 8 in
       Int64.float_of_bits (read64_at t.data p)
 
@@ -371,7 +391,7 @@ module Reader = struct
         Bytes.unsafe_set b i (Char.unsafe_chr (naive_get t))
       done;
       Bytes.unsafe_to_string b
-    | Bulk | Plan ->
+    | Bulk | Plan | Blit ->
       let len = raw_u16 t in
       charge t.impl t.stats ~bytes:(2 + len);
       let p = take t len in
@@ -400,4 +420,23 @@ module Reader = struct
       Some
         ((Char.code (Bytes.unsafe_get t.data t.pos) lsl 8)
         lor Char.code (Bytes.unsafe_get t.data (t.pos + 1)))
+
+  (* uncharged reads for the blit tier: the caller accounts a whole
+     blitted frame/object with one [add_charge] *)
+  let raw_u8 t =
+    let p = take t 1 in
+    Char.code (Bytes.unsafe_get t.data p)
+
+  let raw_u32 t =
+    let p = take t 4 in
+    read32_at t.data p
+
+  let raw_f64 t =
+    let p = take t 8 in
+    Int64.float_of_bits (read64_at t.data p)
+
+  let raw_str t =
+    let len = raw_u16 t in
+    let p = take t len in
+    Bytes.sub_string t.data p len
 end

@@ -19,17 +19,23 @@
       plans ({!Mobility.Conv_plan}) bypass per-datum dispatch entirely:
       a plan blits a precomputed skeleton and pokes values into holes,
       charging the precomputed [Bulk]-equivalent cost in one step.
+    - [Blit] is the negotiated common-layout tier: when source and
+      destination {!Isa.Arch.fingerprint}s match, move payloads are
+      copied verbatim (one conversion call per blitted frame/object
+      instead of one per datum) and translate/rebuild work is skipped
+      at both ends; every pair that does not match falls back to the
+      [Plan] tier.  Non-move traffic under this tier behaves as [Bulk].
 
-    All three tiers produce identical octets; only the accounted work
+    All four tiers produce identical octets; only the accounted work
     and the host-side work differ. *)
 
-type impl = Naive | Bulk | Plan
+type impl = Naive | Bulk | Plan | Blit
 
 val impl_name : impl -> string
 
 val impl_of_string : string -> impl option
-(** Recognizes ["naive"], ["bulk"], ["plan"] (and the legacy spelling
-    ["optimized"] for [Bulk]). *)
+(** Recognizes ["naive"], ["bulk"], ["plan"], ["blit"] (and the legacy
+    spelling ["optimized"] for [Bulk]). *)
 
 (** {1 Buffer views}
 
@@ -138,6 +144,11 @@ module Writer : sig
   val poke8 : t -> at:int -> int -> unit
   val poke32 : t -> at:int -> int32 -> unit
   val poke64 : t -> at:int -> int64 -> unit
+
+  val raw_f64 : t -> float -> unit
+  val raw_str : t -> string -> unit
+  (** Uncharged appends for the blit tier; the caller accounts the
+      whole blitted run with {!add_charge}. *)
 end
 
 module Reader : sig
@@ -176,4 +187,12 @@ module Reader : sig
   val peek_u16 : t -> int option
   (** The next big-endian u16 without consuming it (uncharged); [None]
       on underflow. *)
+
+  val raw_u8 : t -> int
+  val raw_u16 : t -> int
+  val raw_u32 : t -> int32
+  val raw_f64 : t -> float
+  val raw_str : t -> string
+  (** Uncharged consuming reads for the blit tier; the caller accounts
+      the whole blitted run with {!add_charge}. *)
 end

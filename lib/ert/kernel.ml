@@ -95,6 +95,12 @@ type t = {
          at its next bus stop with no cooperative polling by the code. *)
   mutable evictions : int;  (* eviction traps fired *)
   mutable peak_ready : int;  (* high-water mark of the run queue *)
+  mutable kdispatch : Isa.Dispatch.cache;
+      (* per-node translated-code cache for the threaded-dispatch engine;
+         the cluster points it at the code repository's per-node cache *)
+  mutable kthreaded : bool;
+      (* execute through Isa.Dispatch (default) or the baseline
+         fetch/decode Machine.run (for differential tests and bench) *)
 }
 
 let create ?clock ~node_id ~arch () =
@@ -135,6 +141,8 @@ let create ?clock ~node_id ~arch () =
     evict_arms = Hashtbl.create 4;
     evictions = 0;
     peak_ready = 0;
+    kdispatch = Isa.Dispatch.create_cache ();
+    kthreaded = true;
   }
 
 let node_id t = t.knode_id
@@ -292,6 +300,10 @@ let set_on_code_load t f = t.on_code_load <- Some f
 let set_on_root_result t f = t.on_root_result <- Some f
 let set_quantum t q = t.quantum <- q
 let quantum t = t.quantum
+let set_dispatch_cache t c = t.kdispatch <- c
+let dispatch_stats t = Isa.Dispatch.stats t.kdispatch
+let set_threaded t b = t.kthreaded <- b
+let threaded t = t.kthreaded
 
 (* Objects ----------------------------------------------------------------- *)
 
@@ -1338,7 +1350,11 @@ let step t =
       | None -> 50_000_000
     in
     let cycles_before = ctx.M.cycles and insns_before = ctx.M.insns in
-    let stop = M.run ctx ~mem:t.kmem ~text:t.ktext ~fuel in
+    let stop =
+      if t.kthreaded then
+        Isa.Dispatch.run t.kdispatch ctx ~mem:t.kmem ~text:t.ktext ~fuel
+      else M.run ctx ~mem:t.kmem ~text:t.ktext ~fuel
+    in
     seg.Thread.seg_spawn <- None;
     t.insns <- t.insns + (ctx.M.insns - insns_before);
     charge_cycles t (ctx.M.cycles - cycles_before);
@@ -1410,7 +1426,12 @@ let advance_to_stop t (seg : Thread.segment) =
     let ctx = seg.Thread.seg_ctx in
     ctx.M.poll_requested <- true;
     let cycles_before = ctx.M.cycles and insns_before = ctx.M.insns in
-    let stop = M.run ctx ~mem:t.kmem ~text:t.ktext ~fuel:50_000_000 in
+    let stop =
+      if t.kthreaded then
+        Isa.Dispatch.run t.kdispatch ctx ~mem:t.kmem ~text:t.ktext
+          ~fuel:50_000_000
+      else M.run ctx ~mem:t.kmem ~text:t.ktext ~fuel:50_000_000
+    in
     t.insns <- t.insns + (ctx.M.insns - insns_before);
     charge_cycles t (ctx.M.cycles - cycles_before);
     match stop with

@@ -294,6 +294,24 @@ val set_quantum : t -> int option -> unit
 
 val quantum : t -> int option
 
+val set_dispatch_cache : t -> Isa.Dispatch.cache -> unit
+(** Point the kernel at a shared translated-code cache (the code
+    repository keeps one per node, so translations survive the kernel
+    they were made for — stale tables are voided by the engine's memory
+    identity check). *)
+
+val dispatch_stats : t -> Isa.Dispatch.stats
+(** Translation and slice counters of this kernel's dispatch cache. *)
+
+val set_threaded : t -> bool -> unit
+(** [false] forces the baseline fetch/decode interpreter
+    ({!Isa.Machine.run}); [true] (the default) executes through the
+    threaded-dispatch engine ({!Isa.Dispatch.run}).  The two are
+    observationally identical; the switch exists for differential tests
+    and the interpreter benchmark. *)
+
+val threaded : t -> bool
+
 val at_stop : t -> Thread.segment -> bool
 (** Is this segment's state well defined (at a bus stop / fully
     machine-describable)?  Always true under the default discipline. *)

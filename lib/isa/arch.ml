@@ -92,3 +92,69 @@ let equal_family a b =
 
 let pp ppf a = Format.fprintf ppf "%s(%s)" a.name (family_name a.family)
 let cycle_time_ns a = 1000.0 /. a.clock_mhz
+
+(* ------------------------------------------------------------------ *)
+(* Layout fingerprints for the negotiated common-layout migration mode *)
+(* ------------------------------------------------------------------ *)
+
+(* One word summarizing everything that decides whether two machines
+   can exchange thread state by verbatim copy: byte order, float
+   format, word size, and the family (which fixes activation-record
+   linkage/field packing — a SPARC register window is not an M68k
+   stack frame even though both are big-endian IEEE machines). *)
+let word_size_bytes = 4
+
+let compute_fingerprint a =
+  let fam = match a.family with Vax -> 1 | M68k -> 2 | Sparc -> 3 in
+  let en = match a.endian with Endian.Little -> 0 | Endian.Big -> 1 in
+  let ff =
+    match a.float_format with
+    | Float_format.Vax_f -> 0
+    | Float_format.Ieee_single -> 1
+  in
+  (* a tag bit keeps every fingerprint nonzero so 0 can mean "not yet
+     interned" in the memo below *)
+  0x4C00_0000 lor (fam lsl 12) lor (en lsl 8) lor (ff lsl 4) lor word_size_bytes
+
+(* interned once per descriptor, like conversion-plan pairs: the memo
+   is indexed by the (small, closed) set of architecture ids, and the
+   counters let emrun --stats assert migrations hit the memo instead
+   of recomputing per move.  Writes are idempotent (the fingerprint is
+   a pure function of the descriptor) so the slots need no lock; the
+   counters are atomic because shard domains negotiate concurrently. *)
+let fp_ord a =
+  match a.id with
+  | "vax" -> 0
+  | "sun3" -> 1
+  | "hp433" -> 2
+  | "hp385" -> 3
+  | "sparc" -> 4
+  | _ -> -1
+
+let fp_slots = Array.init 5 (fun _ -> Atomic.make 0)
+let fp_computes = Atomic.make 0
+let fp_hits = Atomic.make 0
+
+let fingerprint a =
+  let i = fp_ord a in
+  if i < 0 then begin
+    (* descriptors outside the builtin set (tests) are not interned *)
+    Atomic.incr fp_computes;
+    compute_fingerprint a
+  end
+  else
+    let v = Atomic.get fp_slots.(i) in
+    if v <> 0 then begin
+      Atomic.incr fp_hits;
+      v
+    end
+    else begin
+      let v = compute_fingerprint a in
+      Atomic.set fp_slots.(i) v;
+      Atomic.incr fp_computes;
+      v
+    end
+
+let same_layout a b = fingerprint a = fingerprint b
+let fingerprint_computes () = Atomic.get fp_computes
+let fingerprint_hits () = Atomic.get fp_hits

@@ -1,0 +1,1319 @@
+(* Threaded-dispatch execution: each basic block is translated once, on
+   first execution, into a chain of per-instruction closures with every
+   operand access, cycle charge and fall-through target specialised at
+   translation time — so steady-state execution pays no fetch, no decode
+   and no operand match.  The adjacent compare-branch and loop-bottom
+   poll-branch pairs the compiler emits are fused into superinstructions.
+
+   Semantics are the fetch/decode interpreter's, bit for bit: the
+   closures are built from {!Machine}'s own primitives, replicate its
+   (right-to-left) operand evaluation orders with explicit lets, charge
+   cycles/insns before the operation, leave the PC at the faulting
+   instruction on a trap, and check fuel before every instruction.  A
+   run under this engine and a run under [Machine.run] produce the same
+   stop, the same context, the same memory and the same counters. *)
+
+module M = Machine
+
+(* why a step returned to the driver; [S_jump] is a dynamic control
+   transfer (indirect call, return) whose target must be re-resolved
+   through the text map, carrying the fuel it has left *)
+type stop =
+  | S_fuel
+  | S_poll
+  | S_syscall of int
+  | S_bottom
+  | S_halt
+  | S_jump of int
+
+type step = M.ctx -> int -> stop
+
+type stats = {
+  mutable st_blocks : int;  (* straight-line runs translated *)
+  mutable st_insns : int;  (* instructions translated *)
+  mutable st_fused : int;  (* superinstruction pairs fused *)
+  mutable st_slices : int;  (* run slices driven *)
+}
+
+type table = {
+  t_code : Code.t;
+  t_base : int;
+  t_mem : Memory.t;  (* validity token: a fresh memory voids the table *)
+  t_steps : step option array;  (* per instruction index, filled lazily *)
+  t_fused : bool array;  (* instruction heads a fused superinstruction *)
+  t_stats : stats;
+}
+
+type cache = {
+  mutable tables : (int32 * table) list;  (* keyed by code OID *)
+  stats : stats;
+}
+
+let create_cache () =
+  {
+    tables = [];
+    stats = { st_blocks = 0; st_insns = 0; st_fused = 0; st_slices = 0 };
+  }
+
+let stats c = c.stats
+
+(* Register accesses are fully resolved at translation time: the SPARC
+   %g0 special case and the bounds check collapse into the choice of
+   closure, so a steady-state access is a single unsafe array read.
+   (The interpreter re-decides both per access — including a
+   polymorphic compare on the arch family, a C call.)  An out-of-range
+   register falls back to {!Machine.reg} so malformed code raises the
+   same exception the interpreter would. *)
+let reg_is_g0 (code : Code.t) r =
+  (match code.Code.arch.Arch.family with Arch.Sparc -> true | _ -> false)
+  && r = 0
+
+let reg_in_range (code : Code.t) r =
+  r >= 0 && r < Reg.count code.Code.arch.Arch.family
+
+(* [Int32.compare] without the C call; exact -1/0/1, as the interpreter
+   stores into [cc] *)
+let cmp32 a b =
+  let a = Int32.to_int a and b = Int32.to_int b in
+  if a < b then -1 else if a > b then 1 else 0
+
+(* the operator match of {!Machine.int_binop}, done once at translation *)
+let binop_fn (op : Insn.binop) : int32 -> int32 -> int32 =
+  match op with
+  | Insn.Add -> Int32.add
+  | Insn.Sub -> Int32.sub
+  | Insn.Mul -> Int32.mul
+  | Insn.Div ->
+    fun a b ->
+      if Int32.to_int b = 0 then raise (M.Trapped Suspend.Div_zero)
+      else Int32.div a b
+  | Insn.Mod ->
+    fun a b ->
+      if Int32.to_int b = 0 then raise (M.Trapped Suspend.Div_zero)
+      else Int32.rem a b
+  | Insn.And -> Int32.logand
+  | Insn.Or -> Int32.logor
+  | Insn.Xor -> Int32.logxor
+
+(* specialise an operand read: the match on the addressing mode happens
+   here, once, instead of on every execution *)
+let get_c code mem (op : Operand.t) : M.ctx -> int32 =
+  match op with
+  | Operand.Reg r when reg_is_g0 code r -> fun _ -> 0l
+  | Operand.Reg r when reg_in_range code r ->
+    fun ctx -> Array.unsafe_get ctx.M.regs r
+  | Operand.Reg r -> fun ctx -> M.reg ctx r
+  | Operand.Imm i -> fun _ -> i
+  | Operand.Mem (Operand.Abs a) -> fun _ -> M.load mem (M.addr_of a)
+  | Operand.Mem (Operand.Disp (r, d)) when reg_in_range code r && not (reg_is_g0 code r) ->
+    fun ctx -> M.load mem (M.addr_of (Array.unsafe_get ctx.M.regs r) + d)
+  | Operand.Mem (Operand.Disp (r, d)) ->
+    fun ctx -> M.load mem (M.addr_of (M.reg ctx r) + d)
+  | Operand.Mem (Operand.Autoinc r) ->
+    fun ctx ->
+      let a = M.addr_of (M.reg ctx r) in
+      let v = M.load mem a in
+      M.set_reg ctx r (Int32.of_int (a + 4));
+      v
+  | Operand.Mem (Operand.Autodec r) ->
+    fun ctx ->
+      let a = M.addr_of (M.reg ctx r) - 4 in
+      M.set_reg ctx r (Int32.of_int a);
+      M.load mem a
+
+let set_c code mem (op : Operand.t) : M.ctx -> int32 -> unit =
+  match op with
+  | Operand.Reg r when reg_is_g0 code r -> fun _ _ -> ()
+  | Operand.Reg r when reg_in_range code r ->
+    fun ctx v -> Array.unsafe_set ctx.M.regs r v
+  | Operand.Reg r -> fun ctx v -> M.set_reg ctx r v
+  | Operand.Imm _ ->
+    fun _ _ -> raise (M.Trapped (Suspend.Bad_insn "immediate destination"))
+  | Operand.Mem (Operand.Abs a) -> fun _ v -> M.store mem (M.addr_of a) v
+  | Operand.Mem (Operand.Disp (r, d)) when reg_in_range code r && not (reg_is_g0 code r) ->
+    fun ctx v -> M.store mem (M.addr_of (Array.unsafe_get ctx.M.regs r) + d) v
+  | Operand.Mem (Operand.Disp (r, d)) ->
+    fun ctx v -> M.store mem (M.addr_of (M.reg ctx r) + d) v
+  | Operand.Mem (Operand.Autoinc r) ->
+    fun ctx v ->
+      let a = M.addr_of (M.reg ctx r) in
+      M.store mem a v;
+      M.set_reg ctx r (Int32.of_int (a + 4))
+  | Operand.Mem (Operand.Autodec r) ->
+    fun ctx v ->
+      let a = M.addr_of (M.reg ctx r) - 4 in
+      M.set_reg ctx r (Int32.of_int a);
+      M.store mem a v
+
+(* a step that hands control back to the driver (fall-through off the
+   end of an image, or a branch target outside it): the driver redoes
+   the text-map lookup exactly as the interpreter's fetch would *)
+let escape : step = fun _ fuel -> if fuel <= 0 then S_fuel else S_jump fuel
+
+(* instructions that end a straight-line translation run *)
+let is_terminator = function
+  | Insn.Bcc _ | Insn.Br _ | Insn.Jsr_ind _ | Insn.Vax_ret | Insn.Rts
+  | Insn.Retl | Insn.Syscall _ | Insn.Halt -> true
+  | Insn.Mov _ | Insn.Bin3 _ | Insn.Bin2 _ | Insn.Fbin3 _ | Insn.Fbin2 _
+  | Insn.Neg _ | Insn.Fneg _ | Insn.Cvt_if _ | Insn.Cvt_fi _ | Insn.Cmp _
+  | Insn.Fcmp _ | Insn.Push _ | Insn.Vax_entry _ | Insn.Link _ | Insn.Unlk
+  | Insn.Save _ | Insn.Restore | Insn.Sethi _ | Insn.Poll _ | Insn.Remque _
+  | Insn.Nop -> false
+
+(* can [insns.(i); insns.(i+1)] fuse into one superinstruction?  The two
+   codegen hot pairs: compare-then-branch, and the loop-bottom
+   poll-then-back-branch. *)
+let fusable a b =
+  match (a, b) with
+  | Insn.Cmp _, Insn.Bcc _ | Insn.Poll _, Insn.Br _ -> true
+  | _ -> false
+
+(* --- micro-ops: the register/immediate/frame-slot subset of the ISA
+   whose only possible exit is a trap.  A straight-line prefix of these
+   runs in one tight match loop — no per-instruction closure call, and
+   the fuel, counters and PC settle once per batch instead of once per
+   instruction.  A trap mid-batch is repaired to exact per-instruction
+   accounting (cycles and insns up to and including the faulting op, PC
+   on it) before it propagates, so the batch is observationally
+   identical to the closure chain. *)
+type uop =
+  | U_nop
+  | U_mov_rr of int * int  (* rs, rd *)
+  | U_mov_ir of int32 * int  (* boxed-once immediate, rd *)
+  | U_mov_mr of int * int * int  (* base, disp, rd *)
+  | U_mov_md of int * int  (* base, disp: load for fault fidelity, drop *)
+  | U_mov_rm of int * int * int  (* rs, base, disp *)
+  | U_mov_im of int * int * int  (* imm bits, base, disp *)
+  | U_mov_mm of int * int * int * int  (* src base/disp, dst base/disp *)
+  | U_neg_rr of int * int
+  | U_add of int * int * int  (* ra, rb, rd *)
+  | U_sub of int * int * int
+  | U_mul of int * int * int
+  | U_div of int * int * int
+  | U_mod of int * int * int
+  | U_and of int * int * int
+  | U_or of int * int * int
+  | U_xor of int * int * int
+  | U_cmp_rr of int * int
+  | U_cmp_ri of int * int  (* ra, imm as signed int *)
+  | U_cmp_ir of int * int  (* imm as signed int, rb *)
+  | U_cc_const of int
+
+(* classify one instruction; [None] ends the micro prefix (memory modes
+   with side effects, floats, stack ops, control flow, polls — anything
+   that can exit other than by trapping, or that the loop doesn't
+   inline) *)
+let uop_of (code : Code.t) j : uop option =
+  let g0 r = reg_is_g0 code r in
+  let ok r = reg_in_range code r && not (reg_is_g0 code r) in
+  let src = function
+    | Operand.Reg r when g0 r -> Some (`I 0l)
+    | Operand.Reg r when ok r -> Some (`R r)
+    | Operand.Imm i -> Some (`I i)
+    | Operand.Mem (Operand.Disp (r, d)) when ok r -> Some (`S (r, d))
+    | _ -> None
+  in
+  let dst = function
+    | Operand.Reg r when g0 r -> Some `D
+    | Operand.Reg r when ok r -> Some (`R r)
+    | Operand.Mem (Operand.Disp (r, d)) when ok r -> Some (`S (r, d))
+    | _ -> None
+  in
+  match code.Code.insns.(j) with
+  | Insn.Mov (a, b) ->
+    (match (src a, dst b) with
+    | Some (`R rs), Some (`R rd) -> Some (U_mov_rr (rs, rd))
+    | Some (`I v), Some (`R rd) -> Some (U_mov_ir (v, rd))
+    | Some (`S (rb, d)), Some (`R rd) -> Some (U_mov_mr (rb, d, rd))
+    | Some (`R rs), Some (`S (rb, d)) -> Some (U_mov_rm (rs, rb, d))
+    | Some (`I v), Some (`S (rb, d)) -> Some (U_mov_im (Int32.to_int v, rb, d))
+    | Some (`S (sb, sd)), Some (`S (db, dd)) -> Some (U_mov_mm (sb, sd, db, dd))
+    | Some (`S (rb, d)), Some `D -> Some (U_mov_md (rb, d))
+    | Some (`R _ | `I _), Some `D -> Some U_nop
+    | _ -> None)
+  | Insn.Bin3 (op, a, b, c) ->
+    (match (a, b, c) with
+    | Operand.Reg ra, Operand.Reg rb, Operand.Reg rc when ok ra && ok rb && ok rc
+      ->
+      Some
+        (match op with
+        | Insn.Add -> U_add (ra, rb, rc)
+        | Insn.Sub -> U_sub (ra, rb, rc)
+        | Insn.Mul -> U_mul (ra, rb, rc)
+        | Insn.Div -> U_div (ra, rb, rc)
+        | Insn.Mod -> U_mod (ra, rb, rc)
+        | Insn.And -> U_and (ra, rb, rc)
+        | Insn.Or -> U_or (ra, rb, rc)
+        | Insn.Xor -> U_xor (ra, rb, rc))
+    | _ -> None)
+  | Insn.Cmp (a, b) ->
+    (match (src a, src b) with
+    | Some (`R ra), Some (`R rb) -> Some (U_cmp_rr (ra, rb))
+    | Some (`R ra), Some (`I ib) -> Some (U_cmp_ri (ra, Int32.to_int ib))
+    | Some (`I ia), Some (`R rb) -> Some (U_cmp_ir (Int32.to_int ia, rb))
+    | Some (`I ia), Some (`I ib) -> Some (U_cc_const (cmp32 ia ib))
+    | _ -> None)
+  | Insn.Neg (a, b) ->
+    (match (a, b) with
+    | Operand.Reg ra, Operand.Reg rb when ok ra && ok rb ->
+      Some (U_neg_rr (ra, rb))
+    | _ -> None)
+  | Insn.Sethi (i, r) ->
+    if ok r then Some (U_mov_ir (Int32.shift_left i 10, r))
+    else if g0 r then Some U_nop
+    else None
+  | Insn.Nop -> Some U_nop
+  | _ -> None
+
+(* shadow micro-ops: the register fields of a batch are renamed at
+   translation time to slots of a per-batch untagged [int] scratch
+   array, so intermediate values travel unboxed — no [Int32] allocation
+   and no write barrier per operation, only one flush of the written
+   registers when the batch retires (or, on a trap, of exactly the
+   writes that preceded the faulting op) *)
+type suop =
+  | SU_nop
+  | SU_mov of int * int  (* src slot, dst slot *)
+  | SU_mov_i of int * int  (* sign-extended immediate, dst slot *)
+  | SU_load of int * int * int  (* base slot, disp, dst slot *)
+  | SU_load_drop of int * int  (* load for fault fidelity, drop *)
+  | SU_store of int * int * int  (* src slot, base slot, disp *)
+  | SU_store_i of int * int * int  (* imm bits, base slot, disp *)
+  | SU_store_mm of int * int * int * int  (* src base/disp, dst base/disp *)
+  | SU_neg of int * int
+  | SU_add of int * int * int  (* a slot, b slot, dst slot *)
+  | SU_sub of int * int * int
+  | SU_mul of int * int * int
+  | SU_div of int * int * int
+  | SU_mod of int * int * int
+  | SU_and of int * int * int
+  | SU_or of int * int * int
+  | SU_xor of int * int * int
+  | SU_cmp of int * int
+  | SU_cmp_i of int * int  (* slot, signed imm *)
+  | SU_cmp_ni of int * int  (* signed imm, slot *)
+  | SU_cc of int
+
+(* the batching superblock for the head slot of a run whose prefix
+   [idx..idx+plen-1] is all micro-ops.  With fuel for the whole prefix
+   it runs the tight loop and settles counters, fuel and PC once; short
+   on fuel it falls back to [slow], the per-instruction chain, which
+   stops at the exact instruction the interpreter would.
+
+   Arithmetic runs in the untagged int domain on sign-extended values;
+   [sx] renormalises after every operation, which makes wrap-around,
+   [min_int32] negation/division and bitwise ops all agree bit for bit
+   with the interpreter's [Int32] path (the flush's [Int32.of_int]
+   keeps the low 32 bits).  Register access is exact — classification
+   already folded %g0 to an immediate and proved every index in range —
+   and frame-slot access inlines [addr_of]'s mask-and-nil-check and
+   {!Memory}'s own bounds test.  Every trapping site repairs exact
+   per-instruction state first — registers written by preceding ops
+   flushed, cycles and insns charged up to and including the faulting
+   op, PC resting on it — so a trap is indistinguishable from the
+   closure chain's. *)
+let micro_wrap (tbl : table) idx plen ~(slow : step) ~(after : step) : step =
+  let code = tbl.t_code in
+  let mem = tbl.t_mem in
+  let base = tbl.t_base in
+  let uops =
+    Array.init plen (fun m ->
+        match uop_of code (idx + m) with Some u -> u | None -> assert false)
+  in
+  let pc_at = Array.init plen (fun m -> base + code.Code.offsets.(idx + m)) in
+  let cyc_to = Array.make plen 0 in
+  let acc = ref 0 in
+  for m = 0 to plen - 1 do
+    acc := !acc + code.Code.insn_cycles.(idx + m);
+    cyc_to.(m) <- !acc
+  done;
+  let total_cyc = !acc in
+  let end_pc =
+    base + code.Code.offsets.(idx + plen - 1) + code.Code.insn_sizes.(idx + plen - 1)
+  in
+  (* register renaming: each architectural register the prefix touches
+     gets one scratch slot; registers read before being written are
+     preloaded, registers ever written are flushed at retirement *)
+  let slot_of = Hashtbl.create 8 in
+  let nslots = ref 0 in
+  let preloads = ref [] in
+  let writes = ref [] in
+  let rslot r =
+    match Hashtbl.find_opt slot_of r with
+    | Some s -> s
+    | None ->
+      let s = !nslots in
+      incr nslots;
+      Hashtbl.add slot_of r s;
+      preloads := (s, r) :: !preloads;
+      s
+  in
+  let wslot m r =
+    let s =
+      match Hashtbl.find_opt slot_of r with
+      | Some s -> s
+      | None ->
+        let s = !nslots in
+        incr nslots;
+        Hashtbl.add slot_of r s;
+        s
+    in
+    writes := (m, s, r) :: !writes;
+    s
+  in
+  let suops =
+    Array.mapi
+      (fun m u ->
+        match u with
+        | U_nop -> SU_nop
+        | U_mov_rr (rs, rd) ->
+          let a = rslot rs in
+          SU_mov (a, wslot m rd)
+        | U_mov_ir (v, rd) -> SU_mov_i (Int32.to_int v, wslot m rd)
+        | U_mov_mr (rb, d, rd) ->
+          let b = rslot rb in
+          SU_load (b, d, wslot m rd)
+        | U_mov_md (rb, d) -> SU_load_drop (rslot rb, d)
+        | U_mov_rm (rs, rb, d) ->
+          let a = rslot rs in
+          SU_store (a, rslot rb, d)
+        | U_mov_im (v, rb, d) -> SU_store_i (v, rslot rb, d)
+        | U_mov_mm (sb, sd, db, dd) ->
+          let s = rslot sb in
+          SU_store_mm (s, sd, rslot db, dd)
+        | U_neg_rr (rs, rd) ->
+          let a = rslot rs in
+          SU_neg (a, wslot m rd)
+        | U_add (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_add (a, b, wslot m rd)
+        | U_sub (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_sub (a, b, wslot m rd)
+        | U_mul (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_mul (a, b, wslot m rd)
+        | U_div (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_div (a, b, wslot m rd)
+        | U_mod (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_mod (a, b, wslot m rd)
+        | U_and (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_and (a, b, wslot m rd)
+        | U_or (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_or (a, b, wslot m rd)
+        | U_xor (ra, rb, rd) ->
+          let a = rslot ra in
+          let b = rslot rb in
+          SU_xor (a, b, wslot m rd)
+        | U_cmp_rr (ra, rb) ->
+          let a = rslot ra in
+          SU_cmp (a, rslot rb)
+        | U_cmp_ri (ra, ib) -> SU_cmp_i (rslot ra, ib)
+        | U_cmp_ir (ia, rb) -> SU_cmp_ni (ia, rslot rb)
+        | U_cc_const c -> SU_cc c)
+      uops
+  in
+  let pre_s, pre_r =
+    let l = !preloads in
+    (Array.of_list (List.map fst l), Array.of_list (List.map snd l))
+  in
+  let writes_arr = Array.of_list (List.rev !writes) in
+  let flush_s, flush_r =
+    let seen = Hashtbl.create 8 in
+    let l =
+      List.filter
+        (fun (_, _, r) ->
+          if Hashtbl.mem seen r then false
+          else begin
+            Hashtbl.add seen r ();
+            true
+          end)
+        (Array.to_list writes_arr)
+    in
+    ( Array.of_list (List.map (fun (_, s, _) -> s) l),
+      Array.of_list (List.map (fun (_, _, r) -> r) l) )
+  in
+  let scratch = Array.make (max 1 !nslots) 0 in
+  (* renormalise to the sign-extended 32-bit domain *)
+  let sx v = ((v land 0xFFFF_FFFF) lxor 0x8000_0000) - 0x8000_0000 in
+  let fault (ctx : M.ctx) m t : 'a =
+    let n = Array.length writes_arr in
+    let k = ref 0 in
+    let continue = ref true in
+    while !continue && !k < n do
+      let wm, s, r = writes_arr.(!k) in
+      if wm < m then begin
+        ctx.M.regs.(r) <- Int32.of_int scratch.(s);
+        incr k
+      end
+      else continue := false
+    done;
+    ctx.M.cycles <- ctx.M.cycles + Array.unsafe_get cyc_to m;
+    ctx.M.insns <- ctx.M.insns + m + 1;
+    ctx.M.pc <- Array.unsafe_get pc_at m;
+    raise (M.Trapped t)
+  in
+  let low = Memory.low_bound in
+  let rec go ctx i =
+    if i < plen then begin
+      (match Array.unsafe_get suops i with
+      | SU_nop -> ()
+      | SU_mov (a, dst) ->
+        Array.unsafe_set scratch dst (Array.unsafe_get scratch a)
+      | SU_mov_i (v, dst) -> Array.unsafe_set scratch dst v
+      | SU_load (b, d, dst) ->
+        let a = Array.unsafe_get scratch b land 0xFFFF_FFFF in
+        if a = 0 then fault ctx i Suspend.Nil_deref;
+        let a = a + d in
+        if a < low || a + 4 > Memory.size mem then fault ctx i (Suspend.Mem_fault a);
+        Array.unsafe_set scratch dst (sx (Memory.unsafe_load32_bits mem a))
+      | SU_load_drop (b, d) ->
+        let a = Array.unsafe_get scratch b land 0xFFFF_FFFF in
+        if a = 0 then fault ctx i Suspend.Nil_deref;
+        let a = a + d in
+        if a < low || a + 4 > Memory.size mem then fault ctx i (Suspend.Mem_fault a);
+        ignore (Memory.unsafe_load32_bits mem a)
+      | SU_store (vs, b, d) ->
+        let a = Array.unsafe_get scratch b land 0xFFFF_FFFF in
+        if a = 0 then fault ctx i Suspend.Nil_deref;
+        let a = a + d in
+        if a < low || a + 4 > Memory.size mem then fault ctx i (Suspend.Mem_fault a);
+        Memory.unsafe_store32_bits mem a (Array.unsafe_get scratch vs)
+      | SU_store_i (v, b, d) ->
+        let a = Array.unsafe_get scratch b land 0xFFFF_FFFF in
+        if a = 0 then fault ctx i Suspend.Nil_deref;
+        let a = a + d in
+        if a < low || a + 4 > Memory.size mem then fault ctx i (Suspend.Mem_fault a);
+        Memory.unsafe_store32_bits mem a v
+      | SU_store_mm (sb, sd, db, dd) ->
+        let a = Array.unsafe_get scratch sb land 0xFFFF_FFFF in
+        if a = 0 then fault ctx i Suspend.Nil_deref;
+        let a = a + sd in
+        if a < low || a + 4 > Memory.size mem then fault ctx i (Suspend.Mem_fault a);
+        let v = Memory.unsafe_load32_bits mem a in
+        let a2 = Array.unsafe_get scratch db land 0xFFFF_FFFF in
+        if a2 = 0 then fault ctx i Suspend.Nil_deref;
+        let a2 = a2 + dd in
+        if a2 < low || a2 + 4 > Memory.size mem then fault ctx i (Suspend.Mem_fault a2);
+        Memory.unsafe_store32_bits mem a2 v
+      | SU_neg (a, dst) ->
+        Array.unsafe_set scratch dst (sx (-Array.unsafe_get scratch a))
+      | SU_add (a, b, dst) ->
+        Array.unsafe_set scratch dst
+          (sx (Array.unsafe_get scratch a + Array.unsafe_get scratch b))
+      | SU_sub (a, b, dst) ->
+        Array.unsafe_set scratch dst
+          (sx (Array.unsafe_get scratch a - Array.unsafe_get scratch b))
+      | SU_mul (a, b, dst) ->
+        Array.unsafe_set scratch dst
+          (sx (Array.unsafe_get scratch a * Array.unsafe_get scratch b))
+      | SU_div (a, b, dst) ->
+        let ib = Array.unsafe_get scratch b in
+        if ib = 0 then fault ctx i Suspend.Div_zero;
+        Array.unsafe_set scratch dst (sx (Array.unsafe_get scratch a / ib))
+      | SU_mod (a, b, dst) ->
+        let ib = Array.unsafe_get scratch b in
+        if ib = 0 then fault ctx i Suspend.Div_zero;
+        Array.unsafe_set scratch dst (sx (Array.unsafe_get scratch a mod ib))
+      | SU_and (a, b, dst) ->
+        Array.unsafe_set scratch dst
+          (Array.unsafe_get scratch a land Array.unsafe_get scratch b)
+      | SU_or (a, b, dst) ->
+        Array.unsafe_set scratch dst
+          (Array.unsafe_get scratch a lor Array.unsafe_get scratch b)
+      | SU_xor (a, b, dst) ->
+        Array.unsafe_set scratch dst
+          (Array.unsafe_get scratch a lxor Array.unsafe_get scratch b)
+      | SU_cmp (a, b) ->
+        let ia = Array.unsafe_get scratch a
+        and ib = Array.unsafe_get scratch b in
+        ctx.M.cc <- (if ia < ib then -1 else if ia > ib then 1 else 0)
+      | SU_cmp_i (a, ib) ->
+        let ia = Array.unsafe_get scratch a in
+        ctx.M.cc <- (if ia < ib then -1 else if ia > ib then 1 else 0)
+      | SU_cmp_ni (ia, b) ->
+        let ib = Array.unsafe_get scratch b in
+        ctx.M.cc <- (if ia < ib then -1 else if ia > ib then 1 else 0)
+      | SU_cc c -> ctx.M.cc <- c);
+      go ctx (i + 1)
+    end
+  in
+  let npre = Array.length pre_s in
+  let nflush = Array.length flush_s in
+  fun ctx fuel ->
+    if fuel < plen then slow ctx fuel
+    else begin
+      let regs = ctx.M.regs in
+      for k = 0 to npre - 1 do
+        Array.unsafe_set scratch
+          (Array.unsafe_get pre_s k)
+          (Int32.to_int (Array.unsafe_get regs (Array.unsafe_get pre_r k)))
+      done;
+      go ctx 0;
+      for k = 0 to nflush - 1 do
+        Array.unsafe_set regs
+          (Array.unsafe_get flush_r k)
+          (Int32.of_int (Array.unsafe_get scratch (Array.unsafe_get flush_s k)))
+      done;
+      ctx.M.cycles <- ctx.M.cycles + total_cyc;
+      ctx.M.insns <- ctx.M.insns + plen;
+      ctx.M.pc <- end_pc;
+      after ctx (fuel - plen)
+    end
+
+let rec step_at tbl idx =
+  match tbl.t_steps.(idx) with
+  | Some s -> s
+  | None ->
+    compile_run tbl idx;
+    (match tbl.t_steps.(idx) with Some s -> s | None -> assert false)
+
+(* continuation for a static branch target: resolved (and its block
+   translated) on first execution, memoized after — the fuel check comes
+   first, as the interpreter checks fuel before re-fetching *)
+and cont_at tbl off : step =
+  if off < 0 || off >= tbl.t_code.Code.byte_size then escape
+  else begin
+    let memo = ref None in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        match !memo with
+        | Some s -> s ctx fuel
+        | None ->
+          let s = step_at tbl (Code.index_at tbl.t_code off) in
+          memo := Some s;
+          s ctx fuel
+      end
+  end
+
+(* translate the straight-line run starting at [idx]: forward to the
+   first terminator or already-translated instruction, then backwards so
+   each closure references its successor directly *)
+and compile_run tbl idx =
+  let code = tbl.t_code in
+  let insns = code.Code.insns in
+  let n = Array.length insns in
+  let rec extent j =
+    if j >= n || tbl.t_steps.(j) <> None then j - 1
+    else if is_terminator insns.(j) then j
+    else extent (j + 1)
+  in
+  let last = extent idx in
+  let after =
+    if last + 1 >= n then escape
+    else
+      match tbl.t_steps.(last + 1) with
+      | Some s -> s
+      | None -> cont_at tbl code.Code.offsets.(last + 1)
+  in
+  let st = tbl.t_stats in
+  st.st_blocks <- st.st_blocks + 1;
+  st.st_insns <- st.st_insns + (last - idx + 1);
+  let next = ref after in
+  for j = last downto idx do
+    let s =
+      if j < last && fusable insns.(j) insns.(j + 1) then begin
+        st.st_fused <- st.st_fused + 1;
+        tbl.t_fused.(j) <- true;
+        compile_fused tbl j
+      end
+      else compile_step tbl j ~next:!next
+    in
+    tbl.t_steps.(j) <- Some s;
+    next := s
+  done;
+  (* a long-enough micro-translatable prefix earns a batching superblock
+     in the head slot; branch targets landing mid-run still hit their
+     per-instruction steps, and the per-instruction head survives as the
+     low-fuel path *)
+  let plen =
+    let rec scan m =
+      if idx + m > last then m
+      else match uop_of code (idx + m) with Some _ -> scan (m + 1) | None -> m
+    in
+    scan 0
+  in
+  if plen >= 3 then begin
+    let slow =
+      match tbl.t_steps.(idx) with Some s -> s | None -> assert false
+    in
+    let after_b =
+      if idx + plen <= last then
+        match tbl.t_steps.(idx + plen) with Some s -> s | None -> assert false
+      else after
+    in
+    tbl.t_steps.(idx) <- Some (micro_wrap tbl idx plen ~slow ~after:after_b)
+  end
+
+(* one instruction, continuation [next]; mirrors the interpreter arm for
+   arm, with the interpreter's right-to-left argument evaluation made
+   explicit.  On entry the PC is at this instruction (so a trap leaves
+   it there); the PC advances after the operation, before [next]. *)
+and compile_step tbl j ~next : step =
+  let code = tbl.t_code in
+  let mem = tbl.t_mem in
+  let base = tbl.t_base in
+  let pc0 = base + code.Code.offsets.(j) in
+  let next_pc = pc0 + code.Code.insn_sizes.(j) in
+  let cyc = code.Code.insn_cycles.(j) in
+  match code.Code.insns.(j) with
+  (* register-to-register and immediate-to-register moves are frequent
+     enough as one-instruction blocks (branch interstices) to deserve
+     closures with no inner operand calls *)
+  | Insn.Mov (Operand.Imm v, Operand.Reg rd)
+    when reg_in_range code rd && not (reg_is_g0 code rd) ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        Array.unsafe_set ctx.M.regs rd v;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Mov (Operand.Reg rs, Operand.Reg rd)
+    when reg_in_range code rs && not (reg_is_g0 code rs)
+         && reg_in_range code rd && not (reg_is_g0 code rd) ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        Array.unsafe_set ctx.M.regs rd (Array.unsafe_get ctx.M.regs rs);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Mov (a, b) ->
+    let ga = get_c code mem a and sb = set_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let v = ga ctx in
+        sb ctx v;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Bin3 (op, a, b, c) ->
+    let ga = get_c code mem a and gb = get_c code mem b and sc = set_c code mem c in
+    let f = binop_fn op in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let vb = gb ctx in
+        let va = ga ctx in
+        sc ctx (f va vb);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Bin2 (op, a, b) ->
+    let ga = get_c code mem a and gb = get_c code mem b and sb = set_c code mem b in
+    let f = binop_fn op in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let va = ga ctx in
+        let vb = gb ctx in
+        let v = f vb va in
+        sb ctx v;
+        ctx.M.cc <- cmp32 v 0l;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Fbin3 (op, a, b, c) ->
+    let ga = get_c code mem a and gb = get_c code mem b and sc = set_c code mem c in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let vb = gb ctx in
+        let va = ga ctx in
+        sc ctx (M.float_binop ctx.M.arch.Arch.float_format op va vb);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Fbin2 (op, a, b) ->
+    let ga = get_c code mem a and gb = get_c code mem b and sb = set_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let va = ga ctx in
+        let vb = gb ctx in
+        sb ctx (M.float_binop ctx.M.arch.Arch.float_format op vb va);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Neg (a, b) ->
+    let ga = get_c code mem a and sb = set_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let va = ga ctx in
+        sb ctx (Int32.neg va);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Fneg (a, b) ->
+    let ga = get_c code mem a and sb = set_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let fmt = ctx.M.arch.Arch.float_format in
+        let va = ga ctx in
+        let zero = Float_format.encode fmt 0.0 in
+        sb ctx (M.float_binop fmt Insn.Sub zero va);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Cvt_if (a, b) ->
+    let ga = get_c code mem a and sb = set_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let va = ga ctx in
+        sb ctx
+          (Float_format.encode ctx.M.arch.Arch.float_format (Int32.to_float va));
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Cvt_fi (a, b) ->
+    let ga = get_c code mem a and sb = set_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let va = ga ctx in
+        let f =
+          try Float_format.decode ctx.M.arch.Arch.float_format va
+          with Float_format.Reserved_operand m ->
+            raise (M.Trapped (Suspend.Float_reserved m))
+        in
+        sb ctx (Int32.of_float f);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Cmp (a, b) ->
+    let ga = get_c code mem a and gb = get_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let vb = gb ctx in
+        let va = ga ctx in
+        ctx.M.cc <- cmp32 va vb;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Fcmp (a, b) ->
+    let ga = get_c code mem a and gb = get_c code mem b in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let fmt = ctx.M.arch.Arch.float_format in
+        let decode v =
+          try Float_format.decode fmt v
+          with Float_format.Reserved_operand m ->
+            raise (M.Trapped (Suspend.Float_reserved m))
+        in
+        let vb = gb ctx in
+        let yb = decode vb in
+        let va = ga ctx in
+        let ya = decode va in
+        ctx.M.cc <- Float.compare ya yb;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Bcc (c, target) ->
+    let taken = cont_at tbl target in
+    let tpc = base + target in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        if M.eval_cc c ctx.M.cc then begin
+          ctx.M.pc <- tpc;
+          taken ctx (fuel - 1)
+        end
+        else begin
+          ctx.M.pc <- next_pc;
+          next ctx (fuel - 1)
+        end
+      end
+  | Insn.Br target ->
+    let taken = cont_at tbl target in
+    let tpc = base + target in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        ctx.M.pc <- tpc;
+        taken ctx (fuel - 1)
+      end
+  | Insn.Jsr_ind r ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let target = Int32.to_int (M.reg ctx r) in
+        if target = 0 then raise (M.Trapped (Suspend.Bad_pc 0));
+        (match ctx.M.arch.Arch.family with
+        | Arch.Vax | Arch.M68k -> M.push ctx mem (Int32.of_int next_pc)
+        | Arch.Sparc -> M.set_reg ctx 15 (Int32.of_int next_pc));
+        ctx.M.pc <- target;
+        S_jump (fuel - 1)
+      end
+  | Insn.Push a ->
+    let ga = get_c code mem a in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let va = ga ctx in
+        M.push ctx mem va;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Vax_entry size ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.push ctx mem 0l;
+        M.push ctx mem (Int32.of_int (M.fp ctx));
+        M.set_fp ctx (M.sp ctx);
+        M.set_sp ctx (M.sp ctx - size);
+        M.check_stack ctx;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Vax_ret ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.set_sp ctx (M.fp ctx);
+        M.set_fp ctx (Int32.to_int (M.pop ctx mem));
+        let _mask = M.pop ctx mem in
+        let target = Int32.to_int (M.pop ctx mem) in
+        if target = 0 then S_bottom
+        else begin
+          ctx.M.pc <- target;
+          S_jump (fuel - 1)
+        end
+      end
+  | Insn.Link size ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.push ctx mem (Int32.of_int (M.fp ctx));
+        M.set_fp ctx (M.sp ctx);
+        M.set_sp ctx (M.sp ctx - size);
+        M.check_stack ctx;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Unlk ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.set_sp ctx (M.fp ctx);
+        M.set_fp ctx (Int32.to_int (M.pop ctx mem));
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Rts ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let target = Int32.to_int (M.pop ctx mem) in
+        if target = 0 then S_bottom
+        else begin
+          ctx.M.pc <- target;
+          S_jump (fuel - 1)
+        end
+      end
+  | Insn.Save size ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.sparc_save ctx mem size;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Restore ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.sparc_restore ctx mem;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Retl ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let target = Int32.to_int (M.reg ctx 15) in
+        if target = 0 then S_bottom
+        else begin
+          ctx.M.pc <- target;
+          S_jump (fuel - 1)
+        end
+      end
+  | Insn.Sethi (i, r) ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        M.set_reg ctx r (Int32.shift_left i 10);
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Syscall n ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        S_syscall n
+      end
+  | Insn.Poll _ ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        if ctx.M.skip_poll then begin
+          ctx.M.skip_poll <- false;
+          ctx.M.pc <- next_pc;
+          next ctx (fuel - 1)
+        end
+        else if ctx.M.poll_requested then S_poll
+        else begin
+          ctx.M.pc <- next_pc;
+          next ctx (fuel - 1)
+        end
+      end
+  | Insn.Remque (rs, rd) ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        let sent = M.addr_of (M.reg ctx rs) in
+        let first = Int32.to_int (M.load mem sent) in
+        if first = sent then M.set_reg ctx rd 0l
+        else begin
+          let nxt = M.load mem first in
+          M.store mem sent nxt;
+          M.store mem (Int32.to_int nxt + 4) (Int32.of_int sent);
+          M.set_reg ctx rd (Int32.of_int first)
+        end;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Nop ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        ctx.M.pc <- next_pc;
+        next ctx (fuel - 1)
+      end
+  | Insn.Halt ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        S_halt
+      end
+
+(* the fused superinstructions.  Fidelity note: when fuel runs out
+   between the two halves, the first half has executed and the PC rests
+   on the second instruction — exactly the state the interpreter leaves.
+   Landing directly on the second instruction (a branch target) takes
+   that instruction's own unfused step; the fused closure occupies only
+   the first instruction's slot. *)
+and compile_fused tbl j : step =
+  let code = tbl.t_code in
+  let mem = tbl.t_mem in
+  let base = tbl.t_base in
+  let pc1 = base + code.Code.offsets.(j + 1) in
+  let next_pc1 = pc1 + code.Code.insn_sizes.(j + 1) in
+  let cyc0 = code.Code.insn_cycles.(j) in
+  let cyc1 = code.Code.insn_cycles.(j + 1) in
+  match (code.Code.insns.(j), code.Code.insns.(j + 1)) with
+  | Insn.Cmp (a, b), Insn.Bcc (c, target) ->
+    let taken = cont_at tbl target in
+    let fall = cont_at tbl (code.Code.offsets.(j + 1) + code.Code.insn_sizes.(j + 1)) in
+    let tpc = base + target in
+    (* the compare sources are almost always registers or immediates;
+       resolving them here turns the hottest superinstruction into one
+       closure with no inner calls (the int compare on [Int32.to_int]
+       values is [cmp32] exactly) *)
+    let src op =
+      match op with
+      | Operand.Reg r when reg_is_g0 code r -> Some (`I 0)
+      | Operand.Reg r when reg_in_range code r -> Some (`R r)
+      | Operand.Imm i -> Some (`I (Int32.to_int i))
+      | _ -> None
+    in
+    (match (src a, src b) with
+    | Some sa, Some sb ->
+      fun ctx fuel ->
+        if fuel <= 0 then S_fuel
+        else begin
+          ctx.M.cycles <- ctx.M.cycles + cyc0;
+          ctx.M.insns <- ctx.M.insns + 1;
+          let regs = ctx.M.regs in
+          let ia =
+            match sa with
+            | `R r -> Int32.to_int (Array.unsafe_get regs r)
+            | `I i -> i
+          and ib =
+            match sb with
+            | `R r -> Int32.to_int (Array.unsafe_get regs r)
+            | `I i -> i
+          in
+          ctx.M.cc <- (if ia < ib then -1 else if ia > ib then 1 else 0);
+          ctx.M.pc <- pc1;
+          if fuel = 1 then S_fuel
+          else begin
+            ctx.M.cycles <- ctx.M.cycles + cyc1;
+            ctx.M.insns <- ctx.M.insns + 1;
+            if M.eval_cc c ctx.M.cc then begin
+              ctx.M.pc <- tpc;
+              taken ctx (fuel - 2)
+            end
+            else begin
+              ctx.M.pc <- next_pc1;
+              fall ctx (fuel - 2)
+            end
+          end
+        end
+    | _ ->
+      let ga = get_c code mem a and gb = get_c code mem b in
+      fun ctx fuel ->
+        if fuel <= 0 then S_fuel
+        else begin
+          ctx.M.cycles <- ctx.M.cycles + cyc0;
+          ctx.M.insns <- ctx.M.insns + 1;
+          let vb = gb ctx in
+          let va = ga ctx in
+          ctx.M.cc <- cmp32 va vb;
+          ctx.M.pc <- pc1;
+          if fuel = 1 then S_fuel
+          else begin
+            ctx.M.cycles <- ctx.M.cycles + cyc1;
+            ctx.M.insns <- ctx.M.insns + 1;
+            if M.eval_cc c ctx.M.cc then begin
+              ctx.M.pc <- tpc;
+              taken ctx (fuel - 2)
+            end
+            else begin
+              ctx.M.pc <- next_pc1;
+              fall ctx (fuel - 2)
+            end
+          end
+        end)
+  | Insn.Poll _, Insn.Br target ->
+    let taken = cont_at tbl target in
+    let tpc = base + target in
+    let through ctx fuel =
+      ctx.M.pc <- pc1;
+      if fuel = 1 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc1;
+        ctx.M.insns <- ctx.M.insns + 1;
+        ctx.M.pc <- tpc;
+        taken ctx (fuel - 2)
+      end
+    in
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc0;
+        ctx.M.insns <- ctx.M.insns + 1;
+        if ctx.M.skip_poll then begin
+          ctx.M.skip_poll <- false;
+          through ctx fuel
+        end
+        else if ctx.M.poll_requested then S_poll
+        else through ctx fuel
+      end
+  | _ -> assert false
+
+(* table lookup keyed by code OID; a table is valid only for the memory
+   and load address it was translated against (a node restart brings a
+   fresh memory, voiding every table through the physical-equality
+   check) *)
+let table_for cache ~mem (img : Text.image) =
+  let code = img.Text.code in
+  let base = img.Text.base in
+  let rec find = function
+    | [] -> None
+    | (oid, tbl) :: rest ->
+      if
+        Int32.equal oid code.Code.code_oid
+        && tbl.t_mem == mem && tbl.t_base = base && tbl.t_code == code
+      then Some tbl
+      else find rest
+  in
+  match find cache.tables with
+  | Some tbl -> tbl
+  | None ->
+    let n = Array.length code.Code.insns in
+    let tbl =
+      {
+        t_code = code;
+        t_base = base;
+        t_mem = mem;
+        t_steps = Array.make n None;
+        t_fused = Array.make n false;
+        t_stats = cache.stats;
+      }
+    in
+    cache.tables <-
+      (code.Code.code_oid, tbl)
+      :: List.filter
+           (fun (oid, _) -> not (Int32.equal oid code.Code.code_oid))
+           cache.tables;
+    tbl
+
+(* the drive loop replaces the interpreter's fetch: resolve the PC to a
+   translated step (one-image memo, as the interpreter keeps) and let
+   the closure chain run until it hands back a stop.  [S_jump] is the
+   only re-entry: a dynamic transfer whose target needs the text map. *)
+let run cache ctx ~mem ~text ~fuel =
+  cache.stats.st_slices <- cache.stats.st_slices + 1;
+  let img_memo = ref None in
+  let image_for pc =
+    match !img_memo with
+    | Some img
+      when pc >= img.Text.base && pc < img.Text.base + img.Text.code.Code.byte_size
+      -> img
+    | Some _ | None -> (
+      match Text.find text pc with
+      | Some img ->
+        img_memo := Some img;
+        img
+      | None -> raise (M.Trapped (Suspend.Bad_pc pc)))
+  in
+  let rec drive fuel =
+    if fuel <= 0 then Suspend.Fuel
+    else begin
+      let img = image_for ctx.M.pc in
+      let tbl = table_for cache ~mem img in
+      let idx = Code.index_at img.Text.code (ctx.M.pc - img.Text.base) in
+      match (step_at tbl idx) ctx fuel with
+      | S_fuel -> Suspend.Fuel
+      | S_poll -> Suspend.Poll
+      | S_syscall n -> Suspend.Syscall n
+      | S_bottom -> Suspend.Bottom_return
+      | S_halt -> Suspend.Halt
+      | S_jump fuel' -> drive fuel'
+    end
+  in
+  try drive fuel with
+  | M.Trapped t -> Suspend.Trap t
+  (* micro-ops go to [Memory] raw; the interpreter wraps at the access
+     site, we wrap here — same [Suspend.Trap] either way *)
+  | Memory.Fault x -> Suspend.Trap (Suspend.Mem_fault x)
+
+(* --- static block partition (for [emdis --blocks] and the tests): the
+   leaders are method entries, branch targets, and terminator
+   successors; fusion heads are the pairs the translator would fuse *)
+
+type block = {
+  b_first : int;  (* instruction index of the leader *)
+  b_last : int;  (* inclusive *)
+  b_fused : int list;  (* indices heading a fused superinstruction *)
+}
+
+let describe_blocks (code : Code.t) =
+  let insns = code.Code.insns in
+  let n = Array.length insns in
+  if n = 0 then []
+  else begin
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    Array.iter
+      (fun m ->
+        leader.(Code.index_at code m.Code.entry_offset) <- true)
+      code.Code.methods;
+    Array.iteri
+      (fun i insn ->
+        (match insn with
+        | Insn.Bcc (_, t) | Insn.Br t ->
+          (* branch targets inside this image start a block *)
+          (match Code.index_at code t with
+          | idx -> leader.(idx) <- true
+          | exception Invalid_argument _ -> ())
+        | _ -> ());
+        if is_terminator insn && i + 1 < n then leader.(i + 1) <- true)
+      insns;
+    let blocks = ref [] in
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if i + 1 >= n || leader.(i + 1) || is_terminator insns.(i) then begin
+        let first = !start in
+        let fused = ref [] in
+        for j = i - 1 downto first do
+          if fusable insns.(j) insns.(j + 1) then fused := j :: !fused
+        done;
+        blocks := { b_first = first; b_last = i; b_fused = !fused } :: !blocks;
+        start := i + 1
+      end
+    done;
+    List.rev !blocks
+  end

@@ -23,6 +23,13 @@ type ctx = {
   mutable insns : int;  (** accumulated instruction count *)
 }
 
+exception Trapped of Suspend.trap
+(** Raised by the execution primitives below on a machine trap; [run]
+    (and {!Dispatch.run}) catch it at the slice boundary and return
+    [Suspend.Trap].  Exposed so the threaded-dispatch engine can reuse
+    the exact primitives — and therefore the exact trap behaviour — of
+    the fetch/decode interpreter. *)
+
 val create_ctx : Arch.t -> ctx
 val reg : ctx -> Reg.t -> int32
 val set_reg : ctx -> Reg.t -> int32 -> unit
@@ -30,6 +37,27 @@ val sp : ctx -> int
 val set_sp : ctx -> int -> unit
 val fp : ctx -> int
 val set_fp : ctx -> int -> unit
+
+(** {1 Execution primitives}
+
+    The building blocks of the interpreter loop, shared with the
+    threaded-dispatch engine ({!Dispatch}) so both execution paths have
+    identical operand, arithmetic, trap and stack semantics by
+    construction. *)
+
+val addr_of : int32 -> int
+val load : Memory.t -> int -> int32
+val store : Memory.t -> int -> int32 -> unit
+val get_operand : ctx -> Memory.t -> Operand.t -> int32
+val set_operand : ctx -> Memory.t -> Operand.t -> int32 -> unit
+val int_binop : Insn.binop -> int32 -> int32 -> int32
+val float_binop : Float_format.t -> Insn.binop -> int32 -> int32 -> int32
+val eval_cc : Insn.cmp -> int -> bool
+val push : ctx -> Memory.t -> int32 -> unit
+val pop : ctx -> Memory.t -> int32
+val check_stack : ctx -> unit
+val sparc_save : ctx -> Memory.t -> int -> unit
+val sparc_restore : ctx -> Memory.t -> unit
 
 val run : ctx -> mem:Memory.t -> text:Text.t -> fuel:int -> 'v Suspend.t
 (** Execute instructions until a stop.  [fuel] bounds the number of

@@ -46,6 +46,44 @@ let store32 t addr v =
   Bytes.unsafe_set t.data (addr + 2) (Char.unsafe_chr b2);
   Bytes.unsafe_set t.data (addr + 3) (Char.unsafe_chr b3)
 
+(* unchecked int-domain access for callers that have already done
+   [check t addr 4] themselves (the threaded dispatcher inlines the
+   bounds test so a fault can be attributed to the exact micro-op) *)
+let unsafe_load32_bits t addr =
+  let d = t.data in
+  let b0 = Char.code (Bytes.unsafe_get d addr)
+  and b1 = Char.code (Bytes.unsafe_get d (addr + 1))
+  and b2 = Char.code (Bytes.unsafe_get d (addr + 2))
+  and b3 = Char.code (Bytes.unsafe_get d (addr + 3)) in
+  match t.endian with
+  | Endian.Little -> b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  | Endian.Big -> b3 lor (b2 lsl 8) lor (b1 lsl 16) lor (b0 lsl 24)
+
+let unsafe_store32_bits t addr v =
+  let d = t.data in
+  match t.endian with
+  | Endian.Little ->
+    Bytes.unsafe_set d addr (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set d (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set d (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  | Endian.Big ->
+    Bytes.unsafe_set d addr (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set d (addr + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set d (addr + 3) (Char.unsafe_chr (v land 0xFF))
+
+(* checked int-domain 32-bit access: identical bounds check and byte
+   order to [load32]/[store32], but the word travels as bits in an
+   untagged [int], so a frame slot access allocates nothing *)
+let load32_bits t addr =
+  check t addr 4;
+  unsafe_load32_bits t addr
+
+let store32_bits t addr v =
+  check t addr 4;
+  unsafe_store32_bits t addr v
+
 let load16 t addr =
   check t addr 2;
   let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in

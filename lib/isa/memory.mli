@@ -20,6 +20,20 @@ val size : t -> int
 val grow_to : t -> int -> unit
 val load32 : t -> int -> int32
 val store32 : t -> int -> int32 -> unit
+
+(** [load32] with the word returned as bits in [0, 0xFFFF_FFFF] — an
+    untagged [int], no allocation.  Same bounds check, same byte order. *)
+val load32_bits : t -> int -> int
+
+(** [store32] from the low 32 bits of an [int] (signed or unsigned
+    representation both work).  Same bounds check, same byte order. *)
+val store32_bits : t -> int -> int -> unit
+
+(** Unchecked variants for callers that perform the [low_bound]/[size]
+    test themselves; out-of-range addresses are undefined behaviour. *)
+val unsafe_load32_bits : t -> int -> int
+
+val unsafe_store32_bits : t -> int -> int -> unit
 val load16 : t -> int -> int
 val store16 : t -> int -> int -> unit
 val load8 : t -> int -> int

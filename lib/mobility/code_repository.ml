@@ -6,12 +6,22 @@
 type t = {
   fetches : int list array;  (* per node, fetched class indexes, newest first *)
   plans : Conv_plan.cache;
+  dispatch : Isa.Dispatch.cache array;
+      (* per node, like the fetch lists: each node's kernel translates
+         into its own cache, so sharded domains never share tables.
+         Living here (not in the kernel) keeps translations across a
+         node restart — the engine's memory-identity check voids the
+         stale ones. *)
 }
 
 let create ?(n_nodes = 64) () =
   if n_nodes < 1 || n_nodes > Ert.Oid.max_nodes then
     invalid_arg "Code_repository.create: node count out of range";
-  { fetches = Array.make n_nodes []; plans = Conv_plan.create_cache () }
+  {
+    fetches = Array.make n_nodes [];
+    plans = Conv_plan.create_cache ();
+    dispatch = Array.init n_nodes (fun _ -> Isa.Dispatch.create_cache ());
+  }
 
 let record_fetch t ~node ~class_index =
   if node < 0 || node >= Array.length t.fetches then
@@ -25,4 +35,9 @@ let fetches_by_node t node = List.length t.fetches.(node)
 let fetched_classes t ~node = List.rev t.fetches.(node)
 
 let plan_cache t = t.plans
+
+let dispatch_cache t ~node =
+  if node < 0 || node >= Array.length t.dispatch then
+    invalid_arg "Code_repository.dispatch_cache: node id out of range";
+  t.dispatch.(node)
 let set_program t prog = Conv_plan.set_program t.plans prog

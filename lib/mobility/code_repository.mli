@@ -23,6 +23,12 @@ val plan_cache : t -> Conv_plan.cache
 (** Compiled conversion plans, memoized alongside the code they convert
     (keyed by code OID, bus stop and arch pair — see {!Conv_plan}). *)
 
+val dispatch_cache : t -> node:int -> Isa.Dispatch.cache
+(** The node's translated-code cache for the threaded-dispatch engine,
+    kept next to the conversion plans: per node (sharded domains never
+    share tables) and surviving node restarts (the engine's memory
+    identity check voids tables of a dead kernel). *)
+
 val set_program : t -> Emc.Compile.program -> unit
 (** Register the loaded program so plans can be compiled on demand;
     invalidates previously cached plans. *)

@@ -129,6 +129,47 @@ let read_fields ?plans ~mo_class r =
     done;
     fields
 
+(* Blit tier: one conversion call for the whole object image — the
+   layout-matched fast path.  Bytes stay identical to the interpretive
+   encoding above. *)
+let write_list_raw w f xs =
+  W.raw_u16 w (List.length xs);
+  List.iter (f w) xs
+
+let read_list_raw r f =
+  let n = R.raw_u16 r in
+  List.init n (fun _ -> f r)
+
+let write_object_blit w o =
+  let p0 = W.length w in
+  W.raw_u32 w o.mo_oid;
+  W.raw_u16 w o.mo_class;
+  W.raw_u16 w (Array.length o.mo_fields);
+  Array.iter (Ert.Value.write_raw w) o.mo_fields;
+  W.raw_u8 w (if o.mo_locked then 1 else 0);
+  write_list_raw w (fun w s -> W.raw_u32 w (Int32.of_int s)) o.mo_waiters;
+  write_list_raw w
+    (fun w l -> write_list_raw w (fun w s -> W.raw_u32 w (Int32.of_int s)) l)
+    o.mo_cond_waiters;
+  W.add_charge w ~calls:1 ~bytes:(W.length w - p0)
+
+let read_object_blit r =
+  let p0 = R.pos r in
+  let mo_oid = R.raw_u32 r in
+  let mo_class = R.raw_u16 r in
+  let n = R.raw_u16 r in
+  let mo_fields = Array.make n Ert.Value.Vnil in
+  for i = 0 to n - 1 do
+    mo_fields.(i) <- Ert.Value.read_raw r
+  done;
+  let mo_locked = R.raw_u8 r <> 0 in
+  let mo_waiters = read_list_raw r (fun r -> Int32.to_int (R.raw_u32 r)) in
+  let mo_cond_waiters =
+    read_list_raw r (fun r -> read_list_raw r (fun r -> Int32.to_int (R.raw_u32 r)))
+  in
+  R.add_charge r ~calls:1 ~bytes:(R.pos r - p0);
+  { mo_oid; mo_class; mo_fields; mo_locked; mo_waiters; mo_cond_waiters }
+
 let read_object ?plans r =
   let mo_oid, mo_class =
     match plans with
@@ -147,7 +188,7 @@ let read_object ?plans r =
   let mo_cond_waiters = read_list r (fun r -> read_list r (fun r -> Int32.to_int (R.i32 r))) in
   { mo_oid; mo_class; mo_fields; mo_locked; mo_waiters; mo_cond_waiters }
 
-let rec encode_to ?plans w msg =
+let rec encode_to ?plans ?(blit = false) w msg =
   match msg with
   | M_invoke { target; callee_class; callee_method; args; reply; thread; forwards } ->
     W.u8 w tag_invoke;
@@ -170,16 +211,25 @@ let rec encode_to ?plans w msg =
     W.u16 w dest;
     W.u8 w forwards
   | M_move { mp_src; mp_objects; mp_segments } ->
-    (match plans with
-    | Some _ ->
+    if blit then begin
       W.raw_u8 w tag_move;
       W.raw_u16 w mp_src;
-      W.add_charge w ~calls:2 ~bytes:3
-    | None ->
-      W.u8 w tag_move;
-      W.u16 w mp_src);
-    write_list w (write_object ?plans) mp_objects;
-    write_list w (Mi_frame.write_segment ?plans) mp_segments
+      W.add_charge w ~calls:1 ~bytes:3;
+      write_list w write_object_blit mp_objects;
+      write_list w (Mi_frame.write_segment ~blit:true) mp_segments
+    end
+    else begin
+      (match plans with
+      | Some _ ->
+        W.raw_u8 w tag_move;
+        W.raw_u16 w mp_src;
+        W.add_charge w ~calls:2 ~bytes:3
+      | None ->
+        W.u8 w tag_move;
+        W.u16 w mp_src);
+      write_list w (write_object ?plans) mp_objects;
+      write_list w (Mi_frame.write_segment ?plans) mp_segments
+    end
   | M_start_process { obj; forwards } ->
     W.u8 w tag_start_process;
     W.u32 w obj;
@@ -213,43 +263,52 @@ let rec encode_to ?plans w msg =
        unchanged inner message encoding *)
     W.u8 w tag_invoke_via;
     write_list w W.u16 via;
-    encode_to ?plans w inv
+    encode_to ?plans ~blit w inv
   | M_group_move { mp_src; mp_objects; mp_segments } ->
     (* same body layout as M_move; the distinct tag tells the receiver
        to account the transfer as one batched group *)
-    (match plans with
-    | Some _ ->
+    if blit then begin
       W.raw_u8 w tag_group_move;
       W.raw_u16 w mp_src;
-      W.add_charge w ~calls:2 ~bytes:3
-    | None ->
-      W.u8 w tag_group_move;
-      W.u16 w mp_src);
-    write_list w (write_object ?plans) mp_objects;
-    write_list w (Mi_frame.write_segment ?plans) mp_segments
+      W.add_charge w ~calls:1 ~bytes:3;
+      write_list w write_object_blit mp_objects;
+      write_list w (Mi_frame.write_segment ~blit:true) mp_segments
+    end
+    else begin
+      (match plans with
+      | Some _ ->
+        W.raw_u8 w tag_group_move;
+        W.raw_u16 w mp_src;
+        W.add_charge w ~calls:2 ~bytes:3
+      | None ->
+        W.u8 w tag_group_move;
+        W.u16 w mp_src);
+      write_list w (write_object ?plans) mp_objects;
+      write_list w (Mi_frame.write_segment ?plans) mp_segments
+    end
 
 (* A failed encode (an unmarshalable value, say) must still return the
    pooled buffer, or the pool leaks one buffer per failure.  [encode]
    can free unconditionally — [contents] copies.  [encode_view] frees
    only on the exception path: a successful handoff transfers buffer
    ownership to the view, and the receiver recycles it. *)
-let encode ?plans ~impl ~stats msg =
+let encode ?plans ?blit ~impl ~stats msg =
   let w = W.create ~impl ~stats in
   Fun.protect
     ~finally:(fun () -> W.free w)
     (fun () ->
-      encode_to ?plans w msg;
+      encode_to ?plans ?blit w msg;
       W.contents w)
 
-let encode_view ?plans ~impl ~stats msg =
+let encode_view ?plans ?blit ~impl ~stats msg =
   let w = W.create ~impl ~stats in
-  (try encode_to ?plans w msg
+  (try encode_to ?plans ?blit w msg
    with e ->
      W.free w;
      raise e);
   W.handoff w
 
-let rec decode_from ?plans r =
+let rec decode_from ?plans ?(blit = false) r =
   let tag = R.u8 r in
   if tag = tag_invoke then begin
     let target = R.u32 r in
@@ -284,10 +343,19 @@ let rec decode_from ?plans r =
     M_move_req { obj; dest; forwards }
   end
   else if tag = tag_move then begin
-    let mp_src = R.u16 r in
-    let mp_objects = read_list r (read_object ?plans) in
-    let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
-    M_move { mp_src; mp_objects; mp_segments }
+    if blit then begin
+      let mp_src = R.raw_u16 r in
+      R.add_charge r ~calls:1 ~bytes:2;
+      let mp_objects = read_list r read_object_blit in
+      let mp_segments = read_list r (Mi_frame.read_segment ~blit:true) in
+      M_move { mp_src; mp_objects; mp_segments }
+    end
+    else begin
+      let mp_src = R.u16 r in
+      let mp_objects = read_list r (read_object ?plans) in
+      let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
+      M_move { mp_src; mp_objects; mp_segments }
+    end
   end
   else if tag = tag_start_process then begin
     let obj = R.u32 r in
@@ -320,22 +388,31 @@ let rec decode_from ?plans r =
   end
   else if tag = tag_invoke_via then begin
     let via = read_list r R.u16 in
-    let inv = decode_from ?plans r in
+    let inv = decode_from ?plans ~blit r in
     M_invoke_via { via; inv }
   end
   else if tag = tag_group_move then begin
-    let mp_src = R.u16 r in
-    let mp_objects = read_list r (read_object ?plans) in
-    let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
-    M_group_move { mp_src; mp_objects; mp_segments }
+    if blit then begin
+      let mp_src = R.raw_u16 r in
+      R.add_charge r ~calls:1 ~bytes:2;
+      let mp_objects = read_list r read_object_blit in
+      let mp_segments = read_list r (Mi_frame.read_segment ~blit:true) in
+      M_group_move { mp_src; mp_objects; mp_segments }
+    end
+    else begin
+      let mp_src = R.u16 r in
+      let mp_objects = read_list r (read_object ?plans) in
+      let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
+      M_group_move { mp_src; mp_objects; mp_segments }
+    end
   end
   else failwith (Printf.sprintf "Marshal.decode: corrupt message tag %d" tag)
 
-let decode ?plans ~impl ~stats data =
-  decode_from ?plans (R.create ~impl ~stats data)
+let decode ?plans ?blit ~impl ~stats data =
+  decode_from ?plans ?blit (R.create ~impl ~stats data)
 
-let decode_view ?plans ~impl ~stats v =
-  decode_from ?plans (R.of_view ~impl ~stats v)
+let decode_view ?plans ?blit ~impl ~stats v =
+  decode_from ?plans ?blit (R.of_view ~impl ~stats v)
 
 let rec describe = function
   | M_invoke { target; callee_method; _ } ->

@@ -79,16 +79,22 @@ type message =
 
 val encode :
   ?plans:Conv_plan.use ->
+  ?blit:bool ->
   impl:Enet.Wire.impl ->
   stats:Enet.Conversion_stats.t ->
   message ->
   string
 (** With [?plans], [M_move] frame and field sections route through
     compiled conversion plans when one applies; the bytes are identical
-    either way.  The encode buffer is recycled into the pool. *)
+    either way.  The encode buffer is recycled into the pool.
+    With [?blit] (valid only between layout-matched architectures, see
+    {!Isa.Arch.same_layout}), move payloads are written verbatim through
+    the raw wire path and accounted as one conversion call per
+    frame/object; bytes are still identical, [plans] is ignored. *)
 
 val encode_view :
   ?plans:Conv_plan.use ->
+  ?blit:bool ->
   impl:Enet.Wire.impl ->
   stats:Enet.Conversion_stats.t ->
   message ->
@@ -99,6 +105,7 @@ val encode_view :
 
 val decode :
   ?plans:Conv_plan.use ->
+  ?blit:bool ->
   impl:Enet.Wire.impl ->
   stats:Enet.Conversion_stats.t ->
   string ->
@@ -106,6 +113,7 @@ val decode :
 
 val decode_view :
   ?plans:Conv_plan.use ->
+  ?blit:bool ->
   impl:Enet.Wire.impl ->
   stats:Enet.Conversion_stats.t ->
   Enet.Wire.view ->

@@ -55,9 +55,23 @@ type mi_segment = {
    Bulk-tier accounting); otherwise, and always for the segment
    scaffolding around the frames, the interpretive path is used. *)
 
-val write_segment : ?plans:Conv_plan.use -> Enet.Wire.Writer.t -> mi_segment -> unit
-val read_segment : ?plans:Conv_plan.use -> Enet.Wire.Reader.t -> mi_segment
-val write_frame : ?plans:Conv_plan.use -> Enet.Wire.Writer.t -> mi_frame -> unit
-val read_frame : ?plans:Conv_plan.use -> Enet.Wire.Reader.t -> mi_frame
+(** [blit] selects the negotiated common-layout tier: byte-identical
+    encoding through the raw wire primitives, accounted as one
+    conversion call per frame (plus one for the segment scaffold and
+    one for the trailing options) instead of one per datum.  Only valid
+    when the source and destination {!Isa.Arch.fingerprint}s match;
+    [plans] is ignored when [blit] is set. *)
+
+val write_segment :
+  ?plans:Conv_plan.use -> ?blit:bool -> Enet.Wire.Writer.t -> mi_segment -> unit
+
+val read_segment :
+  ?plans:Conv_plan.use -> ?blit:bool -> Enet.Wire.Reader.t -> mi_segment
+
+val write_frame :
+  ?plans:Conv_plan.use -> ?blit:bool -> Enet.Wire.Writer.t -> mi_frame -> unit
+
+val read_frame :
+  ?plans:Conv_plan.use -> ?blit:bool -> Enet.Wire.Reader.t -> mi_frame
 val frame_count : mi_segment -> int
 val pp_segment : Format.formatter -> mi_segment -> unit
