@@ -8,7 +8,7 @@
 
    Experiment ids: table1, intranode, conversion, sweep, ablation, fig2,
    fig3 (includes fig4), scaling, cluster, cluster_smoke (CI-sized),
-   faults, spans, evict, interp, blit, bechamel.
+   faults, spans, evict, interp, blit, bridge, bechamel.
 
    --shards N sets the shard count the scaling experiment compares
    against the single-shard baseline (default 4). *)
@@ -1377,6 +1377,190 @@ let run_blit () =
   pf "same-layout pairs skip translate/rebuild (byte-identical wire);\n";
   pf "mixed pairs fall back to compiled plans exactly\n\n"
 
+(* ------------------------------------------------------------------ *)
+(* Bridge fragments: migration between differently-optimized instances *)
+(* ------------------------------------------------------------------ *)
+
+(* One observable action (the print) per iteration puts a syscall stop in
+   the loop block, so -O2 elides the back-edge poll — the stop a preempted
+   thread is most often evicted at, and the one a bridged landing resumes
+   through (DESIGN.md §16). *)
+let bridge_src =
+  {|
+object Worker
+  operation work[n : int] -> [r : int]
+    var acc : int <- 0
+    var i : int <- 0
+    loop
+      exit when i >= n
+      i <- i + 1
+      print[i]
+      acc <- acc + i
+    end loop
+    r <- acc
+  end work
+end Worker
+|}
+
+(* Run [workers] loop threads one after another on node 0 (SPARC -O0),
+   each evicted to node 1 (VAX, [dest_level]) after [pre] events of its
+   own run — identical capture points, so repeats reuse the first
+   landing's fragment.  Sequential, because two concurrent workers
+   interleave their two-stop prints on the shared output stream. *)
+let bridge_run ~dest_level ~n ~pre ~workers =
+  let cl = Core.Cluster.create ~quantum:3 ~archs:[ A.sparc; A.vax ] () in
+  Core.Cluster.set_opt_level cl ~node:1 dest_level;
+  ignore (Core.Cluster.compile_and_load cl ~name:"bridge" bridge_src);
+  let k0 = Core.Cluster.kernel cl 0 in
+  let results =
+    List.init workers (fun _ ->
+        let w = Core.Cluster.create_object cl ~node:0 ~class_name:"Worker" in
+        let tid =
+          Core.Cluster.spawn cl ~node:0 ~target:w ~op:"work"
+            ~args:[ Ert.Value.Vint (Int32.of_int n) ]
+        in
+        for _ = 1 to pre do
+          ignore (Core.Cluster.step_once cl)
+        done;
+        List.iter
+          (fun (s : Ert.Thread.segment) ->
+            if s.Ert.Thread.seg_thread = tid && s.Ert.Thread.seg_live then
+              Core.Cluster.evict_thread cl ~node:0 ~seg_id:s.Ert.Thread.seg_id
+                ~dest:1)
+          (Ert.Kernel.segments k0);
+        Core.Cluster.run_until_result cl tid)
+  in
+  let out =
+    let buf = Buffer.create 256 in
+    for i = 0 to Core.Cluster.n_nodes cl - 1 do
+      Buffer.add_string buf (Core.Cluster.output cl ~node:i)
+    done;
+    Buffer.contents buf
+  in
+  let open Core.Events in
+  let bridged = Core.Cluster.total_counter cl (fun c -> c.c_bridged) in
+  let hits, misses = Core.Cluster.bridge_stats cl in
+  (results, out, bridged, (hits, misses), Core.Cluster.global_time_us cl)
+
+let run_bridge () =
+  pf "Bridge fragments: a thread evicted mid-loop lands in a differently\n";
+  pf "optimized code instance.  When it was parked at a stop the target's\n";
+  pf "-O2 instance elides, the landing resumes through a compiled bridge\n";
+  pf "fragment; the alternative column lands the same capture in the\n";
+  pf "target's -O0 instance instead.  Gates: exactly-once actions, at\n";
+  pf "least one bridged landing, fragment-cache hits on repeat, and -O2\n";
+  pf "beating -O0 on the undisturbed loop.\n";
+  hr ();
+  let n = 14 in
+  let expected_result = Int32.of_int (n * (n + 1) / 2) in
+  (* a print's two stops may land on different hosts when the thread is
+     evicted between them, splitting one line across output streams —
+     legal, so the exactly-once gate compares the byte multiset of all
+     node outputs, not lines *)
+  let chars s = List.sort compare (List.init (String.length s) (String.get s)) in
+  let one_run = String.concat "" (List.init n (fun i -> string_of_int (i + 1) ^ "\n")) in
+  let exact ~workers results out =
+    List.for_all (fun r -> r = Some (Ert.Value.Vint expected_result)) results
+    && chars out = chars (String.concat "" (List.init workers (fun _ -> one_run)))
+  in
+  (* scan eviction points until the trap lands on the elided poll stop *)
+  let rec scan pre =
+    if pre > 80 then begin
+      pf "ERROR: no eviction point parked at the loop's poll stop\n";
+      exit 1
+    end;
+    let results, out, bridged, _, t = bridge_run ~dest_level:Emc.Opt.O2 ~n ~pre ~workers:1 in
+    if not (exact ~workers:1 results out) then begin
+      pf "FAIL: migrated run diverged at pre=%d (exactly-once gate)\n" pre;
+      exit 1
+    end;
+    if bridged > 0 then (pre, t) else scan (pre + 1)
+  in
+  let pre, t_bridge = scan 0 in
+  (* the same capture point landed in the target's -O0 instance: no
+     bridge is needed, but the thread finishes in unoptimized code *)
+  let results0, out0, bridged0, _, t_o0 =
+    bridge_run ~dest_level:Emc.Opt.O0 ~n ~pre ~workers:1
+  in
+  if not (exact ~workers:1 results0 out0) then begin
+    pf "FAIL: -O0 landing diverged (exactly-once gate)\n";
+    exit 1
+  end;
+  (* repeat migrations: a second worker evicted at the same point in its
+     own run reuses the first landing's fragment; scan again because the
+     cluster the second worker starts from is no longer pristine *)
+  let rec scan_cache pre =
+    if pre > 80 then begin
+      pf "ERROR: no eviction point reused the fragment cache\n";
+      exit 1
+    end;
+    let results2, out2, bridged2, (hits, misses), _ =
+      bridge_run ~dest_level:Emc.Opt.O2 ~n ~pre ~workers:2
+    in
+    if not (exact ~workers:2 results2 out2) then begin
+      pf "FAIL: two-worker run diverged at pre=%d (exactly-once gate)\n" pre;
+      exit 1
+    end;
+    if hits = 0 then scan_cache (pre + 1) else (bridged2, hits, misses)
+  in
+  let bridged2, hits, misses = scan_cache 0 in
+  (* -O2 vs -O0 on the undisturbed loop, same machine, no migration *)
+  let solo level =
+    let cl = Core.Cluster.create ~archs:[ A.vax ] () in
+    Core.Cluster.set_opt_level cl ~node:0 level;
+    ignore (Core.Cluster.compile_and_load cl ~name:"solo" bridge_src);
+    let w = Core.Cluster.create_object cl ~node:0 ~class_name:"Worker" in
+    let tid =
+      Core.Cluster.spawn cl ~node:0 ~target:w ~op:"work"
+        ~args:[ Ert.Value.Vint 64l ]
+    in
+    ignore (Core.Cluster.run_until_result cl tid);
+    Core.Cluster.global_time_us cl
+  in
+  let solo_o0 = solo Emc.Opt.O0 and solo_o2 = solo Emc.Opt.O2 in
+  let ratio = if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses) in
+  pf "%-26s %12s %12s\n"
+    (Printf.sprintf "landing (evict @ %d)" pre)
+    "virtual us" "bridged";
+  hr ();
+  pf "%-26s %12.1f %12d\n" "-O2 + bridge fragment" t_bridge 1;
+  pf "%-26s %12.1f %12d\n" "-O0 (no bridge needed)" t_o0 bridged0;
+  hr ();
+  pf "fragment cache over repeat migrations: %d hits / %d misses\n" hits misses;
+  pf "undisturbed loop on the VAX: -O0 %.1f us, -O2 %.1f us (%.1f%% faster)\n"
+    solo_o0 solo_o2
+    (100.0 *. (solo_o0 -. solo_o2) /. solo_o0);
+  add_json_row ~experiment:"bridge"
+    [
+      ("pair", jstr "SPARC->VAX");
+      ("evict_pre", jint pre);
+      ("iterations", jint n);
+      ("bridge_virtual_us", jnum t_bridge);
+      ("o0_landing_virtual_us", jnum t_o0);
+      ("threads_bridged", jint 1);
+      ("threads_bridged_repeat", jint bridged2);
+      ("frag_cache_hits", jint hits);
+      ("frag_cache_misses", jint misses);
+      ("frag_cache_hit_ratio", jnum ratio);
+      ("solo_o0_virtual_us", jnum solo_o0);
+      ("solo_o2_virtual_us", jnum solo_o2);
+      ("exactly_once", jstr "pass");
+    ];
+  if bridged2 < 2 then begin
+    pf "FAIL: repeat migrations did not both bridge (%d)\n" bridged2;
+    exit 1
+  end;
+  if hits = 0 then begin
+    pf "FAIL: repeated migration never hit the fragment cache\n";
+    exit 1
+  end;
+  if solo_o2 >= solo_o0 then begin
+    pf "FAIL: -O2 not faster than -O0 on the undisturbed loop (%.1f >= %.1f)\n"
+      solo_o2 solo_o0;
+    exit 1
+  end;
+  pf "exactly-once, bridged landings, cache hits and the -O2 win all hold\n\n"
+
 let all_experiments =
   [
     ("table1", run_table1);
@@ -1396,6 +1580,7 @@ let all_experiments =
     ("evict", run_evict);
     ("interp", run_interp);
     ("blit", run_blit);
+    ("bridge", run_bridge);
   ]
 
 let () =

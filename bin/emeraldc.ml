@@ -2,13 +2,20 @@
    architectures and inspect what the compiler produces — native code,
    templates, bus-stop tables, IR.
 
-     emeraldc FILE [--arch ID] [--dump-ir] [--dump-code] [--dump-stops]
-                   [--dump-template] *)
+     emeraldc FILE [-O{0,1,2}] [--arch ID] [--dump-ir] [--dump-code]
+                   [--dump-stops] [--dump-template] *)
 
 open Cmdliner
 
-let compile file arch_id dump_ir dump_code dump_stops dump_template =
+let level_of_int n =
+  try Emc.Opt.of_int n
+  with Invalid_argument _ ->
+    Printf.eprintf "invalid optimization level -O%d (have: 0, 1, 2)\n" n;
+    exit 2
+
+let compile file opt arch_id dump_ir dump_code dump_stops dump_template =
   let source = In_channel.with_open_text file In_channel.input_all in
+  let level = level_of_int opt in
   let archs =
     match arch_id with
     | None -> Isa.Arch.all
@@ -20,8 +27,9 @@ let compile file arch_id dump_ir dump_code dump_stops dump_template =
         exit 2)
   in
   match
-    Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file)) ~archs
-      source
+    Emc.Compile.compile ~levels:[ level ]
+      ~name:(Filename.remove_extension (Filename.basename file))
+      ~archs source
   with
   | Error errs ->
     List.iter
@@ -37,9 +45,12 @@ let compile file arch_id dump_ir dump_code dump_stops dump_template =
         Printf.printf "  %s: oid %ld, %d bus stop(s)\n" cc.Emc.Compile.cc_name
           cc.Emc.Compile.cc_oid cc.Emc.Compile.cc_ir.Emc.Ir.cl_nstops;
         List.iter
-          (fun (id, (art : Emc.Compile.arch_artifact)) ->
-            Printf.printf "    %-6s %5d bytes of code\n" id
-              art.Emc.Compile.aa_code.Isa.Code.byte_size)
+          (fun ((id, level), (art : Emc.Compile.arch_artifact)) ->
+            Printf.printf "    %-6s -%s %5d bytes of code%s\n" id
+              (Emc.Opt.to_string level) art.Emc.Compile.aa_code.Isa.Code.byte_size
+              (match List.length art.Emc.Compile.aa_edits with
+              | 0 -> ""
+              | n -> Printf.sprintf " (%d optimizer edit(s))" n))
           cc.Emc.Compile.cc_arts)
       prog.Emc.Compile.p_classes;
     if dump_ir then Format.printf "@.%a" Emc.Pretty.pp_program prog.Emc.Compile.p_ir;
@@ -59,6 +70,12 @@ let compile file arch_id dump_ir dump_code dump_stops dump_template =
 
 let file_t =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Emerald source file.")
+
+let opt_t =
+  Arg.(value & opt int 0
+       & info [ "O" ] ~docv:"LEVEL"
+           ~doc:"Optimization level: 0 none, 1 between-bus-stops peephole, 2 windowed \
+                 redundant-load elimination and loop-poll elision.")
 
 let arch_t =
   Arg.(value & opt (some string) None
@@ -84,7 +101,7 @@ let cmd =
   Cmd.v
     (Cmd.info "emeraldc" ~doc)
     Term.(
-      const compile $ file_t $ arch_t $ dump_ir_t $ dump_code_t $ dump_stops_t
+      const compile $ file_t $ opt_t $ arch_t $ dump_ir_t $ dump_code_t $ dump_stops_t
       $ dump_template_t)
 
 let () = exit (Cmd.eval cmd)

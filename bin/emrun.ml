@@ -1,15 +1,15 @@
 (* emrun: run an Emerald-like program on a simulated cluster of
    heterogeneous workstations.
 
-     emrun FILE [--nodes IDS] [--class NAME] [--op NAME] [--args LIST]
-               [--original] [--codec TIER] [--shards N] [--location MODE]
-               [--trace] [--stats] [--profile] [--trace-out FILE]
-               [--evict-hot N] [--seed N] [--faults SPEC]
-               [--check-invariants] *)
+     emrun FILE [--nodes IDS] [-O LEVELS] [--class NAME] [--op NAME]
+               [--args LIST] [--original] [--codec TIER] [--shards N]
+               [--location MODE] [--trace] [--stats] [--profile]
+               [--trace-out FILE] [--evict-hot N] [--seed N]
+               [--faults SPEC] [--check-invariants] *)
 
 open Cmdliner
 
-let run file nodes cls op args_s original codec shards location trace stats
+let run file nodes opt cls op args_s original codec shards location trace stats
     profile trace_out evict_hot seed faults check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
@@ -21,6 +21,22 @@ let run file nodes cls op args_s original codec shards location trace stats
            with Not_found ->
              Printf.eprintf "unknown architecture %s\n" id;
              exit 2)
+  in
+  let node_levels =
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 && n <= 2 -> Emc.Opt.of_int n
+      | _ ->
+        Printf.eprintf "emrun: bad optimization level %s (have: 0, 1, 2)\n" s;
+        exit 2
+    in
+    match List.map parse (String.split_on_char ',' opt) with
+    | [ l ] -> List.map (fun _ -> l) archs
+    | ls when List.length ls = List.length archs -> ls
+    | ls ->
+      Printf.eprintf "emrun: -O wants one level or one per node (%d nodes, %d levels)\n"
+        (List.length archs) (List.length ls);
+      exit 2
   in
   let protocol = if original then Core.Cluster.Original else Core.Cluster.Enhanced in
   let plan =
@@ -58,6 +74,7 @@ let run file nodes cls op args_s original codec shards location trace stats
     Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~location
       ~archs ()
   in
+  List.iteri (fun i l -> Core.Cluster.set_opt_level cl ~node:i l) node_levels;
   (match evict_hot with
   | Some threshold ->
     Core.Cluster.set_balancer cl ~every_us:400.0
@@ -74,17 +91,29 @@ let run file nodes cls op args_s original codec shards location trace stats
     end
     else None
   in
-  (match
-     Emc.Compile.compile ~name:(Filename.remove_extension (Filename.basename file))
-       ~archs:(List.sort_uniq (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id) archs)
-       source
-   with
-  | Error errs ->
-    List.iter
-      (fun e -> Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
-      errs;
-    exit 1
-  | Ok prog -> Core.Cluster.load_program cl prog);
+  (* with every node at -O0 the instance list is omitted entirely, so
+     the compiled program — and everything downstream — is byte-for-byte
+     the historical single-instance one *)
+  let levels =
+    if List.for_all (Emc.Opt.equal Emc.Opt.O0) node_levels then None
+    else Some node_levels
+  in
+  let prog =
+    match
+      Emc.Compile.compile ?levels
+        ~name:(Filename.remove_extension (Filename.basename file))
+        ~archs:(List.sort_uniq (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id) archs)
+        source
+    with
+    | Error errs ->
+      List.iter
+        (fun e -> Printf.eprintf "%s: %s\n" file (Format.asprintf "%a" Emc.Diag.pp_error e))
+        errs;
+      exit 1
+    | Ok prog ->
+      Core.Cluster.load_program cl prog;
+      prog
+  in
   let target = Core.Cluster.create_object cl ~node:0 ~class_name:cls in
   let args =
     if args_s = "" then []
@@ -181,6 +210,38 @@ let run file nodes cls op args_s original codec shards location trace stats
           "dispatch: %d blocks translated (%d insns, %d fused pairs), %d \
            run slices\n"
           !d_blocks !d_insns !d_fused !d_slices;
+      (if levels <> None then begin
+         Printf.printf "optimizer: node levels [%s]\n"
+           (String.concat ","
+              (List.map
+                 (fun l -> string_of_int (Emc.Opt.to_int l))
+                 node_levels));
+         (* per-(arch, level) edit totals over every class of the program *)
+         let tallies = Hashtbl.create 8 in
+         Array.iter
+           (fun cc ->
+             List.iter
+               (fun (key, (art : Emc.Compile.arch_artifact)) ->
+                 let n = List.length art.Emc.Compile.aa_edits in
+                 Hashtbl.replace tallies key
+                   (n + Option.value (Hashtbl.find_opt tallies key) ~default:0))
+               cc.Emc.Compile.cc_arts)
+           prog.Emc.Compile.p_classes;
+         Hashtbl.fold (fun k v acc -> (k, v) :: acc) tallies []
+         |> List.sort compare
+         |> List.iter (fun ((arch_id, l), n) ->
+                Printf.printf "optimizer: %-6s -%s %4d edit(s)\n" arch_id
+                  (Emc.Opt.to_string l) n)
+       end);
+      let bridged =
+        Core.Cluster.total_counter cl (fun c -> c.Core.Events.c_bridged)
+      in
+      let bh, bm = Core.Cluster.bridge_stats cl in
+      if bridged > 0 || bh + bm > 0 then
+        Printf.printf
+          "bridge: %d threads resumed through fragments; fragment cache %d \
+           hits / %d misses\n"
+          bridged bh bm;
       Array.iteri
         (fun s e ->
           Printf.printf "engine %d: %d pushes, %d pops (%d stale), %d pending\n"
@@ -301,6 +362,19 @@ let nodes_t =
        & info [ "nodes" ] ~docv:"IDS"
            ~doc:"Comma-separated architecture ids (default: a Figure 1 network).")
 
+let opt_t =
+  Arg.(value & opt string "0"
+       & info [ "O" ] ~docv:"LEVELS"
+           ~doc:"Optimization level — one of $(b,0) (straight template \
+                 code, the default), $(b,1) (register caching + peephole) \
+                 or $(b,2) (1 plus redundant-load elimination and \
+                 loop-poll elision) — applied to every node, or a \
+                 comma-separated per-node list (e.g. $(b,0,2,0,2)).  Nodes \
+                 at different levels run different code instances; threads \
+                 migrating between them land through compiled bridge \
+                 fragments when their parked bus stop was elided at the \
+                 destination.")
+
 let class_t =
   Arg.(value & opt string "Main"
        & info [ "class" ] ~docv:"NAME" ~doc:"Class to instantiate on node 0.")
@@ -392,7 +466,7 @@ let cmd =
   Cmd.v
     (Cmd.info "emrun" ~doc)
     Term.(
-      const run $ file_t $ nodes_t $ class_t $ op_t $ args_t $ original_t
+      const run $ file_t $ nodes_t $ opt_t $ class_t $ op_t $ args_t $ original_t
       $ codec_t $ shards_t $ location_t $ trace_t $ stats_t $ profile_t
       $ trace_out_t $ evict_hot_t $ seed_t $ faults_t $ check_invariants_t)
 

@@ -216,6 +216,10 @@ type t = {
   seen : (int * int, unit) Hashtbl.t array;  (* (src, seq) delivered, per receiver *)
   chaos : (float * chaos_act) list array;  (* per-node schedule, sorted by time *)
   quantum : int option;  (* kept to configure replacement kernels on restart *)
+  opt_levels : Emc.Opt.level array;
+      (* per-node code-instance selection, kept (like [quantum]) to
+         configure replacement kernels on restart; mutated only by
+         [set_opt_level], which the kernel refuses once code is loaded *)
   async_migration : bool;
       (* overlap migration capture with execution-to-the-stop: refund the
          smaller of the quiesce and capture costs against the source
@@ -336,8 +340,8 @@ let ensure_wake t i =
   end
 
 let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
-    ?(scheduler = Heap) ?(shards = 1) ?quantum ?gc_threshold
-    ?(faults = Fault.Plan.empty) ?(async_migration = false)
+    ?(scheduler = Heap) ?(shards = 1) ?quantum ?(opt_level = Emc.Opt.O0)
+    ?gc_threshold ?(faults = Fault.Plan.empty) ?(async_migration = false)
     ?(location = Loc_off) ~archs () =
   let n = List.length archs in
   let reliable = not (Fault.Plan.is_trivial faults) in
@@ -359,6 +363,9 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
            K.set_quantum k quantum;
            K.set_dispatch_cache k
              (Mobility.Code_repository.dispatch_cache repo ~node:i);
+           K.set_bridge_cache k
+             (Mobility.Code_repository.bridge_cache repo ~node:i);
+           K.set_opt_level k opt_level;
            { n_kernel = k; n_clock = K.clock k; n_conv = CS.create ();
              n_crashed = false })
          archs)
@@ -404,6 +411,7 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       seen = Array.init n (fun _ -> Hashtbl.create 64);
       chaos = Array.make n [];
       quantum;
+      opt_levels = Array.make n opt_level;
       async_migration;
       balancer = None; balance_every = infinity; balance_at = infinity;
       last_prog = None;
@@ -506,15 +514,37 @@ let load_program t prog =
   Mobility.Code_repository.set_program t.repo prog;
   Array.iter (fun n -> K.load_program n.n_kernel prog) t.nodes
 
-let compile_and_load ?optimize t ~name source =
+let compile_and_load ?optimize ?levels t ~name source =
   let archs =
     List.sort_uniq
       (fun a b -> String.compare a.Isa.Arch.id b.Isa.Arch.id)
       (Array.to_list (Array.map (fun n -> K.arch n.n_kernel) t.nodes))
   in
-  let prog = Emc.Compile.compile_exn ?optimize ~name ~archs source in
+  (* with no explicit instance list, compile whatever the nodes are
+     configured to run: the [?optimize] level first (the primary, so
+     byte-for-byte compatible with the old single-instance path), then
+     any other per-node levels.  When every node wants the primary this
+     collapses to exactly the old call. *)
+  let levels =
+    match levels with
+    | Some _ -> levels
+    | None ->
+      let primary = Emc.Opt.of_optimize (optimize = Some true) in
+      if Array.for_all (Emc.Opt.equal primary) t.opt_levels then None
+      else Some (primary :: Array.to_list t.opt_levels)
+  in
+  let prog = Emc.Compile.compile_exn ?optimize ?levels ~name ~archs source in
   load_program t prog;
   prog
+
+let set_opt_level t ~node level =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Cluster.set_opt_level: node id out of range";
+  K.set_opt_level t.nodes.(node).n_kernel level;  (* refuses if code is loaded *)
+  t.opt_levels.(node) <- level
+
+let opt_level_of t node = K.opt_level t.nodes.(node).n_kernel
+let bridge_stats t = Mobility.Code_repository.bridge_stats t.repo
 
 let create_object t ~node ~class_name =
   let k = kernel t node in
@@ -799,6 +829,13 @@ and restart_node t i =
         K.charge_insns k CM.code_fetch_insns);
     K.set_quantum k t.quantum;
     K.set_dispatch_cache k (Mobility.Code_repository.dispatch_cache t.repo ~node:i);
+    (* bridge fragments address the dead kernel's text, so they are
+       cleared with the incarnation; the cache object (and its hit/miss
+       history) lives in the repository and survives, like the plans *)
+    let bridge = Mobility.Code_repository.bridge_cache t.repo ~node:i in
+    Ert.Bridge.clear bridge;
+    K.set_bridge_cache k bridge;
+    K.set_opt_level k t.opt_levels.(i);
     let done_tbl = t.shards.(t.owner.(i)).sh_root_done in
     K.set_on_root_result k (fun ~thread r -> Hashtbl.replace done_tbl thread r);
     (match t.last_prog with Some prog -> K.load_program k prog | None -> ());
@@ -908,6 +945,12 @@ and blit_pair t ~src ~dst =
     Isa.Arch.same_layout
       (K.arch t.nodes.(src).n_kernel)
       (K.arch t.nodes.(dst).n_kernel)
+    (* a blitted image replays the source's saved PCs verbatim, so both
+       ends must also be running the same code instance: differently-
+       optimized instances place their bus stops at different PCs *)
+    && Emc.Opt.equal
+         (K.opt_level t.nodes.(src).n_kernel)
+         (K.opt_level t.nodes.(dst).n_kernel)
   | Enet.Wire.Naive | Enet.Wire.Bulk | Enet.Wire.Plan -> false
 
 (* run an en/decode step and publish plan-cache and buffer-pool activity
@@ -1482,6 +1525,13 @@ let deliver t ~dst (m : Enet.Netsim.message) =
              objects = mstats.Mobility.Move.ap_objects;
              segments = mstats.Mobility.Move.ap_segments;
              frames = mstats.Mobility.Move.ap_frames });
+      if mstats.Mobility.Move.ap_bridged > 0 then
+        emit t ~node:dst
+          (E.Ev_bridge
+             { time = K.time_us k; node = dst;
+               count = mstats.Mobility.Move.ap_bridged;
+               src_level = mstats.Mobility.Move.ap_src_opt;
+               dst_level = Emc.Opt.to_int (K.opt_level k) });
       (* a move payload can land after its thread was reported lost (the
          abort raced a copy in flight); reap the resurrected segments so
          the dead continuation cannot run *)

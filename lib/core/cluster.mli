@@ -52,6 +52,7 @@ val create :
   ?scheduler:scheduler ->
   ?shards:int ->
   ?quantum:int ->
+  ?opt_level:Emc.Opt.level ->
   ?gc_threshold:int ->
   ?faults:Fault.Plan.t ->
   ?async_migration:bool ->
@@ -65,6 +66,13 @@ val create :
     (section 2.2.1).  Default: the Emerald discipline — control transfers
     only at bus stops.  [scheduler] selects the event-selection
     mechanism (default {!Heap}).
+
+    [opt_level] selects the code instance every node executes (default
+    {!Emc.Opt.O0}, the seed's straight template code); use
+    {!set_opt_level} before loading code to run a heterogeneous mix.
+    Threads migrating between differently-optimized nodes land through
+    compiled bridge fragments when their parked stop was elided at the
+    destination (DESIGN.md §16).
 
     [shards] partitions the nodes contiguously across that many OCaml
     domains, one event engine per shard (default 1; capped at one shard
@@ -173,8 +181,30 @@ val attach_profile : t -> Obs.Profile.t -> unit
 val load_program : t -> Emc.Compile.program -> unit
 (** Register the compiled program with every node (and the repository). *)
 
-val compile_and_load : ?optimize:bool -> t -> name:string -> string -> Emc.Compile.program
-(** Compile the source once for every architecture present and load it. *)
+val compile_and_load :
+  ?optimize:bool ->
+  ?levels:Emc.Opt.level list ->
+  t ->
+  name:string ->
+  string ->
+  Emc.Compile.program
+(** Compile the source once for every architecture present and load it.
+    Without [levels], the instance set is derived from the nodes'
+    configured optimization levels (primary first: the [?optimize]
+    level, preserving the old single-instance behaviour byte-for-byte
+    when every node runs it). *)
+
+val set_opt_level : t -> node:int -> Emc.Opt.level -> unit
+(** Pick the code instance the node executes.  Must be called before
+    any code is loaded on the node (the kernel refuses afterwards:
+    resident threads' saved PCs address the old instance). *)
+
+val opt_level_of : t -> int -> Emc.Opt.level
+
+val bridge_stats : t -> int * int
+(** Summed bridge-fragment cache [(hits, misses)] over every node —
+    nonzero only when differently-optimized nodes exchanged threads
+    parked at elided stops. *)
 
 val create_object : t -> node:int -> class_name:string -> Ert.Oid.t
 val where_is : t -> Ert.Oid.t -> int option

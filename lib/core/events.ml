@@ -54,6 +54,17 @@ type t =
           translate/rebuild passes were skipped, [false] when the pair
           fell back to the plan path.  Fires only under [--codec blit],
           so the legacy trace is unaffected. *)
+  | Ev_bridge of {
+      time : float;
+      node : int;
+      count : int;  (** arriving threads that landed via a bridge fragment *)
+      src_level : int;
+      dst_level : int;
+    }
+      (** a move landed threads at bus stops this node's code instance
+          elided, so they resume through compiled bridge fragments.
+          Fires only when nodes run differently-optimized instances, so
+          the legacy trace is unaffected. *)
 
 (* The exact line the seed's [(string -> unit)] trace hook printed for
    this event, if it printed one.  Events the seed had no line for
@@ -64,7 +75,7 @@ type t =
    byte-identical while making [--trace] useful under injection. *)
 let legacy_string = function
   | Ev_step _ | Ev_move_finish _ | Ev_conversion _ | Ev_plan _ | Ev_pool _
-  | Ev_span _ | Ev_blit _ -> None
+  | Ev_span _ | Ev_blit _ | Ev_bridge _ -> None
   | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
     Some
       (Printf.sprintf "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)"
@@ -153,6 +164,9 @@ let to_string ev =
   | Ev_blit { node; dest; skipped } ->
     Printf.sprintf "blit node=%d dest=%d %s" node dest
       (if skipped then "skip" else "fallback")
+  | Ev_bridge { time; node; count; src_level; dst_level } ->
+    Printf.sprintf "bridge node=%d t=%.0fus threads=%d O%d->O%d" node time count
+      src_level dst_level
   | _ -> ( match legacy_string ev with Some s -> s | None -> assert false)
 
 type counters = {
@@ -187,6 +201,8 @@ type counters = {
   mutable c_blit_skips : int;
       (* moves whose layout fingerprints matched: translate/rebuild skipped *)
   mutable c_blit_fallbacks : int;  (* blit-tier moves that took the plan path *)
+  mutable c_bridged : int;
+      (* arriving threads that landed through a compiled bridge fragment *)
 }
 
 let fresh_counters () =
@@ -221,6 +237,7 @@ let fresh_counters () =
     c_group_objects = 0;
     c_blit_skips = 0;
     c_blit_fallbacks = 0;
+    c_bridged = 0;
   }
 
 (* Per-shard window metrics for the sharded engine: how many windows the
@@ -318,6 +335,7 @@ let count bus ev =
   | Ev_blit { node; skipped; _ } ->
     if skipped then (c node).c_blit_skips <- (c node).c_blit_skips + 1
     else (c node).c_blit_fallbacks <- (c node).c_blit_fallbacks + 1
+  | Ev_bridge { node; count; _ } -> (c node).c_bridged <- (c node).c_bridged + count
   | Ev_crash _ | Ev_restart _ | Ev_thread_lost _ | Ev_search_found _
   | Ev_search_failed _ | Ev_span _ -> ()
 

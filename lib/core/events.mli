@@ -87,6 +87,18 @@ type t =
           the translate/rebuild passes were skipped at both ends,
           [false] when the pair fell back to the plan path.  Fires only
           under the blit wire tier, so legacy traces are unaffected. *)
+  | Ev_bridge of {
+      time : float;
+      node : int;  (** the destination *)
+      count : int;
+      src_level : int;
+      dst_level : int;
+    }
+      (** a landed move resumed [count] threads through compiled bridge
+          fragments: their parked bus stops have no exact correspondent
+          in this node's code instance ([dst_level], vs. the source's
+          [src_level]).  Fires only when nodes run differently-optimized
+          instances, so legacy traces are unaffected. *)
 
 val legacy_string : t -> string option
 (** The seed trace hook's line for this event; [None] for events the seed
@@ -130,6 +142,8 @@ type counters = {
       (** outgoing moves that took the common-layout blit fast path *)
   mutable c_blit_fallbacks : int;
       (** blit-tier moves whose pair mismatched: plan path used *)
+  mutable c_bridged : int;
+      (** arriving threads this node resumed through a bridge fragment *)
 }
 
 (** {1 The bus} *)

@@ -4,6 +4,7 @@ type entry = {
   be_pc : int;
   be_alt_pc : int option;
   be_exit_only : bool;
+  be_elided : bool;
   be_sp_depth : int;
   be_pop_bytes : int;
   be_kind : Ir.stop_kind;
@@ -33,7 +34,7 @@ let make ~arch_id ~entries ~frames =
   let by_pc = Hashtbl.create (Array.length entries * 2) in
   Array.iter
     (fun e ->
-      if not e.be_exit_only then begin
+      if not (e.be_exit_only || e.be_elided) then begin
         Hashtbl.replace by_pc e.be_pc e.be_id;
         match e.be_alt_pc with
         | Some pc -> Hashtbl.replace by_pc pc e.be_id
@@ -67,11 +68,12 @@ let pp ppf t =
   Format.fprintf ppf "bus stops (%s):@." t.bt_arch_id;
   Array.iter
     (fun e ->
-      Format.fprintf ppf "  stop %2d op %d pc %04x%s %s sp-depth %d%s@." e.be_id e.be_op
+      Format.fprintf ppf "  stop %2d op %d pc %04x%s %s sp-depth %d%s%s@." e.be_id e.be_op
         e.be_pc
         (match e.be_alt_pc with
         | Some p -> Printf.sprintf " alt %04x" p
         | None -> "")
         (kind_name e.be_kind) e.be_sp_depth
-        (if e.be_exit_only then " [exit-only]" else ""))
+        (if e.be_exit_only then " [exit-only]" else "")
+        (if e.be_elided then " [elided]" else ""))
     t.bt_entries

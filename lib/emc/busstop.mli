@@ -20,6 +20,12 @@ type entry = {
       (** remote-path [Syscall invoke] PC of an invocation stop — a second
           PC naming the same program point *)
   be_exit_only : bool;
+  be_elided : bool;
+      (** the optimizer removed this stop's [Poll] instruction from this
+          instance (-O2 loop-poll elision): [be_pc] is the loop's
+          back-branch, a valid state-equivalence point, but no instruction
+          here can suspend — a thread migrating in while parked at this
+          stop resumes through a dynamically generated bridge fragment *)
   be_sp_depth : int;  (** bytes of stack below FP while suspended here *)
   be_pop_bytes : int;
       (** outgoing-argument bytes the kernel pops when completing the
@@ -42,8 +48,9 @@ type table = {
 }
 
 val make : arch_id:string -> entries:entry array -> frames:frame_info array -> table
-(** Builds the PC index (excluding exit-only stops, including alternate
-    PCs).  @raise Invalid_argument if entries are not dense by id. *)
+(** Builds the PC index (excluding exit-only and elided stops, including
+    alternate PCs).  @raise Invalid_argument if entries are not dense by
+    id. *)
 
 val of_pc : table -> int -> entry option
 val by_id : table -> int -> entry

@@ -51,10 +51,10 @@ module Emitter = struct
     let idx = emit t insn in
     t.fixups <- (idx, l) :: t.fixups
 
-  (* run the peephole pass over the whole buffer, fixing labels and
+  (* run one optimizer pass over the whole buffer, fixing labels and
      branch fixups; returns a position remap for the caller's own tables
      (bus stops, method entries) *)
-  let optimize t ~protected_idx =
+  let optimize t ~protected_idx ~pass =
     let n = t.count in
     let insns = Array.sub t.insns 0 n in
     let protected = Array.make (max n 1) false in
@@ -63,7 +63,7 @@ module Emitter = struct
       let p = t.label_pos.(l) in
       if p >= 0 && p < n then protected.(p) <- true
     done;
-    let out, remap = Peephole.optimize ~family:t.family ~protected insns in
+    let out, remap = pass ~protected insns in
     let new_count = Array.length out in
     let remap_pos p = if p >= n then new_count else remap.(p) in
     t.insns <- Array.append out (Array.make (max 16 (n - new_count)) I.Nop);
@@ -161,6 +161,7 @@ module Make (F : FAMILY) = struct
     sp_pc_idx : int;
     sp_alt_idx : int option;
     sp_exit_only : bool;
+    sp_elided : bool;
     sp_pushed : int;
     sp_kind : Ir.stop_kind;
   }
@@ -181,7 +182,13 @@ module Make (F : FAMILY) = struct
     use_count : int array;  (* remaining uses per temp; dead temps free their registers *)
     labels : int array;
     stops : stop_proto list ref;
+    level : Opt.level;
     copt : bool;  (* -O1: cache variable values in registers between stops *)
+    edits : Opt.edit list ref;  (* per-instance optimizer provenance *)
+    mutable block_has_call : bool;
+        (* the current IR block recorded a system-call-bearing stop, so
+           every pass over its back edge already crosses a capture point
+           and -O2 may elide the loop poll *)
     var_cache : (int, R.t) Hashtbl.t;  (* var id -> register holding its value *)
     cache_of_reg : (R.t, int) Hashtbl.t;
   }
@@ -372,7 +379,12 @@ module Make (F : FAMILY) = struct
     | Some s -> F.store ctx.em ~src:r ~off:(slot_off ctx s)
     | None -> ()
 
-  let record_stop ctx ~id ~pc_idx ?alt_idx ?(exit_only = false) ~pushed ~kind () =
+  let record_stop ctx ~id ~pc_idx ?alt_idx ?(exit_only = false) ?(elided = false)
+      ~pushed ~kind () =
+    (match kind with
+    | Ir.Sk_loop -> ()
+    | Ir.Sk_invoke _ | Ir.Sk_new _ | Ir.Sk_builtin _ | Ir.Sk_mon_enter
+    | Ir.Sk_mon_dequeue | Ir.Sk_mon_wake -> ctx.block_has_call <- true);
     ctx.stops :=
       {
         sp_id = id;
@@ -380,6 +392,7 @@ module Make (F : FAMILY) = struct
         sp_pc_idx = pc_idx;
         sp_alt_idx = alt_idx;
         sp_exit_only = exit_only;
+        sp_elided = elided;
         sp_pushed = pushed;
         sp_kind = kind;
       }
@@ -606,15 +619,38 @@ module Make (F : FAMILY) = struct
       Emitter.branch em None ctx.labels.(if_false)
     | Ir.Tloop { target; stop } ->
       free_all ctx;
-      let idx = Emitter.emit em (I.Poll stop) in
-      record_stop ctx ~id:stop ~pc_idx:idx ~pushed:0 ~kind:(stop_kind ctx stop) ();
-      Emitter.branch em None ctx.labels.(target)
+      if Opt.(ctx.level >= O2) && ctx.block_has_call then begin
+        (* loop-poll elision: every pass over this back edge already
+           crosses a system-call bus stop in the same block, so the poll
+           adds no capture point the kernel cannot reach.  The stop stays
+           in the table (its state-equivalence point is the back branch)
+           but is marked elided: landing here from another instance goes
+           through a bridge fragment. *)
+        let idx = Emitter.next_index em in
+        record_stop ctx ~id:stop ~pc_idx:idx ~pushed:0 ~kind:(stop_kind ctx stop)
+          ~elided:true ();
+        ctx.edits :=
+          {
+            Opt.ed_pass = "poll-elide";
+            ed_index = idx;
+            ed_desc = Printf.sprintf "drop loop poll for stop %d (covered by a \
+                                      system-call stop in the same block)" stop;
+          }
+          :: !(ctx.edits);
+        Emitter.branch em None ctx.labels.(target)
+      end
+      else begin
+        let idx = Emitter.emit em (I.Poll stop) in
+        record_stop ctx ~id:stop ~pc_idx:idx ~pushed:0 ~kind:(stop_kind ctx stop) ();
+        Emitter.branch em None ctx.labels.(target)
+      end
     | Ir.Treturn ->
       free_all ctx;
       let result_offset = Option.map (fun v -> var_off ctx v) ctx.ir.Ir.oi_result in
       F.epilogue em ~result_offset
 
-  let compile_op em ~copt ~nmethods ~stops (op_ir : Ir.op_ir) (tmpl : Template.op_t) =
+  let compile_op em ~level ~edits ~nmethods ~stops (op_ir : Ir.op_ir)
+      (tmpl : Template.op_t) =
     let n_slots = tmpl.Template.ot_nslots in
     let frame_size = F.frame_size ~n_slots ~n_scratch:n_scratch_slots in
     let entry_idx = Emitter.next_index em in
@@ -647,7 +683,10 @@ module Make (F : FAMILY) = struct
         free_spills = List.init n_scratch_slots Fun.id;
         labels = Array.map (fun (b : Ir.block) -> b.Ir.b_label) op_ir.Ir.oi_blocks;
         stops;
-        copt;
+        level;
+        copt = Opt.(level >= O1);
+        edits;
+        block_has_call = false;
         var_cache = Hashtbl.create 8;
         cache_of_reg = Hashtbl.create 8;
       }
@@ -662,6 +701,7 @@ module Make (F : FAMILY) = struct
       (fun bi (blk : Ir.block) ->
         Emitter.place em ctx.labels.(bi);
         free_all ctx;
+        ctx.block_has_call <- false;
         List.iter (gen_instr ctx) blk.Ir.b_instrs;
         gen_term ctx blk.Ir.b_term)
       op_ir.Ir.oi_blocks;
@@ -675,43 +715,59 @@ module Make (F : FAMILY) = struct
     in
     (entry_idx, frame)
 
-  let compile_class ?(optimize = false) ~arch ~code_oid (cl : Ir.class_ir)
+  let compile_class_at ?(level = Opt.O0) ~arch ~code_oid (cl : Ir.class_ir)
       (ctmpl : Template.class_t) =
     assert (A.equal_family arch.A.family F.family);
     let em = Emitter.create F.family in
     let nmethods = Array.length cl.Ir.cl_ops in
     let stops = ref [] in
+    let edits = ref [] in
     let results =
       Array.map2
-        (fun op_ir tmpl -> compile_op em ~copt:optimize ~nmethods ~stops op_ir tmpl)
+        (fun op_ir tmpl -> compile_op em ~level ~edits ~nmethods ~stops op_ir tmpl)
         cl.Ir.cl_ops ctmpl.Template.ct_ops
     in
+    (* the optimizer pass pipeline; each pass protects every bus-stop PC,
+       alternate PC and method entry, and remaps them afterwards *)
+    let apply_pass pass results =
+      let protected_idx =
+        List.concat_map
+          (fun p ->
+            p.sp_pc_idx
+            ::
+            (match p.sp_alt_idx with
+            | Some a -> [ a ]
+            | None -> []))
+          !stops
+        @ Array.to_list (Array.map fst results)
+      in
+      let remap = Emitter.optimize em ~protected_idx ~pass in
+      stops :=
+        List.map
+          (fun p ->
+            {
+              p with
+              sp_pc_idx = remap p.sp_pc_idx;
+              sp_alt_idx = Option.map remap p.sp_alt_idx;
+            })
+          !stops;
+      Array.map (fun (entry_idx, frame) -> (remap entry_idx, frame)) results
+    in
     let results =
-      if not optimize then results
-      else begin
-        let protected_idx =
-          List.concat_map
-            (fun p ->
-              p.sp_pc_idx
-              ::
-              (match p.sp_alt_idx with
-              | Some a -> [ a ]
-              | None -> []))
-            !stops
-          @ Array.to_list (Array.map fst results)
-        in
-        let remap = Emitter.optimize em ~protected_idx in
-        stops :=
-          List.map
-            (fun p ->
-              {
-                p with
-                sp_pc_idx = remap p.sp_pc_idx;
-                sp_alt_idx = Option.map remap p.sp_alt_idx;
-              })
-            !stops;
-        Array.map (fun (entry_idx, frame) -> (remap entry_idx, frame)) results
-      end
+      if Opt.(level >= O1) then
+        apply_pass
+          (fun ~protected insns ->
+            Peephole.optimize ~family:F.family ~protected ~edits insns)
+          results
+      else results
+    in
+    let results =
+      if Opt.(level >= O2) then
+        apply_pass
+          (fun ~protected insns ->
+            Opt2.optimize ~family:F.family ~protected ~edits insns)
+          results
+      else results
     in
     let methods =
       Array.map2
@@ -720,7 +776,8 @@ module Make (F : FAMILY) = struct
     in
     let insns = Emitter.finalize em in
     let code =
-      Isa.Code.make ~arch ~code_oid ~class_name:cl.Ir.cl_name ~methods insns
+      Isa.Code.make ~inst:(Opt.to_int level) ~arch ~code_oid
+        ~class_name:cl.Ir.cl_name ~methods insns
     in
     let offset_of idx =
       if idx >= Array.length code.Isa.Code.offsets then code.Isa.Code.byte_size
@@ -741,6 +798,7 @@ module Make (F : FAMILY) = struct
                be_pc = offset_of p.sp_pc_idx;
                be_alt_pc = Option.map offset_of p.sp_alt_idx;
                be_exit_only = p.sp_exit_only;
+               be_elided = p.sp_elided;
                be_sp_depth =
                  F.fixed_sp_depth ~frame_size + F.arg_push_bytes p.sp_pushed;
                be_pop_bytes = F.arg_push_bytes p.sp_pushed;
@@ -750,5 +808,11 @@ module Make (F : FAMILY) = struct
     in
     let frames = Array.map snd results in
     let table = Busstop.make ~arch_id:arch.A.id ~entries ~frames in
+    (code, table, List.rev !edits)
+
+  let compile_class ?(optimize = false) ~arch ~code_oid cl ctmpl =
+    let code, table, _ =
+      compile_class_at ~level:(Opt.of_optimize optimize) ~arch ~code_oid cl ctmpl
+    in
     (code, table)
 end

@@ -22,9 +22,14 @@ module Emitter : sig
   val branch : t -> Isa.Insn.cmp option -> int -> unit
   (** conditional or unconditional branch to a label, fixed up later *)
 
-  val optimize : t -> protected_idx:int list -> int -> int
-  (** Run the between-bus-stops peephole pass ({!Peephole}) over the
-      emitted buffer, fixing labels and branch fixups in place.
+  val optimize :
+    t ->
+    protected_idx:int list ->
+    pass:(protected:bool array -> Isa.Insn.t array -> Isa.Insn.t array * int array) ->
+    int ->
+    int
+  (** Run one between-bus-stops optimizer pass ({!Peephole}, {!Opt2}) over
+      the emitted buffer, fixing labels and branch fixups in place.
       [protected_idx] lists instruction indexes that must survive (bus
       stops, method entries); the returned function remaps old indexes to
       new ones. *)
@@ -107,6 +112,19 @@ module type FAMILY = sig
 end
 
 module Make (F : FAMILY) : sig
+  val compile_class_at :
+    ?level:Opt.level ->
+    arch:Isa.Arch.t ->
+    code_oid:int32 ->
+    Ir.class_ir ->
+    Template.class_t ->
+    Isa.Code.t * Busstop.table * Opt.edit list
+  (** Compile one code instance of the class at the given optimization
+      level (default [O0]).  The returned code is tagged with the level
+      ({!Isa.Code.t.code_inst}); the edit list records, in application
+      order, every optimizer transformation with the pass name and the
+      index into that pass's input buffer ([emdis --opt-diff] provenance). *)
+
   val compile_class :
     ?optimize:bool ->
     arch:Isa.Arch.t ->
@@ -114,4 +132,6 @@ module Make (F : FAMILY) : sig
     Ir.class_ir ->
     Template.class_t ->
     Isa.Code.t * Busstop.table
+  (** Back-compatible wrapper: [optimize:false] is [compile_class_at
+      ~level:O0], [optimize:true] is [~level:O1]. *)
 end

@@ -14,3 +14,11 @@ val compile_class :
   Ir.class_ir ->
   Template.class_t ->
   Isa.Code.t * Busstop.table
+
+val compile_class_at :
+  ?level:Opt.level ->
+  arch:Isa.Arch.t ->
+  code_oid:int32 ->
+  Ir.class_ir ->
+  Template.class_t ->
+  Isa.Code.t * Busstop.table * Opt.edit list

@@ -1,7 +1,10 @@
 type arch_artifact = {
   aa_arch : Isa.Arch.t;
+  aa_level : Opt.level;
   aa_code : Isa.Code.t;
   aa_stops : Busstop.table;
+  aa_edits : Opt.edit list;
+  aa_stop_live : Template.entity_slot list array;
 }
 
 type compiled_class = {
@@ -10,7 +13,8 @@ type compiled_class = {
   cc_oid : int32;
   cc_template : Template.class_t;
   cc_ir : Ir.class_ir;
-  cc_arts : (string * arch_artifact) list;
+  cc_levels : Opt.level list;
+  cc_arts : ((string * Opt.level) * arch_artifact) list;
 }
 
 type program = {
@@ -21,11 +25,20 @@ type program = {
 
 let backend_for (arch : Isa.Arch.t) =
   match arch.Isa.Arch.family with
-  | Isa.Arch.Vax -> Codegen_vax.compile_class
-  | Isa.Arch.M68k -> Codegen_m68k.compile_class
-  | Isa.Arch.Sparc -> Codegen_sparc.compile_class
+  | Isa.Arch.Vax -> Codegen_vax.compile_class_at
+  | Isa.Arch.M68k -> Codegen_m68k.compile_class_at
+  | Isa.Arch.Sparc -> Codegen_sparc.compile_class_at
 
-let compile_exn ?db ?(optimize = false) ~name ~archs source =
+(* dedup preserving first occurrence: the first level is the primary one *)
+let norm_levels levels =
+  List.fold_left (fun acc l -> if List.mem l acc then acc else acc @ [ l ]) [] levels
+
+let compile_exn ?db ?(optimize = false) ?levels ~name ~archs source =
+  let levels =
+    match levels with
+    | Some [] | None -> [ Opt.of_optimize optimize ]
+    | Some ls -> norm_levels ls
+  in
   let db =
     match db with
     | Some db -> db
@@ -39,14 +52,28 @@ let compile_exn ?db ?(optimize = false) ~name ~archs source =
       (fun (cl : Ir.class_ir) ->
         let oid = Program_db.assign db ~program:name ~class_name:cl.Ir.cl_name in
         let template = Slot_alloc.build_class cl ~oid in
+        let stop_live =
+          Array.init template.Template.ct_nstops (fun id ->
+              (Template.stop_by_id template id).Template.st_live)
+        in
         let arts =
-          List.map
+          List.concat_map
             (fun arch ->
-              let code, stops =
-                (backend_for arch) ~optimize ~arch ~code_oid:oid cl template
-              in
-              ( arch.Isa.Arch.id,
-                { aa_arch = arch; aa_code = code; aa_stops = stops } ))
+              List.map
+                (fun level ->
+                  let code, stops, edits =
+                    (backend_for arch) ~level ~arch ~code_oid:oid cl template
+                  in
+                  ( (arch.Isa.Arch.id, level),
+                    {
+                      aa_arch = arch;
+                      aa_level = level;
+                      aa_code = code;
+                      aa_stops = stops;
+                      aa_edits = edits;
+                      aa_stop_live = stop_live;
+                    } ))
+                levels)
             archs
         in
         {
@@ -55,22 +82,30 @@ let compile_exn ?db ?(optimize = false) ~name ~archs source =
           cc_oid = oid;
           cc_template = template;
           cc_ir = cl;
+          cc_levels = levels;
           cc_arts = arts;
         })
       ir.Ir.pr_classes
   in
   { p_name = name; p_ir = ir; p_classes = classes }
 
-let compile ?db ?optimize ~name ~archs source =
-  match compile_exn ?db ?optimize ~name ~archs source with
+let compile ?db ?optimize ?levels ~name ~archs source =
+  match compile_exn ?db ?optimize ?levels ~name ~archs source with
   | prog -> Ok prog
   | exception Diag.Compile_error errs -> Error errs
 
 let find_class prog name =
   Array.find_opt (fun c -> String.equal c.cc_name name) prog.p_classes
 
+let primary_level cc =
+  match cc.cc_levels with
+  | l :: _ -> l
+  | [] -> Opt.O0
+
+let artifact_at cc ~arch_id ~level = List.assoc_opt (arch_id, level) cc.cc_arts
+
 let artifact cc ~arch_id =
-  match List.assoc_opt arch_id cc.cc_arts with
+  match artifact_at cc ~arch_id ~level:(primary_level cc) with
   | Some a -> a
   | None ->
     invalid_arg

@@ -1,0 +1,133 @@
+(* -O2: windowed redundant-load elimination / slot-to-register promotion.
+
+   {!Peephole} (-O1) only sees immediately adjacent store/reload pairs.
+   This pass tracks, across each straight-line window, which register
+   last stored to or loaded from each stable memory operand (frame slot
+   or absolute), and rewrites later reloads of the same location into
+   register moves — or deletes them outright when the value is already in
+   the destination register.
+
+   Windows are conservative: all facts die at every protected index
+   (bus-stop PCs, method entries, label positions — each is a potential
+   resume or join point where only slots, SP and FP are guaranteed), at
+   every control transfer, at system calls and polls, at stack-shape
+   instructions, and whenever a register a fact depends on is written.
+   This keeps the canonical-slots-at-stops mobility contract intact by
+   construction: no store to a slot is ever removed or moved, so the
+   memory image at every bus stop is identical to the -O0 instance's. *)
+
+module I = Isa.Insn
+module O = Isa.Operand
+
+let stable_mem = function
+  | O.Mem (O.Disp (_, _) as m) -> Some m
+  | O.Mem (O.Abs _ as m) -> Some m
+  | O.Mem (O.Autoinc _) | O.Mem (O.Autodec _) | O.Reg _ | O.Imm _ -> None
+
+let mem_base = function
+  | O.Disp (r, _) -> Some r
+  | O.Abs _ -> None
+  | O.Autoinc r | O.Autodec r -> Some r
+
+(* two stable operands that certainly do not overlap (all generated
+   accesses are 4-byte words at 4-aligned offsets) *)
+let disjoint m1 m2 =
+  match (m1, m2) with
+  | O.Disp (r1, d1), O.Disp (r2, d2) -> r1 = r2 && abs (d1 - d2) >= 4
+  | O.Abs a1, O.Abs a2 -> Int32.abs (Int32.sub a1 a2) >= 4l
+  | _, _ -> false
+
+let auto_modified = function
+  | O.Mem (O.Autoinc r) | O.Mem (O.Autodec r) -> Some r
+  | O.Mem (O.Disp (_, _)) | O.Mem (O.Abs _) | O.Reg _ | O.Imm _ -> None
+
+let optimize ~family ~protected ?edits insns =
+  let n = Array.length insns in
+  let out = Array.copy insns in
+  let deleted = Array.make n false in
+  let facts : (O.mem * Isa.Reg.t) list ref = ref [] in
+  let reset () = facts := [] in
+  let kill_reg r =
+    facts := List.filter (fun (m, fr) -> fr <> r && mem_base m <> Some r) !facts
+  in
+  let kill_mem m = facts := List.filter (fun (m', _) -> disjoint m m') !facts in
+  let record pass i desc =
+    match edits with
+    | Some l -> l := { Opt.ed_pass = pass; ed_index = i; ed_desc = desc } :: !l
+    | None -> ()
+  in
+  let pp_insn insn = Format.asprintf "%a" (I.pp family) insn in
+  (* generic effect of an instruction on the fact set, for everything the
+     main match does not model precisely *)
+  let generic_effect insn =
+    let dst_effect d =
+      match d with
+      | O.Reg r -> kill_reg r
+      | O.Mem (O.Disp (_, _) as m) | O.Mem (O.Abs _ as m) -> kill_mem m
+      | O.Mem (O.Autoinc _) | O.Mem (O.Autodec _) | O.Imm _ -> reset ()
+    in
+    let auto ops = if List.exists (fun o -> auto_modified o <> None) ops then reset () in
+    match insn with
+    | I.Mov (a, b) ->
+      auto [ a; b ];
+      dst_effect b
+    | I.Bin3 (_, a, b, c) | I.Fbin3 (_, a, b, c) ->
+      auto [ a; b; c ];
+      dst_effect c
+    | I.Bin2 (_, a, b) | I.Fbin2 (_, a, b) ->
+      auto [ a; b ];
+      dst_effect b
+    | I.Neg (a, b) | I.Fneg (a, b) | I.Cvt_if (a, b) | I.Cvt_fi (a, b) ->
+      auto [ a; b ];
+      dst_effect b
+    | I.Cmp (a, b) | I.Fcmp (a, b) -> auto [ a; b ]
+    | I.Sethi (_, r) -> kill_reg r
+    | I.Nop -> ()
+    | I.Bcc _ | I.Br _ | I.Jmp_abs _ | I.Jsr_ind _ | I.Push _ | I.Vax_entry _
+    | I.Vax_ret | I.Link _ | I.Unlk | I.Rts | I.Save _ | I.Restore | I.Retl
+    | I.Syscall _ | I.Poll _ | I.Remque _ | I.Halt -> reset ()
+  in
+  for i = 0 to n - 1 do
+    if protected.(i) then reset ();
+    if not deleted.(i) then begin
+      match out.(i) with
+      | I.Mov (src, O.Reg r) when stable_mem src <> None -> (
+        let m = Option.get (stable_mem src) in
+        match List.find_opt (fun (m', _) -> m' = m) !facts with
+        | Some (_, r') when not protected.(i) ->
+          if r' = r then begin
+            record "rle" i (Printf.sprintf "drop redundant reload: %s" (pp_insn out.(i)));
+            deleted.(i) <- true
+            (* facts unchanged: r still holds m *)
+          end
+          else begin
+            record "rle" i
+              (Printf.sprintf "promote reload to register move: %s" (pp_insn out.(i)));
+            out.(i) <- I.Mov (O.Reg r', O.Reg r);
+            kill_reg r;
+            facts := (m, r) :: !facts
+          end
+        | Some _ | None ->
+          (* plain load: afterwards r mirrors m (unless m is based on r) *)
+          kill_reg r;
+          if mem_base m <> Some r then facts := (m, r) :: !facts
+        )
+      | I.Mov (O.Reg r, dst) when stable_mem dst <> None ->
+        (* store through: memory at m now equals r *)
+        let m = Option.get (stable_mem dst) in
+        kill_mem m;
+        if mem_base m <> Some r then facts := (m, r) :: !facts
+      | insn -> generic_effect insn
+    end
+  done;
+  let remap = Array.make n 0 in
+  let kept = ref [] in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    remap.(i) <- !pos;
+    if not deleted.(i) then begin
+      kept := out.(i) :: !kept;
+      incr pos
+    end
+  done;
+  (Array.of_list (List.rev !kept), remap)

@@ -15,7 +15,20 @@ let mem_base = function
   | O.Abs _ -> None
   | O.Autoinc r | O.Autodec r -> Some r
 
-let optimize ~family ~protected insns =
+let optimize ~family ~protected ?edits insns =
+  let record i desc insn =
+    match edits with
+    | Some l ->
+      l :=
+        {
+          Opt.ed_pass = "peephole";
+          ed_index = i;
+          ed_desc =
+            Printf.sprintf "%s: %s" desc (Format.asprintf "%a" (I.pp family) insn);
+        }
+        :: !l
+    | None -> ()
+  in
   let n = Array.length insns in
   let out = Array.copy insns in
   let deleted = Array.make n false in
@@ -32,8 +45,14 @@ let optimize ~family ~protected insns =
           | I.Mov (O.Reg r, store_dst), I.Mov (load_src, O.Reg r') -> (
             match stable_mem store_dst, stable_mem load_src with
             | Some m1, Some m2 when m1 = m2 && mem_base m1 <> Some r ->
-              if r = r' then deleted.(j) <- true
-              else out.(j) <- I.Mov (O.Reg r, O.Reg r')
+              if r = r' then begin
+                record j "drop adjacent reload" out.(j);
+                deleted.(j) <- true
+              end
+              else begin
+                record j "promote adjacent reload to register move" out.(j);
+                out.(j) <- I.Mov (O.Reg r, O.Reg r')
+              end
             | _, _ -> ())
           | _, _ -> ()
         end
@@ -43,11 +62,12 @@ let optimize ~family ~protected insns =
   for i = 0 to n - 1 do
     if (not deleted.(i)) && not protected.(i) then begin
       match out.(i) with
-      | I.Mov (O.Reg a, O.Reg b) when a = b -> deleted.(i) <- true
+      | I.Mov (O.Reg a, O.Reg b) when a = b ->
+        record i "drop register self-move" out.(i);
+        deleted.(i) <- true
       | _ -> ()
     end
   done;
-  ignore family;
   let remap = Array.make n 0 in
   let kept = ref [] in
   let pos = ref 0 in

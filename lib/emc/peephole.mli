@@ -19,6 +19,7 @@
 val optimize :
   family:Isa.Arch.family ->
   protected:bool array ->
+  ?edits:Opt.edit list ref ->
   Isa.Insn.t array ->
   Isa.Insn.t array * int array
 (** [optimize ~family ~protected insns] returns the optimized instruction
@@ -26,7 +27,9 @@ val optimize :
     instruction [i] (or of the next surviving instruction when [i] was
     deleted).  [protected.(i)] marks instructions that must survive
     unchanged and must not rely on fall-through context (branch targets,
-    bus stops, method entries). *)
+    bus stops, method entries).  When [edits] is given, every deletion and
+    rewrite is prepended to it as a provenance record ({!Opt.edit},
+    indexes into this pass's input buffer). *)
 
 val saved : before:Isa.Insn.t array -> after:Isa.Insn.t array -> int
 (** Instructions removed. *)

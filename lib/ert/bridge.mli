@@ -1,0 +1,47 @@
+(** Per-node cache of compiled bridge fragments.
+
+    The paper's bridging mechanism (section 2.4) for migration between
+    differently-optimized code instances: when an arriving thread is
+    parked at a bus stop the target instance elided (-O2 loop-poll
+    elision), the kernel synthesizes a fragment of real target-ISA code
+    — [Poll stop; Jmp_abs resume] — that re-enters the instance at the
+    stop's state-equivalence point without executing any source-level
+    action.  Fragments are cached per (class code OID, stop id) and
+    loaded into text under synthetic negative code OIDs (program OIDs
+    are positive, so the spaces are disjoint). *)
+
+type frag = {
+  fg_oid : int32;  (** synthetic (negative) code OID of the loaded fragment *)
+  fg_class_index : int;
+  fg_stop_id : int;
+  fg_base : int;  (** absolute address of the fragment's first instruction *)
+}
+
+type t
+
+val create : unit -> t
+
+val fresh_oid : t -> int32
+(** Next synthetic fragment OID (negative, node-local). *)
+
+val is_frag_oid : int32 -> bool
+(** True for synthetic fragment OIDs (negative). *)
+
+val find : t -> code_oid:int32 -> stop_id:int -> frag option
+(** Cache lookup; counts a hit or a miss. *)
+
+val add : t -> code_oid:int32 -> frag -> unit
+(** Register a freshly generated fragment under the class's code OID. *)
+
+val of_frag_oid : t -> int32 -> frag option
+(** Resolve a fragment by its synthetic OID (PC-to-stop resolution for
+    threads suspended inside a bridge). *)
+
+val clear : t -> unit
+(** Drop every fragment (hit/miss counters and the OID serial survive):
+    fragment addresses point into kernel text, so a node restart must
+    void them before reusing the cache. *)
+
+val count : t -> int
+val hits : t -> int
+val misses : t -> int

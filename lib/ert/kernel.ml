@@ -101,6 +101,16 @@ type t = {
   mutable kthreaded : bool;
       (* execute through Isa.Dispatch (default) or the baseline
          fetch/decode Machine.run (for differential tests and bench) *)
+  mutable kopt : Emc.Opt.level;
+      (* preferred code instance: the kernel loads the program's
+         (arch, kopt) instance when it was compiled, falling back to the
+         program's primary level *)
+  mutable kbridge : Bridge.t;
+      (* compiled bridge fragments for landing threads parked at bus
+         stops this node's instance elided; the cluster points it at the
+         code repository's per-node cache so the counters survive a node
+         restart (the fragments themselves are voided — they address
+         kernel text) *)
 }
 
 let create ?clock ~node_id ~arch () =
@@ -143,6 +153,8 @@ let create ?clock ~node_id ~arch () =
     peak_ready = 0;
     kdispatch = Isa.Dispatch.create_cache ();
     kthreaded = true;
+    kopt = Emc.Opt.O0;
+    kbridge = Bridge.create ();
   }
 
 let node_id t = t.knode_id
@@ -257,7 +269,14 @@ let loaded_class t class_index =
   | None ->
     let prog = program t in
     let cc = Emc.Compile.class_by_index prog class_index in
-    let art = Emc.Compile.artifact cc ~arch_id:t.karch.A.id in
+    let art =
+      (* exact (arch, level) instance when the program carries it;
+         otherwise the program's primary instance (single-level programs
+         behave exactly as before the instance refactor) *)
+      match Emc.Compile.artifact_at cc ~arch_id:t.karch.A.id ~level:t.kopt with
+      | Some art -> art
+      | None -> Emc.Compile.artifact cc ~arch_id:t.karch.A.id
+    in
     let code = art.Emc.Compile.aa_code in
     let image = Isa.Text.load t.ktext code in
     let nmethods = Array.length code.Isa.Code.methods in
@@ -304,6 +323,15 @@ let set_dispatch_cache t c = t.kdispatch <- c
 let dispatch_stats t = Isa.Dispatch.stats t.kdispatch
 let set_threaded t b = t.kthreaded <- b
 let threaded t = t.kthreaded
+
+let set_opt_level t l =
+  if Hashtbl.length t.loaded > 0 && not (Emc.Opt.equal l t.kopt) then
+    error "node %d: cannot change optimization level after code is loaded" t.knode_id;
+  t.kopt <- l
+
+let opt_level t = t.kopt
+let bridge t = t.kbridge
+let set_bridge_cache t c = t.kbridge <- c
 
 (* Objects ----------------------------------------------------------------- *)
 
@@ -505,18 +533,29 @@ let stop_at_pc t pc =
   | None -> None
   | Some img -> (
     let code_oid = img.Isa.Text.code.Isa.Code.code_oid in
-    let lc =
-      Hashtbl.fold
-        (fun _ lc acc ->
-          if Int32.equal lc.lc_code.Isa.Code.code_oid code_oid then Some lc else acc)
-        t.loaded None
-    in
-    match lc with
-    | None -> None
-    | Some lc -> (
-      match Emc.Busstop.of_pc lc.lc_stops (pc - img.Isa.Text.base) with
-      | Some entry -> Some (lc, entry)
-      | None -> None))
+    if Bridge.is_frag_oid code_oid then
+      (* suspended inside a bridge fragment: the thread is at the elided
+         stop of the real class — same stop id, same frame, so capture
+         (and hence re-migration from inside a bridge) needs no special
+         case *)
+      match Bridge.of_frag_oid t.kbridge code_oid with
+      | None -> None
+      | Some f ->
+        let lc = loaded_class t f.Bridge.fg_class_index in
+        Some (lc, Emc.Busstop.by_id lc.lc_stops f.Bridge.fg_stop_id)
+    else
+      let lc =
+        Hashtbl.fold
+          (fun _ lc acc ->
+            if Int32.equal lc.lc_code.Isa.Code.code_oid code_oid then Some lc else acc)
+          t.loaded None
+      in
+      match lc with
+      | None -> None
+      | Some lc -> (
+        match Emc.Busstop.of_pc lc.lc_stops (pc - img.Isa.Text.base) with
+        | Some entry -> Some (lc, entry)
+        | None -> None))
 
 let at_stop t (seg : Thread.segment) =
   match seg.Thread.seg_status with
@@ -533,6 +572,49 @@ let frame_info t ~class_index ~method_index =
 
 let image_of_class t class_index = (loaded_class t class_index).lc_image
 let abs_pc t ~class_index off = (image_of_class t class_index).Isa.Text.base + off
+
+(* Bridge fragments: real target-ISA code generated for a landing thread
+   parked at a bus stop this node's instance elided (section 2.4).  The
+   fragment polls at the stop — so an armed eviction trap or poll request
+   can capture the thread the moment it lands, reporting the same stop —
+   then jumps to the stop's resume point in the class image.  No
+   source-level action executes in between: exactly-once by
+   construction. *)
+let ensure_bridge t ~class_index (entry : Emc.Busstop.entry) =
+  let lc = loaded_class t class_index in
+  let code_oid = lc.lc_code.Isa.Code.code_oid in
+  let stop_id = entry.Emc.Busstop.be_id in
+  match Bridge.find t.kbridge ~code_oid ~stop_id with
+  | Some f -> f
+  | None ->
+    let cont = lc.lc_image.Isa.Text.base + entry.Emc.Busstop.be_pc in
+    let insns = [| Isa.Insn.Poll stop_id; Isa.Insn.Jmp_abs cont |] in
+    let frag_oid = Bridge.fresh_oid t.kbridge in
+    let code =
+      Isa.Code.make ~arch:t.karch ~code_oid:frag_oid
+        ~class_name:
+          (Printf.sprintf "%s$bridge%d" lc.lc_code.Isa.Code.class_name stop_id)
+        ~methods:[||] insns
+    in
+    let image = Isa.Text.load t.ktext code in
+    let f =
+      {
+        Bridge.fg_oid = frag_oid;
+        fg_class_index = class_index;
+        fg_stop_id = stop_id;
+        fg_base = image.Isa.Text.base;
+      }
+    in
+    Bridge.add t.kbridge ~code_oid f;
+    f
+
+(* where a thread parked at [entry] resumes on this node: the stop's PC
+   in the class image, or a bridge fragment when this node's instance
+   elided the stop *)
+let resume_abs t ~class_index (entry : Emc.Busstop.entry) =
+  if entry.Emc.Busstop.be_elided then
+    (ensure_bridge t ~class_index entry).Bridge.fg_base
+  else abs_pc t ~class_index entry.Emc.Busstop.be_pc
 
 (* Threads --------------------------------------------------------------------- *)
 
@@ -1195,7 +1277,20 @@ let capturable t (seg : Thread.segment) =
   seg.Thread.seg_live
   && (match seg.Thread.seg_status with
      | Thread.Running | Thread.Dead -> false
-     | Thread.Parked S.Run -> at_stop t seg
+     | Thread.Parked S.Run ->
+       (* A segment parked at a system-call stop PRE-execution (only
+          reachable via [advance_to_stop] after preemption) still holds
+          its call arguments in machine-dependent form — pushed on the
+          stack on the CISCs, staged in out-registers on SPARC — and
+          those are not part of the stop's canonical slot map.  Capturing
+          here would re-execute the call on the target with lost
+          arguments.  Defer: the trap stays armed and fires one dispatch
+          later, at the post-execution [Parked (Complete _)] parking,
+          where the arguments are consumed and state is slot-canonical. *)
+       seg.Thread.seg_spawn <> None
+       || (match stop_at_pc t seg.Thread.seg_ctx.M.pc with
+          | Some (_, entry) -> entry.Emc.Busstop.be_kind = Emc.Ir.Sk_loop
+          | None -> false)
      | Thread.Parked _ | Thread.Blocked_monitor _ | Thread.Awaiting_reply _ ->
        true)
 

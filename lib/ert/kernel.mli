@@ -192,10 +192,35 @@ val raw_of_value : t -> Value.t -> int32
 
 (* bus stops *)
 val stop_at_pc : t -> int -> (loaded_class * Emc.Busstop.entry) option
+(** Resolve an absolute PC to the loaded class and bus stop it parks at.
+    A PC inside a bridge fragment resolves to the real class and the
+    elided stop the fragment bridges — capture inside a bridge looks
+    identical to capture at the stop itself. *)
+
 val stop_by_id : t -> class_index:int -> stop_id:int -> Emc.Busstop.entry
 val frame_info : t -> class_index:int -> method_index:int -> Emc.Busstop.frame_info
 val abs_pc : t -> class_index:int -> int -> int
 val image_of_class : t -> int -> Isa.Text.image
+
+val resume_abs : t -> class_index:int -> Emc.Busstop.entry -> int
+(** Absolute resume PC for a thread parked at the stop: the stop's PC in
+    this node's class image, or — when this node's instance elided the
+    stop — the base of a (cached) compiled bridge fragment
+    ([Poll stop; Jmp_abs resume], section 2.4) that re-enters the image
+    without executing any source-level action. *)
+
+val ensure_bridge : t -> class_index:int -> Emc.Busstop.entry -> Bridge.frag
+(** The bridge fragment for an elided stop, generating and loading it on
+    first use. *)
+
+val bridge : t -> Bridge.t
+(** This node's bridge-fragment cache (statistics). *)
+
+val set_bridge_cache : t -> Bridge.t -> unit
+(** Point the kernel at a shared bridge-fragment cache (the code
+    repository keeps one per node so hit/miss counters survive a node
+    restart; the restart path clears the fragments themselves, which
+    address the dead kernel's text). *)
 
 (* threads and segments *)
 val segments : t -> Thread.segment list
@@ -311,6 +336,14 @@ val set_threaded : t -> bool -> unit
     and the interpreter benchmark. *)
 
 val threaded : t -> bool
+
+val set_opt_level : t -> Emc.Opt.level -> unit
+(** Select which code instance this node runs: the program's
+    [(arch, level)] instance when compiled, else the program's primary
+    instance.  Must be set before any code is loaded.
+    @raise Failure after a class has been loaded at a different level. *)
+
+val opt_level : t -> Emc.Opt.level
 
 val at_stop : t -> Thread.segment -> bool
 (** Is this segment's state well defined (at a bus stop / fully

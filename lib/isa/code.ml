@@ -6,6 +6,7 @@ type method_info = {
 
 type t = {
   code_oid : int32;
+  code_inst : int;  (* instance tag: optimization level of this body *)
   class_name : string;
   arch : Arch.t;
   insns : Insn.t array;
@@ -27,7 +28,7 @@ let compute_offsets family insns =
   done;
   (offsets, !pos)
 
-let make ~arch ~code_oid ~class_name ~methods insns =
+let make ?(inst = 0) ~arch ~code_oid ~class_name ~methods insns =
   let offsets, byte_size = compute_offsets arch.Arch.family insns in
   (* the instruction-fetch tables: the interpreter decodes once per
      executed instruction, so boundary lookup, size, and cycle cost are
@@ -44,8 +45,8 @@ let make ~arch ~code_oid ~class_name ~methods insns =
       methods
   in
   {
-    code_oid; class_name; arch; insns; offsets; byte_size; methods;
-    index_dense; insn_sizes; insn_cycles;
+    code_oid; code_inst = inst; class_name; arch; insns; offsets; byte_size;
+    methods; index_dense; insn_sizes; insn_cycles;
   }
 
 let index_at code off =

@@ -16,6 +16,10 @@ type method_info = {
 
 type t = private {
   code_oid : int32;
+  code_inst : int;
+      (** instance tag distinguishing differently-optimized bodies of the
+          same code OID (the optimization level); threaded-dispatch step
+          tables are keyed by [(code_oid, code_inst)] *)
   class_name : string;
   arch : Arch.t;
   insns : Insn.t array;
@@ -32,6 +36,7 @@ type t = private {
 }
 
 val make :
+  ?inst:int ->
   arch:Arch.t ->
   code_oid:int32 ->
   class_name:string ->
@@ -40,7 +45,8 @@ val make :
   t
 (** [make ~arch ~code_oid ~class_name ~methods insns] builds a code object;
     [methods] gives each method name and the {e instruction index} of its
-    entry, converted internally to byte offsets. *)
+    entry, converted internally to byte offsets.  [inst] (default 0) tags
+    the optimization instance this body belongs to. *)
 
 val compute_offsets : Arch.family -> Insn.t array -> int array * int
 (** Byte offset of each instruction and the total byte size — also used by

@@ -45,7 +45,8 @@ type table = {
 }
 
 type cache = {
-  mutable tables : (int32 * table) list;  (* keyed by code OID *)
+  mutable tables : ((int32 * int) * table) list;
+      (* keyed per code instance: (code OID, instance tag) *)
   stats : stats;
 }
 
@@ -152,8 +153,8 @@ let escape : step = fun _ fuel -> if fuel <= 0 then S_fuel else S_jump fuel
 
 (* instructions that end a straight-line translation run *)
 let is_terminator = function
-  | Insn.Bcc _ | Insn.Br _ | Insn.Jsr_ind _ | Insn.Vax_ret | Insn.Rts
-  | Insn.Retl | Insn.Syscall _ | Insn.Halt -> true
+  | Insn.Bcc _ | Insn.Br _ | Insn.Jmp_abs _ | Insn.Jsr_ind _ | Insn.Vax_ret
+  | Insn.Rts | Insn.Retl | Insn.Syscall _ | Insn.Halt -> true
   | Insn.Mov _ | Insn.Bin3 _ | Insn.Bin2 _ | Insn.Fbin3 _ | Insn.Fbin2 _
   | Insn.Neg _ | Insn.Fneg _ | Insn.Cvt_if _ | Insn.Cvt_fi _ | Insn.Cmp _
   | Insn.Fcmp _ | Insn.Push _ | Insn.Vax_entry _ | Insn.Link _ | Insn.Unlk
@@ -881,6 +882,16 @@ and compile_step tbl j ~next : step =
         ctx.M.pc <- tpc;
         taken ctx (fuel - 1)
       end
+  | Insn.Jmp_abs target ->
+    fun ctx fuel ->
+      if fuel <= 0 then S_fuel
+      else begin
+        ctx.M.cycles <- ctx.M.cycles + cyc;
+        ctx.M.insns <- ctx.M.insns + 1;
+        if target = 0 then raise (M.Trapped (Suspend.Bad_pc 0));
+        ctx.M.pc <- target;
+        S_jump (fuel - 1)
+      end
   | Insn.Jsr_ind r ->
     fun ctx fuel ->
       if fuel <= 0 then S_fuel
@@ -1200,11 +1211,12 @@ and compile_fused tbl j : step =
 let table_for cache ~mem (img : Text.image) =
   let code = img.Text.code in
   let base = img.Text.base in
+  let inst = code.Code.code_inst in
   let rec find = function
     | [] -> None
-    | (oid, tbl) :: rest ->
+    | ((oid, i), tbl) :: rest ->
       if
-        Int32.equal oid code.Code.code_oid
+        Int32.equal oid code.Code.code_oid && i = inst
         && tbl.t_mem == mem && tbl.t_base = base && tbl.t_code == code
       then Some tbl
       else find rest
@@ -1224,9 +1236,10 @@ let table_for cache ~mem (img : Text.image) =
       }
     in
     cache.tables <-
-      (code.Code.code_oid, tbl)
+      ((code.Code.code_oid, inst), tbl)
       :: List.filter
-           (fun (oid, _) -> not (Int32.equal oid code.Code.code_oid))
+           (fun ((oid, i), _) ->
+             not (Int32.equal oid code.Code.code_oid && i = inst))
            cache.tables;
     tbl
 

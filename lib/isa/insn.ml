@@ -30,6 +30,7 @@ type t =
   | Fcmp of Operand.t * Operand.t
   | Bcc of cmp * int
   | Br of int
+  | Jmp_abs of int
   | Jsr_ind of Reg.t
   | Push of Operand.t
   | Vax_entry of int
@@ -69,7 +70,10 @@ let m68k_operand_size = function
 
 let size_bytes family insn =
   match family with
-  | Arch.Sparc -> 4
+  | Arch.Sparc -> (
+    match insn with
+    | Jmp_abs _ -> 8 (* sethi %hi(addr); jmpl — folded pair *)
+    | _ -> 4)
   | Arch.Vax -> (
     let op = vax_operand_size in
     match insn with
@@ -85,6 +89,7 @@ let size_bytes family insn =
     | Bin3 (_, a, b, c) | Fbin3 (_, a, b, c) -> 1 + op a + op b + op c
     | Bcc (_, _) -> 3
     | Br _ -> 3
+    | Jmp_abs _ -> 6 (* JMP @#addr: opcode + absolute specifier *)
     | Jsr_ind _ -> 2
     | Push a -> 1 + op a
     | Vax_entry _ -> 3 (* entry mask word + opcode *)
@@ -110,6 +115,7 @@ let size_bytes family insn =
     | Bin3 (_, a, b, c) | Fbin3 (_, a, b, c) -> 2 + op a + op b + op c
     | Bcc (_, _) -> 4
     | Br _ -> 4
+    | Jmp_abs _ -> 6 (* jmp (xxx).l: opcode word + long absolute *)
     | Jsr_ind _ -> 2
     | Push a -> 2 + op a
     | Link _ -> 4
@@ -154,6 +160,7 @@ let cycles family insn =
     | Fcmp (_, _) -> 12
     | Bcc (_, _) -> 5
     | Br _ -> 5
+    | Jmp_abs _ -> 6
     | Jsr_ind _ -> 10
     | Push a -> 5 + mem_penalty a
     | Vax_entry _ -> 14
@@ -181,6 +188,7 @@ let cycles family insn =
     | Fcmp (_, _) -> 20
     | Bcc (_, _) -> 5
     | Br _ -> 5
+    | Jmp_abs _ -> 10
     | Jsr_ind _ -> 8
     | Push a -> 5 + mem_penalty a
     | Link _ -> 8
@@ -206,6 +214,7 @@ let cycles family insn =
     | Fcmp (_, _) -> 4
     | Bcc (_, _) -> 2
     | Br _ -> 2
+    | Jmp_abs _ -> 3 (* sethi + jmpl *)
     | Jsr_ind _ -> 2
     | Push _ -> 2
     | Save _ -> 22 (* eager window spill: 16 stores + bookkeeping *)
@@ -257,6 +266,7 @@ let mnemonic family insn =
   | _, Fcmp (_, _) -> "fcmp"
   | _, Bcc (c, _) -> "b" ^ cmp_name c
   | _, Br _ -> "br"
+  | _, Jmp_abs _ -> "jmp"
   | Arch.Sparc, Jsr_ind _ -> "jmpl"
   | _, Jsr_ind _ -> "jsr"
   | _, Push _ -> "pushl"
@@ -295,6 +305,7 @@ let pp family ppf insn =
     Format.fprintf ppf "%-8s %a, %a, %a" m pop a pop b pop c
   | Bcc (_, t) -> Format.fprintf ppf "%-8s L%04x" m t
   | Br t -> Format.fprintf ppf "%-8s L%04x" m t
+  | Jmp_abs a -> Format.fprintf ppf "%-8s @#%08x" m a
   | Jsr_ind r -> Format.fprintf ppf "%-8s (%s)" m (preg r)
   | Push a -> Format.fprintf ppf "%-8s %a" m pop a
   | Vax_entry n | Link n | Save n -> Format.fprintf ppf "%-8s #%d" m n

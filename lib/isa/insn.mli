@@ -50,6 +50,11 @@ type t =
   | Fcmp of Operand.t * Operand.t
   | Bcc of cmp * int  (** conditional branch on condition codes *)
   | Br of int
+  | Jmp_abs of int
+      (** unconditional jump to an absolute text address, used by the
+          dynamically generated bridge fragments (paper section 2.4) to
+          re-enter a class image from outside it: VAX [JMP @#addr], M68k
+          [jmp (addr).l], SPARC a folded [sethi %hi(addr); jmpl] pair *)
   | Jsr_ind of Reg.t
       (** indirect call to an absolute text address: VAX/M68k push the
           return address; SPARC writes it to %o7 *)

@@ -49,6 +49,7 @@ let check_insn family insn =
     | Insn.Push a -> [ a ]
     | Insn.Bcc (_, _)
     | Insn.Br _
+    | Insn.Jmp_abs _
     | Insn.Jsr_ind _
     | Insn.Vax_entry _ | Insn.Vax_ret
     | Insn.Link _ | Insn.Unlk | Insn.Rts
@@ -114,7 +115,7 @@ let check_insn family insn =
     (* universal *)
     | _, (Insn.Neg (_, _) | Insn.Fneg (_, _) | Insn.Cvt_if (_, _) | Insn.Cvt_fi (_, _)) ->
       None
-    | _, (Insn.Bcc (_, _) | Insn.Br _ | Insn.Jsr_ind _) -> None
+    | _, (Insn.Bcc (_, _) | Insn.Br _ | Insn.Jmp_abs _ | Insn.Jsr_ind _) -> None
     | _, (Insn.Syscall _ | Insn.Poll _ | Insn.Nop | Insn.Halt) -> None)
 
 let check code =

@@ -270,6 +270,10 @@ let run ctx ~mem ~text ~fuel =
       | Insn.Br target ->
         ctx.pc <- base + target;
         exec (fuel - 1)
+      | Insn.Jmp_abs target ->
+        if target = 0 then raise (Trapped (Suspend.Bad_pc 0));
+        ctx.pc <- target;
+        exec (fuel - 1)
       | Insn.Jsr_ind r ->
         let target = Int32.to_int (reg ctx r) in
         if target = 0 then raise (Trapped (Suspend.Bad_pc 0));

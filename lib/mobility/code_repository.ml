@@ -12,6 +12,12 @@ type t = {
          Living here (not in the kernel) keeps translations across a
          node restart — the engine's memory-identity check voids the
          stale ones. *)
+  bridges : Ert.Bridge.t array;
+      (* per node, the compiled bridge fragments for cross-instance
+         landings, kept beside the conversion plans as the paper keeps
+         bridging routines with the code repository.  Fragments address
+         kernel text, so the restart path clears them explicitly
+         ({!Ert.Bridge.clear}); the hit/miss counters survive. *)
 }
 
 let create ?(n_nodes = 64) () =
@@ -21,6 +27,7 @@ let create ?(n_nodes = 64) () =
     fetches = Array.make n_nodes [];
     plans = Conv_plan.create_cache ();
     dispatch = Array.init n_nodes (fun _ -> Isa.Dispatch.create_cache ());
+    bridges = Array.init n_nodes (fun _ -> Ert.Bridge.create ());
   }
 
 let record_fetch t ~node ~class_index =
@@ -40,4 +47,14 @@ let dispatch_cache t ~node =
   if node < 0 || node >= Array.length t.dispatch then
     invalid_arg "Code_repository.dispatch_cache: node id out of range";
   t.dispatch.(node)
+
+let bridge_cache t ~node =
+  if node < 0 || node >= Array.length t.bridges then
+    invalid_arg "Code_repository.bridge_cache: node id out of range";
+  t.bridges.(node)
+
+let bridge_stats t =
+  Array.fold_left
+    (fun (h, m) b -> (h + Ert.Bridge.hits b, m + Ert.Bridge.misses b))
+    (0, 0) t.bridges
 let set_program t prog = Conv_plan.set_program t.plans prog

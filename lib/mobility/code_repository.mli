@@ -29,6 +29,16 @@ val dispatch_cache : t -> node:int -> Isa.Dispatch.cache
     share tables) and surviving node restarts (the engine's memory
     identity check voids tables of a dead kernel). *)
 
+val bridge_cache : t -> node:int -> Ert.Bridge.t
+(** The node's compiled bridge-fragment cache for cross-instance
+    landings, kept beside the conversion plans (the paper's repository
+    likewise holds the bridging routines with the code).  Counters
+    survive node restarts; the fragments are cleared by the restart path
+    because they address kernel text. *)
+
+val bridge_stats : t -> int * int
+(** Summed (hits, misses) of every node's bridge-fragment cache. *)
+
 val set_program : t -> Emc.Compile.program -> unit
 (** Register the loaded program so plans can be compiled on demand;
     invalidates previously cached plans. *)

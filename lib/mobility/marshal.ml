@@ -12,6 +12,10 @@ type move_object = {
 
 type move_payload = {
   mp_src : int;
+  mp_opt_level : int;
+      (* optimization level of the source node's code instance (Opt.to_int);
+         0 rides the historical tags so default-level wire streams stay
+         byte-identical, like the location tags *)
   mp_objects : move_object list;
   mp_segments : Mi_frame.mi_segment list;
 }
@@ -69,6 +73,13 @@ let tag_dir_reply = 10
 let tag_loc_hint = 11
 let tag_invoke_via = 12
 let tag_group_move = 13
+
+(* cross-instance moves (source node not at the default -O0 instance):
+   same body as tag_move/tag_group_move plus a leading opt-level byte.
+   Emitted only by opt-level-configured clusters, so the default wire
+   stream never contains these tags and stays byte-identical. *)
+let tag_move_at = 14
+let tag_group_move_at = 15
 
 let write_list w f xs =
   W.u16 w (List.length xs);
@@ -210,23 +221,28 @@ let rec encode_to ?plans ?(blit = false) w msg =
     W.u32 w obj;
     W.u16 w dest;
     W.u8 w forwards
-  | M_move { mp_src; mp_objects; mp_segments } ->
+  | M_move { mp_src; mp_opt_level; mp_objects; mp_segments } ->
+    let tag = if mp_opt_level = 0 then tag_move else tag_move_at in
+    let lvl_bytes = if mp_opt_level = 0 then 0 else 1 in
     if blit then begin
-      W.raw_u8 w tag_move;
+      W.raw_u8 w tag;
       W.raw_u16 w mp_src;
-      W.add_charge w ~calls:1 ~bytes:3;
+      if mp_opt_level <> 0 then W.raw_u8 w mp_opt_level;
+      W.add_charge w ~calls:1 ~bytes:(3 + lvl_bytes);
       write_list w write_object_blit mp_objects;
       write_list w (Mi_frame.write_segment ~blit:true) mp_segments
     end
     else begin
       (match plans with
       | Some _ ->
-        W.raw_u8 w tag_move;
+        W.raw_u8 w tag;
         W.raw_u16 w mp_src;
-        W.add_charge w ~calls:2 ~bytes:3
+        if mp_opt_level <> 0 then W.raw_u8 w mp_opt_level;
+        W.add_charge w ~calls:2 ~bytes:(3 + lvl_bytes)
       | None ->
-        W.u8 w tag_move;
-        W.u16 w mp_src);
+        W.u8 w tag;
+        W.u16 w mp_src;
+        if mp_opt_level <> 0 then W.u8 w mp_opt_level);
       write_list w (write_object ?plans) mp_objects;
       write_list w (Mi_frame.write_segment ?plans) mp_segments
     end
@@ -264,25 +280,30 @@ let rec encode_to ?plans ?(blit = false) w msg =
     W.u8 w tag_invoke_via;
     write_list w W.u16 via;
     encode_to ?plans ~blit w inv
-  | M_group_move { mp_src; mp_objects; mp_segments } ->
+  | M_group_move { mp_src; mp_opt_level; mp_objects; mp_segments } ->
     (* same body layout as M_move; the distinct tag tells the receiver
        to account the transfer as one batched group *)
+    let tag = if mp_opt_level = 0 then tag_group_move else tag_group_move_at in
+    let lvl_bytes = if mp_opt_level = 0 then 0 else 1 in
     if blit then begin
-      W.raw_u8 w tag_group_move;
+      W.raw_u8 w tag;
       W.raw_u16 w mp_src;
-      W.add_charge w ~calls:1 ~bytes:3;
+      if mp_opt_level <> 0 then W.raw_u8 w mp_opt_level;
+      W.add_charge w ~calls:1 ~bytes:(3 + lvl_bytes);
       write_list w write_object_blit mp_objects;
       write_list w (Mi_frame.write_segment ~blit:true) mp_segments
     end
     else begin
       (match plans with
       | Some _ ->
-        W.raw_u8 w tag_group_move;
+        W.raw_u8 w tag;
         W.raw_u16 w mp_src;
-        W.add_charge w ~calls:2 ~bytes:3
+        if mp_opt_level <> 0 then W.raw_u8 w mp_opt_level;
+        W.add_charge w ~calls:2 ~bytes:(3 + lvl_bytes)
       | None ->
-        W.u8 w tag_group_move;
-        W.u16 w mp_src);
+        W.u8 w tag;
+        W.u16 w mp_src;
+        if mp_opt_level <> 0 then W.u8 w mp_opt_level);
       write_list w (write_object ?plans) mp_objects;
       write_list w (Mi_frame.write_segment ?plans) mp_segments
     end
@@ -342,19 +363,21 @@ let rec decode_from ?plans ?(blit = false) r =
     let forwards = R.u8 r in
     M_move_req { obj; dest; forwards }
   end
-  else if tag = tag_move then begin
+  else if tag = tag_move || tag = tag_move_at then begin
     if blit then begin
       let mp_src = R.raw_u16 r in
-      R.add_charge r ~calls:1 ~bytes:2;
+      let mp_opt_level = if tag = tag_move_at then R.raw_u8 r else 0 in
+      R.add_charge r ~calls:1 ~bytes:(if tag = tag_move_at then 3 else 2);
       let mp_objects = read_list r read_object_blit in
       let mp_segments = read_list r (Mi_frame.read_segment ~blit:true) in
-      M_move { mp_src; mp_objects; mp_segments }
+      M_move { mp_src; mp_opt_level; mp_objects; mp_segments }
     end
     else begin
       let mp_src = R.u16 r in
+      let mp_opt_level = if tag = tag_move_at then R.u8 r else 0 in
       let mp_objects = read_list r (read_object ?plans) in
       let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
-      M_move { mp_src; mp_objects; mp_segments }
+      M_move { mp_src; mp_opt_level; mp_objects; mp_segments }
     end
   end
   else if tag = tag_start_process then begin
@@ -391,19 +414,21 @@ let rec decode_from ?plans ?(blit = false) r =
     let inv = decode_from ?plans ~blit r in
     M_invoke_via { via; inv }
   end
-  else if tag = tag_group_move then begin
+  else if tag = tag_group_move || tag = tag_group_move_at then begin
     if blit then begin
       let mp_src = R.raw_u16 r in
-      R.add_charge r ~calls:1 ~bytes:2;
+      let mp_opt_level = if tag = tag_group_move_at then R.raw_u8 r else 0 in
+      R.add_charge r ~calls:1 ~bytes:(if tag = tag_group_move_at then 3 else 2);
       let mp_objects = read_list r read_object_blit in
       let mp_segments = read_list r (Mi_frame.read_segment ~blit:true) in
-      M_group_move { mp_src; mp_objects; mp_segments }
+      M_group_move { mp_src; mp_opt_level; mp_objects; mp_segments }
     end
     else begin
       let mp_src = R.u16 r in
+      let mp_opt_level = if tag = tag_group_move_at then R.u8 r else 0 in
       let mp_objects = read_list r (read_object ?plans) in
       let mp_segments = read_list r (Mi_frame.read_segment ?plans) in
-      M_group_move { mp_src; mp_objects; mp_segments }
+      M_group_move { mp_src; mp_opt_level; mp_objects; mp_segments }
     end
   end
   else failwith (Printf.sprintf "Marshal.decode: corrupt message tag %d" tag)

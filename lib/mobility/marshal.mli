@@ -15,6 +15,13 @@ type move_object = {
 
 type move_payload = {
   mp_src : int;
+  mp_opt_level : int;
+      (** optimization level of the source node's code instance
+          ({!Emc.Opt.to_int}) — the move handshake's negotiation datum:
+          the receiver compares it against its own instance and routes
+          elided-stop landings through bridge fragments.  Level 0 is
+          encoded with the historical message tags, so default wire
+          streams stay byte-identical. *)
   mp_objects : move_object list;
   mp_segments : Mi_frame.mi_segment list;
 }

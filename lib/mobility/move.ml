@@ -215,7 +215,12 @@ let perform_move_of_addrs k ~addrs ~dest : Marshal.move_payload =
   in
   (* leave forwarding proxies *)
   List.iter (fun addr -> K.evict_object k ~addr ~forward_to:dest) addrs;
-  { Marshal.mp_src = K.node_id k; mp_objects = objects; mp_segments = segments }
+  {
+    Marshal.mp_src = K.node_id k;
+    mp_opt_level = Emc.Opt.to_int (K.opt_level k);
+    mp_objects = objects;
+    mp_segments = segments;
+  }
 
 let perform_move k ~obj_addr ~dest : Marshal.move_payload =
   perform_move_of_addrs k ~addrs:(moving_closure k obj_addr) ~dest
@@ -307,6 +312,8 @@ type apply_stats = {
   ap_objects : int;
   ap_segments : int;
   ap_frames : int;
+  ap_src_opt : int;  (* source instance's optimization level (Opt.to_int) *)
+  ap_bridged : int;  (* arriving threads landed via a bridge fragment *)
 }
 
 let apply_move k (payload : Marshal.move_payload) =
@@ -326,10 +333,17 @@ let apply_move k (payload : Marshal.move_payload) =
         (fun i v -> Mem.store32 mem (addr + L.field_offset i) (K.raw_of_value k v))
         o.Marshal.mo_fields)
     installed;
-  (* pass 3: thread segments (youngest-first translation + relocation) *)
+  (* pass 3: thread segments (youngest-first translation + relocation).
+     Bridge-cache lookups during rebuild = threads whose parked stop has
+     no exact correspondent in this node's instance *)
+  let bridge = K.bridge k in
+  let lookups_before = Ert.Bridge.hits bridge + Ert.Bridge.misses bridge in
   List.iter
     (fun mi -> ignore (Translate.rebuild_segment k mi))
     payload.Marshal.mp_segments;
+  let bridged =
+    Ert.Bridge.hits bridge + Ert.Bridge.misses bridge - lookups_before
+  in
   (* pass 4: monitor state, preserving queue order.  Rebuilt waiters carry
      their (possibly timed) status from pass 3; re-enqueueing must thread
      the deadline through or a timed wait would silently become eternal
@@ -367,4 +381,6 @@ let apply_move k (payload : Marshal.move_payload) =
       List.fold_left
         (fun acc s -> acc + Mi_frame.frame_count s)
         0 payload.Marshal.mp_segments;
+    ap_src_opt = payload.Marshal.mp_opt_level;
+    ap_bridged = bridged;
   }

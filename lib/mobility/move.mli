@@ -53,6 +53,11 @@ type apply_stats = {
   ap_objects : int;  (** objects installed *)
   ap_segments : int;  (** thread segments rebuilt *)
   ap_frames : int;  (** native activation records relocated *)
+  ap_src_opt : int;
+      (** source instance's optimization level ({!Emc.Opt.to_int}) *)
+  ap_bridged : int;
+      (** arriving threads whose parked stop had no exact correspondent
+          here and landed through a bridge fragment *)
 }
 
 val apply_move : Ert.Kernel.t -> Marshal.move_payload -> apply_stats

@@ -124,7 +124,7 @@ let rebuild_segment k (mi : Mi_frame.mi_segment) : T.segment =
             bf = f;
             bf_fi = fi;
             bf_entry = entry;
-            bf_resume_abs = K.abs_pc k ~class_index entry.Emc.Busstop.be_pc;
+            bf_resume_abs = K.resume_abs k ~class_index entry;
             bf_depth = entry.Emc.Busstop.be_sp_depth;
             bf_fp = 0;
           })
@@ -278,5 +278,5 @@ let make_ctx_for_top k ~top ~below_resume =
   (match arch.A.family with
   | A.Sparc -> M.set_reg ctx 31 (Int32.of_int below_resume)
   | A.Vax | A.M68k -> ());
-  ctx.M.pc <- K.abs_pc k ~class_index:top.fw_class top.fw_entry.Emc.Busstop.be_pc;
+  ctx.M.pc <- K.resume_abs k ~class_index:top.fw_class top.fw_entry;
   ctx

@@ -234,7 +234,7 @@ let test_codegen_families_differ () =
   in
   let sizes =
     List.map
-      (fun (id, (art : Emc.Compile.arch_artifact)) ->
+      (fun ((id, _), (art : Emc.Compile.arch_artifact)) ->
         (id, art.Emc.Compile.aa_code.Isa.Code.byte_size))
       main.Emc.Compile.cc_arts
   in
@@ -253,7 +253,9 @@ let test_busstops_isomorphic () =
   Array.iter
     (fun (cc : Emc.Compile.compiled_class) ->
       let tables =
-        List.map (fun (id, art) -> (id, art.Emc.Compile.aa_stops)) cc.Emc.Compile.cc_arts
+        List.map
+          (fun ((id, _), art) -> (id, art.Emc.Compile.aa_stops))
+          cc.Emc.Compile.cc_arts
       in
       let counts = List.map (fun (_, t) -> Emc.Busstop.count t) tables in
       (match counts with

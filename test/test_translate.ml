@@ -116,6 +116,7 @@ let test_message_roundtrip () =
       Mobility.Marshal.M_move
         {
           mp_src = 1;
+          mp_opt_level = 0;
           mp_objects =
             [
               {
