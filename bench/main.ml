@@ -1561,6 +1561,141 @@ let run_bridge () =
   end;
   pf "exactly-once, bridged landings, cache hits and the -O2 win all hold\n\n"
 
+(* ------------------------------------------------------------------ *)
+(* gc: stop-the-world pause vs incremental max increment pause on a
+   large heap (DESIGN.md §17).
+
+   The heap is built at the kernel level — ~100k live string blocks
+   referenced from root vectors handed to the collector as
+   [extra_addrs], plus ~50k unreferenced blocks — so the measurement
+   isolates collector cost from program execution.  Both tiers are
+   charged exactly as the cluster charges them (STW: 2000 + live*40
+   insns in one lump; incremental: 400 to open the cycle, then
+   120 + scanned*40 per increment), and both must report identical
+   live/swept/bytes-freed accounting.
+
+   Gate: the incremental tier's worst single increment must pause the
+   node for less than 1/5 of the STW full-collect pause. *)
+
+let run_gc () =
+  let module K = Ert.Kernel in
+  let module L = Emc.Layout in
+  let n_live = 100_000 and n_dead = 50_000 in
+  let budget = 4096 in
+  pf "gc: incremental tri-color vs stop-the-world at a %d-block heap\n"
+    (n_live + n_dead);
+  hr ();
+  (* identical heaps for both tiers: root vectors of [chunk] string
+     blocks each, dead strings interleaved so the sweep walks a mixed
+     population *)
+  let build () =
+    let k = K.create ~node_id:0 ~arch:A.sparc () in
+    let mem = K.mem k in
+    let chunk = 1000 in
+    let roots = ref [] in
+    let made = ref 0 in
+    let dead = ref 0 in
+    let dead_per_chunk = n_dead / (n_live / chunk) in
+    while !made < n_live do
+      let n = min chunk (n_live - !made) in
+      let vec = K.make_vector k ~kind:L.kind_string ~len:n in
+      for j = 0 to n - 1 do
+        let s = K.make_string k (Printf.sprintf "live-%d" (!made + j)) in
+        Isa.Memory.store32 mem (vec + L.vec_elems + (4 * j)) (Int32.of_int s)
+      done;
+      made := !made + n;
+      for j = 0 to dead_per_chunk - 1 do
+        ignore (K.make_string k (Printf.sprintf "dead-%d" (!dead + j)) : int)
+      done;
+      dead := !dead + dead_per_chunk;
+      roots := vec :: !roots
+    done;
+    (k, !roots)
+  in
+  (* stop-the-world: one lump pause, cluster-style charge *)
+  let k_stw, roots_stw = build () in
+  let t0 = K.time_us k_stw in
+  let stw_stats = Ert.Gc.collect ~extra_addrs:roots_stw k_stw in
+  K.charge_insns k_stw (2000 + (stw_stats.Ert.Gc.gc_live * 40));
+  let stw_pause = K.time_us k_stw -. t0 in
+  (* incremental: same collection as bounded increments *)
+  let k_inc, roots_inc = build () in
+  let cy = Ert.Gc.start ~extra_addrs:roots_inc k_inc in
+  let increments = ref 0 in
+  let max_pause = ref 0.0 in
+  let total_us = ref 0.0 in
+  let note t0 =
+    let p = K.time_us k_inc -. t0 in
+    if p > !max_pause then max_pause := p;
+    total_us := !total_us +. p
+  in
+  (* the first increment carries the cycle-open charge, as in the
+     cluster's [gc_increment] *)
+  let t0 = K.time_us k_inc in
+  K.charge_insns k_inc 400;
+  let rec drive t0 =
+    incr increments;
+    match Ert.Gc.step cy k_inc ~budget with
+    | Ert.Gc.Step_more { scanned; _ } ->
+      K.charge_insns k_inc (120 + (scanned * 40));
+      note t0;
+      drive (K.time_us k_inc)
+    | Ert.Gc.Step_done { scanned; stats } ->
+      K.charge_insns k_inc (120 + (scanned * 40));
+      note t0;
+      stats
+  in
+  let inc_stats = drive t0 in
+  let ratio = !max_pause /. stw_pause in
+  pf "%-14s %10s %10s %12s %12s\n" "tier" "live" "swept" "pause(us)"
+    "total(us)";
+  hr ();
+  pf "%-14s %10d %10d %12.1f %12.1f\n" "stop-the-world"
+    stw_stats.Ert.Gc.gc_live stw_stats.Ert.Gc.gc_swept stw_pause stw_pause;
+  pf "%-14s %10d %10d %12.1f %12.1f  (%d increments)\n" "incremental"
+    inc_stats.Ert.Gc.gc_live inc_stats.Ert.Gc.gc_swept !max_pause !total_us
+    !increments;
+  pf "max increment pause / stw pause: %.3f (gate: < 0.2); gc work \
+     overhead: %+.1f%%\n"
+    ratio
+    (100.0 *. (!total_us -. stw_pause) /. stw_pause);
+  add_json_row ~experiment:"gc"
+    [
+      ("heap_blocks", jint (n_live + n_dead));
+      ("budget_slots", jint budget);
+      ("live", jint inc_stats.Ert.Gc.gc_live);
+      ("swept", jint inc_stats.Ert.Gc.gc_swept);
+      ("bytes_freed", jint inc_stats.Ert.Gc.gc_bytes_freed);
+      ("stw_pause_us", jnum stw_pause);
+      ("inc_max_pause_us", jnum !max_pause);
+      ("inc_total_us", jnum !total_us);
+      ("increments", jint !increments);
+      ("pause_ratio", jnum ratio);
+    ];
+  if
+    stw_stats.Ert.Gc.gc_live <> inc_stats.Ert.Gc.gc_live
+    || stw_stats.Ert.Gc.gc_swept <> inc_stats.Ert.Gc.gc_swept
+    || stw_stats.Ert.Gc.gc_bytes_freed <> inc_stats.Ert.Gc.gc_bytes_freed
+  then begin
+    pf "FAIL: tiers disagree on accounting (stw %d/%d/%d, inc %d/%d/%d)\n"
+      stw_stats.Ert.Gc.gc_live stw_stats.Ert.Gc.gc_swept
+      stw_stats.Ert.Gc.gc_bytes_freed inc_stats.Ert.Gc.gc_live
+      inc_stats.Ert.Gc.gc_swept inc_stats.Ert.Gc.gc_bytes_freed;
+    exit 1
+  end;
+  if inc_stats.Ert.Gc.gc_swept < n_dead then begin
+    pf "FAIL: expected >= %d swept, got %d\n" n_dead
+      inc_stats.Ert.Gc.gc_swept;
+    exit 1
+  end;
+  if ratio >= 0.2 then begin
+    pf "FAIL: incremental max pause %.1fus is not < 1/5 of the stw pause \
+       %.1fus\n"
+      !max_pause stw_pause;
+    exit 1
+  end;
+  pf "identical accounting; max pause gate holds\n\n"
+
 let all_experiments =
   [
     ("table1", run_table1);
@@ -1581,6 +1716,7 @@ let all_experiments =
     ("interp", run_interp);
     ("blit", run_blit);
     ("bridge", run_bridge);
+    ("gc", run_gc);
   ]
 
 let () =

@@ -33,7 +33,7 @@ let pp_outcome ?(verbose = false) ppf (o : Core.Fuzz.outcome) =
   if verbose && o.Core.Fuzz.f_group_moves > 0 then
     Format.fprintf ppf " [%d group moves]" o.Core.Fuzz.f_group_moves
 
-let report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
+let report_failure ~drop ~evict ~groups ~gc ~check_every ~max_events ~shards
     ~do_shrink (o : Core.Fuzz.outcome) =
   Format.printf "@.%a@." (pp_outcome ~verbose:true) o;
   Format.printf "plan: %s@." (Fault.Plan.to_string o.Core.Fuzz.f_plan);
@@ -45,18 +45,19 @@ let report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
   if do_shrink then begin
     Format.printf "shrinking...@.";
     let minimal =
-      Core.Fuzz.shrink ?drop ~evict ~groups ~check_every ~max_events ~shards
-        ~seed:o.Core.Fuzz.f_seed o.Core.Fuzz.f_plan
+      Core.Fuzz.shrink ?drop ~evict ~groups ~gc ~check_every ~max_events
+        ~shards ~seed:o.Core.Fuzz.f_seed o.Core.Fuzz.f_plan
     in
     Format.printf "minimal failing plan: %s@." (Fault.Plan.to_string minimal)
   end;
-  Format.printf "reproduce: emfuzz --seed %d%s%s%s@." o.Core.Fuzz.f_seed
+  Format.printf "reproduce: emfuzz --seed %d%s%s%s%s@." o.Core.Fuzz.f_seed
     (match drop with Some d -> Printf.sprintf " --drop %g" d | None -> "")
     (if evict then " --evict" else "")
     (if groups then " --groups" else "")
+    (if gc then " --gc" else "")
 
-let run seeds start one_seed faults drop evict groups check_every max_events
-    shards no_shrink verbose =
+let run seeds start one_seed faults drop evict groups gc check_every
+    max_events shards no_shrink verbose =
   let plan =
     match faults with
     | None -> None
@@ -71,8 +72,8 @@ let run seeds start one_seed faults drop evict groups check_every max_events
   match one_seed with
   | Some seed ->
     let o =
-      Core.Fuzz.run_seed ?plan ?drop ~evict ~groups ~check_every ~max_events
-        ~shards ~seed ()
+      Core.Fuzz.run_seed ?plan ?drop ~evict ~groups ~gc ~check_every
+        ~max_events ~shards ~seed ()
     in
     if o.Core.Fuzz.f_ok then begin
       Format.printf "%a@." (pp_outcome ~verbose:true) o;
@@ -81,7 +82,7 @@ let run seeds start one_seed faults drop evict groups check_every max_events
       0
     end
     else begin
-      report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
+      report_failure ~drop ~evict ~groups ~gc ~check_every ~max_events ~shards
         ~do_shrink o;
       1
     end
@@ -106,11 +107,11 @@ let run seeds start one_seed faults drop evict groups check_every max_events
     in
     let seed_list = List.init seeds (fun i -> start + i) in
     (match
-       Core.Fuzz.sweep ?drop ~evict ~groups ~check_every ~max_events ~shards
-         ~on_outcome ~seeds:seed_list ()
+       Core.Fuzz.sweep ?drop ~evict ~groups ~gc ~check_every ~max_events
+         ~shards ~on_outcome ~seeds:seed_list ()
      with
     | Some bad ->
-      report_failure ~drop ~evict ~groups ~check_every ~max_events ~shards
+      report_failure ~drop ~evict ~groups ~gc ~check_every ~max_events ~shards
         ~do_shrink bad;
       1
     | None ->
@@ -157,6 +158,11 @@ let groups_t =
                  rotate a flock of objects around the ring as batched \
                  group migrations, racing the fault plan.")
 
+let gc_t =
+  Arg.(value & flag
+       & info [ "gc" ]
+           ~doc:"Arm the incremental collector on every scenario (small                  threshold and budget), so open mark cycles, the write                  barrier and crash-mid-cycle discard race the fault plan.")
+
 let check_every_t =
   Arg.(value & opt int 1
        & info [ "check-every" ] ~docv:"N"
@@ -187,7 +193,7 @@ let cmd =
     (Cmd.info "emfuzz" ~doc)
     Term.(
       const run $ seeds_t $ start_t $ seed_t $ faults_t $ drop_t $ evict_t
-      $ groups_t $ check_every_t $ max_events_t $ shards_t $ no_shrink_t
-      $ verbose_t)
+      $ groups_t $ gc_t $ check_every_t $ max_events_t $ shards_t
+      $ no_shrink_t $ verbose_t)
 
 let () = exit (Cmd.eval' cmd)

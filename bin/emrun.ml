@@ -3,14 +3,16 @@
 
      emrun FILE [--nodes IDS] [-O LEVELS] [--class NAME] [--op NAME]
                [--args LIST] [--original] [--codec TIER] [--shards N]
-               [--location MODE] [--trace] [--stats] [--profile]
+               [--location MODE] [--gc MODE] [--gc-threshold BYTES]
+               [--trace] [--stats] [--profile]
                [--trace-out FILE] [--evict-hot N] [--seed N]
                [--faults SPEC] [--check-invariants] *)
 
 open Cmdliner
 
-let run file nodes opt cls op args_s original codec shards location trace stats
-    profile trace_out evict_hot seed faults check_invariants =
+let run file nodes opt cls op args_s original codec shards location gc_mode_s
+    gc_threshold trace stats profile trace_out evict_hot seed faults
+    check_invariants =
   let source = In_channel.with_open_text file In_channel.input_all in
   let archs =
     String.split_on_char ',' nodes
@@ -70,10 +72,26 @@ let run file nodes opt cls op args_s original codec shards location trace stats
       Printf.eprintf "emrun: unknown location mode %s (have: off, collapse, directory)\n" s;
       exit 2
   in
-  let cl =
-    Core.Cluster.create ~protocol ?wire_impl ~shards ~faults:plan ~location
-      ~archs ()
+  let gc_mode =
+    match gc_mode_s with
+    | None | Some "stw" -> Core.Cluster.Gc_stw
+    | Some "incremental" -> Core.Cluster.Gc_incremental
+    | Some s ->
+      Printf.eprintf "emrun: unknown gc mode %s (have: stw, incremental)\n" s;
+      exit 2
   in
+  let cl =
+    Core.Cluster.create ~protocol ?wire_impl ~shards ?gc_threshold ~gc_mode
+      ~faults:plan ~location ~archs ()
+  in
+  (* max-pause tracking for --stats: each Ev_gc_phase carries the virtual
+     time its increment charged; stop-the-world pauses are not phased, so
+     the line only appears under --gc incremental *)
+  let gc_max_pause_us = ref 0.0 in
+  Core.Events.subscribe (Core.Cluster.bus cl) (function
+    | Core.Events.Ev_gc_phase { pause_us; _ } ->
+      if pause_us > !gc_max_pause_us then gc_max_pause_us := pause_us
+    | _ -> ());
   List.iteri (fun i l -> Core.Cluster.set_opt_level cl ~node:i l) node_levels;
   (match evict_hot with
   | Some threshold ->
@@ -159,6 +177,24 @@ let run file nodes opt cls op args_s original codec shards location trace stats
           (Ert.Kernel.evictions k)
           (Ert.Kernel.evictions_armed k)
       done;
+      let gc_freed =
+        Core.Cluster.total_counter cl (fun c -> c.Core.Events.c_gc_bytes_freed)
+      in
+      (match Core.Cluster.gc_mode cl with
+      | Core.Cluster.Gc_stw ->
+        if Core.Cluster.collections cl > 0 then
+          Printf.printf "gc: %d stop-the-world collections, %d bytes freed\n"
+            (Core.Cluster.collections cl) gc_freed
+      | Core.Cluster.Gc_incremental ->
+        let incs =
+          Core.Cluster.total_counter cl (fun c ->
+              c.Core.Events.c_gc_increments)
+        in
+        Printf.printf
+          "gc: %d incremental collections (%d increments), %d bytes freed, \
+           max increment pause %.1f us\n"
+          (Core.Cluster.collections cl)
+          incs gc_freed !gc_max_pause_us);
       for i = 0 to Core.Cluster.n_nodes cl - 1 do
         let c = Core.Cluster.node_counters cl i in
         let open Core.Events in
@@ -418,6 +454,22 @@ let location_t =
                  publish to each object's home shard, exhausted proxy \
                  chains ask the home before broadcasting).")
 
+let gc_mode_t =
+  Arg.(value & opt (some string) None
+       & info [ "gc" ] ~docv:"MODE"
+           ~doc:"Collector tier: $(b,stw) (default; one stop-the-world \
+                 mark-sweep per threshold crossing, byte-identical traces \
+                 to earlier builds) or $(b,incremental) (the tri-color \
+                 incremental collector: the same collection as bounded \
+                 increments interleaved with execution, each charged per \
+                 pointer slot scanned).")
+
+let gc_threshold_t =
+  Arg.(value & opt (some int) None
+       & info [ "gc-threshold" ] ~docv:"BYTES"
+           ~doc:"Arm automatic collection when a node's live heap exceeds \
+                 $(docv) bytes (default: collection disabled).")
+
 let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol events.")
 let stats_t = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-node statistics.")
 
@@ -467,7 +519,8 @@ let cmd =
     (Cmd.info "emrun" ~doc)
     Term.(
       const run $ file_t $ nodes_t $ opt_t $ class_t $ op_t $ args_t $ original_t
-      $ codec_t $ shards_t $ location_t $ trace_t $ stats_t $ profile_t
-      $ trace_out_t $ evict_hot_t $ seed_t $ faults_t $ check_invariants_t)
+      $ codec_t $ shards_t $ location_t $ gc_mode_t $ gc_threshold_t $ trace_t
+      $ stats_t $ profile_t $ trace_out_t $ evict_hot_t $ seed_t $ faults_t
+      $ check_invariants_t)
 
 let () = exit (Cmd.eval cmd)

@@ -27,6 +27,15 @@ type location =
   | Loc_collapse
   | Loc_directory
 
+(* Which collector tier automatic collection uses (DESIGN.md §17).
+   [Gc_stw] is the seed behaviour — one stop-the-world mark-sweep per
+   threshold crossing, byte-identical traces.  [Gc_incremental] runs the
+   same collection as a tri-color cycle of bounded increments
+   interleaved with the event loop, charged per increment. *)
+type gc_mode =
+  | Gc_stw
+  | Gc_incremental
+
 exception Heterogeneous_move_in_original_protocol
 
 type node = {
@@ -205,6 +214,12 @@ type t = {
   failures : (T.tid, string) Hashtbl.t;  (* threads lost to node crashes *)
   gc_threshold : int option;  (* collect a node when its heap exceeds this *)
   gc_threshold_i : int;  (* same, resolved to max_int when absent (hot-loop form) *)
+  gc_mode : gc_mode;
+  gc_budget : int;  (* pointer slots per incremental increment *)
+  gcs : Ert.Gc.cycle option array;
+      (* per-node in-progress incremental mark cycle.  Soft state, like
+         the location directory: a crash discards it (Gc.abort) and the
+         next threshold crossing starts a fresh cycle from scratch. *)
   mutable pinned : Ert.Oid.t list;  (* harness-held references: GC roots *)
   mutable collections : int;
   (* --- fault injection; [reliable] = a non-trivial plan is installed --- *)
@@ -341,12 +356,16 @@ let ensure_wake t i =
 
 let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
     ?(scheduler = Heap) ?(shards = 1) ?quantum ?(opt_level = Emc.Opt.O0)
-    ?gc_threshold ?(faults = Fault.Plan.empty) ?(async_migration = false)
+    ?gc_threshold ?(gc_mode = Gc_stw) ?(gc_budget = 4096)
+    ?(faults = Fault.Plan.empty) ?(async_migration = false)
     ?(location = Loc_off) ~archs () =
   let n = List.length archs in
   let reliable = not (Fault.Plan.is_trivial faults) in
   if reliable && scheduler <> Heap then
     invalid_arg "Cluster.create: fault plans require the Heap scheduler";
+  if gc_mode = Gc_incremental && scheduler <> Heap then
+    invalid_arg "Cluster.create: incremental GC requires the Heap scheduler";
+  if gc_budget < 1 then invalid_arg "Cluster.create: gc_budget must be positive";
   if shards < 1 then invalid_arg "Cluster.create: need at least one shard";
   if shards > 1 && scheduler <> Heap then
     invalid_arg "Cluster.create: sharding requires the Heap scheduler";
@@ -403,6 +422,8 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
       failures = Hashtbl.create 4;
       gc_threshold = gc_threshold;
       gc_threshold_i = (match gc_threshold with Some v -> v | None -> max_int);
+      gc_mode; gc_budget;
+      gcs = Array.make n None;
       pinned = []; collections = 0;
       faults; reliable;
       frng = Fault.Rng.create ~seed:faults.Fault.Plan.pl_seed;
@@ -475,6 +496,8 @@ let create ?net_config ?(protocol = Enhanced) ?(wire_impl = Enet.Wire.Naive)
 
 let protocol t = t.proto
 let scheduler t = t.sched
+let gc_mode t = t.gc_mode
+let gc_in_progress t i = t.gcs.(i) <> None
 let location t = t.location
 let directory_home t oid = Loc.Partition.home t.partition oid
 
@@ -736,6 +759,14 @@ and crash_node t i =
   let victim = t.nodes.(i) in
   if not victim.n_crashed then begin
     emit t ~node:i (E.Ev_crash { node = i });
+    (* an in-progress incremental mark cycle is soft state: discard it
+       with the incarnation (the directory rule); a post-restart
+       threshold crossing starts a fresh cycle from scratch *)
+    (match t.gcs.(i) with
+    | Some cy ->
+      Ert.Gc.abort cy victim.n_kernel;
+      t.gcs.(i) <- None
+    | None -> ());
     (* a thread whose ACTIVE segment (ready, running or blocked on a local
        monitor) dies with the node can never make progress: abort its
        remnants now.  A thread that merely had a dormant awaiting segment
@@ -1308,6 +1339,14 @@ and handle_outcall t ~src (oc : K.outcall) =
              dest = dest_node });
       if t.spans_on then t.move_t0.(src) <- K.time_us k;
       quiesce_node t src;
+      (* send-off under an active mark cycle: grey the departing
+         segment's roots and the moved object before capture removes
+         them from the root set *)
+      (match t.gcs.(src) with
+      | Some cy ->
+        Ert.Gc.grey_segment cy k seg;
+        Ert.Gc.grey_addr cy k obj_addr
+      | None -> ());
       let tq1 = K.time_us k in
       let sends = Mobility.Move.initiate ~k ~mover:seg ~obj_addr ~dest:dest_node in
       (* the pipeline's virtual cost (protocol, translate, conversion) is
@@ -1326,6 +1365,9 @@ and handle_outcall t ~src (oc : K.outcall) =
       let t_fire = K.time_us k in
       if t.spans_on then t.move_t0.(src) <- t_fire;
       quiesce_node t src;
+      (match t.gcs.(src) with
+      | Some cy -> Ert.Gc.grey_segment cy k seg
+      | None -> ());
       let tq1 = K.time_us k in
       let sends = Mobility.Move.initiate_evict ~k ~seg ~dest:dest_node in
       List.iter (send_message t ~src) sends;
@@ -1678,20 +1720,80 @@ let deliver t ~dst (m : Enet.Netsim.message) =
    stops, so under preemptive scheduling the node is quiesced first —
    the same discipline migration capture uses (section 2.2.1); without
    a quantum every segment is already parked between events *)
-let do_collect t i =
-  quiesce_node t i;
-  let k = t.nodes.(i).n_kernel in
-  let stats = Ert.Gc.collect ~extra_roots:t.pinned k in
+let note_collection t i =
   if t.win_active then begin
     let sh = t.shards.(t.owner.(i)) in
     sh.sh_collections <- sh.sh_collections + 1
   end
-  else t.collections <- t.collections + 1;
+  else t.collections <- t.collections + 1
+
+let do_collect_stw t i =
+  quiesce_node t i;
+  let k = t.nodes.(i).n_kernel in
+  let stats = Ert.Gc.collect ~extra_roots:t.pinned k in
+  note_collection t i;
   K.charge_insns k (2000 + (stats.Ert.Gc.gc_live * 40));
   emit t ~node:i
     (E.Ev_gc
        { time = K.time_us k; node = i; swept = stats.Ert.Gc.gc_swept;
          live = stats.Ert.Gc.gc_live; bytes_freed = stats.Ert.Gc.gc_bytes_freed })
+
+(* one bounded increment of the incremental tier (DESIGN.md §17).
+   Opening a cycle quiesces the node exactly as the stop-the-world tier
+   does — the atomic root scan happens inside the first [step] and the
+   templates identify pointers only at bus stops; every later increment
+   interleaves with execution, protected by the write barrier and graft
+   hook, and is charged [120 + scanned*40] instructions instead of the
+   lump pause.  The cycle drives itself to completion by self-scheduling
+   [Engine.Gc] at the post-charge clock; [Engine]'s dedup makes that
+   safe alongside the Step handler's threshold checks. *)
+let gc_increment t i =
+  let k = t.nodes.(i).n_kernel in
+  let cy =
+    match t.gcs.(i) with
+    | Some cy -> cy
+    | None ->
+      quiesce_node t i;
+      let cy = Ert.Gc.start ~extra_roots:t.pinned k in
+      t.gcs.(i) <- Some cy;
+      (* snapshot + barrier installation *)
+      K.charge_insns k 400;
+      cy
+  in
+  let t0 = K.time_us k in
+  let finish_increment ~phase ~scanned =
+    K.charge_insns k (120 + (scanned * 40));
+    let t1 = K.time_us k in
+    emit t ~node:i
+      (E.Ev_gc_phase
+         { time = t1; node = i; phase; scanned; pause_us = t1 -. t0 });
+    if t.spans_on then
+      emit_span t ~node:i ~pair:(arch_pair t ~src:i ~dst:i) ~name:phase ~t0 ~t1
+        ();
+    t1
+  in
+  match Ert.Gc.step cy k ~budget:t.gc_budget with
+  | Ert.Gc.Step_more { scanned; phase } ->
+    let t1 = finish_increment ~phase:(Ert.Gc.phase_name phase) ~scanned in
+    Engine.schedule (eng t i) ~at:t1 (Engine.Gc i)
+  | Ert.Gc.Step_done { scanned; stats } ->
+    t.gcs.(i) <- None;
+    let t1 = finish_increment ~phase:"gc_sweep" ~scanned in
+    note_collection t i;
+    emit t ~node:i
+      (E.Ev_gc
+         { time = t1; node = i; swept = stats.Ert.Gc.gc_swept;
+           live = stats.Ert.Gc.gc_live;
+           bytes_freed = stats.Ert.Gc.gc_bytes_freed })
+
+let do_collect t i =
+  match t.gc_mode with
+  | Gc_stw -> do_collect_stw t i
+  | Gc_incremental -> gc_increment t i
+
+(* an increment already queued its successor; only the threshold starts
+   a brand-new cycle (matching the stop-the-world cadence) *)
+let gc_pending t i = t.gcs.(i) <> None
 
 let over_gc_threshold t i =
   Ert.Heap.live_bytes (K.heap (t.nodes.(i).n_kernel)) > t.gc_threshold_i
@@ -1950,7 +2052,10 @@ let rec step_once_heap t ~horizon =
       true)
   | Some (Engine.Gc i) ->
     let n = t.nodes.(i) in
-    if n.n_crashed || not (over_gc_threshold t i) then step_once_heap t ~horizon
+    (* an in-progress incremental cycle must run to completion even if
+       sweeping has already pushed the heap back under the threshold *)
+    if n.n_crashed || not (gc_pending t i || over_gc_threshold t i) then
+      step_once_heap t ~horizon
     else begin
       do_collect t i;
       ensure_step t i;
@@ -2103,7 +2208,8 @@ let win_run_shard t s ~horizon =
         assert false (* never scheduled without a fault plan *)
       | Some (Engine.Gc i) ->
         let n = t.nodes.(i) in
-        if (not n.n_crashed) && over_gc_threshold t i then begin
+        if (not n.n_crashed) && (gc_pending t i || over_gc_threshold t i)
+        then begin
           do_collect t i;
           ensure_step t i
         end
@@ -2163,12 +2269,27 @@ let win_run_shard t s ~horizon =
    (time, rank, seq) order — first the sends through the shared medium
    (bit-identical reservation fold, sequence numbers and arrival
    times), then the buffered bus events, then the thread aborts. *)
+(* Merge key subtlety: across shards, (time, rank) orders correctly —
+   ranks are node-major and shards hold contiguous node ranges, so at
+   equal times every lower shard's pops precede every higher shard's,
+   exactly as [pick_engine] chooses.  WITHIN a shard, though, the true
+   sequential order at one instant is the pop order (the emission
+   sequence number), not the rank order: a handler may schedule a
+   same-time event of LOWER rank — the Step handler queuing a
+   collection for a zero-cost slice, say — and the engine necessarily
+   pops it after its scheduler, while a rank sort would replay it
+   before.  Hence the key is (time, shard, seq). *)
 let barrier_flush t =
   Enet.Netsim.flush_outboxes t.net (Array.map (fun sh -> sh.sh_outbox) t.shards);
   if t.win_buffering then begin
     let all =
       Array.concat
-        (Array.to_list (Array.map (fun sh -> Array.of_list sh.sh_buf) t.shards))
+        (Array.to_list
+           (Array.mapi
+              (fun s sh ->
+                Array.of_list
+                  (List.map (fun (tm, _rk, sq, b) -> (tm, s, sq, b)) sh.sh_buf))
+              t.shards))
     in
     Array.sort
       (fun (t1, r1, s1, _) (t2, r2, s2, _) ->
@@ -2209,9 +2330,13 @@ let barrier_flush t =
     List.iter
       (fun (_, _, _, _, tid, reason) -> apply_deferred_abort t tid ~reason)
       (List.sort
-         (fun (t1, r1, s1, _, _, _) (t2, r2, s2, _, _, _) ->
+         (fun (t1, _, s1, n1, _, _) (t2, _, s2, n2, _, _) ->
            match Float.compare t1 t2 with
-           | 0 -> ( match compare r1 r2 with 0 -> compare s1 s2 | c -> c)
+           | 0 -> (
+             (* same (time, shard, seq) key as the event replay above *)
+             match compare t.owner.(n1) t.owner.(n2) with
+             | 0 -> compare s1 s2
+             | c -> c)
            | c -> c)
          aborts);
     Array.iter (fun sh -> sh.sh_aborts <- []) t.shards)
@@ -2321,6 +2446,11 @@ let group_move t ~node ~dest oids =
     quiesce_node t node;
     if t.spans_on then t.move_t0.(node) <- K.time_us k;
     let roots = List.filter_map (K.find_object k) oids in
+    (* batch send-off under an active mark cycle: grey every captured
+       root before the pack removes the group from the heap's root set *)
+    (match t.gcs.(node) with
+    | Some cy -> List.iter (Ert.Gc.grey_addr cy k) roots
+    | None -> ());
     let payload = Mobility.Move.perform_group_move k ~roots ~dest in
     if payload.Mobility.Marshal.mp_objects <> [] then begin
       emit t ~node

@@ -38,6 +38,18 @@ type location =
           the homes, and an exhausted proxy chain asks the home shard
           (one unicast) before falling back to the broadcast search *)
 
+type gc_mode =
+  | Gc_stw
+      (** one-shot stop-the-world mark-sweep when the heap crosses the
+          threshold — the default; traces are byte-identical to clusters
+          built before the incremental tier existed *)
+  | Gc_incremental
+      (** the tri-color incremental tier (DESIGN.md §17): the same
+          collection split into bounded increments interleaved with the
+          event loop, each charged per slot scanned; live/swept
+          accounting matches {!Gc_stw} exactly.  Requires the {!Heap}
+          scheduler. *)
+
 exception Heterogeneous_move_in_original_protocol
 
 exception Thread_unavailable of string
@@ -54,6 +66,8 @@ val create :
   ?quantum:int ->
   ?opt_level:Emc.Opt.level ->
   ?gc_threshold:int ->
+  ?gc_mode:gc_mode ->
+  ?gc_budget:int ->
   ?faults:Fault.Plan.t ->
   ?async_migration:bool ->
   ?location:location ->
@@ -66,6 +80,12 @@ val create :
     (section 2.2.1).  Default: the Emerald discipline — control transfers
     only at bus stops.  [scheduler] selects the event-selection
     mechanism (default {!Heap}).
+
+    [gc_threshold] arms automatic collection when a node's live heap
+    bytes exceed it; [gc_mode] selects the collector tier (default
+    {!Gc_stw}) and [gc_budget] bounds the pointer slots one incremental
+    increment may scan (default 4096; must be positive).
+    [Gc_incremental] requires the {!Heap} scheduler.
 
     [opt_level] selects the code instance every node executes (default
     {!Emc.Opt.O0}, the seed's straight template code); use
@@ -113,6 +133,12 @@ val create :
 
 val protocol : t -> protocol
 val scheduler : t -> scheduler
+
+val gc_mode : t -> gc_mode
+
+val gc_in_progress : t -> int -> bool
+(** Whether the node has an open incremental mark cycle (always [false]
+    under {!Gc_stw}). *)
 
 val location : t -> location
 

@@ -22,6 +22,13 @@ type t =
     }
   | Ev_conversion of { node : int; calls : int; bytes : int }
   | Ev_gc of { time : float; node : int; swept : int; live : int; bytes_freed : int }
+  | Ev_gc_phase of {
+      time : float;
+      node : int;
+      phase : string;
+      scanned : int;
+      pause_us : float;
+    }
   | Ev_crash of { node : int }
   | Ev_restart of { node : int }
   | Ev_thread_lost of { thread : Ert.Thread.tid; reason : string }
@@ -75,7 +82,7 @@ type t =
    byte-identical while making [--trace] useful under injection. *)
 let legacy_string = function
   | Ev_step _ | Ev_move_finish _ | Ev_conversion _ | Ev_plan _ | Ev_pool _
-  | Ev_span _ | Ev_blit _ | Ev_bridge _ -> None
+  | Ev_span _ | Ev_blit _ | Ev_bridge _ | Ev_gc_phase _ -> None
   | Ev_msg_send { time; src; dst; desc; bytes; arrives } ->
     Some
       (Printf.sprintf "t=%.0fus node %d -> node %d: %s (%d bytes, arrives %.0fus)"
@@ -167,6 +174,9 @@ let to_string ev =
   | Ev_bridge { time; node; count; src_level; dst_level } ->
     Printf.sprintf "bridge node=%d t=%.0fus threads=%d O%d->O%d" node time count
       src_level dst_level
+  | Ev_gc_phase { time; node; phase; scanned; pause_us } ->
+    Printf.sprintf "gc-phase node=%d t=%.0fus %s scanned=%d pause=%.2fus" node time
+      phase scanned pause_us
   | _ -> ( match legacy_string ev with Some s -> s | None -> assert false)
 
 type counters = {
@@ -181,6 +191,7 @@ type counters = {
   mutable c_conv_bytes : int;
   mutable c_collections : int;
   mutable c_gc_bytes_freed : int;
+  mutable c_gc_increments : int;
   mutable c_searches : int;
   mutable c_faults : int;
   mutable c_dups_suppressed : int;
@@ -218,6 +229,7 @@ let fresh_counters () =
     c_conv_bytes = 0;
     c_collections = 0;
     c_gc_bytes_freed = 0;
+    c_gc_increments = 0;
     c_searches = 0;
     c_faults = 0;
     c_dups_suppressed = 0;
@@ -310,6 +322,8 @@ let count bus ev =
   | Ev_gc { node; bytes_freed; _ } ->
     (c node).c_collections <- (c node).c_collections + 1;
     (c node).c_gc_bytes_freed <- (c node).c_gc_bytes_freed + bytes_freed
+  | Ev_gc_phase { node; _ } ->
+    (c node).c_gc_increments <- (c node).c_gc_increments + 1
   | Ev_search_start { node; _ } -> (c node).c_searches <- (c node).c_searches + 1
   | Ev_fault { src; _ } -> (c src).c_faults <- (c src).c_faults + 1
   | Ev_msg_dup { node; _ } ->

@@ -38,6 +38,17 @@ type t =
   | Ev_conversion of { node : int; calls : int; bytes : int }
       (** marshalling work performed while encoding or decoding *)
   | Ev_gc of { time : float; node : int; swept : int; live : int; bytes_freed : int }
+  | Ev_gc_phase of {
+      time : float;
+      node : int;
+      phase : string;  (** ["gc_roots"], ["gc_mark"] or ["gc_sweep"] *)
+      scanned : int;  (** pointer slots scanned by this increment *)
+      pause_us : float;  (** virtual time charged for this increment *)
+    }
+      (** one bounded increment of an incremental collection cycle ran.
+          Fires only under [Gc_incremental], so legacy (stop-the-world)
+          traces are unaffected; the cycle's completion still emits the
+          classic {!Ev_gc} line. *)
   | Ev_crash of { node : int }
   | Ev_restart of { node : int }
       (** a crash window closed: the node reboots empty (fault plans) *)
@@ -121,6 +132,7 @@ type counters = {
   mutable c_conv_bytes : int;
   mutable c_collections : int;
   mutable c_gc_bytes_freed : int;
+  mutable c_gc_increments : int;  (** incremental-GC increments run here *)
   mutable c_searches : int;  (** broadcast location searches started here *)
   mutable c_faults : int;  (** wire faults injected on frames this node sent *)
   mutable c_dups_suppressed : int;  (** duplicates suppressed at this receiver *)

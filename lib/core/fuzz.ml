@@ -163,8 +163,9 @@ let value_string = function
   | None -> "(no value)"
   | Some v -> Format.asprintf "%a" Ert.Value.pp v
 
-let run_seed ?plan ?drop ?(evict = false) ?(groups = false) ?(check_every = 1)
-    ?(max_events = 400_000) ?(trace_lines = 120) ?shards ~seed () =
+let run_seed ?plan ?drop ?(evict = false) ?(groups = false) ?(gc = false)
+    ?(check_every = 1) ?(max_events = 400_000) ?(trace_lines = 120) ?shards
+    ~seed () =
   let sc = scenario_of_seed seed in
   let plan = match plan with Some p -> P.with_seed p seed | None -> sc.sc_plan in
   let plan = match drop with Some d -> { plan with P.pl_drop = d } | None -> plan in
@@ -174,7 +175,21 @@ let run_seed ?plan ?drop ?(evict = false) ?(groups = false) ?(check_every = 1)
      event sequence; [shards] here exercises the sharded structures
      under fault plans, not parallel execution *)
   let location = if groups then Cluster.Loc_directory else Cluster.Loc_off in
-  let cl = Cluster.create ~faults:plan ?shards ~location ~archs () in
+  (* gc mode: incremental collection with a threshold small enough that
+     cycles are open nearly continuously, so the write barrier, migration
+     send-off greying and crash-mid-cycle discard all race the fault
+     plan.  The collector is local-roots-only (no distributed GC), so the
+     mixed workload's Adder — referenced only by the departed agent's
+     remote frame — is legitimately swept once its holder leaves; the
+     protocol then reports the loss cleanly ("cannot be located") and the
+     verdict stays ok.  The stop-the-world tier at the same threshold
+     produces the identical verdict. *)
+  let gc_mode = if gc then Cluster.Gc_incremental else Cluster.Gc_stw in
+  let gc_threshold = if gc then Some (8 * 1024) else None in
+  let cl =
+    Cluster.create ~faults:plan ?shards ~location ~gc_mode ?gc_threshold
+      ~gc_budget:64 ~archs ()
+  in
   (* forced-eviction mode: the hot-spot balancer fires against the
      fault plan, so eviction captures race message loss, partitions and
      crash windows — same determinism obligations as any other event.
@@ -297,11 +312,12 @@ let shrink_candidates (p : P.t) =
         p.P.pl_chaos;
     ]
 
-let shrink ?drop ?evict ?groups ?check_every ?max_events ?shards ~seed plan =
+let shrink ?drop ?evict ?groups ?gc ?check_every ?max_events ?shards ~seed plan
+    =
   let still_fails p =
     not
-      (run_seed ~plan:p ?drop ?evict ?groups ?check_every ?max_events ?shards
-         ~seed ())
+      (run_seed ~plan:p ?drop ?evict ?groups ?gc ?check_every ?max_events
+         ?shards ~seed ())
         .f_ok
   in
   let rec go p =
@@ -311,13 +327,14 @@ let shrink ?drop ?evict ?groups ?check_every ?max_events ?shards ~seed plan =
   in
   go plan
 
-let sweep ?drop ?evict ?groups ?check_every ?max_events ?shards
+let sweep ?drop ?evict ?groups ?gc ?check_every ?max_events ?shards
     ?(on_outcome = ignore) ~seeds () =
   let rec go = function
     | [] -> None
     | seed :: rest ->
       let o =
-        run_seed ?drop ?evict ?groups ?check_every ?max_events ?shards ~seed ()
+        run_seed ?drop ?evict ?groups ?gc ?check_every ?max_events ?shards
+          ~seed ()
       in
       on_outcome o;
       if o.f_ok then go rest else Some o

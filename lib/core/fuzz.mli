@@ -47,6 +47,7 @@ val run_seed :
   ?drop:float ->
   ?evict:bool ->
   ?groups:bool ->
+  ?gc:bool ->
   ?check_every:int ->
   ?max_events:int ->
   ?trace_lines:int ->
@@ -62,7 +63,11 @@ val run_seed :
     {!Cluster.Loc_directory} and rotates a three-object flock around the
     ring as one {!Cluster.group_move} per balancing point, so batched
     transfers and directory publish/lookup traffic race the fault plan
-    too (default false); [check_every] runs the
+    too (default false); [gc] arms the incremental collector
+    ({!Cluster.Gc_incremental}, a deliberately small threshold and
+    budget) so open mark cycles, the write barrier, migration send-off
+    greying and crash-mid-cycle discard all race the fault plan
+    (default false); [check_every] runs the
     invariant checkers every that-many events (default 1);
     [trace_lines] bounds the kept trace tail (default 120).
 
@@ -72,8 +77,9 @@ val run_seed :
     asserted by the regression tests. *)
 
 val shrink :
-  ?drop:float -> ?evict:bool -> ?groups:bool -> ?check_every:int ->
-  ?max_events:int -> ?shards:int -> seed:int -> Fault.Plan.t -> Fault.Plan.t
+  ?drop:float -> ?evict:bool -> ?groups:bool -> ?gc:bool ->
+  ?check_every:int -> ?max_events:int -> ?shards:int -> seed:int ->
+  Fault.Plan.t -> Fault.Plan.t
 (** Greedily remove plan components while the seed still fails;
     returns the smallest still-failing plan found. *)
 
@@ -81,6 +87,7 @@ val sweep :
   ?drop:float ->
   ?evict:bool ->
   ?groups:bool ->
+  ?gc:bool ->
   ?check_every:int ->
   ?max_events:int ->
   ?shards:int ->

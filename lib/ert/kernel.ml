@@ -85,6 +85,12 @@ type t = {
   mutable syscalls : int;
   mutable on_code_load : (class_index:int -> unit) option;
   mutable on_root_result : (thread:Thread.tid -> Value.t option -> unit) option;
+  mutable on_ref_graft : (int -> unit) option;
+      (* incremental-GC graft hook: called with every block address that
+         reaches machine registers or fresh frames outside the 32-bit
+         store path ([ensure_ref] results, spawn targets) so a mark
+         cycle in progress can grey it.  [None] when no cycle is
+         active. *)
   mutable quantum : int option;
       (* preemptive (Trellis/Owl-style) scheduling: slices are bounded by
          an instruction quantum and threads may be left between bus stops *)
@@ -147,6 +153,7 @@ let create ?clock ~node_id ~arch () =
     syscalls = 0;
     on_code_load = None;
     on_root_result = None;
+    on_ref_graft = None;
     quantum = None;
     evict_arms = Hashtbl.create 4;
     evictions = 0;
@@ -231,14 +238,17 @@ let is_vector_block t addr =
   Int32.logand (Mem.load32 t.kmem (addr + L.vec_flags)) (Int32.of_int L.flag_vector)
   <> 0l
 
-(* element addresses the garbage collector must trace *)
+(* element addresses the garbage collector must trace.  Unsigned
+   ([load32_bits]) reads throughout: a signed [Int32.to_int] would fold
+   a high-bit element address into a negative int the collector could
+   never match against a block. *)
 let vector_pointer_elements t addr =
-  let kind = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_kind)) in
+  let kind = Mem.load32_bits t.kmem (addr + L.vec_kind) in
   if kind = L.kind_string || kind = L.kind_ref || kind = L.kind_vec then begin
-    let len = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_len)) in
+    let len = Mem.load32_bits t.kmem (addr + L.vec_len) in
     List.filter_map
       (fun i ->
-        let a = Int32.to_int (Mem.load32 t.kmem (addr + L.vec_elems + (4 * i))) in
+        let a = Mem.load32_bits t.kmem (addr + L.vec_elems + (4 * i)) in
         if a = 0 then None else Some a)
       (List.init len Fun.id)
   end
@@ -419,15 +429,26 @@ let make_proxy t oid ~hint =
   Oid_table.replace t.proxies oid addr;
   addr
 
+let set_on_ref_graft t f = t.on_ref_graft <- f
+
+let graft_addr t addr =
+  match t.on_ref_graft with
+  | None -> ()
+  | Some f -> f addr
+
 let ensure_ref t oid =
-  match Oid_table.find_opt t.objects oid with
-  | Some addr -> addr
-  | None -> (
-    match Oid_table.find_opt t.proxies oid with
+  let addr =
+    match Oid_table.find_opt t.objects oid with
     | Some addr -> addr
-    | None ->
-      let hint = Option.value (Oid.creator_node oid) ~default:0 in
-      make_proxy t oid ~hint)
+    | None -> (
+      match Oid_table.find_opt t.proxies oid with
+      | Some addr -> addr
+      | None ->
+        let hint = Option.value (Oid.creator_node oid) ~default:0 in
+        make_proxy t oid ~hint)
+  in
+  graft_addr t addr;
+  addr
 
 let set_proxy_hint t ~addr ~node =
   if is_resident t addr then ()
@@ -483,7 +504,7 @@ let attached_refs t ~addr =
          strings and vectors are value aggregates *)
       match ty with
       | Emc.Ast.Tobj _ when tmpl.Emc.Template.ct_attached.(i) ->
-        let v = Int32.to_int (Mem.load32 t.kmem (addr + L.field_offset i)) in
+        let v = Mem.load32_bits t.kmem (addr + L.field_offset i) in
         if v <> 0 then refs := v :: !refs
       | _ -> ())
     tmpl.Emc.Template.ct_fields;
@@ -667,6 +688,9 @@ let seg_forward t ~seg_id = Hashtbl.find_opt t.seg_forwards seg_id
    arguments where the calling convention puts them, with the sentinel
    return address 0 marking the bottom of the segment *)
 let seed_call_frame t ctx ~stack_top ~target_addr ~entry_pc ~raw_args =
+  (* the target lands in a register (SPARC) or a fresh frame slot — grey
+     it if a mark cycle is in progress *)
+  graft_addr t target_addr;
   let family = t.karch.A.family in
   (match family with
   | A.Vax | A.M68k ->
@@ -807,6 +831,7 @@ let deliver_result t seg value =
     error "deliver_result: segment %d is not awaiting a reply" seg.Thread.seg_id
 
 let root_result t tid = Hashtbl.find_opt t.root_results tid
+let iter_root_results t f = Hashtbl.iter f t.root_results
 
 (* Monitors ------------------------------------------------------------------- *)
 

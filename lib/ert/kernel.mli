@@ -274,6 +274,10 @@ val root_result : t -> Thread.tid -> Value.t option option
 (** [Some r] once the root thread has finished ([r = None] for a
     resultless operation). *)
 
+val iter_root_results : t -> (Thread.tid -> Value.t option -> unit) -> unit
+(** Iterate delivered-but-unread root results — the collector treats
+    their values as roots until the harness reads them. *)
+
 (* monitors *)
 val monitor_locked : t -> obj_addr:int -> bool
 val set_monitor_locked : t -> obj_addr:int -> bool -> unit
@@ -309,6 +313,14 @@ val set_on_root_result : t -> (thread:Thread.tid -> Value.t option -> unit) -> u
 (** Called when a root thread (no reply link) finishes on this node, so
     the embedding cluster can track completions without scanning every
     node. *)
+
+val set_on_ref_graft : t -> (int -> unit) option -> unit
+(** Install (or, with [None], remove) the incremental collector's graft
+    hook: it receives every block address that reaches machine registers
+    or a fresh call frame outside the memory store path — [ensure_ref]
+    results (resident objects and reused proxies) and spawn targets — so
+    a mark cycle in progress can grey addresses the write barrier cannot
+    see.  Installed only while a cycle is active. *)
 
 val set_quantum : t -> int option -> unit
 (** [Some q] switches to preemptive (Trellis/Owl-style) scheduling: a

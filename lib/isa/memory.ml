@@ -1,6 +1,11 @@
 type t = {
   mutable data : Bytes.t;
   endian : Endian.t;
+  (* write barrier for the incremental collector: while a mark cycle is
+     active every 32-bit store reports the overwritten and the stored
+     word (both as unsigned bits).  [None] — the normal state — costs a
+     single branch per store. *)
+  mutable barrier : (int -> int -> unit) option;
 }
 
 exception Fault of int
@@ -9,10 +14,13 @@ let low_bound = 0x100
 
 let create ~endian ~size =
   let size = max size (low_bound + 4) in
-  { data = Bytes.make size '\000'; endian }
+  { data = Bytes.make size '\000'; endian; barrier = None }
 
 let endian t = t.endian
 let size t = Bytes.length t.data
+
+let set_store_barrier t f = t.barrier <- Some f
+let clear_store_barrier t = t.barrier <- None
 
 let grow_to t wanted =
   if wanted > Bytes.length t.data then begin
@@ -38,14 +46,6 @@ let load32 t addr =
   let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
   Endian.int32_of_bytes t.endian (b 0) (b 1) (b 2) (b 3)
 
-let store32 t addr v =
-  check t addr 4;
-  let b0, b1, b2, b3 = Endian.bytes_of_int32 t.endian v in
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr b0);
-  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr b1);
-  Bytes.unsafe_set t.data (addr + 2) (Char.unsafe_chr b2);
-  Bytes.unsafe_set t.data (addr + 3) (Char.unsafe_chr b3)
-
 (* unchecked int-domain access for callers that have already done
    [check t addr 4] themselves (the threaded dispatcher inlines the
    bounds test so a fault can be attributed to the exact micro-op) *)
@@ -60,6 +60,9 @@ let unsafe_load32_bits t addr =
   | Endian.Big -> b3 lor (b2 lsl 8) lor (b1 lsl 16) lor (b0 lsl 24)
 
 let unsafe_store32_bits t addr v =
+  (match t.barrier with
+   | None -> ()
+   | Some f -> f (unsafe_load32_bits t addr) (v land 0xFFFF_FFFF));
   let d = t.data in
   match t.endian with
   | Endian.Little ->
@@ -72,6 +75,10 @@ let unsafe_store32_bits t addr v =
     Bytes.unsafe_set d (addr + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
     Bytes.unsafe_set d (addr + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
     Bytes.unsafe_set d (addr + 3) (Char.unsafe_chr (v land 0xFF))
+
+let store32 t addr v =
+  check t addr 4;
+  unsafe_store32_bits t addr (Int32.to_int v land 0xFFFF_FFFF)
 
 (* checked int-domain 32-bit access: identical bounds check and byte
    order to [load32]/[store32], but the word travels as bits in an

@@ -18,6 +18,17 @@ val create : endian:Endian.t -> size:int -> t
 val endian : t -> Endian.t
 val size : t -> int
 val grow_to : t -> int -> unit
+
+(** Install the incremental collector's write barrier: [f old_bits
+    new_bits] is called on every 32-bit store (checked or unsafe) with
+    the overwritten and the stored word as unsigned bits, before the
+    store lands.  At most one barrier is installed at a time; installing
+    replaces.  With no barrier installed a store costs one extra
+    branch. *)
+val set_store_barrier : t -> (int -> int -> unit) -> unit
+
+(** Remove the installed barrier, restoring plain stores. *)
+val clear_store_barrier : t -> unit
 val load32 : t -> int -> int32
 val store32 : t -> int -> int32 -> unit
 

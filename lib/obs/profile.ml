@@ -7,7 +7,8 @@
    after these, alphabetically *)
 let phase_order =
   [ "move"; "evict"; "overlap"; "capture"; "group_pack"; "translate"; "marshal";
-    "transfer"; "unmarshal"; "rebuild"; "relocate"; "group_unpack"; "rpc" ]
+    "transfer"; "unmarshal"; "rebuild"; "relocate"; "group_unpack"; "rpc";
+    "gc_roots"; "gc_mark"; "gc_sweep" ]
 
 let phase_rank name =
   let rec go i = function

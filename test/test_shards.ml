@@ -139,19 +139,23 @@ let same_capture name a b =
 
 (* the multi-agent ring tour, run to quiescence — the one entry point
    that may execute shards in parallel *)
-let run_parallel_tour ?gc_threshold ~subscribe ~shards ~n_nodes ~hops ~spins () =
+let run_parallel_tour ?gc_threshold ?gc_mode ?gc_budget ?on_event ~subscribe
+    ~shards ~n_nodes ~hops ~spins () =
   (* homogeneous cluster: the tour's pairwise-distinct-nodes premise
      needs lockstep agents, i.e. equal node speeds *)
   let cl =
-    C.create ~quantum:20 ~shards ?gc_threshold
+    C.create ~quantum:20 ~shards ?gc_threshold ?gc_mode ?gc_budget
       ~archs:(List.init n_nodes (fun _ -> A.sparc)) ()
   in
   ignore (C.compile_and_load cl ~name:"ptour" W.parallel_src);
   let log = Buffer.create 4096 in
-  if subscribe then
+  if subscribe || on_event <> None then
     C.subscribe_events cl (fun ev ->
-        Buffer.add_string log (Core.Events.to_string ev);
-        Buffer.add_char log '\n');
+        (match on_event with Some f -> f ev | None -> ());
+        if subscribe then begin
+          Buffer.add_string log (Core.Events.to_string ev);
+          Buffer.add_char log '\n'
+        end);
   let tids =
     List.init n_nodes (fun a ->
         let agent = C.create_object cl ~node:a ~class_name:"Agent" in
@@ -291,6 +295,49 @@ let test_scaling_identical () =
   check Alcotest.int "shards recorded" 4 r4.W.sc_shards;
   if r4.W.sc_windows = 0 then Alcotest.fail "4-shard scaling run used no windows"
 
+let test_incremental_gc_shard_invariant () =
+  (* the incremental collector's increments are ordinary engine events:
+     trace, counters and per-increment pauses must be bit-identical at
+     1, 2 and 4 shards.  Every pause also obeys the budget bound — the
+     per-increment charge (120 + scanned*40 instructions) is what keeps
+     Chandy-Misra windows inside the horizon, so an increment whose
+     pause escapes the bound would stall the window protocol. *)
+  let budget = 64 in
+  let pauses = ref [] in
+  let go shards =
+    pauses := [];
+    run_parallel_tour ~gc_threshold:12_000 ~gc_mode:C.Gc_incremental
+      ~gc_budget:budget
+      ~on_event:(function
+        | E.Ev_gc_phase { pause_us; _ } -> pauses := pause_us :: !pauses
+        | _ -> ())
+      ~subscribe:true ~shards ~n_nodes:4 ~hops:6 ~spins:30 ()
+  in
+  let cl1, s1 = go 1 in
+  let p1 = !pauses in
+  let _, s2 = go 2 in
+  let cl4, s4 = go 4 in
+  let p4 = !pauses in
+  same_capture "incremental shards 1 vs 2" s1 s2;
+  same_capture "incremental shards 1 vs 4" s1 s4;
+  if E.windows (C.bus cl4) = 0 then
+    Alcotest.fail "4-shard incremental run never entered a parallel window";
+  let inc1 = C.total_counter cl1 (fun c -> c.E.c_gc_increments) in
+  if inc1 = 0 then Alcotest.fail "no increments ran";
+  check Alcotest.int "increment count shard-invariant" inc1
+    (C.total_counter cl4 (fun c -> c.E.c_gc_increments));
+  check Alcotest.int "every increment emitted a phase event" inc1
+    (List.length p1);
+  if p1 <> p4 then Alcotest.fail "phase pauses differ across shard counts";
+  (* the atomic root scan may overrun the slot budget, so give it
+     headroom; mark and sweep increments sit well inside it *)
+  let bound = float_of_int (120 + ((budget + 2048) * 40)) /. A.sparc.A.mips in
+  List.iter
+    (fun p ->
+      if p > bound then
+        Alcotest.failf "increment pause %.1fus exceeds bound %.1fus" p bound)
+    p1
+
 (* ----------------------------------------------------------------------- *)
 (* the qcheck property: any seed-derived workload + fault plan yields the
    identical outcome at shards 1, 2 and 4 (the fuzz driver steps through
@@ -310,6 +357,24 @@ let fuzz_shard_prop =
     (fun seed ->
       let out shards =
         let o = Core.Fuzz.run_seed ~check_every:64 ~shards ~seed () in
+        ( verdict_string o.Core.Fuzz.f_verdict,
+          o.Core.Fuzz.f_events,
+          o.Core.Fuzz.f_virtual_us,
+          o.Core.Fuzz.f_trace )
+      in
+      let o1 = out 1 in
+      o1 = out 2 && o1 = out 4)
+
+(* same invariance with the incremental collector racing the fault plan:
+   crashes land mid-mark-cycle, and the discard-and-restart rule must
+   keep the outcome shard-count independent *)
+let fuzz_gc_shard_prop =
+  QCheck.Test.make ~count:8
+    ~name:"gc-mode fuzz outcome is shard-count invariant"
+    QCheck.(map (fun n -> 1 + (n mod 4096)) small_int)
+    (fun seed ->
+      let out shards =
+        let o = Core.Fuzz.run_seed ~check_every:64 ~gc:true ~shards ~seed () in
         ( verdict_string o.Core.Fuzz.f_verdict,
           o.Core.Fuzz.f_events,
           o.Core.Fuzz.f_virtual_us,
@@ -338,6 +403,9 @@ let suites =
           test_table1_identical;
         Alcotest.test_case "measure_scaling digest is shard-count invariant"
           `Quick test_scaling_identical;
+        Alcotest.test_case "incremental gc: trace and pauses identical at 1/2/4"
+          `Quick test_incremental_gc_shard_invariant;
         QCheck_alcotest.to_alcotest fuzz_shard_prop;
+        QCheck_alcotest.to_alcotest fuzz_gc_shard_prop;
       ] );
   ]
